@@ -1,0 +1,42 @@
+// Ablation (§4.3): the paper adopts Wasserstein loss after finding "that
+// Wasserstein loss is better than the original loss for generating
+// categorical variables". We train DoppelGANger on GCUT-like data with both
+// losses and compare categorical-attribute fidelity and length fidelity.
+#include "common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dg;
+  bench::header("Ablation (§4.3) — Wasserstein-GP vs original GAN loss");
+
+  const auto d = bench::gcut_data(bench::scaled(800));
+  const auto real_attr = eval::attribute_marginal(d.data, d.schema, 0);
+  const auto real_len = eval::length_distribution(d.data, d.schema.max_timesteps);
+
+  std::printf("loss,attr_jsd,length_jsd,dropped_categories\n");
+  for (const core::GanLoss loss :
+       {core::GanLoss::WassersteinGp, core::GanLoss::Standard}) {
+    auto cfg = bench::gcut_dg_config();
+    cfg.loss = loss;
+    const char* label =
+        loss == core::GanLoss::WassersteinGp ? "wasserstein_gp" : "standard";
+    std::fprintf(stderr, "[ablation] training with %s loss...\n", label);
+    core::DoppelGanger model(d.schema, cfg);
+    model.fit(d.data);
+    const auto gen = model.generate(static_cast<int>(d.data.size()));
+    const auto attr = eval::attribute_marginal(gen, d.schema, 0);
+    int dropped = 0;
+    for (size_t c = 0; c < attr.size(); ++c) {
+      if (real_attr[c] > 0.05 && attr[c] < 0.005) ++dropped;
+    }
+    std::printf("%s,%.4f,%.4f,%d\n", label, eval::jsd(real_attr, attr),
+                eval::jsd(real_len,
+                          eval::length_distribution(gen, d.schema.max_timesteps)),
+                dropped);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape: the original loss is less stable on categorical "
+      "variables — higher attribute JSD and/or dropped categories.\n");
+  return 0;
+}

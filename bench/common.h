@@ -1,0 +1,175 @@
+// Shared scaffolding for the figure/table reproduction benches. Every bench
+// is a standalone binary that prints the series/rows of one paper artifact.
+// DG_BENCH_SCALE (float, default 1) scales training iterations and sample
+// counts up or down; DG_BENCH_SEED overrides the experiment seed.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/generator.h"
+#include "core/doppelganger.h"
+#include "synth/synth.h"
+
+namespace dg::bench {
+
+inline double scale() {
+  const char* s = std::getenv("DG_BENCH_SCALE");
+  if (!s) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t seed() {
+  const char* s = std::getenv("DG_BENCH_SEED");
+  return s ? static_cast<uint64_t>(std::atoll(s)) : 42;
+}
+
+inline int scaled(int base) {
+  const int v = static_cast<int>(base * scale());
+  return v < 1 ? 1 : v;
+}
+
+inline void header(const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(scale=%.2f, seed=%llu)\n", scale(),
+              static_cast<unsigned long long>(seed()));
+  std::printf("==================================================================\n");
+}
+
+inline void print_series_header(const std::vector<std::string>& cols) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", cols[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline void print_series_row(int x, const std::vector<double>& vals) {
+  std::printf("%d", x);
+  for (double v : vals) std::printf(",%.4f", v);
+  std::printf("\n");
+}
+
+/// DoppelGANger behind the baselines::Generator interface so benches can
+/// treat all five models uniformly.
+class DoppelGangerAdapter final : public baselines::Generator {
+ public:
+  explicit DoppelGangerAdapter(core::DoppelGangerConfig cfg) : cfg_(cfg) {}
+
+  void fit(const data::Schema& schema, const data::Dataset& train) override {
+    model_ = std::make_unique<core::DoppelGanger>(schema, cfg_);
+    model_->fit(train);
+  }
+
+  data::Dataset generate(int n) override { return model_->generate(n); }
+  std::string name() const override { return "DoppelGANger"; }
+  core::DoppelGanger& model() { return *model_; }
+
+ private:
+  core::DoppelGangerConfig cfg_;
+  std::unique_ptr<core::DoppelGanger> model_;
+};
+
+// ---- per-dataset bench-scale configurations ----
+
+/// WWT-like data at bench scale: T=280 with weekly (7) and "annual" (140)
+/// periods, matching Fig 1's two-timescale structure.
+inline synth::SynthData wwt_data(int n = 0, int t = 280) {
+  return synth::make_wwt({.n = n > 0 ? n : scaled(240),
+                          .t = t,
+                          .annual_period = t / 2,
+                          .seed = seed()});
+}
+
+inline synth::SynthData mba_data() {
+  return synth::make_mba({.n = scaled(600), .seed = seed() + 1});
+}
+
+inline synth::SynthData gcut_data(int n = 0) {
+  return synth::make_gcut({.n = n > 0 ? n : scaled(1200), .seed = seed() + 2});
+}
+
+inline core::DoppelGangerConfig dg_config(int t, int iterations,
+                                          int sample_len) {
+  core::DoppelGangerConfig cfg;
+  cfg.sample_len = sample_len;
+  cfg.lstm_units = 64;
+  cfg.head_hidden = 64;
+  cfg.attr_hidden = 64;
+  cfg.minmax_hidden = 64;
+  cfg.disc_hidden = 128;
+  cfg.disc_layers = 3;
+  cfg.batch = 32;
+  cfg.d_steps = 2;
+  cfg.iterations = scaled(iterations);
+  cfg.seed = seed() + 3;
+  (void)t;
+  return cfg;
+}
+
+inline core::DoppelGangerConfig wwt_dg_config(int t = 280) {
+  return dg_config(t, 800, t / 28);  // T/S ~= 28 LSTM steps
+}
+
+inline core::DoppelGangerConfig gcut_dg_config() {
+  return dg_config(50, 1100, 5);  // 10 LSTM steps
+}
+
+inline core::DoppelGangerConfig mba_dg_config() {
+  return dg_config(56, 1200, 4);  // 14 LSTM steps
+}
+
+// ---- baseline factories at bench scale ----
+
+inline std::unique_ptr<baselines::Generator> bench_hmm() {
+  return baselines::make_hmm({.n_states = 8,
+                              .em_iterations = 12,
+                              .max_train_series = scaled(150),
+                              .seed = seed() + 4});
+}
+
+inline std::unique_ptr<baselines::Generator> bench_ar() {
+  return baselines::make_ar({.hidden_units = 64,
+                             .hidden_layers = 2,
+                             .epochs = 3,
+                             .max_train_series = scaled(150),
+                             .seed = seed() + 5});
+}
+
+inline std::unique_ptr<baselines::Generator> bench_rnn() {
+  return baselines::make_rnn({.lstm_units = 48,
+                              .epochs = 4,
+                              .max_train_series = scaled(150),
+                              .seed = seed() + 6});
+}
+
+inline std::unique_ptr<baselines::Generator> bench_naive_gan(int iterations = 500) {
+  return baselines::make_naive_gan({.hidden = 128,
+                                    .layers = 3,
+                                    .batch = 32,
+                                    .iterations = scaled(iterations),
+                                    .seed = seed() + 7});
+}
+
+struct NamedGenerator {
+  std::string name;
+  std::unique_ptr<baselines::Generator> gen;
+};
+
+/// DG + the four baselines, in the paper's comparison order.
+inline std::vector<NamedGenerator> all_models(core::DoppelGangerConfig dg_cfg) {
+  std::vector<NamedGenerator> out;
+  out.push_back({"DoppelGANger",
+                 std::make_unique<DoppelGangerAdapter>(dg_cfg)});
+  out.push_back({"AR", bench_ar()});
+  out.push_back({"RNN", bench_rnn()});
+  out.push_back({"HMM", bench_hmm()});
+  out.push_back({"NaiveGAN", bench_naive_gan()});
+  return out;
+}
+
+}  // namespace dg::bench

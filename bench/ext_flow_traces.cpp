@@ -1,0 +1,72 @@
+// Extension (paper §6 future work): "progressively harder classes of time
+// series, such as network traces". We train DoppelGANger on synthetic
+// per-flow traces (packets/bytes/RTT with protocol+application attributes)
+// and report the fidelity microbenchmarks the paper uses elsewhere —
+// attribute JSD, length JSD, per-application volume W1, and cross-feature
+// (packets vs bytes) correlation.
+#include <cmath>
+
+#include "common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dg;
+  bench::header("Extension — network flow traces (paper future work, §6)");
+
+  const auto d = synth::make_flows({.n = bench::scaled(1200),
+                                    .seed = bench::seed() + 8});
+  auto cfg = bench::dg_config(40, 1000, 4);  // 10 LSTM steps
+  core::DoppelGanger model(d.schema, cfg);
+  std::fprintf(stderr, "[ext] training DoppelGANger on flow traces...\n");
+  model.fit(d.data);
+  const auto gen = model.generate(static_cast<int>(d.data.size()));
+
+  // Attribute fidelity.
+  for (int attr = 0; attr < 2; ++attr) {
+    const auto real = eval::attribute_marginal(d.data, d.schema, attr);
+    const auto fake = eval::attribute_marginal(gen, d.schema, attr);
+    std::printf("attr_jsd,%s,%.4f\n",
+                d.schema.attributes[static_cast<size_t>(attr)].name.c_str(),
+                eval::jsd(real, fake));
+  }
+
+  // Flow-duration fidelity (heavily application-dependent).
+  std::printf("length_jsd,,%.4f\n",
+              eval::jsd(eval::length_distribution(d.data, 40),
+                        eval::length_distribution(gen, 40)));
+
+  // Per-application total-bytes W1 (MB).
+  const auto totals_for_app = [&](const data::Dataset& ds, int app) {
+    std::vector<double> out;
+    for (const auto& o : ds) {
+      if (static_cast<int>(o.attributes[1]) != app) continue;
+      double s = 0;
+      for (const auto& r : o.features) s += r[1];
+      out.push_back(s * 1e-6);
+    }
+    return out;
+  };
+  const char* apps[] = {"web", "video", "dns", "bulk"};
+  for (int app = 0; app < 4; ++app) {
+    const auto real = totals_for_app(d.data, app);
+    const auto fake = totals_for_app(gen, app);
+    if (real.empty() || fake.empty()) {
+      std::printf("volume_w1_mb,%s,inf\n", apps[app]);
+    } else {
+      std::printf("volume_w1_mb,%s,%.2f\n", apps[app],
+                  eval::wasserstein1(real, fake));
+    }
+  }
+
+  // Cross-feature structure: packets and bytes are strongly coupled.
+  std::printf("pkt_byte_correlation,real,%.3f\n",
+              eval::feature_correlation(d.data, 0, 1));
+  std::printf("pkt_byte_correlation,generated,%.3f\n",
+              eval::feature_correlation(gen, 0, 1));
+
+  std::printf(
+      "\nShape to check: attribute/length JSD near the GCUT levels, all four "
+      "application volumes covered, and a strongly positive generated "
+      "packets-bytes correlation.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 4 (+ Fig 33): the batched-generation parameter S vs the MSE between
+// generated and real autocorrelations. The paper finds S=1 (pure RNN, prior
+// work's setting) is poor, small S>1 already helps a lot, and T/S ~= 50 is a
+// good operating point; Fig 33 tracks the same sweep across training epochs.
+#include "common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dg;
+  bench::header("Figure 4 / Figure 33 — batching parameter S vs autocorrelation MSE");
+
+  // Shorter horizon so S=1 (T LSTM steps per sample) stays affordable.
+  const int t = 140;
+  const auto d = bench::wwt_data(bench::scaled(160), t);
+  const int max_lag = t * 4 / 7;
+  const auto real_ac = eval::mean_autocorrelation(d.data, 0, max_lag);
+
+  const int s_values[] = {1, 5, 10, 35, 70};
+  const int checkpoints = 3;  // Fig 33's "epoch" axis
+  const int iters_per_checkpoint = bench::scaled(160);
+
+  std::printf("S,checkpoint,iterations,autocorr_mse\n");
+  std::vector<double> final_mse;
+  for (int s : s_values) {
+    auto cfg = bench::dg_config(t, 0, s);
+    core::DoppelGanger model(d.schema, cfg);
+    double mse_last = 0;
+    for (int c = 1; c <= checkpoints; ++c) {
+      model.fit_more(d.data, iters_per_checkpoint);
+      const auto gen = model.generate(80);
+      const auto ac = eval::mean_autocorrelation(gen, 0, max_lag);
+      mse_last = eval::mse(real_ac, ac);
+      std::printf("%d,%d,%d,%.5f\n", s, c, c * iters_per_checkpoint, mse_last);
+      std::fflush(stdout);
+    }
+    final_mse.push_back(mse_last);
+  }
+
+  std::printf("\nFinal MSE by S (paper: S=1 worst; T/S around 28-50 best):\n");
+  for (size_t i = 0; i < std::size(s_values); ++i) {
+    std::printf("  S=%-3d (T/S=%3d)  %.5f\n", s_values[i], t / s_values[i],
+                final_mse[i]);
+  }
+  return 0;
+}

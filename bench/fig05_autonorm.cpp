@@ -1,0 +1,79 @@
+// Figure 5: mode collapse on wide-dynamic-range data without
+// auto-normalization, fixed by the min/max generator (§4.1.3). We train
+// DoppelGANger with the min/max generator on and off and measure the
+// cross-sample diversity of generated series levels: under mode collapse all
+// samples share one level, so the spread of per-sample means collapses.
+#include <cmath>
+
+#include "common.h"
+#include "eval/metrics.h"
+
+namespace {
+/// Spread (log10 inter-decile ratio) of per-sample mean levels: how many
+/// decades of scale the sample population covers.
+double level_spread(const dg::data::Dataset& data) {
+  std::vector<double> means;
+  for (const auto& o : data) {
+    double m = 0;
+    for (const auto& r : o.features) m += r[0];
+    means.push_back(m / o.length() + 1.0);
+  }
+  std::sort(means.begin(), means.end());
+  const double lo = means[means.size() / 10];
+  const double hi = means[means.size() * 9 / 10];
+  return std::log10(hi / lo);
+}
+}  // namespace
+
+int main() {
+  using namespace dg;
+  bench::header("Figure 5 — auto-normalization vs mode collapse (WWT-like)");
+
+  const int t = 140;
+  const auto d = bench::wwt_data(bench::scaled(200), t);
+  std::printf("Real data: level spread = %.2f decades\n\n", level_spread(d.data));
+
+  // W1 between log-level distributions (captures both collapse and bias).
+  const auto log_levels = [](const data::Dataset& ds) {
+    std::vector<double> out;
+    for (const auto& o : ds) {
+      double m = 0;
+      for (const auto& r : o.features) m += r[0];
+      out.push_back(std::log10(m / o.length() + 1.0));
+    }
+    return out;
+  };
+  const auto report = [&](const char* label, const data::Dataset& gen) {
+    std::printf("%s,%.2f,%.3f\n", label, level_spread(gen),
+                eval::wasserstein1(log_levels(d.data), log_levels(gen)));
+    std::fflush(stdout);
+  };
+
+  std::printf("variant,level_spread_decades,w1_of_log_levels\n");
+  for (bool autonorm : {false, true}) {
+    auto cfg = bench::dg_config(t, 500, 5);
+    cfg.use_minmax_generator = autonorm;
+    core::DoppelGanger model(d.schema, cfg);
+    model.fit(d.data);
+    report(autonorm ? "DG auto-normalized" : "DG unnormalized",
+           model.generate(static_cast<int>(d.data.size())));
+  }
+
+  // The mitigation the paper reports trying before inventing
+  // auto-normalization: PacGAN-style packing on the naive GAN (§4.1.3).
+  for (int pack : {1, 3}) {
+    auto gan = dg::baselines::make_naive_gan(
+        {.hidden = 128, .layers = 3, .batch = 33,
+         .iterations = bench::scaled(500), .pack = pack,
+         .seed = bench::seed() + 70 + pack});
+    gan->fit(d.schema, d.data);
+    report(pack == 1 ? "NaiveGAN" : "NaiveGAN pack=3",
+           gan->generate(static_cast<int>(d.data.size())));
+  }
+
+  std::printf(
+      "\nPaper shape: unnormalized/naive variants -> collapsed spread (<< "
+      "real); packing helps only partially; auto-normalization restores a "
+      "spread comparable to real.\n");
+  return 0;
+}

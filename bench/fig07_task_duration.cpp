@@ -1,0 +1,54 @@
+// Figure 7 (+ Fig 14): histogram of GCUT task durations. The real data is
+// bimodal; DoppelGANger captures both modes, the RNN (and other baselines)
+// miss the second mode.
+#include "common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace dg;
+  bench::header("Figure 7 / Figure 14 — GCUT task-duration histograms");
+
+  const auto d = bench::gcut_data();
+  const int t_max = d.schema.max_timesteps;
+  const auto real_len = eval::length_distribution(d.data, t_max);
+
+  auto models = bench::all_models(bench::gcut_dg_config());
+  std::vector<std::vector<double>> lens;
+  for (auto& m : models) {
+    std::fprintf(stderr, "[fig07] training %s...\n", m.name.c_str());
+    m.gen->fit(d.schema, d.data);
+    lens.push_back(eval::length_distribution(
+        m.gen->generate(static_cast<int>(d.data.size())), t_max));
+  }
+
+  std::vector<std::string> cols{"duration", "Real"};
+  for (const auto& m : models) cols.push_back(m.name);
+  bench::print_series_header(cols);
+  for (int l = 1; l <= t_max; ++l) {
+    std::vector<double> row{real_len[static_cast<size_t>(l - 1)]};
+    for (const auto& ld : lens) row.push_back(ld[static_cast<size_t>(l - 1)]);
+    bench::print_series_row(l, row);
+  }
+
+  // Mode coverage: probability mass in the short (<=15) and long (>=25) modes.
+  auto mode_mass = [](const std::vector<double>& ld) {
+    double short_m = 0, long_m = 0;
+    for (size_t i = 0; i < ld.size(); ++i) {
+      if (static_cast<int>(i) + 1 <= 15) short_m += ld[i];
+      if (static_cast<int>(i) + 1 >= 25) long_m += ld[i];
+    }
+    return std::pair{short_m, long_m};
+  };
+  const auto [rs, rl] = mode_mass(real_len);
+  std::printf("\nmodel,short_mode_mass,long_mode_mass,length_jsd\n");
+  std::printf("%-14s,%.3f,%.3f,-\n", "Real", rs, rl);
+  for (size_t i = 0; i < models.size(); ++i) {
+    const auto [s, l] = mode_mass(lens[i]);
+    std::printf("%-14s,%.3f,%.3f,%.4f\n", models[i].name.c_str(), s, l,
+                eval::jsd(real_len, lens[i]));
+  }
+  std::printf(
+      "\nPaper shape: real data bimodal; DoppelGANger covers both modes; "
+      "RNN/AR/HMM/NaiveGAN lose the long mode (or scatter lengths).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 8 (+ Figs 15-23): attribute-distribution fidelity. DoppelGANger
+// must *learn* attribute marginals (it generates them); the naive GAN tends
+// to drop categories (mode collapse). HMM/AR/RNN draw attributes from the
+// empirical distribution, so their marginals are trivially perfect — the
+// paper's point is that DoppelGANger gets close anyway. Reported as category
+// histograms (GCUT end-event, WWT domain/access/agent) plus the JSD tables
+// of Figs 20-23 on MBA.
+#include "common.h"
+#include "eval/metrics.h"
+
+namespace {
+
+void print_histograms(const dg::data::Schema& schema, int attr,
+                      const std::vector<double>& real,
+                      const std::vector<std::pair<std::string, std::vector<double>>>& gens) {
+  const auto& spec = schema.attributes[static_cast<size_t>(attr)];
+  std::printf("\n-- %s --\n", spec.name.c_str());
+  std::printf("category,Real");
+  for (const auto& [name, _] : gens) std::printf(",%s", name.c_str());
+  std::printf("\n");
+  for (int c = 0; c < spec.n_categories; ++c) {
+    std::printf("%s,%.4f", spec.labels[static_cast<size_t>(c)].c_str(),
+                real[static_cast<size_t>(c)]);
+    for (const auto& [_, m] : gens) std::printf(",%.4f", m[static_cast<size_t>(c)]);
+    std::printf("\n");
+  }
+  std::printf("JSD,");
+  for (size_t i = 0; i < gens.size(); ++i) {
+    std::printf("%s%.4f", i ? "," : "", dg::eval::jsd(real, gens[i].second));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dg;
+  bench::header("Figure 8 / Figs 15-23 — attribute distribution fidelity");
+
+  // GCUT end-event types: DoppelGANger vs NaiveGAN (Fig 8).
+  {
+    const auto d = bench::gcut_data(bench::scaled(800));
+    bench::DoppelGangerAdapter dg_model(bench::gcut_dg_config());
+    auto naive = bench::bench_naive_gan();
+    std::fprintf(stderr, "[fig08] GCUT: training DoppelGANger + NaiveGAN...\n");
+    dg_model.fit(d.schema, d.data);
+    naive->fit(d.schema, d.data);
+    const int n = static_cast<int>(d.data.size());
+    print_histograms(
+        d.schema, 0, eval::attribute_marginal(d.data, d.schema, 0),
+        {{"DoppelGANger",
+          eval::attribute_marginal(dg_model.generate(n), d.schema, 0)},
+         {"NaiveGAN",
+          eval::attribute_marginal(naive->generate(n), d.schema, 0)}});
+  }
+
+  // WWT domain / access / agent (Figs 15-17).
+  {
+    const int t = 140;
+    const auto d = bench::wwt_data(bench::scaled(300), t);
+    auto cfg = bench::dg_config(t, 600, 5);
+    bench::DoppelGangerAdapter dg_model(cfg);
+    auto naive = bench::bench_naive_gan();
+    std::fprintf(stderr, "[fig08] WWT: training DoppelGANger + NaiveGAN...\n");
+    dg_model.fit(d.schema, d.data);
+    naive->fit(d.schema, d.data);
+    const int n = static_cast<int>(d.data.size());
+    const auto gen_dg = dg_model.generate(n);
+    const auto gen_ng = naive->generate(n);
+    for (int attr = 0; attr < 3; ++attr) {
+      print_histograms(
+          d.schema, attr, eval::attribute_marginal(d.data, d.schema, attr),
+          {{"DoppelGANger", eval::attribute_marginal(gen_dg, d.schema, attr)},
+           {"NaiveGAN", eval::attribute_marginal(gen_ng, d.schema, attr)}});
+    }
+  }
+
+  // MBA ISP / technology / state JSD across all five models (Figs 18-23).
+  {
+    const auto d = bench::mba_data();
+    auto models = bench::all_models(bench::mba_dg_config());
+    std::vector<data::Dataset> gens;
+    for (auto& m : models) {
+      std::fprintf(stderr, "[fig08] MBA: training %s...\n", m.name.c_str());
+      m.gen->fit(d.schema, d.data);
+      gens.push_back(m.gen->generate(static_cast<int>(d.data.size())));
+    }
+    std::printf("\n-- MBA JSD table (Figs 20/21/23) --\n");
+    std::printf("attribute");
+    for (const auto& m : models) std::printf(",%s", m.name.c_str());
+    std::printf("\n");
+    for (int attr = 0; attr < 3; ++attr) {
+      const auto real = eval::attribute_marginal(d.data, d.schema, attr);
+      std::printf("%s", d.schema.attributes[static_cast<size_t>(attr)].name.c_str());
+      for (const auto& g : gens) {
+        std::printf(",%.5f", eval::jsd(real, eval::attribute_marginal(g, d.schema, attr)));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nPaper shape: HMM/AR/RNN JSD ~ 0 by construction; DoppelGANger close "
+      "to them; NaiveGAN much worse (drops categories).\n");
+  return 0;
+}

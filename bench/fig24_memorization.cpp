@@ -1,0 +1,90 @@
+// Figures 24-26: DoppelGANger does not memorize. For random generated
+// samples we report the distance to the top-3 nearest training series (on
+// the per-sample max-normalized feature) and compare against the average
+// real-to-real nearest-neighbour distance: memorization would show
+// near-zero distances.
+#include <cmath>
+
+#include "common.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace dg;
+
+std::vector<float> norm_col(const data::Object& o, int k) {
+  auto col = data::feature_column(o, k);
+  float mx = 1e-9f;
+  for (float v : col) mx = std::max(mx, std::fabs(v));
+  for (float& v : col) v /= mx;
+  return col;
+}
+
+data::Dataset normalized(const data::Dataset& d, int k) {
+  data::Dataset out;
+  for (const auto& o : d) {
+    data::Object n;
+    n.attributes = o.attributes;
+    for (float v : norm_col(o, k)) n.features.push_back({v});
+    out.push_back(std::move(n));
+  }
+  return out;
+}
+
+void probe(const char* dataset_name, const data::Schema& schema,
+           const data::Dataset& train, core::DoppelGangerConfig cfg, int k) {
+  std::fprintf(stderr, "[fig24] training on %s...\n", dataset_name);
+  core::DoppelGanger model(schema, cfg);
+  model.fit(train);
+  const auto gen = model.generate(32);
+
+  const auto train_norm = normalized(train, k);
+  // Baseline: real-to-real nearest-neighbour distance (leave-one-out).
+  double real_nn = 0;
+  const int probes = std::min<int>(16, static_cast<int>(train.size()));
+  for (int i = 0; i < probes; ++i) {
+    const auto nn2 = eval::nearest_neighbors(
+        data::feature_column(train_norm[static_cast<size_t>(i)], 0), train_norm, 0, 2);
+    real_nn += nn2[1].second;  // skip self-match
+  }
+  real_nn /= probes;
+
+  double gen_nn = 0;
+  std::printf("\n-- %s --\n", dataset_name);
+  std::printf("sample,nn1_dist,nn2_dist,nn3_dist\n");
+  for (int i = 0; i < 8; ++i) {
+    const auto q = norm_col(gen[static_cast<size_t>(i)], k);
+    const auto nn3 = eval::nearest_neighbors(q, train_norm, 0, 3);
+    std::printf("%d,%.4f,%.4f,%.4f\n", i, nn3[0].second, nn3[1].second,
+                nn3[2].second);
+    gen_nn += nn3[0].second;
+  }
+  gen_nn /= 8;
+  std::printf("mean generated->train NN distance: %.4f\n", gen_nn);
+  std::printf("mean real->real NN distance:       %.4f\n", real_nn);
+  std::printf("memorization ratio (gen/real, >~1 means no memorization): %.2f\n",
+              gen_nn / (real_nn + 1e-12));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figures 24-26 — nearest-neighbour memorization probe");
+
+  {
+    const int t = 140;
+    const auto d = bench::wwt_data(bench::scaled(160), t);
+    probe("WWT", d.schema, d.data, bench::dg_config(t, 400, 5), 0);
+  }
+  {
+    const auto d = bench::gcut_data(bench::scaled(400));
+    probe("GCUT (cpu rate)", d.schema, d.data, bench::gcut_dg_config(), 0);
+  }
+  {
+    const auto d = bench::mba_data();
+    probe("MBA (traffic)", d.schema, d.data, bench::mba_dg_config(), 1);
+  }
+  std::printf(
+      "\nPaper shape: generated samples differ significantly from their "
+      "nearest training neighbours — DoppelGANger is not replaying data.\n");
+  return 0;
+}

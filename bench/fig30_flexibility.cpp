@@ -1,0 +1,97 @@
+// Figure 30 (+ §5.2 / §5.3.2): flexibility via attribute-generator
+// retraining. After training on WWT-like data, we retrain ONLY the attribute
+// generator against a target joint distribution over (domain x access) —
+// a discretized Gaussian bump centered on desktop traffic to
+// fr.wikipedia.org, as in the paper — and report the target vs generated
+// joint heatmaps plus evidence that the conditional time series survived.
+#include <cmath>
+
+#include "common.h"
+#include "eval/metrics.h"
+#include "nn/rng.h"
+
+namespace {
+using namespace dg;
+
+std::vector<double> joint_marginal(const data::Dataset& d, int n_dom, int n_acc) {
+  std::vector<double> m(static_cast<size_t>(n_dom * n_acc), 0.0);
+  for (const auto& o : d) {
+    const int dom = static_cast<int>(o.attributes[0]);
+    const int acc = static_cast<int>(o.attributes[1]);
+    m[static_cast<size_t>(dom * n_acc + acc)] += 1.0;
+  }
+  for (double& v : m) v /= static_cast<double>(d.size());
+  return m;
+}
+
+void print_joint(const char* label, const std::vector<double>& m, int n_dom,
+                 int n_acc) {
+  std::printf("%s (rows=domain 0..%d, cols=access 0..%d)\n", label, n_dom - 1,
+              n_acc - 1);
+  for (int dm = 0; dm < n_dom; ++dm) {
+    for (int a = 0; a < n_acc; ++a) {
+      std::printf("%s%.3f", a ? "," : "  ", m[static_cast<size_t>(dm * n_acc + a)]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 30 — retraining the attribute generator to a target joint");
+
+  const int t = 140;
+  const auto d = bench::wwt_data(bench::scaled(200), t);
+  const int n_dom = 9, n_acc = 3;
+
+  auto cfg = bench::dg_config(t, 500, 5);
+  core::DoppelGanger model(d.schema, cfg);
+  std::fprintf(stderr, "[fig30] initial training...\n");
+  model.fit(d.data);
+  const int max_lag = t / 2;
+  const auto ac_before = eval::mean_autocorrelation(model.generate(60), 0, max_lag);
+
+  // Target: discretized Gaussian bump centred on (fr.wikipedia.org, desktop)
+  // = (domain 4, access 1), exactly the paper's example.
+  std::vector<double> target(static_cast<size_t>(n_dom * n_acc));
+  double total = 0;
+  for (int dm = 0; dm < n_dom; ++dm) {
+    for (int a = 0; a < n_acc; ++a) {
+      const double dist2 = (dm - 4.0) * (dm - 4.0) / 4.0 + (a - 1.0) * (a - 1.0);
+      target[static_cast<size_t>(dm * n_acc + a)] = std::exp(-dist2);
+      total += target[static_cast<size_t>(dm * n_acc + a)];
+    }
+  }
+  for (double& v : target) v /= total;
+
+  // Retrain the attribute generator only (agent marginal kept empirical).
+  const auto agent_marginal = eval::attribute_marginal(d.data, d.schema, 2);
+  std::fprintf(stderr, "[fig30] retraining attribute generator...\n");
+  model.retrain_attributes(
+      [&](nn::Rng& rng) {
+        const int cell = rng.categorical(std::span<const double>(target));
+        const int agent = rng.categorical(std::span<const double>(agent_marginal));
+        return std::vector<float>{static_cast<float>(cell / n_acc),
+                                  static_cast<float>(cell % n_acc),
+                                  static_cast<float>(agent)};
+      },
+      bench::scaled(400));
+
+  const auto gen = model.generate(bench::scaled(600));
+  const auto got = joint_marginal(gen, n_dom, n_acc);
+
+  print_joint("Target", target, n_dom, n_acc);
+  std::printf("\n");
+  print_joint("Generated (after retraining)", got, n_dom, n_acc);
+  std::printf("\nJSD(target, generated) = %.4f\n", eval::jsd(target, got));
+
+  // The feature generator was untouched: temporal structure must survive.
+  const auto ac_after = eval::mean_autocorrelation(gen, 0, max_lag);
+  std::printf("autocorr MSE before vs after retraining: %.5f\n",
+              eval::mse(ac_before, ac_after));
+  std::printf(
+      "\nPaper shape: generated joint matches the arbitrary target while the "
+      "conditional time series distribution is unchanged.\n");
+  return 0;
+}

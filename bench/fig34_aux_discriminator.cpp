@@ -1,0 +1,57 @@
+// Figures 34-35: effect of the auxiliary discriminator on the generated
+// (max+min)/2 and (max-min)/2 distributions. With the auxiliary critic the
+// min/max "fake attribute" distributions match the real ones much better.
+#include "common.h"
+#include "data/encoding.h"
+#include "eval/metrics.h"
+
+namespace {
+using namespace dg;
+
+/// Per-sample (mid, half) of the first feature, in raw units.
+std::pair<std::vector<double>, std::vector<double>> minmax_stats(
+    const data::Dataset& d) {
+  std::vector<double> mid, half;
+  for (const auto& o : d) {
+    float mn = o.features[0][0], mx = o.features[0][0];
+    for (const auto& r : o.features) {
+      mn = std::min(mn, r[0]);
+      mx = std::max(mx, r[0]);
+    }
+    mid.push_back(0.5 * (mx + mn));
+    half.push_back(0.5 * (mx - mn));
+  }
+  return {mid, half};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figures 34-35 — auxiliary discriminator vs min/max fidelity");
+
+  const int t = 140;
+  const auto d = bench::wwt_data(bench::scaled(200), t);
+  const auto [real_mid, real_half] = minmax_stats(d.data);
+
+  std::printf("variant,w1_mid,w1_half,attr_jsd(domain)\n");
+  const auto real_dom = eval::attribute_marginal(d.data, d.schema, 0);
+  for (bool aux : {false, true}) {
+    auto cfg = bench::dg_config(t, 500, 5);
+    cfg.use_aux_discriminator = aux;
+    core::DoppelGanger model(d.schema, cfg);
+    std::fprintf(stderr, "[fig34] training %s auxiliary discriminator...\n",
+                 aux ? "WITH" : "WITHOUT");
+    model.fit(d.data);
+    const auto gen = model.generate(static_cast<int>(d.data.size()));
+    const auto [gen_mid, gen_half] = minmax_stats(gen);
+    std::printf("%s,%.1f,%.1f,%.4f\n", aux ? "with_aux" : "without_aux",
+                eval::wasserstein1(real_mid, gen_mid),
+                eval::wasserstein1(real_half, gen_half),
+                eval::jsd(real_dom, eval::attribute_marginal(gen, d.schema, 0)));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape: the auxiliary discriminator sharply improves the "
+      "(max+-min)/2 distributions (Figs 34-35) and attribute fidelity.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Throughput microbenchmarks (google-benchmark): the primitive costs behind
+// every experiment — matmul, LSTM step, critic forward/backward with
+// gradient penalty, one full DoppelGANger training iteration, and synthetic
+// sample generation.
+#include <benchmark/benchmark.h>
+
+#include "core/doppelganger.h"
+#include "core/wgan.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace {
+
+using namespace dg;
+using nn::Matrix;
+using nn::Var;
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  nn::Rng rng(1);
+  const Matrix a = rng.normal_matrix(n, n);
+  const Matrix b = rng.normal_matrix(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LstmStep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  nn::Rng rng(2);
+  nn::LstmCell cell(32, 64, rng);
+  const Var x(rng.normal_matrix(batch, 32), false);
+  auto s = cell.initial_state(batch);
+  for (auto _ : state) {
+    nn::NoGradGuard guard;
+    benchmark::DoNotOptimize(cell.step(x, s).h.value().data());
+  }
+}
+BENCHMARK(BM_LstmStep)->Arg(1)->Arg(32);
+
+void BM_CriticStepWithGradientPenalty(benchmark::State& state) {
+  nn::Rng rng(3);
+  nn::Mlp critic(512, 1, 128, 3, rng);
+  nn::Adam opt(critic.parameters());
+  const core::CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
+  const Matrix real = rng.uniform_matrix(32, 512);
+  const Matrix fake = rng.uniform_matrix(32, 512);
+  for (auto _ : state) {
+    Var loss = core::critic_loss(fn, real, fake, 10.0f, rng);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+}
+BENCHMARK(BM_CriticStepWithGradientPenalty);
+
+void BM_DoppelGangerTrainIteration(benchmark::State& state) {
+  auto d = synth::make_gcut({.n = 128, .t_max = 50});
+  core::DoppelGangerConfig cfg;
+  cfg.lstm_units = 64;
+  cfg.head_hidden = 64;
+  cfg.disc_hidden = 128;
+  cfg.disc_layers = 3;
+  cfg.sample_len = 5;
+  cfg.batch = 32;
+  cfg.iterations = 1;
+  core::DoppelGanger model(d.schema, cfg);
+  for (auto _ : state) {
+    model.fit_more(d.data, 1);
+  }
+}
+BENCHMARK(BM_DoppelGangerTrainIteration)->Unit(benchmark::kMillisecond);
+
+void BM_DoppelGangerGenerate(benchmark::State& state) {
+  auto d = synth::make_gcut({.n = 64, .t_max = 50});
+  core::DoppelGangerConfig cfg;
+  cfg.lstm_units = 64;
+  cfg.sample_len = 5;
+  cfg.batch = 32;
+  cfg.iterations = 2;
+  core::DoppelGanger model(d.schema, cfg);
+  model.fit(d.data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.generate(32));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DoppelGangerGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_SynthWwt(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::make_wwt({.n = 100, .t = 280}));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SynthWwt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

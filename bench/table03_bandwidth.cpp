@@ -1,0 +1,84 @@
+// Table 3 (+ Fig 9): Wasserstein-1 distance between the generated and real
+// CDFs of total two-week bandwidth for DSL and cable users (MBA-like data).
+// The paper's claim: DoppelGANger is closest to the real distribution for
+// both technologies; it also prints the CDFs themselves (Fig 9).
+#include <algorithm>
+
+#include "common.h"
+#include "eval/metrics.h"
+#include "synth/synth.h"
+
+namespace {
+
+std::vector<double> totals_for_tech(const dg::data::Dataset& data, int tech) {
+  std::vector<double> out;
+  for (const auto& o : data) {
+    if (static_cast<int>(o.attributes[0]) != tech) continue;
+    double s = 0;
+    for (const auto& r : o.features) s += r[1];
+    out.push_back(s * 1e-9);  // bytes -> GB
+  }
+  return out;
+}
+
+void print_cdf(const char* label, const std::vector<double>& vals) {
+  std::vector<double> v = vals;
+  std::sort(v.begin(), v.end());
+  std::printf("cdf,%s", label);
+  for (double gb = 0; gb <= 60.0; gb += 4.0) {
+    const auto it = std::upper_bound(v.begin(), v.end(), gb);
+    std::printf(",%.3f", static_cast<double>(it - v.begin()) / v.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dg;
+  bench::header("Table 3 / Figure 9 — MBA total bandwidth W1 distance (DSL vs cable)");
+
+  const auto d = bench::mba_data();
+  auto models = bench::all_models(bench::mba_dg_config());
+  std::vector<data::Dataset> gens;
+  for (auto& m : models) {
+    std::fprintf(stderr, "[table03] training %s...\n", m.name.c_str());
+    m.gen->fit(d.schema, d.data);
+    gens.push_back(m.gen->generate(static_cast<int>(d.data.size())));
+  }
+
+  const int techs[] = {synth::mba_tech::kDsl, synth::mba_tech::kCable};
+  const char* tech_names[] = {"DSL", "Cable"};
+
+  std::printf("technology");
+  for (const auto& m : models) std::printf(",%s", m.name.c_str());
+  std::printf("\n");
+  for (int ti = 0; ti < 2; ++ti) {
+    const auto real = totals_for_tech(d.data, techs[ti]);
+    std::printf("%s", tech_names[ti]);
+    for (const auto& g : gens) {
+      const auto fake = totals_for_tech(g, techs[ti]);
+      if (fake.empty()) {
+        std::printf(",inf");
+      } else {
+        std::printf(",%.3f", eval::wasserstein1(real, fake));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Fig 9: the CDFs themselves (0..60 GB grid).
+  std::printf("\nFigure 9 CDFs (columns: 0,4,...,60 GB)\n");
+  for (int ti = 0; ti < 2; ++ti) {
+    std::printf("-- %s --\n", tech_names[ti]);
+    print_cdf("Real", totals_for_tech(d.data, techs[ti]));
+    for (size_t i = 0; i < models.size(); ++i) {
+      const auto fake = totals_for_tech(gens[i], techs[ti]);
+      if (!fake.empty()) print_cdf(models[i].name.c_str(), fake);
+    }
+  }
+  std::printf(
+      "\nPaper shape: every model sees that cable > DSL; DoppelGANger has the "
+      "smallest W1 in both rows (Table 3: 0.68 / 0.74 vs baselines up to 8).\n");
+  return 0;
+}

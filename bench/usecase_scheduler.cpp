@@ -1,0 +1,55 @@
+// Use case (§2.1, task 1 — "algorithm design"): resource-allocation
+// algorithms are compared on workload traces; synthetic data is useful iff
+// the *ranking* of algorithms transfers. We rank three non-preemptive
+// schedulers (FIFO / SJF / LJF) by mean waiting time on real GCUT-like
+// traces and on DoppelGANger-generated traces, at several load levels, and
+// report the Spearman rank correlation.
+#include "common.h"
+#include "downstream/scheduler.h"
+#include "eval/metrics.h"
+#include "nn/rng.h"
+
+int main() {
+  using namespace dg;
+  bench::header("Use case §2.1 — scheduler ranking transfer (real vs generated)");
+
+  const auto d = bench::gcut_data();
+  bench::DoppelGangerAdapter model(bench::gcut_dg_config());
+  std::fprintf(stderr, "[usecase] training DoppelGANger...\n");
+  model.fit(d.schema, d.data);
+  const auto gen = model.generate(static_cast<int>(d.data.size()));
+
+  const downstream::SchedulingPolicy policies[] = {
+      downstream::SchedulingPolicy::Fifo,
+      downstream::SchedulingPolicy::ShortestJobFirst,
+      downstream::SchedulingPolicy::LargestJobFirst,
+  };
+
+  std::printf("load(mean_interarrival),policy,wait_real,wait_generated\n");
+  double rank_corr_total = 0;
+  int rank_corr_count = 0;
+  for (const double ia : {0.4, 0.8, 1.6}) {
+    std::vector<double> real_waits, gen_waits;
+    for (const auto p : policies) {
+      nn::Rng rng(bench::seed() + 500);  // identical arrival process
+      const auto real_jobs = downstream::jobs_from_dataset(d.data, 0, ia, rng);
+      nn::Rng rng2(bench::seed() + 500);
+      const auto gen_jobs = downstream::jobs_from_dataset(gen, 0, ia, rng2);
+      const auto mr = downstream::simulate_schedule(real_jobs, p, 8);
+      const auto mg = downstream::simulate_schedule(gen_jobs, p, 8);
+      real_waits.push_back(mr.mean_wait);
+      gen_waits.push_back(mg.mean_wait);
+      std::printf("%.1f,%s,%.2f,%.2f\n", ia,
+                  downstream::policy_name(p).c_str(), mr.mean_wait,
+                  mg.mean_wait);
+    }
+    rank_corr_total += eval::spearman(real_waits, gen_waits);
+    ++rank_corr_count;
+  }
+  std::printf("\nmean scheduler rank correlation (real vs generated): %.2f\n",
+              rank_corr_total / rank_corr_count);
+  std::printf(
+      "Shape to check: SJF < FIFO < LJF waits on both workloads at every "
+      "load, i.e. rank correlation ~ 1.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Flexibility use case (§5.2): a data consumer wants to study rare failure
+// events in a cluster trace. DoppelGANger lets them re-weight the attribute
+// distribution — the conditional time-series generator is untouched, so the
+// temporal shape of FAIL tasks stays realistic — and generate as many
+// failure samples as they need to train a failure predictor.
+#include <cstdio>
+
+#include "core/doppelganger.h"
+#include "downstream/classifiers.h"
+#include "downstream/tasks.h"
+#include "eval/metrics.h"
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace {
+using namespace dg;
+
+/// Fraction of FAIL-labelled test tasks the classifier recognizes.
+double fail_recall(downstream::Classifier& clf,
+                   const downstream::ClassificationTask& test) {
+  const auto pred = clf.predict(test.x);
+  int hit = 0, total = 0;
+  for (size_t i = 0; i < test.y.size(); ++i) {
+    if (test.y[i] != synth::gcut_event::kFail) continue;
+    ++total;
+    hit += (pred[i] == synth::gcut_event::kFail);
+  }
+  return total ? static_cast<double>(hit) / total : 0.0;
+}
+}  // namespace
+
+int main() {
+  const synth::SynthData real = synth::make_gcut({.n = 900, .t_max = 50});
+  const auto real_marginal = eval::attribute_marginal(real.data, real.schema, 0);
+  std::printf("real FAIL share: %.1f%%\n", 100 * real_marginal[synth::gcut_event::kFail]);
+
+  core::DoppelGangerConfig cfg;
+  cfg.sample_len = 5;
+  cfg.lstm_units = 48;
+  cfg.disc_hidden = 96;
+  cfg.disc_layers = 3;
+  cfg.batch = 32;
+  cfg.d_steps = 2;
+  cfg.iterations = 1100;
+  cfg.seed = 33;
+  core::DoppelGanger model(real.schema, cfg);
+  std::printf("training DoppelGANger...\n");
+  model.fit(real.data);
+
+  // Baseline synthetic data with the learned attribute mix.
+  const data::Dataset plain = model.generate(600);
+
+  // Re-weight: 60% FAIL, rest split as before. Only the attribute MLP is
+  // retrained; feature generation conditioned on FAIL is untouched.
+  std::printf("boosting FAIL events to 60%% of generated samples...\n");
+  std::vector<double> target = real_marginal;
+  const double keep = 0.4 / (1.0 - real_marginal[synth::gcut_event::kFail]);
+  for (size_t c = 0; c < target.size(); ++c) target[c] *= keep;
+  target[synth::gcut_event::kFail] = 0.6;
+  model.retrain_attributes(
+      [&](nn::Rng& rng) {
+        return std::vector<float>{
+            static_cast<float>(rng.categorical(std::span<const double>(target)))};
+      },
+      600);
+  const data::Dataset boosted = model.generate(600);
+  const auto boosted_marginal = eval::attribute_marginal(boosted, real.schema, 0);
+  std::printf("boosted FAIL share in generated data: %.1f%%\n",
+              100 * boosted_marginal[synth::gcut_event::kFail]);
+
+  // Does the extra failure data help a failure predictor on REAL tasks?
+  const synth::SynthData heldout = synth::make_gcut({.n = 400, .t_max = 50, .seed = 77});
+  const auto test = downstream::make_event_classification(heldout.schema,
+                                                          heldout.data, 0);
+  std::printf("\n%-22s %10s %12s\n", "training data", "accuracy", "FAIL recall");
+  for (const auto& [name, ds] :
+       {std::pair{"plain synthetic", &plain}, {"FAIL-boosted", &boosted}}) {
+    const auto task = downstream::make_event_classification(real.schema, *ds, 0);
+    auto clf = downstream::make_mlp_classifier({.epochs = 40, .seed = 5});
+    clf->fit(task.x, task.y, task.n_classes);
+    std::printf("%-22s %10.3f %12.3f\n", name,
+                downstream::accuracy(clf->predict(test.x), test.y),
+                fail_recall(*clf, test));
+  }
+  std::printf("\nBoosting rare events should raise FAIL recall — the paper's\n"
+              "flexibility story (generate more of what you need to study).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Unequally-spaced timestamps (§3's extension): model event traces whose
+// records arrive at irregular times by splicing the inter-arrival gap in as
+// an extra continuous feature, training DoppelGANger on the augmented
+// schema, and integrating generated gaps back into absolute timestamps.
+//
+// The synthetic "trace" here: bursty request logs — short gaps inside a
+// burst, long gaps between bursts — with a per-client class attribute that
+// controls burstiness.
+#include <cstdio>
+
+#include "core/doppelganger.h"
+#include "data/timestamps.h"
+#include "eval/metrics.h"
+#include "nn/rng.h"
+
+namespace {
+using namespace dg;
+
+struct Trace {
+  data::Schema schema;
+  data::Dataset data;
+  std::vector<data::TimestampSeries> stamps;
+};
+
+Trace make_bursty_traces(int n, uint64_t seed) {
+  Trace tr;
+  tr.schema.name = "requests";
+  tr.schema.max_timesteps = 30;
+  tr.schema.attributes = {data::categorical_field("client_class",
+                                                  {"interactive", "batch"})};
+  tr.schema.features = {data::continuous_field("bytes", 0.0f, 2000.0f)};
+  nn::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    data::Object o;
+    const int cls = rng.bernoulli(0.5) ? 1 : 0;
+    o.attributes = {static_cast<float>(cls)};
+    data::TimestampSeries ts;
+    double now = 0.0;
+    const int len = 20 + rng.uniform_int(11);
+    for (int t = 0; t < len; ++t) {
+      // Interactive clients: tight bursts with occasional think-time gaps.
+      // Batch clients: steady slow cadence.
+      double gap;
+      if (t == 0) {
+        gap = 0.0;
+      } else if (cls == 0) {
+        gap = rng.bernoulli(0.2) ? rng.uniform(5.0, 9.0) : rng.uniform(0.05, 0.4);
+      } else {
+        gap = rng.uniform(1.5, 3.0);
+      }
+      now += gap;
+      ts.push_back(now);
+      o.features.push_back({static_cast<float>(
+          rng.uniform(cls == 0 ? 100.0 : 800.0, cls == 0 ? 400.0 : 1800.0))});
+    }
+    tr.data.push_back(std::move(o));
+    tr.stamps.push_back(std::move(ts));
+  }
+  return tr;
+}
+
+double mean_gap(const std::vector<data::TimestampSeries>& stamps,
+                const data::Dataset& d, int cls) {
+  double total = 0;
+  long count = 0;
+  for (size_t i = 0; i < stamps.size(); ++i) {
+    if (static_cast<int>(d[i].attributes[0]) != cls) continue;
+    for (size_t t = 1; t < stamps[i].size(); ++t) {
+      total += stamps[i][t] - stamps[i][t - 1];
+      ++count;
+    }
+  }
+  return count ? total / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const Trace real = make_bursty_traces(300, 99);
+  std::printf("real mean inter-arrival: interactive %.2fs, batch %.2fs\n",
+              mean_gap(real.stamps, real.data, 0),
+              mean_gap(real.stamps, real.data, 1));
+
+  // 1. Splice the inter-arrival gaps in as feature 0.
+  const auto [aug_schema, aug_data] =
+      data::encode_interarrivals(real.schema, real.data, real.stamps, 10.0f);
+  std::printf("augmented schema has %d features (was %d)\n",
+              aug_schema.num_features(), real.schema.num_features());
+
+  // 2. Train DoppelGANger on the augmented dataset like any other.
+  core::DoppelGangerConfig cfg;
+  cfg.sample_len = 3;
+  cfg.lstm_units = 48;
+  cfg.disc_hidden = 96;
+  cfg.disc_layers = 3;
+  cfg.batch = 32;
+  cfg.d_steps = 2;
+  cfg.iterations = 1000;
+  cfg.seed = 17;
+  core::DoppelGanger model(aug_schema, cfg);
+  std::printf("training on timestamped traces...\n");
+  model.fit(aug_data);
+
+  // 3. Generate and integrate gaps back into absolute timestamps.
+  const auto generated = model.generate(300);
+  const auto [gen_data, gen_stamps] = data::decode_interarrivals(aug_schema, generated);
+
+  std::printf("generated mean inter-arrival: interactive %.2fs, batch %.2fs\n",
+              mean_gap(gen_stamps, gen_data, 0), mean_gap(gen_stamps, gen_data, 1));
+  std::printf("(shape to check: interactive << batch, as in the real trace)\n");
+  return 0;
+}

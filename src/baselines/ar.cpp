@@ -1,0 +1,205 @@
+// Nonlinear auto-regressive baseline (§5.0.1): an MLP learns
+// R_t = f(A, R_{t-1}, ..., R_{t-p}) plus a generation flag, trained with
+// teacher forcing; residual noise (fitted on training data) is injected at
+// generation time, and R_1 comes from a fitted Gaussian.
+#include <cmath>
+#include <optional>
+
+#include "baselines/generator.h"
+#include "baselines/series_scaling.h"
+#include "data/encoding.h"
+#include "data/split.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/rng.h"
+
+namespace dg::baselines {
+
+namespace {
+
+using nn::Matrix;
+using nn::Var;
+
+class Ar final : public Generator {
+ public:
+  explicit Ar(ArOptions opt) : opt_(opt), rng_(opt.seed + 7002) {}
+
+  void fit(const data::Schema& schema, const data::Dataset& train) override {
+    schema_ = schema;
+    attr_sampler_.emplace(train);
+    first_rec_.fit(schema, train);
+    k_ = schema.num_features();
+    attr_w_ = schema.attribute_dim();
+    const int in_dim = attr_w_ + opt_.order * k_;
+
+    nn::Rng init = rng_.fork();
+    net_ = nn::Mlp(in_dim, k_ + 2, opt_.hidden_units, opt_.hidden_layers, init);
+
+    // Teacher-forced training pairs.
+    const Matrix attrs = data::encode_attributes(schema, train);
+    std::vector<std::vector<float>> xs, ys;
+    const int use = std::min<int>(opt_.max_train_series,
+                                  static_cast<int>(train.size()));
+    for (int i = 0; i < use; ++i) {
+      const data::Object& o = train[static_cast<size_t>(i)];
+      std::vector<std::vector<float>> scaled;
+      scaled.reserve(o.features.size());
+      for (const auto& r : o.features) {
+        scaled.push_back(detail::scale_record(schema, r));
+      }
+      const int t_len = o.length();
+      for (int t = 0; t < t_len; ++t) {
+        std::vector<float> x(static_cast<size_t>(attr_w_ + opt_.order * k_), 0.0f);
+        for (int j = 0; j < attr_w_; ++j) x[static_cast<size_t>(j)] = attrs.at(i, j);
+        for (int lag = 1; lag <= opt_.order; ++lag) {
+          if (t - lag < 0) continue;
+          for (int d = 0; d < k_; ++d) {
+            x[static_cast<size_t>(attr_w_ + (lag - 1) * k_ + d)] =
+                scaled[static_cast<size_t>(t - lag)][static_cast<size_t>(d)];
+          }
+        }
+        std::vector<float> y(static_cast<size_t>(k_ + 2), 0.0f);
+        for (int d = 0; d < k_; ++d) y[static_cast<size_t>(d)] = scaled[static_cast<size_t>(t)][static_cast<size_t>(d)];
+        y[static_cast<size_t>(k_ + (t == t_len - 1 ? 1 : 0))] = 1.0f;
+        xs.push_back(std::move(x));
+        ys.push_back(std::move(y));
+      }
+    }
+
+    train_pairs(xs, ys);
+    fit_residuals(xs, ys);
+  }
+
+  data::Dataset generate(int n) override {
+    nn::NoGradGuard guard;
+    data::Dataset out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      data::Object o;
+      o.attributes = attr_sampler_->sample(rng_);
+      const Matrix attr_row =
+          data::encode_attribute_rows(schema_, {o.attributes});
+
+      std::vector<std::vector<float>> hist;  // scaled, newest last
+      hist.push_back(first_rec_.sample(rng_));
+      push_record(o, hist.back());
+      for (int t = 1; t < schema_.max_timesteps; ++t) {
+        Matrix x(1, attr_w_ + opt_.order * k_, 0.0f);
+        for (int j = 0; j < attr_w_; ++j) x.at(0, j) = attr_row.at(0, j);
+        for (int lag = 1; lag <= opt_.order; ++lag) {
+          const int hidx = static_cast<int>(hist.size()) - lag;
+          if (hidx < 0) continue;
+          for (int d = 0; d < k_; ++d) {
+            x.at(0, attr_w_ + (lag - 1) * k_ + d) =
+                hist[static_cast<size_t>(hidx)][static_cast<size_t>(d)];
+          }
+        }
+        const Var pred = forward_heads(Var(std::move(x), false));
+        std::vector<float> rec(static_cast<size_t>(k_));
+        for (int d = 0; d < k_; ++d) {
+          rec[static_cast<size_t>(d)] = std::clamp(
+              pred.value().at(0, d) +
+                  static_cast<float>(rng_.normal(0.0, resid_sd_[static_cast<size_t>(d)])),
+              0.0f, 1.0f);
+        }
+        const bool ended = pred.value().at(0, k_ + 1) > pred.value().at(0, k_);
+        hist.push_back(rec);
+        push_record(o, rec);
+        if (ended) break;
+      }
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  std::string name() const override { return "AR"; }
+
+ private:
+  Var forward_heads(const Var& x) const {
+    const Var raw = net_.forward(x);
+    std::vector<Var> parts{nn::sigmoid(nn::slice_cols(raw, 0, k_)),
+                           nn::softmax_rows(nn::slice_cols(raw, k_, k_ + 2))};
+    return nn::concat_cols(parts);
+  }
+
+  void push_record(data::Object& o, const std::vector<float>& scaled) const {
+    std::vector<float> raw(static_cast<size_t>(k_));
+    for (int d = 0; d < k_; ++d) {
+      raw[static_cast<size_t>(d)] =
+          detail::unscale_feature(schema_, d, scaled[static_cast<size_t>(d)]);
+    }
+    o.features.push_back(std::move(raw));
+  }
+
+  void train_pairs(const std::vector<std::vector<float>>& xs,
+                   const std::vector<std::vector<float>>& ys) {
+    nn::Adam opt(net_.parameters(), {.lr = opt_.lr});
+    const int n = static_cast<int>(xs.size());
+    const int bs = std::min(opt_.batch, n);
+    for (int e = 0; e < opt_.epochs; ++e) {
+      auto perm = rng_.permutation(n);
+      for (int start = 0; start + bs <= n; start += bs) {
+        Matrix xb(bs, static_cast<int>(xs[0].size()));
+        Matrix yf(bs, k_);
+        Matrix yflag(bs, 2);
+        for (int i = 0; i < bs; ++i) {
+          const auto& x = xs[static_cast<size_t>(perm[static_cast<size_t>(start + i)])];
+          const auto& y = ys[static_cast<size_t>(perm[static_cast<size_t>(start + i)])];
+          for (size_t j = 0; j < x.size(); ++j) xb.at(i, static_cast<int>(j)) = x[j];
+          for (int d = 0; d < k_; ++d) yf.at(i, d) = y[static_cast<size_t>(d)];
+          yflag.at(i, 0) = y[static_cast<size_t>(k_)];
+          yflag.at(i, 1) = y[static_cast<size_t>(k_ + 1)];
+        }
+        const Var raw = net_.forward(Var(std::move(xb), false));
+        // End flags are rare (one per series); upweight their loss so the
+        // termination head does not collapse to "always continue".
+        Var loss = nn::add(
+            nn::mse_loss(nn::sigmoid(nn::slice_cols(raw, 0, k_)), yf),
+            nn::mul_scalar(
+                nn::softmax_cross_entropy(nn::slice_cols(raw, k_, k_ + 2), yflag),
+                5.0f));
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+      }
+    }
+  }
+
+  void fit_residuals(const std::vector<std::vector<float>>& xs,
+                     const std::vector<std::vector<float>>& ys) {
+    nn::NoGradGuard guard;
+    resid_sd_.assign(static_cast<size_t>(k_), 0.0);
+    const int probe = std::min<int>(2000, static_cast<int>(xs.size()));
+    for (int i = 0; i < probe; ++i) {
+      Matrix x(1, static_cast<int>(xs[0].size()));
+      for (size_t j = 0; j < xs[static_cast<size_t>(i)].size(); ++j) {
+        x.at(0, static_cast<int>(j)) = xs[static_cast<size_t>(i)][j];
+      }
+      const Var pred = forward_heads(Var(std::move(x), false));
+      for (int d = 0; d < k_; ++d) {
+        const double r = ys[static_cast<size_t>(i)][static_cast<size_t>(d)] -
+                         pred.value().at(0, d);
+        resid_sd_[static_cast<size_t>(d)] += r * r;
+      }
+    }
+    for (double& v : resid_sd_) v = std::sqrt(v / probe);
+  }
+
+  ArOptions opt_;
+  nn::Rng rng_;
+  data::Schema schema_;
+  std::optional<data::EmpiricalAttributeSampler> attr_sampler_;
+  detail::FirstRecordGaussian first_rec_;
+  nn::Mlp net_;
+  std::vector<double> resid_sd_;
+  int k_ = 0;
+  int attr_w_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> make_ar(ArOptions opt) {
+  return std::make_unique<Ar>(opt);
+}
+
+}  // namespace dg::baselines

@@ -1,0 +1,78 @@
+// Common interface for the generative baselines of §5.0.1. All of them draw
+// attributes from the empirical joint distribution of the training data (as
+// the paper prescribes) because none can jointly model attributes+features.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/types.h"
+
+namespace dg::baselines {
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  virtual void fit(const data::Schema& schema, const data::Dataset& train) = 0;
+  virtual data::Dataset generate(int n) = 0;
+  virtual std::string name() const = 0;
+};
+
+struct HmmOptions {
+  int n_states = 8;
+  int em_iterations = 15;
+  int max_train_series = 200;  ///< Baum-Welch cost cap
+  uint64_t seed = 0;
+};
+std::unique_ptr<Generator> make_hmm(HmmOptions opt = {});
+
+struct ArOptions {
+  int order = 3;  ///< p: history length (paper Appendix B uses p = 3)
+  int hidden_units = 100;
+  int hidden_layers = 2;
+  int epochs = 4;
+  int batch = 128;
+  float lr = 1e-3f;
+  int max_train_series = 400;
+  uint64_t seed = 0;
+};
+std::unique_ptr<Generator> make_ar(ArOptions opt = {});
+
+struct RnnOptions {
+  int lstm_units = 64;
+  int epochs = 6;
+  int batch = 32;  ///< series per minibatch
+  float lr = 1e-3f;
+  int max_train_series = 256;
+  uint64_t seed = 0;
+};
+std::unique_ptr<Generator> make_rnn(RnnOptions opt = {});
+
+struct NaiveGanOptions {
+  int noise_dim = 10;
+  int hidden = 200;
+  int layers = 4;
+  float gp_weight = 10.0f;
+  float lr = 1e-3f;
+  int batch = 50;
+  int iterations = 300;
+  /// PacGAN-style packing: the critic judges `pack` samples jointly — the
+  /// known mode-collapse mitigation the paper reports trying (§4.1.3,
+  /// citing Lin et al. [56]). 1 = off.
+  int pack = 1;
+  uint64_t seed = 0;
+};
+std::unique_ptr<Generator> make_naive_gan(NaiveGanOptions opt = {});
+
+/// TES-style dynamic stationary process (§2.2, Melamed et al.): per feature,
+/// match the empirical marginal distribution and the lag-1 autocorrelation
+/// with a Gaussian-copula AR(1). The classical networking-community
+/// time-series model the paper discusses as prior art.
+struct TesOptions {
+  int max_train_series = 400;
+  int quantile_grid = 512;  ///< resolution of the stored empirical marginal
+  uint64_t seed = 0;
+};
+std::unique_ptr<Generator> make_tes(TesOptions opt = {});
+
+}  // namespace dg::baselines

@@ -1,0 +1,269 @@
+// Gaussian-emission hidden Markov model trained with Baum-Welch (§2.2's
+// Markov-model baseline). Attributes come from the empirical sampler; series
+// length emerges from per-state termination probabilities — a geometric-ish
+// model, which is precisely why HMMs miss bimodal durations (Fig 7/14).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "baselines/generator.h"
+#include "data/encoding.h"
+#include "data/split.h"
+#include "nn/rng.h"
+
+namespace dg::baselines {
+
+namespace {
+
+class Hmm final : public Generator {
+ public:
+  explicit Hmm(HmmOptions opt) : opt_(opt), rng_(opt.seed + 7001) {}
+
+  void fit(const data::Schema& schema, const data::Dataset& train) override {
+    schema_ = schema;
+    attr_sampler_.emplace(train);
+    k_ = schema.num_features();
+
+    // Scaled training series (cap count for Baum-Welch cost).
+    std::vector<std::vector<std::vector<double>>> seqs;
+    const int use = std::min<int>(opt_.max_train_series,
+                                  static_cast<int>(train.size()));
+    for (int i = 0; i < use; ++i) seqs.push_back(scale_series(train[i]));
+
+    init_params(seqs);
+    for (int it = 0; it < opt_.em_iterations; ++it) em_step(seqs);
+  }
+
+  data::Dataset generate(int n) override {
+    data::Dataset out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      data::Object o;
+      o.attributes = attr_sampler_->sample(rng_);
+      int state = rng_.categorical(std::span<const double>(pi_));
+      for (int t = 0; t < schema_.max_timesteps; ++t) {
+        std::vector<float> rec(static_cast<size_t>(k_));
+        for (int d = 0; d < k_; ++d) {
+          const double v =
+              rng_.normal(mu_[idx(state, d)], std::sqrt(var_[idx(state, d)]));
+          rec[static_cast<size_t>(d)] = unscale(d, v);
+        }
+        o.features.push_back(std::move(rec));
+        if (t + 1 >= schema_.max_timesteps) break;
+        if (rng_.bernoulli(p_end_[static_cast<size_t>(state)])) break;
+        state = rng_.categorical(
+            std::span<const double>(a_.data() + state * opt_.n_states,
+                                    static_cast<size_t>(opt_.n_states)));
+      }
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  std::string name() const override { return "HMM"; }
+
+ private:
+  size_t idx(int state, int dim) const {
+    return static_cast<size_t>(state) * k_ + dim;
+  }
+
+  std::vector<std::vector<double>> scale_series(const data::Object& o) const {
+    std::vector<std::vector<double>> s;
+    s.reserve(o.features.size());
+    for (const auto& rec : o.features) {
+      std::vector<double> r(static_cast<size_t>(k_));
+      for (int d = 0; d < k_; ++d) {
+        const data::FieldSpec& f = schema_.features[static_cast<size_t>(d)];
+        r[static_cast<size_t>(d)] =
+            f.type == data::FieldType::Continuous
+                ? data::scale01(f, rec[static_cast<size_t>(d)])
+                : rec[static_cast<size_t>(d)] / std::max(1, f.n_categories - 1);
+      }
+      s.push_back(std::move(r));
+    }
+    return s;
+  }
+
+  float unscale(int d, double v01) const {
+    const data::FieldSpec& f = schema_.features[static_cast<size_t>(d)];
+    if (f.type == data::FieldType::Continuous) {
+      return data::unscale01(f, static_cast<float>(v01));
+    }
+    const int c = static_cast<int>(std::lround(v01 * (f.n_categories - 1)));
+    return static_cast<float>(std::clamp(c, 0, f.n_categories - 1));
+  }
+
+  void init_params(const std::vector<std::vector<std::vector<double>>>& seqs) {
+    const int s = opt_.n_states;
+    pi_.assign(static_cast<size_t>(s), 1.0 / s);
+    a_.assign(static_cast<size_t>(s) * s, 1.0 / s);
+    mu_.assign(static_cast<size_t>(s) * k_, 0.0);
+    var_.assign(static_cast<size_t>(s) * k_, 0.05);
+    p_end_.assign(static_cast<size_t>(s), 0.05);
+    // Means from random records, jittered.
+    for (int st = 0; st < s; ++st) {
+      const auto& seq = seqs[rng_.uniform_int(static_cast<int>(seqs.size()))];
+      const auto& rec = seq[rng_.uniform_int(static_cast<int>(seq.size()))];
+      for (int d = 0; d < k_; ++d) {
+        mu_[idx(st, d)] = rec[static_cast<size_t>(d)] + rng_.normal(0.0, 0.02);
+      }
+    }
+  }
+
+  double emission_logp(int state, const std::vector<double>& rec) const {
+    double lp = 0.0;
+    for (int d = 0; d < k_; ++d) {
+      const double v = var_[idx(state, d)];
+      const double dlt = rec[static_cast<size_t>(d)] - mu_[idx(state, d)];
+      lp += -0.5 * (std::log(2.0 * M_PI * v) + dlt * dlt / v);
+    }
+    return lp;
+  }
+
+  void em_step(const std::vector<std::vector<std::vector<double>>>& seqs) {
+    const int s = opt_.n_states;
+    std::vector<double> pi_acc(static_cast<size_t>(s), 1e-8);
+    std::vector<double> a_acc(static_cast<size_t>(s) * s, 1e-8);
+    std::vector<double> mu_acc(static_cast<size_t>(s) * k_, 0.0);
+    std::vector<double> m2_acc(static_cast<size_t>(s) * k_, 0.0);
+    std::vector<double> g_acc(static_cast<size_t>(s), 1e-8);
+    std::vector<double> last_acc(static_cast<size_t>(s), 1e-8);
+
+    for (const auto& seq : seqs) {
+      const int t_len = static_cast<int>(seq.size());
+      // Emission probabilities, max-normalized per step for stability.
+      std::vector<double> b(static_cast<size_t>(t_len) * s);
+      for (int t = 0; t < t_len; ++t) {
+        double mx = -std::numeric_limits<double>::infinity();
+        std::vector<double> lp(static_cast<size_t>(s));
+        for (int st = 0; st < s; ++st) {
+          lp[static_cast<size_t>(st)] = emission_logp(st, seq[static_cast<size_t>(t)]);
+          mx = std::max(mx, lp[static_cast<size_t>(st)]);
+        }
+        for (int st = 0; st < s; ++st) {
+          b[static_cast<size_t>(t) * s + st] =
+              std::exp(lp[static_cast<size_t>(st)] - mx) + 1e-300;
+        }
+      }
+
+      // Scaled forward-backward.
+      std::vector<double> alpha(static_cast<size_t>(t_len) * s);
+      std::vector<double> beta(static_cast<size_t>(t_len) * s);
+      std::vector<double> scale(static_cast<size_t>(t_len));
+      for (int st = 0; st < s; ++st) {
+        alpha[static_cast<size_t>(st)] = pi_[static_cast<size_t>(st)] * b[static_cast<size_t>(st)];
+      }
+      scale[0] = 0;
+      for (int st = 0; st < s; ++st) scale[0] += alpha[static_cast<size_t>(st)];
+      for (int st = 0; st < s; ++st) alpha[static_cast<size_t>(st)] /= scale[0];
+      for (int t = 1; t < t_len; ++t) {
+        double total = 0;
+        for (int j = 0; j < s; ++j) {
+          double acc = 0;
+          for (int i = 0; i < s; ++i) {
+            acc += alpha[static_cast<size_t>(t - 1) * s + i] *
+                   a_[static_cast<size_t>(i) * s + j];
+          }
+          const double v = acc * b[static_cast<size_t>(t) * s + j];
+          alpha[static_cast<size_t>(t) * s + j] = v;
+          total += v;
+        }
+        scale[static_cast<size_t>(t)] = total + 1e-300;
+        for (int j = 0; j < s; ++j) {
+          alpha[static_cast<size_t>(t) * s + j] /= scale[static_cast<size_t>(t)];
+        }
+      }
+      for (int st = 0; st < s; ++st) {
+        beta[static_cast<size_t>(t_len - 1) * s + st] = 1.0;
+      }
+      for (int t = t_len - 2; t >= 0; --t) {
+        for (int i = 0; i < s; ++i) {
+          double acc = 0;
+          for (int j = 0; j < s; ++j) {
+            acc += a_[static_cast<size_t>(i) * s + j] *
+                   b[static_cast<size_t>(t + 1) * s + j] *
+                   beta[static_cast<size_t>(t + 1) * s + j];
+          }
+          beta[static_cast<size_t>(t) * s + i] = acc / scale[static_cast<size_t>(t + 1)];
+        }
+      }
+
+      // Accumulate statistics.
+      for (int t = 0; t < t_len; ++t) {
+        double norm = 0;
+        for (int st = 0; st < s; ++st) {
+          norm += alpha[static_cast<size_t>(t) * s + st] *
+                  beta[static_cast<size_t>(t) * s + st];
+        }
+        for (int st = 0; st < s; ++st) {
+          const double gamma = alpha[static_cast<size_t>(t) * s + st] *
+                               beta[static_cast<size_t>(t) * s + st] /
+                               (norm + 1e-300);
+          if (t == 0) pi_acc[static_cast<size_t>(st)] += gamma;
+          if (t == t_len - 1) last_acc[static_cast<size_t>(st)] += gamma;
+          g_acc[static_cast<size_t>(st)] += gamma;
+          for (int d = 0; d < k_; ++d) {
+            const double v = seq[static_cast<size_t>(t)][static_cast<size_t>(d)];
+            mu_acc[idx(st, d)] += gamma * v;
+            m2_acc[idx(st, d)] += gamma * v * v;
+          }
+        }
+      }
+      for (int t = 0; t + 1 < t_len; ++t) {
+        double norm = 0;
+        std::vector<double> xi(static_cast<size_t>(s) * s);
+        for (int i = 0; i < s; ++i) {
+          for (int j = 0; j < s; ++j) {
+            const double v = alpha[static_cast<size_t>(t) * s + i] *
+                             a_[static_cast<size_t>(i) * s + j] *
+                             b[static_cast<size_t>(t + 1) * s + j] *
+                             beta[static_cast<size_t>(t + 1) * s + j];
+            xi[static_cast<size_t>(i) * s + j] = v;
+            norm += v;
+          }
+        }
+        for (size_t e = 0; e < xi.size(); ++e) {
+          a_acc[e] += xi[e] / (norm + 1e-300);
+        }
+      }
+    }
+
+    // M-step.
+    double pi_total = 0;
+    for (double v : pi_acc) pi_total += v;
+    for (int st = 0; st < s; ++st) {
+      pi_[static_cast<size_t>(st)] = pi_acc[static_cast<size_t>(st)] / pi_total;
+      double row = 0;
+      for (int j = 0; j < s; ++j) row += a_acc[static_cast<size_t>(st) * s + j];
+      for (int j = 0; j < s; ++j) {
+        a_[static_cast<size_t>(st) * s + j] =
+            a_acc[static_cast<size_t>(st) * s + j] / row;
+      }
+      for (int d = 0; d < k_; ++d) {
+        const double g = g_acc[static_cast<size_t>(st)];
+        const double mu = mu_acc[idx(st, d)] / g;
+        mu_[idx(st, d)] = mu;
+        var_[idx(st, d)] = std::max(1e-4, m2_acc[idx(st, d)] / g - mu * mu);
+      }
+      p_end_[static_cast<size_t>(st)] = std::clamp(
+          last_acc[static_cast<size_t>(st)] / g_acc[static_cast<size_t>(st)],
+          1e-4, 0.9999);
+    }
+  }
+
+  HmmOptions opt_;
+  nn::Rng rng_;
+  data::Schema schema_;
+  std::optional<data::EmpiricalAttributeSampler> attr_sampler_;
+  int k_ = 0;
+  std::vector<double> pi_, a_, mu_, var_, p_end_;
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> make_hmm(HmmOptions opt) {
+  return std::make_unique<Hmm>(opt);
+}
+
+}  // namespace dg::baselines

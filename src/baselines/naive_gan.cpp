@@ -1,0 +1,146 @@
+// The "naive GAN" of §3.3: one MLP generator emits the whole flattened
+// object (attributes + every timestep, jointly), one MLP critic judges it,
+// trained with WGAN-GP. No decoupling, no batched RNN generation, no
+// auto-normalization — the architecture whose failures motivate DoppelGANger.
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "baselines/generator.h"
+#include "core/output_blocks.h"
+#include "core/wgan.h"
+#include "data/encoding.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/rng.h"
+
+namespace dg::baselines {
+
+namespace {
+
+using nn::Matrix;
+using nn::Var;
+
+class NaiveGan final : public Generator {
+ public:
+  explicit NaiveGan(NaiveGanOptions opt) : opt_(opt), rng_(opt.seed + 7004) {}
+
+  void fit(const data::Schema& schema, const data::Dataset& train) override {
+    codec_.emplace(schema, /*auto_normalize=*/false);
+    blocks_ = core::attribute_blocks(schema);
+    const auto rec = core::record_blocks(schema, /*autonorm=*/false);
+    const auto reps = core::repeat_blocks(rec, schema.max_timesteps);
+    blocks_.insert(blocks_.end(), reps.begin(), reps.end());
+    const int out_w = core::total_width(blocks_);
+
+    if (opt_.pack < 1) throw std::invalid_argument("NaiveGan: pack must be >= 1");
+    nn::Rng init = rng_.fork();
+    gen_ = nn::Mlp(opt_.noise_dim, out_w, opt_.hidden, opt_.layers, init);
+    // PacGAN packing: the critic sees `pack` samples side by side.
+    disc_ = nn::Mlp(out_w * opt_.pack, 1, opt_.hidden, opt_.layers, init);
+    nn::Adam g_opt(gen_.parameters(), {.lr = opt_.lr});
+    nn::Adam d_opt(disc_.parameters(), {.lr = opt_.lr});
+
+    const data::EncodedDataset enc = codec_->encode(train);
+    const int n = static_cast<int>(train.size());
+    const core::CriticFn dfn = [this](const Var& x) { return disc_.forward(x); };
+
+    for (int iter = 0; iter < opt_.iterations; ++iter) {
+      int b = std::min(opt_.batch, n);
+      b -= b % opt_.pack;  // packs must be whole
+      if (b < opt_.pack) b = opt_.pack;
+      auto idx = rng_.sample_without_replacement(n, std::min(b, n));
+      while (static_cast<int>(idx.size()) < b) idx.push_back(idx[0]);
+      Matrix real(b, enc.attributes.cols() + enc.features.cols());
+      for (int i = 0; i < b; ++i) {
+        for (int j = 0; j < enc.attributes.cols(); ++j) {
+          real.at(i, j) = enc.attributes.at(idx[static_cast<size_t>(i)], j);
+        }
+        for (int j = 0; j < enc.features.cols(); ++j) {
+          real.at(i, enc.attributes.cols() + j) =
+              enc.features.at(idx[static_cast<size_t>(i)], j);
+        }
+      }
+
+      Matrix fake;
+      {
+        nn::NoGradGuard guard;
+        fake = forward(b).value();
+      }
+      Var d_loss = core::critic_loss(dfn, packed(real), packed(fake),
+                                     opt_.gp_weight, rng_);
+      d_opt.zero_grad();
+      d_loss.backward();
+      d_opt.step();
+
+      Var g_loss = core::generator_loss(dfn, packed_var(forward(b)));
+      g_opt.zero_grad();
+      g_loss.backward();
+      g_opt.step();
+    }
+  }
+
+  data::Dataset generate(int n) override {
+    nn::NoGradGuard guard;
+    data::Dataset out;
+    out.reserve(static_cast<size_t>(n));
+    const int attr_w = codec_->attribute_dim();
+    int remaining = n;
+    while (remaining > 0) {
+      const int b = std::min(remaining, opt_.batch);
+      const Matrix flat = forward(b).value();
+      const Matrix attrs = nn::slice_cols(flat, 0, attr_w);
+      const Matrix feats = nn::slice_cols(flat, attr_w, flat.cols());
+      // decode() discards everything past the first end flag (the paper's
+      // post-processing for the naive GAN).
+      data::Dataset chunk = codec_->decode(attrs, Matrix(b, 0), feats);
+      for (auto& o : chunk) out.push_back(std::move(o));
+      remaining -= b;
+    }
+    return out;
+  }
+
+  std::string name() const override { return "NaiveGAN"; }
+
+ private:
+  Var forward(int b) {
+    const Var z = nn::constant(rng_.normal_matrix(b, opt_.noise_dim));
+    return core::apply_blocks(gen_.forward(z), blocks_);
+  }
+
+  /// Row-major [n,d] -> [n/pack, pack*d] is a pure reshape of the buffer.
+  Matrix packed(const Matrix& m) const {
+    if (opt_.pack == 1) return m;
+    Matrix out(m.rows() / opt_.pack, m.cols() * opt_.pack);
+    std::copy(m.flat().begin(), m.flat().end(), out.flat().begin());
+    return out;
+  }
+
+  /// Differentiable pack: concatenate `pack` row-slices side by side.
+  Var packed_var(const Var& v) const {
+    if (opt_.pack == 1) return v;
+    const int groups = v.rows() / opt_.pack;
+    std::vector<Var> parts;
+    parts.reserve(static_cast<size_t>(opt_.pack));
+    for (int p = 0; p < opt_.pack; ++p) {
+      // rows p, p+pack, ... -> contiguous block per pack slot
+      parts.push_back(nn::slice_rows(v, p * groups, (p + 1) * groups));
+    }
+    return nn::concat_cols(parts);
+  }
+
+  NaiveGanOptions opt_;
+  nn::Rng rng_;
+  std::optional<data::GanCodec> codec_;
+  std::vector<core::OutputBlock> blocks_;
+  nn::Mlp gen_;
+  nn::Mlp disc_;
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> make_naive_gan(NaiveGanOptions opt) {
+  return std::make_unique<NaiveGan>(opt);
+}
+
+}  // namespace dg::baselines

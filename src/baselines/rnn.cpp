@@ -1,0 +1,205 @@
+// RNN baseline (§5.0.1): an LSTM trained with teacher forcing to predict the
+// next record (plus a generation flag) from the previous one and the
+// attributes. Generation is autoregressive and — beyond the Gaussian first
+// record — deterministic, which is why it learns over-simplified length and
+// mode structure (the paper's observation).
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "baselines/generator.h"
+#include "baselines/series_scaling.h"
+#include "data/encoding.h"
+#include "data/split.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/rng.h"
+
+namespace dg::baselines {
+
+namespace {
+
+using nn::Matrix;
+using nn::Var;
+
+class RnnBaseline final : public Generator {
+ public:
+  explicit RnnBaseline(RnnOptions opt) : opt_(opt), rng_(opt.seed + 7003) {}
+
+  void fit(const data::Schema& schema, const data::Dataset& train) override {
+    schema_ = schema;
+    attr_sampler_.emplace(train);
+    first_rec_.fit(schema, train);
+    k_ = schema.num_features();
+    attr_w_ = schema.attribute_dim();
+
+    nn::Rng init = rng_.fork();
+    lstm_ = nn::LstmCell(attr_w_ + k_, opt_.lstm_units, init);
+    head_ = nn::Mlp(opt_.lstm_units, k_ + 2, opt_.lstm_units, 1, init);
+
+    const int use = std::min<int>(opt_.max_train_series,
+                                  static_cast<int>(train.size()));
+    const Matrix attrs = data::encode_attributes(schema, train);
+
+    std::vector<Var> params = lstm_.parameters();
+    auto hp = head_.parameters();
+    params.insert(params.end(), hp.begin(), hp.end());
+    nn::Adam opt(params, {.lr = opt_.lr});
+
+    std::vector<int> order(static_cast<size_t>(use));
+    for (int i = 0; i < use; ++i) order[static_cast<size_t>(i)] = i;
+
+    for (int e = 0; e < opt_.epochs; ++e) {
+      auto perm = rng_.permutation(use);
+      for (int start = 0; start < use; start += opt_.batch) {
+        const int b = std::min(opt_.batch, use - start);
+        std::vector<const data::Object*> batch;
+        int t_max = 0;
+        Matrix battr(b, attr_w_);
+        for (int i = 0; i < b; ++i) {
+          const int idx = perm[static_cast<size_t>(start + i)];
+          batch.push_back(&train[static_cast<size_t>(idx)]);
+          t_max = std::max(t_max, batch.back()->length());
+          for (int j = 0; j < attr_w_; ++j) battr.at(i, j) = attrs.at(idx, j);
+        }
+
+        // Pre-scale the batch.
+        std::vector<std::vector<std::vector<float>>> scaled(
+            static_cast<size_t>(b));
+        for (int i = 0; i < b; ++i) {
+          for (const auto& r : batch[static_cast<size_t>(i)]->features) {
+            scaled[static_cast<size_t>(i)].push_back(
+                detail::scale_record(schema, r));
+          }
+        }
+
+        nn::LstmState st = lstm_.initial_state(b);
+        Var loss = nn::zeros(1, 1);
+        Matrix prev(b, k_, 0.0f);
+        float mask_total = 0.0f;
+        for (int t = 0; t < t_max; ++t) {
+          const Matrix in_prev = prev;
+          Matrix target_f(b, k_, 0.0f);
+          Matrix target_flag(b, 2, 0.0f);
+          Matrix mask(b, 1, 0.0f);
+          for (int i = 0; i < b; ++i) {
+            const int len = batch[static_cast<size_t>(i)]->length();
+            if (t >= len) continue;
+            mask.at(i, 0) = 1.0f;
+            mask_total += 1.0f;
+            for (int d = 0; d < k_; ++d) {
+              target_f.at(i, d) =
+                  scaled[static_cast<size_t>(i)][static_cast<size_t>(t)]
+                        [static_cast<size_t>(d)];
+            }
+            target_flag.at(i, t == len - 1 ? 1 : 0) = 1.0f;
+            for (int d = 0; d < k_; ++d) prev.at(i, d) = target_f.at(i, d);
+          }
+
+          const Matrix* parts[] = {&battr, &in_prev};
+          st = lstm_.step(nn::constant(nn::concat_cols(parts)), st);
+          const Var raw = head_.forward(st.h);
+          const Var pf = nn::sigmoid(nn::slice_cols(raw, 0, k_));
+          const Var pflag = nn::slice_cols(raw, k_, k_ + 2);
+
+          const Var maskv = nn::constant(mask);
+          Var se = nn::sum(nn::mul_colvec(
+              nn::square(nn::sub(pf, nn::constant(target_f))), maskv));
+          // Masked cross-entropy on the flags.
+          Var logp = nn::log_(nn::add_scalar(nn::softmax_rows(pflag), 1e-9f));
+          // End flags are rare (one per series); upweight them so the
+          // termination head does not collapse to "always continue".
+          Var ce = nn::mul_scalar(
+              nn::neg(nn::sum(nn::mul_colvec(
+                  nn::row_sum(nn::mul(logp, nn::constant(target_flag))), maskv))),
+              5.0f);
+          loss = nn::add(loss, nn::add(se, ce));
+        }
+        loss = nn::mul_scalar(loss, 1.0f / std::max(1.0f, mask_total));
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+      }
+    }
+  }
+
+  data::Dataset generate(int n) override {
+    nn::NoGradGuard guard;
+    data::Dataset out;
+    out.reserve(static_cast<size_t>(n));
+    // Batched autoregressive rollout with per-row done flags.
+    for (int start = 0; start < n; start += opt_.batch) {
+      const int b = std::min(opt_.batch, n - start);
+      std::vector<data::Object> objs(static_cast<size_t>(b));
+      Matrix battr(b, attr_w_);
+      Matrix prev(b, k_, 0.0f);
+      std::vector<bool> done(static_cast<size_t>(b), false);
+      for (int i = 0; i < b; ++i) {
+        objs[static_cast<size_t>(i)].attributes = attr_sampler_->sample(rng_);
+        const Matrix row = data::encode_attribute_rows(
+            schema_, {objs[static_cast<size_t>(i)].attributes});
+        for (int j = 0; j < attr_w_; ++j) battr.at(i, j) = row.at(0, j);
+        const auto r1 = first_rec_.sample(rng_);
+        for (int d = 0; d < k_; ++d) prev.at(i, d) = r1[static_cast<size_t>(d)];
+        push_record(objs[static_cast<size_t>(i)], r1);
+      }
+
+      nn::LstmState st = lstm_.initial_state(b);
+      for (int t = 1; t < schema_.max_timesteps; ++t) {
+        const Matrix* parts[] = {&battr, &prev};
+        st = lstm_.step(nn::constant(nn::concat_cols(parts)), st);
+        const Var raw = head_.forward(st.h);
+        const Var pf = nn::sigmoid(nn::slice_cols(raw, 0, k_));
+        const Var pflag = nn::softmax_rows(nn::slice_cols(raw, k_, k_ + 2));
+        bool all_done = true;
+        for (int i = 0; i < b; ++i) {
+          if (done[static_cast<size_t>(i)]) continue;
+          std::vector<float> rec(static_cast<size_t>(k_));
+          for (int d = 0; d < k_; ++d) {
+            rec[static_cast<size_t>(d)] = pf.value().at(i, d);
+            prev.at(i, d) = rec[static_cast<size_t>(d)];
+          }
+          push_record(objs[static_cast<size_t>(i)], rec);
+          if (pflag.value().at(i, 1) > pflag.value().at(i, 0)) {
+            done[static_cast<size_t>(i)] = true;
+          } else {
+            all_done = false;
+          }
+        }
+        if (all_done) break;
+      }
+      for (auto& o : objs) out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  std::string name() const override { return "RNN"; }
+
+ private:
+  void push_record(data::Object& o, const std::vector<float>& scaled) const {
+    std::vector<float> raw(static_cast<size_t>(k_));
+    for (int d = 0; d < k_; ++d) {
+      raw[static_cast<size_t>(d)] =
+          detail::unscale_feature(schema_, d, scaled[static_cast<size_t>(d)]);
+    }
+    o.features.push_back(std::move(raw));
+  }
+
+  RnnOptions opt_;
+  nn::Rng rng_;
+  data::Schema schema_;
+  std::optional<data::EmpiricalAttributeSampler> attr_sampler_;
+  detail::FirstRecordGaussian first_rec_;
+  nn::LstmCell lstm_;
+  nn::Mlp head_;
+  int k_ = 0;
+  int attr_w_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> make_rnn(RnnOptions opt) {
+  return std::make_unique<RnnBaseline>(opt);
+}
+
+}  // namespace dg::baselines

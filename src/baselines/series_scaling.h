@@ -1,0 +1,73 @@
+// Internal helpers shared by the sequence baselines: schema-based [0,1]
+// scaling of feature records and first-record Gaussian fitting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/encoding.h"
+#include "data/types.h"
+#include "nn/rng.h"
+
+namespace dg::baselines::detail {
+
+inline float scale_feature(const data::Schema& schema, int d, float raw) {
+  const data::FieldSpec& f = schema.features[static_cast<size_t>(d)];
+  if (f.type == data::FieldType::Continuous) return data::scale01(f, raw);
+  return raw / std::max(1, f.n_categories - 1);
+}
+
+inline float unscale_feature(const data::Schema& schema, int d, float v01) {
+  const data::FieldSpec& f = schema.features[static_cast<size_t>(d)];
+  if (f.type == data::FieldType::Continuous) {
+    return data::unscale01(f, v01);
+  }
+  const int c = static_cast<int>(std::lround(v01 * (f.n_categories - 1)));
+  return static_cast<float>(std::clamp(c, 0, f.n_categories - 1));
+}
+
+inline std::vector<float> scale_record(const data::Schema& schema,
+                                       const std::vector<float>& rec) {
+  std::vector<float> out(rec.size());
+  for (size_t d = 0; d < rec.size(); ++d) {
+    out[d] = scale_feature(schema, static_cast<int>(d), rec[d]);
+  }
+  return out;
+}
+
+/// Per-dimension mean/std of the first (scaled) record — the paper draws R1
+/// from a Gaussian fitted on training data for the AR and RNN baselines.
+struct FirstRecordGaussian {
+  std::vector<double> mu;
+  std::vector<double> sd;
+
+  void fit(const data::Schema& schema, const data::Dataset& train) {
+    const size_t k = schema.features.size();
+    mu.assign(k, 0.0);
+    sd.assign(k, 0.0);
+    for (const data::Object& o : train) {
+      const auto r = scale_record(schema, o.features.front());
+      for (size_t d = 0; d < k; ++d) mu[d] += r[d];
+    }
+    for (size_t d = 0; d < k; ++d) mu[d] /= static_cast<double>(train.size());
+    for (const data::Object& o : train) {
+      const auto r = scale_record(schema, o.features.front());
+      for (size_t d = 0; d < k; ++d) sd[d] += (r[d] - mu[d]) * (r[d] - mu[d]);
+    }
+    for (size_t d = 0; d < k; ++d) {
+      sd[d] = std::sqrt(sd[d] / static_cast<double>(train.size())) + 1e-4;
+    }
+  }
+
+  std::vector<float> sample(nn::Rng& rng) const {
+    std::vector<float> out(mu.size());
+    for (size_t d = 0; d < mu.size(); ++d) {
+      out[d] = static_cast<float>(
+          std::clamp(rng.normal(mu[d], sd[d]), 0.0, 1.0));
+    }
+    return out;
+  }
+};
+
+}  // namespace dg::baselines::detail

@@ -1,0 +1,125 @@
+// TES-style baseline (Transform-Expand-Sample family, §2.2): for each
+// feature it stores the empirical marginal (as a quantile grid) and the
+// lag-1 autocorrelation, then generates with a Gaussian-copula AR(1):
+//   z_t = rho * z_{t-1} + sqrt(1-rho^2) * eps_t,   x_t = Q(Phi(z_t)).
+// Exactly the class of "dynamic stationary process" models the paper argues
+// cannot capture long-range or cross-signal structure.
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "baselines/generator.h"
+#include "data/split.h"
+#include "nn/rng.h"
+
+namespace dg::baselines {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+class Tes final : public Generator {
+ public:
+  explicit Tes(TesOptions opt) : opt_(opt), rng_(opt.seed + 7005) {}
+
+  void fit(const data::Schema& schema, const data::Dataset& train) override {
+    schema_ = schema;
+    attr_sampler_.emplace(train);
+    length_sampler_.emplace(train);
+    const int k = schema.num_features();
+    quantiles_.assign(static_cast<size_t>(k), {});
+    rho_.assign(static_cast<size_t>(k), 0.0);
+
+    const int use = std::min<int>(opt_.max_train_series,
+                                  static_cast<int>(train.size()));
+    for (int f = 0; f < k; ++f) {
+      std::vector<float> values;
+      double num = 0, den = 0, mean = 0;
+      long count = 0;
+      for (int i = 0; i < use; ++i) {
+        for (const auto& rec : train[static_cast<size_t>(i)].features) {
+          mean += rec[static_cast<size_t>(f)];
+          ++count;
+        }
+      }
+      mean /= std::max<long>(1, count);
+      for (int i = 0; i < use; ++i) {
+        const auto col = data::feature_column(train[static_cast<size_t>(i)], f);
+        for (size_t t = 0; t < col.size(); ++t) {
+          values.push_back(col[t]);
+          den += (col[t] - mean) * (col[t] - mean);
+          if (t + 1 < col.size()) {
+            num += (col[t] - mean) * (col[t + 1] - mean);
+          }
+        }
+      }
+      rho_[static_cast<size_t>(f)] =
+          den > 1e-12 ? std::clamp(num / den, -0.999, 0.999) : 0.0;
+
+      // Quantile grid of the empirical marginal.
+      std::sort(values.begin(), values.end());
+      auto& q = quantiles_[static_cast<size_t>(f)];
+      q.resize(static_cast<size_t>(opt_.quantile_grid));
+      for (int g = 0; g < opt_.quantile_grid; ++g) {
+        const double u = (g + 0.5) / opt_.quantile_grid;
+        q[static_cast<size_t>(g)] =
+            values[static_cast<size_t>(u * (values.size() - 1))];
+      }
+    }
+  }
+
+  data::Dataset generate(int n) override {
+    data::Dataset out;
+    out.reserve(static_cast<size_t>(n));
+    const int k = schema_.num_features();
+    for (int i = 0; i < n; ++i) {
+      data::Object o;
+      o.attributes = attr_sampler_->sample(rng_);
+      const int len = length_sampler_->sample(rng_);
+      std::vector<double> z(static_cast<size_t>(k));
+      for (double& v : z) v = rng_.normal();
+      for (int t = 0; t < len; ++t) {
+        std::vector<float> rec(static_cast<size_t>(k));
+        for (int f = 0; f < k; ++f) {
+          if (t > 0) {
+            const double rho = rho_[static_cast<size_t>(f)];
+            z[static_cast<size_t>(f)] =
+                rho * z[static_cast<size_t>(f)] +
+                std::sqrt(1.0 - rho * rho) * rng_.normal();
+          }
+          rec[static_cast<size_t>(f)] = quantile(f, phi(z[static_cast<size_t>(f)]));
+        }
+        o.features.push_back(std::move(rec));
+      }
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  std::string name() const override { return "TES"; }
+
+ private:
+  float quantile(int f, double u) const {
+    const auto& q = quantiles_[static_cast<size_t>(f)];
+    const int idx = std::clamp(static_cast<int>(u * opt_.quantile_grid), 0,
+                               opt_.quantile_grid - 1);
+    return q[static_cast<size_t>(idx)];
+  }
+
+  TesOptions opt_;
+  nn::Rng rng_;
+  data::Schema schema_;
+  std::optional<data::EmpiricalAttributeSampler> attr_sampler_;
+  std::optional<data::EmpiricalLengthSampler> length_sampler_;
+  std::vector<std::vector<float>> quantiles_;
+  std::vector<double> rho_;
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> make_tes(TesOptions opt) {
+  return std::make_unique<Tes>(opt);
+}
+
+}  // namespace dg::baselines

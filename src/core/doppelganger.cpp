@@ -1,0 +1,385 @@
+#include "core/doppelganger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/wgan.h"
+#include "nn/serialize.h"
+
+namespace dg::core {
+
+namespace {
+using nn::Matrix;
+using nn::Var;
+
+Matrix take_rows(const Matrix& x, std::span<const int> idx) {
+  Matrix out(static_cast<int>(idx.size()), x.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      out.at(static_cast<int>(i), j) = x.at(idx[i], j);
+    }
+  }
+  return out;
+}
+
+Matrix hcat(const Matrix& a, const Matrix& b) {
+  const Matrix* parts[] = {&a, &b};
+  return nn::concat_cols(parts);
+}
+
+Matrix hcat(const Matrix& a, const Matrix& b, const Matrix& c) {
+  const Matrix* parts[] = {&a, &b, &c};
+  return nn::concat_cols(parts);
+}
+}  // namespace
+
+DoppelGanger::DoppelGanger(data::Schema schema, DoppelGangerConfig cfg)
+    : cfg_(cfg),
+      codec_(std::move(schema), cfg.use_minmax_generator),
+      rng_(cfg.seed) {
+  const data::Schema& s = codec_.schema();
+  minmax_enabled_ = cfg_.use_minmax_generator && codec_.minmax_dim() > 0;
+
+  attr_blocks_ = attribute_blocks(s);
+  minmax_blocks_ = minmax_blocks(s);
+  const auto rec = record_blocks(s, minmax_enabled_);
+  record_width_ = total_width(rec);
+  if (record_width_ != codec_.record_width()) {
+    throw std::logic_error("DoppelGanger: record width disagreement");
+  }
+  if (cfg_.sample_len <= 0 || cfg_.sample_len > s.max_timesteps) {
+    throw std::invalid_argument("DoppelGanger: bad sample_len (S)");
+  }
+  steps_per_series_ =
+      (s.max_timesteps + cfg_.sample_len - 1) / cfg_.sample_len;
+  step_blocks_ = repeat_blocks(rec, cfg_.sample_len);
+
+  nn::Rng init = rng_.fork();
+  const int attr_w = codec_.attribute_dim();
+  const int mm_w = minmax_enabled_ ? codec_.minmax_dim() : 0;
+
+  attr_gen_ = nn::Mlp(cfg_.attr_noise_dim, attr_w, cfg_.attr_hidden,
+                      cfg_.attr_layers, init);
+  if (minmax_enabled_) {
+    minmax_gen_ = nn::Mlp(attr_w + cfg_.minmax_noise_dim, mm_w,
+                          cfg_.minmax_hidden, cfg_.minmax_layers, init);
+  }
+  lstm_ = nn::LstmCell(attr_w + mm_w + cfg_.feat_noise_dim, cfg_.lstm_units, init);
+  head_ = nn::Mlp(cfg_.lstm_units, cfg_.sample_len * record_width_,
+                  cfg_.head_hidden, 1, init);
+
+  const int full_w = attr_w + mm_w + codec_.feature_row_dim();
+  disc_ = nn::Mlp(full_w, 1, cfg_.disc_hidden, cfg_.disc_layers, init);
+  if (cfg_.use_aux_discriminator) {
+    aux_disc_ = nn::Mlp(attr_w + mm_w, 1, cfg_.disc_hidden, cfg_.disc_layers, init);
+  }
+
+  g_opt_ = nn::Adam(generator_parameters(), {.lr = cfg_.lr});
+  d_opt_ = nn::Adam(disc_.parameters(), {.lr = cfg_.lr});
+  if (cfg_.use_aux_discriminator) {
+    aux_opt_ = nn::Adam(aux_disc_.parameters(), {.lr = cfg_.lr});
+  }
+}
+
+std::vector<nn::Var> DoppelGanger::generator_parameters() const {
+  std::vector<Var> params = attr_gen_.parameters();
+  if (minmax_enabled_) {
+    auto p = minmax_gen_.parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  auto pl = lstm_.parameters();
+  params.insert(params.end(), pl.begin(), pl.end());
+  auto ph = head_.parameters();
+  params.insert(params.end(), ph.begin(), ph.end());
+  return params;
+}
+
+Var DoppelGanger::noise(int n, int dim) {
+  return nn::constant(rng_.normal_matrix(n, dim));
+}
+
+DoppelGanger::GenOut DoppelGanger::forward(int n) {
+  GenOut out;
+  out.attributes =
+      apply_blocks(attr_gen_.forward(noise(n, cfg_.attr_noise_dim)), attr_blocks_);
+  if (minmax_enabled_) {
+    std::vector<Var> in{out.attributes, noise(n, cfg_.minmax_noise_dim)};
+    out.minmax =
+        apply_blocks(minmax_gen_.forward(nn::concat_cols(in)), minmax_blocks_);
+  } else {
+    out.minmax = nn::constant(Matrix(n, 0));
+  }
+
+  std::vector<Var> cond_parts{out.attributes, out.minmax};
+  const Var cond = nn::concat_cols(cond_parts);
+
+  nn::LstmState st = lstm_.initial_state(n);
+  std::vector<Var> records;
+  records.reserve(static_cast<size_t>(codec_.tmax()));
+  // Differentiable continuation mask: record t is scaled by the product of
+  // all previous records' continue-flag probabilities, so generated series
+  // fade to zero after the end flag fires — matching real zero-padding.
+  Var mask = nn::ones(n, 1);
+  for (int step = 0; step < steps_per_series_; ++step) {
+    std::vector<Var> in{cond, noise(n, cfg_.feat_noise_dim)};
+    st = lstm_.step(nn::concat_cols(in), st);
+    Var block = apply_blocks(head_.forward(st.h), step_blocks_);
+    for (int s = 0; s < cfg_.sample_len; ++s) {
+      if (static_cast<int>(records.size()) >= codec_.tmax()) break;
+      Var rec = nn::mul_colvec(
+          nn::slice_cols(block, s * record_width_, (s + 1) * record_width_),
+          mask);
+      // The masked continue flag *is* the next mask (mask * p_continue).
+      mask = nn::slice_cols(rec, record_width_ - 2, record_width_ - 1);
+      records.push_back(std::move(rec));
+    }
+  }
+  out.features = nn::concat_cols(records);
+  return out;
+}
+
+data::Dataset DoppelGanger::generate(int n) {
+  nn::NoGradGuard guard;
+  data::Dataset out;
+  out.reserve(static_cast<size_t>(n));
+  int remaining = n;
+  while (remaining > 0) {
+    const int b = std::min(remaining, cfg_.batch);
+    GenOut g = forward(b);
+    data::Dataset chunk =
+        codec_.decode(g.attributes.value(), g.minmax.value(), g.features.value());
+    for (auto& o : chunk) out.push_back(std::move(o));
+    remaining -= b;
+  }
+  return out;
+}
+
+data::Dataset DoppelGanger::generate_conditional(
+    int n, const std::function<bool(const data::Object&)>& accept,
+    int max_batches) {
+  data::Dataset out;
+  out.reserve(static_cast<size_t>(n));
+  for (int round = 0; round < max_batches && static_cast<int>(out.size()) < n;
+       ++round) {
+    data::Dataset batch = generate(cfg_.batch);
+    for (auto& o : batch) {
+      if (static_cast<int>(out.size()) >= n) break;
+      if (accept(o)) out.push_back(std::move(o));
+    }
+  }
+  if (static_cast<int>(out.size()) < n) {
+    throw std::runtime_error(
+        "generate_conditional: target attributes too rare under the current "
+        "attribute generator; consider retrain_attributes()");
+  }
+  return out;
+}
+
+void DoppelGanger::critic_step(nn::Mlp& critic, nn::Adam& opt,
+                               const Matrix& real, const Matrix& fake,
+                               float& loss_out) {
+  const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
+  Var loss = cfg_.loss == GanLoss::WassersteinGp
+                 ? critic_loss(fn, real, fake, cfg_.gp_weight, rng_)
+                 : standard_critic_loss(fn, real, fake);
+  loss_out = loss.value().at(0, 0);
+  opt.zero_grad();
+  loss.backward();
+  opt.step();
+}
+
+void DoppelGanger::dp_critic_step(nn::Mlp& critic, nn::Adam& opt,
+                                  const Matrix& real, const Matrix& fake,
+                                  float& loss_out) {
+  const DpOptions& dp = *cfg_.dp;
+  const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
+  const auto params = critic.parameters();
+  std::vector<Matrix> acc;
+  acc.reserve(params.size());
+  for (const Var& p : params) acc.emplace_back(p.rows(), p.cols(), 0.0f);
+
+  const int n = real.rows();
+  const int micro = std::max(1, std::min(dp.microbatches, n));
+  float total_loss = 0.0f;
+  int n_micro = 0;
+  for (int start = 0; start < n; start += (n + micro - 1) / micro) {
+    const int end = std::min(n, start + (n + micro - 1) / micro);
+    if (end <= start) break;
+    Var loss = critic_loss(fn, nn::slice_rows(Matrix(real), start, end),
+                           nn::slice_rows(Matrix(fake), start, end),
+                           cfg_.gp_weight, rng_);
+    total_loss += loss.value().at(0, 0);
+    ++n_micro;
+    critic.zero_grad();
+    loss.backward();
+    nn::clip_grad_norm(params, dp.clip_norm);
+    for (size_t i = 0; i < params.size(); ++i) {
+      Var g = params[i].grad();
+      if (!g.defined()) continue;
+      const float* gv = g.value().data();
+      float* av = acc[i].data();
+      for (size_t j = 0; j < acc[i].size(); ++j) av[j] += gv[j];
+    }
+  }
+  // Gaussian noise calibrated to the clipping norm, then average.
+  const float sigma = dp.noise_multiplier * dp.clip_norm;
+  critic.zero_grad();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (float& v : acc[i].flat()) {
+      v = (v + static_cast<float>(rng_.normal(0.0, sigma))) /
+          static_cast<float>(n_micro);
+    }
+    // Install the noisy averaged gradient by replaying it through backward.
+    Var p = params[i];
+    p.clear_grad();
+    Var proxy = nn::sum(nn::mul(p, nn::constant(acc[i])));
+    proxy.backward();
+  }
+  opt.step();
+  loss_out = n_micro > 0 ? total_loss / static_cast<float>(n_micro) : 0.0f;
+}
+
+TrainStats DoppelGanger::run_training(const data::Dataset& train,
+                                      int iterations) {
+  if (train.empty()) throw std::invalid_argument("fit: empty training set");
+  const data::EncodedDataset enc = codec_.encode(train);
+  const int n = static_cast<int>(train.size());
+
+  TrainStats stats;
+  stats.d_loss.reserve(static_cast<size_t>(iterations));
+  stats.g_loss.reserve(static_cast<size_t>(iterations));
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    float d_loss = 0.0f, aux_loss = 0.0f;
+    for (int ds = 0; ds < cfg_.d_steps; ++ds) {
+      // Real batch.
+      const int b = std::min(cfg_.batch, n);
+      auto idx = rng_.sample_without_replacement(n, b);
+      Matrix real_attr = take_rows(enc.attributes, idx);
+      Matrix real_mm = minmax_enabled_ ? take_rows(enc.minmax, idx) : Matrix(b, 0);
+      Matrix real_feat = take_rows(enc.features, idx);
+      Matrix real_full = hcat(real_attr, real_mm, real_feat);
+      Matrix real_head = hcat(real_attr, real_mm);
+
+      // Fake batch, detached (the critics' step must not touch G).
+      Matrix fake_full, fake_head;
+      {
+        nn::NoGradGuard guard;
+        GenOut f = forward(b);
+        fake_full = hcat(f.attributes.value(), f.minmax.value(), f.features.value());
+        fake_head = hcat(f.attributes.value(), f.minmax.value());
+      }
+
+      if (cfg_.dp) {
+        dp_critic_step(disc_, d_opt_, real_full, fake_full, d_loss);
+        if (cfg_.use_aux_discriminator) {
+          dp_critic_step(aux_disc_, aux_opt_, real_head, fake_head, aux_loss);
+        }
+      } else {
+        critic_step(disc_, d_opt_, real_full, fake_full, d_loss);
+        if (cfg_.use_aux_discriminator) {
+          critic_step(aux_disc_, aux_opt_, real_head, fake_head, aux_loss);
+        }
+      }
+    }
+
+    // Generator step: L1 + alpha * L2 (Eq. 2), minimized over G.
+    const int b = std::min(cfg_.batch, n);
+    GenOut f = forward(b);
+    const auto g_term = [this](const nn::Mlp& critic, const Var& fake) {
+      const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
+      return cfg_.loss == GanLoss::WassersteinGp
+                 ? generator_loss(fn, fake)
+                 : standard_generator_loss(fn, fake);
+    };
+    std::vector<Var> full_parts{f.attributes, f.minmax, f.features};
+    Var g_loss = g_term(disc_, nn::concat_cols(full_parts));
+    if (cfg_.use_aux_discriminator) {
+      std::vector<Var> head_parts{f.attributes, f.minmax};
+      g_loss = nn::add(g_loss, nn::mul_scalar(
+                                   g_term(aux_disc_, nn::concat_cols(head_parts)),
+                                   cfg_.aux_alpha));
+    }
+    g_opt_.zero_grad();
+    g_loss.backward();
+    g_opt_.step();
+
+    stats.d_loss.push_back(d_loss);
+    stats.aux_loss.push_back(aux_loss);
+    stats.g_loss.push_back(g_loss.value().at(0, 0));
+  }
+  return stats;
+}
+
+TrainStats DoppelGanger::fit(const data::Dataset& train) {
+  return run_training(train, cfg_.iterations);
+}
+
+TrainStats DoppelGanger::fit_more(const data::Dataset& train, int iterations) {
+  return run_training(train, iterations);
+}
+
+void DoppelGanger::retrain_attributes(
+    const std::function<std::vector<float>(nn::Rng&)>& target_sampler,
+    int iterations) {
+  nn::Rng init = rng_.fork();
+  nn::Mlp critic(codec_.attribute_dim(), 1, cfg_.disc_hidden, cfg_.disc_layers,
+                 init);
+  nn::Adam c_opt(critic.parameters(), {.lr = cfg_.lr});
+  nn::Adam g_opt(attr_gen_.parameters(), {.lr = cfg_.lr});
+  const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    const int b = cfg_.batch;
+    for (int ds = 0; ds < cfg_.d_steps; ++ds) {
+      std::vector<std::vector<float>> rows;
+      rows.reserve(static_cast<size_t>(b));
+      for (int i = 0; i < b; ++i) rows.push_back(target_sampler(rng_));
+      Matrix real = data::encode_attribute_rows(codec_.schema(), rows);
+
+      Matrix fake;
+      {
+        nn::NoGradGuard guard;
+        fake = apply_blocks(attr_gen_.forward(noise(b, cfg_.attr_noise_dim)),
+                            attr_blocks_)
+                   .value();
+      }
+      Var closs = critic_loss(fn, real, fake, cfg_.gp_weight, rng_);
+      c_opt.zero_grad();
+      closs.backward();
+      c_opt.step();
+    }
+
+    Var fake_attr = apply_blocks(
+        attr_gen_.forward(noise(b, cfg_.attr_noise_dim)), attr_blocks_);
+    Var gloss = generator_loss(fn, fake_attr);
+    g_opt.zero_grad();
+    gloss.backward();
+    g_opt.step();
+  }
+}
+
+void DoppelGanger::save(std::ostream& os) const {
+  std::vector<Var> all = generator_parameters();
+  auto pd = disc_.parameters();
+  all.insert(all.end(), pd.begin(), pd.end());
+  if (cfg_.use_aux_discriminator) {
+    auto pa = aux_disc_.parameters();
+    all.insert(all.end(), pa.begin(), pa.end());
+  }
+  nn::save_parameters(os, all);
+}
+
+void DoppelGanger::load(std::istream& is) {
+  std::vector<Var> all = generator_parameters();
+  auto pd = disc_.parameters();
+  all.insert(all.end(), pd.begin(), pd.end());
+  if (cfg_.use_aux_discriminator) {
+    auto pa = aux_disc_.parameters();
+    all.insert(all.end(), pa.begin(), pa.end());
+  }
+  nn::load_parameters(is, all);
+}
+
+}  // namespace dg::core

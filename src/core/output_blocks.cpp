@@ -1,0 +1,73 @@
+#include "core/output_blocks.h"
+
+#include <stdexcept>
+
+namespace dg::core {
+
+nn::Var apply_blocks(const nn::Var& x, std::span<const OutputBlock> blocks) {
+  if (x.cols() != total_width(blocks)) {
+    throw std::invalid_argument("apply_blocks: width mismatch");
+  }
+  std::vector<nn::Var> parts;
+  parts.reserve(blocks.size());
+  int col = 0;
+  for (const OutputBlock& b : blocks) {
+    parts.push_back(
+        nn::activate(nn::slice_cols(x, col, col + b.width), b.activation));
+    col += b.width;
+  }
+  return nn::concat_cols(parts);
+}
+
+int total_width(std::span<const OutputBlock> blocks) {
+  int w = 0;
+  for (const OutputBlock& b : blocks) w += b.width;
+  return w;
+}
+
+std::vector<OutputBlock> attribute_blocks(const data::Schema& schema) {
+  std::vector<OutputBlock> blocks;
+  for (const data::FieldSpec& a : schema.attributes) {
+    blocks.push_back({a.width(), a.type == data::FieldType::Categorical
+                                     ? nn::Activation::Softmax
+                                     : nn::Activation::Sigmoid});
+  }
+  return blocks;
+}
+
+std::vector<OutputBlock> minmax_blocks(const data::Schema& schema) {
+  std::vector<OutputBlock> blocks;
+  for (const data::FieldSpec& f : schema.features) {
+    if (f.type == data::FieldType::Continuous) {
+      blocks.push_back({2, nn::Activation::Sigmoid});
+    }
+  }
+  return blocks;
+}
+
+std::vector<OutputBlock> record_blocks(const data::Schema& schema,
+                                       bool autonorm) {
+  std::vector<OutputBlock> blocks;
+  for (const data::FieldSpec& f : schema.features) {
+    if (f.type == data::FieldType::Categorical) {
+      blocks.push_back({f.width(), nn::Activation::Softmax});
+    } else {
+      blocks.push_back(
+          {1, autonorm ? nn::Activation::Tanh : nn::Activation::Sigmoid});
+    }
+  }
+  blocks.push_back({2, nn::Activation::Softmax});  // generation flags
+  return blocks;
+}
+
+std::vector<OutputBlock> repeat_blocks(std::span<const OutputBlock> blocks,
+                                       int count) {
+  std::vector<OutputBlock> out;
+  out.reserve(blocks.size() * static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.insert(out.end(), blocks.begin(), blocks.end());
+  }
+  return out;
+}
+
+}  // namespace dg::core

@@ -1,0 +1,42 @@
+// Mixed-type generator outputs: the final linear layer of each generator is
+// split into blocks, each with its own activation — softmax for categorical
+// one-hots (and generation flags), sigmoid/tanh for continuous values. This
+// is how DoppelGANger emits "data with the desired dimensionality and data
+// types" (§4.1.1).
+#pragma once
+
+#include <vector>
+
+#include "data/types.h"
+#include "nn/autograd.h"
+#include "nn/layers.h"
+
+namespace dg::core {
+
+struct OutputBlock {
+  int width = 0;
+  nn::Activation activation = nn::Activation::None;
+};
+
+/// Applies each block's activation to the corresponding column range.
+nn::Var apply_blocks(const nn::Var& x, std::span<const OutputBlock> blocks);
+
+int total_width(std::span<const OutputBlock> blocks);
+
+/// Blocks for the attribute generator output (one-hot groups + [0,1] scalars).
+std::vector<OutputBlock> attribute_blocks(const data::Schema& schema);
+
+/// Blocks for the min/max generator output (two [0,1] scalars per
+/// continuous feature).
+std::vector<OutputBlock> minmax_blocks(const data::Schema& schema);
+
+/// Blocks for one feature record including the two generation flags.
+/// Continuous features are tanh when `autonorm` (values live in [-1,1]),
+/// sigmoid otherwise.
+std::vector<OutputBlock> record_blocks(const data::Schema& schema, bool autonorm);
+
+/// `count` repetitions of `blocks` (e.g. S records per RNN step).
+std::vector<OutputBlock> repeat_blocks(std::span<const OutputBlock> blocks,
+                                       int count);
+
+}  // namespace dg::core

@@ -1,0 +1,25 @@
+// A "model package" bundles everything a data consumer needs to regenerate
+// data from a released DoppelGANger model (Fig 2): the schema, the exact
+// architecture configuration, and the trained parameters theta. This is
+// what the dgcli tool writes and reads.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/doppelganger.h"
+
+namespace dg::core {
+
+void save_package(std::ostream& os, const DoppelGanger& model);
+std::unique_ptr<DoppelGanger> load_package(std::istream& is);
+
+void save_package_file(const std::string& path, const DoppelGanger& model);
+std::unique_ptr<DoppelGanger> load_package_file(const std::string& path);
+
+/// Config (de)serialization used by the package format (text, line-based).
+void save_config(std::ostream& os, const DoppelGangerConfig& cfg);
+DoppelGangerConfig load_config(std::istream& is);
+
+}  // namespace dg::core

@@ -1,0 +1,38 @@
+// Wasserstein-GAN-with-gradient-penalty building blocks (§4.3):
+//   L = E[D(fake)] - E[D(real)] + lambda * E[(||grad_xhat D(xhat)|| - 1)^2]
+// The penalty differentiates through the critic's input gradient, which the
+// autograd layer supports via create_graph=true; this only ever runs through
+// MLP critics — exactly the paper's rationale for MLP discriminators (§4.2).
+#pragma once
+
+#include <functional>
+
+#include "nn/autograd.h"
+#include "nn/rng.h"
+
+namespace dg::core {
+
+using CriticFn = std::function<nn::Var(const nn::Var&)>;
+
+/// E[(||grad_xhat D(xhat)||_2 - 1)^2] on per-sample random interpolates
+/// xhat = t * real + (1-t) * fake.
+nn::Var gradient_penalty(const CriticFn& critic, const nn::Matrix& real,
+                         const nn::Matrix& fake, nn::Rng& rng);
+
+/// Full critic loss (to *minimize* w.r.t. critic parameters).
+nn::Var critic_loss(const CriticFn& critic, const nn::Matrix& real,
+                    const nn::Matrix& fake, float gp_weight, nn::Rng& rng);
+
+/// Generator loss term for one critic: -E[D(fake)], with `fake` still
+/// attached to the generator graph.
+nn::Var generator_loss(const CriticFn& critic, const nn::Var& fake);
+
+// ---- original (cross-entropy) GAN loss, for the §4.3 ablation ----
+// The discriminator outputs a logit; sigmoid + BCE is applied here. The
+// generator uses the non-saturating form -E[log D(fake)].
+
+nn::Var standard_critic_loss(const CriticFn& critic, const nn::Matrix& real,
+                             const nn::Matrix& fake);
+nn::Var standard_generator_loss(const CriticFn& critic, const nn::Var& fake);
+
+}  // namespace dg::core

@@ -1,0 +1,217 @@
+#include "data/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dg::data {
+
+namespace {
+constexpr float kHalfEps = 1e-6f;
+
+int argmax_block(const nn::Matrix& m, int row, int c0, int width) {
+  int best = 0;
+  float bestv = m.at(row, c0);
+  for (int j = 1; j < width; ++j) {
+    if (m.at(row, c0 + j) > bestv) {
+      bestv = m.at(row, c0 + j);
+      best = j;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+GanCodec::GanCodec(Schema schema, bool auto_normalize)
+    : schema_(std::move(schema)), autonorm_(auto_normalize) {
+  if (schema_.max_timesteps <= 0) {
+    throw std::invalid_argument("GanCodec: schema.max_timesteps must be set");
+  }
+}
+
+int GanCodec::minmax_dim() const {
+  if (!autonorm_) return 0;
+  int n_cont = 0;
+  for (const FieldSpec& f : schema_.features) {
+    if (f.type == FieldType::Continuous) ++n_cont;
+  }
+  return 2 * n_cont;
+}
+
+float scale01(const FieldSpec& f, float v) {
+  return (v - f.lo) / (f.hi - f.lo);
+}
+
+float unscale01(const FieldSpec& f, float v01) {
+  return f.lo + std::clamp(v01, 0.0f, 1.0f) * (f.hi - f.lo);
+}
+
+nn::Matrix encode_attribute_rows(const Schema& schema,
+                                 const std::vector<std::vector<float>>& rows) {
+  nn::Matrix out(static_cast<int>(rows.size()), schema.attribute_dim(), 0.0f);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != schema.attributes.size()) {
+      throw std::invalid_argument("encode_attribute_rows: arity mismatch");
+    }
+    int col = 0;
+    for (size_t j = 0; j < schema.attributes.size(); ++j) {
+      const FieldSpec& a = schema.attributes[j];
+      if (a.type == FieldType::Categorical) {
+        const int c = static_cast<int>(rows[i][j]);
+        if (c < 0 || c >= a.n_categories) {
+          throw std::invalid_argument("encode_attribute_rows: category range");
+        }
+        out.at(static_cast<int>(i), col + c) = 1.0f;
+      } else {
+        out.at(static_cast<int>(i), col) = scale01(a, rows[i][j]);
+      }
+      col += a.width();
+    }
+  }
+  return out;
+}
+
+nn::Matrix encode_attributes(const Schema& schema, const Dataset& data) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(data.size());
+  for (const Object& o : data) rows.push_back(o.attributes);
+  return encode_attribute_rows(schema, rows);
+}
+
+EncodedDataset GanCodec::encode(const Dataset& data) const {
+  validate(schema_, data);
+  const int n = static_cast<int>(data.size());
+  EncodedDataset enc;
+  enc.attributes = encode_attributes(schema_, data);
+  enc.minmax = nn::Matrix(n, minmax_dim(), 0.0f);
+  enc.features = nn::Matrix(n, feature_row_dim(), 0.0f);
+
+  for (int i = 0; i < n; ++i) {
+    const Object& o = data[static_cast<size_t>(i)];
+    const int T = o.length();
+
+    // Per-sample min/max of each continuous feature (auto-normalization).
+    std::vector<float> mid(schema_.features.size(), 0.0f);
+    std::vector<float> half(schema_.features.size(), 0.0f);
+    if (autonorm_) {
+      int mm = 0;
+      for (size_t k = 0; k < schema_.features.size(); ++k) {
+        const FieldSpec& f = schema_.features[k];
+        if (f.type != FieldType::Continuous) continue;
+        float mn = o.features[0][k], mx = o.features[0][k];
+        for (int t = 1; t < T; ++t) {
+          mn = std::min(mn, o.features[t][k]);
+          mx = std::max(mx, o.features[t][k]);
+        }
+        mid[k] = 0.5f * (mx + mn);
+        half[k] = 0.5f * (mx - mn);
+        enc.minmax.at(i, mm) = scale01(f, mid[k]);
+        enc.minmax.at(i, mm + 1) = (mx - mn) / (f.hi - f.lo);
+        mm += 2;
+      }
+    }
+
+    for (int t = 0; t < T; ++t) {
+      int col = t * record_width();
+      for (size_t k = 0; k < schema_.features.size(); ++k) {
+        const FieldSpec& f = schema_.features[k];
+        if (f.type == FieldType::Categorical) {
+          const int c = static_cast<int>(o.features[t][k]);
+          if (c < 0 || c >= f.n_categories) {
+            throw std::invalid_argument("encode: categorical feature range");
+          }
+          enc.features.at(i, col + c) = 1.0f;
+        } else if (autonorm_) {
+          enc.features.at(i, col) =
+              (o.features[t][k] - mid[k]) / (half[k] + kHalfEps);
+        } else {
+          enc.features.at(i, col) = scale01(f, o.features[t][k]);
+        }
+        col += f.width();
+      }
+      // Generation flags: [1,0] = continues, [0,1] = ends at this step.
+      enc.features.at(i, t * record_width() + record_width() - 2) =
+          (t == T - 1) ? 0.0f : 1.0f;
+      enc.features.at(i, t * record_width() + record_width() - 1) =
+          (t == T - 1) ? 1.0f : 0.0f;
+    }
+  }
+  return enc;
+}
+
+Dataset GanCodec::decode(const nn::Matrix& attributes, const nn::Matrix& minmax,
+                         const nn::Matrix& features) const {
+  const int n = attributes.rows();
+  if (features.rows() != n || features.cols() != feature_row_dim()) {
+    throw std::invalid_argument("decode: feature matrix shape mismatch");
+  }
+  if (autonorm_ && (minmax.rows() != n || minmax.cols() != minmax_dim())) {
+    throw std::invalid_argument("decode: minmax matrix shape mismatch");
+  }
+  Dataset out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Object& o = out[static_cast<size_t>(i)];
+
+    // Attributes.
+    int col = 0;
+    for (const FieldSpec& a : schema_.attributes) {
+      if (a.type == FieldType::Categorical) {
+        o.attributes.push_back(
+            static_cast<float>(argmax_block(attributes, i, col, a.width())));
+      } else {
+        o.attributes.push_back(unscale01(a, attributes.at(i, col)));
+      }
+      col += a.width();
+    }
+
+    // Per-sample scale from the generated min/max attributes.
+    std::vector<float> mid(schema_.features.size(), 0.0f);
+    std::vector<float> half(schema_.features.size(), 0.0f);
+    if (autonorm_) {
+      int mm = 0;
+      for (size_t k = 0; k < schema_.features.size(); ++k) {
+        const FieldSpec& f = schema_.features[k];
+        if (f.type != FieldType::Continuous) continue;
+        mid[k] = unscale01(f, minmax.at(i, mm));
+        half[k] = 0.5f * std::clamp(minmax.at(i, mm + 1), 0.0f, 1.0f) *
+                  (f.hi - f.lo);
+        mm += 2;
+      }
+    }
+
+    // Length from generation flags: the series ends at the first step whose
+    // end-flag dominates; if none fires, it spans the full horizon.
+    int length = schema_.max_timesteps;
+    for (int t = 0; t < schema_.max_timesteps; ++t) {
+      const float cont = features.at(i, t * record_width() + record_width() - 2);
+      const float end = features.at(i, t * record_width() + record_width() - 1);
+      if (end > cont) {
+        length = t + 1;
+        break;
+      }
+    }
+
+    o.features.resize(static_cast<size_t>(length));
+    for (int t = 0; t < length; ++t) {
+      int fcol = t * record_width();
+      auto& rec = o.features[static_cast<size_t>(t)];
+      rec.reserve(schema_.features.size());
+      for (const FieldSpec& f : schema_.features) {
+        const size_t k = rec.size();
+        if (f.type == FieldType::Categorical) {
+          rec.push_back(
+              static_cast<float>(argmax_block(features, i, fcol, f.width())));
+        } else if (autonorm_) {
+          const float norm = std::clamp(features.at(i, fcol), -1.0f, 1.0f);
+          rec.push_back(std::clamp(mid[k] + half[k] * norm, f.lo, f.hi));
+        } else {
+          rec.push_back(unscale01(f, features.at(i, fcol)));
+        }
+        fcol += f.width();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dg::data

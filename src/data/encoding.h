@@ -1,0 +1,59 @@
+// Encoding between raw Objects and the flat matrices GANs train on.
+//
+// Attributes: categorical -> one-hot, continuous -> scaled to [0,1].
+// Features: encoded per record and laid out as [t0 | t1 | ... | t_{Tmax-1}],
+// each record being [feature widths... , flag_continue, flag_end] — the
+// generation-flag scheme of §4.1.1. Steps past the series end are zero.
+//
+// Auto-normalization (§4.1.3): per sample and per continuous feature, the
+// series is rescaled by its own (max+min)/2 and (max-min)/2 to [-1,1]; the
+// two values are exported as extra "fake attributes" in [0,1]. Without it,
+// features are globally scaled to [0,1] using the schema's lo/hi.
+#pragma once
+
+#include "data/types.h"
+#include "nn/matrix.h"
+
+namespace dg::data {
+
+struct EncodedDataset {
+  nn::Matrix attributes;  // n x attribute_dim
+  nn::Matrix minmax;      // n x (2 * #continuous features); empty w/o autonorm
+  nn::Matrix features;    // n x (Tmax * (record_dim + 2))
+};
+
+class GanCodec {
+ public:
+  GanCodec(Schema schema, bool auto_normalize);
+
+  EncodedDataset encode(const Dataset& data) const;
+  /// Inverse of encode; `minmax` may be empty when autonorm is off.
+  Dataset decode(const nn::Matrix& attributes, const nn::Matrix& minmax,
+                 const nn::Matrix& features) const;
+
+  const Schema& schema() const { return schema_; }
+  bool auto_normalize() const { return autonorm_; }
+  int attribute_dim() const { return schema_.attribute_dim(); }
+  int minmax_dim() const;
+  /// Encoded width of one timestep including the two generation flags.
+  int record_width() const { return schema_.feature_record_dim() + 2; }
+  int tmax() const { return schema_.max_timesteps; }
+  int feature_row_dim() const { return tmax() * record_width(); }
+
+ private:
+  Schema schema_;
+  bool autonorm_;
+};
+
+/// One-hot/scaled attribute matrix only (used by baselines & downstream).
+nn::Matrix encode_attributes(const Schema& schema, const Dataset& data);
+
+/// Same encoding applied to bare attribute rows (no feature series needed).
+nn::Matrix encode_attribute_rows(const Schema& schema,
+                                 const std::vector<std::vector<float>>& rows);
+
+/// Scales a raw continuous value into [0,1] given its field spec.
+float scale01(const FieldSpec& f, float v);
+float unscale01(const FieldSpec& f, float v01);
+
+}  // namespace dg::data

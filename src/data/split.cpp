@@ -1,0 +1,57 @@
+#include "data/split.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dg::data {
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data, double frac,
+                                             nn::Rng& rng) {
+  if (frac < 0.0 || frac > 1.0) {
+    throw std::invalid_argument("train_test_split: frac out of [0,1]");
+  }
+  const int n = static_cast<int>(data.size());
+  const int n_first = static_cast<int>(std::lround(frac * n));
+  auto perm = rng.permutation(n);
+  Dataset first, second;
+  first.reserve(n_first);
+  second.reserve(n - n_first);
+  for (int i = 0; i < n; ++i) {
+    (i < n_first ? first : second).push_back(data[perm[i]]);
+  }
+  return {std::move(first), std::move(second)};
+}
+
+Dataset subsample(const Dataset& data, int n, nn::Rng& rng) {
+  auto idx = rng.sample_without_replacement(static_cast<int>(data.size()), n);
+  Dataset out;
+  out.reserve(n);
+  for (int i : idx) out.push_back(data[i]);
+  return out;
+}
+
+EmpiricalAttributeSampler::EmpiricalAttributeSampler(const Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("EmpiricalAttributeSampler: empty training set");
+  }
+  rows_.reserve(train.size());
+  for (const Object& o : train) rows_.push_back(o.attributes);
+}
+
+std::vector<float> EmpiricalAttributeSampler::sample(nn::Rng& rng) const {
+  return rows_[rng.uniform_int(static_cast<int>(rows_.size()))];
+}
+
+EmpiricalLengthSampler::EmpiricalLengthSampler(const Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("EmpiricalLengthSampler: empty training set");
+  }
+  lengths_.reserve(train.size());
+  for (const Object& o : train) lengths_.push_back(o.length());
+}
+
+int EmpiricalLengthSampler::sample(nn::Rng& rng) const {
+  return lengths_[rng.uniform_int(static_cast<int>(lengths_.size()))];
+}
+
+}  // namespace dg::data

@@ -1,0 +1,43 @@
+// Dataset partitioning (the A / A' split of Fig 10) and the empirical
+// attribute sampler the baselines use ("attributes are randomly drawn from
+// the multinomial distribution on training data", §5.0.1).
+#pragma once
+
+#include <utility>
+
+#include "data/types.h"
+#include "nn/rng.h"
+
+namespace dg::data {
+
+/// Shuffles and splits; first gets round(frac * n) objects.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data, double frac,
+                                             nn::Rng& rng);
+
+/// Uniform subsample without replacement.
+Dataset subsample(const Dataset& data, int n, nn::Rng& rng);
+
+/// Samples whole attribute rows uniformly from the training set, which
+/// draws from the empirical *joint* attribute distribution.
+class EmpiricalAttributeSampler {
+ public:
+  explicit EmpiricalAttributeSampler(const Dataset& train);
+  std::vector<float> sample(nn::Rng& rng) const;
+  int size() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::vector<float>> rows_;
+};
+
+/// Empirical distribution of series lengths; used by baselines that have no
+/// principled length model.
+class EmpiricalLengthSampler {
+ public:
+  explicit EmpiricalLengthSampler(const Dataset& train);
+  int sample(nn::Rng& rng) const;
+
+ private:
+  std::vector<int> lengths_;
+};
+
+}  // namespace dg::data

@@ -1,0 +1,82 @@
+#include "data/timestamps.h"
+
+#include <stdexcept>
+
+namespace dg::data {
+
+std::pair<Schema, Dataset> encode_interarrivals(
+    const Schema& schema, const Dataset& data,
+    const std::vector<TimestampSeries>& timestamps, float max_gap) {
+  if (timestamps.size() != data.size()) {
+    throw std::invalid_argument("encode_interarrivals: timestamp count mismatch");
+  }
+  if (max_gap <= 0) {
+    throw std::invalid_argument("encode_interarrivals: max_gap must be positive");
+  }
+  Schema out_schema = schema;
+  out_schema.features.insert(out_schema.features.begin(),
+                             continuous_field("interarrival", 0.0f, max_gap));
+
+  Dataset out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Object& o = data[i];
+    const TimestampSeries& ts = timestamps[i];
+    if (static_cast<int>(ts.size()) != o.length()) {
+      throw std::invalid_argument("encode_interarrivals: object " +
+                                  std::to_string(i) + " timestamp length mismatch");
+    }
+    Object n;
+    n.attributes = o.attributes;
+    n.features.reserve(o.features.size());
+    for (int t = 0; t < o.length(); ++t) {
+      const double gap = t == 0 ? 0.0 : ts[static_cast<size_t>(t)] -
+                                            ts[static_cast<size_t>(t - 1)];
+      if (gap < 0 || (t > 0 && gap == 0)) {
+        throw std::invalid_argument("encode_interarrivals: timestamps must be "
+                                    "strictly increasing");
+      }
+      if (gap > max_gap) {
+        throw std::invalid_argument("encode_interarrivals: gap exceeds max_gap");
+      }
+      std::vector<float> rec;
+      rec.reserve(o.features[static_cast<size_t>(t)].size() + 1);
+      rec.push_back(static_cast<float>(gap));
+      rec.insert(rec.end(), o.features[static_cast<size_t>(t)].begin(),
+                 o.features[static_cast<size_t>(t)].end());
+      n.features.push_back(std::move(rec));
+    }
+    out.push_back(std::move(n));
+  }
+  return {std::move(out_schema), std::move(out)};
+}
+
+std::pair<Dataset, std::vector<TimestampSeries>> decode_interarrivals(
+    const Schema& augmented_schema, const Dataset& augmented, double t0) {
+  if (augmented_schema.features.empty() ||
+      augmented_schema.features.front().name != "interarrival") {
+    throw std::invalid_argument("decode_interarrivals: feature 0 is not "
+                                "'interarrival'");
+  }
+  Dataset out;
+  std::vector<TimestampSeries> stamps;
+  out.reserve(augmented.size());
+  stamps.reserve(augmented.size());
+  for (const Object& o : augmented) {
+    Object n;
+    n.attributes = o.attributes;
+    TimestampSeries ts;
+    double now = t0;
+    for (const auto& rec : o.features) {
+      if (rec.empty()) throw std::invalid_argument("decode_interarrivals: empty record");
+      now += rec.front();
+      ts.push_back(now);
+      n.features.emplace_back(rec.begin() + 1, rec.end());
+    }
+    out.push_back(std::move(n));
+    stamps.push_back(std::move(ts));
+  }
+  return {std::move(out), std::move(stamps)};
+}
+
+}  // namespace dg::data

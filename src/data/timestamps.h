@@ -1,0 +1,32 @@
+// Unequally-spaced timestamps (§3): the paper treats record timestamps as
+// equally spaced, but notes the framework "can easily extend to unequally
+// spaced timestamps by treating time as a continuous feature and generating
+// inter-arrival times along with other features". These helpers implement
+// that extension: they splice an inter-arrival-gap feature into a schema/
+// dataset pair (so any generator in this library models it like any other
+// feature) and integrate generated gaps back into absolute timestamps.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "data/types.h"
+
+namespace dg::data {
+
+/// Per-object, per-record absolute timestamps (must be strictly increasing).
+using TimestampSeries = std::vector<double>;
+
+/// Returns (augmented schema, augmented dataset) where feature 0 is the
+/// inter-arrival gap in [0, max_gap] (the first record's gap is 0). Throws
+/// if timestamps are unsorted, mismatched in length, or exceed max_gap.
+std::pair<Schema, Dataset> encode_interarrivals(
+    const Schema& schema, const Dataset& data,
+    const std::vector<TimestampSeries>& timestamps, float max_gap);
+
+/// Inverse: strips feature 0 and integrates the gaps into absolute
+/// timestamps starting at `t0` per object.
+std::pair<Dataset, std::vector<TimestampSeries>> decode_interarrivals(
+    const Schema& augmented_schema, const Dataset& augmented, double t0 = 0.0);
+
+}  // namespace dg::data

@@ -1,0 +1,76 @@
+#include "data/types.h"
+
+#include <stdexcept>
+
+namespace dg::data {
+
+FieldSpec categorical_field(std::string name, std::vector<std::string> labels) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.type = FieldType::Categorical;
+  f.n_categories = static_cast<int>(labels.size());
+  f.labels = std::move(labels);
+  return f;
+}
+
+FieldSpec continuous_field(std::string name, float lo, float hi) {
+  if (!(lo < hi)) throw std::invalid_argument("continuous_field: lo must be < hi");
+  FieldSpec f;
+  f.name = std::move(name);
+  f.type = FieldType::Continuous;
+  f.lo = lo;
+  f.hi = hi;
+  return f;
+}
+
+int Schema::attribute_dim() const {
+  int d = 0;
+  for (const FieldSpec& a : attributes) d += a.width();
+  return d;
+}
+
+int Schema::feature_record_dim() const {
+  int d = 0;
+  for (const FieldSpec& f : features) d += f.width();
+  return d;
+}
+
+void validate(const Schema& schema, const Dataset& data) {
+  const size_t m = schema.attributes.size();
+  const size_t k = schema.features.size();
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Object& o = data[i];
+    if (o.attributes.size() != m) {
+      throw std::invalid_argument("validate: object " + std::to_string(i) +
+                                  " has wrong attribute count");
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const FieldSpec& spec = schema.attributes[j];
+      if (spec.type == FieldType::Categorical) {
+        const int c = static_cast<int>(o.attributes[j]);
+        if (c < 0 || c >= spec.n_categories) {
+          throw std::invalid_argument("validate: attribute '" + spec.name +
+                                      "' out of category range");
+        }
+      }
+    }
+    if (o.features.empty() || o.length() > schema.max_timesteps) {
+      throw std::invalid_argument("validate: object " + std::to_string(i) +
+                                  " has invalid length");
+    }
+    for (const auto& rec : o.features) {
+      if (rec.size() != k) {
+        throw std::invalid_argument("validate: record dimensionality mismatch");
+      }
+    }
+  }
+}
+
+std::vector<float> feature_column(const Object& o, int k) {
+  std::vector<float> out;
+  out.reserve(o.features.size());
+  for (const auto& rec : o.features) out.push_back(rec.at(k));
+  return out;
+}
+
+}  // namespace dg::data

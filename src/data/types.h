@@ -1,0 +1,65 @@
+// The paper's data abstraction (§3): a dataset is a set of objects
+// O^i = (A^i, R^i) — m mixed-type attributes plus a variable-length time
+// series of K-dimensional records. Schemas say which fields are categorical
+// vs continuous (the "data schema" input of Fig 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dg::data {
+
+enum class FieldType { Continuous, Categorical };
+
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::Continuous;
+  /// Number of categories (categorical only).
+  int n_categories = 0;
+  /// Raw value range used for scaling (continuous only).
+  float lo = 0.0f;
+  float hi = 1.0f;
+  /// Human-readable category labels (optional; categorical only).
+  std::vector<std::string> labels;
+
+  /// Encoded width: one-hot size for categorical, 1 for continuous.
+  int width() const {
+    return type == FieldType::Categorical ? n_categories : 1;
+  }
+};
+
+FieldSpec categorical_field(std::string name, std::vector<std::string> labels);
+FieldSpec continuous_field(std::string name, float lo, float hi);
+
+struct Schema {
+  std::string name;
+  std::vector<FieldSpec> attributes;
+  std::vector<FieldSpec> features;
+  /// Longest supported time series (generation horizon T^max).
+  int max_timesteps = 0;
+
+  int attribute_dim() const;      // total one-hot/continuous encoded width
+  int feature_record_dim() const; // encoded width of one record (no flags)
+  int num_features() const { return static_cast<int>(features.size()); }
+  int num_attributes() const { return static_cast<int>(attributes.size()); }
+};
+
+/// One data object: raw attribute values (category index as float, or the
+/// continuous value) plus a T x K feature series.
+struct Object {
+  std::vector<float> attributes;
+  std::vector<std::vector<float>> features;
+
+  int length() const { return static_cast<int>(features.size()); }
+};
+
+using Dataset = std::vector<Object>;
+
+/// Throws std::invalid_argument if any object violates the schema
+/// (attribute arity, category ranges, record dimensionality, length).
+void validate(const Schema& schema, const Dataset& data);
+
+/// Column `k` of an object's feature series as a flat vector.
+std::vector<float> feature_column(const Object& o, int k);
+
+}  // namespace dg::data

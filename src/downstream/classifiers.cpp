@@ -1,0 +1,391 @@
+#include "downstream/classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "nn/rng.h"
+
+namespace dg::downstream {
+
+namespace {
+
+using nn::Matrix;
+using nn::Var;
+
+Matrix onehot(const std::vector<int>& y, int n_classes) {
+  Matrix t(static_cast<int>(y.size()), n_classes, 0.0f);
+  for (size_t i = 0; i < y.size(); ++i) {
+    t.at(static_cast<int>(i), y[i]) = 1.0f;
+  }
+  return t;
+}
+
+Matrix take_rows(const Matrix& x, std::span<const int> idx) {
+  Matrix out(static_cast<int>(idx.size()), x.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      out.at(static_cast<int>(i), j) = x.at(idx[i], j);
+    }
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Matrix& scores) {
+  std::vector<int> out(static_cast<size_t>(scores.rows()));
+  for (int i = 0; i < scores.rows(); ++i) {
+    int best = 0;
+    for (int j = 1; j < scores.cols(); ++j) {
+      if (scores.at(i, j) > scores.at(i, best)) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+/// Shared minibatch loop for the gradient-trained classifiers.
+template <typename LossFn>
+void train_minibatch(const Matrix& x, const std::vector<int>& y, int n_classes,
+                     int epochs, int batch, nn::Adam& opt, nn::Rng& rng,
+                     const LossFn& loss_fn) {
+  const int n = x.rows();
+  const int bs = std::min(batch, n);
+  for (int e = 0; e < epochs; ++e) {
+    auto perm = rng.permutation(n);
+    for (int start = 0; start + bs <= n; start += bs) {
+      std::span<const int> idx(perm.data() + start, static_cast<size_t>(bs));
+      Matrix xb = take_rows(x, idx);
+      std::vector<int> yb(static_cast<size_t>(bs));
+      for (int i = 0; i < bs; ++i) yb[static_cast<size_t>(i)] = y[static_cast<size_t>(idx[i])];
+      Var loss = loss_fn(Var(std::move(xb), false), onehot(yb, n_classes));
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+    }
+  }
+}
+
+// ------------------------------------------------------------------ MLP
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpClassifierOptions opt) : opt_(opt) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes) override {
+    nn::Rng rng(opt_.seed + 101);
+    net_ = nn::Mlp(x.cols(), n_classes, opt_.hidden_units, opt_.hidden_layers,
+                   rng);
+    nn::Adam opt(net_.parameters(), {.lr = opt_.lr});
+    train_minibatch(x, y, n_classes, opt_.epochs, opt_.batch, opt, rng,
+                    [&](const Var& xb, const Matrix& t) {
+                      return nn::softmax_cross_entropy(net_.forward(xb), t);
+                    });
+  }
+
+  std::vector<int> predict(const Matrix& x) const override {
+    nn::NoGradGuard guard;
+    return argmax_rows(net_.forward(Var(x, false)).value());
+  }
+
+  std::string name() const override { return "MLP"; }
+
+ private:
+  MlpClassifierOptions opt_;
+  nn::Mlp net_;
+};
+
+// ----------------------------------------------------------- Naive Bayes
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes) override {
+    const int d = x.cols();
+    n_classes_ = n_classes;
+    mean_ = Matrix(n_classes, d, 0.0f);
+    var_ = Matrix(n_classes, d, 0.0f);
+    prior_.assign(static_cast<size_t>(n_classes), 0.0);
+    std::vector<int> counts(static_cast<size_t>(n_classes), 0);
+    for (int i = 0; i < x.rows(); ++i) {
+      const int c = y[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (int j = 0; j < d; ++j) mean_.at(c, j) += x.at(i, j);
+    }
+    for (int c = 0; c < n_classes; ++c) {
+      const int m = std::max(1, counts[static_cast<size_t>(c)]);
+      for (int j = 0; j < d; ++j) mean_.at(c, j) /= static_cast<float>(m);
+      prior_[static_cast<size_t>(c)] =
+          std::log(std::max(1, counts[static_cast<size_t>(c)]) /
+                   static_cast<double>(x.rows()));
+    }
+    for (int i = 0; i < x.rows(); ++i) {
+      const int c = y[static_cast<size_t>(i)];
+      for (int j = 0; j < d; ++j) {
+        const float dlt = x.at(i, j) - mean_.at(c, j);
+        var_.at(c, j) += dlt * dlt;
+      }
+    }
+    for (int c = 0; c < n_classes; ++c) {
+      const int m = std::max(1, counts[static_cast<size_t>(c)]);
+      for (int j = 0; j < d; ++j) {
+        var_.at(c, j) = var_.at(c, j) / static_cast<float>(m) + 1e-4f;
+      }
+    }
+  }
+
+  std::vector<int> predict(const Matrix& x) const override {
+    std::vector<int> out(static_cast<size_t>(x.rows()));
+    for (int i = 0; i < x.rows(); ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < n_classes_; ++c) {
+        double ll = prior_[static_cast<size_t>(c)];
+        for (int j = 0; j < x.cols(); ++j) {
+          const double v = var_.at(c, j);
+          const double dlt = x.at(i, j) - mean_.at(c, j);
+          ll += -0.5 * (std::log(2.0 * M_PI * v) + dlt * dlt / v);
+        }
+        if (ll > best) {
+          best = ll;
+          best_c = c;
+        }
+      }
+      out[static_cast<size_t>(i)] = best_c;
+    }
+    return out;
+  }
+
+  std::string name() const override { return "NaiveBayes"; }
+
+ private:
+  int n_classes_ = 0;
+  Matrix mean_, var_;
+  std::vector<double> prior_;
+};
+
+// --------------------------------------------------- Logistic regression
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions opt) : opt_(opt) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes) override {
+    nn::Rng rng(opt_.seed + 202);
+    net_ = nn::Mlp(x.cols(), n_classes, 0, 0, rng);  // bare linear layer
+    nn::Adam opt(net_.parameters(), {.lr = opt_.lr});
+    train_minibatch(x, y, n_classes, opt_.epochs, opt_.batch, opt, rng,
+                    [&](const Var& xb, const Matrix& t) {
+                      return nn::softmax_cross_entropy(net_.forward(xb), t);
+                    });
+  }
+
+  std::vector<int> predict(const Matrix& x) const override {
+    nn::NoGradGuard guard;
+    return argmax_rows(net_.forward(Var(x, false)).value());
+  }
+
+  std::string name() const override { return "LogisticRegression"; }
+
+ private:
+  LogisticRegressionOptions opt_;
+  nn::Mlp net_;
+};
+
+// --------------------------------------------------------- Decision tree
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions opt) : opt_(opt) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes) override {
+    n_classes_ = n_classes;
+    nodes_.clear();
+    std::vector<int> idx(static_cast<size_t>(x.rows()));
+    std::iota(idx.begin(), idx.end(), 0);
+    build(x, y, idx, 0);
+  }
+
+  std::vector<int> predict(const Matrix& x) const override {
+    std::vector<int> out(static_cast<size_t>(x.rows()));
+    for (int i = 0; i < x.rows(); ++i) {
+      int node = 0;
+      while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+        const Node& nd = nodes_[static_cast<size_t>(node)];
+        node = x.at(i, nd.feature) <= nd.threshold ? nd.left : nd.right;
+      }
+      out[static_cast<size_t>(i)] = nodes_[static_cast<size_t>(node)].label;
+    }
+    return out;
+  }
+
+  std::string name() const override { return "DecisionTree"; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1: leaf
+    float threshold = 0.0f;
+    int left = -1, right = -1;
+    int label = 0;
+  };
+
+  double gini(const std::vector<int>& counts, int total) const {
+    if (total == 0) return 0.0;
+    double g = 1.0;
+    for (int c : counts) {
+      const double p = c / static_cast<double>(total);
+      g -= p * p;
+    }
+    return g;
+  }
+
+  int majority(const std::vector<int>& y, const std::vector<int>& idx) const {
+    std::vector<int> counts(static_cast<size_t>(n_classes_), 0);
+    for (int i : idx) ++counts[static_cast<size_t>(y[static_cast<size_t>(i)])];
+    return static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                            counts.begin());
+  }
+
+  int build(const Matrix& x, const std::vector<int>& y,
+            const std::vector<int>& idx, int depth) {
+    const int me = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.back().label = majority(y, idx);
+
+    std::vector<int> counts(static_cast<size_t>(n_classes_), 0);
+    for (int i : idx) ++counts[static_cast<size_t>(y[static_cast<size_t>(i)])];
+    const double node_gini = gini(counts, static_cast<int>(idx.size()));
+    if (depth >= opt_.max_depth || node_gini == 0.0 ||
+        static_cast<int>(idx.size()) < 2 * opt_.min_samples_leaf) {
+      return me;
+    }
+
+    // Best split over quantile thresholds per feature.
+    int best_f = -1;
+    float best_t = 0.0f;
+    double best_score = node_gini - 1e-7;
+    std::vector<float> vals(idx.size());
+    for (int f = 0; f < x.cols(); ++f) {
+      for (size_t i = 0; i < idx.size(); ++i) vals[i] = x.at(idx[i], f);
+      std::vector<float> sorted = vals;
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front() == sorted.back()) continue;
+      for (int q = 1; q <= opt_.thresholds_per_feature; ++q) {
+        const float t = sorted[sorted.size() * q /
+                               (opt_.thresholds_per_feature + 1)];
+        std::vector<int> lc(static_cast<size_t>(n_classes_), 0);
+        std::vector<int> rc(static_cast<size_t>(n_classes_), 0);
+        int ln = 0, rn = 0;
+        for (size_t i = 0; i < idx.size(); ++i) {
+          if (vals[i] <= t) {
+            ++lc[static_cast<size_t>(y[static_cast<size_t>(idx[i])])];
+            ++ln;
+          } else {
+            ++rc[static_cast<size_t>(y[static_cast<size_t>(idx[i])])];
+            ++rn;
+          }
+        }
+        if (ln < opt_.min_samples_leaf || rn < opt_.min_samples_leaf) continue;
+        const double score = (ln * gini(lc, ln) + rn * gini(rc, rn)) /
+                             static_cast<double>(idx.size());
+        if (score < best_score) {
+          best_score = score;
+          best_f = f;
+          best_t = t;
+        }
+      }
+    }
+    if (best_f < 0) return me;
+
+    std::vector<int> left, right;
+    for (int i : idx) {
+      (x.at(i, best_f) <= best_t ? left : right).push_back(i);
+    }
+    nodes_[static_cast<size_t>(me)].feature = best_f;
+    nodes_[static_cast<size_t>(me)].threshold = best_t;
+    const int l = build(x, y, left, depth + 1);
+    const int r = build(x, y, right, depth + 1);
+    nodes_[static_cast<size_t>(me)].left = l;
+    nodes_[static_cast<size_t>(me)].right = r;
+    return me;
+  }
+
+  DecisionTreeOptions opt_;
+  int n_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+// ------------------------------------------------------------ Linear SVM
+
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmOptions opt) : opt_(opt) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y, int n_classes) override {
+    nn::Rng rng(opt_.seed + 303);
+    net_ = nn::Mlp(x.cols(), n_classes, 0, 0, rng);  // linear scores
+    nn::Adam opt(net_.parameters(), {.lr = opt_.lr});
+    // One-vs-rest squared hinge: mean over samples and classes of
+    // max(0, 1 - s*y_pm)^2 where y_pm is +-1, plus L2 on weights.
+    train_minibatch(
+        x, y, n_classes, opt_.epochs, opt_.batch, opt, rng,
+        [&](const Var& xb, const Matrix& t) {
+          Var scores = net_.forward(xb);
+          Matrix pm(t.rows(), t.cols());
+          for (size_t i = 0; i < pm.size(); ++i) {
+            pm.data()[i] = t.data()[i] > 0.5f ? 1.0f : -1.0f;
+          }
+          Var margin = nn::add_scalar(nn::neg(nn::mul(scores, nn::constant(pm))), 1.0f);
+          Var hinge = nn::mean(nn::square(nn::relu(margin)));
+          Var reg = zeros_like_scalar();
+          for (const Var& p : net_.parameters()) {
+            reg = nn::add(reg, nn::sum(nn::square(p)));
+          }
+          return nn::add(hinge, nn::mul_scalar(reg, opt_.l2));
+        });
+  }
+
+  std::vector<int> predict(const Matrix& x) const override {
+    nn::NoGradGuard guard;
+    return argmax_rows(net_.forward(Var(x, false)).value());
+  }
+
+  std::string name() const override { return "LinearSVM"; }
+
+ private:
+  static Var zeros_like_scalar() { return nn::zeros(1, 1); }
+  LinearSvmOptions opt_;
+  nn::Mlp net_;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_mlp_classifier(MlpClassifierOptions opt) {
+  return std::make_unique<MlpClassifier>(opt);
+}
+std::unique_ptr<Classifier> make_naive_bayes() {
+  return std::make_unique<GaussianNaiveBayes>();
+}
+std::unique_ptr<Classifier> make_logistic_regression(
+    LogisticRegressionOptions opt) {
+  return std::make_unique<LogisticRegression>(opt);
+}
+std::unique_ptr<Classifier> make_decision_tree(DecisionTreeOptions opt) {
+  return std::make_unique<DecisionTree>(opt);
+}
+std::unique_ptr<Classifier> make_linear_svm(LinearSvmOptions opt) {
+  return std::make_unique<LinearSvm>(opt);
+}
+
+double accuracy(std::span<const int> pred, std::span<const int> truth) {
+  if (pred.size() != truth.size() || pred.empty()) {
+    throw std::invalid_argument("accuracy: size mismatch or empty");
+  }
+  int hit = 0;
+  for (size_t i = 0; i < pred.size(); ++i) hit += (pred[i] == truth[i]);
+  return hit / static_cast<double>(pred.size());
+}
+
+}  // namespace dg::downstream

@@ -1,0 +1,62 @@
+// The five classifiers of Fig 11 (end-event-type prediction): MLP, Gaussian
+// naive Bayes, logistic regression, decision tree, linear SVM. All share one
+// interface so benches can rank them (Table 4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace dg::downstream {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void fit(const nn::Matrix& x, const std::vector<int>& y,
+                   int n_classes) = 0;
+  virtual std::vector<int> predict(const nn::Matrix& x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+struct MlpClassifierOptions {
+  int hidden_units = 64;
+  int hidden_layers = 1;
+  int epochs = 60;
+  int batch = 64;
+  float lr = 1e-3f;
+  uint64_t seed = 0;
+};
+std::unique_ptr<Classifier> make_mlp_classifier(MlpClassifierOptions opt = {});
+
+std::unique_ptr<Classifier> make_naive_bayes();
+
+struct LogisticRegressionOptions {
+  int epochs = 80;
+  int batch = 64;
+  float lr = 5e-3f;
+  uint64_t seed = 0;
+};
+std::unique_ptr<Classifier> make_logistic_regression(
+    LogisticRegressionOptions opt = {});
+
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  int min_samples_leaf = 4;
+  int thresholds_per_feature = 12;
+};
+std::unique_ptr<Classifier> make_decision_tree(DecisionTreeOptions opt = {});
+
+struct LinearSvmOptions {
+  int epochs = 250;
+  int batch = 64;
+  float lr = 1e-2f;
+  float l2 = 1e-4f;
+  uint64_t seed = 0;
+};
+std::unique_ptr<Classifier> make_linear_svm(LinearSvmOptions opt = {});
+
+double accuracy(std::span<const int> pred, std::span<const int> truth);
+
+}  // namespace dg::downstream

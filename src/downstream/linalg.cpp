@@ -1,0 +1,54 @@
+#include "downstream/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dg::downstream {
+
+nn::Matrix cholesky(const nn::Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
+  const int n = a.rows();
+  nn::Matrix l(n, n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (int k = 0; k < j; ++k) {
+        s -= static_cast<double>(l.at(i, k)) * l.at(j, k);
+      }
+      if (i == j) {
+        if (s <= 0.0) throw std::invalid_argument("cholesky: matrix not SPD");
+        l.at(i, i) = static_cast<float>(std::sqrt(s));
+      } else {
+        l.at(i, j) = static_cast<float>(s / l.at(j, j));
+      }
+    }
+  }
+  return l;
+}
+
+nn::Matrix solve_spd(const nn::Matrix& a, const nn::Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("solve_spd: shape mismatch");
+  const nn::Matrix l = cholesky(a);
+  const int n = a.rows(), m = b.cols();
+  // Forward substitution: L y = b.
+  nn::Matrix y(n, m);
+  for (int c = 0; c < m; ++c) {
+    for (int i = 0; i < n; ++i) {
+      double s = b.at(i, c);
+      for (int k = 0; k < i; ++k) s -= static_cast<double>(l.at(i, k)) * y.at(k, c);
+      y.at(i, c) = static_cast<float>(s / l.at(i, i));
+    }
+  }
+  // Back substitution: L^T x = y.
+  nn::Matrix x(n, m);
+  for (int c = 0; c < m; ++c) {
+    for (int i = n - 1; i >= 0; --i) {
+      double s = y.at(i, c);
+      for (int k = i + 1; k < n; ++k) s -= static_cast<double>(l.at(k, i)) * x.at(k, c);
+      x.at(i, c) = static_cast<float>(s / l.at(i, i));
+    }
+  }
+  return x;
+}
+
+}  // namespace dg::downstream

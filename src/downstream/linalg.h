@@ -1,0 +1,15 @@
+// Small dense solvers for the closed-form regressors (ridge / kernel ridge).
+#pragma once
+
+#include "nn/matrix.h"
+
+namespace dg::downstream {
+
+/// Cholesky factorization of a symmetric positive-definite matrix; returns
+/// lower-triangular L with A = L L^T. Throws if A is not SPD.
+nn::Matrix cholesky(const nn::Matrix& a);
+
+/// Solves A X = B for SPD A via Cholesky (B may have many columns).
+nn::Matrix solve_spd(const nn::Matrix& a, const nn::Matrix& b);
+
+}  // namespace dg::downstream

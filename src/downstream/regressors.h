@@ -1,0 +1,45 @@
+// The regressors of Fig 27 (WWT forecasting): linear/ridge regression,
+// RBF kernel ridge, and MLPs, plus the coefficient of determination R^2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace dg::downstream {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  /// x: [n, d_in], y: [n, d_out] (multi-output supported).
+  virtual void fit(const nn::Matrix& x, const nn::Matrix& y) = 0;
+  virtual nn::Matrix predict(const nn::Matrix& x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Regressor> make_linear_regression(float ridge = 1e-3f);
+
+struct KernelRidgeOptions {
+  float gamma = 1.0f;  ///< RBF width: k(a,b) = exp(-gamma * ||a-b||^2 / d)
+  float alpha = 1e-2f; ///< ridge strength
+};
+std::unique_ptr<Regressor> make_kernel_ridge(KernelRidgeOptions opt = {});
+
+struct MlpRegressorOptions {
+  int hidden_units = 64;
+  int hidden_layers = 1;
+  int epochs = 80;
+  int batch = 64;
+  float lr = 1e-3f;
+  uint64_t seed = 0;
+  std::string display_name = "MLP";
+};
+std::unique_ptr<Regressor> make_mlp_regressor(MlpRegressorOptions opt = {});
+
+/// Coefficient of determination, uniformly averaged over output columns.
+/// Can be arbitrarily negative for bad fits; 1 is perfect.
+double r2_score(const nn::Matrix& truth, const nn::Matrix& pred);
+
+}  // namespace dg::downstream

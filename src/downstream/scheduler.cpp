@@ -1,0 +1,100 @@
+#include "downstream/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace dg::downstream {
+
+std::vector<Job> jobs_from_dataset(const data::Dataset& data, int k,
+                                   double mean_interarrival, nn::Rng& rng) {
+  if (mean_interarrival <= 0) {
+    throw std::invalid_argument("jobs_from_dataset: bad inter-arrival");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(data.size());
+  double now = 0.0;
+  for (const data::Object& o : data) {
+    Job j;
+    // Exponential inter-arrivals (memoryless arrival process).
+    now += -mean_interarrival * std::log(1.0 - rng.uniform());
+    j.arrival = now;
+    j.duration = static_cast<double>(o.length());
+    double demand = 0.0;
+    for (const auto& rec : o.features) demand += rec.at(static_cast<size_t>(k));
+    j.demand = demand / o.length();
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+std::string policy_name(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::Fifo: return "FIFO";
+    case SchedulingPolicy::ShortestJobFirst: return "SJF";
+    case SchedulingPolicy::LargestJobFirst: return "LJF";
+  }
+  return "?";
+}
+
+ScheduleMetrics simulate_schedule(std::vector<Job> jobs,
+                                  SchedulingPolicy policy, int machines) {
+  if (machines <= 0) throw std::invalid_argument("simulate_schedule: machines");
+  if (jobs.empty()) return {};
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.arrival < b.arrival; });
+
+  // Machine free times (min-heap).
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int m = 0; m < machines; ++m) free_at.push(0.0);
+
+  // Pending queue ordered by the policy.
+  const auto later = [policy](const Job& a, const Job& b) {
+    switch (policy) {
+      case SchedulingPolicy::Fifo: return a.arrival > b.arrival;
+      case SchedulingPolicy::ShortestJobFirst: return a.duration > b.duration;
+      case SchedulingPolicy::LargestJobFirst: return a.duration < b.duration;
+    }
+    return false;
+  };
+  std::priority_queue<Job, std::vector<Job>, decltype(later)> pending(later);
+
+  ScheduleMetrics metrics;
+  size_t next = 0;
+  double total_wait = 0.0, total_slowdown = 0.0, makespan = 0.0;
+  const size_t n = jobs.size();
+  while (next < n || !pending.empty()) {
+    // The earliest instant a machine is free.
+    const double machine_time = free_at.top();
+    if (pending.empty()) {
+      // Nothing queued: jump to the next arrival.
+      pending.push(jobs[next]);
+      const double t = jobs[next].arrival;
+      ++next;
+      // Pull in everything that arrived by then.
+      while (next < n && jobs[next].arrival <= t) pending.push(jobs[next++]);
+      continue;
+    }
+    // Admit arrivals that land before the machine frees up; they compete
+    // under the policy order.
+    while (next < n && jobs[next].arrival <= machine_time) {
+      pending.push(jobs[next++]);
+    }
+    const Job job = pending.top();
+    pending.pop();
+    free_at.pop();
+    const double start = std::max(machine_time, job.arrival);
+    const double finish = start + job.duration;
+    free_at.push(finish);
+    total_wait += start - job.arrival;
+    total_slowdown += (finish - job.arrival) / std::max(1e-9, job.duration);
+    makespan = std::max(makespan, finish);
+  }
+  metrics.mean_wait = total_wait / static_cast<double>(n);
+  metrics.mean_slowdown = total_slowdown / static_cast<double>(n);
+  metrics.makespan = makespan;
+  return metrics;
+}
+
+}  // namespace dg::downstream

@@ -1,0 +1,47 @@
+// Cluster-scheduling simulator for the paper's "algorithm design" use case
+// (§2.1, task 1): resource-allocation algorithms are tuned on workload data,
+// and the key property of synthetic data is that *if scheduler A beats
+// scheduler B on the real workload, the same should hold on the generated
+// one*. Jobs are derived from task-usage objects (GCUT-like traces); the
+// simulator runs M identical machines with non-preemptive policies and
+// reports waiting time / slowdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "nn/rng.h"
+
+namespace dg::downstream {
+
+struct Job {
+  double arrival = 0.0;
+  double duration = 0.0;  ///< service time (epochs)
+  double demand = 0.0;    ///< mean resource demand in [0,1] (informational)
+};
+
+/// Derives one job per object: duration = series length, demand = mean of
+/// feature `k`, arrivals Poisson-ish with the given mean inter-arrival.
+std::vector<Job> jobs_from_dataset(const data::Dataset& data, int k,
+                                   double mean_interarrival, nn::Rng& rng);
+
+enum class SchedulingPolicy {
+  Fifo,               ///< first-come first-served
+  ShortestJobFirst,   ///< non-preemptive SJF on known durations
+  LargestJobFirst,    ///< worst-case contrast policy
+};
+
+std::string policy_name(SchedulingPolicy p);
+
+struct ScheduleMetrics {
+  double mean_wait = 0.0;
+  double mean_slowdown = 0.0;  ///< (wait + service) / service
+  double makespan = 0.0;
+};
+
+/// Non-preemptive simulation on `machines` identical servers.
+ScheduleMetrics simulate_schedule(std::vector<Job> jobs,
+                                  SchedulingPolicy policy, int machines);
+
+}  // namespace dg::downstream

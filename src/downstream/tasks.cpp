@@ -1,0 +1,69 @@
+#include "downstream/tasks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/encoding.h"
+
+namespace dg::downstream {
+
+ClassificationTask make_event_classification(const data::Schema& schema,
+                                             const data::Dataset& data,
+                                             int attr, int pad_len) {
+  const data::FieldSpec& spec = schema.attributes.at(static_cast<size_t>(attr));
+  if (spec.type != data::FieldType::Categorical) {
+    throw std::invalid_argument("make_event_classification: attr not categorical");
+  }
+  if (pad_len <= 0) pad_len = schema.max_timesteps;
+  const int k = schema.num_features();
+
+  ClassificationTask task;
+  task.n_classes = spec.n_categories;
+  task.x = nn::Matrix(static_cast<int>(data.size()), pad_len * k, 0.0f);
+  task.y.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const data::Object& o = data[i];
+    task.y.push_back(static_cast<int>(o.attributes.at(static_cast<size_t>(attr))));
+    const int t_use = std::min(o.length(), pad_len);
+    for (int t = 0; t < t_use; ++t) {
+      for (int f = 0; f < k; ++f) {
+        const data::FieldSpec& fs = schema.features[static_cast<size_t>(f)];
+        const float raw = o.features[static_cast<size_t>(t)][static_cast<size_t>(f)];
+        const float v = fs.type == data::FieldType::Continuous
+                            ? data::scale01(fs, raw)
+                            : raw / std::max(1, fs.n_categories - 1);
+        task.x.at(static_cast<int>(i), t * k + f) = v;
+      }
+    }
+  }
+  return task;
+}
+
+ForecastTask make_forecast(const data::Dataset& data, int k, int input_len,
+                           int horizon) {
+  if (input_len <= 0 || horizon <= 0) {
+    throw std::invalid_argument("make_forecast: bad window sizes");
+  }
+  std::vector<std::vector<float>> usable;
+  for (const data::Object& o : data) {
+    if (o.length() >= input_len + horizon) usable.push_back(data::feature_column(o, k));
+  }
+  ForecastTask task;
+  task.x = nn::Matrix(static_cast<int>(usable.size()), input_len);
+  task.y = nn::Matrix(static_cast<int>(usable.size()), horizon);
+  for (size_t i = 0; i < usable.size(); ++i) {
+    float mx = 0.0f;
+    for (int t = 0; t < input_len; ++t) mx = std::max(mx, usable[i][static_cast<size_t>(t)]);
+    const float scale = 1.0f / (mx + 1e-6f);
+    for (int t = 0; t < input_len; ++t) {
+      task.x.at(static_cast<int>(i), t) = usable[i][static_cast<size_t>(t)] * scale;
+    }
+    for (int t = 0; t < horizon; ++t) {
+      task.y.at(static_cast<int>(i), t) =
+          usable[i][static_cast<size_t>(input_len + t)] * scale;
+    }
+  }
+  return task;
+}
+
+}  // namespace dg::downstream

@@ -1,0 +1,36 @@
+// Featurization for the paper's downstream case studies (§5.1.1):
+//  - event-type classification on GCUT-like data (Fig 11, Table 4)
+//  - page-view forecasting on WWT-like data (Fig 27, Table 4)
+#pragma once
+
+#include <vector>
+
+#include "data/types.h"
+#include "nn/matrix.h"
+
+namespace dg::downstream {
+
+struct ClassificationTask {
+  nn::Matrix x;        // [n, pad_len * K] schema-scaled, zero-padded series
+  std::vector<int> y;  // attribute category per object
+  int n_classes = 0;
+};
+
+/// Predict categorical attribute `attr` from the (padded, [0,1]-scaled)
+/// feature time series.
+ClassificationTask make_event_classification(const data::Schema& schema,
+                                             const data::Dataset& data,
+                                             int attr, int pad_len = 0);
+
+struct ForecastTask {
+  nn::Matrix x;  // [n, input_len]  per-sample max-normalized history
+  nn::Matrix y;  // [n, horizon]    targets on the same scale
+};
+
+/// Forecast the next `horizon` points of feature `k` from the first
+/// `input_len` points; each series is normalized by its history max.
+/// Objects shorter than input_len + horizon are skipped.
+ForecastTask make_forecast(const data::Dataset& data, int k, int input_len,
+                           int horizon);
+
+}  // namespace dg::downstream

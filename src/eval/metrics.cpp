@@ -1,0 +1,283 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dg::eval {
+
+std::vector<double> autocorrelation(std::span<const float> series, int max_lag) {
+  const int n = static_cast<int>(series.size());
+  std::vector<double> r(static_cast<size_t>(max_lag) + 1, 0.0);
+  if (n == 0) return r;
+  double mu = 0.0;
+  for (float v : series) mu += v;
+  mu /= n;
+  double var = 0.0;
+  for (float v : series) var += (v - mu) * (v - mu);
+  if (var <= 1e-12) {
+    r[0] = 1.0;
+    return r;
+  }
+  for (int l = 0; l <= max_lag && l < n; ++l) {
+    double acc = 0.0;
+    for (int t = 0; t + l < n; ++t) acc += (series[t] - mu) * (series[t + l] - mu);
+    r[static_cast<size_t>(l)] = acc / var;
+  }
+  return r;
+}
+
+std::vector<double> mean_autocorrelation(const data::Dataset& data, int k,
+                                         int max_lag) {
+  std::vector<double> acc(static_cast<size_t>(max_lag) + 1, 0.0);
+  std::vector<int> counts(static_cast<size_t>(max_lag) + 1, 0);
+  for (const data::Object& o : data) {
+    const auto col = data::feature_column(o, k);
+    const int usable = std::min<int>(max_lag, static_cast<int>(col.size()) - 2);
+    if (usable < 0) continue;
+    const auto r = autocorrelation(col, usable);
+    for (int l = 0; l <= usable; ++l) {
+      acc[static_cast<size_t>(l)] += r[static_cast<size_t>(l)];
+      ++counts[static_cast<size_t>(l)];
+    }
+  }
+  for (size_t l = 0; l < acc.size(); ++l) {
+    if (counts[l] > 0) acc[l] /= counts[l];
+  }
+  return acc;
+}
+
+double mse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("mse: size mismatch or empty");
+  }
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double wasserstein1(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("wasserstein1: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Sweep the merged support, integrating |F_a(x) - F_b(x)| dx.
+  size_t ia = 0, ib = 0;
+  double dist = 0.0;
+  double prev = std::min(a.front(), b.front());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() || ib < b.size()) {
+    const double next = (ib >= b.size() || (ia < a.size() && a[ia] <= b[ib]))
+                            ? a[ia]
+                            : b[ib];
+    dist += std::fabs(ia / na - ib / nb) * (next - prev);
+    prev = next;
+    while (ia < a.size() && a[ia] == next) ++ia;
+    while (ib < b.size() && b[ib] == next) ++ib;
+  }
+  return dist;
+}
+
+namespace {
+std::vector<double> normalized(std::span<const double> p) {
+  double total = 0.0;
+  for (double v : p) {
+    if (v < 0) throw std::invalid_argument("jsd: negative mass");
+    total += v;
+  }
+  if (total <= 0) throw std::invalid_argument("jsd: zero mass");
+  std::vector<double> out(p.begin(), p.end());
+  for (double& v : out) v /= total;
+  return out;
+}
+}  // namespace
+
+double jsd(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size() || p.empty()) {
+    throw std::invalid_argument("jsd: size mismatch or empty");
+  }
+  const auto pn = normalized(p);
+  const auto qn = normalized(q);
+  double d = 0.0;
+  for (size_t i = 0; i < pn.size(); ++i) {
+    const double m = 0.5 * (pn[i] + qn[i]);
+    if (pn[i] > 0) d += 0.5 * pn[i] * std::log2(pn[i] / m);
+    if (qn[i] > 0) d += 0.5 * qn[i] * std::log2(qn[i] / m);
+  }
+  return std::max(0.0, d);
+}
+
+namespace {
+std::vector<double> average_ranks(std::span<const double> v) {
+  const size_t n = v.size();
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    throw std::invalid_argument("spearman: need >= 2 paired values");
+  }
+  const auto ra = average_ranks(a);
+  const auto rb = average_ranks(b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va <= 0 || vb <= 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+Histogram histogram(std::span<const double> values, int bins, double lo,
+                    double hi) {
+  if (bins <= 0 || !(lo < hi)) throw std::invalid_argument("histogram: bad bins/range");
+  Histogram h;
+  h.edges.resize(static_cast<size_t>(bins) + 1);
+  for (int i = 0; i <= bins; ++i) {
+    h.edges[static_cast<size_t>(i)] = lo + (hi - lo) * i / bins;
+  }
+  h.counts.assign(static_cast<size_t>(bins), 0.0);
+  for (double v : values) {
+    if (v < lo || v > hi) continue;
+    int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    b = std::min(b, bins - 1);
+    h.counts[static_cast<size_t>(b)] += 1.0;
+  }
+  return h;
+}
+
+std::vector<double> attribute_marginal(const data::Dataset& data,
+                                       const data::Schema& schema, int attr) {
+  const data::FieldSpec& spec = schema.attributes.at(static_cast<size_t>(attr));
+  if (spec.type != data::FieldType::Categorical) {
+    throw std::invalid_argument("attribute_marginal: attribute not categorical");
+  }
+  std::vector<double> counts(static_cast<size_t>(spec.n_categories), 0.0);
+  for (const data::Object& o : data) {
+    counts.at(static_cast<size_t>(o.attributes.at(static_cast<size_t>(attr)))) += 1.0;
+  }
+  const double total = static_cast<double>(data.size());
+  if (total > 0) {
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+std::vector<double> length_distribution(const data::Dataset& data, int max_len) {
+  std::vector<double> counts(static_cast<size_t>(max_len), 0.0);
+  for (const data::Object& o : data) {
+    const int len = std::clamp(o.length(), 1, max_len);
+    counts[static_cast<size_t>(len - 1)] += 1.0;
+  }
+  if (!data.empty()) {
+    for (double& c : counts) c /= static_cast<double>(data.size());
+  }
+  return counts;
+}
+
+std::vector<double> per_object_totals(const data::Dataset& data, int k,
+                                      double scale) {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const data::Object& o : data) {
+    double s = 0.0;
+    for (const auto& rec : o.features) s += rec.at(static_cast<size_t>(k));
+    out.push_back(s * scale);
+  }
+  return out;
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0, ib = 0;
+  double best = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    best = std::max(best, std::fabs(ia / na - ib / nb));
+  }
+  return best;
+}
+
+double feature_correlation(const data::Dataset& data, int k1, int k2) {
+  double s1 = 0, s2 = 0;
+  long count = 0;
+  for (const data::Object& o : data) {
+    for (const auto& rec : o.features) {
+      s1 += rec.at(static_cast<size_t>(k1));
+      s2 += rec.at(static_cast<size_t>(k2));
+      ++count;
+    }
+  }
+  if (count < 2) throw std::invalid_argument("feature_correlation: too few records");
+  const double m1 = s1 / count, m2 = s2 / count;
+  double cov = 0, v1 = 0, v2 = 0;
+  for (const data::Object& o : data) {
+    for (const auto& rec : o.features) {
+      const double d1 = rec.at(static_cast<size_t>(k1)) - m1;
+      const double d2 = rec.at(static_cast<size_t>(k2)) - m2;
+      cov += d1 * d2;
+      v1 += d1 * d1;
+      v2 += d2 * d2;
+    }
+  }
+  if (v1 <= 1e-12 || v2 <= 1e-12) return 0.0;
+  return cov / std::sqrt(v1 * v2);
+}
+
+std::vector<std::pair<int, double>> nearest_neighbors(
+    const std::vector<float>& query, const data::Dataset& train, int k,
+    int top_k) {
+  std::vector<std::pair<int, double>> dists;
+  dists.reserve(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    const auto col = data::feature_column(train[i], k);
+    const size_t overlap = std::min(query.size(), col.size());
+    if (overlap == 0) continue;
+    double d = 0.0;
+    for (size_t t = 0; t < overlap; ++t) {
+      d += (query[t] - col[t]) * (query[t] - col[t]);
+    }
+    dists.emplace_back(static_cast<int>(i), d / static_cast<double>(overlap));
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(top_k), dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(keep),
+                    dists.end(),
+                    [](const auto& a, const auto& b) { return a.second < b.second; });
+  dists.resize(keep);
+  return dists;
+}
+
+}  // namespace dg::eval

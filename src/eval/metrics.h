@@ -1,0 +1,70 @@
+// Fidelity metrics used throughout the paper's evaluation: autocorrelation
+// (Fig 1/13/33), Wasserstein-1 distance between CDFs (Table 3), JSD between
+// categorical histograms (Figs 20-23), Spearman rank correlation (Table 4),
+// and the nearest-neighbour memorization probe (Figs 24-26).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "data/types.h"
+
+namespace dg::eval {
+
+/// Normalized autocorrelation r(l) for l = 0..max_lag of one series.
+/// A (near-)constant series yields zeros beyond lag 0.
+std::vector<double> autocorrelation(std::span<const float> series, int max_lag);
+
+/// Autocorrelation averaged over all objects' feature column `k`
+/// (series shorter than lag+2 are skipped for that lag).
+std::vector<double> mean_autocorrelation(const data::Dataset& data, int k,
+                                         int max_lag);
+
+double mse(std::span<const double> a, std::span<const double> b);
+
+/// Exact 1-D Wasserstein-1 (earth mover's) distance between two empirical
+/// samples, by integrating |F_a - F_b|.
+double wasserstein1(std::vector<double> a, std::vector<double> b);
+
+/// Jensen-Shannon divergence (base-2 logs, in [0,1]) between two discrete
+/// distributions; inputs are normalized internally.
+double jsd(std::span<const double> p, std::span<const double> q);
+
+/// Spearman's rank correlation coefficient (ties get average ranks).
+double spearman(std::span<const double> a, std::span<const double> b);
+
+struct Histogram {
+  std::vector<double> edges;   // bins+1 edges
+  std::vector<double> counts;  // bins counts
+};
+Histogram histogram(std::span<const double> values, int bins, double lo,
+                    double hi);
+
+/// Empirical marginal of categorical attribute `attr` (normalized).
+std::vector<double> attribute_marginal(const data::Dataset& data,
+                                       const data::Schema& schema, int attr);
+
+/// Empirical length distribution over [1, max_len] (normalized).
+std::vector<double> length_distribution(const data::Dataset& data, int max_len);
+
+/// Sum of feature `k` over the whole series for every object, optionally
+/// scaled (e.g. bytes -> GB).
+std::vector<double> per_object_totals(const data::Dataset& data, int k,
+                                      double scale = 1.0);
+
+/// Two-sample Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)|.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Pearson correlation between feature columns k1 and k2, pooled over all
+/// records of all objects — e.g. the cpu/memory coupling in cluster traces.
+double feature_correlation(const data::Dataset& data, int k1, int k2);
+
+/// Indices + squared distances of the `top_k` nearest training series to
+/// `query` (feature column `k`, compared over the overlapping prefix,
+/// normalized by its length).
+std::vector<std::pair<int, double>> nearest_neighbors(
+    const std::vector<float>& query, const data::Dataset& train, int k,
+    int top_k);
+
+}  // namespace dg::eval

@@ -1,0 +1,116 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "eval/metrics.h"
+
+namespace dg::eval {
+
+namespace {
+
+std::vector<double> pooled_values(const data::Dataset& d, int k) {
+  std::vector<double> out;
+  for (const data::Object& o : d) {
+    for (const auto& rec : o.features) {
+      out.push_back(rec.at(static_cast<size_t>(k)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double FidelityReport::headline() const {
+  double total = 0.0;
+  int terms = 0;
+  for (const auto& a : attributes) {
+    total += a.jsd;
+    ++terms;
+  }
+  total += length_jsd;
+  ++terms;
+  for (const auto& f : features) {
+    total += f.value_ks;
+    ++terms;
+  }
+  return terms ? total / terms : 0.0;
+}
+
+FidelityReport fidelity_report(const data::Schema& schema,
+                               const data::Dataset& real,
+                               const data::Dataset& synthetic,
+                               const FidelityOptions& opt) {
+  if (real.empty() || synthetic.empty()) {
+    throw std::invalid_argument("fidelity_report: empty dataset");
+  }
+  FidelityReport rep;
+
+  for (size_t j = 0; j < schema.attributes.size(); ++j) {
+    const auto& spec = schema.attributes[j];
+    if (spec.type != data::FieldType::Categorical) continue;
+    rep.attributes.push_back(
+        {spec.name,
+         jsd(attribute_marginal(real, schema, static_cast<int>(j)),
+             attribute_marginal(synthetic, schema, static_cast<int>(j)))});
+  }
+
+  rep.length_jsd = jsd(length_distribution(real, schema.max_timesteps),
+                       length_distribution(synthetic, schema.max_timesteps));
+
+  const int max_lag =
+      opt.max_lag > 0 ? opt.max_lag : std::max(1, schema.max_timesteps / 2);
+  for (int k = 0; k < schema.num_features(); ++k) {
+    FeatureFidelity f;
+    f.name = schema.features[static_cast<size_t>(k)].name;
+    const auto rv = pooled_values(real, k);
+    const auto sv = pooled_values(synthetic, k);
+    f.value_w1 = wasserstein1(rv, sv);
+    f.value_ks = ks_statistic(rv, sv);
+    f.totals_w1 = wasserstein1(per_object_totals(real, k),
+                               per_object_totals(synthetic, k));
+    f.autocorr_mse = mse(mean_autocorrelation(real, k, max_lag),
+                         mean_autocorrelation(synthetic, k, max_lag));
+    rep.features.push_back(std::move(f));
+  }
+
+  for (int a = 0; a < schema.num_features(); ++a) {
+    for (int b = a + 1; b < schema.num_features(); ++b) {
+      rep.cross_correlations.push_back(
+          {schema.features[static_cast<size_t>(a)].name,
+           schema.features[static_cast<size_t>(b)].name,
+           feature_correlation(real, a, b),
+           feature_correlation(synthetic, a, b)});
+    }
+  }
+  return rep;
+}
+
+void print_report(std::ostream& os, const FidelityReport& report) {
+  os << "fidelity headline (0 = indistinguishable): " << report.headline()
+     << "\n\n";
+  if (!report.attributes.empty()) {
+    os << "| attribute | marginal JSD |\n|---|---|\n";
+    for (const auto& a : report.attributes) {
+      os << "| " << a.name << " | " << a.jsd << " |\n";
+    }
+    os << "\n";
+  }
+  os << "length distribution JSD: " << report.length_jsd << "\n\n";
+  os << "| feature | value W1 | value KS | totals W1 | autocorr MSE |\n"
+     << "|---|---|---|---|---|\n";
+  for (const auto& f : report.features) {
+    os << "| " << f.name << " | " << f.value_w1 << " | " << f.value_ks
+       << " | " << f.totals_w1 << " | " << f.autocorr_mse << " |\n";
+  }
+  if (!report.cross_correlations.empty()) {
+    os << "\n| feature pair | corr (real) | corr (synthetic) |\n|---|---|---|\n";
+    for (const auto& c : report.cross_correlations) {
+      os << "| " << c.a << " x " << c.b << " | " << c.real << " | "
+         << c.synthetic << " |\n";
+    }
+  }
+}
+
+}  // namespace dg::eval

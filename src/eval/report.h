@@ -1,0 +1,59 @@
+// Structured fidelity report: the battery of §5.1-style microbenchmarks
+// (attribute marginals, length distribution, per-feature value/W1/KS,
+// autocorrelation, cross-feature correlations) computed between a reference
+// dataset and a candidate synthetic dataset. Powers `dgcli stats --compare`
+// and gives downstream users a one-call fidelity summary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace dg::eval {
+
+struct AttributeFidelity {
+  std::string name;
+  double jsd = 0.0;  ///< base-2 JSD between categorical marginals
+};
+
+struct FeatureFidelity {
+  std::string name;
+  double value_w1 = 0.0;        ///< W1 between pooled per-record values
+  double value_ks = 0.0;        ///< KS between pooled per-record values
+  double totals_w1 = 0.0;       ///< W1 between per-object series totals
+  double autocorr_mse = 0.0;    ///< MSE between mean autocorrelations
+};
+
+struct CrossCorrelationFidelity {
+  std::string a, b;
+  double real = 0.0;
+  double synthetic = 0.0;
+};
+
+struct FidelityReport {
+  std::vector<AttributeFidelity> attributes;   ///< categorical attrs only
+  std::vector<FeatureFidelity> features;
+  double length_jsd = 0.0;
+  std::vector<CrossCorrelationFidelity> cross_correlations;
+
+  /// Coarse scalar summary in [0, +inf): mean of the bounded terms
+  /// (attribute JSDs, length JSD, per-feature KS). 0 = indistinguishable.
+  double headline() const;
+};
+
+struct FidelityOptions {
+  int max_lag = 0;  ///< 0: use max_timesteps / 2
+};
+
+/// Both datasets must conform to `schema`.
+FidelityReport fidelity_report(const data::Schema& schema,
+                               const data::Dataset& real,
+                               const data::Dataset& synthetic,
+                               const FidelityOptions& opt = {});
+
+/// Human-readable rendering (markdown-ish table).
+void print_report(std::ostream& os, const FidelityReport& report);
+
+}  // namespace dg::eval

@@ -1,0 +1,464 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dg::nn {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+bool grad_enabled() { return g_grad_enabled; }
+
+Var::Var(Matrix value, bool requires_grad) {
+  n_ = std::make_shared<detail::Node>();
+  n_->value = std::move(value);
+  n_->requires_grad = requires_grad;
+}
+
+const Matrix& Var::value() const {
+  if (!n_) throw std::logic_error("Var::value on undefined Var");
+  return n_->value;
+}
+
+Matrix& Var::mutable_value() {
+  if (!n_) throw std::logic_error("Var::mutable_value on undefined Var");
+  if (n_->backward) throw std::logic_error("mutable_value on non-leaf Var");
+  return n_->value;
+}
+
+Var Var::detach() const { return constant(value()); }
+
+Var Var::grad() const {
+  if (!n_ || !n_->grad_slot) return {};
+  Var g;
+  g.n_ = n_->grad_slot;
+  return g;
+}
+
+void Var::clear_grad() {
+  if (n_) n_->grad_slot.reset();
+}
+
+/// Creates an op-result node. If grad mode is off or no parent needs a
+/// gradient, the result is a plain constant and the graph edge is dropped.
+Var make_op(Matrix value, std::vector<Var> parents,
+            std::function<std::vector<Var>(const Var&)> backward) {
+  bool needs = false;
+  if (g_grad_enabled) {
+    for (const Var& p : parents) needs = needs || p.requires_grad();
+  }
+  Var out;
+  out.n_ = std::make_shared<detail::Node>();
+  out.n_->value = std::move(value);
+  out.n_->requires_grad = needs;
+  if (needs) {
+    out.n_->parents = std::move(parents);
+    out.n_->backward = std::move(backward);
+  }
+  return out;
+}
+
+Var constant(Matrix m) { return Var(std::move(m), false); }
+Var ones(int rows, int cols) { return constant(Matrix(rows, cols, 1.0f)); }
+Var zeros(int rows, int cols) { return constant(Matrix(rows, cols, 0.0f)); }
+
+// ---------------------------------------------------------------- backward
+
+namespace {
+
+/// Iterative post-order topological sort over the requires_grad subgraph.
+std::vector<detail::Node*> topo_order(detail::Node* root) {
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  struct Frame {
+    detail::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      detail::Node* p = f.node->parents[f.next_parent++].node();
+      if (p && p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // children appear after parents when reversed
+}
+
+/// Runs reverse-mode accumulation; returns the full node->grad map.
+std::unordered_map<detail::Node*, Var> run_backward(const Var& out,
+                                                    bool create_graph) {
+  if (!out.defined()) throw std::logic_error("backward on undefined Var");
+  if (out.value().rows() != 1 || out.value().cols() != 1) {
+    throw std::invalid_argument("backward requires a scalar (1x1) output");
+  }
+  std::unordered_map<detail::Node*, Var> grads;
+  if (!out.requires_grad()) return grads;
+
+  auto order = topo_order(out.node());
+  grads[out.node()] = constant(Matrix(1, 1, 1.0f));
+
+  std::unique_ptr<NoGradGuard> guard;
+  if (!create_graph) guard = std::make_unique<NoGradGuard>();
+
+  // order is post-order (parents before children); walk it backwards so each
+  // node's gradient is complete before its backward rule fires.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* node = *it;
+    auto git = grads.find(node);
+    if (git == grads.end() || !node->backward) continue;
+    const Var gout = git->second;
+    std::vector<Var> pgrads = node->backward(gout);
+    if (pgrads.size() != node->parents.size()) {
+      throw std::logic_error("backward rule returned wrong arity");
+    }
+    for (size_t i = 0; i < pgrads.size(); ++i) {
+      const Var& parent = node->parents[i];
+      if (!parent.requires_grad() || !pgrads[i].defined()) continue;
+      if (!pgrads[i].value().same_shape(parent.value())) {
+        throw std::logic_error("gradient shape mismatch");
+      }
+      auto [slot, inserted] = grads.try_emplace(parent.node(), pgrads[i]);
+      if (!inserted) slot->second = add(slot->second, pgrads[i]);
+    }
+  }
+  return grads;
+}
+
+}  // namespace
+
+void Var::backward(bool create_graph) const {
+  auto grads = run_backward(*this, create_graph);
+  for (auto& [node, g] : grads) {
+    if (node->backward) continue;  // only leaves keep grads
+    if (!node->grad_slot) {
+      node->grad_slot = std::make_shared<detail::Node>();
+      node->grad_slot->value = g.value();
+    } else {
+      node->grad_slot->value = dg::nn::add(node->grad_slot->value, g.value());
+    }
+  }
+}
+
+namespace autograd {
+std::vector<Var> grad(const Var& out, std::span<const Var> inputs,
+                      bool create_graph) {
+  auto grads = run_backward(out, create_graph);
+  std::vector<Var> result;
+  result.reserve(inputs.size());
+  for (const Var& in : inputs) {
+    auto it = grads.find(in.node());
+    result.push_back(it == grads.end() ? Var{} : it->second);
+  }
+  return result;
+}
+}  // namespace autograd
+
+// ---------------------------------------------------------------- ops
+
+Var add(const Var& a, const Var& b) {
+  return make_op(dg::nn::add(a.value(), b.value()), {a, b},
+                 [](const Var& g) { return std::vector<Var>{g, g}; });
+}
+
+Var sub(const Var& a, const Var& b) {
+  return make_op(dg::nn::sub(a.value(), b.value()), {a, b},
+                 [](const Var& g) { return std::vector<Var>{g, neg(g)}; });
+}
+
+Var neg(const Var& a) {
+  return make_op(dg::nn::mul_scalar(a.value(), -1.0f), {a},
+                 [](const Var& g) { return std::vector<Var>{neg(g)}; });
+}
+
+Var mul(const Var& a, const Var& b) {
+  return make_op(dg::nn::mul(a.value(), b.value()), {a, b}, [a, b](const Var& g) {
+    return std::vector<Var>{mul(g, b), mul(g, a)};
+  });
+}
+
+Var div(const Var& a, const Var& b) {
+  return make_op(dg::nn::div(a.value(), b.value()), {a, b}, [a, b](const Var& g) {
+    Var da = div(g, b);
+    Var db = neg(div(mul(g, a), mul(b, b)));
+    return std::vector<Var>{da, db};
+  });
+}
+
+Var add_scalar(const Var& a, float s) {
+  return make_op(dg::nn::add_scalar(a.value(), s), {a},
+                 [](const Var& g) { return std::vector<Var>{g}; });
+}
+
+Var mul_scalar(const Var& a, float s) {
+  return make_op(dg::nn::mul_scalar(a.value(), s), {a}, [s](const Var& g) {
+    return std::vector<Var>{mul_scalar(g, s)};
+  });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  return make_op(dg::nn::matmul(a.value(), b.value()), {a, b},
+                 [a, b](const Var& g) {
+                   Var da = matmul(g, transpose(b));
+                   Var db = matmul(transpose(a), g);
+                   return std::vector<Var>{da, db};
+                 });
+}
+
+Var transpose(const Var& a) {
+  return make_op(dg::nn::transpose(a.value()), {a}, [](const Var& g) {
+    return std::vector<Var>{transpose(g)};
+  });
+}
+
+Var add_rowvec(const Var& x, const Var& b) {
+  return make_op(dg::nn::add_rowvec(x.value(), b.value()), {x, b},
+                 [](const Var& g) {
+                   return std::vector<Var>{g, col_sum(g)};
+                 });
+}
+
+Var mul_colvec(const Var& x, const Var& v) {
+  return make_op(dg::nn::mul_colvec(x.value(), v.value()), {x, v},
+                 [x, v](const Var& g) {
+                   Var dx = mul_colvec(g, v);
+                   Var dv = row_sum(mul(g, x));
+                   return std::vector<Var>{dx, dv};
+                 });
+}
+
+Var mul_rowvec(const Var& x, const Var& m) {
+  return make_op(dg::nn::mul_rowvec(x.value(), m.value()), {x, m},
+                 [x, m](const Var& g) {
+                   Var dx = mul_rowvec(g, m);
+                   Var dm = col_sum(mul(g, x));
+                   return std::vector<Var>{dx, dm};
+                 });
+}
+
+Var broadcast_scalar(const Var& s, int rows, int cols) {
+  if (s.rows() != 1 || s.cols() != 1) {
+    throw std::invalid_argument("broadcast_scalar: input must be 1x1");
+  }
+  return make_op(Matrix(rows, cols, s.value().at(0, 0)), {s},
+                 [](const Var& g) { return std::vector<Var>{sum(g)}; });
+}
+
+Var row_sum(const Var& a) {
+  const int n = a.rows(), d = a.cols();
+  return make_op(dg::nn::row_sum(a.value()), {a}, [n, d](const Var& g) {
+    return std::vector<Var>{mul_colvec(ones(n, d), g)};
+  });
+}
+
+Var col_sum(const Var& a) {
+  const int n = a.rows(), d = a.cols();
+  return make_op(dg::nn::col_sum(a.value()), {a}, [n, d](const Var& g) {
+    return std::vector<Var>{add_rowvec(zeros(n, d), g)};
+  });
+}
+
+Var sum(const Var& a) {
+  const int n = a.rows(), d = a.cols();
+  return make_op(Matrix(1, 1, dg::nn::sum(a.value())), {a},
+                 [n, d](const Var& g) {
+                   return std::vector<Var>{broadcast_scalar(g, n, d)};
+                 });
+}
+
+Var mean(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return mul_scalar(sum(a), inv);
+}
+
+Var relu(const Var& a) {
+  Matrix out = a.value();
+  Matrix mask(out.rows(), out.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const bool pos = out.data()[i] > 0.0f;
+    mask.data()[i] = pos ? 1.0f : 0.0f;
+    if (!pos) out.data()[i] = 0.0f;
+  }
+  // The mask is locally constant, so it is correct to treat it as data.
+  return make_op(std::move(out), {a}, [m = std::move(mask)](const Var& g) {
+    return std::vector<Var>{mul(g, constant(m))};
+  });
+}
+
+Var tanh_(const Var& a) {
+  Matrix out = apply(a.value(), [](float v) { return std::tanh(v); });
+  // Recompute tanh(a) in the backward pass instead of capturing the output
+  // Var (which would create a shared_ptr cycle node->backward->node).
+  return make_op(std::move(out), {a}, [a](const Var& g) {
+    Var y = tanh_(a);
+    return std::vector<Var>{mul(g, add_scalar(neg(square(y)), 1.0f))};
+  });
+}
+
+Var sigmoid(const Var& a) {
+  Matrix out = apply(a.value(), [](float v) {
+    return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
+                  : std::exp(v) / (1.0f + std::exp(v));
+  });
+  return make_op(std::move(out), {a}, [a](const Var& g) {
+    Var s = sigmoid(a);
+    return std::vector<Var>{mul(g, mul(s, add_scalar(neg(s), 1.0f)))};
+  });
+}
+
+Var exp_(const Var& a) {
+  Matrix out = apply(a.value(), [](float v) { return std::exp(v); });
+  return make_op(std::move(out), {a}, [a](const Var& g) {
+    return std::vector<Var>{mul(g, exp_(a))};
+  });
+}
+
+Var log_(const Var& a) {
+  Matrix out = apply(a.value(), [](float v) { return std::log(v); });
+  return make_op(std::move(out), {a}, [a](const Var& g) {
+    return std::vector<Var>{div(g, a)};
+  });
+}
+
+Var sqrt_(const Var& a) {
+  Matrix out = apply(a.value(), [](float v) { return std::sqrt(v); });
+  return make_op(std::move(out), {a}, [a](const Var& g) {
+    return std::vector<Var>{mul_scalar(div(g, sqrt_(a)), 0.5f)};
+  });
+}
+
+Var square(const Var& a) {
+  return make_op(dg::nn::mul(a.value(), a.value()), {a}, [a](const Var& g) {
+    return std::vector<Var>{mul_scalar(mul(g, a), 2.0f)};
+  });
+}
+
+Var abs_(const Var& a) {
+  Matrix out = apply(a.value(), [](float v) { return std::fabs(v); });
+  Matrix sign(out.rows(), out.cols());
+  for (size_t i = 0; i < out.size(); ++i) {
+    sign.data()[i] = a.value().data()[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return make_op(std::move(out), {a}, [s = std::move(sign)](const Var& g) {
+    return std::vector<Var>{mul(g, constant(s))};
+  });
+}
+
+Var concat_cols(std::span<const Var> parts) {
+  std::vector<const Matrix*> mats;
+  std::vector<Var> parents;
+  std::vector<int> widths;
+  mats.reserve(parts.size());
+  for (const Var& p : parts) {
+    mats.push_back(&p.value());
+    parents.push_back(p);
+    widths.push_back(p.cols());
+  }
+  return make_op(dg::nn::concat_cols(mats), std::move(parents),
+                 [widths](const Var& g) {
+                   std::vector<Var> out;
+                   int off = 0;
+                   for (int w : widths) {
+                     out.push_back(slice_cols(g, off, off + w));
+                     off += w;
+                   }
+                   return out;
+                 });
+}
+
+Var concat_rows(std::span<const Var> parts) {
+  std::vector<const Matrix*> mats;
+  std::vector<Var> parents;
+  std::vector<int> heights;
+  for (const Var& p : parts) {
+    mats.push_back(&p.value());
+    parents.push_back(p);
+    heights.push_back(p.rows());
+  }
+  return make_op(dg::nn::concat_rows(mats), std::move(parents),
+                 [heights](const Var& g) {
+                   std::vector<Var> out;
+                   int off = 0;
+                   for (int h : heights) {
+                     out.push_back(slice_rows(g, off, off + h));
+                     off += h;
+                   }
+                   return out;
+                 });
+}
+
+Var slice_cols(const Var& a, int c0, int c1) {
+  const int total = a.cols();
+  return make_op(dg::nn::slice_cols(a.value(), c0, c1), {a},
+                 [c0, c1, total](const Var& g) {
+                   return std::vector<Var>{pad_cols(g, c0, total - c1)};
+                 });
+}
+
+Var slice_rows(const Var& a, int r0, int r1) {
+  const int total = a.rows();
+  return make_op(dg::nn::slice_rows(a.value(), r0, r1), {a},
+                 [r0, r1, total](const Var& g) {
+                   return std::vector<Var>{pad_rows(g, r0, total - r1)};
+                 });
+}
+
+Var pad_cols(const Var& a, int left, int right) {
+  const Matrix& m = a.value();
+  Matrix out(m.rows(), left + m.cols() + right, 0.0f);
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) out.at(i, left + j) = m.at(i, j);
+  }
+  const int c0 = left, c1 = left + m.cols();
+  return make_op(std::move(out), {a}, [c0, c1](const Var& g) {
+    return std::vector<Var>{slice_cols(g, c0, c1)};
+  });
+}
+
+Var pad_rows(const Var& a, int top, int bottom) {
+  const Matrix& m = a.value();
+  Matrix out(top + m.rows() + bottom, m.cols(), 0.0f);
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) out.at(top + i, j) = m.at(i, j);
+  }
+  const int r0 = top, r1 = top + m.rows();
+  return make_op(std::move(out), {a}, [r0, r1](const Var& g) {
+    return std::vector<Var>{slice_rows(g, r0, r1)};
+  });
+}
+
+Var softmax_rows(const Var& a) {
+  // Shift by the (constant) row max for numerical stability; the shift does
+  // not change the softmax value or its gradient.
+  Matrix shift(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    float mx = a.value().at(i, 0);
+    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, a.value().at(i, j));
+    shift.at(i, 0) = -mx;
+  }
+  Var shifted = add(a, mul_colvec(ones(a.rows(), a.cols()), constant(shift)));
+  Var e = exp_(shifted);
+  Var denom = row_sum(e);
+  Var inv = div(ones(a.rows(), 1), denom);
+  return mul_colvec(e, inv);
+}
+
+Var row_l2_norm(const Var& a, float eps) {
+  return sqrt_(add_scalar(row_sum(square(a)), eps));
+}
+
+}  // namespace dg::nn

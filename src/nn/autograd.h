@@ -1,0 +1,147 @@
+// Reverse-mode automatic differentiation on a dynamically built graph.
+//
+// The one unusual requirement (inherited from the paper) is the WGAN-GP
+// gradient penalty, which differentiates *through a gradient*. Every op's
+// backward rule is therefore expressed in terms of the same public op set:
+// when backward runs with create_graph=true the computed gradients are
+// themselves differentiable graph nodes, so second-order gradients come out
+// of the same machinery. When create_graph=false a NoGradGuard suppresses
+// graph construction during backward, keeping first-order training cheap.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace dg::nn {
+
+class Var;
+
+namespace detail {
+struct Node {
+  Matrix value;
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  /// Maps this node's output-gradient to per-parent gradients (aligned with
+  /// `parents`; an undefined Var means "no gradient for this parent").
+  std::function<std::vector<Var>(const Var& gout)> backward;
+  /// Accumulated gradient for leaf nodes, populated by backward().
+  std::shared_ptr<Node> grad_slot;
+};
+}  // namespace detail
+
+/// Value-semantic handle to a graph node. Copies share the node.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(Matrix value, bool requires_grad = false);
+
+  bool defined() const { return n_ != nullptr; }
+  const Matrix& value() const;
+  /// In-place access for optimizers. Must only be used on leaves.
+  Matrix& mutable_value();
+
+  bool requires_grad() const { return n_ && n_->requires_grad; }
+  bool is_leaf() const { return n_ && !n_->backward; }
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Same value, cut off from the graph (never requires grad).
+  Var detach() const;
+
+  /// Gradient accumulated by the last backward() call(s); undefined if none.
+  Var grad() const;
+  void clear_grad();
+
+  /// Backpropagates from this scalar (1x1) Var, accumulating gradients into
+  /// the grad() slot of every reachable leaf that requires grad.
+  void backward(bool create_graph = false) const;
+
+  detail::Node* node() const { return n_.get(); }
+
+ private:
+  friend Var make_op(Matrix value, std::vector<Var> parents,
+                     std::function<std::vector<Var>(const Var&)> backward);
+  std::shared_ptr<detail::Node> n_;
+};
+
+/// RAII guard disabling graph construction (like torch.no_grad()).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+bool grad_enabled();
+
+// ---- graph construction ----
+
+Var constant(Matrix m);
+Var ones(int rows, int cols);
+Var zeros(int rows, int cols);
+
+// ---- elementwise ----
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var neg(const Var& a);
+Var mul(const Var& a, const Var& b);
+Var div(const Var& a, const Var& b);
+Var add_scalar(const Var& a, float s);
+Var mul_scalar(const Var& a, float s);
+
+// ---- linear algebra ----
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+
+// ---- broadcasts ----
+Var add_rowvec(const Var& x, const Var& b);  // b: [1,d]
+Var mul_colvec(const Var& x, const Var& v);  // v: [n,1]
+Var mul_rowvec(const Var& x, const Var& m);  // m: [1,d]
+Var broadcast_scalar(const Var& s, int rows, int cols);  // s: [1,1]
+
+// ---- reductions ----
+Var row_sum(const Var& a);  // -> [n,1]
+Var col_sum(const Var& a);  // -> [1,d]
+Var sum(const Var& a);      // -> [1,1]
+Var mean(const Var& a);     // -> [1,1]
+
+// ---- nonlinearities ----
+Var relu(const Var& a);
+Var tanh_(const Var& a);
+Var sigmoid(const Var& a);
+Var exp_(const Var& a);
+Var log_(const Var& a);
+Var sqrt_(const Var& a);
+Var square(const Var& a);
+Var abs_(const Var& a);
+
+// ---- shape ----
+Var concat_cols(std::span<const Var> parts);
+Var concat_rows(std::span<const Var> parts);
+Var slice_cols(const Var& a, int c0, int c1);
+Var slice_rows(const Var& a, int r0, int r1);
+Var pad_cols(const Var& a, int left, int right);
+Var pad_rows(const Var& a, int top, int bottom);
+
+// ---- compositions used everywhere ----
+Var softmax_rows(const Var& a);
+/// Row-wise L2 norm with numerical floor: sqrt(row_sum(a^2) + eps) -> [n,1].
+Var row_l2_norm(const Var& a, float eps = 1e-12f);
+
+namespace autograd {
+/// Gradients of scalar `out` w.r.t. `inputs`, without touching any leaf's
+/// grad() slot. With create_graph=true the results are differentiable.
+std::vector<Var> grad(const Var& out, std::span<const Var> inputs,
+                      bool create_graph = false);
+}  // namespace autograd
+
+}  // namespace dg::nn

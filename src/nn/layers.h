@@ -1,0 +1,97 @@
+// Neural-network building blocks used across the project: Linear, MLP (the
+// paper's generators/discriminators are MLPs), and an LSTM cell (the paper's
+// feature generator, Appendix B: 1-layer LSTM).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/rng.h"
+
+namespace dg::nn {
+
+/// Anything that owns trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// Flat list of trainable leaves. Order is stable and is the
+  /// serialization order.
+  virtual std::vector<Var> parameters() const = 0;
+
+  void zero_grad() const;
+  /// Total number of scalar parameters.
+  std::size_t parameter_count() const;
+};
+
+enum class Activation { None, Relu, Tanh, Sigmoid, Softmax };
+
+Var activate(const Var& x, Activation act);
+
+class Linear : public Module {
+ public:
+  Linear() = default;
+  Linear(int in, int out, Rng& rng);
+
+  Var forward(const Var& x) const;
+  std::vector<Var> parameters() const override;
+
+  int in_features() const { return w_.defined() ? w_.rows() : 0; }
+  int out_features() const { return w_.defined() ? w_.cols() : 0; }
+
+ private:
+  Var w_;  // [in, out]
+  Var b_;  // [1, out]
+};
+
+/// Multi-layer perceptron: `hidden_layers` hidden layers of `hidden_units`
+/// with ReLU, plus a linear output layer with an optional output activation.
+class Mlp : public Module {
+ public:
+  Mlp() = default;
+  Mlp(int in, int out, int hidden_units, int hidden_layers, Rng& rng,
+      Activation output_activation = Activation::None);
+
+  Var forward(const Var& x) const;
+  std::vector<Var> parameters() const override;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation output_activation_ = Activation::None;
+};
+
+struct LstmState {
+  Var h;
+  Var c;
+};
+
+class LstmCell : public Module {
+ public:
+  LstmCell() = default;
+  LstmCell(int input, int hidden, Rng& rng);
+
+  /// One step: consumes x [n, input] and the previous state; returns the
+  /// next state (h, c each [n, hidden]).
+  LstmState step(const Var& x, const LstmState& state) const;
+  LstmState initial_state(int batch) const;
+
+  std::vector<Var> parameters() const override;
+  int hidden_size() const { return hidden_; }
+  int input_size() const { return input_; }
+
+ private:
+  int input_ = 0;
+  int hidden_ = 0;
+  Var wx_;  // [input, 4*hidden]
+  Var wh_;  // [hidden, 4*hidden]
+  Var b_;   // [1, 4*hidden]
+};
+
+// ---- loss helpers ----
+
+/// Mean softmax cross-entropy; logits [n,k], onehot targets [n,k].
+Var softmax_cross_entropy(const Var& logits, const Matrix& targets_onehot);
+/// Mean squared error against a constant target.
+Var mse_loss(const Var& pred, const Matrix& target);
+
+}  // namespace dg::nn

@@ -1,0 +1,257 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dg::nn {
+
+Matrix Matrix::from(std::initializer_list<std::initializer_list<float>> rows) {
+  const int r = static_cast<int>(rows.size());
+  const int c = r > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+  Matrix m(r, c);
+  int i = 0;
+  for (const auto& row : rows) {
+    if (static_cast<int>(row.size()) != c) {
+      throw std::invalid_argument("Matrix::from: ragged rows");
+    }
+    int j = 0;
+    for (float v : row) m.at(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::row(std::initializer_list<float> values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  int j = 0;
+  for (float v : values) m.at(0, j++) = v;
+  return m;
+}
+
+Matrix Matrix::row(std::span<const float> values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  std::memcpy(m.data(), values.data(), values.size() * sizeof(float));
+  return m;
+}
+
+namespace {
+void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (!a.same_shape(b)) throw std::invalid_argument(std::string(op) + ": shape mismatch");
+}
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  Matrix out(n, m, 0.0f);
+  // i-k-j loop order: the inner loop streams both b and out, which the
+  // compiler auto-vectorizes.
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    float* orow = out.data() + static_cast<size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "add");
+  Matrix out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] += pb[i];
+  return out;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "sub");
+  Matrix out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] -= pb[i];
+  return out;
+}
+
+Matrix mul(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "mul");
+  Matrix out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Matrix div(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b, "div");
+  Matrix out = a;
+  const float* pb = b.data();
+  float* po = out.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] /= pb[i];
+  return out;
+}
+
+Matrix add_scalar(const Matrix& a, float s) {
+  Matrix out = a;
+  for (float& v : out.flat()) v += s;
+  return out;
+}
+
+Matrix mul_scalar(const Matrix& a, float s) {
+  Matrix out = a;
+  for (float& v : out.flat()) v *= s;
+  return out;
+}
+
+Matrix add_rowvec(const Matrix& x, const Matrix& b) {
+  if (b.rows() != 1 || b.cols() != x.cols())
+    throw std::invalid_argument("add_rowvec: b must be [1, x.cols]");
+  Matrix out = x;
+  for (int i = 0; i < x.rows(); ++i) {
+    float* row = out.data() + static_cast<size_t>(i) * x.cols();
+    for (int j = 0; j < x.cols(); ++j) row[j] += b.at(0, j);
+  }
+  return out;
+}
+
+Matrix mul_colvec(const Matrix& x, const Matrix& v) {
+  if (v.cols() != 1 || v.rows() != x.rows())
+    throw std::invalid_argument("mul_colvec: v must be [x.rows, 1]");
+  Matrix out = x;
+  for (int i = 0; i < x.rows(); ++i) {
+    const float s = v.at(i, 0);
+    float* row = out.data() + static_cast<size_t>(i) * x.cols();
+    for (int j = 0; j < x.cols(); ++j) row[j] *= s;
+  }
+  return out;
+}
+
+Matrix mul_rowvec(const Matrix& x, const Matrix& m) {
+  if (m.rows() != 1 || m.cols() != x.cols())
+    throw std::invalid_argument("mul_rowvec: m must be [1, x.cols]");
+  Matrix out = x;
+  for (int i = 0; i < x.rows(); ++i) {
+    float* row = out.data() + static_cast<size_t>(i) * x.cols();
+    for (int j = 0; j < x.cols(); ++j) row[j] *= m.at(0, j);
+  }
+  return out;
+}
+
+Matrix row_sum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int i = 0; i < a.rows(); ++i) {
+    float s = 0.0f;
+    const float* row = a.data() + static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < a.cols(); ++j) s += row[j];
+    out.at(i, 0) = s;
+  }
+  return out;
+}
+
+Matrix col_sum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.data() + static_cast<size_t>(i) * a.cols();
+    for (int j = 0; j < a.cols(); ++j) out.at(0, j) += row[j];
+  }
+  return out;
+}
+
+float sum(const Matrix& a) {
+  double s = 0.0;
+  for (float v : a.flat()) s += v;
+  return static_cast<float>(s);
+}
+
+float mean(const Matrix& a) {
+  if (a.empty()) return 0.0f;
+  return sum(a) / static_cast<float>(a.size());
+}
+
+Matrix apply(const Matrix& a, float (*fn)(float)) {
+  Matrix out = a;
+  for (float& v : out.flat()) v = fn(v);
+  return out;
+}
+
+Matrix concat_cols(std::span<const Matrix* const> parts) {
+  if (parts.empty()) return {};
+  const int rows = parts.front()->rows();
+  int cols = 0;
+  for (const Matrix* p : parts) {
+    if (p->rows() != rows) throw std::invalid_argument("concat_cols: row mismatch");
+    cols += p->cols();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Matrix* p : parts) {
+    for (int i = 0; i < rows; ++i) {
+      std::memcpy(out.data() + static_cast<size_t>(i) * cols + offset,
+                  p->data() + static_cast<size_t>(i) * p->cols(),
+                  static_cast<size_t>(p->cols()) * sizeof(float));
+    }
+    offset += p->cols();
+  }
+  return out;
+}
+
+Matrix concat_rows(std::span<const Matrix* const> parts) {
+  if (parts.empty()) return {};
+  const int cols = parts.front()->cols();
+  int rows = 0;
+  for (const Matrix* p : parts) {
+    if (p->cols() != cols) throw std::invalid_argument("concat_rows: col mismatch");
+    rows += p->rows();
+  }
+  Matrix out(rows, cols);
+  int offset = 0;
+  for (const Matrix* p : parts) {
+    std::memcpy(out.data() + static_cast<size_t>(offset) * cols, p->data(),
+                p->size() * sizeof(float));
+    offset += p->rows();
+  }
+  return out;
+}
+
+Matrix slice_cols(const Matrix& a, int c0, int c1) {
+  if (c0 < 0 || c1 > a.cols() || c0 > c1)
+    throw std::invalid_argument("slice_cols: bad range");
+  Matrix out(a.rows(), c1 - c0);
+  for (int i = 0; i < a.rows(); ++i) {
+    std::memcpy(out.data() + static_cast<size_t>(i) * out.cols(),
+                a.data() + static_cast<size_t>(i) * a.cols() + c0,
+                static_cast<size_t>(out.cols()) * sizeof(float));
+  }
+  return out;
+}
+
+Matrix slice_rows(const Matrix& a, int r0, int r1) {
+  if (r0 < 0 || r1 > a.rows() || r0 > r1)
+    throw std::invalid_argument("slice_rows: bad range");
+  Matrix out(r1 - r0, a.cols());
+  std::memcpy(out.data(), a.data() + static_cast<size_t>(r0) * a.cols(),
+              out.size() * sizeof(float));
+  return out;
+}
+
+bool allclose(const Matrix& a, const Matrix& b, float atol) {
+  if (!a.same_shape(b)) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace dg::nn

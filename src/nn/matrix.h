@@ -1,0 +1,92 @@
+// Dense row-major float matrix: the single value type all tensor math in this
+// project flows through. Deliberately minimal — shaped buffers plus the small
+// set of BLAS-like kernels the autograd ops need.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace dg::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds a matrix from nested braces, e.g. Matrix::from({{1,2},{3,4}}).
+  static Matrix from(std::initializer_list<std::initializer_list<float>> rows);
+
+  /// 1 x n row vector from a flat list.
+  static Matrix row(std::initializer_list<float> values);
+  static Matrix row(std::span<const float> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- shape-checked kernels (allocate and return the result) ----
+
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix transpose(const Matrix& a);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix mul(const Matrix& a, const Matrix& b);  // elementwise (Hadamard)
+Matrix div(const Matrix& a, const Matrix& b);  // elementwise
+
+Matrix add_scalar(const Matrix& a, float s);
+Matrix mul_scalar(const Matrix& a, float s);
+
+/// X [n,d] + b [1,d], broadcast over rows.
+Matrix add_rowvec(const Matrix& x, const Matrix& b);
+/// X [n,d] * v [n,1], broadcast over columns.
+Matrix mul_colvec(const Matrix& x, const Matrix& v);
+/// X [n,d] * m [1,d], broadcast over rows.
+Matrix mul_rowvec(const Matrix& x, const Matrix& m);
+
+Matrix row_sum(const Matrix& a);  // [n,d] -> [n,1]
+Matrix col_sum(const Matrix& a);  // [n,d] -> [1,d]
+float sum(const Matrix& a);
+float mean(const Matrix& a);
+
+Matrix apply(const Matrix& a, float (*fn)(float));
+
+Matrix concat_cols(std::span<const Matrix* const> parts);
+Matrix concat_rows(std::span<const Matrix* const> parts);
+Matrix slice_cols(const Matrix& a, int c0, int c1);  // [c0, c1)
+Matrix slice_rows(const Matrix& a, int r0, int r1);  // [r0, r1)
+
+bool allclose(const Matrix& a, const Matrix& b, float atol = 1e-5f);
+
+}  // namespace dg::nn

@@ -1,0 +1,44 @@
+// Adam optimizer (Kingma & Ba) — the paper trains every network with Adam,
+// lr 1e-3, batch 100 (Appendix B). Plus gradient utilities used by DP-SGD.
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace dg::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+class Adam {
+ public:
+  Adam() = default;
+  explicit Adam(std::vector<Var> params, AdamConfig cfg = {});
+
+  /// Applies one update from the gradients accumulated in each param's
+  /// grad() slot; params with no gradient are skipped.
+  void step();
+  void zero_grad();
+
+  const std::vector<Var>& params() const { return params_; }
+  AdamConfig& config() { return cfg_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Matrix> m_, v_;
+  AdamConfig cfg_;
+  long t_ = 0;
+};
+
+/// L2 norm over all accumulated gradients of `params`.
+float global_grad_norm(const std::vector<Var>& params);
+
+/// Scales accumulated gradients so the global norm is at most `max_norm`.
+void clip_grad_norm(const std::vector<Var>& params, float max_norm);
+
+}  // namespace dg::nn

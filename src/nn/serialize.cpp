@@ -1,0 +1,88 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dg::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0xD09E16A2;  // "doppelganger", roughly
+
+void write_u32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t read_u32(std::istream& is) {
+  uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+}  // namespace
+
+void save_matrices(std::ostream& os, const std::vector<Matrix>& mats) {
+  write_u32(os, kMagic);
+  write_u32(os, static_cast<uint32_t>(mats.size()));
+  for (const Matrix& m : mats) {
+    write_u32(os, static_cast<uint32_t>(m.rows()));
+    write_u32(os, static_cast<uint32_t>(m.cols()));
+    os.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("serialize: write failed");
+}
+
+std::vector<Matrix> load_matrices(std::istream& is) {
+  if (read_u32(is) != kMagic) throw std::runtime_error("serialize: bad magic");
+  const uint32_t count = read_u32(is);
+  std::vector<Matrix> mats;
+  mats.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const int rows = static_cast<int>(read_u32(is));
+    const int cols = static_cast<int>(read_u32(is));
+    Matrix m(rows, cols);
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("serialize: truncated matrix data");
+    mats.push_back(std::move(m));
+  }
+  return mats;
+}
+
+void save_parameters(std::ostream& os, const std::vector<Var>& params) {
+  std::vector<Matrix> mats;
+  mats.reserve(params.size());
+  for (const Var& p : params) mats.push_back(p.value());
+  save_matrices(os, mats);
+}
+
+void load_parameters(std::istream& is, const std::vector<Var>& params) {
+  auto mats = load_matrices(is);
+  if (mats.size() != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Var p = params[i];
+    if (!mats[i].same_shape(p.value())) {
+      throw std::runtime_error("load_parameters: shape mismatch");
+    }
+    p.mutable_value() = std::move(mats[i]);
+  }
+}
+
+void save_parameters_file(const std::string& path, const std::vector<Var>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_parameters(os, params);
+}
+
+void load_parameters_file(const std::string& path, const std::vector<Var>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  load_parameters(is, params);
+}
+
+}  // namespace dg::nn

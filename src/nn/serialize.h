@@ -1,0 +1,26 @@
+// Binary (de)serialization of model parameters — the "release the model
+// parameters theta" step of the paper's workflow (Fig 2). The format is a
+// tiny tagged container: magic, count, then dims+floats per matrix.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace dg::nn {
+
+void save_matrices(std::ostream& os, const std::vector<Matrix>& mats);
+std::vector<Matrix> load_matrices(std::istream& is);
+
+/// Writes the values of `params` (graph structure is not serialized; the
+/// loader must construct an identically-shaped model first).
+void save_parameters(std::ostream& os, const std::vector<Var>& params);
+/// Loads values into `params` in place; throws on shape/count mismatch.
+void load_parameters(std::istream& is, const std::vector<Var>& params);
+
+void save_parameters_file(const std::string& path, const std::vector<Var>& params);
+void load_parameters_file(const std::string& path, const std::vector<Var>& params);
+
+}  // namespace dg::nn

@@ -1,0 +1,86 @@
+#include "privacy/membership.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace dg::privacy {
+
+namespace {
+
+std::vector<float> normalized_column(const data::Object& o, int k) {
+  std::vector<float> col;
+  col.reserve(o.features.size());
+  float mx = 0.0f;
+  for (const auto& rec : o.features) {
+    col.push_back(rec.at(static_cast<size_t>(k)));
+    mx = std::max(mx, std::fabs(col.back()));
+  }
+  const float inv = 1.0f / (mx + 1e-9f);
+  for (float& v : col) v *= inv;
+  return col;
+}
+
+double nearest_distance(const std::vector<float>& q,
+                        const std::vector<std::vector<float>>& pool) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& cand : pool) {
+    const size_t overlap = std::min(q.size(), cand.size());
+    if (overlap == 0) continue;
+    double d = 0.0;
+    for (size_t t = 0; t < overlap; ++t) {
+      d += (q[t] - cand[t]) * (q[t] - cand[t]);
+    }
+    // Penalize length mismatch: unmatched positions count against zero.
+    for (size_t t = overlap; t < q.size(); ++t) d += q[t] * q[t];
+    for (size_t t = overlap; t < cand.size(); ++t) d += cand[t] * cand[t];
+    d /= static_cast<double>(std::max(q.size(), cand.size()));
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+}  // namespace
+
+MembershipAttackResult membership_inference_attack(
+    const data::Dataset& generated, const data::Dataset& members,
+    const data::Dataset& nonmembers, int k) {
+  if (generated.empty() || members.empty() || nonmembers.empty()) {
+    throw std::invalid_argument("membership attack: empty dataset");
+  }
+  std::vector<std::vector<float>> gen_cols;
+  gen_cols.reserve(generated.size());
+  for (const auto& o : generated) gen_cols.push_back(normalized_column(o, k));
+
+  // Balanced pool.
+  const size_t per_side = std::min(members.size(), nonmembers.size());
+  std::vector<double> dists;
+  std::vector<bool> is_member;
+  for (size_t i = 0; i < per_side; ++i) {
+    dists.push_back(nearest_distance(normalized_column(members[i], k), gen_cols));
+    is_member.push_back(true);
+    dists.push_back(
+        nearest_distance(normalized_column(nonmembers[i], k), gen_cols));
+    is_member.push_back(false);
+  }
+
+  std::vector<double> sorted = dists;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(sorted.size() / 2),
+                   sorted.end());
+  const double threshold = sorted[sorted.size() / 2];
+
+  int correct = 0;
+  for (size_t i = 0; i < dists.size(); ++i) {
+    const bool predicted_member = dists[i] < threshold;
+    correct += (predicted_member == is_member[i]);
+  }
+  MembershipAttackResult res;
+  res.pool_size = static_cast<int>(dists.size());
+  res.threshold = threshold;
+  res.success_rate = correct / static_cast<double>(dists.size());
+  return res;
+}
+
+}  // namespace dg::privacy

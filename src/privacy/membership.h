@@ -1,0 +1,25 @@
+// Membership-inference attack against a generative model (§5.3.1, after
+// Hayes et al. [40]): the attacker holds the released synthetic dataset and
+// a balanced candidate pool (half training members, half non-members) and
+// predicts "member" when a candidate's distance to its nearest synthetic
+// sample falls below the pool median. Overfitted/memorizing models place
+// synthetic samples closer to members, pushing the success rate above 50%.
+#pragma once
+
+#include "data/types.h"
+
+namespace dg::privacy {
+
+struct MembershipAttackResult {
+  double success_rate = 0.0;  ///< accuracy on the balanced pool
+  double threshold = 0.0;     ///< median nearest-synthetic distance used
+  int pool_size = 0;
+};
+
+/// Feature column `k` is compared after per-series max-normalization, so the
+/// attack keys on shape rather than raw scale.
+MembershipAttackResult membership_inference_attack(
+    const data::Dataset& generated, const data::Dataset& members,
+    const data::Dataset& nonmembers, int k);
+
+}  // namespace dg::privacy

@@ -1,0 +1,77 @@
+#include "privacy/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dg::privacy {
+
+namespace {
+double log_comb(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double logsumexp(const std::vector<double>& xs) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : xs) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double acc = 0.0;
+  for (double x : xs) acc += std::exp(x - mx);
+  return mx + std::log(acc);
+}
+}  // namespace
+
+double rdp_subsampled_gaussian(double q, double sigma, int alpha) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("rdp: q out of [0,1]");
+  if (sigma <= 0.0) throw std::invalid_argument("rdp: sigma must be positive");
+  if (alpha < 2) throw std::invalid_argument("rdp: alpha must be >= 2");
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return alpha / (2.0 * sigma * sigma);
+  // log A(alpha) = logsumexp_k [ logC(alpha,k) + k log q + (alpha-k) log(1-q)
+  //                              + (k^2 - k) / (2 sigma^2) ]
+  std::vector<double> terms;
+  terms.reserve(static_cast<size_t>(alpha) + 1);
+  for (int k = 0; k <= alpha; ++k) {
+    terms.push_back(log_comb(alpha, k) + k * std::log(q) +
+                    (alpha - k) * std::log1p(-q) +
+                    (static_cast<double>(k) * k - k) / (2.0 * sigma * sigma));
+  }
+  return logsumexp(terms) / (alpha - 1.0);
+}
+
+RdpAccountant::RdpAccountant(double q, double sigma, std::vector<int> orders)
+    : q_(q), sigma_(sigma), orders_(std::move(orders)) {
+  if (orders_.empty()) {
+    for (int a = 2; a <= 64; ++a) orders_.push_back(a);
+    for (int a = 72; a <= 256; a += 8) orders_.push_back(a);
+  }
+  per_step_rdp_.reserve(orders_.size());
+  for (int a : orders_) {
+    per_step_rdp_.push_back(rdp_subsampled_gaussian(q_, sigma_, a));
+  }
+}
+
+void RdpAccountant::add_steps(int steps) {
+  if (steps < 0) throw std::invalid_argument("add_steps: negative");
+  steps_ += steps;
+}
+
+std::pair<double, int> RdpAccountant::epsilon(double delta) const {
+  if (delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("epsilon: delta out of (0,1)");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  int best_order = orders_.front();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    const double eps = steps_ * per_step_rdp_[i] +
+                       std::log(1.0 / delta) / (orders_[i] - 1.0);
+    if (eps < best) {
+      best = eps;
+      best_order = orders_[i];
+    }
+  }
+  return {best, best_order};
+}
+
+}  // namespace dg::privacy

@@ -1,0 +1,35 @@
+// Renyi-differential-privacy accounting for DP-SGD (Abadi et al. [2],
+// Mironov's RDP analysis of the subsampled Gaussian mechanism). Same
+// integer-order formula as TensorFlow-Privacy's `_compute_log_a_int`, which
+// the paper uses via TF-Privacy [5] for the Fig 13 experiments.
+#pragma once
+
+#include <vector>
+
+namespace dg::privacy {
+
+/// Per-step RDP of the subsampled Gaussian mechanism at integer order
+/// `alpha` with sampling rate q and noise multiplier sigma.
+double rdp_subsampled_gaussian(double q, double sigma, int alpha);
+
+class RdpAccountant {
+ public:
+  /// q = batch / dataset size; sigma = noise multiplier (noise stddev in
+  /// units of the clipping norm).
+  RdpAccountant(double q, double sigma, std::vector<int> orders = {});
+
+  void add_steps(int steps);
+  int steps() const { return steps_; }
+
+  /// (epsilon, best order) for the given delta.
+  std::pair<double, int> epsilon(double delta) const;
+
+ private:
+  double q_;
+  double sigma_;
+  std::vector<int> orders_;
+  std::vector<double> per_step_rdp_;
+  int steps_ = 0;
+};
+
+}  // namespace dg::privacy

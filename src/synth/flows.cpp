@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace dg::synth {
+
+SynthData make_flows(const FlowOptions& opt) {
+  SynthData out;
+  out.schema.name = "flows";
+  out.schema.max_timesteps = opt.t_max;
+  out.schema.attributes = {
+      data::categorical_field("protocol", {"TCP", "UDP"}),
+      data::categorical_field("application", {"web", "video", "dns", "bulk"}),
+  };
+  out.schema.features = {
+      data::continuous_field("packets", 0.0f, 2000.0f),
+      data::continuous_field("bytes", 0.0f, 3.0e6f),
+      data::continuous_field("mean_rtt_ms", 0.0f, 400.0f),
+  };
+
+  nn::Rng rng(opt.seed);
+  const double app_w[4] = {0.42, 0.23, 0.25, 0.10};
+
+  out.data.reserve(opt.n);
+  for (int i = 0; i < opt.n; ++i) {
+    data::Object o;
+    const int app = rng.categorical(std::span<const double>(app_w, 4));
+    // DNS is UDP; video mostly UDP (QUIC-ish); web/bulk TCP.
+    int proto;
+    switch (app) {
+      case flow_app::kDns: proto = 1; break;
+      case flow_app::kVideo: proto = rng.bernoulli(0.7) ? 1 : 0; break;
+      default: proto = rng.bernoulli(0.95) ? 0 : 1; break;
+    }
+    o.attributes = {static_cast<float>(proto), static_cast<float>(app)};
+
+    const double rtt_base = rng.uniform(10.0, 120.0);
+    int dur;
+    double pkt_scale;
+    switch (app) {
+      case flow_app::kWeb:
+        // Short, front-loaded bursts (page fetch).
+        dur = std::clamp(static_cast<int>(rng.normal(8, 3)), 2, 16);
+        pkt_scale = std::exp(rng.normal(3.0, 0.7));
+        break;
+      case flow_app::kVideo:
+        // Long, steady-rate flows with periodic chunk refills.
+        dur = std::clamp(static_cast<int>(rng.normal(34, 4)), 24, opt.t_max);
+        pkt_scale = std::exp(rng.normal(4.5, 0.5));
+        break;
+      case flow_app::kDns:
+        // One or two tiny epochs.
+        dur = 1 + rng.uniform_int(2);
+        pkt_scale = rng.uniform(1.0, 4.0);
+        break;
+      default:  // bulk
+        // Heavy-tailed long transfers ramping to link rate.
+        dur = std::clamp(static_cast<int>(rng.normal(28, 8)), 10, opt.t_max);
+        pkt_scale = std::exp(rng.normal(6.0, 0.8));
+        break;
+    }
+
+    o.features.reserve(static_cast<size_t>(dur));
+    for (int t = 0; t < dur; ++t) {
+      const double frac = dur > 1 ? static_cast<double>(t) / (dur - 1) : 0.0;
+      double pkts;
+      double bytes_per_pkt;
+      switch (app) {
+        case flow_app::kWeb:
+          pkts = pkt_scale * std::exp(-2.5 * frac) *
+                 std::max(0.1, 1.0 + rng.normal(0.0, 0.3));
+          bytes_per_pkt = rng.uniform(400.0, 1200.0);
+          break;
+        case flow_app::kVideo:
+          pkts = pkt_scale * (1.0 + 0.35 * std::sin(t * 1.3)) *
+                 std::max(0.2, 1.0 + rng.normal(0.0, 0.15));
+          bytes_per_pkt = rng.uniform(1000.0, 1400.0);
+          break;
+        case flow_app::kDns:
+          pkts = pkt_scale;
+          bytes_per_pkt = rng.uniform(60.0, 220.0);
+          break;
+        default:  // bulk: slow-start ramp to a plateau
+          pkts = pkt_scale * std::min(1.0, 0.15 + 2.0 * frac) *
+                 std::max(0.2, 1.0 + rng.normal(0.0, 0.2));
+          bytes_per_pkt = 1460.0;
+          break;
+      }
+      // Congestion inflates RTT when the flow pushes many packets.
+      const double rtt =
+          rtt_base * (1.0 + 0.3 * std::min(1.0, pkts / 800.0)) +
+          rng.normal(0.0, 3.0);
+      const float packets =
+          static_cast<float>(std::clamp(pkts, 0.0, 2000.0));
+      o.features.push_back(
+          {packets,
+           static_cast<float>(std::clamp(pkts * bytes_per_pkt, 0.0, 3.0e6)),
+           static_cast<float>(std::clamp(rtt, 0.0, 400.0))});
+    }
+    out.data.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace dg::synth

@@ -1,0 +1,95 @@
+#include <cmath>
+#include <span>
+
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace dg::synth {
+
+namespace {
+// Six-hour bins: night, morning, afternoon, evening.
+constexpr double kDiurnal[4] = {0.55, 0.85, 1.10, 1.50};
+
+// Mean daily traffic (GB/day) per connection technology. Cable > DSL is the
+// relationship Table 3 / Fig 9 measure.
+constexpr double kDailyGb[5] = {0.8, 2.6, 0.35, 2.2, 1.3};
+// Baseline UDP ping loss rate per technology (satellite much lossier).
+constexpr double kBaseLoss[5] = {0.004, 0.001, 0.030, 0.003, 0.006};
+
+// Per-technology ISP plausibility (14 ISPs as in Fig 18). Row: technology.
+constexpr double kIspWeights[5][14] = {
+    // Charter Verizon Frontier VerizonDSL Hawaiian Cox Mediacom Hughes
+    // Windstream ViaSat CinBell Comcast AT&T CenturyLink
+    {0.02, 0.10, 0.18, 0.15, 0.04, 0.02, 0.02, 0.0, 0.16, 0.0, 0.05, 0.02, 0.12, 0.12},  // DSL
+    {0.02, 0.40, 0.08, 0.05, 0.06, 0.03, 0.02, 0.0, 0.04, 0.0, 0.06, 0.04, 0.15, 0.05},  // Fiber
+    {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.55, 0.0, 0.45, 0.0, 0.0, 0.0, 0.0},            // Satellite
+    {0.22, 0.02, 0.04, 0.0, 0.03, 0.14, 0.10, 0.0, 0.02, 0.0, 0.03, 0.34, 0.04, 0.02},   // Cable
+    {0.05, 0.08, 0.06, 0.04, 0.04, 0.06, 0.05, 0.0, 0.06, 0.0, 0.06, 0.10, 0.28, 0.12},  // IPBB
+};
+}  // namespace
+
+SynthData make_mba(const MbaOptions& opt) {
+  SynthData out;
+  out.schema.name = "mba";
+  out.schema.max_timesteps = opt.t;
+  out.schema.attributes = {
+      data::categorical_field("technology",
+                              {"DSL", "Fiber", "Satellite", "Cable", "IPBB"}),
+      data::categorical_field(
+          "isp", {"Charter", "Verizon", "Frontier", "Verizon DSL",
+                  "Hawaiian Telcom", "Cox", "Mediacom", "Hughes", "Windstream",
+                  "Wildblue/ViaSat", "Cincinnati Bell", "Comcast", "AT&T",
+                  "CenturyLink"}),
+      data::categorical_field("state", {"PA", "CA", "TX", "NY", "FL", "WA",
+                                        "OH", "IL", "GA", "CO"}),
+  };
+  // Traffic per 6h bin capped at 3 GB; loss rate is a probability.
+  out.schema.features = {
+      data::continuous_field("ping_loss_rate", 0.0f, 1.0f),
+      data::continuous_field("traffic_bytes", 0.0f, 3.0e9f),
+  };
+
+  nn::Rng rng(opt.seed);
+  const double tech_w[5] = {0.30, 0.15, 0.08, 0.35, 0.12};
+
+  out.data.reserve(opt.n);
+  for (int i = 0; i < opt.n; ++i) {
+    data::Object o;
+    const int tech = rng.categorical(std::span<const double>(tech_w, 5));
+    const int isp = rng.categorical(std::span<const double>(kIspWeights[tech], 14));
+    const int state = rng.uniform_int(10);
+    o.attributes = {static_cast<float>(tech), static_cast<float>(isp),
+                    static_cast<float>(state)};
+
+    // Heavy-tailed per-home usage multiplier.
+    const double home_mult = std::exp(rng.normal(0.0, 0.6));
+    const double gb_per_bin = kDailyGb[tech] * home_mult / 4.0;
+    const double loss_base = kBaseLoss[tech] * std::exp(rng.normal(0.0, 0.4));
+
+    o.features.reserve(opt.t);
+    for (int t = 0; t < opt.t; ++t) {
+      const int bin_of_day = t % 4;
+      const int day = t / 4;
+      const bool weekend = (day % 7) >= 5;
+      double bytes = gb_per_bin * kDiurnal[bin_of_day] *
+                     (weekend ? 1.35 : 1.0) *
+                     std::max(0.05, 1.0 + rng.normal(0.0, 0.30)) * 1e9;
+      bytes = std::min(bytes, static_cast<double>(out.schema.features[1].hi));
+
+      // Loss: small baseline plus occasional congestion bursts that are more
+      // likely when the link is busy.
+      double loss = loss_base * std::max(0.0, 1.0 + rng.normal(0.0, 0.5));
+      if (rng.bernoulli(0.02 + 0.02 * (bin_of_day == 3))) {
+        loss += rng.uniform(0.05, 0.25);
+      }
+      loss = std::min(loss, 1.0);
+
+      o.features.push_back(
+          {static_cast<float>(loss), static_cast<float>(bytes)});
+    }
+    out.data.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace dg::synth

@@ -1,0 +1,92 @@
+// Synthetic stand-ins for the paper's three datasets (Tables 5-7). The real
+// corpora (Kaggle WWT dump, FCC MBA raw data, Google cluster traces) are not
+// available offline; these generators reproduce exactly the structural
+// properties the paper's evaluation measures — see DESIGN.md's substitution
+// table.
+#pragma once
+
+#include <cstdint>
+
+#include "data/types.h"
+
+namespace dg::synth {
+
+struct SynthData {
+  data::Schema schema;
+  data::Dataset data;
+};
+
+/// Wikipedia Web Traffic stand-in: one continuous feature (daily page
+/// views) with a weekly and a long-term ("annual") periodicity, log-uniform
+/// per-page scale spanning ~3 decades, and domain/access/agent attributes.
+struct WwtOptions {
+  int n = 1000;
+  int t = 280;              ///< series length (all series equal length)
+  int weekly_period = 7;
+  int annual_period = 140;  ///< scaled-down stand-in for the 365-day cycle
+  /// Std-dev of the per-step AR(1) noise. Lower values make each page's
+  /// identity (scale/amplitudes/phase) dominate — useful for the
+  /// membership-inference experiments where unlearnable noise would
+  /// otherwise drown the overfitting signal.
+  double ar_noise = 0.05;
+  uint64_t seed = 1;
+};
+SynthData make_wwt(const WwtOptions& opt = {});
+
+/// FCC Measuring Broadband America stand-in: ping-loss + traffic-bytes
+/// features over 56 six-hour bins; technology/ISP/state attributes; cable
+/// homes systematically heavier than DSL (drives Table 3 / Fig 9).
+struct MbaOptions {
+  int n = 600;
+  int t = 56;
+  uint64_t seed = 2;
+};
+SynthData make_mba(const MbaOptions& opt = {});
+
+/// Google Cluster Usage Traces stand-in: variable-length (<= t_max)
+/// cpu/memory/disk usage with a bimodal duration distribution and an
+/// end-event-type attribute whose value is strongly correlated with the
+/// temporal shape (FAIL tasks show rising memory, etc.).
+struct GcutOptions {
+  int n = 2000;
+  int t_max = 50;
+  uint64_t seed = 3;
+};
+SynthData make_gcut(const GcutOptions& opt = {});
+
+// Category index constants for readability in tests/benches.
+namespace gcut_event {
+inline constexpr int kEvict = 0;
+inline constexpr int kFail = 1;
+inline constexpr int kFinish = 2;
+inline constexpr int kKill = 3;
+}  // namespace gcut_event
+
+/// Network flow traces — the "progressively harder class of time series"
+/// the paper names as future work (§6). Per-flow records of packets/bytes/
+/// mean-RTT per epoch with protocol + application attributes; flow shapes
+/// (bulk transfer vs streaming vs chatty request/response) depend strongly
+/// on the application, and sizes are heavy-tailed.
+struct FlowOptions {
+  int n = 1500;
+  int t_max = 40;
+  uint64_t seed = 4;
+};
+SynthData make_flows(const FlowOptions& opt = {});
+
+namespace flow_app {
+inline constexpr int kWeb = 0;
+inline constexpr int kVideo = 1;
+inline constexpr int kDns = 2;
+inline constexpr int kBulk = 3;
+}  // namespace flow_app
+
+namespace mba_tech {
+inline constexpr int kDsl = 0;
+inline constexpr int kFiber = 1;
+inline constexpr int kSatellite = 2;
+inline constexpr int kCable = 3;
+inline constexpr int kIpbb = 4;
+}  // namespace mba_tech
+
+}  // namespace dg::synth

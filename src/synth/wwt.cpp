@@ -1,0 +1,75 @@
+#include <cmath>
+#include <numbers>
+
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace dg::synth {
+
+namespace {
+// Zero-mean weekly shape: weekday plateau, weekend dip (page views of most
+// Wikipedia projects drop on weekends).
+constexpr float kWeekShape[7] = {0.10f, 0.12f, 0.10f, 0.06f, 0.0f, -0.20f, -0.18f};
+}  // namespace
+
+SynthData make_wwt(const WwtOptions& opt) {
+  using data::FieldType;
+  SynthData out;
+  out.schema.name = "wwt";
+  out.schema.max_timesteps = opt.t;
+  out.schema.attributes = {
+      data::categorical_field(
+          "domain",
+          {"commons.wikimedia.org", "de.wikipedia.org", "en.wikipedia.org",
+           "es.wikipedia.org", "fr.wikipedia.org", "ja.wikipedia.org",
+           "ru.wikipedia.org", "www.mediawiki.org", "zh.wikipedia.org"}),
+      data::categorical_field("access", {"all-access", "desktop", "mobile-web"}),
+      data::categorical_field("agent", {"all-agents", "spider"}),
+  };
+  out.schema.features = {data::continuous_field("views", 0.0f, 60000.0f)};
+
+  nn::Rng rng(opt.seed);
+  // Skewed domain distribution (en dominates, mediawiki tiny) as in Fig 15.
+  const double domain_w[9] = {0.08, 0.12, 0.34, 0.08, 0.10, 0.09, 0.08, 0.02, 0.09};
+  const double access_w[3] = {0.50, 0.27, 0.23};
+  const double agent_w[2] = {0.77, 0.23};
+
+  out.data.reserve(opt.n);
+  for (int i = 0; i < opt.n; ++i) {
+    data::Object o;
+    const int domain = rng.categorical(std::span<const double>(domain_w, 9));
+    const int access = rng.categorical(std::span<const double>(access_w, 3));
+    const int agent = rng.categorical(std::span<const double>(agent_w, 2));
+    o.attributes = {static_cast<float>(domain), static_cast<float>(access),
+                    static_cast<float>(agent)};
+
+    // Log-uniform scale over ~3 decades; bigger domains trend bigger. This
+    // wide cross-sample dynamic range is what triggers mode collapse in
+    // naive GANs (Fig 5).
+    const double log_scale =
+        rng.uniform(1.3, 3.7) + (domain == 2 ? 0.4 : 0.0) + (access == 0 ? 0.2 : 0.0);
+    const double scale = std::pow(10.0, log_scale);
+
+    // Spiders crawl on schedules: much weaker human weekly pattern.
+    const double weekly_amp = (agent == 1 ? 0.15 : 1.0) * rng.uniform(0.7, 1.3);
+    const double annual_amp = rng.uniform(0.15, 0.35);
+    const double annual_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+    o.features.reserve(opt.t);
+    double ar = 0.0;  // AR(1) noise state
+    for (int t = 0; t < opt.t; ++t) {
+      ar = 0.7 * ar + rng.normal(0.0, opt.ar_noise);
+      const double weekly = weekly_amp * kWeekShape[t % opt.weekly_period];
+      const double annual =
+          annual_amp *
+          std::sin(2.0 * std::numbers::pi * t / opt.annual_period + annual_phase);
+      const double v = scale * std::max(0.0, 1.0 + weekly + annual + ar);
+      o.features.push_back({static_cast<float>(
+          std::min(v, static_cast<double>(out.schema.features[0].hi)))});
+    }
+    out.data.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace dg::synth

@@ -1,0 +1,224 @@
+#include "baselines/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/types.h"
+#include "eval/metrics.h"
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace dg::baselines {
+namespace {
+
+synth::SynthData small_gcut() {
+  return synth::make_gcut({.n = 120, .t_max = 20, .seed = 5});
+}
+
+std::unique_ptr<Generator> make_baseline(int which) {
+  switch (which) {
+    case 0: return make_hmm({.n_states = 4, .em_iterations = 5, .seed = 1});
+    case 1: return make_ar({.hidden_units = 32, .hidden_layers = 1, .epochs = 2, .seed = 1});
+    case 2: return make_rnn({.lstm_units = 16, .epochs = 2, .seed = 1});
+    case 3: return make_naive_gan({.hidden = 48, .layers = 2, .iterations = 40, .seed = 1});
+    case 4: return make_tes({.seed = 1});
+  }
+  return nullptr;
+}
+
+class BaselineSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineSuite, GeneratesSchemaValidData) {
+  auto d = small_gcut();
+  // GCUT long mode can exceed the reduced horizon; clamp for the smoke test.
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  auto gen = make_baseline(GetParam());
+  ASSERT_NE(gen, nullptr);
+  gen->fit(d.schema, d.data);
+  const auto out = gen->generate(30);
+  EXPECT_EQ(out.size(), 30u);
+  EXPECT_NO_THROW(data::validate(d.schema, out));
+  for (const auto& o : out) {
+    EXPECT_GE(o.length(), 1);
+    EXPECT_LE(o.length(), 20);
+  }
+}
+
+std::string baseline_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"Hmm", "Ar", "Rnn", "NaiveGan", "Tes"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, BaselineSuite, ::testing::Range(0, 5),
+                         baseline_case_name);
+
+TEST(EmpiricalAttributes, HmmArRnnMatchTrainingMarginal) {
+  auto d = small_gcut();
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  const auto real_marginal = eval::attribute_marginal(d.data, d.schema, 0);
+  for (int which : {0, 1, 2, 4}) {
+    auto gen = make_baseline(which);
+    gen->fit(d.schema, d.data);
+    const auto out = gen->generate(400);
+    const auto m = eval::attribute_marginal(out, d.schema, 0);
+    // Drawn from the empirical distribution -> close marginals.
+    EXPECT_LT(eval::jsd(real_marginal, m), 0.02) << gen->name();
+  }
+}
+
+TEST(Hmm, LearnsTwoWellSeparatedLevels) {
+  // Series alternating between two levels; a 2+-state HMM should place
+  // state means near both levels.
+  data::Schema s;
+  s.max_timesteps = 24;
+  s.attributes = {data::categorical_field("k", {"only"})};
+  s.features = {data::continuous_field("x", 0.0f, 1.0f)};
+  data::Dataset train;
+  nn::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    data::Object o;
+    o.attributes = {0.0f};
+    for (int t = 0; t < 24; ++t) {
+      const double level = (t / 6) % 2 ? 0.8 : 0.2;
+      o.features.push_back({static_cast<float>(level + rng.normal(0, 0.02))});
+    }
+    train.push_back(std::move(o));
+  }
+  auto hmm = make_hmm({.n_states = 4, .em_iterations = 20, .seed = 2});
+  hmm->fit(s, train);
+  const auto out = hmm->generate(50);
+  // Generated values should cover both levels.
+  int low = 0, high = 0;
+  for (const auto& o : out) {
+    for (const auto& r : o.features) {
+      if (r[0] < 0.4f) ++low;
+      if (r[0] > 0.6f) ++high;
+    }
+  }
+  EXPECT_GT(low, 50);
+  EXPECT_GT(high, 50);
+}
+
+TEST(Ar, LearnsConstantContinuation) {
+  // Constant series: the AR prediction for the next value should track the
+  // history level across the value range.
+  data::Schema s;
+  s.max_timesteps = 10;
+  s.attributes = {data::categorical_field("k", {"only"})};
+  s.features = {data::continuous_field("x", 0.0f, 1.0f)};
+  data::Dataset train;
+  nn::Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    data::Object o;
+    o.attributes = {0.0f};
+    const float level = static_cast<float>(rng.uniform(0.1, 0.9));
+    for (int t = 0; t < 10; ++t) o.features.push_back({level});
+    train.push_back(std::move(o));
+  }
+  auto ar = make_ar({.hidden_units = 32, .hidden_layers = 1, .epochs = 8, .seed = 3});
+  ar->fit(s, train);
+  const auto out = ar->generate(40);
+  // Each generated series should hold roughly its initial level.
+  double drift = 0;
+  int count = 0;
+  for (const auto& o : out) {
+    if (o.length() < 4) continue;
+    drift += std::fabs(o.features.back()[0] - o.features.front()[0]);
+    ++count;
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_LT(drift / count, 0.25);
+}
+
+TEST(Rnn, GeneratedSeriesWithinFeatureRange) {
+  auto d = small_gcut();
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  auto rnn = make_rnn({.lstm_units = 16, .epochs = 2, .seed = 4});
+  rnn->fit(d.schema, d.data);
+  const auto out = rnn->generate(20);
+  for (const auto& o : out) {
+    for (const auto& r : o.features) {
+      for (size_t f = 0; f < r.size(); ++f) {
+        EXPECT_GE(r[f], d.schema.features[f].lo);
+        EXPECT_LE(r[f], d.schema.features[f].hi);
+      }
+    }
+  }
+}
+
+TEST(Tes, MatchesMarginalAndShortRangeCorrelation) {
+  // AR(1)-like series with a skewed marginal: TES should reproduce both the
+  // marginal (by construction) and the lag-1 autocorrelation.
+  data::Schema s;
+  s.max_timesteps = 40;
+  s.attributes = {data::categorical_field("k", {"only"})};
+  s.features = {data::continuous_field("x", 0.0f, 1.0f)};
+  data::Dataset train;
+  nn::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    data::Object o;
+    o.attributes = {0.0f};
+    double v = 0.3;
+    for (int t = 0; t < 40; ++t) {
+      v = 0.3 + 0.8 * (v - 0.3) + rng.normal(0.0, 0.05);
+      const double x = std::clamp(v, 0.0, 1.0);
+      o.features.push_back({static_cast<float>(x * x)});  // skewed marginal
+    }
+    train.push_back(std::move(o));
+  }
+  auto tes = make_tes({.seed = 9});
+  tes->fit(s, train);
+  const auto out = tes->generate(50);
+  const auto real_ac = eval::mean_autocorrelation(train, 0, 3);
+  const auto gen_ac = eval::mean_autocorrelation(out, 0, 3);
+  EXPECT_NEAR(gen_ac[1], real_ac[1], 0.2);
+  // Marginal quantiles track the training data.
+  std::vector<double> rv, gv;
+  for (const auto& o : train) for (const auto& r : o.features) rv.push_back(r[0]);
+  for (const auto& o : out) for (const auto& r : o.features) gv.push_back(r[0]);
+  EXPECT_LT(eval::wasserstein1(rv, gv), 0.05);
+}
+
+TEST(NaiveGanTest, PacGanPackingTrainsAndGenerates) {
+  auto d = small_gcut();
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  auto gan = make_naive_gan({.hidden = 32, .layers = 2, .batch = 18,
+                             .iterations = 10, .pack = 3, .seed = 6});
+  gan->fit(d.schema, d.data);
+  const auto out = gan->generate(12);
+  EXPECT_EQ(out.size(), 12u);
+  EXPECT_NO_THROW(data::validate(d.schema, out));
+}
+
+TEST(NaiveGanTest, RejectsBadPack) {
+  auto d = small_gcut();
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  auto gan = make_naive_gan({.iterations = 1, .pack = 0});
+  EXPECT_THROW(gan->fit(d.schema, d.data), std::invalid_argument);
+}
+
+TEST(NaiveGanTest, GeneratesRequestedCountAcrossBatches) {
+  auto d = small_gcut();
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  auto gan = make_naive_gan({.hidden = 32, .layers = 2, .batch = 16,
+                             .iterations = 10, .seed = 5});
+  gan->fit(d.schema, d.data);
+  EXPECT_EQ(gan->generate(37).size(), 37u);
+}
+
+}  // namespace
+}  // namespace dg::baselines

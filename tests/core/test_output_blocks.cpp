@@ -1,0 +1,92 @@
+#include "core/output_blocks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/rng.h"
+
+namespace dg::core {
+namespace {
+
+data::Schema mixed_schema() {
+  data::Schema s;
+  s.max_timesteps = 4;
+  s.attributes = {data::categorical_field("kind", {"a", "b", "c"}),
+                  data::continuous_field("w", 0, 1)};
+  s.features = {data::continuous_field("x", 0, 1),
+                data::categorical_field("state", {"on", "off"})};
+  return s;
+}
+
+TEST(OutputBlocks, AttributeBlocksMatchSchema) {
+  const auto blocks = attribute_blocks(mixed_schema());
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].width, 3);
+  EXPECT_EQ(blocks[0].activation, nn::Activation::Softmax);
+  EXPECT_EQ(blocks[1].width, 1);
+  EXPECT_EQ(blocks[1].activation, nn::Activation::Sigmoid);
+  EXPECT_EQ(total_width(blocks), 4);
+}
+
+TEST(OutputBlocks, MinmaxOnlyForContinuousFeatures) {
+  const auto blocks = minmax_blocks(mixed_schema());
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].width, 2);
+}
+
+TEST(OutputBlocks, RecordBlocksIncludeFlags) {
+  const auto tanh_blocks = record_blocks(mixed_schema(), /*autonorm=*/true);
+  ASSERT_EQ(tanh_blocks.size(), 3u);  // continuous + categorical + flags
+  EXPECT_EQ(tanh_blocks[0].activation, nn::Activation::Tanh);
+  EXPECT_EQ(tanh_blocks[1].activation, nn::Activation::Softmax);
+  EXPECT_EQ(tanh_blocks[2].width, 2);
+  EXPECT_EQ(tanh_blocks[2].activation, nn::Activation::Softmax);
+
+  const auto sig_blocks = record_blocks(mixed_schema(), false);
+  EXPECT_EQ(sig_blocks[0].activation, nn::Activation::Sigmoid);
+}
+
+TEST(OutputBlocks, RepeatMultipliesWidth) {
+  const auto rec = record_blocks(mixed_schema(), true);
+  const auto reps = repeat_blocks(rec, 3);
+  EXPECT_EQ(reps.size(), rec.size() * 3);
+  EXPECT_EQ(total_width(reps), total_width(rec) * 3);
+}
+
+TEST(OutputBlocks, ApplyProducesValidDistributions) {
+  nn::Rng rng(1);
+  const auto blocks = attribute_blocks(mixed_schema());
+  const nn::Var x(rng.normal_matrix(5, 4, 0, 3.0), false);
+  const nn::Var y = apply_blocks(x, blocks);
+  for (int i = 0; i < 5; ++i) {
+    float total = 0;
+    for (int j = 0; j < 3; ++j) {
+      total += y.value().at(i, j);
+      EXPECT_GE(y.value().at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+    EXPECT_GE(y.value().at(i, 3), 0.0f);  // sigmoid block
+    EXPECT_LE(y.value().at(i, 3), 1.0f);
+  }
+}
+
+TEST(OutputBlocks, ApplyChecksWidth) {
+  const auto blocks = attribute_blocks(mixed_schema());
+  EXPECT_THROW(apply_blocks(nn::zeros(2, 5), blocks), std::invalid_argument);
+}
+
+TEST(OutputBlocks, GradientFlowsThroughAllBlocks) {
+  nn::Rng rng(2);
+  const auto blocks = attribute_blocks(mixed_schema());
+  nn::Var x(rng.normal_matrix(3, 4), true);
+  nn::Var loss = nn::mean(nn::square(apply_blocks(x, blocks)));
+  loss.backward();
+  ASSERT_TRUE(x.grad().defined());
+  float total = 0;
+  for (float v : x.grad().value().flat()) total += std::fabs(v);
+  EXPECT_GT(total, 0.0f);
+}
+
+}  // namespace
+}  // namespace dg::core

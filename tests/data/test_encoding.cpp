@@ -1,0 +1,167 @@
+#include "data/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dg::data {
+namespace {
+
+Schema schema_1feat() {
+  Schema s;
+  s.name = "t";
+  s.max_timesteps = 4;
+  s.attributes = {categorical_field("kind", {"a", "b"}),
+                  continuous_field("w", 0.0f, 10.0f)};
+  s.features = {continuous_field("x", 0.0f, 100.0f)};
+  return s;
+}
+
+Dataset one_object(std::vector<float> xs) {
+  Object o;
+  o.attributes = {1.0f, 2.5f};
+  for (float v : xs) o.features.push_back({v});
+  return {o};
+}
+
+TEST(Encoding, AttributeOneHotAndScaling) {
+  const Schema s = schema_1feat();
+  const auto enc = encode_attributes(s, one_object({10.0f, 20.0f}));
+  EXPECT_EQ(enc.rows(), 1);
+  EXPECT_EQ(enc.cols(), 3);
+  EXPECT_FLOAT_EQ(enc.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(enc.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(enc.at(0, 2), 0.25f);  // 2.5 / 10
+}
+
+TEST(Encoding, AttributeRowsRejectBadInput) {
+  const Schema s = schema_1feat();
+  EXPECT_THROW(encode_attribute_rows(s, {{1.0f}}), std::invalid_argument);
+  EXPECT_THROW(encode_attribute_rows(s, {{7.0f, 1.0f}}), std::invalid_argument);
+}
+
+TEST(Encoding, GenerationFlags) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, /*auto_normalize=*/false);
+  const auto enc = codec.encode(one_object({10.0f, 20.0f, 30.0f}));
+  const int rw = codec.record_width();
+  EXPECT_EQ(rw, 3);  // 1 feature + 2 flags
+  // Steps 0,1 continue; step 2 ends; step 3 padded.
+  EXPECT_FLOAT_EQ(enc.features.at(0, 0 * rw + 1), 1.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 0 * rw + 2), 0.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 2 * rw + 1), 0.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 2 * rw + 2), 1.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 3 * rw + 0), 0.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 3 * rw + 1), 0.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 3 * rw + 2), 0.0f);
+}
+
+TEST(Encoding, GlobalScalingRoundTrip) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, /*auto_normalize=*/false);
+  const Dataset d = one_object({10.0f, 50.0f, 90.0f});
+  const auto enc = codec.encode(d);
+  const Dataset back = codec.decode(enc.attributes, enc.minmax, enc.features);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].length(), 3);
+  EXPECT_FLOAT_EQ(back[0].attributes[0], 1.0f);
+  EXPECT_NEAR(back[0].attributes[1], 2.5f, 1e-3f);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(back[0].features[t][0], d[0].features[t][0], 0.05f);
+  }
+}
+
+TEST(Encoding, AutoNormalizationRoundTrip) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, /*auto_normalize=*/true);
+  EXPECT_EQ(codec.minmax_dim(), 2);
+  const Dataset d = one_object({20.0f, 60.0f, 40.0f});
+  const auto enc = codec.encode(d);
+  // (max+min)/2 = 40 -> 0.4; (max-min)/range = 40/100 = 0.4.
+  EXPECT_NEAR(enc.minmax.at(0, 0), 0.4f, 1e-5f);
+  EXPECT_NEAR(enc.minmax.at(0, 1), 0.4f, 1e-5f);
+  // Normalized features hit the +-1 extremes.
+  EXPECT_NEAR(enc.features.at(0, 0), -1.0f, 1e-3f);
+  EXPECT_NEAR(enc.features.at(0, codec.record_width()), 1.0f, 1e-3f);
+
+  const Dataset back = codec.decode(enc.attributes, enc.minmax, enc.features);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(back[0].features[t][0], d[0].features[t][0], 0.1f);
+  }
+}
+
+TEST(Encoding, ConstantSeriesSurvivesAutoNorm) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, true);
+  const Dataset d = one_object({50.0f, 50.0f, 50.0f});
+  const auto enc = codec.encode(d);
+  const Dataset back = codec.decode(enc.attributes, enc.minmax, enc.features);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(back[0].features[t][0], 50.0f, 0.5f);
+  }
+}
+
+TEST(Encoding, DecodeLengthFromFlags) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, false);
+  const int rw = codec.record_width();
+  nn::Matrix attrs(1, s.attribute_dim(), 0.0f);
+  attrs.at(0, 0) = 1.0f;
+  nn::Matrix feats(1, codec.feature_row_dim(), 0.0f);
+  // Step 0 continues, step 1 ends.
+  feats.at(0, 0 * rw + 1) = 0.9f;
+  feats.at(0, 0 * rw + 2) = 0.1f;
+  feats.at(0, 1 * rw + 1) = 0.2f;
+  feats.at(0, 1 * rw + 2) = 0.8f;
+  const Dataset back = codec.decode(attrs, nn::Matrix(1, 0), feats);
+  EXPECT_EQ(back[0].length(), 2);
+}
+
+TEST(Encoding, DecodeFullHorizonWhenNoEndFlag) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, false);
+  const int rw = codec.record_width();
+  nn::Matrix attrs(1, s.attribute_dim(), 0.0f);
+  attrs.at(0, 1) = 1.0f;
+  nn::Matrix feats(1, codec.feature_row_dim(), 0.0f);
+  for (int t = 0; t < s.max_timesteps; ++t) feats.at(0, t * rw + 1) = 1.0f;
+  const Dataset back = codec.decode(attrs, nn::Matrix(1, 0), feats);
+  EXPECT_EQ(back[0].length(), s.max_timesteps);
+}
+
+TEST(Encoding, CategoricalFeatureRoundTrip) {
+  Schema s;
+  s.max_timesteps = 3;
+  s.attributes = {categorical_field("kind", {"a", "b"})};
+  s.features = {categorical_field("state", {"x", "y", "z"}),
+                continuous_field("v", 0.0f, 1.0f)};
+  GanCodec codec(s, true);
+  EXPECT_EQ(codec.minmax_dim(), 2);  // only the continuous feature
+  Object o;
+  o.attributes = {0.0f};
+  o.features = {{2.0f, 0.1f}, {1.0f, 0.9f}};
+  const auto enc = codec.encode({o});
+  const auto back = codec.decode(enc.attributes, enc.minmax, enc.features);
+  EXPECT_FLOAT_EQ(back[0].features[0][0], 2.0f);
+  EXPECT_FLOAT_EQ(back[0].features[1][0], 1.0f);
+}
+
+TEST(Encoding, DecodeShapeChecks) {
+  const Schema s = schema_1feat();
+  GanCodec codec(s, true);
+  nn::Matrix attrs(2, s.attribute_dim());
+  nn::Matrix mm(2, 2);
+  EXPECT_THROW(codec.decode(attrs, mm, nn::Matrix(2, 5)), std::invalid_argument);
+  EXPECT_THROW(codec.decode(attrs, nn::Matrix(1, 2),
+                            nn::Matrix(2, codec.feature_row_dim())),
+               std::invalid_argument);
+}
+
+TEST(Encoding, CodecRequiresMaxTimesteps) {
+  Schema s = schema_1feat();
+  s.max_timesteps = 0;
+  EXPECT_THROW(GanCodec(s, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::data

@@ -1,0 +1,102 @@
+// Property-style sweep: encode/decode round-trips must hold across schema
+// shapes, normalization modes, feature counts, and random variable lengths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/encoding.h"
+#include "nn/rng.h"
+
+namespace dg::data {
+namespace {
+
+// (auto_normalize, n_features, n_objects)
+using Params = std::tuple<bool, int, int>;
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Params> {};
+
+Schema make_schema(int n_features) {
+  Schema s;
+  s.name = "prop";
+  s.max_timesteps = 12;
+  s.attributes = {categorical_field("kind", {"a", "b", "c"}),
+                  continuous_field("w", -5.0f, 5.0f)};
+  for (int f = 0; f < n_features; ++f) {
+    s.features.push_back(
+        continuous_field("x" + std::to_string(f), 0.0f, 10.0f * (f + 1)));
+  }
+  return s;
+}
+
+Dataset random_data(const Schema& s, int n, nn::Rng& rng) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    Object o;
+    o.attributes = {static_cast<float>(rng.uniform_int(3)),
+                    static_cast<float>(rng.uniform(-5.0, 5.0))};
+    const int len = 1 + rng.uniform_int(s.max_timesteps);
+    for (int t = 0; t < len; ++t) {
+      std::vector<float> rec;
+      for (const FieldSpec& f : s.features) {
+        rec.push_back(static_cast<float>(rng.uniform(f.lo, f.hi)));
+      }
+      o.features.push_back(std::move(rec));
+    }
+    d.push_back(std::move(o));
+  }
+  return d;
+}
+
+TEST_P(EncodingRoundTrip, ValuesLengthsAndAttributesSurvive) {
+  const auto [autonorm, n_features, n_objects] = GetParam();
+  const Schema s = make_schema(n_features);
+  nn::Rng rng(static_cast<uint64_t>(n_features * 100 + n_objects + autonorm));
+  const Dataset d = random_data(s, n_objects, rng);
+
+  GanCodec codec(s, autonorm);
+  const auto enc = codec.encode(d);
+  EXPECT_EQ(enc.attributes.rows(), n_objects);
+  EXPECT_EQ(enc.features.cols(), codec.feature_row_dim());
+  const Dataset back = codec.decode(enc.attributes, enc.minmax, enc.features);
+
+  ASSERT_EQ(back.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back[i].length(), d[i].length());
+    EXPECT_FLOAT_EQ(back[i].attributes[0], d[i].attributes[0]);
+    EXPECT_NEAR(back[i].attributes[1], d[i].attributes[1], 0.01f);
+    for (int t = 0; t < d[i].length(); ++t) {
+      for (int f = 0; f < n_features; ++f) {
+        const float range = s.features[static_cast<size_t>(f)].hi;
+        EXPECT_NEAR(back[i].features[t][f], d[i].features[t][f], 0.01f * range)
+            << "object " << i << " t=" << t << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST_P(EncodingRoundTrip, EncodedValuesAreInActivationRange) {
+  const auto [autonorm, n_features, n_objects] = GetParam();
+  const Schema s = make_schema(n_features);
+  nn::Rng rng(static_cast<uint64_t>(7 + n_features + n_objects));
+  const Dataset d = random_data(s, n_objects, rng);
+  GanCodec codec(s, autonorm);
+  const auto enc = codec.encode(d);
+  const float lo = autonorm ? -1.0f - 1e-4f : -1e-4f;
+  for (float v : enc.features.flat()) {
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, 1.0f + 1e-4f);
+  }
+  for (float v : enc.minmax.flat()) {
+    EXPECT_GE(v, -1e-4f);
+    EXPECT_LE(v, 1.0f + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncodingRoundTrip,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 7, 25)));
+
+}  // namespace
+}  // namespace dg::data

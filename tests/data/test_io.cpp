@@ -1,0 +1,108 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/synth.h"
+
+namespace dg::data {
+namespace {
+
+TEST(SchemaIo, RoundTrip) {
+  const auto d = synth::make_gcut({.n = 2});
+  std::stringstream ss;
+  save_schema(ss, d.schema);
+  const Schema back = load_schema(ss);
+  EXPECT_EQ(back.name, d.schema.name);
+  EXPECT_EQ(back.max_timesteps, d.schema.max_timesteps);
+  ASSERT_EQ(back.attributes.size(), d.schema.attributes.size());
+  EXPECT_EQ(back.attributes[0].labels, d.schema.attributes[0].labels);
+  ASSERT_EQ(back.features.size(), d.schema.features.size());
+  EXPECT_FLOAT_EQ(back.features[0].lo, d.schema.features[0].lo);
+  EXPECT_FLOAT_EQ(back.features[0].hi, d.schema.features[0].hi);
+}
+
+TEST(SchemaIo, RejectsGarbage) {
+  std::stringstream ss("definitely not a schema");
+  EXPECT_THROW(load_schema(ss), std::runtime_error);
+}
+
+TEST(SchemaIo, RejectsNamesWithCommas) {
+  Schema s;
+  s.max_timesteps = 2;
+  s.attributes = {categorical_field("bad,name", {"a"})};
+  s.features = {continuous_field("x", 0, 1)};
+  std::stringstream ss;
+  EXPECT_THROW(save_schema(ss, s), std::invalid_argument);
+}
+
+TEST(CsvIo, RoundTripVariableLengths) {
+  const auto d = synth::make_gcut({.n = 25, .t_max = 20});
+  data::Dataset clamped = d.data;
+  for (auto& o : clamped) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  std::stringstream ss;
+  save_csv(ss, d.schema, clamped);
+  const Dataset back = load_csv(ss, d.schema);
+  ASSERT_EQ(back.size(), clamped.size());
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].length(), clamped[i].length());
+    EXPECT_EQ(back[i].attributes, clamped[i].attributes);
+    for (int t = 0; t < back[i].length(); ++t) {
+      for (size_t f = 0; f < back[i].features[t].size(); ++f) {
+        EXPECT_NEAR(back[i].features[t][f], clamped[i].features[t][f], 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(CsvIo, CategoricalAttributesWrittenAsLabels) {
+  const auto d = synth::make_mba({.n = 3});
+  std::stringstream ss;
+  save_csv(ss, d.schema, d.data);
+  const std::string text = ss.str();
+  // At least one of the technology labels must appear verbatim.
+  EXPECT_TRUE(text.find("Cable") != std::string::npos ||
+              text.find("DSL") != std::string::npos ||
+              text.find("Fiber") != std::string::npos ||
+              text.find("Satellite") != std::string::npos ||
+              text.find("IPBB") != std::string::npos);
+}
+
+TEST(CsvIo, RejectsHeaderMismatch) {
+  const auto gcut = synth::make_gcut({.n = 2});
+  const auto mba = synth::make_mba({.n = 2});
+  std::stringstream ss;
+  save_csv(ss, gcut.schema, gcut.data);
+  EXPECT_THROW(load_csv(ss, mba.schema), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsUnknownLabel) {
+  const auto d = synth::make_gcut({.n = 1});
+  std::stringstream ss;
+  save_csv(ss, d.schema, d.data);
+  std::string text = ss.str();
+  const auto pos = text.find("FINISH");
+  if (pos != std::string::npos) text.replace(pos, 6, "BOGUSS");
+  const auto pos2 = text.find("KILL");
+  if (pos2 != std::string::npos) text.replace(pos2, 4, "BOGU");
+  std::stringstream broken(text);
+  EXPECT_THROW(load_csv(broken, d.schema), std::runtime_error);
+}
+
+TEST(CsvIo, FileHelpersRoundTrip) {
+  const auto d = synth::make_wwt({.n = 4, .t = 12});
+  const std::string dir = ::testing::TempDir();
+  save_schema_file(dir + "/s.schema", d.schema);
+  save_csv_file(dir + "/d.csv", d.schema, d.data);
+  const Schema s = load_schema_file(dir + "/s.schema");
+  const Dataset back = load_csv_file(dir + "/d.csv", s);
+  EXPECT_EQ(back.size(), d.data.size());
+  EXPECT_THROW(load_schema_file("/nonexistent/x"), std::runtime_error);
+  EXPECT_THROW(load_csv_file("/nonexistent/x", s), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dg::data

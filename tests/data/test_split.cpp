@@ -1,0 +1,74 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dg::data {
+namespace {
+
+Dataset numbered(int n) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    Object o;
+    o.attributes = {static_cast<float>(i % 4)};
+    o.features.resize(static_cast<size_t>(1 + i % 3), {0.0f});
+    d.push_back(std::move(o));
+  }
+  return d;
+}
+
+TEST(Split, HalvesPreserveAllObjects) {
+  nn::Rng rng(1);
+  const Dataset d = numbered(101);
+  auto [a, b] = train_test_split(d, 0.5, rng);
+  EXPECT_EQ(a.size() + b.size(), d.size());
+  EXPECT_EQ(a.size(), 51u);  // round(0.5 * 101)
+}
+
+TEST(Split, FracBoundsChecked) {
+  nn::Rng rng(2);
+  EXPECT_THROW(train_test_split(numbered(4), 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(train_test_split(numbered(4), -0.1, rng), std::invalid_argument);
+}
+
+TEST(Split, SubsampleSizeAndUniqueness) {
+  nn::Rng rng(3);
+  const Dataset d = numbered(50);
+  const Dataset s = subsample(d, 10, rng);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_THROW(subsample(d, 51, rng), std::invalid_argument);
+}
+
+TEST(Split, EmpiricalAttributeSamplerMatchesMarginal) {
+  nn::Rng rng(4);
+  const Dataset d = numbered(400);  // attrs 0..3 uniform
+  EmpiricalAttributeSampler sampler(d);
+  EXPECT_EQ(sampler.size(), 400);
+  std::map<int, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[static_cast<int>(sampler.sample(rng)[0])];
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(counts[c] / 4000.0, 0.25, 0.05);
+  }
+}
+
+TEST(Split, EmpiricalSamplerRejectsEmpty) {
+  EXPECT_THROW(EmpiricalAttributeSampler(Dataset{}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalLengthSampler(Dataset{}), std::invalid_argument);
+}
+
+TEST(Split, LengthSamplerDrawsObservedLengths) {
+  nn::Rng rng(5);
+  const Dataset d = numbered(30);  // lengths 1..3
+  EmpiricalLengthSampler sampler(d);
+  for (int i = 0; i < 100; ++i) {
+    const int len = sampler.sample(rng);
+    EXPECT_GE(len, 1);
+    EXPECT_LE(len, 3);
+  }
+}
+
+}  // namespace
+}  // namespace dg::data

@@ -1,0 +1,68 @@
+#include "data/timestamps.h"
+
+#include <gtest/gtest.h>
+
+namespace dg::data {
+namespace {
+
+Schema base_schema() {
+  Schema s;
+  s.max_timesteps = 5;
+  s.attributes = {categorical_field("k", {"a", "b"})};
+  s.features = {continuous_field("x", 0.0f, 1.0f)};
+  return s;
+}
+
+TEST(Timestamps, EncodeAddsInterarrivalFeature) {
+  const Schema s = base_schema();
+  Dataset d{{{0.0f}, {{0.1f}, {0.2f}, {0.3f}}}};
+  std::vector<TimestampSeries> ts{{10.0, 12.5, 17.5}};
+  const auto [aug_schema, aug] = encode_interarrivals(s, d, ts, 10.0f);
+  EXPECT_EQ(aug_schema.features.size(), 2u);
+  EXPECT_EQ(aug_schema.features[0].name, "interarrival");
+  ASSERT_EQ(aug.size(), 1u);
+  EXPECT_FLOAT_EQ(aug[0].features[0][0], 0.0f);   // first gap is 0
+  EXPECT_FLOAT_EQ(aug[0].features[1][0], 2.5f);
+  EXPECT_FLOAT_EQ(aug[0].features[2][0], 5.0f);
+  EXPECT_FLOAT_EQ(aug[0].features[1][1], 0.2f);   // original feature intact
+}
+
+TEST(Timestamps, RoundTripRecoversTimestamps) {
+  const Schema s = base_schema();
+  Dataset d{{{1.0f}, {{0.5f}, {0.6f}}}, {{0.0f}, {{0.7f}}}};
+  std::vector<TimestampSeries> ts{{3.0, 4.25}, {9.0}};
+  const auto [aug_schema, aug] = encode_interarrivals(s, d, ts, 5.0f);
+  const auto [back, back_ts] = decode_interarrivals(aug_schema, aug, 3.0);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].features[0].size(), 1u);
+  EXPECT_FLOAT_EQ(back[0].features[1][0], 0.6f);
+  // Timestamps relative to t0=3.0: first object starts at 3.0.
+  EXPECT_NEAR(back_ts[0][0], 3.0, 1e-6);
+  EXPECT_NEAR(back_ts[0][1], 4.25, 1e-6);
+}
+
+TEST(Timestamps, ValidatesInput) {
+  const Schema s = base_schema();
+  Dataset d{{{0.0f}, {{0.1f}, {0.2f}}}};
+  // Length mismatch.
+  EXPECT_THROW(encode_interarrivals(s, d, {{1.0}}, 5.0f), std::invalid_argument);
+  // Not increasing.
+  EXPECT_THROW(encode_interarrivals(s, d, {{2.0, 1.0}}, 5.0f),
+               std::invalid_argument);
+  // Gap too big.
+  EXPECT_THROW(encode_interarrivals(s, d, {{0.0, 100.0}}, 5.0f),
+               std::invalid_argument);
+  // Count mismatch.
+  EXPECT_THROW(encode_interarrivals(s, d, {}, 5.0f), std::invalid_argument);
+  // Bad max_gap.
+  EXPECT_THROW(encode_interarrivals(s, d, {{0.0, 1.0}}, 0.0f),
+               std::invalid_argument);
+}
+
+TEST(Timestamps, DecodeRejectsWrongSchema) {
+  const Schema s = base_schema();
+  EXPECT_THROW(decode_interarrivals(s, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::data

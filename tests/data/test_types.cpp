@@ -1,0 +1,94 @@
+#include "data/types.h"
+
+#include <gtest/gtest.h>
+
+namespace dg::data {
+namespace {
+
+Schema tiny_schema() {
+  Schema s;
+  s.name = "tiny";
+  s.max_timesteps = 5;
+  s.attributes = {categorical_field("kind", {"a", "b", "c"}),
+                  continuous_field("weight", 0.0f, 10.0f)};
+  s.features = {continuous_field("x", -1.0f, 1.0f),
+                categorical_field("state", {"on", "off"})};
+  return s;
+}
+
+TEST(Types, FieldWidths) {
+  const Schema s = tiny_schema();
+  EXPECT_EQ(s.attributes[0].width(), 3);
+  EXPECT_EQ(s.attributes[1].width(), 1);
+  EXPECT_EQ(s.attribute_dim(), 4);
+  EXPECT_EQ(s.feature_record_dim(), 3);  // 1 continuous + 2 one-hot
+  EXPECT_EQ(s.num_attributes(), 2);
+  EXPECT_EQ(s.num_features(), 2);
+}
+
+TEST(Types, ContinuousFieldValidatesRange) {
+  EXPECT_THROW(continuous_field("bad", 1.0f, 1.0f), std::invalid_argument);
+  EXPECT_THROW(continuous_field("bad", 2.0f, 1.0f), std::invalid_argument);
+}
+
+TEST(Types, CategoricalFieldCountsLabels) {
+  const FieldSpec f = categorical_field("f", {"x", "y"});
+  EXPECT_EQ(f.n_categories, 2);
+  EXPECT_EQ(f.labels[1], "y");
+}
+
+TEST(Types, ValidateAcceptsGoodData) {
+  const Schema s = tiny_schema();
+  Dataset d;
+  d.push_back({{1.0f, 3.5f}, {{0.5f, 0.0f}, {-0.5f, 1.0f}}});
+  EXPECT_NO_THROW(validate(s, d));
+}
+
+TEST(Types, ValidateRejectsBadAttributeArity) {
+  const Schema s = tiny_schema();
+  Dataset d;
+  d.push_back({{1.0f}, {{0.5f, 0.0f}}});
+  EXPECT_THROW(validate(s, d), std::invalid_argument);
+}
+
+TEST(Types, ValidateRejectsCategoryOutOfRange) {
+  const Schema s = tiny_schema();
+  Dataset d;
+  d.push_back({{5.0f, 3.5f}, {{0.5f, 0.0f}}});
+  EXPECT_THROW(validate(s, d), std::invalid_argument);
+}
+
+TEST(Types, ValidateRejectsTooLongSeries) {
+  const Schema s = tiny_schema();
+  Dataset d;
+  Object o{{1.0f, 3.5f}, {}};
+  for (int t = 0; t < 6; ++t) o.features.push_back({0.0f, 0.0f});
+  d.push_back(o);
+  EXPECT_THROW(validate(s, d), std::invalid_argument);
+}
+
+TEST(Types, ValidateRejectsEmptySeries) {
+  const Schema s = tiny_schema();
+  Dataset d;
+  d.push_back({{1.0f, 3.5f}, {}});
+  EXPECT_THROW(validate(s, d), std::invalid_argument);
+}
+
+TEST(Types, ValidateRejectsRecordDimMismatch) {
+  const Schema s = tiny_schema();
+  Dataset d;
+  d.push_back({{1.0f, 3.5f}, {{0.5f}}});
+  EXPECT_THROW(validate(s, d), std::invalid_argument);
+}
+
+TEST(Types, FeatureColumnExtraction) {
+  Object o{{0.0f}, {{1.0f, 10.0f}, {2.0f, 20.0f}, {3.0f, 30.0f}}};
+  const auto c0 = feature_column(o, 0);
+  const auto c1 = feature_column(o, 1);
+  EXPECT_EQ(c0, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(c1, (std::vector<float>{10.0f, 20.0f, 30.0f}));
+  EXPECT_EQ(o.length(), 3);
+}
+
+}  // namespace
+}  // namespace dg::data

@@ -1,0 +1,111 @@
+#include "downstream/classifiers.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/rng.h"
+
+namespace dg::downstream {
+namespace {
+
+using nn::Matrix;
+
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+/// Three well-separated Gaussian blobs in 2-D.
+Blobs make_blobs(int per_class, uint64_t seed) {
+  nn::Rng rng(seed);
+  const double centers[3][2] = {{-2, -2}, {2, -2}, {0, 2.5}};
+  Blobs b;
+  b.x = Matrix(3 * per_class, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const int r = c * per_class + i;
+      b.x.at(r, 0) = static_cast<float>(rng.normal(centers[c][0], 0.35));
+      b.x.at(r, 1) = static_cast<float>(rng.normal(centers[c][1], 0.35));
+      b.y.push_back(c);
+    }
+  }
+  return b;
+}
+
+class ClassifierSuite : public ::testing::TestWithParam<int> {
+ public:
+  static std::unique_ptr<Classifier> make(int which) {
+    switch (which) {
+      case 0: return make_mlp_classifier({.epochs = 40, .seed = 1});
+      case 1: return make_naive_bayes();
+      case 2: return make_logistic_regression({.epochs = 60, .seed = 1});
+      case 3: return make_decision_tree();
+      case 4: return make_linear_svm({.epochs = 250, .seed = 1});
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(ClassifierSuite, SeparableBlobsLearnedWell) {
+  const Blobs train = make_blobs(60, 10);
+  const Blobs test = make_blobs(40, 11);
+  auto clf = make(GetParam());
+  ASSERT_NE(clf, nullptr);
+  clf->fit(train.x, train.y, 3);
+  const auto pred = clf->predict(test.x);
+  EXPECT_GT(accuracy(pred, test.y), 0.9) << clf->name();
+}
+
+TEST_P(ClassifierSuite, PredictsAllTrainingLabels) {
+  const Blobs train = make_blobs(30, 12);
+  auto clf = make(GetParam());
+  clf->fit(train.x, train.y, 3);
+  const auto pred = clf->predict(train.x);
+  EXPECT_EQ(pred.size(), train.y.size());
+  for (int p : pred) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+std::string classifier_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"Mlp", "NaiveBayes", "Logistic", "Tree",
+                                       "Svm"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, ClassifierSuite, ::testing::Range(0, 5),
+                         classifier_case_name);
+
+TEST(Accuracy, KnownValueAndErrors) {
+  std::vector<int> pred{0, 1, 2, 0}, truth{0, 1, 1, 0};
+  EXPECT_NEAR(accuracy(pred, truth), 0.75, 1e-12);
+  EXPECT_THROW(accuracy(pred, std::vector<int>{1}), std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, PureNodeStopsEarly) {
+  Matrix x(4, 1);
+  std::vector<int> y{1, 1, 1, 1};
+  auto tree = make_decision_tree();
+  tree->fit(x, y, 2);
+  const auto pred = tree->predict(x);
+  for (int p : pred) EXPECT_EQ(p, 1);
+}
+
+TEST(NaiveBayesTest, UsesPriorsWhenFeaturesUninformative) {
+  nn::Rng rng(13);
+  Matrix x(100, 1);
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.normal());
+    y.push_back(i < 90 ? 0 : 1);  // 90% class 0
+  }
+  auto nb = make_naive_bayes();
+  nb->fit(x, y, 2);
+  const auto pred = nb->predict(x);
+  int zeros = 0;
+  for (int p : pred) zeros += (p == 0);
+  EXPECT_GT(zeros, 75);
+}
+
+}  // namespace
+}  // namespace dg::downstream

@@ -1,0 +1,47 @@
+#include "downstream/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/rng.h"
+
+namespace dg::downstream {
+namespace {
+
+using nn::Matrix;
+
+TEST(Cholesky, KnownFactorization) {
+  const Matrix a = Matrix::from({{4, 2}, {2, 3}});
+  const Matrix l = cholesky(a);
+  EXPECT_NEAR(l.at(0, 0), 2.0f, 1e-5f);
+  EXPECT_NEAR(l.at(1, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(l.at(0, 1), 0.0f, 1e-5f);
+  EXPECT_NEAR(l.at(1, 1), std::sqrt(2.0f), 1e-5f);
+  EXPECT_TRUE(nn::allclose(nn::matmul(l, nn::transpose(l)), a, 1e-4f));
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  EXPECT_THROW(cholesky(Matrix::from({{1, 2}, {2, 1}})), std::invalid_argument);
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SolveSpd, RecoversSolution) {
+  nn::Rng rng(1);
+  // Build SPD A = B^T B + I and random X; check solve(A, A X) == X.
+  const Matrix b = rng.normal_matrix(6, 6);
+  Matrix a = nn::matmul(nn::transpose(b), b);
+  for (int i = 0; i < 6; ++i) a.at(i, i) += 1.0f;
+  const Matrix x = rng.normal_matrix(6, 3);
+  const Matrix rhs = nn::matmul(a, x);
+  const Matrix solved = solve_spd(a, rhs);
+  EXPECT_TRUE(nn::allclose(solved, x, 1e-2f));
+}
+
+TEST(SolveSpd, ShapeMismatchThrows) {
+  Matrix a = Matrix::from({{2, 0}, {0, 2}});
+  EXPECT_THROW(solve_spd(a, Matrix(3, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::downstream

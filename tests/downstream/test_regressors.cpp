@@ -1,0 +1,103 @@
+#include "downstream/regressors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/rng.h"
+
+namespace dg::downstream {
+namespace {
+
+using nn::Matrix;
+
+struct RegData {
+  Matrix x, y;
+};
+
+RegData linear_data(int n, uint64_t seed) {
+  nn::Rng rng(seed);
+  RegData d{Matrix(n, 2), Matrix(n, 1)};
+  for (int i = 0; i < n; ++i) {
+    d.x.at(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    d.x.at(i, 1) = static_cast<float>(rng.uniform(-1, 1));
+    d.y.at(i, 0) = 3.0f * d.x.at(i, 0) - 2.0f * d.x.at(i, 1) + 0.5f;
+  }
+  return d;
+}
+
+RegData sine_data(int n, uint64_t seed) {
+  nn::Rng rng(seed);
+  RegData d{Matrix(n, 1), Matrix(n, 1)};
+  for (int i = 0; i < n; ++i) {
+    d.x.at(i, 0) = static_cast<float>(rng.uniform(-3, 3));
+    d.y.at(i, 0) = std::sin(d.x.at(i, 0));
+  }
+  return d;
+}
+
+TEST(LinearRegressionTest, FitsExactLinearRelation) {
+  const RegData train = linear_data(100, 1);
+  const RegData test = linear_data(50, 2);
+  auto reg = make_linear_regression();
+  reg->fit(train.x, train.y);
+  EXPECT_GT(r2_score(test.y, reg->predict(test.x)), 0.999);
+}
+
+TEST(LinearRegressionTest, MultiOutput) {
+  nn::Rng rng(3);
+  Matrix x(60, 1), y(60, 2);
+  for (int i = 0; i < 60; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    y.at(i, 0) = 2.0f * x.at(i, 0);
+    y.at(i, 1) = -x.at(i, 0) + 1.0f;
+  }
+  auto reg = make_linear_regression();
+  reg->fit(x, y);
+  EXPECT_GT(r2_score(y, reg->predict(x)), 0.999);
+}
+
+TEST(KernelRidgeTest, FitsNonlinearWhereLinearFails) {
+  const RegData train = sine_data(150, 4);
+  const RegData test = sine_data(60, 5);
+  auto kr = make_kernel_ridge({.gamma = 8.0f, .alpha = 1e-3f});
+  kr->fit(train.x, train.y);
+  const double r2_kernel = r2_score(test.y, kr->predict(test.x));
+  auto lin = make_linear_regression();
+  lin->fit(train.x, train.y);
+  const double r2_linear = r2_score(test.y, lin->predict(test.x));
+  EXPECT_GT(r2_kernel, 0.95);
+  EXPECT_GT(r2_kernel, r2_linear + 0.05);
+}
+
+TEST(MlpRegressorTest, FitsNonlinear) {
+  const RegData train = sine_data(200, 6);
+  const RegData test = sine_data(60, 7);
+  auto mlp = make_mlp_regressor({.hidden_units = 32, .epochs = 400, .seed = 1});
+  mlp->fit(train.x, train.y);
+  EXPECT_GT(r2_score(test.y, mlp->predict(test.x)), 0.9);
+}
+
+TEST(MlpRegressorTest, DisplayNameConfigurable) {
+  auto mlp = make_mlp_regressor({.display_name = "MLP (5 layers)"});
+  EXPECT_EQ(mlp->name(), "MLP (5 layers)");
+}
+
+TEST(R2Score, KnownValues) {
+  Matrix truth = Matrix::from({{1}, {2}, {3}, {4}});
+  EXPECT_NEAR(r2_score(truth, truth), 1.0, 1e-12);
+  // Predicting the mean gives R^2 = 0.
+  Matrix mean_pred(4, 1, 2.5f);
+  EXPECT_NEAR(r2_score(truth, mean_pred), 0.0, 1e-6);
+  // Worse than the mean is negative.
+  Matrix bad = Matrix::from({{4}, {3}, {2}, {1}});
+  EXPECT_LT(r2_score(truth, bad), -1.0);
+}
+
+TEST(R2Score, ShapeChecks) {
+  EXPECT_THROW(r2_score(Matrix(2, 1), Matrix(3, 1)), std::invalid_argument);
+  EXPECT_THROW(r2_score(Matrix(1, 1), Matrix(1, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::downstream

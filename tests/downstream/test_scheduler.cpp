@@ -1,0 +1,91 @@
+#include "downstream/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/synth.h"
+
+namespace dg::downstream {
+namespace {
+
+std::vector<Job> burst(std::initializer_list<double> durations) {
+  // All jobs arrive at t=0 (within epsilon to keep ordering deterministic).
+  std::vector<Job> jobs;
+  double eps = 0.0;
+  for (double d : durations) {
+    jobs.push_back({eps, d, 0.5});
+    eps += 1e-9;
+  }
+  return jobs;
+}
+
+TEST(Scheduler, SingleMachineFifoKnownValues) {
+  // Jobs 4, 2 at t=0: FIFO runs 4 then 2 -> waits {0, 4}.
+  const auto m = simulate_schedule(burst({4, 2}), SchedulingPolicy::Fifo, 1);
+  EXPECT_NEAR(m.mean_wait, 2.0, 1e-6);
+  EXPECT_NEAR(m.makespan, 6.0, 1e-6);
+}
+
+TEST(Scheduler, PolicyOrderingOnSkewedBurst) {
+  // A 1-epoch head job occupies the machine; the rest {2, 10, 1, 1} queue up
+  // behind it and compete under the policy order.
+  const auto jobs = burst({1, 2, 10, 1, 1});
+  const auto fifo = simulate_schedule(jobs, SchedulingPolicy::Fifo, 1);
+  const auto sjf = simulate_schedule(jobs, SchedulingPolicy::ShortestJobFirst, 1);
+  const auto ljf = simulate_schedule(jobs, SchedulingPolicy::LargestJobFirst, 1);
+  // FIFO waits: 0,1,3,13,14 -> 6.2; SJF: 0,1,2,3,5 -> 2.2;
+  // LJF: 0,1,11,13,14 -> 7.8.
+  EXPECT_NEAR(fifo.mean_wait, 6.2, 1e-6);
+  EXPECT_NEAR(sjf.mean_wait, 2.2, 1e-6);
+  EXPECT_NEAR(ljf.mean_wait, 7.8, 1e-6);
+  EXPECT_LT(sjf.mean_wait, fifo.mean_wait);
+  EXPECT_LT(fifo.mean_wait, ljf.mean_wait);
+  // Work-conserving on one machine: same makespan regardless of policy.
+  EXPECT_NEAR(sjf.makespan, fifo.makespan, 1e-6);
+  EXPECT_NEAR(sjf.makespan, 15.0, 1e-6);
+}
+
+TEST(Scheduler, MoreMachinesNeverHurt) {
+  nn::Rng rng(1);
+  const auto d = synth::make_gcut({.n = 200, .t_max = 50, .seed = 2});
+  const auto jobs = jobs_from_dataset(d.data, 0, 2.0, rng);
+  const auto m1 = simulate_schedule(jobs, SchedulingPolicy::Fifo, 1);
+  const auto m4 = simulate_schedule(jobs, SchedulingPolicy::Fifo, 4);
+  const auto m16 = simulate_schedule(jobs, SchedulingPolicy::Fifo, 16);
+  EXPECT_GE(m1.mean_wait, m4.mean_wait);
+  EXPECT_GE(m4.mean_wait, m16.mean_wait);
+}
+
+TEST(Scheduler, IdleSystemHasZeroWait) {
+  // Arrivals far apart: every job starts immediately.
+  std::vector<Job> jobs{{0, 3, 0.1}, {100, 5, 0.2}, {200, 2, 0.3}};
+  const auto m = simulate_schedule(jobs, SchedulingPolicy::Fifo, 1);
+  EXPECT_NEAR(m.mean_wait, 0.0, 1e-9);
+  EXPECT_NEAR(m.mean_slowdown, 1.0, 1e-9);
+}
+
+TEST(Scheduler, JobsFromDatasetShapes) {
+  nn::Rng rng(3);
+  const auto d = synth::make_gcut({.n = 50, .t_max = 50, .seed = 4});
+  const auto jobs = jobs_from_dataset(d.data, 0, 1.5, rng);
+  ASSERT_EQ(jobs.size(), d.data.size());
+  double prev = -1;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_GT(jobs[i].arrival, prev);
+    prev = jobs[i].arrival;
+    EXPECT_NEAR(jobs[i].duration, d.data[i].length(), 1e-9);
+    EXPECT_GE(jobs[i].demand, 0.0);
+    EXPECT_LE(jobs[i].demand, 1.0);
+  }
+  EXPECT_THROW(jobs_from_dataset(d.data, 0, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Scheduler, Validation) {
+  EXPECT_THROW(simulate_schedule({}, SchedulingPolicy::Fifo, 0),
+               std::invalid_argument);
+  const auto empty = simulate_schedule({}, SchedulingPolicy::Fifo, 2);
+  EXPECT_NEAR(empty.makespan, 0.0, 1e-12);
+  EXPECT_EQ(policy_name(SchedulingPolicy::ShortestJobFirst), "SJF");
+}
+
+}  // namespace
+}  // namespace dg::downstream

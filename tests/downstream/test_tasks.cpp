@@ -1,0 +1,81 @@
+#include "downstream/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/synth.h"
+
+namespace dg::downstream {
+namespace {
+
+TEST(ClassificationTask, ShapesAndLabels) {
+  const auto d = synth::make_gcut({.n = 50, .t_max = 20});
+  const auto task = make_event_classification(d.schema, d.data, 0);
+  EXPECT_EQ(task.x.rows(), 50);
+  EXPECT_EQ(task.x.cols(), 20 * 3);
+  EXPECT_EQ(task.n_classes, 4);
+  for (int y : task.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+TEST(ClassificationTask, PadsShortSeriesWithZeros) {
+  const auto d = synth::make_gcut({.n = 30, .t_max = 20});
+  const auto task = make_event_classification(d.schema, d.data, 0);
+  for (size_t i = 0; i < d.data.size(); ++i) {
+    const int len = d.data[i].length();
+    if (len >= 20) continue;
+    for (int t = len; t < 20; ++t) {
+      for (int f = 0; f < 3; ++f) {
+        EXPECT_FLOAT_EQ(task.x.at(static_cast<int>(i), t * 3 + f), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(ClassificationTask, ValuesScaledToUnitRange) {
+  const auto d = synth::make_gcut({.n = 20});
+  const auto task = make_event_classification(d.schema, d.data, 0);
+  for (float v : task.x.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ClassificationTask, RejectsContinuousAttribute) {
+  data::Schema s;
+  s.max_timesteps = 2;
+  s.attributes = {data::continuous_field("w", 0, 1)};
+  s.features = {data::continuous_field("x", 0, 1)};
+  EXPECT_THROW(make_event_classification(s, {}, 0), std::invalid_argument);
+}
+
+TEST(ForecastTask, WindowsAndNormalization) {
+  const auto d = synth::make_wwt({.n = 20, .t = 60});
+  const auto task = make_forecast(d.data, 0, 40, 10);
+  EXPECT_EQ(task.x.rows(), 20);
+  EXPECT_EQ(task.x.cols(), 40);
+  EXPECT_EQ(task.y.cols(), 10);
+  // History is max-normalized to [0,1].
+  for (int i = 0; i < task.x.rows(); ++i) {
+    float mx = 0;
+    for (int j = 0; j < 40; ++j) mx = std::max(mx, task.x.at(i, j));
+    EXPECT_NEAR(mx, 1.0f, 1e-4f);
+  }
+}
+
+TEST(ForecastTask, SkipsTooShortSeries) {
+  const auto d = synth::make_gcut({.n = 100, .t_max = 50});
+  const auto task = make_forecast(d.data, 0, 30, 10);
+  EXPECT_LT(task.x.rows(), 100);  // short-mode tasks are skipped
+  EXPECT_GT(task.x.rows(), 0);
+}
+
+TEST(ForecastTask, RejectsBadWindows) {
+  const auto d = synth::make_wwt({.n = 3, .t = 20});
+  EXPECT_THROW(make_forecast(d.data, 0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(make_forecast(d.data, 0, 5, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::downstream

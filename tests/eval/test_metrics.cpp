@@ -1,0 +1,215 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace dg::eval {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  std::vector<float> x{1, 2, 3, 4, 5, 4, 3, 2};
+  const auto r = autocorrelation(x, 3);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<float> x;
+  for (int t = 0; t < 100; ++t) {
+    x.push_back(static_cast<float>(std::sin(2 * std::numbers::pi * t / 10.0)));
+  }
+  const auto r = autocorrelation(x, 20);
+  EXPECT_GT(r[10], 0.7);
+  EXPECT_LT(r[5], -0.5);  // anti-phase at half period
+}
+
+TEST(Autocorrelation, ConstantSeriesIsFlat) {
+  std::vector<float> x(20, 3.0f);
+  const auto r = autocorrelation(x, 5);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+  for (int l = 1; l <= 5; ++l) EXPECT_NEAR(r[l], 0.0, 1e-9);
+}
+
+TEST(Autocorrelation, EmptySeries) {
+  const auto r = autocorrelation(std::vector<float>{}, 3);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_NEAR(r[0], 0.0, 1e-12);
+}
+
+TEST(Autocorrelation, MeanOverDatasetSkipsShortSeries) {
+  data::Dataset d;
+  data::Object long_o, short_o;
+  for (int t = 0; t < 30; ++t) {
+    long_o.features.push_back({static_cast<float>(t % 2)});
+  }
+  short_o.features.push_back({1.0f});
+  short_o.features.push_back({0.0f});
+  d.push_back(long_o);
+  d.push_back(short_o);
+  const auto r = mean_autocorrelation(d, 0, 10);
+  EXPECT_EQ(r.size(), 11u);
+  EXPECT_NEAR(r[2], 1.0, 0.15);  // alternating signal: period 2
+}
+
+TEST(Mse, KnownValue) {
+  std::vector<double> a{1, 2, 3}, b{1, 2, 5};
+  EXPECT_NEAR(mse(a, b), 4.0 / 3.0, 1e-12);
+  EXPECT_THROW(mse(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Wasserstein, IdenticalSamplesGiveZero) {
+  std::vector<double> a{1, 2, 3, 4};
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-12);
+}
+
+TEST(Wasserstein, ShiftEqualsDistance) {
+  std::vector<double> a{0, 1, 2, 3}, b{5, 6, 7, 8};
+  EXPECT_NEAR(wasserstein1(a, b), 5.0, 1e-9);
+}
+
+TEST(Wasserstein, DifferentSizes) {
+  // Uniform{0,1} vs point mass at 0.5: W1 = E|X - 0.5| = 0.5.
+  std::vector<double> a{0, 1}, b{0.5};
+  EXPECT_NEAR(wasserstein1(a, b), 0.5, 1e-9);
+}
+
+TEST(Wasserstein, Symmetric) {
+  std::vector<double> a{0.3, 2.1, 7.5}, b{1.0, 1.0, 4.0, 9.0};
+  EXPECT_NEAR(wasserstein1(a, b), wasserstein1(b, a), 1e-12);
+  EXPECT_THROW(wasserstein1({}, a), std::invalid_argument);
+}
+
+TEST(Jsd, IdenticalIsZeroDisjointIsOne) {
+  std::vector<double> p{0.5, 0.5, 0.0}, q{0.0, 0.0, 1.0};
+  EXPECT_NEAR(jsd(p, p), 0.0, 1e-12);
+  EXPECT_NEAR(jsd(p, q), 1.0, 1e-9);  // base-2 JSD is bounded by 1
+}
+
+TEST(Jsd, NormalizesCounts) {
+  std::vector<double> p{10, 10}, q{1, 1};
+  EXPECT_NEAR(jsd(p, q), 0.0, 1e-12);
+}
+
+TEST(Jsd, RejectsBadInput) {
+  std::vector<double> p{1.0, -0.5};
+  std::vector<double> q{0.5, 0.5};
+  EXPECT_THROW(jsd(p, q), std::invalid_argument);
+  EXPECT_THROW(jsd(std::vector<double>{0, 0}, std::vector<double>{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Spearman, PerfectAndInverse) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> up{10, 20, 30, 40, 50};
+  std::vector<double> down{5, 4, 3, 2, 1};
+  EXPECT_NEAR(spearman(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(a, down), -1.0, 1e-12);
+}
+
+TEST(Spearman, MonotoneTransformInvariant) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  std::vector<double> a{1, 2, 2, 3};
+  std::vector<double> b{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, CountsAndEdges) {
+  std::vector<double> v{0.1, 0.2, 0.9, 1.5, 2.0, -5.0};
+  const auto h = histogram(v, 2, 0.0, 2.0);
+  EXPECT_EQ(h.counts.size(), 2u);
+  EXPECT_NEAR(h.counts[0], 3.0, 1e-12);  // 0.1, 0.2, 0.9
+  EXPECT_NEAR(h.counts[1], 2.0, 1e-12);  // 1.5, 2.0 (top edge inclusive)
+  EXPECT_THROW(histogram(v, 0, 0, 1), std::invalid_argument);
+}
+
+TEST(AttributeMarginal, CountsCategories) {
+  data::Schema s;
+  s.max_timesteps = 2;
+  s.attributes = {data::categorical_field("k", {"a", "b"})};
+  s.features = {data::continuous_field("x", 0, 1)};
+  data::Dataset d;
+  for (int i = 0; i < 4; ++i) {
+    d.push_back({{static_cast<float>(i < 3 ? 0 : 1)}, {{0.5f}}});
+  }
+  const auto m = attribute_marginal(d, s, 0);
+  EXPECT_NEAR(m[0], 0.75, 1e-12);
+  EXPECT_NEAR(m[1], 0.25, 1e-12);
+}
+
+TEST(LengthDistribution, NormalizedAndClamped) {
+  data::Dataset d;
+  data::Object a, b;
+  a.features.assign(3, {0.0f});
+  b.features.assign(10, {0.0f});
+  d.push_back(a);
+  d.push_back(b);
+  const auto ld = length_distribution(d, 5);  // b clamps to 5
+  EXPECT_NEAR(ld[2], 0.5, 1e-12);
+  EXPECT_NEAR(ld[4], 0.5, 1e-12);
+}
+
+TEST(PerObjectTotals, SumsAndScales) {
+  data::Dataset d;
+  d.push_back({{}, {{1.0f, 10.0f}, {2.0f, 20.0f}}});
+  const auto t0 = per_object_totals(d, 0);
+  const auto t1 = per_object_totals(d, 1, 0.1);
+  EXPECT_NEAR(t0[0], 3.0, 1e-6);
+  EXPECT_NEAR(t1[0], 3.0, 1e-6);
+}
+
+TEST(KsStatistic, KnownValues) {
+  std::vector<double> a{1, 2, 3, 4};
+  EXPECT_NEAR(ks_statistic(a, a), 0.0, 1e-12);
+  std::vector<double> b{10, 11, 12};
+  EXPECT_NEAR(ks_statistic(a, b), 1.0, 1e-12);  // disjoint supports
+  // Uniform{1,2} vs {2,3}: max CDF gap at x in [1,2) is 0.5.
+  EXPECT_NEAR(ks_statistic({1, 2}, {2, 3}), 0.5, 1e-12);
+  EXPECT_THROW(ks_statistic({}, a), std::invalid_argument);
+}
+
+TEST(FeatureCorrelation, PerfectAndZero) {
+  data::Dataset d;
+  data::Object o;
+  for (int t = 0; t < 20; ++t) {
+    const float x = static_cast<float>(t);
+    o.features.push_back({x, 2.0f * x + 1.0f, 5.0f});
+  }
+  d.push_back(o);
+  EXPECT_NEAR(feature_correlation(d, 0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(feature_correlation(d, 0, 2), 0.0, 1e-9);  // constant column
+}
+
+TEST(FeatureCorrelation, AntiCorrelated) {
+  data::Dataset d;
+  data::Object o;
+  for (int t = 0; t < 10; ++t) {
+    o.features.push_back({static_cast<float>(t), static_cast<float>(-t)});
+  }
+  d.push_back(o);
+  EXPECT_NEAR(feature_correlation(d, 0, 1), -1.0, 1e-9);
+  EXPECT_THROW(feature_correlation({}, 0, 1), std::invalid_argument);
+}
+
+TEST(NearestNeighbors, FindsExactMatchFirst) {
+  data::Dataset train;
+  for (int i = 0; i < 5; ++i) {
+    data::Object o;
+    for (int t = 0; t < 4; ++t) o.features.push_back({static_cast<float>(i)});
+    train.push_back(o);
+  }
+  const std::vector<float> q{3, 3, 3, 3};
+  const auto nn = nearest_neighbors(q, train, 0, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].first, 3);
+  EXPECT_NEAR(nn[0].second, 0.0, 1e-12);
+  EXPECT_GT(nn[1].second, 0.5);
+}
+
+}  // namespace
+}  // namespace dg::eval

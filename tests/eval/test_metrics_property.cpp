@@ -1,0 +1,110 @@
+// Property-style sweeps over random inputs for the fidelity metrics:
+// symmetry, bounds, shift/scale behaviour, and invariances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "nn/rng.h"
+
+namespace dg::eval {
+namespace {
+
+class MetricProperties : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<double> random_sample(nn::Rng& rng, int n, double lo, double hi) {
+    std::vector<double> v(static_cast<size_t>(n));
+    for (double& x : v) x = rng.uniform(lo, hi);
+    return v;
+  }
+  std::vector<double> random_dist(nn::Rng& rng, int k) {
+    std::vector<double> v(static_cast<size_t>(k));
+    for (double& x : v) x = rng.uniform(0.01, 1.0);
+    return v;
+  }
+};
+
+TEST_P(MetricProperties, WassersteinAxioms) {
+  nn::Rng rng(GetParam());
+  const auto a = random_sample(rng, 20 + rng.uniform_int(30), -3, 7);
+  const auto b = random_sample(rng, 20 + rng.uniform_int(30), -3, 7);
+  // Identity, symmetry, non-negativity.
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-10);
+  EXPECT_NEAR(wasserstein1(a, b), wasserstein1(b, a), 1e-10);
+  EXPECT_GE(wasserstein1(a, b), 0.0);
+  // Translating one sample by delta changes W1 by at most delta
+  // (exactly delta when supports stay ordered the same way).
+  auto shifted = a;
+  for (double& v : shifted) v += 100.0;  // disjoint supports
+  EXPECT_NEAR(wasserstein1(a, shifted), 100.0, 1e-8);
+}
+
+TEST_P(MetricProperties, WassersteinTriangleInequality) {
+  nn::Rng rng(GetParam() + 1);
+  const auto a = random_sample(rng, 25, 0, 1);
+  const auto b = random_sample(rng, 25, 0, 2);
+  const auto c = random_sample(rng, 25, -1, 1);
+  EXPECT_LE(wasserstein1(a, c),
+            wasserstein1(a, b) + wasserstein1(b, c) + 1e-9);
+}
+
+TEST_P(MetricProperties, JsdSymmetricAndBounded) {
+  nn::Rng rng(GetParam() + 2);
+  const auto p = random_dist(rng, 6);
+  const auto q = random_dist(rng, 6);
+  const double d1 = jsd(p, q);
+  const double d2 = jsd(q, p);
+  EXPECT_NEAR(d1, d2, 1e-10);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+  EXPECT_NEAR(jsd(p, p), 0.0, 1e-10);
+}
+
+TEST_P(MetricProperties, SpearmanBoundedAndMonotoneInvariant) {
+  nn::Rng rng(GetParam() + 3);
+  const auto a = random_sample(rng, 15, -5, 5);
+  const auto b = random_sample(rng, 15, -5, 5);
+  const double r = spearman(a, b);
+  EXPECT_GE(r, -1.0 - 1e-9);
+  EXPECT_LE(r, 1.0 + 1e-9);
+  // Applying a strictly increasing transform to either side is a no-op.
+  auto a_cubed = a;
+  for (double& v : a_cubed) v = v * v * v;
+  EXPECT_NEAR(spearman(a_cubed, b), r, 1e-9);
+  // Negating one side negates the correlation.
+  auto b_neg = b;
+  for (double& v : b_neg) v = -v;
+  EXPECT_NEAR(spearman(a, b_neg), -r, 1e-9);
+}
+
+TEST_P(MetricProperties, AutocorrelationBoundedAndShiftInvariant) {
+  nn::Rng rng(GetParam() + 4);
+  std::vector<float> x(60);
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  const auto r = autocorrelation(x, 10);
+  for (double v : r) {
+    EXPECT_GE(v, -1.05);
+    EXPECT_LE(v, 1.05);
+  }
+  // Adding a constant shifts the mean out; autocorrelation is unchanged.
+  auto y = x;
+  for (float& v : y) v += 42.0f;
+  const auto r2 = autocorrelation(y, 10);
+  for (size_t l = 0; l < r.size(); ++l) EXPECT_NEAR(r[l], r2[l], 2e-3);
+}
+
+TEST_P(MetricProperties, HistogramConservesInRangeMass) {
+  nn::Rng rng(GetParam() + 5);
+  const auto v = random_sample(rng, 200, 0.0, 1.0);
+  const auto h = histogram(v, 7, 0.0, 1.0);
+  double total = 0;
+  for (double c : h.counts) total += c;
+  EXPECT_NEAR(total, 200.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperties,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace dg::eval

@@ -1,0 +1,97 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace dg::eval {
+namespace {
+
+TEST(FidelityReport, SelfComparisonIsNearZero) {
+  const auto d = synth::make_gcut({.n = 200, .t_max = 30, .seed = 3});
+  data::Dataset clamped = d.data;
+  for (auto& o : clamped) {
+    if (o.length() > 30) o.features.resize(30);
+  }
+  data::Schema schema = d.schema;
+  schema.max_timesteps = 30;
+  const auto rep = fidelity_report(schema, clamped, clamped);
+  EXPECT_NEAR(rep.headline(), 0.0, 1e-9);
+  EXPECT_NEAR(rep.length_jsd, 0.0, 1e-9);
+  ASSERT_EQ(rep.attributes.size(), 1u);
+  EXPECT_NEAR(rep.attributes[0].jsd, 0.0, 1e-9);
+  ASSERT_EQ(rep.features.size(), 3u);
+  for (const auto& f : rep.features) {
+    EXPECT_NEAR(f.value_w1, 0.0, 1e-9);
+    EXPECT_NEAR(f.value_ks, 0.0, 1e-9);
+    EXPECT_NEAR(f.autocorr_mse, 0.0, 1e-9);
+  }
+  // 3 features -> 3 pairs; real == synthetic correlations.
+  ASSERT_EQ(rep.cross_correlations.size(), 3u);
+  for (const auto& c : rep.cross_correlations) {
+    EXPECT_NEAR(c.real, c.synthetic, 1e-9);
+  }
+}
+
+TEST(FidelityReport, DetectsDistributionDrift) {
+  const auto a = synth::make_mba({.n = 150, .seed = 4});
+  auto b = synth::make_mba({.n = 150, .seed = 5});
+  // Bias the candidate: double all traffic.
+  for (auto& o : b.data) {
+    for (auto& rec : o.features) {
+      rec[1] = std::min(rec[1] * 2.0f, a.schema.features[1].hi);
+    }
+  }
+  const auto same = fidelity_report(a.schema, a.data,
+                                    synth::make_mba({.n = 150, .seed = 6}).data);
+  const auto drift = fidelity_report(a.schema, a.data, b.data);
+  EXPECT_GT(drift.features[1].value_ks, same.features[1].value_ks + 0.1);
+  EXPECT_GT(drift.features[1].totals_w1, same.features[1].totals_w1 * 1.5);
+}
+
+TEST(FidelityReport, HeadlineOrdersCandidatesSensibly) {
+  const auto real = synth::make_wwt({.n = 100, .t = 30, .seed = 7});
+  const auto close = synth::make_wwt({.n = 100, .t = 30, .seed = 8});
+  // A "bad" candidate: uniform noise in range.
+  auto bad = close;
+  nn::Rng rng(9);
+  for (auto& o : bad.data) {
+    o.attributes[0] = 0.0f;  // collapse the domain attribute
+    for (auto& rec : o.features) {
+      rec[0] = static_cast<float>(rng.uniform(0.0, 60000.0));
+    }
+  }
+  const auto r_close = fidelity_report(real.schema, real.data, close.data);
+  const auto r_bad = fidelity_report(real.schema, real.data, bad.data);
+  EXPECT_LT(r_close.headline(), r_bad.headline());
+}
+
+TEST(FidelityReport, RejectsEmpty) {
+  const auto d = synth::make_wwt({.n = 3, .t = 10});
+  EXPECT_THROW(fidelity_report(d.schema, {}, d.data), std::invalid_argument);
+  EXPECT_THROW(fidelity_report(d.schema, d.data, {}), std::invalid_argument);
+}
+
+TEST(FidelityReport, PrintsAllSections) {
+  const auto d = synth::make_gcut({.n = 40, .t_max = 20, .seed = 10});
+  data::Dataset clamped = d.data;
+  for (auto& o : clamped) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  data::Schema schema = d.schema;
+  schema.max_timesteps = 20;
+  const auto rep = fidelity_report(schema, clamped, clamped);
+  std::ostringstream os;
+  print_report(os, rep);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("fidelity headline"), std::string::npos);
+  EXPECT_NE(text.find("end_event_type"), std::string::npos);
+  EXPECT_NE(text.find("cpu_rate"), std::string::npos);
+  EXPECT_NE(text.find(" x "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg::eval

@@ -1,0 +1,99 @@
+// Property-style sweep: the analytic gradient of a composite network-like
+// expression must match finite differences for every (rows, inner, cols)
+// shape combination, and LSTM gradients must match across depths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/autograd.h"
+#include "nn/layers.h"
+#include "nn/rng.h"
+#include "gradcheck.h"
+
+namespace dg::nn {
+namespace {
+
+using dg::testing::max_grad_error;
+
+using Shape = std::tuple<int, int, int>;  // (n, k, m)
+
+class CompositeGradcheck : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CompositeGradcheck, MlpLikeExpression) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 31 + k * 7 + m));
+  // loss = mean(square(tanh(X W + b) V)) — the building block of every
+  // network in this project.
+  const float err = max_grad_error(
+      [&](const std::vector<Var>& v) {
+        Var h = tanh_(add_rowvec(matmul(v[0], v[1]), v[2]));
+        return mean(square(matmul(h, v[3])));
+      },
+      {rng.uniform_matrix(n, k, -1, 1), rng.uniform_matrix(k, m, -1, 1),
+       rng.uniform_matrix(1, m, -1, 1), rng.uniform_matrix(m, 2, -1, 1)});
+  EXPECT_LT(err, 5e-2f);
+}
+
+TEST_P(CompositeGradcheck, SoftmaxCrossEntropyLikeExpression) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 13 + k * 5 + m + 99));
+  Matrix targets(n, m, 0.0f);
+  for (int i = 0; i < n; ++i) targets.at(i, i % m) = 1.0f;
+  const float err = max_grad_error(
+      [&](const std::vector<Var>& v) {
+        Var logits = matmul(v[0], v[1]);
+        Var p = softmax_rows(logits);
+        Var logp = log_(add_scalar(p, 1e-6f));
+        return neg(mean(row_sum(mul(logp, constant(targets)))));
+      },
+      {rng.uniform_matrix(n, k, -1, 1), rng.uniform_matrix(k, m, -1, 1)});
+  EXPECT_LT(err, 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompositeGradcheck,
+                         ::testing::Values(Shape{1, 1, 2}, Shape{1, 4, 3},
+                                           Shape{3, 2, 2}, Shape{5, 6, 4},
+                                           Shape{2, 8, 2}));
+
+class LstmDepthGradcheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmDepthGradcheck, UnrolledGradientMatches) {
+  const int depth = GetParam();
+  Rng rng(static_cast<uint64_t>(depth) + 1234);
+  LstmCell cell(2, 3, rng);
+  const float err = max_grad_error(
+      [&](const std::vector<Var>& v) {
+        auto s = cell.initial_state(2);
+        for (int t = 0; t < depth; ++t) s = cell.step(v[0], s);
+        return mean(square(s.h));
+      },
+      {rng.uniform_matrix(2, 2, -1, 1)});
+  EXPECT_LT(err, 5e-2f) << "depth " << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LstmDepthGradcheck,
+                         ::testing::Values(1, 2, 4, 8));
+
+class SecondOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecondOrderSweep, PowerFunctionHessianDiagonal) {
+  // y = sum(x^p) via repeated mul; grad-of-grad must equal p(p-1)x^(p-2).
+  const int p = GetParam();
+  Matrix xm = Matrix::from({{1.3f, -0.7f, 2.0f}});
+  Var x(xm, true);
+  Var y = x;
+  for (int i = 1; i < p; ++i) y = mul(y, x);
+  auto g = autograd::grad(sum(y), std::vector<Var>{x}, /*create_graph=*/true);
+  sum(g[0]).backward();
+  for (int j = 0; j < 3; ++j) {
+    const float expected =
+        p * (p - 1) * std::pow(xm.at(0, j), static_cast<float>(p - 2));
+    EXPECT_NEAR(x.grad().value().at(0, j), expected, 1e-2f * std::fabs(expected) + 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, SecondOrderSweep, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dg::nn

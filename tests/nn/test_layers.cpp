@@ -1,0 +1,198 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optim.h"
+#include "nn/rng.h"
+#include "gradcheck.h"
+
+namespace dg::nn {
+namespace {
+
+TEST(Linear, ShapesAndForward) {
+  Rng rng(1);
+  Linear l(3, 2, rng);
+  EXPECT_EQ(l.in_features(), 3);
+  EXPECT_EQ(l.out_features(), 2);
+  Var x(rng.uniform_matrix(5, 3), false);
+  Var y = l.forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_EQ(l.parameters().size(), 2u);
+}
+
+TEST(Linear, GradcheckThroughLayer) {
+  Rng rng(2);
+  Linear l(4, 3, rng);
+  const float err = dg::testing::max_grad_error(
+      [&](const std::vector<Var>& v) {
+        return mean(square(l.forward(v[0])));
+      },
+      {rng.uniform_matrix(3, 4, -1.0, 1.0)});
+  EXPECT_LT(err, 5e-2f);
+}
+
+TEST(Mlp, OutputShapeAndParamCount) {
+  Rng rng(3);
+  Mlp mlp(6, 4, 10, 2, rng);
+  Var x(rng.uniform_matrix(7, 6), false);
+  Var y = mlp.forward(x);
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 4);
+  // 3 Linear layers (2 hidden + output) -> 6 parameter tensors.
+  EXPECT_EQ(mlp.parameters().size(), 6u);
+  EXPECT_EQ(mlp.parameter_count(), 6u * 10 + 10u * 10 + 10 + 10u * 4 + 4 + 10);
+}
+
+TEST(Mlp, SoftmaxOutputIsDistribution) {
+  Rng rng(4);
+  Mlp mlp(5, 3, 8, 1, rng, Activation::Softmax);
+  Var y = mlp.forward(Var(rng.uniform_matrix(6, 5), false));
+  Matrix rs = row_sum(y.value());
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(rs.at(i, 0), 1.0f, 1e-5f);
+}
+
+TEST(Mlp, SigmoidAndTanhOutputsBounded) {
+  Rng rng(5);
+  Mlp s(4, 2, 8, 1, rng, Activation::Sigmoid);
+  Mlp t(4, 2, 8, 1, rng, Activation::Tanh);
+  Var x(rng.uniform_matrix(10, 4, -5.0, 5.0), false);
+  const Var ys = s.forward(x);
+  for (float v : ys.value().flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  const Var yt = t.forward(x);
+  for (float v : yt.value().flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Mlp, ZeroHiddenLayersIsLinear) {
+  Rng rng(6);
+  Mlp mlp(3, 2, 100, 0, rng);
+  EXPECT_EQ(mlp.parameters().size(), 2u);
+}
+
+TEST(Lstm, StateShapes) {
+  Rng rng(7);
+  LstmCell cell(5, 8, rng);
+  auto s0 = cell.initial_state(4);
+  EXPECT_EQ(s0.h.rows(), 4);
+  EXPECT_EQ(s0.h.cols(), 8);
+  Var x(rng.uniform_matrix(4, 5), false);
+  auto s1 = cell.step(x, s0);
+  EXPECT_EQ(s1.h.rows(), 4);
+  EXPECT_EQ(s1.h.cols(), 8);
+  EXPECT_EQ(s1.c.rows(), 4);
+  EXPECT_EQ(cell.parameters().size(), 3u);
+}
+
+TEST(Lstm, HiddenStateBounded) {
+  Rng rng(8);
+  LstmCell cell(3, 6, rng);
+  auto s = cell.initial_state(2);
+  for (int t = 0; t < 20; ++t) {
+    Var x(rng.uniform_matrix(2, 3, -2.0, 2.0), false);
+    s = cell.step(x, s);
+    for (float v : s.h.value().flat()) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(Lstm, GradFlowsThroughTime) {
+  Rng rng(9);
+  LstmCell cell(2, 4, rng);
+  Var x0(rng.uniform_matrix(1, 2), true);
+  auto s = cell.initial_state(1);
+  s = cell.step(x0, s);
+  for (int t = 0; t < 5; ++t) {
+    s = cell.step(constant(rng.uniform_matrix(1, 2)), s);
+  }
+  Var loss = mean(square(s.h));
+  loss.backward();
+  ASSERT_TRUE(x0.grad().defined());
+  float norm = 0.0f;
+  for (float v : x0.grad().value().flat()) norm += std::fabs(v);
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(Lstm, GradcheckThroughTwoSteps) {
+  Rng rng(10);
+  LstmCell cell(2, 3, rng);
+  const float err = dg::testing::max_grad_error(
+      [&](const std::vector<Var>& v) {
+        auto s = cell.initial_state(2);
+        s = cell.step(v[0], s);
+        s = cell.step(v[1], s);
+        return mean(square(s.h));
+      },
+      {rng.uniform_matrix(2, 2), rng.uniform_matrix(2, 2)});
+  EXPECT_LT(err, 5e-2f);
+}
+
+TEST(Loss, SoftmaxCrossEntropyKnownValue) {
+  // Uniform logits over 2 classes -> CE = log 2.
+  Var logits(Matrix(4, 2, 0.0f), false);
+  Matrix targets(4, 2, 0.0f);
+  for (int i = 0; i < 4; ++i) targets.at(i, i % 2) = 1.0f;
+  Var ce = softmax_cross_entropy(logits, targets);
+  EXPECT_NEAR(ce.value().at(0, 0), std::log(2.0f), 1e-4f);
+}
+
+TEST(Loss, SoftmaxCrossEntropyDecreasesWithTraining) {
+  Rng rng(11);
+  Mlp net(2, 2, 8, 1, rng);
+  // Two separable blobs.
+  Matrix x(20, 2), y(20, 2, 0.0f);
+  for (int i = 0; i < 20; ++i) {
+    const int cls = i % 2;
+    x.at(i, 0) = static_cast<float>(rng.normal(cls ? 2.0 : -2.0, 0.3));
+    x.at(i, 1) = static_cast<float>(rng.normal(cls ? -1.0 : 1.0, 0.3));
+    y.at(i, cls) = 1.0f;
+  }
+  Adam opt(net.parameters(), {.lr = 0.05f});
+  float first = 0, last = 0;
+  for (int it = 0; it < 60; ++it) {
+    Var loss = softmax_cross_entropy(net.forward(Var(x, false)), y);
+    if (it == 0) first = loss.value().at(0, 0);
+    last = loss.value().at(0, 0);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(last, first * 0.3f);
+}
+
+TEST(Loss, MseKnownValue) {
+  Var pred(Matrix(1, 2, 2.0f), false);
+  Matrix target(1, 2, 0.0f);
+  Var l = mse_loss(pred, target);
+  EXPECT_FLOAT_EQ(l.value().at(0, 0), 4.0f);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  Var pred(Matrix(2, 2), false);
+  EXPECT_THROW(mse_loss(pred, Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(pred, Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(Module, ZeroGradClearsAll) {
+  Rng rng(12);
+  Mlp net(2, 1, 4, 1, rng);
+  Var loss = mean(square(net.forward(Var(rng.uniform_matrix(3, 2), false))));
+  loss.backward();
+  bool any = false;
+  for (const Var& p : net.parameters()) any = any || p.grad().defined();
+  EXPECT_TRUE(any);
+  net.zero_grad();
+  for (const Var& p : net.parameters()) EXPECT_FALSE(p.grad().defined());
+}
+
+}  // namespace
+}  // namespace dg::nn

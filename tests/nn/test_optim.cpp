@@ -1,0 +1,107 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/rng.h"
+
+namespace dg::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  Var x(Matrix(1, 1, 5.0f), true);
+  Adam opt({x}, {.lr = 0.1f});
+  for (int i = 0; i < 300; ++i) {
+    Var loss = mul(x, x);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(x.value().at(0, 0), 0.0f, 1e-2f);
+}
+
+TEST(Adam, MinimizesShiftedQuadraticInManyDims) {
+  Rng rng(1);
+  Var x(rng.uniform_matrix(4, 4, -2.0, 2.0), true);
+  Matrix target = rng.uniform_matrix(4, 4, -1.0, 1.0);
+  Adam opt({x}, {.lr = 0.05f});
+  for (int i = 0; i < 500; ++i) {
+    Var loss = mean(square(sub(x, constant(target))));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_TRUE(allclose(x.value(), target, 5e-2f));
+}
+
+TEST(Adam, SkipsParamsWithoutGrad) {
+  Var used(Matrix(1, 1, 1.0f), true);
+  Var unused(Matrix(1, 1, 7.0f), true);
+  Adam opt({used, unused}, {.lr = 0.1f});
+  Var loss = mul(used, used);
+  loss.backward();
+  opt.step();
+  EXPECT_FLOAT_EQ(unused.value().at(0, 0), 7.0f);
+  EXPECT_NE(used.value().at(0, 0), 1.0f);
+}
+
+TEST(Adam, ZeroGradResets) {
+  Var x(Matrix(1, 1, 1.0f), true);
+  Adam opt({x});
+  mul(x, x).backward();
+  EXPECT_TRUE(x.grad().defined());
+  opt.zero_grad();
+  EXPECT_FALSE(x.grad().defined());
+}
+
+TEST(Adam, TrainsRegressionToLowError) {
+  // y = 2*x0 - x1 + 0.5, learned by a 1-hidden-layer MLP.
+  Rng rng(2);
+  Mlp net(2, 1, 16, 1, rng);
+  Adam opt(net.parameters(), {.lr = 0.01f});
+  Matrix x(64, 2), y(64, 1);
+  for (int i = 0; i < 64; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.uniform(-1, 1));
+    x.at(i, 1) = static_cast<float>(rng.uniform(-1, 1));
+    y.at(i, 0) = 2.0f * x.at(i, 0) - x.at(i, 1) + 0.5f;
+  }
+  float loss_val = 0;
+  for (int it = 0; it < 800; ++it) {
+    Var loss = mse_loss(net.forward(Var(x, false)), y);
+    loss_val = loss.value().at(0, 0);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(loss_val, 1e-2f);
+}
+
+TEST(GradUtils, GlobalNormAndClip) {
+  Var a(Matrix(1, 1, 0.0f), true);
+  Var b(Matrix(1, 2, 0.0f), true);
+  // Construct grads of known size: d/da (3a) = 3; d/db sum(4b) = [4, 4].
+  Var loss = add(mul_scalar(sum(a), 3.0f), mul_scalar(sum(b), 4.0f));
+  loss.backward();
+  const float expected = std::sqrt(9.0f + 16.0f + 16.0f);
+  EXPECT_NEAR(global_grad_norm({a, b}), expected, 1e-4f);
+
+  clip_grad_norm({a, b}, expected * 2);  // above: no-op
+  EXPECT_NEAR(global_grad_norm({a, b}), expected, 1e-4f);
+
+  clip_grad_norm({a, b}, 1.0f);
+  EXPECT_NEAR(global_grad_norm({a, b}), 1.0f, 1e-4f);
+  // Direction preserved: ratio of components stays 3:4.
+  EXPECT_NEAR(a.grad().value().at(0, 0) / b.grad().value().at(0, 0),
+              3.0f / 4.0f, 1e-4f);
+}
+
+TEST(GradUtils, NormOfNoGradsIsZero) {
+  Var a(Matrix(2, 2, 1.0f), true);
+  EXPECT_FLOAT_EQ(global_grad_norm({a}), 0.0f);
+  clip_grad_norm({a}, 1.0f);  // must not crash
+}
+
+}  // namespace
+}  // namespace dg::nn

@@ -1,0 +1,91 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/layers.h"
+#include "nn/rng.h"
+
+namespace dg::nn {
+namespace {
+
+TEST(Serialize, MatricesRoundTrip) {
+  Rng rng(1);
+  std::vector<Matrix> mats{rng.normal_matrix(3, 4), rng.normal_matrix(1, 1),
+                           Matrix(0, 0)};
+  std::stringstream ss;
+  save_matrices(ss, mats);
+  auto loaded = load_matrices(ss);
+  ASSERT_EQ(loaded.size(), mats.size());
+  for (size_t i = 0; i < mats.size(); ++i) {
+    EXPECT_TRUE(allclose(loaded[i], mats[i], 0.0f));
+  }
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "not a model file";
+  EXPECT_THROW(load_matrices(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedThrows) {
+  Rng rng(2);
+  std::stringstream ss;
+  save_matrices(ss, {rng.normal_matrix(10, 10)});
+  std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_matrices(cut), std::runtime_error);
+}
+
+TEST(Serialize, ParametersRoundTripThroughModel) {
+  Rng rng(3);
+  Mlp src(4, 2, 8, 2, rng);
+  Mlp dst(4, 2, 8, 2, rng);  // different init
+  Var x(rng.uniform_matrix(5, 4), false);
+  ASSERT_FALSE(allclose(src.forward(x).value(), dst.forward(x).value()));
+
+  std::stringstream ss;
+  save_parameters(ss, src.parameters());
+  load_parameters(ss, dst.parameters());
+  EXPECT_TRUE(allclose(src.forward(x).value(), dst.forward(x).value(), 0.0f));
+}
+
+TEST(Serialize, CountMismatchThrows) {
+  Rng rng(4);
+  Mlp small(2, 2, 4, 1, rng);
+  Mlp big(2, 2, 4, 2, rng);
+  std::stringstream ss;
+  save_parameters(ss, small.parameters());
+  EXPECT_THROW(load_parameters(ss, big.parameters()), std::runtime_error);
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  Rng rng(5);
+  Mlp a(2, 2, 4, 1, rng);
+  Mlp b(2, 2, 5, 1, rng);  // same tensor count, different shapes
+  std::stringstream ss;
+  save_parameters(ss, a.parameters());
+  EXPECT_THROW(load_parameters(ss, b.parameters()), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(6);
+  Linear src(3, 3, rng);
+  Linear dst(3, 3, rng);
+  const std::string path = ::testing::TempDir() + "/dg_params.bin";
+  save_parameters_file(path, src.parameters());
+  load_parameters_file(path, dst.parameters());
+  Var x(rng.uniform_matrix(2, 3), false);
+  EXPECT_TRUE(allclose(src.forward(x).value(), dst.forward(x).value(), 0.0f));
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Rng rng(7);
+  Linear l(2, 2, rng);
+  EXPECT_THROW(load_parameters_file("/nonexistent/dir/x.bin", l.parameters()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dg::nn

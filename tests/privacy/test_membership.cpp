@@ -1,0 +1,61 @@
+#include "privacy/membership.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/rng.h"
+#include "synth/synth.h"
+
+namespace dg::privacy {
+namespace {
+
+data::Dataset jitter(const data::Dataset& src, double sigma, uint64_t seed) {
+  nn::Rng rng(seed);
+  data::Dataset out = src;
+  for (auto& o : out) {
+    for (auto& rec : o.features) {
+      for (auto& v : rec) v += static_cast<float>(rng.normal(0.0, sigma));
+    }
+  }
+  return out;
+}
+
+TEST(Membership, MemorizingGeneratorIsFullyExposed) {
+  const auto d = synth::make_wwt({.n = 60, .t = 40, .seed = 11});
+  data::Dataset members(d.data.begin(), d.data.begin() + 30);
+  data::Dataset nonmembers(d.data.begin() + 30, d.data.end());
+  // "Generated" data = slightly jittered copies of the members.
+  const auto generated = jitter(members, 1.0, 1);
+  const auto res = membership_inference_attack(generated, members, nonmembers, 0);
+  EXPECT_GT(res.success_rate, 0.9);
+  EXPECT_EQ(res.pool_size, 60);
+}
+
+TEST(Membership, IndependentGeneratorNearChance) {
+  const auto d = synth::make_wwt({.n = 90, .t = 40, .seed = 12});
+  data::Dataset members(d.data.begin(), d.data.begin() + 30);
+  data::Dataset nonmembers(d.data.begin() + 30, d.data.begin() + 60);
+  // Generated data drawn from the same distribution but disjoint from both.
+  data::Dataset generated(d.data.begin() + 60, d.data.end());
+  const auto res = membership_inference_attack(generated, members, nonmembers, 0);
+  EXPECT_GT(res.success_rate, 0.3);
+  EXPECT_LT(res.success_rate, 0.7);
+}
+
+TEST(Membership, BalancedPoolUsesMinCount) {
+  const auto d = synth::make_wwt({.n = 30, .t = 20, .seed = 13});
+  data::Dataset members(d.data.begin(), d.data.begin() + 20);
+  data::Dataset nonmembers(d.data.begin() + 20, d.data.end());  // 10
+  const auto res = membership_inference_attack(members, members, nonmembers, 0);
+  EXPECT_EQ(res.pool_size, 20);  // 10 per side
+}
+
+TEST(Membership, RejectsEmptyInputs) {
+  const auto d = synth::make_wwt({.n = 4, .t = 10, .seed = 14});
+  EXPECT_THROW(membership_inference_attack({}, d.data, d.data, 0),
+               std::invalid_argument);
+  EXPECT_THROW(membership_inference_attack(d.data, {}, d.data, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::privacy

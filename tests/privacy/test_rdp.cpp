@@ -1,0 +1,87 @@
+#include "privacy/rdp_accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dg::privacy {
+namespace {
+
+TEST(Rdp, FullBatchMatchesGaussianClosedForm) {
+  // q = 1: RDP(alpha) = alpha / (2 sigma^2).
+  EXPECT_NEAR(rdp_subsampled_gaussian(1.0, 2.0, 8), 8.0 / 8.0, 1e-9);
+  EXPECT_NEAR(rdp_subsampled_gaussian(1.0, 1.0, 2), 1.0, 1e-9);
+}
+
+TEST(Rdp, ZeroSamplingIsFree) {
+  EXPECT_NEAR(rdp_subsampled_gaussian(0.0, 1.0, 4), 0.0, 1e-12);
+}
+
+TEST(Rdp, SubsamplingAmplifiesPrivacy) {
+  const double full = rdp_subsampled_gaussian(1.0, 1.1, 8);
+  const double sub = rdp_subsampled_gaussian(0.01, 1.1, 8);
+  EXPECT_LT(sub, full / 100.0);
+}
+
+TEST(Rdp, MonotoneInNoise) {
+  EXPECT_GT(rdp_subsampled_gaussian(0.1, 0.8, 8),
+            rdp_subsampled_gaussian(0.1, 2.0, 8));
+}
+
+TEST(Rdp, SmallQScalesQuadratically) {
+  // For small q, RDP ~ q^2 (leading order of the subsampled Gaussian).
+  const double r1 = rdp_subsampled_gaussian(0.001, 1.0, 4);
+  const double r2 = rdp_subsampled_gaussian(0.002, 1.0, 4);
+  EXPECT_NEAR(r2 / r1, 4.0, 0.4);
+}
+
+TEST(Rdp, InputValidation) {
+  EXPECT_THROW(rdp_subsampled_gaussian(-0.1, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(rdp_subsampled_gaussian(0.5, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(rdp_subsampled_gaussian(0.5, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Accountant, EpsilonGrowsWithSteps) {
+  RdpAccountant acc(0.05, 1.1);
+  acc.add_steps(100);
+  const double e100 = acc.epsilon(1e-5).first;
+  acc.add_steps(900);
+  const double e1000 = acc.epsilon(1e-5).first;
+  EXPECT_GT(e1000, e100);
+  EXPECT_GT(e100, 0.0);
+}
+
+TEST(Accountant, MoreNoiseLessEpsilon) {
+  RdpAccountant low_noise(0.05, 0.7);
+  RdpAccountant high_noise(0.05, 4.0);
+  low_noise.add_steps(500);
+  high_noise.add_steps(500);
+  EXPECT_GT(low_noise.epsilon(1e-5).first, high_noise.epsilon(1e-5).first);
+}
+
+TEST(Accountant, SmallerDeltaCostsMoreEpsilon) {
+  RdpAccountant acc(0.02, 1.1);
+  acc.add_steps(200);
+  EXPECT_GT(acc.epsilon(1e-8).first, acc.epsilon(1e-3).first);
+}
+
+TEST(Accountant, ReasonableRegimeValue) {
+  // Classic DP-SGD setting (q=0.01, sigma=1.1, 10k steps, delta=1e-5):
+  // epsilon should land in the low single digits (TF-privacy gives ~ 4).
+  RdpAccountant acc(0.01, 1.1);
+  acc.add_steps(10000);
+  const auto [eps, order] = acc.epsilon(1e-5);
+  EXPECT_GT(eps, 1.0);
+  EXPECT_LT(eps, 10.0);
+  EXPECT_GE(order, 2);
+}
+
+TEST(Accountant, Validation) {
+  RdpAccountant acc(0.1, 1.0);
+  EXPECT_THROW(acc.add_steps(-1), std::invalid_argument);
+  EXPECT_THROW(acc.epsilon(0.0), std::invalid_argument);
+  EXPECT_THROW(acc.epsilon(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dg::privacy

@@ -1,0 +1,185 @@
+// dgcli — command-line front end for the DoppelGANger library.
+//
+//   dgcli make-synth --dataset wwt|mba|gcut --n N --schema S.schema --out D.csv
+//   dgcli train      --schema S.schema --data D.csv --out M.dgpkg
+//                    [--iterations N] [--sample-len S] [--batch B] [--seed X]
+//                    [--no-minmax] [--no-aux] [--lstm-units U] [--d-steps K]
+//   dgcli generate   --model M.dgpkg --n N --out synth.csv
+//   dgcli stats      --schema S.schema --data D.csv [--compare other.csv]
+//
+// The .dgpkg package bundles schema + architecture + trained parameters, so
+// `generate` needs nothing else — the paper's Fig 2 release flow.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/doppelganger.h"
+#include "core/package.h"
+#include "data/io.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "synth/synth.h"
+
+namespace {
+
+using namespace dg;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string str(const std::string& name, const std::string& fallback = "") const {
+    auto it = options.find(name);
+    if (it == options.end()) {
+      if (fallback.empty()) {
+        throw std::runtime_error("missing required option --" + name);
+      }
+      return fallback;
+    }
+    return it->second;
+  }
+  long num(const std::string& name, long fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : std::stol(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) throw std::runtime_error("no command given");
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) throw std::runtime_error("bad option " + key);
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.options[key] = argv[++i];
+    } else {
+      a.options[key] = "1";  // boolean flag
+    }
+  }
+  return a;
+}
+
+int cmd_make_synth(const Args& a) {
+  const std::string kind = a.str("dataset");
+  const int n = static_cast<int>(a.num("n", 500));
+  const uint64_t seed = static_cast<uint64_t>(a.num("seed", 1));
+  synth::SynthData d;
+  if (kind == "wwt") {
+    d = synth::make_wwt({.n = n, .seed = seed});
+  } else if (kind == "mba") {
+    d = synth::make_mba({.n = n, .seed = seed});
+  } else if (kind == "gcut") {
+    d = synth::make_gcut({.n = n, .seed = seed});
+  } else {
+    throw std::runtime_error("unknown --dataset (wwt|mba|gcut)");
+  }
+  data::save_schema_file(a.str("schema"), d.schema);
+  data::save_csv_file(a.str("out"), d.schema, d.data);
+  std::printf("wrote %zu objects to %s (schema: %s)\n", d.data.size(),
+              a.str("out").c_str(), a.str("schema").c_str());
+  return 0;
+}
+
+core::DoppelGangerConfig config_from(const Args& a, const data::Schema& schema) {
+  core::DoppelGangerConfig cfg;
+  cfg.sample_len = static_cast<int>(
+      a.num("sample-len", std::max(1, schema.max_timesteps / 28)));
+  cfg.lstm_units = static_cast<int>(a.num("lstm-units", 64));
+  cfg.head_hidden = cfg.lstm_units;
+  cfg.disc_hidden = static_cast<int>(a.num("disc-hidden", 128));
+  cfg.disc_layers = 3;
+  cfg.batch = static_cast<int>(a.num("batch", 32));
+  cfg.iterations = static_cast<int>(a.num("iterations", 800));
+  cfg.d_steps = static_cast<int>(a.num("d-steps", 2));
+  cfg.seed = static_cast<uint64_t>(a.num("seed", 0));
+  cfg.use_minmax_generator = !a.flag("no-minmax");
+  cfg.use_aux_discriminator = !a.flag("no-aux");
+  return cfg;
+}
+
+int cmd_train(const Args& a) {
+  const data::Schema schema = data::load_schema_file(a.str("schema"));
+  const data::Dataset train = data::load_csv_file(a.str("data"), schema);
+  const auto cfg = config_from(a, schema);
+  core::DoppelGanger model(schema, cfg);
+  std::printf("training on %zu objects (%d iterations, S=%d)...\n",
+              train.size(), cfg.iterations, cfg.sample_len);
+  const auto stats = model.fit(train);
+  std::printf("final losses: critic %.3f, generator %.3f\n",
+              stats.d_loss.back(), stats.g_loss.back());
+  core::save_package_file(a.str("out"), model);
+  std::printf("wrote model package %s\n", a.str("out").c_str());
+  return 0;
+}
+
+int cmd_generate(const Args& a) {
+  auto model = core::load_package_file(a.str("model"));
+  const int n = static_cast<int>(a.num("n", 500));
+  const data::Dataset out = model->generate(n);
+  data::save_csv_file(a.str("out"), model->schema(), out);
+  std::printf("generated %d objects -> %s\n", n, a.str("out").c_str());
+  return 0;
+}
+
+void print_stats(const char* tag, const data::Schema& schema,
+                 const data::Dataset& d) {
+  std::printf("[%s] %zu objects\n", tag, d.size());
+  double mean_len = 0;
+  for (const auto& o : d) mean_len += o.length();
+  std::printf("[%s] mean length %.1f / max %d\n", tag,
+              mean_len / static_cast<double>(d.size()), schema.max_timesteps);
+  for (size_t j = 0; j < schema.attributes.size(); ++j) {
+    const auto& spec = schema.attributes[j];
+    if (spec.type != data::FieldType::Categorical) continue;
+    const auto m = eval::attribute_marginal(d, schema, static_cast<int>(j));
+    std::printf("[%s] %s:", tag, spec.name.c_str());
+    for (int c = 0; c < spec.n_categories; ++c) {
+      std::printf(" %s=%.3f", spec.labels[static_cast<size_t>(c)].c_str(),
+                  m[static_cast<size_t>(c)]);
+    }
+    std::printf("\n");
+  }
+}
+
+int cmd_stats(const Args& a) {
+  const data::Schema schema = data::load_schema_file(a.str("schema"));
+  const data::Dataset d = data::load_csv_file(a.str("data"), schema);
+  print_stats("data", schema, d);
+  if (a.flag("compare")) {
+    const data::Dataset other = data::load_csv_file(a.str("compare"), schema);
+    print_stats("compare", schema, other);
+    std::printf("\n");
+    const auto report = eval::fidelity_report(schema, d, other);
+    std::ostringstream os;
+    eval::print_report(os, report);
+    std::fputs(os.str().c_str(), stdout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dgcli <make-synth|train|generate|stats> [options]\n"
+               "see the header of tools/dgcli.cpp for the option list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "make-synth") return cmd_make_synth(a);
+    if (a.command == "train") return cmd_train(a);
+    if (a.command == "generate") return cmd_generate(a);
+    if (a.command == "stats") return cmd_stats(a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dgcli: %s\n", e.what());
+    return 1;
+  }
+}
