@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gan_loss.dir/ablation_gan_loss.cpp.o"
+  "CMakeFiles/ablation_gan_loss.dir/ablation_gan_loss.cpp.o.d"
+  "ablation_gan_loss"
+  "ablation_gan_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gan_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

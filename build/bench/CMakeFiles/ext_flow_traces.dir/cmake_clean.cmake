@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_flow_traces.dir/ext_flow_traces.cpp.o"
+  "CMakeFiles/ext_flow_traces.dir/ext_flow_traces.cpp.o.d"
+  "ext_flow_traces"
+  "ext_flow_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flow_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

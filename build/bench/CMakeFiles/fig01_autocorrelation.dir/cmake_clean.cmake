@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_autocorrelation.dir/fig01_autocorrelation.cpp.o"
+  "CMakeFiles/fig01_autocorrelation.dir/fig01_autocorrelation.cpp.o.d"
+  "fig01_autocorrelation"
+  "fig01_autocorrelation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_autonorm.dir/fig05_autonorm.cpp.o"
+  "CMakeFiles/fig05_autonorm.dir/fig05_autonorm.cpp.o.d"
+  "fig05_autonorm"
+  "fig05_autonorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_autonorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_task_duration.dir/fig07_task_duration.cpp.o"
+  "CMakeFiles/fig07_task_duration.dir/fig07_task_duration.cpp.o.d"
+  "fig07_task_duration"
+  "fig07_task_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_task_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_attr_fidelity.dir/fig08_attr_fidelity.cpp.o"
+  "CMakeFiles/fig08_attr_fidelity.dir/fig08_attr_fidelity.cpp.o.d"
+  "fig08_attr_fidelity"
+  "fig08_attr_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_attr_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_attr_fidelity.
+# This may be replaced when dependencies are built.

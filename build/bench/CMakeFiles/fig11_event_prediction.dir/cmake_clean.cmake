@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_event_prediction.dir/fig11_event_prediction.cpp.o"
+  "CMakeFiles/fig11_event_prediction.dir/fig11_event_prediction.cpp.o.d"
+  "fig11_event_prediction"
+  "fig11_event_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_event_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

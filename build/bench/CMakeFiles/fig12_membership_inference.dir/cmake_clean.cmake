@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_membership_inference.dir/fig12_membership_inference.cpp.o"
+  "CMakeFiles/fig12_membership_inference.dir/fig12_membership_inference.cpp.o.d"
+  "fig12_membership_inference"
+  "fig12_membership_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_membership_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

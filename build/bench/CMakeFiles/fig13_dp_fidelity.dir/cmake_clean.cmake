@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dp_fidelity.dir/fig13_dp_fidelity.cpp.o"
+  "CMakeFiles/fig13_dp_fidelity.dir/fig13_dp_fidelity.cpp.o.d"
+  "fig13_dp_fidelity"
+  "fig13_dp_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dp_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

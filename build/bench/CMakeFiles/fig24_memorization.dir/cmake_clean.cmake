@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_memorization.dir/fig24_memorization.cpp.o"
+  "CMakeFiles/fig24_memorization.dir/fig24_memorization.cpp.o.d"
+  "fig24_memorization"
+  "fig24_memorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_memorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

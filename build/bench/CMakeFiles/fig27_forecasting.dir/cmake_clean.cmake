@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_forecasting.dir/fig27_forecasting.cpp.o"
+  "CMakeFiles/fig27_forecasting.dir/fig27_forecasting.cpp.o.d"
+  "fig27_forecasting"
+  "fig27_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig30_flexibility.dir/fig30_flexibility.cpp.o"
+  "CMakeFiles/fig30_flexibility.dir/fig30_flexibility.cpp.o.d"
+  "fig30_flexibility"
+  "fig30_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

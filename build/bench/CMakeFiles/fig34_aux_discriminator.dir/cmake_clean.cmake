@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_aux_discriminator.dir/fig34_aux_discriminator.cpp.o"
+  "CMakeFiles/fig34_aux_discriminator.dir/fig34_aux_discriminator.cpp.o.d"
+  "fig34_aux_discriminator"
+  "fig34_aux_discriminator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_aux_discriminator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_bandwidth.dir/table03_bandwidth.cpp.o"
+  "CMakeFiles/table03_bandwidth.dir/table03_bandwidth.cpp.o.d"
+  "table03_bandwidth"
+  "table03_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_rank_correlation.dir/table04_rank_correlation.cpp.o"
+  "CMakeFiles/table04_rank_correlation.dir/table04_rank_correlation.cpp.o.d"
+  "table04_rank_correlation"
+  "table04_rank_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_rank_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

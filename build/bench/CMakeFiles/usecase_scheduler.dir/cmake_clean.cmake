@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_scheduler.dir/usecase_scheduler.cpp.o"
+  "CMakeFiles/usecase_scheduler.dir/usecase_scheduler.cpp.o.d"
+  "usecase_scheduler"
+  "usecase_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

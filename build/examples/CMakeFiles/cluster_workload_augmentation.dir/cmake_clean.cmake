@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_workload_augmentation.dir/cluster_workload_augmentation.cpp.o"
+  "CMakeFiles/cluster_workload_augmentation.dir/cluster_workload_augmentation.cpp.o.d"
+  "cluster_workload_augmentation"
+  "cluster_workload_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_workload_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_sharing_workflow.dir/data_sharing_workflow.cpp.o"
+  "CMakeFiles/data_sharing_workflow.dir/data_sharing_workflow.cpp.o.d"
+  "data_sharing_workflow"
+  "data_sharing_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_sharing_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/timestamped_traces.cpp" "examples/CMakeFiles/timestamped_traces.dir/timestamped_traces.cpp.o" "gcc" "examples/CMakeFiles/timestamped_traces.dir/timestamped_traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/downstream/CMakeFiles/dg_downstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/dg_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamped_traces.dir/timestamped_traces.cpp.o"
+  "CMakeFiles/timestamped_traces.dir/timestamped_traces.cpp.o.d"
+  "timestamped_traces"
+  "timestamped_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamped_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ar.cpp" "src/baselines/CMakeFiles/dg_baselines.dir/ar.cpp.o" "gcc" "src/baselines/CMakeFiles/dg_baselines.dir/ar.cpp.o.d"
+  "/root/repo/src/baselines/hmm.cpp" "src/baselines/CMakeFiles/dg_baselines.dir/hmm.cpp.o" "gcc" "src/baselines/CMakeFiles/dg_baselines.dir/hmm.cpp.o.d"
+  "/root/repo/src/baselines/naive_gan.cpp" "src/baselines/CMakeFiles/dg_baselines.dir/naive_gan.cpp.o" "gcc" "src/baselines/CMakeFiles/dg_baselines.dir/naive_gan.cpp.o.d"
+  "/root/repo/src/baselines/rnn.cpp" "src/baselines/CMakeFiles/dg_baselines.dir/rnn.cpp.o" "gcc" "src/baselines/CMakeFiles/dg_baselines.dir/rnn.cpp.o.d"
+  "/root/repo/src/baselines/tes.cpp" "src/baselines/CMakeFiles/dg_baselines.dir/tes.cpp.o" "gcc" "src/baselines/CMakeFiles/dg_baselines.dir/tes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_baselines.dir/ar.cpp.o"
+  "CMakeFiles/dg_baselines.dir/ar.cpp.o.d"
+  "CMakeFiles/dg_baselines.dir/hmm.cpp.o"
+  "CMakeFiles/dg_baselines.dir/hmm.cpp.o.d"
+  "CMakeFiles/dg_baselines.dir/naive_gan.cpp.o"
+  "CMakeFiles/dg_baselines.dir/naive_gan.cpp.o.d"
+  "CMakeFiles/dg_baselines.dir/rnn.cpp.o"
+  "CMakeFiles/dg_baselines.dir/rnn.cpp.o.d"
+  "CMakeFiles/dg_baselines.dir/tes.cpp.o"
+  "CMakeFiles/dg_baselines.dir/tes.cpp.o.d"
+  "libdg_baselines.a"
+  "libdg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

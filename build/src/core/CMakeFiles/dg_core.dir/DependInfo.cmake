@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/doppelganger.cpp" "src/core/CMakeFiles/dg_core.dir/doppelganger.cpp.o" "gcc" "src/core/CMakeFiles/dg_core.dir/doppelganger.cpp.o.d"
+  "/root/repo/src/core/output_blocks.cpp" "src/core/CMakeFiles/dg_core.dir/output_blocks.cpp.o" "gcc" "src/core/CMakeFiles/dg_core.dir/output_blocks.cpp.o.d"
+  "/root/repo/src/core/package.cpp" "src/core/CMakeFiles/dg_core.dir/package.cpp.o" "gcc" "src/core/CMakeFiles/dg_core.dir/package.cpp.o.d"
+  "/root/repo/src/core/wgan.cpp" "src/core/CMakeFiles/dg_core.dir/wgan.cpp.o" "gcc" "src/core/CMakeFiles/dg_core.dir/wgan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_core.dir/doppelganger.cpp.o"
+  "CMakeFiles/dg_core.dir/doppelganger.cpp.o.d"
+  "CMakeFiles/dg_core.dir/output_blocks.cpp.o"
+  "CMakeFiles/dg_core.dir/output_blocks.cpp.o.d"
+  "CMakeFiles/dg_core.dir/package.cpp.o"
+  "CMakeFiles/dg_core.dir/package.cpp.o.d"
+  "CMakeFiles/dg_core.dir/wgan.cpp.o"
+  "CMakeFiles/dg_core.dir/wgan.cpp.o.d"
+  "libdg_core.a"
+  "libdg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

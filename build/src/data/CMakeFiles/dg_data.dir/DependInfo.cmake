@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/encoding.cpp" "src/data/CMakeFiles/dg_data.dir/encoding.cpp.o" "gcc" "src/data/CMakeFiles/dg_data.dir/encoding.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/dg_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/dg_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/dg_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/dg_data.dir/split.cpp.o.d"
+  "/root/repo/src/data/timestamps.cpp" "src/data/CMakeFiles/dg_data.dir/timestamps.cpp.o" "gcc" "src/data/CMakeFiles/dg_data.dir/timestamps.cpp.o.d"
+  "/root/repo/src/data/types.cpp" "src/data/CMakeFiles/dg_data.dir/types.cpp.o" "gcc" "src/data/CMakeFiles/dg_data.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_data.dir/encoding.cpp.o"
+  "CMakeFiles/dg_data.dir/encoding.cpp.o.d"
+  "CMakeFiles/dg_data.dir/io.cpp.o"
+  "CMakeFiles/dg_data.dir/io.cpp.o.d"
+  "CMakeFiles/dg_data.dir/split.cpp.o"
+  "CMakeFiles/dg_data.dir/split.cpp.o.d"
+  "CMakeFiles/dg_data.dir/timestamps.cpp.o"
+  "CMakeFiles/dg_data.dir/timestamps.cpp.o.d"
+  "CMakeFiles/dg_data.dir/types.cpp.o"
+  "CMakeFiles/dg_data.dir/types.cpp.o.d"
+  "libdg_data.a"
+  "libdg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/downstream/classifiers.cpp" "src/downstream/CMakeFiles/dg_downstream.dir/classifiers.cpp.o" "gcc" "src/downstream/CMakeFiles/dg_downstream.dir/classifiers.cpp.o.d"
+  "/root/repo/src/downstream/linalg.cpp" "src/downstream/CMakeFiles/dg_downstream.dir/linalg.cpp.o" "gcc" "src/downstream/CMakeFiles/dg_downstream.dir/linalg.cpp.o.d"
+  "/root/repo/src/downstream/regressors.cpp" "src/downstream/CMakeFiles/dg_downstream.dir/regressors.cpp.o" "gcc" "src/downstream/CMakeFiles/dg_downstream.dir/regressors.cpp.o.d"
+  "/root/repo/src/downstream/scheduler.cpp" "src/downstream/CMakeFiles/dg_downstream.dir/scheduler.cpp.o" "gcc" "src/downstream/CMakeFiles/dg_downstream.dir/scheduler.cpp.o.d"
+  "/root/repo/src/downstream/tasks.cpp" "src/downstream/CMakeFiles/dg_downstream.dir/tasks.cpp.o" "gcc" "src/downstream/CMakeFiles/dg_downstream.dir/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_downstream.dir/classifiers.cpp.o"
+  "CMakeFiles/dg_downstream.dir/classifiers.cpp.o.d"
+  "CMakeFiles/dg_downstream.dir/linalg.cpp.o"
+  "CMakeFiles/dg_downstream.dir/linalg.cpp.o.d"
+  "CMakeFiles/dg_downstream.dir/regressors.cpp.o"
+  "CMakeFiles/dg_downstream.dir/regressors.cpp.o.d"
+  "CMakeFiles/dg_downstream.dir/scheduler.cpp.o"
+  "CMakeFiles/dg_downstream.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dg_downstream.dir/tasks.cpp.o"
+  "CMakeFiles/dg_downstream.dir/tasks.cpp.o.d"
+  "libdg_downstream.a"
+  "libdg_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

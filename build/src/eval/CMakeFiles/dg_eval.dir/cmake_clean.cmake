@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_eval.dir/metrics.cpp.o"
+  "CMakeFiles/dg_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/dg_eval.dir/report.cpp.o"
+  "CMakeFiles/dg_eval.dir/report.cpp.o.d"
+  "libdg_eval.a"
+  "libdg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

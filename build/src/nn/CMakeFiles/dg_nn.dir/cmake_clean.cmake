@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_nn.dir/autograd.cpp.o"
+  "CMakeFiles/dg_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/dg_nn.dir/layers.cpp.o"
+  "CMakeFiles/dg_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/dg_nn.dir/matrix.cpp.o"
+  "CMakeFiles/dg_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/dg_nn.dir/optim.cpp.o"
+  "CMakeFiles/dg_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/dg_nn.dir/rng.cpp.o"
+  "CMakeFiles/dg_nn.dir/rng.cpp.o.d"
+  "CMakeFiles/dg_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dg_nn.dir/serialize.cpp.o.d"
+  "libdg_nn.a"
+  "libdg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

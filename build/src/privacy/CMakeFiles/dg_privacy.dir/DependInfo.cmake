@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/membership.cpp" "src/privacy/CMakeFiles/dg_privacy.dir/membership.cpp.o" "gcc" "src/privacy/CMakeFiles/dg_privacy.dir/membership.cpp.o.d"
+  "/root/repo/src/privacy/rdp_accountant.cpp" "src/privacy/CMakeFiles/dg_privacy.dir/rdp_accountant.cpp.o" "gcc" "src/privacy/CMakeFiles/dg_privacy.dir/rdp_accountant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

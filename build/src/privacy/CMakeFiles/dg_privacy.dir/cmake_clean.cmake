@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_privacy.dir/membership.cpp.o"
+  "CMakeFiles/dg_privacy.dir/membership.cpp.o.d"
+  "CMakeFiles/dg_privacy.dir/rdp_accountant.cpp.o"
+  "CMakeFiles/dg_privacy.dir/rdp_accountant.cpp.o.d"
+  "libdg_privacy.a"
+  "libdg_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/flows.cpp" "src/synth/CMakeFiles/dg_synth.dir/flows.cpp.o" "gcc" "src/synth/CMakeFiles/dg_synth.dir/flows.cpp.o.d"
+  "/root/repo/src/synth/gcut.cpp" "src/synth/CMakeFiles/dg_synth.dir/gcut.cpp.o" "gcc" "src/synth/CMakeFiles/dg_synth.dir/gcut.cpp.o.d"
+  "/root/repo/src/synth/mba.cpp" "src/synth/CMakeFiles/dg_synth.dir/mba.cpp.o" "gcc" "src/synth/CMakeFiles/dg_synth.dir/mba.cpp.o.d"
+  "/root/repo/src/synth/wwt.cpp" "src/synth/CMakeFiles/dg_synth.dir/wwt.cpp.o" "gcc" "src/synth/CMakeFiles/dg_synth.dir/wwt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_synth.dir/flows.cpp.o"
+  "CMakeFiles/dg_synth.dir/flows.cpp.o.d"
+  "CMakeFiles/dg_synth.dir/gcut.cpp.o"
+  "CMakeFiles/dg_synth.dir/gcut.cpp.o.d"
+  "CMakeFiles/dg_synth.dir/mba.cpp.o"
+  "CMakeFiles/dg_synth.dir/mba.cpp.o.d"
+  "CMakeFiles/dg_synth.dir/wwt.cpp.o"
+  "CMakeFiles/dg_synth.dir/wwt.cpp.o.d"
+  "libdg_synth.a"
+  "libdg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

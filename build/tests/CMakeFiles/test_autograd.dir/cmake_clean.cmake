@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd.dir/nn/test_autograd.cpp.o"
+  "CMakeFiles/test_autograd.dir/nn/test_autograd.cpp.o.d"
+  "CMakeFiles/test_autograd.dir/nn/test_autograd_property.cpp.o"
+  "CMakeFiles/test_autograd.dir/nn/test_autograd_property.cpp.o.d"
+  "test_autograd"
+  "test_autograd.pdb"
+  "test_autograd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

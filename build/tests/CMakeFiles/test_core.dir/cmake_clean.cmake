@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_doppelganger.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_doppelganger.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_output_blocks.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_output_blocks.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_package.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_package.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_wgan.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_wgan.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

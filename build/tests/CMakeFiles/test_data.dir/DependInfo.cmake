@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/test_encoding.cpp" "tests/CMakeFiles/test_data.dir/data/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_encoding.cpp.o.d"
+  "/root/repo/tests/data/test_encoding_property.cpp" "tests/CMakeFiles/test_data.dir/data/test_encoding_property.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_encoding_property.cpp.o.d"
+  "/root/repo/tests/data/test_split.cpp" "tests/CMakeFiles/test_data.dir/data/test_split.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_split.cpp.o.d"
+  "/root/repo/tests/data/test_timestamps.cpp" "tests/CMakeFiles/test_data.dir/data/test_timestamps.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_timestamps.cpp.o.d"
+  "/root/repo/tests/data/test_types.cpp" "tests/CMakeFiles/test_data.dir/data/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_encoding.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_encoding.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_encoding_property.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_encoding_property.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_split.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_split.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_timestamps.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_timestamps.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_types.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_types.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

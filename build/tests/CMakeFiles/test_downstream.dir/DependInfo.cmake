@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/downstream/test_classifiers.cpp" "tests/CMakeFiles/test_downstream.dir/downstream/test_classifiers.cpp.o" "gcc" "tests/CMakeFiles/test_downstream.dir/downstream/test_classifiers.cpp.o.d"
+  "/root/repo/tests/downstream/test_linalg.cpp" "tests/CMakeFiles/test_downstream.dir/downstream/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_downstream.dir/downstream/test_linalg.cpp.o.d"
+  "/root/repo/tests/downstream/test_regressors.cpp" "tests/CMakeFiles/test_downstream.dir/downstream/test_regressors.cpp.o" "gcc" "tests/CMakeFiles/test_downstream.dir/downstream/test_regressors.cpp.o.d"
+  "/root/repo/tests/downstream/test_scheduler.cpp" "tests/CMakeFiles/test_downstream.dir/downstream/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_downstream.dir/downstream/test_scheduler.cpp.o.d"
+  "/root/repo/tests/downstream/test_tasks.cpp" "tests/CMakeFiles/test_downstream.dir/downstream/test_tasks.cpp.o" "gcc" "tests/CMakeFiles/test_downstream.dir/downstream/test_tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/downstream/CMakeFiles/dg_downstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dg_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

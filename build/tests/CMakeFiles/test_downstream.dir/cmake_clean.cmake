@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_downstream.dir/downstream/test_classifiers.cpp.o"
+  "CMakeFiles/test_downstream.dir/downstream/test_classifiers.cpp.o.d"
+  "CMakeFiles/test_downstream.dir/downstream/test_linalg.cpp.o"
+  "CMakeFiles/test_downstream.dir/downstream/test_linalg.cpp.o.d"
+  "CMakeFiles/test_downstream.dir/downstream/test_regressors.cpp.o"
+  "CMakeFiles/test_downstream.dir/downstream/test_regressors.cpp.o.d"
+  "CMakeFiles/test_downstream.dir/downstream/test_scheduler.cpp.o"
+  "CMakeFiles/test_downstream.dir/downstream/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_downstream.dir/downstream/test_tasks.cpp.o"
+  "CMakeFiles/test_downstream.dir/downstream/test_tasks.cpp.o.d"
+  "test_downstream"
+  "test_downstream.pdb"
+  "test_downstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

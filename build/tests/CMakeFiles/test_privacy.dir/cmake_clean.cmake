@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_privacy.dir/privacy/test_membership.cpp.o"
+  "CMakeFiles/test_privacy.dir/privacy/test_membership.cpp.o.d"
+  "CMakeFiles/test_privacy.dir/privacy/test_rdp.cpp.o"
+  "CMakeFiles/test_privacy.dir/privacy/test_rdp.cpp.o.d"
+  "test_privacy"
+  "test_privacy.pdb"
+  "test_privacy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

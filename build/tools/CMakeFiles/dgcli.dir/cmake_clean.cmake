@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcli.dir/dgcli.cpp.o"
+  "CMakeFiles/dgcli.dir/dgcli.cpp.o.d"
+  "dgcli"
+  "dgcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
