@@ -284,9 +284,14 @@ TrainStats DoppelGanger::run_training(const data::Dataset& train,
       }
     }
 
-    // Generator step: L1 + alpha * L2 (Eq. 2), minimized over G.
+    // Generator step: L1 + alpha * L2 (Eq. 2), minimized over G. The
+    // critics are frozen so this backward pass neither builds graph through
+    // their weights nor accumulates garbage into their grad slots (which
+    // the next critic step would otherwise have to zero out).
     const int b = std::min(cfg_.batch, n);
     GenOut f = forward(b);
+    nn::FreezeGuard freeze_disc(disc_);
+    nn::FreezeGuard freeze_aux(aux_disc_);
     const auto g_term = [this](const nn::Mlp& critic, const Var& fake) {
       const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
       return cfg_.loss == GanLoss::WassersteinGp
@@ -351,6 +356,8 @@ void DoppelGanger::retrain_attributes(
       c_opt.step();
     }
 
+    // As in run_training: freeze the critic for the generator's step.
+    nn::FreezeGuard freeze_critic(critic);
     Var fake_attr = apply_blocks(
         attr_gen_.forward(noise(b, cfg_.attr_noise_dim)), attr_blocks_);
     Var gloss = generator_loss(fn, fake_attr);

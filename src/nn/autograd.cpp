@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "nn/check.h"
+
 namespace dg::nn {
 
 namespace {
@@ -32,6 +34,12 @@ Matrix& Var::mutable_value() {
   return n_->value;
 }
 
+void Var::set_requires_grad(bool enabled) {
+  if (!n_) throw std::logic_error("set_requires_grad on undefined Var");
+  if (n_->backward) throw std::logic_error("set_requires_grad on non-leaf Var");
+  n_->requires_grad = enabled;
+}
+
 Var Var::detach() const { return constant(value()); }
 
 Var Var::grad() const {
@@ -47,7 +55,7 @@ void Var::clear_grad() {
 
 /// Creates an op-result node. If grad mode is off or no parent needs a
 /// gradient, the result is a plain constant and the graph edge is dropped.
-Var make_op(Matrix value, std::vector<Var> parents,
+Var make_op(const char* op, Matrix value, std::vector<Var> parents,
             std::function<std::vector<Var>(const Var&)> backward) {
   bool needs = false;
   if (g_grad_enabled) {
@@ -57,14 +65,18 @@ Var make_op(Matrix value, std::vector<Var> parents,
   out.n_ = std::make_shared<detail::Node>();
   out.n_->value = std::move(value);
   out.n_->requires_grad = needs;
+  out.n_->op = op;
   if (needs) {
     out.n_->parents = std::move(parents);
     out.n_->backward = std::move(backward);
   }
+  if (anomaly_enabled()) detail::anomaly_check_forward(out.n_.get());
   return out;
 }
 
-Var constant(Matrix m) { return Var(std::move(m), false); }
+Var constant(Matrix m) {
+  return make_op("constant", std::move(m), {}, nullptr);
+}
 Var ones(int rows, int cols) { return constant(Matrix(rows, cols, 1.0f)); }
 Var zeros(int rows, int cols) { return constant(Matrix(rows, cols, 0.0f)); }
 
@@ -109,6 +121,9 @@ std::unordered_map<detail::Node*, Var> run_backward(const Var& out,
   std::unordered_map<detail::Node*, Var> grads;
   if (!out.requires_grad()) return grads;
 
+  const bool checking = anomaly_enabled();
+  if (checking) detail::anomaly_count_backward_run();
+
   auto order = topo_order(out.node());
   grads[out.node()] = constant(Matrix(1, 1, 1.0f));
 
@@ -122,20 +137,32 @@ std::unordered_map<detail::Node*, Var> run_backward(const Var& out,
     auto git = grads.find(node);
     if (git == grads.end() || !node->backward) continue;
     const Var gout = git->second;
-    std::vector<Var> pgrads = node->backward(gout);
+    std::vector<Var> pgrads;
+    {
+      detail::BackwardContext ctx(node->op);
+      pgrads = node->backward(gout);
+    }
     if (pgrads.size() != node->parents.size()) {
-      throw std::logic_error("backward rule returned wrong arity");
+      throw std::logic_error(std::string("backward rule of '") + node->op +
+                             "' returned wrong arity");
     }
     for (size_t i = 0; i < pgrads.size(); ++i) {
       const Var& parent = node->parents[i];
       if (!parent.requires_grad() || !pgrads[i].defined()) continue;
+      if (checking) {
+        detail::anomaly_check_backward_grad(node, i, parent.node(),
+                                            pgrads[i].node());
+      }
       if (!pgrads[i].value().same_shape(parent.value())) {
-        throw std::logic_error("gradient shape mismatch");
+        throw std::logic_error(std::string("gradient shape mismatch in "
+                                           "backward rule of '") +
+                               node->op + "'");
       }
       auto [slot, inserted] = grads.try_emplace(parent.node(), pgrads[i]);
       if (!inserted) slot->second = add(slot->second, pgrads[i]);
     }
   }
+  if (checking) detail::anomaly_audit_tape(order);
   return grads;
 }
 
@@ -143,12 +170,15 @@ std::unordered_map<detail::Node*, Var> run_backward(const Var& out,
 
 void Var::backward(bool create_graph) const {
   auto grads = run_backward(*this, create_graph);
+  const bool checking = anomaly_enabled();
   for (auto& [node, g] : grads) {
     if (node->backward) continue;  // only leaves keep grads
     if (!node->grad_slot) {
       node->grad_slot = std::make_shared<detail::Node>();
+      node->grad_slot->op = "grad";
       node->grad_slot->value = g.value();
     } else {
+      if (checking) detail::anomaly_note_stale_grad(node);
       node->grad_slot->value = dg::nn::add(node->grad_slot->value, g.value());
     }
   }
@@ -171,47 +201,50 @@ std::vector<Var> grad(const Var& out, std::span<const Var> inputs,
 // ---------------------------------------------------------------- ops
 
 Var add(const Var& a, const Var& b) {
-  return make_op(dg::nn::add(a.value(), b.value()), {a, b},
+  return make_op("add", dg::nn::add(a.value(), b.value()), {a, b},
                  [](const Var& g) { return std::vector<Var>{g, g}; });
 }
 
 Var sub(const Var& a, const Var& b) {
-  return make_op(dg::nn::sub(a.value(), b.value()), {a, b},
+  return make_op("sub", dg::nn::sub(a.value(), b.value()), {a, b},
                  [](const Var& g) { return std::vector<Var>{g, neg(g)}; });
 }
 
 Var neg(const Var& a) {
-  return make_op(dg::nn::mul_scalar(a.value(), -1.0f), {a},
+  return make_op("neg", dg::nn::mul_scalar(a.value(), -1.0f), {a},
                  [](const Var& g) { return std::vector<Var>{neg(g)}; });
 }
 
 Var mul(const Var& a, const Var& b) {
-  return make_op(dg::nn::mul(a.value(), b.value()), {a, b}, [a, b](const Var& g) {
-    return std::vector<Var>{mul(g, b), mul(g, a)};
-  });
+  return make_op("mul", dg::nn::mul(a.value(), b.value()), {a, b},
+                 [a, b](const Var& g) {
+                   return std::vector<Var>{mul(g, b), mul(g, a)};
+                 });
 }
 
 Var div(const Var& a, const Var& b) {
-  return make_op(dg::nn::div(a.value(), b.value()), {a, b}, [a, b](const Var& g) {
-    Var da = div(g, b);
-    Var db = neg(div(mul(g, a), mul(b, b)));
-    return std::vector<Var>{da, db};
-  });
+  return make_op("div", dg::nn::div(a.value(), b.value()), {a, b},
+                 [a, b](const Var& g) {
+                   Var da = div(g, b);
+                   Var db = neg(div(mul(g, a), mul(b, b)));
+                   return std::vector<Var>{da, db};
+                 });
 }
 
 Var add_scalar(const Var& a, float s) {
-  return make_op(dg::nn::add_scalar(a.value(), s), {a},
+  return make_op("add_scalar", dg::nn::add_scalar(a.value(), s), {a},
                  [](const Var& g) { return std::vector<Var>{g}; });
 }
 
 Var mul_scalar(const Var& a, float s) {
-  return make_op(dg::nn::mul_scalar(a.value(), s), {a}, [s](const Var& g) {
-    return std::vector<Var>{mul_scalar(g, s)};
-  });
+  return make_op("mul_scalar", dg::nn::mul_scalar(a.value(), s), {a},
+                 [s](const Var& g) {
+                   return std::vector<Var>{mul_scalar(g, s)};
+                 });
 }
 
 Var matmul(const Var& a, const Var& b) {
-  return make_op(dg::nn::matmul(a.value(), b.value()), {a, b},
+  return make_op("matmul", dg::nn::matmul(a.value(), b.value()), {a, b},
                  [a, b](const Var& g) {
                    Var da = matmul(g, transpose(b));
                    Var db = matmul(transpose(a), g);
@@ -220,20 +253,19 @@ Var matmul(const Var& a, const Var& b) {
 }
 
 Var transpose(const Var& a) {
-  return make_op(dg::nn::transpose(a.value()), {a}, [](const Var& g) {
-    return std::vector<Var>{transpose(g)};
-  });
+  return make_op("transpose", dg::nn::transpose(a.value()), {a},
+                 [](const Var& g) { return std::vector<Var>{transpose(g)}; });
 }
 
 Var add_rowvec(const Var& x, const Var& b) {
-  return make_op(dg::nn::add_rowvec(x.value(), b.value()), {x, b},
+  return make_op("add_rowvec", dg::nn::add_rowvec(x.value(), b.value()), {x, b},
                  [](const Var& g) {
                    return std::vector<Var>{g, col_sum(g)};
                  });
 }
 
 Var mul_colvec(const Var& x, const Var& v) {
-  return make_op(dg::nn::mul_colvec(x.value(), v.value()), {x, v},
+  return make_op("mul_colvec", dg::nn::mul_colvec(x.value(), v.value()), {x, v},
                  [x, v](const Var& g) {
                    Var dx = mul_colvec(g, v);
                    Var dv = row_sum(mul(g, x));
@@ -242,7 +274,7 @@ Var mul_colvec(const Var& x, const Var& v) {
 }
 
 Var mul_rowvec(const Var& x, const Var& m) {
-  return make_op(dg::nn::mul_rowvec(x.value(), m.value()), {x, m},
+  return make_op("mul_rowvec", dg::nn::mul_rowvec(x.value(), m.value()), {x, m},
                  [x, m](const Var& g) {
                    Var dx = mul_rowvec(g, m);
                    Var dm = col_sum(mul(g, x));
@@ -254,27 +286,29 @@ Var broadcast_scalar(const Var& s, int rows, int cols) {
   if (s.rows() != 1 || s.cols() != 1) {
     throw std::invalid_argument("broadcast_scalar: input must be 1x1");
   }
-  return make_op(Matrix(rows, cols, s.value().at(0, 0)), {s},
-                 [](const Var& g) { return std::vector<Var>{sum(g)}; });
+  return make_op("broadcast_scalar", Matrix(rows, cols, s.value().at(0, 0)),
+                 {s}, [](const Var& g) { return std::vector<Var>{sum(g)}; });
 }
 
 Var row_sum(const Var& a) {
   const int n = a.rows(), d = a.cols();
-  return make_op(dg::nn::row_sum(a.value()), {a}, [n, d](const Var& g) {
-    return std::vector<Var>{mul_colvec(ones(n, d), g)};
-  });
+  return make_op("row_sum", dg::nn::row_sum(a.value()), {a},
+                 [n, d](const Var& g) {
+                   return std::vector<Var>{mul_colvec(ones(n, d), g)};
+                 });
 }
 
 Var col_sum(const Var& a) {
   const int n = a.rows(), d = a.cols();
-  return make_op(dg::nn::col_sum(a.value()), {a}, [n, d](const Var& g) {
-    return std::vector<Var>{add_rowvec(zeros(n, d), g)};
-  });
+  return make_op("col_sum", dg::nn::col_sum(a.value()), {a},
+                 [n, d](const Var& g) {
+                   return std::vector<Var>{add_rowvec(zeros(n, d), g)};
+                 });
 }
 
 Var sum(const Var& a) {
   const int n = a.rows(), d = a.cols();
-  return make_op(Matrix(1, 1, dg::nn::sum(a.value())), {a},
+  return make_op("sum", Matrix(1, 1, dg::nn::sum(a.value())), {a},
                  [n, d](const Var& g) {
                    return std::vector<Var>{broadcast_scalar(g, n, d)};
                  });
@@ -294,16 +328,17 @@ Var relu(const Var& a) {
     if (!pos) out.data()[i] = 0.0f;
   }
   // The mask is locally constant, so it is correct to treat it as data.
-  return make_op(std::move(out), {a}, [m = std::move(mask)](const Var& g) {
-    return std::vector<Var>{mul(g, constant(m))};
-  });
+  return make_op("relu", std::move(out), {a},
+                 [m = std::move(mask)](const Var& g) {
+                   return std::vector<Var>{mul(g, constant(m))};
+                 });
 }
 
 Var tanh_(const Var& a) {
   Matrix out = apply(a.value(), [](float v) { return std::tanh(v); });
   // Recompute tanh(a) in the backward pass instead of capturing the output
   // Var (which would create a shared_ptr cycle node->backward->node).
-  return make_op(std::move(out), {a}, [a](const Var& g) {
+  return make_op("tanh", std::move(out), {a}, [a](const Var& g) {
     Var y = tanh_(a);
     return std::vector<Var>{mul(g, add_scalar(neg(square(y)), 1.0f))};
   });
@@ -314,7 +349,7 @@ Var sigmoid(const Var& a) {
     return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
                   : std::exp(v) / (1.0f + std::exp(v));
   });
-  return make_op(std::move(out), {a}, [a](const Var& g) {
+  return make_op("sigmoid", std::move(out), {a}, [a](const Var& g) {
     Var s = sigmoid(a);
     return std::vector<Var>{mul(g, mul(s, add_scalar(neg(s), 1.0f)))};
   });
@@ -322,29 +357,30 @@ Var sigmoid(const Var& a) {
 
 Var exp_(const Var& a) {
   Matrix out = apply(a.value(), [](float v) { return std::exp(v); });
-  return make_op(std::move(out), {a}, [a](const Var& g) {
+  return make_op("exp", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{mul(g, exp_(a))};
   });
 }
 
 Var log_(const Var& a) {
   Matrix out = apply(a.value(), [](float v) { return std::log(v); });
-  return make_op(std::move(out), {a}, [a](const Var& g) {
+  return make_op("log", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{div(g, a)};
   });
 }
 
 Var sqrt_(const Var& a) {
   Matrix out = apply(a.value(), [](float v) { return std::sqrt(v); });
-  return make_op(std::move(out), {a}, [a](const Var& g) {
+  return make_op("sqrt", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{mul_scalar(div(g, sqrt_(a)), 0.5f)};
   });
 }
 
 Var square(const Var& a) {
-  return make_op(dg::nn::mul(a.value(), a.value()), {a}, [a](const Var& g) {
-    return std::vector<Var>{mul_scalar(mul(g, a), 2.0f)};
-  });
+  return make_op("square", dg::nn::mul(a.value(), a.value()), {a},
+                 [a](const Var& g) {
+                   return std::vector<Var>{mul_scalar(mul(g, a), 2.0f)};
+                 });
 }
 
 Var abs_(const Var& a) {
@@ -353,9 +389,10 @@ Var abs_(const Var& a) {
   for (size_t i = 0; i < out.size(); ++i) {
     sign.data()[i] = a.value().data()[i] >= 0.0f ? 1.0f : -1.0f;
   }
-  return make_op(std::move(out), {a}, [s = std::move(sign)](const Var& g) {
-    return std::vector<Var>{mul(g, constant(s))};
-  });
+  return make_op("abs", std::move(out), {a},
+                 [s = std::move(sign)](const Var& g) {
+                   return std::vector<Var>{mul(g, constant(s))};
+                 });
 }
 
 Var concat_cols(std::span<const Var> parts) {
@@ -368,7 +405,7 @@ Var concat_cols(std::span<const Var> parts) {
     parents.push_back(p);
     widths.push_back(p.cols());
   }
-  return make_op(dg::nn::concat_cols(mats), std::move(parents),
+  return make_op("concat_cols", dg::nn::concat_cols(mats), std::move(parents),
                  [widths](const Var& g) {
                    std::vector<Var> out;
                    int off = 0;
@@ -389,7 +426,7 @@ Var concat_rows(std::span<const Var> parts) {
     parents.push_back(p);
     heights.push_back(p.rows());
   }
-  return make_op(dg::nn::concat_rows(mats), std::move(parents),
+  return make_op("concat_rows", dg::nn::concat_rows(mats), std::move(parents),
                  [heights](const Var& g) {
                    std::vector<Var> out;
                    int off = 0;
@@ -403,7 +440,7 @@ Var concat_rows(std::span<const Var> parts) {
 
 Var slice_cols(const Var& a, int c0, int c1) {
   const int total = a.cols();
-  return make_op(dg::nn::slice_cols(a.value(), c0, c1), {a},
+  return make_op("slice_cols", dg::nn::slice_cols(a.value(), c0, c1), {a},
                  [c0, c1, total](const Var& g) {
                    return std::vector<Var>{pad_cols(g, c0, total - c1)};
                  });
@@ -411,7 +448,7 @@ Var slice_cols(const Var& a, int c0, int c1) {
 
 Var slice_rows(const Var& a, int r0, int r1) {
   const int total = a.rows();
-  return make_op(dg::nn::slice_rows(a.value(), r0, r1), {a},
+  return make_op("slice_rows", dg::nn::slice_rows(a.value(), r0, r1), {a},
                  [r0, r1, total](const Var& g) {
                    return std::vector<Var>{pad_rows(g, r0, total - r1)};
                  });
@@ -424,7 +461,7 @@ Var pad_cols(const Var& a, int left, int right) {
     for (int j = 0; j < m.cols(); ++j) out.at(i, left + j) = m.at(i, j);
   }
   const int c0 = left, c1 = left + m.cols();
-  return make_op(std::move(out), {a}, [c0, c1](const Var& g) {
+  return make_op("pad_cols", std::move(out), {a}, [c0, c1](const Var& g) {
     return std::vector<Var>{slice_cols(g, c0, c1)};
   });
 }
@@ -436,7 +473,7 @@ Var pad_rows(const Var& a, int top, int bottom) {
     for (int j = 0; j < m.cols(); ++j) out.at(top + i, j) = m.at(i, j);
   }
   const int r0 = top, r1 = top + m.rows();
-  return make_op(std::move(out), {a}, [r0, r1](const Var& g) {
+  return make_op("pad_rows", std::move(out), {a}, [r0, r1](const Var& g) {
     return std::vector<Var>{slice_rows(g, r0, r1)};
   });
 }

@@ -9,6 +9,7 @@
 // graph construction during backward, keeping first-order training cheap.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
@@ -22,8 +23,17 @@ class Var;
 
 namespace detail {
 struct Node {
+  Node();
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
   Matrix value;
   bool requires_grad = false;
+  /// Name of the op that produced this node ("leaf" for user-created Vars,
+  /// "constant" for constants). Static strings only; used by the anomaly
+  /// checker (nn/check.h) for attribution.
+  const char* op = "leaf";
   std::vector<Var> parents;
   /// Maps this node's output-gradient to per-parent gradients (aligned with
   /// `parents`; an undefined Var means "no gradient for this parent").
@@ -31,6 +41,12 @@ struct Node {
   /// Accumulated gradient for leaf nodes, populated by backward().
   std::shared_ptr<Node> grad_slot;
 };
+
+/// Number of Node objects currently alive in the process. The tape is pure
+/// shared_ptr ownership, so after all Vars referencing a graph go out of
+/// scope this must return to its prior value — the anomaly checker's
+/// tape-leak audit is built on this invariant.
+std::size_t live_node_count();
 }  // namespace detail
 
 /// Value-semantic handle to a graph node. Copies share the node.
@@ -46,6 +62,10 @@ class Var {
 
   bool requires_grad() const { return n_ && n_->requires_grad; }
   bool is_leaf() const { return n_ && !n_->backward; }
+
+  /// Toggles gradient tracking. Leaves only (used to freeze modules so an
+  /// unrelated optimizer's backward pass cannot pollute their grad slots).
+  void set_requires_grad(bool enabled);
 
   int rows() const { return value().rows(); }
   int cols() const { return value().cols(); }
@@ -64,10 +84,17 @@ class Var {
   detail::Node* node() const { return n_.get(); }
 
  private:
-  friend Var make_op(Matrix value, std::vector<Var> parents,
+  friend Var make_op(const char* op, Matrix value, std::vector<Var> parents,
                      std::function<std::vector<Var>(const Var&)> backward);
   std::shared_ptr<detail::Node> n_;
 };
+
+/// The extension point every op below is built on: wraps `value` in a graph
+/// node named `op` (a static string, used for anomaly attribution) whose
+/// backward rule maps the output-gradient to per-parent gradients. If grad
+/// mode is off or no parent requires grad, parents and the rule are dropped.
+Var make_op(const char* op, Matrix value, std::vector<Var> parents,
+            std::function<std::vector<Var>(const Var&)> backward);
 
 /// RAII guard disabling graph construction (like torch.no_grad()).
 class NoGradGuard {

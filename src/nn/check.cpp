@@ -1,0 +1,164 @@
+#include "nn/check.h"
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+namespace dg::nn {
+
+namespace {
+
+thread_local AnomalyGuard* g_active_guard = nullptr;
+thread_local const char* g_backward_op = nullptr;
+
+std::atomic<std::size_t> g_live_nodes{0};
+
+AnomalyStats* active_stats() {
+  return g_active_guard ? const_cast<AnomalyStats*>(&g_active_guard->stats())
+                        : nullptr;
+}
+
+/// Index of the first non-finite entry in m, or npos.
+std::size_t first_non_finite(const Matrix& m) {
+  const float* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(p[i])) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+const char* value_kind(float v) { return std::isnan(v) ? "nan" : "inf"; }
+
+void describe_entry(std::ostringstream& os, const Matrix& m, std::size_t i) {
+  const int cols = m.cols() > 0 ? m.cols() : 1;
+  os << value_kind(m.data()[i]) << " at (" << i / static_cast<std::size_t>(cols)
+     << "," << i % static_cast<std::size_t>(cols) << ") of [" << m.rows() << "x"
+     << m.cols() << "]";
+}
+
+void append_backward_context(std::ostringstream& os) {
+  if (g_backward_op) os << " (during backward of '" << g_backward_op << "')";
+}
+
+}  // namespace
+
+namespace detail {
+
+Node::Node() { g_live_nodes.fetch_add(1, std::memory_order_relaxed); }
+Node::~Node() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
+
+std::size_t live_node_count() {
+  return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+std::string graph_path(const Node* node, int max_depth) {
+  std::string path;
+  for (const Node* n = node; n && max_depth-- > 0;
+       n = n->parents.empty() ? nullptr : n->parents.front().node()) {
+    if (!path.empty()) path += " <- ";
+    path += n->op ? n->op : "?";
+    if (n->parents.empty()) return path;
+  }
+  if (node) path += " <- ...";
+  return path;
+}
+
+void anomaly_check_forward(const Node* node) {
+  AnomalyGuard* g = g_active_guard;
+  if (!g || !g->options().check_forward) return;
+  ++active_stats()->forward_values_checked;
+  const std::size_t i = first_non_finite(node->value);
+  if (i == static_cast<std::size_t>(-1)) return;
+  std::ostringstream os;
+  os << "non-finite value in forward of '" << node->op << "': ";
+  describe_entry(os, node->value, i);
+  append_backward_context(os);
+  os << "; graph path: " << graph_path(node);
+  throw AnomalyError(os.str());
+}
+
+void anomaly_check_backward_grad(const Node* producer, std::size_t parent_index,
+                                 const Node* parent, const Node* grad) {
+  AnomalyGuard* g = g_active_guard;
+  if (!g || !g->options().check_backward) return;
+  ++active_stats()->backward_grads_checked;
+  std::ostringstream os;
+  if (!grad->value.same_shape(parent->value)) {
+    os << "backward rule of '" << producer->op << "' produced a ["
+       << grad->value.rows() << "x" << grad->value.cols()
+       << "] gradient for parent #" << parent_index << " ('" << parent->op
+       << "', [" << parent->value.rows() << "x" << parent->value.cols()
+       << "]); graph path: " << graph_path(producer);
+    throw AnomalyError(os.str());
+  }
+  const std::size_t i = first_non_finite(grad->value);
+  if (i == static_cast<std::size_t>(-1)) return;
+  os << "non-finite gradient from backward rule of '" << producer->op
+     << "' for parent #" << parent_index << " ('" << parent->op << "'): ";
+  describe_entry(os, grad->value, i);
+  os << "; graph path: " << graph_path(producer);
+  throw AnomalyError(os.str());
+}
+
+void anomaly_audit_tape(const std::vector<Node*>& order) {
+  AnomalyGuard* g = g_active_guard;
+  if (!g || !g->options().audit_tape) return;
+  ++active_stats()->tape_audits;
+  for (const Node* n : order) {
+    if (n->backward && n->grad_slot) {
+      throw AnomalyError(
+          "tape audit: non-leaf node '" + std::string(n->op) +
+          "' holds an accumulated grad_slot (double accumulation or tape "
+          "corruption); graph path: " + graph_path(n));
+    }
+  }
+}
+
+void anomaly_note_stale_grad(const Node* leaf) {
+  AnomalyGuard* g = g_active_guard;
+  if (!g || !g->options().forbid_stale_grads) return;
+  throw AnomalyError(
+      "backward() is accumulating into a leaf gradient populated by an "
+      "earlier backward() (op '" + std::string(leaf->op) +
+      "'); missing zero_grad()/clear_grad()?");
+}
+
+BackwardContext::BackwardContext(const char* op) : prev_(g_backward_op) {
+  g_backward_op = op;
+}
+BackwardContext::~BackwardContext() { g_backward_op = prev_; }
+
+}  // namespace detail
+
+AnomalyGuard::AnomalyGuard(AnomalyOptions opts)
+    : opts_(opts),
+      prev_(g_active_guard),
+      baseline_nodes_(detail::live_node_count()) {
+  g_active_guard = this;
+}
+
+AnomalyGuard::~AnomalyGuard() {
+  g_active_guard = prev_;
+  // Fold counters into the enclosing guard so nesting does not lose work.
+  if (prev_) {
+    prev_->stats_.forward_values_checked += stats_.forward_values_checked;
+    prev_->stats_.backward_grads_checked += stats_.backward_grads_checked;
+    prev_->stats_.backward_runs += stats_.backward_runs;
+    prev_->stats_.tape_audits += stats_.tape_audits;
+  }
+}
+
+std::size_t AnomalyGuard::leaked_nodes() const {
+  const std::size_t now = detail::live_node_count();
+  return now > baseline_nodes_ ? now - baseline_nodes_ : 0;
+}
+
+bool anomaly_enabled() { return g_active_guard != nullptr; }
+
+namespace detail {
+void anomaly_count_backward_run() {
+  if (AnomalyStats* s = active_stats()) ++s->backward_runs;
+}
+}  // namespace detail
+
+}  // namespace dg::nn

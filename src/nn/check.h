@@ -1,0 +1,141 @@
+// Runtime invariant checking for the autograd engine ("dgcheck").
+//
+// The WGAN-GP training loop differentiates through gradients (second-order
+// autograd), which is exactly the class of code where a silent NaN or a
+// corrupted tape destroys a training run hours later with no diagnostic.
+// AnomalyGuard is the debugging substrate for that failure mode, modeled on
+// torch.autograd.set_detect_anomaly + NoGradGuard:
+//
+//   {
+//     dg::nn::AnomalyGuard guard;          // thread-local, RAII, nests
+//     loss.backward();                     // every op now self-checks
+//     // guard.stats() says how much was checked
+//   }
+//
+// While a guard is active on the current thread:
+//  * every op's forward value is scanned for NaN/Inf as it is produced, and
+//    a failure names the op and its graph path (e.g. "div <- exp <- matmul");
+//  * every gradient returned by a backward rule is scanned for NaN/Inf and
+//    shape-checked, and a failure names the op whose rule produced it and
+//    which parent the gradient was for;
+//  * backward() completion audits the tape: a grad_slot on a non-leaf node
+//    (double accumulation / tape corruption) is an error, and — with
+//    forbid_stale_grads — so is accumulating into a grad populated by an
+//    earlier backward() (a missed zero_grad()).
+//
+// When no guard is active the only cost is one thread-local branch per op,
+// so the checks can ship in release builds and be switched on in production
+// when a run misbehaves. Tape leaks (shared_ptr cycles through a backward
+// closure) are detectable via detail::live_node_count(), which the guard
+// snapshots at construction.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "nn/autograd.h"
+
+namespace dg::nn {
+
+/// Thrown by anomaly checks. what() carries the op attribution, e.g.
+///   "AnomalyError: non-finite value (nan) in forward of 'log' at (0,2);
+///    graph path: log <- sub <- matmul"
+class AnomalyError : public std::runtime_error {
+ public:
+  explicit AnomalyError(const std::string& msg)
+      : std::runtime_error("AnomalyError: " + msg) {}
+};
+
+struct AnomalyOptions {
+  /// Scan every op's forward value for NaN/Inf as it is produced.
+  bool check_forward = true;
+  /// Scan every backward-rule gradient for NaN/Inf before accumulation.
+  bool check_backward = true;
+  /// After backward(), audit the tape for grad_slots on non-leaf nodes.
+  bool audit_tape = true;
+  /// Error when backward() accumulates into a grad_slot left over from an
+  /// earlier backward(). Off by default because gradient accumulation across
+  /// calls is legitimate; turn on in loops that always zero_grad() first.
+  bool forbid_stale_grads = false;
+};
+
+/// Counters accumulated while a guard is active on this thread.
+struct AnomalyStats {
+  std::size_t forward_values_checked = 0;
+  std::size_t backward_grads_checked = 0;
+  std::size_t backward_runs = 0;
+  std::size_t tape_audits = 0;
+};
+
+/// RAII anomaly-detection scope, thread-local like NoGradGuard. Guards nest:
+/// an inner guard may use different options; the outer guard's options and
+/// stats are restored when the inner one is destroyed. Stats accumulate into
+/// the innermost active guard.
+class AnomalyGuard {
+ public:
+  explicit AnomalyGuard(AnomalyOptions opts = {});
+  ~AnomalyGuard();
+  AnomalyGuard(const AnomalyGuard&) = delete;
+  AnomalyGuard& operator=(const AnomalyGuard&) = delete;
+
+  const AnomalyStats& stats() const { return stats_; }
+  const AnomalyOptions& options() const { return opts_; }
+
+  /// Live autograd nodes created since this guard was constructed and not
+  /// yet destroyed. After all graph-holding Vars from the guarded region go
+  /// out of scope, a nonzero value means a tape leak (typically a backward
+  /// closure capturing its own output Var, forming a shared_ptr cycle).
+  std::size_t leaked_nodes() const;
+
+ private:
+  AnomalyOptions opts_;
+  AnomalyStats stats_;
+  AnomalyGuard* prev_;
+  std::size_t baseline_nodes_;
+};
+
+/// True when an AnomalyGuard is active on the current thread.
+bool anomaly_enabled();
+
+namespace detail {
+// ---- hooks called from autograd.cpp; no-ops unless a guard is active ----
+
+/// Scans `node`'s freshly computed forward value; throws AnomalyError with
+/// op + graph-path attribution on NaN/Inf.
+void anomaly_check_forward(const Node* node);
+
+/// Scans one gradient produced by `producer`'s backward rule for parent
+/// `parent_index`; throws AnomalyError on NaN/Inf or shape mismatch.
+void anomaly_check_backward_grad(const Node* producer, std::size_t parent_index,
+                                 const Node* parent, const Node* grad);
+
+/// Called once per run_backward() with the topo order, after accumulation.
+void anomaly_audit_tape(const std::vector<Node*>& order);
+
+/// Called when backward() is about to accumulate into an already-populated
+/// leaf grad_slot; throws under forbid_stale_grads.
+void anomaly_note_stale_grad(const Node* leaf);
+
+/// Bumps the backward_runs counter of the active guard, if any.
+void anomaly_count_backward_run();
+
+/// RAII marker naming the op whose backward rule is currently running, so
+/// forward checks on gradient ops can report "during backward of 'X'".
+class BackwardContext {
+ public:
+  explicit BackwardContext(const char* op);
+  ~BackwardContext();
+  BackwardContext(const BackwardContext&) = delete;
+  BackwardContext& operator=(const BackwardContext&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+/// Human-readable chain of ops leading to `node` (first-parent walk),
+/// e.g. "mul <- exp <- matmul <- leaf". Exposed for tests.
+std::string graph_path(const Node* node, int max_depth = 8);
+}  // namespace detail
+
+}  // namespace dg::nn

@@ -1,0 +1,49 @@
+// Finite-difference verification of autograd backward rules.
+//
+// Promoted from the test tree into the library so that `dgcli check` (and
+// any embedding application) can verify the engine on the machine it is
+// actually running on — the paper's WGAN-GP training differentiates through
+// gradients, so a wrong backward rule corrupts training silently.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace dg::nn {
+
+/// A differentiable scalar function of leaf Vars built from `inputs`.
+using GradCheckFn = std::function<Var(const std::vector<Var>&)>;
+
+struct GradCheckOptions {
+  /// Central-difference step.
+  float h = 1e-3f;
+  /// Max |analytic - numeric| tolerated before ok=false. Float32 central
+  /// differences are good to roughly 1e-2 on O(1) values.
+  float tolerance = 2e-2f;
+};
+
+struct GradCheckResult {
+  bool ok = false;
+  float max_abs_error = 0.0f;
+  /// Flat index (input #, element #) of the worst element, for diagnostics.
+  int worst_input = -1;
+  std::size_t worst_element = 0;
+};
+
+/// Compares analytic backward() gradients of `fn` at `inputs` against
+/// central finite differences, elementwise over every input.
+GradCheckResult gradcheck(const GradCheckFn& fn, std::vector<Matrix> inputs,
+                          const GradCheckOptions& opts = {});
+
+/// Max absolute deviation between analytic and numeric gradients (the
+/// original test-tree interface, kept for concise EXPECT_LT assertions).
+float max_grad_error(const GradCheckFn& fn, std::vector<Matrix> inputs,
+                     float h = 1e-3f);
+
+/// One-line human summary, e.g. "ok (max err 3.2e-04)".
+std::string to_string(const GradCheckResult& r);
+
+}  // namespace dg::nn

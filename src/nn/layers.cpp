@@ -15,6 +15,20 @@ std::size_t Module::parameter_count() const {
   return n;
 }
 
+FreezeGuard::FreezeGuard(const Module& m) : params_(m.parameters()) {
+  prev_.reserve(params_.size());
+  for (Var& p : params_) {
+    prev_.push_back(p.requires_grad());
+    p.set_requires_grad(false);
+  }
+}
+
+FreezeGuard::~FreezeGuard() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i].set_requires_grad(prev_[i]);
+  }
+}
+
 Var activate(const Var& x, Activation act) {
   switch (act) {
     case Activation::None: return x;

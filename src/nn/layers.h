@@ -24,6 +24,23 @@ class Module {
   std::size_t parameter_count() const;
 };
 
+/// RAII: freezes a module (parameters stop requiring grad) for the guard's
+/// lifetime, restoring each parameter's previous setting on destruction.
+/// GAN training uses this so a generator step's backward pass neither builds
+/// graph through the critic's weights nor pollutes their grad slots — the
+/// anomaly checker's stale-grad audit (nn/check.h) counts on that.
+class FreezeGuard {
+ public:
+  explicit FreezeGuard(const Module& m);
+  ~FreezeGuard();
+  FreezeGuard(const FreezeGuard&) = delete;
+  FreezeGuard& operator=(const FreezeGuard&) = delete;
+
+ private:
+  std::vector<Var> params_;
+  std::vector<bool> prev_;
+};
+
 enum class Activation { None, Relu, Tanh, Sigmoid, Softmax };
 
 Var activate(const Var& x, Activation act);

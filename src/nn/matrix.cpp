@@ -31,7 +31,9 @@ Matrix Matrix::row(std::initializer_list<float> values) {
 
 Matrix Matrix::row(std::span<const float> values) {
   Matrix m(1, static_cast<int>(values.size()));
-  std::memcpy(m.data(), values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(m.data(), values.data(), values.size() * sizeof(float));
+  }
   return m;
 }
 
@@ -197,6 +199,9 @@ Matrix concat_cols(std::span<const Matrix* const> parts) {
   Matrix out(rows, cols);
   int offset = 0;
   for (const Matrix* p : parts) {
+    // 0-wide parts (e.g. the disabled-minmax placeholder) have no storage;
+    // memcpy with a null source is UB even at size 0.
+    if (p->cols() == 0) continue;
     for (int i = 0; i < rows; ++i) {
       std::memcpy(out.data() + static_cast<size_t>(i) * cols + offset,
                   p->data() + static_cast<size_t>(i) * p->cols(),
@@ -218,6 +223,7 @@ Matrix concat_rows(std::span<const Matrix* const> parts) {
   Matrix out(rows, cols);
   int offset = 0;
   for (const Matrix* p : parts) {
+    if (p->size() == 0) continue;  // empty part: null data() is UB in memcpy
     std::memcpy(out.data() + static_cast<size_t>(offset) * cols, p->data(),
                 p->size() * sizeof(float));
     offset += p->rows();
@@ -229,6 +235,7 @@ Matrix slice_cols(const Matrix& a, int c0, int c1) {
   if (c0 < 0 || c1 > a.cols() || c0 > c1)
     throw std::invalid_argument("slice_cols: bad range");
   Matrix out(a.rows(), c1 - c0);
+  if (out.size() == 0) return out;  // 0-wide slice: no storage to touch
   for (int i = 0; i < a.rows(); ++i) {
     std::memcpy(out.data() + static_cast<size_t>(i) * out.cols(),
                 a.data() + static_cast<size_t>(i) * a.cols() + c0,
@@ -241,6 +248,7 @@ Matrix slice_rows(const Matrix& a, int r0, int r1) {
   if (r0 < 0 || r1 > a.rows() || r0 > r1)
     throw std::invalid_argument("slice_rows: bad range");
   Matrix out(r1 - r0, a.cols());
+  if (out.size() == 0) return out;  // empty slice: no storage to touch
   std::memcpy(out.data(), a.data() + static_cast<size_t>(r0) * a.cols(),
               out.size() * sizeof(float));
   return out;

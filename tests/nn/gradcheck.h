@@ -1,50 +1,13 @@
-// Shared finite-difference gradient checking for autograd tests.
+// Compatibility shim: finite-difference gradient checking now lives in the
+// library (nn/gradcheck.h) so `dgcli check` can run it outside the test
+// tree. Tests keep their historical dg::testing spelling.
 #pragma once
 
-#include <cmath>
-#include <functional>
-#include <vector>
-
-#include "nn/autograd.h"
+#include "nn/gradcheck.h"
 
 namespace dg::testing {
-
 using dg::nn::Matrix;
 using dg::nn::Var;
-
-/// Builds leaf Vars from `inputs`, calls `fn` to get a scalar Var, and
-/// compares analytic backward() gradients with central finite differences.
-/// Returns the max absolute deviation observed.
-inline float max_grad_error(
-    const std::function<Var(const std::vector<Var>&)>& fn,
-    std::vector<Matrix> inputs, float h = 1e-3f) {
-  // Analytic gradients.
-  std::vector<Var> leaves;
-  leaves.reserve(inputs.size());
-  for (const Matrix& m : inputs) leaves.emplace_back(m, /*requires_grad=*/true);
-  Var loss = fn(leaves);
-  loss.backward();
-
-  const auto eval = [&](const std::vector<Matrix>& xs) {
-    std::vector<Var> vs;
-    vs.reserve(xs.size());
-    for (const Matrix& m : xs) vs.emplace_back(m, false);
-    return fn(vs).value().at(0, 0);
-  };
-
-  float max_err = 0.0f;
-  for (size_t k = 0; k < inputs.size(); ++k) {
-    Var g = leaves[k].grad();
-    for (size_t i = 0; i < inputs[k].size(); ++i) {
-      std::vector<Matrix> plus = inputs, minus = inputs;
-      plus[k].data()[i] += h;
-      minus[k].data()[i] -= h;
-      const float numeric = (eval(plus) - eval(minus)) / (2.0f * h);
-      const float analytic = g.defined() ? g.value().data()[i] : 0.0f;
-      max_err = std::max(max_err, std::fabs(numeric - analytic));
-    }
-  }
-  return max_err;
-}
-
+using dg::nn::gradcheck;      // NOLINT(misc-unused-using-decls)
+using dg::nn::max_grad_error;  // NOLINT(misc-unused-using-decls)
 }  // namespace dg::testing

@@ -6,9 +6,15 @@
 //                    [--no-minmax] [--no-aux] [--lstm-units U] [--d-steps K]
 //   dgcli generate   --model M.dgpkg --n N --out synth.csv
 //   dgcli stats      --schema S.schema --data D.csv [--compare other.csv]
+//   dgcli check      [--seed X] [--iterations N]
 //
 // The .dgpkg package bundles schema + architecture + trained parameters, so
 // `generate` needs nothing else — the paper's Fig 2 release flow.
+//
+// `check` verifies the autograd engine on this machine: a finite-difference
+// gradcheck battery (including the WGAN-GP second-order path) followed by an
+// AnomalyGuard-instrumented mini training run of the full DoppelGANger graph
+// (attribute MLP -> min/max MLP -> LSTM -> GP second-order pass).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -17,9 +23,12 @@
 
 #include "core/doppelganger.h"
 #include "core/package.h"
+#include "core/wgan.h"
 #include "data/io.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "nn/check.h"
+#include "nn/gradcheck.h"
 #include "synth/synth.h"
 
 namespace {
@@ -54,11 +63,13 @@ Args parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw std::runtime_error("bad option " + key);
     key = key.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      a.options[key] = argv[++i];
-    } else {
-      a.options[key] = "1";  // boolean flag
-    }
+    // Constructing the std::string up front (rather than assigning the char*
+    // into the map slot) sidesteps a GCC 12 -Wrestrict false positive on the
+    // basic_string::assign(const char*) path at -O3.
+    const char* v = (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                        ? argv[++i]
+                        : "1";  // bare option = boolean flag
+    a.options.insert_or_assign(std::move(key), std::string(v));
   }
   return a;
 }
@@ -161,9 +172,150 @@ int cmd_stats(const Args& a) {
   return 0;
 }
 
+// ---------------------------------------------------------------- check
+
+/// Runs one gradcheck battery item and prints a verdict line.
+bool run_gradcheck_item(const char* name, const nn::GradCheckFn& fn,
+                        std::vector<nn::Matrix> inputs,
+                        const nn::GradCheckOptions& opts = {}) {
+  const auto r = nn::gradcheck(fn, std::move(inputs), opts);
+  std::printf("  %-28s %s\n", name, nn::to_string(r).c_str());
+  return r.ok;
+}
+
+int cmd_check(const Args& a) {
+  using nn::Matrix;
+  using nn::Var;
+  const uint64_t seed = static_cast<uint64_t>(a.num("seed", 17));
+  const int iterations = static_cast<int>(a.num("iterations", 2));
+  nn::Rng rng(seed);
+  const auto randn = [&rng](int r, int c) {
+    Matrix m(r, c);
+    for (float& v : m.flat()) v = static_cast<float>(rng.normal(0.0, 0.5));
+    return m;
+  };
+
+  bool ok = true;
+  std::printf("== finite-difference gradcheck ==\n");
+
+  // Dense tanh MLP chain: matmul + bias broadcast + nonlinearity + reduction.
+  ok &= run_gradcheck_item(
+      "mlp-tanh-chain",
+      [](const std::vector<Var>& v) {
+        Var h = nn::tanh_(nn::add_rowvec(nn::matmul(v[3], v[0]), v[1]));
+        return nn::mean(nn::matmul(h, v[2]));
+      },
+      {randn(3, 4), randn(1, 4), randn(4, 1), randn(2, 3)});
+
+  // Softmax rows (the categorical output path of every output block).
+  ok &= run_gradcheck_item(
+      "softmax-rows",
+      [](const std::vector<Var>& v) {
+        return nn::mean(nn::square(nn::softmax_rows(v[0])));
+      },
+      {randn(3, 5)});
+
+  // One LSTM cell step with fixed parameters, differentiating x/h/c.
+  {
+    nn::Rng cell_rng(seed + 1);
+    nn::LstmCell cell(3, 4, cell_rng);
+    ok &= run_gradcheck_item(
+        "lstm-cell-step",
+        [&cell](const std::vector<Var>& v) {
+          nn::LstmState s = cell.step(v[0], {v[1], v[2]});
+          return nn::mean(nn::mul(s.h, s.c));
+        },
+        {randn(2, 3), randn(2, 4), randn(2, 4)});
+  }
+
+  // Second order: d/dx of a function of grad_x D(x) — the GP structure with
+  // a smooth (tanh) critic so finite differences are well behaved.
+  {
+    const Matrix w1 = randn(3, 6), b1 = randn(1, 6), w2 = randn(6, 1);
+    ok &= run_gradcheck_item(
+        "second-order-gp-input",
+        [&](const std::vector<Var>& v) {
+          Var x = v[0];
+          const auto critic = [&](const Var& in) {
+            Var h = nn::tanh_(nn::add_rowvec(nn::matmul(in, nn::constant(w1)),
+                                             nn::constant(b1)));
+            return nn::matmul(h, nn::constant(w2));
+          };
+          Var out = nn::sum(critic(x));
+          auto g = nn::autograd::grad(out, std::vector<Var>{x},
+                                      /*create_graph=*/true);
+          Var norms = nn::row_l2_norm(g[0]);
+          return nn::mean(nn::square(nn::add_scalar(norms, -1.0f)));
+        },
+        {randn(4, 3)});
+  }
+
+  // The gradient the critic optimizer actually consumes: d(GP)/d(theta),
+  // with the interpolation rng re-seeded so every probe uses the same t.
+  {
+    const Matrix real = randn(4, 3), fake = randn(4, 3);
+    ok &= run_gradcheck_item(
+        "gradient-penalty-params",
+        [&](const std::vector<Var>& v) {
+          const core::CriticFn critic = [&v](const Var& in) {
+            Var h = nn::tanh_(nn::add_rowvec(nn::matmul(in, v[0]), v[1]));
+            return nn::matmul(h, v[2]);
+          };
+          nn::Rng gp_rng(7);
+          return core::gradient_penalty(critic, real, fake, gp_rng);
+        },
+        {randn(3, 6), randn(1, 6), randn(6, 1)});
+  }
+
+  std::printf("== instrumented training step (AnomalyGuard) ==\n");
+  auto d = synth::make_gcut({.n = 64, .t_max = 25, .seed = seed});
+  for (auto& o : d.data) {
+    if (o.length() > 25) o.features.resize(25);
+  }
+  d.schema.max_timesteps = 25;
+  core::DoppelGangerConfig cfg;
+  cfg.attr_hidden = 16;
+  cfg.attr_layers = 1;
+  cfg.minmax_hidden = 16;
+  cfg.minmax_layers = 1;
+  cfg.lstm_units = 16;
+  cfg.head_hidden = 16;
+  cfg.sample_len = 5;
+  cfg.disc_hidden = 32;
+  cfg.disc_layers = 2;
+  cfg.batch = 16;
+  cfg.iterations = iterations;
+  cfg.seed = seed;
+  std::printf("  dataset gcut n=%zu t=%d; %d generator iterations\n",
+              d.data.size(), d.schema.max_timesteps, iterations);
+
+  nn::AnomalyOptions guard_opts;
+  guard_opts.forbid_stale_grads = true;  // the training loop always zero_grads
+  nn::AnomalyGuard guard(guard_opts);
+  try {
+    core::DoppelGanger model(d.schema, cfg);
+    model.fit(d.data);
+  } catch (const nn::AnomalyError& e) {
+    std::printf("  training step: FAIL — %s\n", e.what());
+    ok = false;
+  }
+  const auto& st = guard.stats();
+  std::printf("  forward values checked   %zu\n", st.forward_values_checked);
+  std::printf("  backward grads checked   %zu\n", st.backward_grads_checked);
+  std::printf("  backward runs            %zu\n", st.backward_runs);
+  std::printf("  tape audits              %zu\n", st.tape_audits);
+  const std::size_t leaked = guard.leaked_nodes();
+  std::printf("  leaked nodes after teardown: %zu\n", leaked);
+  if (leaked != 0) ok = false;
+  if (st.backward_runs == 0 || st.forward_values_checked == 0) ok = false;
+
+  std::printf("check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: dgcli <make-synth|train|generate|stats> [options]\n"
+               "usage: dgcli <make-synth|train|generate|stats|check> [options]\n"
                "see the header of tools/dgcli.cpp for the option list\n");
   return 2;
 }
@@ -177,6 +329,7 @@ int main(int argc, char** argv) {
     if (a.command == "train") return cmd_train(a);
     if (a.command == "generate") return cmd_generate(a);
     if (a.command == "stats") return cmd_stats(a);
+    if (a.command == "check") return cmd_check(a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dgcli: %s\n", e.what());

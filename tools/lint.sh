@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the project (config: .clang-tidy at the repo root).
+#
+# Usage:
+#   tools/lint.sh [--fix] [paths...]
+#
+# Lints every .cpp under src/ by default (tests/bench/tools compile with
+# -Werror instead; src/ is the library surface the tidy gate protects).
+# Needs a clang-tidy binary (any recent major version); configures a
+# dedicated build dir to get compile_commands.json if none exists yet.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fix_args=()
+paths=()
+for arg in "$@"; do
+  case "$arg" in
+    --fix) fix_args+=(--fix --fix-errors) ;;
+    *) paths+=("$arg") ;;
+  esac
+done
+if [ "${#paths[@]}" -eq 0 ]; then
+  while IFS= read -r f; do paths+=("$f"); done \
+    < <(find src -name '*.cpp' | sort)
+fi
+
+# Locate clang-tidy: plain name first, then versioned fallbacks.
+tidy=""
+for cand in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "lint.sh: no clang-tidy binary found on PATH — skipping tidy pass." >&2
+  echo "lint.sh: install clang-tidy (e.g. apt-get install clang-tidy) to run it." >&2
+  exit 0
+fi
+
+# compile_commands.json: reuse an existing build dir or configure one. The
+# lint build dir is configured portable (no -march=native) so the database
+# matches what CI's clang-tidy job sees.
+db_dir=""
+for d in build-lint build build-werror build-asan; do
+  if [ -f "$d/compile_commands.json" ]; then
+    db_dir="$d"
+    break
+  fi
+done
+if [ -z "$db_dir" ]; then
+  db_dir=build-lint
+  cmake -B "$db_dir" -S . -DDG_NATIVE_ARCH=OFF > /dev/null
+fi
+
+echo "lint.sh: $tidy over ${#paths[@]} files (compile db: $db_dir)"
+status=0
+for f in "${paths[@]}"; do
+  if ! "$tidy" -p "$db_dir" --quiet ${fix_args[0]+"${fix_args[@]}"} "$f"; then
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  echo "lint.sh: clang-tidy reported findings (see above)" >&2
+fi
+exit "$status"
