@@ -8,6 +8,7 @@
 #include "core/wgan.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
+#include "nn/parallel.h"
 #include "nn/rng.h"
 #include "synth/synth.h"
 
@@ -17,8 +18,13 @@ using namespace dg;
 using nn::Matrix;
 using nn::Var;
 
+// Kernel benchmarks take the intra-op thread count as their last argument
+// (overriding DG_THREADS), so one run sweeps the scaling curve:
+//   BM_Matmul/1024/8 = 1024x1024 matmul on an 8-thread pool.
+
 void BM_Matmul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  nn::set_num_threads(static_cast<int>(state.range(1)));
   nn::Rng rng(1);
   const Matrix a = rng.normal_matrix(n, n);
   const Matrix b = rng.normal_matrix(n, n);
@@ -27,10 +33,30 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Matmul)->ArgsProduct({{64, 128, 256, 512, 1024}, {1, 2, 4, 8}});
+
+void BM_Transpose(benchmark::State& state) {
+  // rows >> cols — the LSTM gate-slice shape whose column-strided writes the
+  // blocked kernel exists for — plus its transpose-square counterpart.
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  nn::set_num_threads(static_cast<int>(state.range(2)));
+  nn::Rng rng(4);
+  const Matrix a = rng.normal_matrix(rows, cols);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::transpose(a));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows) * cols);
+}
+BENCHMARK(BM_Transpose)
+    ->Args({4096, 64, 1})
+    ->Args({4096, 64, 4})
+    ->Args({1024, 1024, 1})
+    ->Args({1024, 1024, 4});
 
 void BM_LstmStep(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
+  nn::set_num_threads(static_cast<int>(state.range(1)));
   nn::Rng rng(2);
   nn::LstmCell cell(32, 64, rng);
   const Var x(rng.normal_matrix(batch, 32), false);
@@ -40,9 +66,10 @@ void BM_LstmStep(benchmark::State& state) {
     benchmark::DoNotOptimize(cell.step(x, s).h.value().data());
   }
 }
-BENCHMARK(BM_LstmStep)->Arg(1)->Arg(32);
+BENCHMARK(BM_LstmStep)->ArgsProduct({{1, 32, 256}, {1, 4}});
 
 void BM_CriticStepWithGradientPenalty(benchmark::State& state) {
+  nn::set_num_threads(static_cast<int>(state.range(0)));
   nn::Rng rng(3);
   nn::Mlp critic(512, 1, 128, 3, rng);
   nn::Adam opt(critic.parameters());
@@ -56,9 +83,10 @@ void BM_CriticStepWithGradientPenalty(benchmark::State& state) {
     opt.step();
   }
 }
-BENCHMARK(BM_CriticStepWithGradientPenalty);
+BENCHMARK(BM_CriticStepWithGradientPenalty)->Arg(1)->Arg(4);
 
 void BM_DoppelGangerTrainIteration(benchmark::State& state) {
+  nn::set_num_threads(static_cast<int>(state.range(0)));
   auto d = synth::make_gcut({.n = 128, .t_max = 50});
   core::DoppelGangerConfig cfg;
   cfg.lstm_units = 64;
@@ -73,9 +101,13 @@ void BM_DoppelGangerTrainIteration(benchmark::State& state) {
     model.fit_more(d.data, 1);
   }
 }
-BENCHMARK(BM_DoppelGangerTrainIteration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DoppelGangerTrainIteration)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DoppelGangerGenerate(benchmark::State& state) {
+  nn::set_num_threads(1);
   auto d = synth::make_gcut({.n = 64, .t_max = 50});
   core::DoppelGangerConfig cfg;
   cfg.lstm_units = 64;
@@ -92,6 +124,7 @@ void BM_DoppelGangerGenerate(benchmark::State& state) {
 BENCHMARK(BM_DoppelGangerGenerate)->Unit(benchmark::kMillisecond);
 
 void BM_SynthWwt(benchmark::State& state) {
+  nn::set_num_threads(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(synth::make_wwt({.n = 100, .t = 280}));
   }

@@ -1,11 +1,14 @@
 #include "nn/autograd.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "nn/check.h"
+#include "nn/parallel.h"
 
 namespace dg::nn {
 
@@ -257,6 +260,31 @@ Var transpose(const Var& a) {
                  [](const Var& g) { return std::vector<Var>{transpose(g)}; });
 }
 
+Var affine(const Var& x, const Var& w, const Var& b) {
+  // Backward is expressed in public ops, so the rule stays differentiable
+  // (second-order WGAN-GP flows through the critic's affine layers).
+  return make_op("affine", dg::nn::affine(x.value(), w.value(), b.value()),
+                 {x, w, b}, [x, w](const Var& g) {
+                   return std::vector<Var>{matmul(g, transpose(w)),
+                                           matmul(transpose(x), g),
+                                           col_sum(g)};
+                 });
+}
+
+Var lstm_gates(const Var& x, const Var& wx, const Var& h, const Var& wh,
+               const Var& b) {
+  return make_op(
+      "lstm_gates",
+      dg::nn::lstm_gates(x.value(), wx.value(), h.value(), wh.value(),
+                         b.value()),
+      {x, wx, h, wh, b}, [x, wx, h, wh](const Var& g) {
+        return std::vector<Var>{matmul(g, transpose(wx)),
+                                matmul(transpose(x), g),
+                                matmul(g, transpose(wh)),
+                                matmul(transpose(h), g), col_sum(g)};
+      });
+}
+
 Var add_rowvec(const Var& x, const Var& b) {
   return make_op("add_rowvec", dg::nn::add_rowvec(x.value(), b.value()), {x, b},
                  [](const Var& g) {
@@ -322,11 +350,16 @@ Var mean(const Var& a) {
 Var relu(const Var& a) {
   Matrix out = a.value();
   Matrix mask(out.rows(), out.cols());
-  for (size_t i = 0; i < out.size(); ++i) {
-    const bool pos = out.data()[i] > 0.0f;
-    mask.data()[i] = pos ? 1.0f : 0.0f;
-    if (!pos) out.data()[i] = 0.0f;
-  }
+  float* po = out.data();
+  float* pm = mask.data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   const bool pos = po[i] > 0.0f;
+                   pm[i] = pos ? 1.0f : 0.0f;
+                   if (!pos) po[i] = 0.0f;
+                 }
+               });
   // The mask is locally constant, so it is correct to treat it as data.
   return make_op("relu", std::move(out), {a},
                  [m = std::move(mask)](const Var& g) {
@@ -386,9 +419,14 @@ Var square(const Var& a) {
 Var abs_(const Var& a) {
   Matrix out = apply(a.value(), [](float v) { return std::fabs(v); });
   Matrix sign(out.rows(), out.cols());
-  for (size_t i = 0; i < out.size(); ++i) {
-    sign.data()[i] = a.value().data()[i] >= 0.0f ? 1.0f : -1.0f;
-  }
+  const float* pa = a.value().data();
+  float* ps = sign.data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) {
+                   ps[i] = pa[i] >= 0.0f ? 1.0f : -1.0f;
+                 }
+               });
   return make_op("abs", std::move(out), {a},
                  [s = std::move(sign)](const Var& g) {
                    return std::vector<Var>{mul(g, constant(s))};
@@ -457,8 +495,17 @@ Var slice_rows(const Var& a, int r0, int r1) {
 Var pad_cols(const Var& a, int left, int right) {
   const Matrix& m = a.value();
   Matrix out(m.rows(), left + m.cols() + right, 0.0f);
-  for (int i = 0; i < m.rows(); ++i) {
-    for (int j = 0; j < m.cols(); ++j) out.at(i, left + j) = m.at(i, j);
+  if (m.size() > 0) {
+    const int mc = m.cols(), oc = out.cols();
+    parallel_for(0, m.rows(),
+                 std::max<std::int64_t>(1, kGrainElemwise / std::max(1, oc)),
+                 [&](std::int64_t r0, std::int64_t r1) {
+                   for (std::int64_t i = r0; i < r1; ++i) {
+                     std::memcpy(out.data() + static_cast<size_t>(i) * oc + left,
+                                 m.data() + static_cast<size_t>(i) * mc,
+                                 static_cast<size_t>(mc) * sizeof(float));
+                   }
+                 });
   }
   const int c0 = left, c1 = left + m.cols();
   return make_op("pad_cols", std::move(out), {a}, [c0, c1](const Var& g) {
@@ -469,8 +516,9 @@ Var pad_cols(const Var& a, int left, int right) {
 Var pad_rows(const Var& a, int top, int bottom) {
   const Matrix& m = a.value();
   Matrix out(top + m.rows() + bottom, m.cols(), 0.0f);
-  for (int i = 0; i < m.rows(); ++i) {
-    for (int j = 0; j < m.cols(); ++j) out.at(top + i, j) = m.at(i, j);
+  if (m.size() > 0) {
+    std::memcpy(out.data() + static_cast<size_t>(top) * m.cols(), m.data(),
+                m.size() * sizeof(float));
   }
   const int r0 = top, r1 = top + m.rows();
   return make_op("pad_rows", std::move(out), {a}, [r0, r1](const Var& g) {
@@ -482,11 +530,18 @@ Var softmax_rows(const Var& a) {
   // Shift by the (constant) row max for numerical stability; the shift does
   // not change the softmax value or its gradient.
   Matrix shift(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    float mx = a.value().at(i, 0);
-    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, a.value().at(i, j));
-    shift.at(i, 0) = -mx;
-  }
+  const int cols = a.cols();
+  parallel_for(0, a.rows(),
+               std::max<std::int64_t>(1, kGrainElemwise / std::max(1, cols)),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t i = r0; i < r1; ++i) {
+                   const float* row =
+                       a.value().data() + static_cast<size_t>(i) * cols;
+                   float mx = row[0];
+                   for (int j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+                   shift.data()[i] = -mx;
+                 }
+               });
   Var shifted = add(a, mul_colvec(ones(a.rows(), a.cols()), constant(shift)));
   Var e = exp_(shifted);
   Var denom = row_sum(e);

@@ -128,6 +128,11 @@ Var mul_scalar(const Var& a, float s);
 // ---- linear algebra ----
 Var matmul(const Var& a, const Var& b);
 Var transpose(const Var& a);
+/// x*w + b (bias [1,m] broadcast over rows), fused forward kernel.
+Var affine(const Var& x, const Var& w, const Var& b);
+/// x*wx + h*wh + b, the LSTM gate pre-activation, fused forward kernel.
+Var lstm_gates(const Var& x, const Var& wx, const Var& h, const Var& wh,
+               const Var& b);
 
 // ---- broadcasts ----
 Var add_rowvec(const Var& x, const Var& b);  // b: [1,d]

@@ -49,7 +49,7 @@ Linear::Linear(int in, int out, Rng& rng) {
 }
 
 Var Linear::forward(const Var& x) const {
-  return add_rowvec(matmul(x, w_), b_);
+  return affine(x, w_, b_);
 }
 
 std::vector<Var> Linear::parameters() const { return {w_, b_}; }
@@ -94,7 +94,9 @@ LstmCell::LstmCell(int input, int hidden, Rng& rng)
 }
 
 LstmState LstmCell::step(const Var& x, const LstmState& state) const {
-  Var gates = add_rowvec(add(matmul(x, wx_), matmul(state.h, wh_)), b_);
+  // One fused, row-partitioned kernel instead of two matmul temporaries plus
+  // an add and a broadcast — the batched-generation hot path.
+  Var gates = lstm_gates(x, wx_, state.h, wh_, b_);
   Var i = sigmoid(slice_cols(gates, 0, hidden_));
   Var f = sigmoid(slice_cols(gates, hidden_, 2 * hidden_));
   Var g = tanh_(slice_cols(gates, 2 * hidden_, 3 * hidden_));

@@ -1,8 +1,12 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "nn/parallel.h"
 
 namespace dg::nn {
 
@@ -38,82 +42,180 @@ Matrix Matrix::row(std::span<const float> values) {
 }
 
 namespace {
+
 void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
   if (!a.same_shape(b)) throw std::invalid_argument(std::string(op) + ": shape mismatch");
 }
+
+/// Row grain for [n, d]-shaped row-partitioned kernels: whole rows, sized so
+/// a partition holds at least kGrainElemwise floats.
+std::int64_t row_grain(int cols) {
+  return std::max<std::int64_t>(1, kGrainElemwise / std::max(1, cols));
+}
+
+/// Row grain for matmul-shaped kernels: at least kGrainMatmulFlops flops per
+/// partition (2*k*m flops per output row).
+std::int64_t matmul_row_grain(int k, int m) {
+  const std::int64_t flops_per_row = 2LL * std::max(1, k) * std::max(1, m);
+  return std::max<std::int64_t>(1, kGrainMatmulFlops / flops_per_row);
+}
+
+/// The shared matmul-accumulate core: out[r0..r1) += a[r0..r1) * b, with the
+/// k loop blocked so a ~kKC-row slab of b stays cache-hot across the rows of
+/// the partition. Accumulation order per output element is ascending k for
+/// every blocking/partitioning choice, so results are bit-identical for any
+/// thread count.
+constexpr int kKC = 256;
+
+void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                     std::int64_t r0, std::int64_t r1) {
+  const int k = a.cols(), m = b.cols();
+  for (int kb = 0; kb < k; kb += kKC) {
+    const int kend = std::min(k, kb + kKC);
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + static_cast<size_t>(i) * k;
+      float* orow = out.data() + static_cast<size_t>(i) * m;
+      for (int kk = kb; kk < kend; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b.data() + static_cast<size_t>(kk) * m;
+        for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
   const int n = a.rows(), k = a.cols(), m = b.cols();
   Matrix out(n, m, 0.0f);
-  // i-k-j loop order: the inner loop streams both b and out, which the
-  // compiler auto-vectorizes.
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.data() + static_cast<size_t>(i) * k;
-    float* orow = out.data() + static_cast<size_t>(i) * m;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + static_cast<size_t>(kk) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+  if (n == 0 || m == 0 || k == 0) return out;
+  parallel_for(0, n, matmul_row_grain(k, m),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 matmul_acc_rows(a, b, out, r0, r1);
+               });
+  return out;
+}
+
+Matrix affine(const Matrix& x, const Matrix& w, const Matrix& b) {
+  if (x.cols() != w.rows()) throw std::invalid_argument("affine: inner dim mismatch");
+  if (b.rows() != 1 || b.cols() != w.cols())
+    throw std::invalid_argument("affine: bias must be [1, w.cols]");
+  const int n = x.rows(), m = w.cols();
+  Matrix out(n, m);
+  if (n == 0 || m == 0) return out;
+  parallel_for(0, n, matmul_row_grain(x.cols(), m),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t i = r0; i < r1; ++i) {
+                   std::memcpy(out.data() + static_cast<size_t>(i) * m,
+                               b.data(), static_cast<size_t>(m) * sizeof(float));
+                 }
+                 matmul_acc_rows(x, w, out, r0, r1);
+               });
+  return out;
+}
+
+Matrix lstm_gates(const Matrix& x, const Matrix& wx, const Matrix& h,
+                  const Matrix& wh, const Matrix& b) {
+  if (x.cols() != wx.rows() || h.cols() != wh.rows())
+    throw std::invalid_argument("lstm_gates: inner dim mismatch");
+  if (x.rows() != h.rows())
+    throw std::invalid_argument("lstm_gates: x/h batch mismatch");
+  if (wx.cols() != wh.cols() || b.rows() != 1 || b.cols() != wx.cols())
+    throw std::invalid_argument("lstm_gates: output width mismatch");
+  const int n = x.rows(), m = wx.cols();
+  Matrix out(n, m);
+  if (n == 0 || m == 0) return out;
+  const std::int64_t grain = matmul_row_grain(x.cols() + h.cols(), m);
+  parallel_for(0, n, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      std::memcpy(out.data() + static_cast<size_t>(i) * m, b.data(),
+                  static_cast<size_t>(m) * sizeof(float));
     }
-  }
+    matmul_acc_rows(x, wx, out, r0, r1);
+    matmul_acc_rows(h, wh, out, r0, r1);
+  });
   return out;
 }
 
 Matrix transpose(const Matrix& a) {
-  Matrix out(a.cols(), a.rows());
-  for (int i = 0; i < a.rows(); ++i)
-    for (int j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  const int r = a.rows(), c = a.cols();
+  Matrix out(c, r);
+  if (out.empty()) return out;
+  // Blocked: read B columns of a per tile so the strided loads hit each
+  // source cache line B times instead of once (the unblocked version was
+  // quadratic in misses for the tall rows >> cols gate-slice shapes).
+  constexpr int B = 64;
+  parallel_for(0, c, row_grain(r), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t jb = j0; jb < j1; jb += B) {
+      const std::int64_t jend = std::min<std::int64_t>(j1, jb + B);
+      for (int ib = 0; ib < r; ib += B) {
+        const int iend = std::min(r, ib + B);
+        for (std::int64_t j = jb; j < jend; ++j) {
+          float* orow = out.data() + static_cast<size_t>(j) * r;
+          for (int i = ib; i < iend; ++i) {
+            orow[i] = a.data()[static_cast<size_t>(i) * c + j];
+          }
+        }
+      }
+    }
+  });
   return out;
 }
 
-Matrix add(const Matrix& a, const Matrix& b) {
-  check_same_shape(a, b, "add");
+namespace {
+
+template <typename F>
+Matrix elementwise(const Matrix& a, const Matrix& b, const char* op,
+                   const F& f) {
+  check_same_shape(a, b, op);
   Matrix out = a;
   const float* pb = b.data();
   float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] += pb[i];
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) f(po[i], pb[i]);
+               });
   return out;
+}
+
+}  // namespace
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  return elementwise(a, b, "add", [](float& o, float v) { o += v; });
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
-  check_same_shape(a, b, "sub");
-  Matrix out = a;
-  const float* pb = b.data();
-  float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] -= pb[i];
-  return out;
+  return elementwise(a, b, "sub", [](float& o, float v) { o -= v; });
 }
 
 Matrix mul(const Matrix& a, const Matrix& b) {
-  check_same_shape(a, b, "mul");
-  Matrix out = a;
-  const float* pb = b.data();
-  float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] *= pb[i];
-  return out;
+  return elementwise(a, b, "mul", [](float& o, float v) { o *= v; });
 }
 
 Matrix div(const Matrix& a, const Matrix& b) {
-  check_same_shape(a, b, "div");
-  Matrix out = a;
-  const float* pb = b.data();
-  float* po = out.data();
-  for (size_t i = 0; i < out.size(); ++i) po[i] /= pb[i];
-  return out;
+  return elementwise(a, b, "div", [](float& o, float v) { o /= v; });
 }
 
 Matrix add_scalar(const Matrix& a, float s) {
   Matrix out = a;
-  for (float& v : out.flat()) v += s;
+  float* po = out.data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) po[i] += s;
+               });
   return out;
 }
 
 Matrix mul_scalar(const Matrix& a, float s) {
   Matrix out = a;
-  for (float& v : out.flat()) v *= s;
+  float* po = out.data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) po[i] *= s;
+               });
   return out;
 }
 
@@ -121,10 +223,14 @@ Matrix add_rowvec(const Matrix& x, const Matrix& b) {
   if (b.rows() != 1 || b.cols() != x.cols())
     throw std::invalid_argument("add_rowvec: b must be [1, x.cols]");
   Matrix out = x;
-  for (int i = 0; i < x.rows(); ++i) {
-    float* row = out.data() + static_cast<size_t>(i) * x.cols();
-    for (int j = 0; j < x.cols(); ++j) row[j] += b.at(0, j);
-  }
+  const int cols = x.cols();
+  parallel_for(0, x.rows(), row_grain(cols),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t i = r0; i < r1; ++i) {
+                   float* row = out.data() + static_cast<size_t>(i) * cols;
+                   for (int j = 0; j < cols; ++j) row[j] += b.data()[j];
+                 }
+               });
   return out;
 }
 
@@ -132,11 +238,15 @@ Matrix mul_colvec(const Matrix& x, const Matrix& v) {
   if (v.cols() != 1 || v.rows() != x.rows())
     throw std::invalid_argument("mul_colvec: v must be [x.rows, 1]");
   Matrix out = x;
-  for (int i = 0; i < x.rows(); ++i) {
-    const float s = v.at(i, 0);
-    float* row = out.data() + static_cast<size_t>(i) * x.cols();
-    for (int j = 0; j < x.cols(); ++j) row[j] *= s;
-  }
+  const int cols = x.cols();
+  parallel_for(0, x.rows(), row_grain(cols),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t i = r0; i < r1; ++i) {
+                   const float s = v.data()[i];
+                   float* row = out.data() + static_cast<size_t>(i) * cols;
+                   for (int j = 0; j < cols; ++j) row[j] *= s;
+                 }
+               });
   return out;
 }
 
@@ -144,36 +254,81 @@ Matrix mul_rowvec(const Matrix& x, const Matrix& m) {
   if (m.rows() != 1 || m.cols() != x.cols())
     throw std::invalid_argument("mul_rowvec: m must be [1, x.cols]");
   Matrix out = x;
-  for (int i = 0; i < x.rows(); ++i) {
-    float* row = out.data() + static_cast<size_t>(i) * x.cols();
-    for (int j = 0; j < x.cols(); ++j) row[j] *= m.at(0, j);
-  }
+  const int cols = x.cols();
+  parallel_for(0, x.rows(), row_grain(cols),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t i = r0; i < r1; ++i) {
+                   float* row = out.data() + static_cast<size_t>(i) * cols;
+                   for (int j = 0; j < cols; ++j) row[j] *= m.data()[j];
+                 }
+               });
   return out;
 }
 
 Matrix row_sum(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (int i = 0; i < a.rows(); ++i) {
-    float s = 0.0f;
-    const float* row = a.data() + static_cast<size_t>(i) * a.cols();
-    for (int j = 0; j < a.cols(); ++j) s += row[j];
-    out.at(i, 0) = s;
-  }
+  const int cols = a.cols();
+  parallel_for(0, a.rows(), row_grain(cols),
+               [&](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t i = r0; i < r1; ++i) {
+                   float s = 0.0f;
+                   const float* row = a.data() + static_cast<size_t>(i) * cols;
+                   for (int j = 0; j < cols; ++j) s += row[j];
+                   out.data()[i] = s;
+                 }
+               });
   return out;
 }
 
 Matrix col_sum(const Matrix& a) {
-  Matrix out(1, a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* row = a.data() + static_cast<size_t>(i) * a.cols();
-    for (int j = 0; j < a.cols(); ++j) out.at(0, j) += row[j];
+  const int n = a.rows(), d = a.cols();
+  Matrix out(1, d);
+  if (a.empty()) return out;
+  // Fixed-size row chunks (independent of thread count); per-chunk partials
+  // combined in ascending chunk order => bit-identical for any pool size.
+  const std::int64_t chunk = std::max<std::int64_t>(1, kGrainReduce / std::max(1, d));
+  const std::int64_t chunks = num_chunks(n, chunk);
+  if (chunks <= 1) {
+    for (int i = 0; i < n; ++i) {
+      const float* row = a.data() + static_cast<size_t>(i) * d;
+      for (int j = 0; j < d; ++j) out.data()[j] += row[j];
+    }
+    return out;
+  }
+  std::vector<float> partials(static_cast<size_t>(chunks) * d, 0.0f);
+  parallel_for_chunks(n, chunk,
+                      [&](std::int64_t ci, std::int64_t r0, std::int64_t r1) {
+                        float* p = partials.data() + static_cast<size_t>(ci) * d;
+                        for (std::int64_t i = r0; i < r1; ++i) {
+                          const float* row = a.data() + static_cast<size_t>(i) * d;
+                          for (int j = 0; j < d; ++j) p[j] += row[j];
+                        }
+                      });
+  for (std::int64_t ci = 0; ci < chunks; ++ci) {
+    const float* p = partials.data() + static_cast<size_t>(ci) * d;
+    for (int j = 0; j < d; ++j) out.data()[j] += p[j];
   }
   return out;
 }
 
 float sum(const Matrix& a) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t chunks = num_chunks(n, kGrainReduce);
+  if (chunks <= 1) {
+    double s = 0.0;
+    for (float v : a.flat()) s += v;
+    return static_cast<float>(s);
+  }
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  const float* pa = a.data();
+  parallel_for_chunks(n, kGrainReduce,
+                      [&](std::int64_t ci, std::int64_t i0, std::int64_t i1) {
+                        double s = 0.0;
+                        for (std::int64_t i = i0; i < i1; ++i) s += pa[i];
+                        partials[static_cast<size_t>(ci)] = s;
+                      });
   double s = 0.0;
-  for (float v : a.flat()) s += v;
+  for (double p : partials) s += p;
   return static_cast<float>(s);
 }
 
@@ -184,7 +339,11 @@ float mean(const Matrix& a) {
 
 Matrix apply(const Matrix& a, float (*fn)(float)) {
   Matrix out = a;
-  for (float& v : out.flat()) v = fn(v);
+  float* po = out.data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t i = i0; i < i1; ++i) po[i] = fn(po[i]);
+               });
   return out;
 }
 

@@ -60,6 +60,13 @@ class Matrix {
 Matrix matmul(const Matrix& a, const Matrix& b);
 Matrix transpose(const Matrix& a);
 
+/// Fused x [n,k] * w [k,m] + b [1,m] (bias broadcast over rows): one parallel
+/// pass, no zero-init or add_rowvec temporary.
+Matrix affine(const Matrix& x, const Matrix& w, const Matrix& b);
+/// Fused LSTM gate pre-activation x*wx + h*wh + b in one parallel pass.
+Matrix lstm_gates(const Matrix& x, const Matrix& wx, const Matrix& h,
+                  const Matrix& wh, const Matrix& b);
+
 Matrix add(const Matrix& a, const Matrix& b);
 Matrix sub(const Matrix& a, const Matrix& b);
 Matrix mul(const Matrix& a, const Matrix& b);  // elementwise (Hadamard)

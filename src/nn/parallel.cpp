@@ -1,0 +1,255 @@
+#include "nn/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dg::nn {
+
+namespace {
+
+#ifdef DG_PARALLEL_DISABLED
+constexpr bool kParallelBuild = false;
+#else
+constexpr bool kParallelBuild = true;
+#endif
+
+// Workers only execute leaf loops, but guard against accidental nesting
+// (a kernel invoked from inside a parallel region runs serially).
+thread_local bool t_in_worker = false;
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void loop() {
+    t_in_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to drain
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Countdown the caller blocks on after submitting its partitions.
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending;
+  std::exception_ptr error;
+
+  explicit Latch(int n) : pending(n) {}
+
+  void done(std::exception_ptr e) {
+    // Notify UNDER the lock: the waiter destroys this Latch as soon as its
+    // wait returns, and wait can only return after we release mu — an
+    // unlocked notify could touch the cv after destruction.
+    std::lock_guard<std::mutex> lock(mu);
+    if (e && !error) error = e;
+    if (--pending == 0) cv.notify_one();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+struct PoolState {
+  std::mutex mu;
+  std::shared_ptr<ThreadPool> pool;  // created lazily; threads-1 workers
+  int threads = 0;                   // 0 = not yet resolved
+  const char* source = "unresolved";
+};
+
+PoolState& state() {
+  static PoolState s;
+  return s;
+}
+
+/// Resolves the thread count from DG_THREADS / hardware_concurrency.
+/// Caller holds s.mu.
+void resolve_locked(PoolState& s) {
+  if (s.threads != 0) return;
+  if (!kParallelBuild) {
+    s.threads = 1;
+    s.source = "DG_PARALLEL=OFF";
+    return;
+  }
+  if (const char* env = std::getenv("DG_THREADS")) {
+    char* rest = nullptr;
+    const long v = std::strtol(env, &rest, 10);
+    if (rest != env && *rest == '\0' && v >= 1 && v <= 1024) {
+      s.threads = static_cast<int>(v);
+      s.source = "DG_THREADS";
+      return;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  s.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  s.source = "hardware_concurrency";
+}
+
+/// Current count plus a pool sized for it (null when serial). The shared_ptr
+/// keeps a pool being retired by set_num_threads alive until its last
+/// in-flight region finishes.
+std::pair<int, std::shared_ptr<ThreadPool>> acquire() {
+  PoolState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  resolve_locked(s);
+  if (s.threads > 1 && !s.pool) {
+    s.pool = std::make_shared<ThreadPool>(s.threads - 1);
+  }
+  return {s.threads, s.pool};
+}
+
+}  // namespace
+
+int num_threads() {
+  PoolState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  resolve_locked(s);
+  return s.threads;
+}
+
+const char* num_threads_source() {
+  PoolState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  resolve_locked(s);
+  return s.source;
+}
+
+void set_num_threads(int n) {
+  PoolState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.threads = kParallelBuild ? std::max(1, n) : 1;
+  s.source = kParallelBuild ? "set_num_threads" : "DG_PARALLEL=OFF";
+  s.pool.reset();  // workers for the old size wind down with the last region
+}
+
+bool parallel_enabled() { return kParallelBuild; }
+
+namespace detail {
+
+void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  RangeFn fn, void* ctx) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (t_in_worker || n <= grain) {
+    fn(ctx, begin, end);
+    return;
+  }
+  auto [threads, pool] = acquire();
+  const std::int64_t max_parts = (n + grain - 1) / grain;
+  const int parts =
+      static_cast<int>(std::min<std::int64_t>(threads, max_parts));
+  if (parts <= 1 || !pool) {
+    fn(ctx, begin, end);
+    return;
+  }
+  const std::int64_t base = n / parts;
+  const std::int64_t rem = n % parts;
+  Latch latch(parts - 1);
+  std::int64_t cursor = begin + base + (rem > 0 ? 1 : 0);  // part 0 = caller's
+  const std::int64_t caller_end = cursor;
+  for (int p = 1; p < parts; ++p) {
+    const std::int64_t b = cursor;
+    const std::int64_t e = b + base + (p < rem ? 1 : 0);
+    cursor = e;
+    pool->submit([fn, ctx, b, e, &latch] {
+      std::exception_ptr err;
+      try {
+        fn(ctx, b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      latch.done(err);
+    });
+  }
+  // Even if the caller's own partition throws, the workers still hold
+  // references to the latch (and the caller's stack) — always wait first.
+  std::exception_ptr caller_error;
+  try {
+    fn(ctx, begin, caller_end);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  latch.wait();
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (latch.error) std::rethrow_exception(latch.error);
+}
+
+void parallel_run_chunks(std::int64_t n, std::int64_t chunk_size, ChunkFn fn,
+                         void* ctx) {
+  if (n <= 0) return;
+  const std::int64_t chunks = num_chunks(n, chunk_size);
+  // Partition the chunk-index range; each partition walks its chunks in
+  // order. Chunk boundaries are a function of chunk_size alone, so the
+  // per-chunk results are identical for every thread count.
+  struct Ctx {
+    ChunkFn fn;
+    void* inner;
+    std::int64_t n, chunk;
+  } outer{fn, ctx, n, chunk_size};
+  parallel_run(
+      0, chunks, /*grain=*/1,
+      [](void* c, std::int64_t c0, std::int64_t c1) {
+        const Ctx& o = *static_cast<const Ctx*>(c);
+        for (std::int64_t ci = c0; ci < c1; ++ci) {
+          const std::int64_t b = ci * o.chunk;
+          const std::int64_t e = std::min(o.n, b + o.chunk);
+          o.fn(o.inner, ci, b, e);
+        }
+      },
+      &outer);
+}
+
+}  // namespace detail
+
+}  // namespace dg::nn

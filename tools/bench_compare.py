@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON outputs and fail on regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold 0.15]      relative slowdown that counts as a regression
+        [--metric real_time]    which per-benchmark field to compare
+        [--filter REGEX]        only compare benchmark names matching REGEX
+
+Exit status: 0 when no compared benchmark regressed by more than the
+threshold, 1 otherwise (and 2 on malformed input). Benchmarks present in
+only one file are reported but never fail the gate, so adding or retiring
+benchmarks does not require touching the baseline in the same commit.
+
+This is CI's perf gate: the bench-smoke job regenerates CURRENT on every
+push and compares it against the committed bench/baseline_ci.json. Times
+are normalized to nanoseconds before comparison, so the two files may use
+different time_unit settings.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path, metric):
+    """Returns {name: metric value in ns} for the real (non-aggregate) runs."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip _mean/_median/_stddev aggregates from --benchmark_repetitions.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        unit = _NS_PER.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"bench_compare: {path}: unknown time_unit in {name}")
+        out[name] = float(bench[metric]) * unit
+    if not out:
+        sys.exit(f"bench_compare: {path}: no benchmarks with metric {metric!r}")
+    return out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:9.2f} {unit}"
+    return f"{ns:9.2f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max tolerated relative slowdown (default 0.15 = 15%%)")
+    ap.add_argument("--metric", default="real_time",
+                    help="benchmark field to compare (default real_time)")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="only compare benchmark names matching REGEX")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline, args.metric)
+    cur = load_benchmarks(args.current, args.metric)
+    if args.filter:
+        pat = re.compile(args.filter)
+        base = {k: v for k, v in base.items() if pat.search(k)}
+        cur = {k: v for k, v in cur.items() if pat.search(k)}
+
+    shared = [n for n in base if n in cur]  # baseline file order
+    added = sorted(set(cur) - set(base))
+    removed = sorted(set(base) - set(cur))
+
+    regressions = []
+    width = max((len(n) for n in shared), default=20)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in shared:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {fmt_ns(b)}  {fmt_ns(c)}  {delta:+7.1%}{flag}")
+
+    for name in added:
+        print(f"{name:<{width}}  {'—':>12}  {fmt_ns(cur[name])}  (new, not gated)")
+    for name in removed:
+        print(f"{name:<{width}}  {fmt_ns(base[name])}  {'—':>12}  (removed from current)")
+
+    if regressions:
+        print(f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) regressed "
+              f"beyond {args.threshold:.0%} on {args.metric}:", file=sys.stderr)
+        for name, delta in sorted(regressions, key=lambda x: -x[1]):
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK — {len(shared)} benchmarks within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@
 #include "eval/report.h"
 #include "nn/check.h"
 #include "nn/gradcheck.h"
+#include "nn/parallel.h"
 #include "synth/synth.h"
 
 namespace {
@@ -194,6 +195,12 @@ int cmd_check(const Args& a) {
     for (float& v : m.flat()) v = static_cast<float>(rng.normal(0.0, 0.5));
     return m;
   };
+
+  std::printf("== compute backend ==\n");
+  std::printf("  intra-op pool: %s, %d thread%s (%s)\n",
+              nn::parallel_enabled() ? "enabled" : "compiled out (DG_PARALLEL=OFF)",
+              nn::num_threads(), nn::num_threads() == 1 ? "" : "s",
+              nn::num_threads_source());
 
   bool ok = true;
   std::printf("== finite-difference gradcheck ==\n");
