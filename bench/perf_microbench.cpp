@@ -4,12 +4,15 @@
 // sample generation.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/doppelganger.h"
 #include "core/wgan.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
 #include "nn/parallel.h"
 #include "nn/rng.h"
+#include "serve/sampler.h"
 #include "synth/synth.h"
 
 namespace {
@@ -122,6 +125,75 @@ void BM_DoppelGangerGenerate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_DoppelGangerGenerate)->Unit(benchmark::kMillisecond);
+
+// ---- serving throughput: sequential per-request generate() vs the slot-
+// recycling sampler on a mixed-length workload (half the series are capped
+// well below max_len/2, the shape continuous batching exists for). The
+// sampler's items/sec over the sequential baseline's is the serving PR's
+// headline number; CI gates both via bench/baseline_ci.json.
+
+std::shared_ptr<core::DoppelGanger> serve_bench_model() {
+  auto d = synth::make_gcut({.n = 16, .t_max = 50});
+  for (auto& o : d.data) {
+    if (o.length() > 50) o.features.resize(50);
+  }
+  d.schema.max_timesteps = 50;
+  core::DoppelGangerConfig cfg;
+  cfg.lstm_units = 64;
+  cfg.head_hidden = 64;
+  cfg.sample_len = 5;
+  cfg.batch = 16;
+  cfg.iterations = 1;
+  cfg.seed = 11;
+  return std::make_shared<core::DoppelGanger>(d.schema, cfg);
+}
+
+constexpr int kServeRequests = 32;
+
+/// Per-request series cap for the mixed workload: half end after one LSTM
+/// step (5 of 50 records), a quarter at mid-series, a quarter run full.
+int serve_bench_cap(int i) {
+  if (i % 2 == 0) return 5;
+  if (i % 4 == 1) return 25;
+  return 0;
+}
+
+void BM_ServeSequentialPerRequest(benchmark::State& state) {
+  nn::set_num_threads(1);
+  auto model = serve_bench_model();
+  for (auto _ : state) {
+    // The pre-serving baseline: each request unrolls its own full-horizon
+    // generate(1) regardless of where its series actually ends.
+    for (int i = 0; i < kServeRequests; ++i) {
+      benchmark::DoNotOptimize(model->generate(1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeRequests);
+}
+BENCHMARK(BM_ServeSequentialPerRequest)->Unit(benchmark::kMillisecond);
+
+void BM_ServeSlotSampler(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  nn::set_num_threads(1);
+  auto model = serve_bench_model();
+  for (auto _ : state) {
+    serve::SlotSampler sampler(model, width);
+    for (int i = 0; i < kServeRequests; ++i) {
+      nn::Rng root(static_cast<uint64_t>(i) + 1);
+      serve::SeriesJob job;
+      job.request_id = static_cast<uint64_t>(i);
+      job.rng = root.fork();
+      job.max_len = serve_bench_cap(i);
+      sampler.submit(std::move(job));
+    }
+    while (!sampler.idle()) {
+      sampler.pump();
+      benchmark::DoNotOptimize(sampler.drain());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeRequests);
+}
+BENCHMARK(BM_ServeSlotSampler)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_SynthWwt(benchmark::State& state) {
   nn::set_num_threads(1);

@@ -139,41 +139,168 @@ DoppelGanger::GenOut DoppelGanger::forward(int n) {
   return out;
 }
 
-data::Dataset DoppelGanger::generate(int n) {
+GenContext DoppelGanger::sample_context(int n, nn::Rng& rng) const {
+  return sample_context_fixed(n, {}, rng);
+}
+
+GenContext DoppelGanger::sample_context_fixed(
+    int n, const std::vector<std::pair<int, float>>& fixed,
+    nn::Rng& rng) const {
   nn::NoGradGuard guard;
+  GenContext ctx;
+  ctx.attributes =
+      apply_blocks(attr_gen_.forward(
+                       nn::constant(rng.normal_matrix(n, cfg_.attr_noise_dim))),
+                   attr_blocks_)
+          .value();
+
+  // Fixed-attribute requests clamp fields *after* sampling: the generated
+  // row keeps the model's joint structure for the free fields while the
+  // fixed ones are overwritten in encoded space (one-hot / scaled [0,1])
+  // before conditioning the min/max generator and the LSTM.
+  const data::Schema& s = codec_.schema();
+  for (const auto& [field, raw] : fixed) {
+    if (field < 0 || field >= s.num_attributes()) {
+      throw std::invalid_argument("sample_context_fixed: bad attribute index");
+    }
+    int col = 0;
+    for (int j = 0; j < field; ++j) col += s.attributes[static_cast<size_t>(j)].width();
+    const data::FieldSpec& spec = s.attributes[static_cast<size_t>(field)];
+    if (spec.type == data::FieldType::Categorical) {
+      const int c = static_cast<int>(raw);
+      if (c < 0 || c >= spec.n_categories) {
+        throw std::invalid_argument("sample_context_fixed: category range");
+      }
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < spec.n_categories; ++j) {
+          ctx.attributes.at(i, col + j) = (j == c) ? 1.0f : 0.0f;
+        }
+      }
+    } else {
+      const float v01 = data::scale01(spec, raw);
+      for (int i = 0; i < n; ++i) ctx.attributes.at(i, col) = v01;
+    }
+  }
+
+  if (minmax_enabled_) {
+    std::vector<Var> in{nn::constant(ctx.attributes),
+                        nn::constant(rng.normal_matrix(n, cfg_.minmax_noise_dim))};
+    ctx.minmax =
+        apply_blocks(minmax_gen_.forward(nn::concat_cols(in)), minmax_blocks_)
+            .value();
+  } else {
+    ctx.minmax = Matrix(n, 0);
+  }
+  ctx.cond = hcat(ctx.attributes, ctx.minmax);
+  return ctx;
+}
+
+GenState DoppelGanger::initial_gen_state(int n) const {
+  GenState st;
+  st.h = Matrix(n, cfg_.lstm_units, 0.0f);
+  st.c = Matrix(n, cfg_.lstm_units, 0.0f);
+  st.mask = Matrix(n, 1, 1.0f);
+  st.step = 0;
+  return st;
+}
+
+nn::Matrix DoppelGanger::generation_step(const GenContext& ctx,
+                                         const nn::Matrix& noise,
+                                         GenState& state) const {
+  const int n = ctx.cond.rows();
+  if (noise.rows() != n || noise.cols() != cfg_.feat_noise_dim) {
+    throw std::invalid_argument("generation_step: noise shape mismatch");
+  }
+  nn::NoGradGuard guard;
+  std::vector<Var> in{nn::constant(ctx.cond), nn::constant(noise)};
+  nn::LstmState st = lstm_.step(
+      nn::concat_cols(in),
+      {nn::constant(state.h), nn::constant(state.c)});
+  Var block = apply_blocks(head_.forward(st.h), step_blocks_);
+  // Continuation-mask each of the S records exactly like the training-time
+  // unroll: record s is scaled by the running mask, and the masked continue
+  // flag becomes the mask for record s+1.
+  Var mask = nn::constant(state.mask);
+  std::vector<Var> records;
+  records.reserve(static_cast<size_t>(cfg_.sample_len));
+  for (int s = 0; s < cfg_.sample_len; ++s) {
+    Var rec = nn::mul_colvec(
+        nn::slice_cols(block, s * record_width_, (s + 1) * record_width_),
+        mask);
+    mask = nn::slice_cols(rec, record_width_ - 2, record_width_ - 1);
+    records.push_back(std::move(rec));
+  }
+  state.h = st.h.value();
+  state.c = st.c.value();
+  state.mask = mask.value();
+  ++state.step;
+  return nn::concat_cols(records).value();
+}
+
+data::Dataset DoppelGanger::generate(int n) {
   data::Dataset out;
   out.reserve(static_cast<size_t>(n));
   int remaining = n;
   while (remaining > 0) {
     const int b = std::min(remaining, cfg_.batch);
-    GenOut g = forward(b);
-    data::Dataset chunk =
-        codec_.decode(g.attributes.value(), g.minmax.value(), g.features.value());
+    GenContext ctx = sample_context(b, rng_);
+    GenState st = initial_gen_state(b);
+    Matrix feats(b, codec_.feature_row_dim());
+    int emitted = 0;  // records written so far (per lane, all lanes aligned)
+    while (emitted < codec_.tmax()) {
+      const Matrix recs =
+          generation_step(ctx, rng_.normal_matrix(b, cfg_.feat_noise_dim), st);
+      const int take =
+          std::min(cfg_.sample_len, codec_.tmax() - emitted) * record_width_;
+      for (int i = 0; i < b; ++i) {
+        for (int j = 0; j < take; ++j) {
+          feats.at(i, emitted * record_width_ + j) = recs.at(i, j);
+        }
+      }
+      emitted += take / record_width_;
+    }
+    data::Dataset chunk = codec_.decode(ctx.attributes, ctx.minmax, feats);
     for (auto& o : chunk) out.push_back(std::move(o));
     remaining -= b;
   }
   return out;
 }
 
+ConditionalResult DoppelGanger::generate_conditional_partial(
+    int n, const std::function<bool(const data::Object&)>& accept,
+    const ConditionalOptions& opts) {
+  ConditionalResult res;
+  res.objects.reserve(static_cast<size_t>(n));
+  for (int round = 0;
+       round < opts.max_batches && static_cast<int>(res.objects.size()) < n;
+       ++round) {
+    data::Dataset batch = generate(cfg_.batch);
+    res.candidates += static_cast<long long>(batch.size());
+    ++res.batches_used;
+    for (auto& o : batch) {
+      if (static_cast<int>(res.objects.size()) >= n) break;
+      if (accept(o)) res.objects.push_back(std::move(o));
+    }
+  }
+  res.complete = static_cast<int>(res.objects.size()) >= n;
+  return res;
+}
+
 data::Dataset DoppelGanger::generate_conditional(
     int n, const std::function<bool(const data::Object&)>& accept,
     int max_batches) {
-  data::Dataset out;
-  out.reserve(static_cast<size_t>(n));
-  for (int round = 0; round < max_batches && static_cast<int>(out.size()) < n;
-       ++round) {
-    data::Dataset batch = generate(cfg_.batch);
-    for (auto& o : batch) {
-      if (static_cast<int>(out.size()) >= n) break;
-      if (accept(o)) out.push_back(std::move(o));
-    }
-  }
-  if (static_cast<int>(out.size()) < n) {
-    throw std::runtime_error(
+  ConditionalResult res =
+      generate_conditional_partial(n, accept, {.max_batches = max_batches});
+  if (!res.complete) {
+    const std::string msg =
         "generate_conditional: target attributes too rare under the current "
-        "attribute generator; consider retrain_attributes()");
+        "attribute generator (matched " +
+        std::to_string(res.objects.size()) + "/" + std::to_string(n) +
+        " in " + std::to_string(res.candidates) +
+        " candidates); consider retrain_attributes() or the partial API";
+    throw ConditionalError(msg, std::move(res));
   }
-  return out;
+  return std::move(res.objects);
 }
 
 void DoppelGanger::critic_step(nn::Mlp& critic, nn::Adam& opt,

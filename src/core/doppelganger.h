@@ -23,6 +23,9 @@
 #include <functional>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/output_blocks.h"
@@ -88,6 +91,52 @@ struct TrainStats {
   std::vector<float> g_loss;
 };
 
+/// Per-series conditioning sampled once up front: the activated attribute
+/// and min/max generator outputs (the LSTM sees them at every step). Rows
+/// are independent lanes — the batched stepper below never mixes rows, so a
+/// lane's output depends only on its own context and noise stream.
+struct GenContext {
+  nn::Matrix attributes;  // [n, attr_dim]
+  nn::Matrix minmax;      // [n, minmax_dim] (0-wide when disabled)
+  nn::Matrix cond;        // [n, attr_dim + minmax_dim] (precomputed concat)
+};
+
+/// Recurrent state of a batch of lanes advanced one LSTM step at a time.
+struct GenState {
+  nn::Matrix h;     // [n, lstm_units]
+  nn::Matrix c;     // [n, lstm_units]
+  nn::Matrix mask;  // [n, 1] continuation mask (product of continue flags)
+  int step = 0;     // LSTM steps taken so far
+};
+
+/// Options for rejection-sampled conditional generation.
+struct ConditionalOptions {
+  /// Generation rounds (of `cfg.batch` candidates each) before giving up.
+  int max_batches = 200;
+};
+
+/// Outcome of conditional generation; `objects` holds whatever matched even
+/// when the target count was not reached.
+struct ConditionalResult {
+  data::Dataset objects;
+  bool complete = false;   // objects.size() == requested
+  int batches_used = 0;    // generation rounds consumed
+  long long candidates = 0;  // total candidates drawn
+};
+
+/// Thrown by the strict generate_conditional API when the accept predicate
+/// is too rare; carries the partial results instead of discarding them.
+class ConditionalError : public std::runtime_error {
+ public:
+  ConditionalError(const std::string& msg, ConditionalResult partial)
+      : std::runtime_error(msg), partial_(std::move(partial)) {}
+  /// Everything that *was* matched before the attempt budget ran out.
+  const ConditionalResult& partial() const { return partial_; }
+
+ private:
+  ConditionalResult partial_;
+};
+
 class DoppelGanger {
  public:
   DoppelGanger(data::Schema schema, DoppelGangerConfig cfg);
@@ -97,16 +146,68 @@ class DoppelGanger {
   TrainStats fit(const data::Dataset& train);
   TrainStats fit_more(const data::Dataset& train, int iterations);
 
-  /// Draws n synthetic objects from the trained model.
+  /// Draws n synthetic objects from the trained model. Built on the
+  /// stepwise API below (sample_context / generation_step) with the model's
+  /// own RNG, so it stays bit-identical to the historical monolithic path.
   data::Dataset generate(int n);
 
   /// Rejection-samples n objects whose attributes satisfy `accept` — the
   /// consumer-side "desired attribute distribution" input of Fig 2 when
-  /// retraining the attribute generator is not warranted. Throws if fewer
-  /// than n matches are found within `max_batches` generation rounds.
+  /// retraining the attribute generator is not warranted. Throws a
+  /// ConditionalError (carrying the partial results) if fewer than n
+  /// matches are found within `max_batches` generation rounds.
   data::Dataset generate_conditional(
       int n, const std::function<bool(const data::Object&)>& accept,
       int max_batches = 200);
+
+  /// Non-throwing conditional generation: returns whatever matched within
+  /// the round budget, flagged complete/incomplete (the serving path uses
+  /// this so rare predicates degrade to partial responses, not errors).
+  ConditionalResult generate_conditional_partial(
+      int n, const std::function<bool(const data::Object&)>& accept,
+      const ConditionalOptions& opts = {});
+
+  // ---- stepwise generation (inference; the serving runtime's substrate) --
+  //
+  // A series is produced as: ctx = sample_context(...), st = initial state,
+  // then steps_per_series() calls to generation_step(), each emitting
+  // sample_len() records per lane. All methods are const and draw solely
+  // from the caller-supplied RNG / noise, so independent callers can share
+  // one loaded model. Row r of every matrix is an independent lane: the
+  // kernels underneath are row-partitioned, so a lane's records are
+  // bit-identical regardless of what the other lanes in the batch carry —
+  // the determinism contract src/serve's slot recycling is built on.
+
+  /// Samples n series' conditioning (attribute + min/max rows) from `rng`.
+  GenContext sample_context(int n, nn::Rng& rng) const;
+
+  /// As sample_context, but clamps the listed attribute fields to fixed raw
+  /// values after sampling (categorical: category index; continuous: raw
+  /// value), re-encoding the row before the min/max generator sees it. An
+  /// empty index list means "fix nothing" and is identical to
+  /// sample_context. Field indices are schema attribute positions.
+  GenContext sample_context_fixed(
+      int n, const std::vector<std::pair<int, float>>& fixed,
+      nn::Rng& rng) const;
+
+  /// Zeroed LSTM state + all-ones continuation masks for n lanes.
+  GenState initial_gen_state(int n) const;
+
+  /// Advances every lane one LSTM step: consumes noise [n, feat_noise_dim]
+  /// (one row per lane, drawn by the caller), updates `state` in place and
+  /// returns the sample_len() new records [n, sample_len * record_width()],
+  /// already continuation-masked exactly like the training-time unroll.
+  nn::Matrix generation_step(const GenContext& ctx, const nn::Matrix& noise,
+                             GenState& state) const;
+
+  int steps_per_series() const { return steps_per_series_; }
+  int sample_len() const { return cfg_.sample_len; }
+  int record_width() const { return record_width_; }
+  int feat_noise_dim() const { return cfg_.feat_noise_dim; }
+
+  /// Re-seeds the model's own generation RNG (used by `dgcli generate
+  /// --seed` and the package round-trip tests to pin regeneration).
+  void reseed(uint64_t seed) { rng_ = nn::Rng(seed); }
 
   /// Flexibility / business-secret masking (§5.2, §5.3.2): adversarially
   /// retrains ONLY the attribute generator against raw attribute rows drawn

@@ -1,6 +1,7 @@
 #include "data/io.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -205,6 +206,86 @@ Dataset load_csv_file(const std::string& path, const Schema& schema) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("io: cannot open " + path);
   return load_csv(is, schema);
+}
+
+namespace {
+constexpr const char* kBinaryMagic = "doppelganger-bin v1";
+
+template <typename T>
+void write_raw(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_raw(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("io: truncated binary dataset");
+  return v;
+}
+}  // namespace
+
+void save_binary(std::ostream& os, const Schema& schema, const Dataset& data) {
+  validate(schema, data);
+  os << kBinaryMagic << '\n';
+  write_raw<uint64_t>(os, data.size());
+  const size_t k = schema.features.size();
+  for (const Object& o : data) {
+    os.write(reinterpret_cast<const char*>(o.attributes.data()),
+             static_cast<std::streamsize>(o.attributes.size() * sizeof(float)));
+    write_raw<uint32_t>(os, static_cast<uint32_t>(o.features.size()));
+    for (const auto& rec : o.features) {
+      os.write(reinterpret_cast<const char*>(rec.data()),
+               static_cast<std::streamsize>(k * sizeof(float)));
+    }
+  }
+  if (!os) throw std::runtime_error("io: binary write failed");
+}
+
+Dataset load_binary(std::istream& is, const Schema& schema) {
+  std::string magic;
+  if (!std::getline(is, magic) || magic != kBinaryMagic) {
+    throw std::runtime_error("io: not a doppelganger binary dataset");
+  }
+  const uint64_t n = read_raw<uint64_t>(is);
+  const size_t m = schema.attributes.size();
+  const size_t k = schema.features.size();
+  Dataset out;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Object o;
+    o.attributes.resize(m);
+    is.read(reinterpret_cast<char*>(o.attributes.data()),
+            static_cast<std::streamsize>(m * sizeof(float)));
+    if (!is) throw std::runtime_error("io: truncated binary dataset");
+    const uint32_t t = read_raw<uint32_t>(is);
+    if (static_cast<int>(t) > schema.max_timesteps) {
+      throw std::runtime_error("io: binary dataset series exceeds schema max");
+    }
+    o.features.resize(t);
+    for (auto& rec : o.features) {
+      rec.resize(k);
+      is.read(reinterpret_cast<char*>(rec.data()),
+              static_cast<std::streamsize>(k * sizeof(float)));
+      if (!is) throw std::runtime_error("io: truncated binary dataset");
+    }
+    out.push_back(std::move(o));
+  }
+  validate(schema, out);
+  return out;
+}
+
+void save_binary_file(const std::string& path, const Schema& schema,
+                      const Dataset& data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("io: cannot open " + path);
+  save_binary(os, schema, data);
+}
+
+Dataset load_binary_file(const std::string& path, const Schema& schema) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("io: cannot open " + path);
+  return load_binary(is, schema);
 }
 
 }  // namespace dg::data

@@ -1,0 +1,78 @@
+// Minimal JSON value + parser/writer for the serve wire protocol. The repo
+// deliberately has no third-party deps, so this implements just the JSON
+// subset the protocol needs: objects, arrays, strings (with \uXXXX parsed
+// to UTF-8), doubles, bools, null. Parse errors throw std::runtime_error
+// with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dg::serve::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;  // insertion order
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}                // NOLINT
+  Value(double n) : type_(Type::Number), num_(n) {}             // NOLINT
+  Value(std::int64_t n)                                         // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Value(std::uint64_t n)                                        // NOLINT
+      : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Value(int n) : type_(Type::Number), num_(n) {}                // NOLINT
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::String), str_(s) {}        // NOLINT
+  Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}    // NOLINT
+  Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field lookup; null pointer when absent (or not an object).
+  const Value* find(std::string_view key) const;
+  /// Convenience typed getters with defaults for optional fields.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  /// Builder helper: appends/overwrites a field (object values only).
+  void set(std::string key, Value v);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed).
+Value parse(std::string_view text);
+
+/// Serializes compactly (no whitespace); numbers use shortest round-trip
+/// formatting so a parse(dump(v)) round trip is value-exact.
+std::string dump(const Value& v);
+
+}  // namespace dg::serve::json

@@ -1,0 +1,220 @@
+#include "serve/protocol.h"
+
+#include <stdexcept>
+
+namespace dg::serve {
+
+namespace {
+
+AttrPredicate::Op op_from_string(const std::string& s) {
+  if (s == "eq") return AttrPredicate::Op::Eq;
+  if (s == "ne") return AttrPredicate::Op::Ne;
+  if (s == "le") return AttrPredicate::Op::Le;
+  if (s == "ge") return AttrPredicate::Op::Ge;
+  throw std::runtime_error("protocol: unknown predicate op '" + s + "'");
+}
+
+const char* op_to_string(AttrPredicate::Op op) {
+  switch (op) {
+    case AttrPredicate::Op::Eq: return "eq";
+    case AttrPredicate::Op::Ne: return "ne";
+    case AttrPredicate::Op::Le: return "le";
+    case AttrPredicate::Op::Ge: return "ge";
+  }
+  return "eq";
+}
+
+const data::FieldSpec& attr_spec(const data::Schema& schema,
+                                 const std::string& name) {
+  for (const data::FieldSpec& a : schema.attributes) {
+    if (a.name == name) return a;
+  }
+  throw std::runtime_error("protocol: unknown attribute '" + name + "'");
+}
+
+}  // namespace
+
+GenRequest request_from_json(const json::Value& v) {
+  if (!v.is_object()) throw std::runtime_error("protocol: request not an object");
+  GenRequest req;
+  req.id = static_cast<std::uint64_t>(v.number_or("id", 0));
+  req.seed = static_cast<std::uint64_t>(v.number_or("seed", 0));
+  req.count = static_cast<int>(v.number_or("n", 1));
+  req.max_len = static_cast<int>(v.number_or("max_len", 0));
+  req.max_attempts = static_cast<int>(v.number_or("attempts", 16));
+  if (const json::Value* fixed = v.find("fixed")) {
+    for (const auto& [name, val] : fixed->as_object()) {
+      FixedAttr f;
+      f.attr = name;
+      if (val.is_string()) {
+        f.label = val.as_string();
+      } else {
+        f.value = static_cast<float>(val.as_number());
+      }
+      req.fixed.push_back(std::move(f));
+    }
+  }
+  if (const json::Value* where = v.find("where")) {
+    for (const json::Value& e : where->as_array()) {
+      AttrPredicate p;
+      p.attr = e.string_or("attr", "");
+      if (p.attr.empty()) throw std::runtime_error("protocol: predicate without attr");
+      p.op = op_from_string(e.string_or("op", "eq"));
+      const json::Value* val = e.find("value");
+      if (!val) throw std::runtime_error("protocol: predicate without value");
+      if (val->is_string()) {
+        p.label = val->as_string();
+      } else {
+        p.value = static_cast<float>(val->as_number());
+      }
+      req.where.push_back(std::move(p));
+    }
+  }
+  return req;
+}
+
+json::Value request_to_json(const GenRequest& req) {
+  json::Value v{json::Object{}};
+  v.set("op", "generate");
+  v.set("id", req.id);
+  v.set("seed", req.seed);
+  v.set("n", req.count);
+  if (req.max_len > 0) v.set("max_len", req.max_len);
+  v.set("attempts", req.max_attempts);
+  if (!req.fixed.empty()) {
+    json::Value fixed{json::Object{}};
+    for (const FixedAttr& f : req.fixed) {
+      fixed.set(f.attr, f.label.empty() ? json::Value(static_cast<double>(f.value))
+                                        : json::Value(f.label));
+    }
+    v.set("fixed", std::move(fixed));
+  }
+  if (!req.where.empty()) {
+    json::Array where;
+    for (const AttrPredicate& p : req.where) {
+      json::Value e{json::Object{}};
+      e.set("attr", p.attr);
+      e.set("op", op_to_string(p.op));
+      e.set("value", p.label.empty() ? json::Value(static_cast<double>(p.value))
+                                     : json::Value(p.label));
+      where.push_back(std::move(e));
+    }
+    v.set("where", std::move(where));
+  }
+  return v;
+}
+
+json::Value object_to_json(const data::Object& o, const data::Schema& schema) {
+  json::Value attrs{json::Object{}};
+  for (size_t j = 0; j < schema.attributes.size(); ++j) {
+    const data::FieldSpec& a = schema.attributes[j];
+    const float raw = o.attributes[j];
+    if (a.type == data::FieldType::Categorical) {
+      const int c = static_cast<int>(raw);
+      if (c >= 0 && c < static_cast<int>(a.labels.size())) {
+        attrs.set(a.name, a.labels[static_cast<size_t>(c)]);
+      } else {
+        attrs.set(a.name, static_cast<double>(c));
+      }
+    } else {
+      attrs.set(a.name, static_cast<double>(raw));
+    }
+  }
+  json::Array features;
+  features.reserve(o.features.size());
+  for (const auto& rec : o.features) {
+    json::Array row;
+    row.reserve(rec.size());
+    for (const float x : rec) row.push_back(static_cast<double>(x));
+    features.push_back(std::move(row));
+  }
+  json::Value v{json::Object{}};
+  v.set("attributes", std::move(attrs));
+  v.set("features", std::move(features));
+  return v;
+}
+
+data::Object object_from_json(const json::Value& v, const data::Schema& schema) {
+  data::Object o;
+  const json::Value* attrs = v.find("attributes");
+  if (!attrs) throw std::runtime_error("protocol: object without attributes");
+  o.attributes.reserve(schema.attributes.size());
+  for (const data::FieldSpec& a : schema.attributes) {
+    const json::Value* val = attrs->find(a.name);
+    if (!val) throw std::runtime_error("protocol: object missing '" + a.name + "'");
+    if (val->is_string()) {
+      const data::FieldSpec& spec = attr_spec(schema, a.name);
+      float idx = -1.0f;
+      for (size_t c = 0; c < spec.labels.size(); ++c) {
+        if (spec.labels[c] == val->as_string()) idx = static_cast<float>(c);
+      }
+      if (idx < 0) throw std::runtime_error("protocol: unknown label for '" + a.name + "'");
+      o.attributes.push_back(idx);
+    } else {
+      o.attributes.push_back(static_cast<float>(val->as_number()));
+    }
+  }
+  const json::Value* features = v.find("features");
+  if (!features) throw std::runtime_error("protocol: object without features");
+  for (const json::Value& row : features->as_array()) {
+    std::vector<float> rec;
+    rec.reserve(row.as_array().size());
+    for (const json::Value& x : row.as_array()) {
+      rec.push_back(static_cast<float>(x.as_number()));
+    }
+    o.features.push_back(std::move(rec));
+  }
+  return o;
+}
+
+json::Value response_to_json(const GenResponse& resp, const data::Schema& schema) {
+  json::Value v{json::Object{}};
+  v.set("id", resp.id);
+  v.set("ok", resp.ok);
+  v.set("complete", resp.complete);
+  if (!resp.error.empty()) v.set("error", resp.error);
+  v.set("rejected", static_cast<double>(resp.series_rejected));
+  v.set("latency_ms", resp.latency_ms);
+  json::Array objects;
+  objects.reserve(resp.objects.size());
+  for (const data::Object& o : resp.objects) {
+    objects.push_back(object_to_json(o, schema));
+  }
+  v.set("objects", std::move(objects));
+  return v;
+}
+
+GenResponse response_from_json(const json::Value& v, const data::Schema& schema) {
+  GenResponse resp;
+  resp.id = static_cast<std::uint64_t>(v.number_or("id", 0));
+  resp.ok = v.bool_or("ok", false);
+  resp.complete = v.bool_or("complete", false);
+  resp.error = v.string_or("error", "");
+  resp.series_rejected = static_cast<long long>(v.number_or("rejected", 0));
+  resp.latency_ms = v.number_or("latency_ms", 0.0);
+  if (const json::Value* objects = v.find("objects")) {
+    for (const json::Value& o : objects->as_array()) {
+      resp.objects.push_back(object_from_json(o, schema));
+    }
+  }
+  return resp;
+}
+
+json::Value stats_to_json(const StatsSnapshot& s) {
+  json::Value v{json::Object{}};
+  v.set("requests", s.requests);
+  v.set("responses", s.responses);
+  v.set("series_completed", s.series_completed);
+  v.set("series_rejected", s.series_rejected);
+  v.set("rnn_steps", s.rnn_steps);
+  v.set("slot_steps_active", s.slot_steps_active);
+  v.set("slot_steps_total", s.slot_steps_total);
+  v.set("queue_depth", s.queue_depth);
+  v.set("package_reloads", s.package_reloads);
+  v.set("occupancy", s.occupancy);
+  v.set("p50_latency_ms", s.p50_latency_ms);
+  v.set("p99_latency_ms", s.p99_latency_ms);
+  return v;
+}
+
+}  // namespace dg::serve

@@ -1,0 +1,37 @@
+// Wire protocol: newline-delimited JSON over TCP. One request object per
+// line, one response object per line, in order. Ops:
+//
+//   {"op":"generate","id":1,"seed":7,"n":4,"max_len":40,"attempts":16,
+//    "fixed":{"code":"FAIL"},
+//    "where":[{"attr":"dc","op":"eq","value":"s1"}]}
+//   {"op":"stats"}
+//   {"op":"schema"}
+//
+// `fixed` maps attribute name -> raw value (number) or categorical label
+// (string). `where` entries compare a decoded attribute with op one of
+// eq|ne|le|ge; `value` is a number or a categorical label string. Objects
+// travel as {"attributes":{name:value-or-label}, "features":[[rec]...]}.
+#pragma once
+
+#include <string>
+
+#include "data/types.h"
+#include "serve/json.h"
+#include "serve/types.h"
+
+namespace dg::serve {
+
+/// Parses a generate-op request line (schema resolution of labels happens
+/// later, in resolve_request). Throws std::runtime_error on malformed input.
+GenRequest request_from_json(const json::Value& v);
+json::Value request_to_json(const GenRequest& req);
+
+json::Value response_to_json(const GenResponse& resp, const data::Schema& schema);
+GenResponse response_from_json(const json::Value& v, const data::Schema& schema);
+
+json::Value object_to_json(const data::Object& o, const data::Schema& schema);
+data::Object object_from_json(const json::Value& v, const data::Schema& schema);
+
+json::Value stats_to_json(const StatsSnapshot& s);
+
+}  // namespace dg::serve

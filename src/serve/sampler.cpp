@@ -1,0 +1,186 @@
+#include "serve/sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dg::serve {
+
+namespace {
+
+/// Copies the n-column row `src_row` of `src` into row `dst_row` of `dst`.
+void copy_row(const nn::Matrix& src, int src_row, nn::Matrix& dst,
+              int dst_row) {
+  for (int j = 0; j < src.cols(); ++j) {
+    dst.at(dst_row, j) = src.at(src_row, j);
+  }
+}
+
+void zero_row(nn::Matrix& m, int row) {
+  for (int j = 0; j < m.cols(); ++j) m.at(row, j) = 0.0f;
+}
+
+}  // namespace
+
+SlotSampler::SlotSampler(std::shared_ptr<const core::DoppelGanger> model,
+                         int width)
+    : model_(std::move(model)), width_(width) {
+  if (!model_) throw std::invalid_argument("SlotSampler: null model");
+  if (width_ < 1) throw std::invalid_argument("SlotSampler: width must be >= 1");
+  const data::GanCodec& codec = model_->codec();
+  record_width_ = model_->record_width();
+  feature_row_dim_ = codec.feature_row_dim();
+
+  ctx_.attributes = nn::Matrix(width_, codec.attribute_dim());
+  ctx_.minmax = nn::Matrix(width_, codec.minmax_dim());
+  ctx_.cond = nn::Matrix(width_, codec.attribute_dim() + codec.minmax_dim());
+  state_ = model_->initial_gen_state(width_);
+  lanes_.resize(static_cast<size_t>(width_));
+  for (Lane& lane : lanes_) {
+    lane.features.assign(static_cast<size_t>(feature_row_dim_), 0.0f);
+  }
+}
+
+void SlotSampler::submit(SeriesJob job) {
+  const int tmax = model_->codec().tmax();
+  if (job.max_len <= 0 || job.max_len > tmax) job.max_len = tmax;
+  if (job.attempts_left < 1) job.attempts_left = 1;
+  pending_.push_back(std::move(job));
+}
+
+void SlotSampler::admit() {
+  if (pending_.empty()) return;
+  for (int r = 0; r < width_ && !pending_.empty(); ++r) {
+    Lane& lane = lanes_[static_cast<size_t>(r)];
+    if (lane.busy) continue;
+    lane.job = std::move(pending_.front());
+    pending_.pop_front();
+    lane.attempts_used = 0;
+    begin_series(lane, r);
+    ++occupied_;
+  }
+}
+
+void SlotSampler::begin_series(Lane& lane, int row) {
+  // All of the series' randomness comes from its own stream: context noise
+  // here, one feature-noise row per step in pump(). Slot position `row` and
+  // the other lanes' contents contribute nothing.
+  static const std::vector<std::pair<int, float>> kNoFixed;
+  const auto& fixed = lane.job.spec ? lane.job.spec->fixed : kNoFixed;
+  const core::GenContext one = model_->sample_context_fixed(1, fixed, lane.job.rng);
+  copy_row(one.attributes, 0, ctx_.attributes, row);
+  copy_row(one.minmax, 0, ctx_.minmax, row);
+  copy_row(one.cond, 0, ctx_.cond, row);
+  zero_row(state_.h, row);
+  zero_row(state_.c, row);
+  state_.mask.at(row, 0) = 1.0f;
+  lane.emitted = 0;
+  lane.cap_records = lane.job.max_len;
+  std::fill(lane.features.begin(), lane.features.end(), 0.0f);
+  ++lane.attempts_used;
+  lane.busy = true;
+}
+
+int SlotSampler::pump() {
+  admit();
+  if (occupied_ == 0) return 0;
+  const int active = occupied_;
+
+  // Per-lane noise rows, drawn lane-by-lane from each series' own stream in
+  // the same shape (1 x feat_noise_dim) the reference single-series path
+  // draws, so the consumption order per stream is identical.
+  const int noise_dim = model_->feat_noise_dim();
+  nn::Matrix noise(width_, noise_dim);
+  for (int r = 0; r < width_; ++r) {
+    Lane& lane = lanes_[static_cast<size_t>(r)];
+    if (!lane.busy) continue;
+    const nn::Matrix row = lane.job.rng.normal_matrix(1, noise_dim);
+    copy_row(row, 0, noise, r);
+  }
+
+  const nn::Matrix records = model_->generation_step(ctx_, noise, state_);
+  stats_.rnn_steps += 1;
+  stats_.slot_steps_active += static_cast<std::uint64_t>(active);
+  stats_.slot_steps_total += static_cast<std::uint64_t>(width_);
+
+  const int sample_len = model_->sample_len();
+  for (int r = 0; r < width_; ++r) {
+    Lane& lane = lanes_[static_cast<size_t>(r)];
+    if (!lane.busy) continue;
+    const int take = std::min(sample_len, lane.cap_records - lane.emitted);
+    bool ended = false;
+    for (int s = 0; s < take; ++s) {
+      const int dst = (lane.emitted + s) * record_width_;
+      for (int j = 0; j < record_width_; ++j) {
+        lane.features[static_cast<size_t>(dst + j)] =
+            records.at(r, s * record_width_ + j);
+      }
+      // Generation-flag termination, same comparison decode() applies: the
+      // series ends at the first record whose end flag dominates.
+      const float cont = records.at(r, s * record_width_ + record_width_ - 2);
+      const float end = records.at(r, s * record_width_ + record_width_ - 1);
+      if (end > cont) {
+        lane.emitted += s + 1;
+        ended = true;
+        break;
+      }
+    }
+    if (!ended) lane.emitted += take;
+    if (ended || lane.emitted >= lane.cap_records) {
+      finish_lane(lane, r);
+    }
+  }
+  return active;
+}
+
+void SlotSampler::finish_lane(Lane& lane, int row) {
+  // Decode through the same codec path as DoppelGanger::generate: the
+  // accumulated (zero-padded) feature row plus the lane's conditioning.
+  const data::GanCodec& codec = model_->codec();
+  nn::Matrix attr(1, ctx_.attributes.cols());
+  nn::Matrix minmax(1, ctx_.minmax.cols());
+  copy_row(ctx_.attributes, row, attr, 0);
+  copy_row(ctx_.minmax, row, minmax, 0);
+  nn::Matrix feats(1, feature_row_dim_);
+  for (int j = 0; j < feature_row_dim_; ++j) {
+    feats.at(0, j) = lane.features[static_cast<size_t>(j)];
+  }
+  data::Dataset decoded = codec.decode(attr, minmax, feats);
+  data::Object obj = std::move(decoded.front());
+  // A cap-terminated series never fired its end flag, so decode() saw only
+  // zero padding past the cap and kept the full horizon — trim to the cap.
+  if (obj.length() > lane.cap_records) {
+    obj.features.resize(static_cast<size_t>(lane.cap_records));
+  }
+
+  const bool accepted =
+      !lane.job.spec || lane.job.spec->where.empty() ||
+      matches(obj, codec.schema(), lane.job.spec->where);
+  if (!accepted) {
+    ++stats_.series_rejected;
+    if (lane.attempts_used < lane.job.attempts_left) {
+      // Retry in place: the SAME stream keeps drawing, so the accept/reject
+      // trajectory of this series is deterministic too.
+      begin_series(lane, row);
+      return;
+    }
+  } else {
+    ++stats_.series_completed;
+  }
+  SeriesResult res;
+  res.request_id = lane.job.request_id;
+  res.index = lane.job.index;
+  res.accepted = accepted;
+  res.attempts_used = lane.attempts_used;
+  res.object = std::move(obj);
+  results_.push_back(std::move(res));
+  lane.busy = false;
+  --occupied_;
+}
+
+std::vector<SeriesResult> SlotSampler::drain() {
+  std::vector<SeriesResult> out;
+  out.swap(results_);
+  return out;
+}
+
+}  // namespace dg::serve

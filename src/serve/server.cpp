@@ -1,0 +1,226 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "data/io.h"
+#include "serve/protocol.h"
+
+namespace dg::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+// Full-line reader over a raw fd. `should_continue` is polled on receive
+// timeouts (SO_RCVTIMEO) so a blocked connection notices server shutdown.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  template <typename KeepGoing>
+  bool next(std::string& line, KeepGoing should_continue) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        if (!should_continue()) return false;
+        continue;
+      }
+      if (n <= 0) {
+        if (buf_.empty()) return false;
+        line = std::exchange(buf_, {});
+        return true;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool next(std::string& line) {
+    return next(line, [] { return true; });
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+void set_recv_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+json::Value error_value(const std::string& what) {
+  json::Value v{json::Object{}};
+  v.set("ok", false);
+  v.set("error", what);
+  return v;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(GenerationService& service, int port) : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    sys_fail("bind");
+  }
+  if (::listen(listen_fd_, 16) < 0) sys_fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    sys_fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+TcpServer::~TcpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpServer::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept() by shutting the listening socket down; keep the fd so
+  // the bound port stays reserved until destruction.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;  // EINTR / transient accept failure
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void TcpServer::connection_loop(int fd) {
+  set_recv_timeout(fd, 200);
+  LineReader reader(fd);
+  const auto alive = [this] {
+    return running_.load(std::memory_order_acquire);
+  };
+  std::string line;
+  while (alive() && reader.next(line, alive)) {
+    if (line.empty()) continue;
+    const std::string reply = handle_line(line);
+    if (!send_all(fd, reply + "\n")) break;
+  }
+  ::close(fd);
+}
+
+std::string TcpServer::handle_line(const std::string& line) {
+  try {
+    const json::Value req = json::parse(line);
+    const std::string op = req.string_or("op", "generate");
+    if (op == "stats") {
+      return json::dump(stats_to_json(service_.stats()));
+    }
+    if (op == "schema") {
+      std::ostringstream os;
+      data::save_schema(os, service_.schema());
+      json::Value v{json::Object{}};
+      v.set("ok", true);
+      v.set("schema", os.str());
+      return json::dump(v);
+    }
+    if (op == "generate") {
+      GenResponse resp = service_.submit(request_from_json(req)).get();
+      return json::dump(response_to_json(resp, service_.schema()));
+    }
+    return json::dump(error_value("unknown op '" + op + "'"));
+  } catch (const std::exception& e) {
+    return json::dump(error_value(e.what()));
+  }
+}
+
+std::string send_line(const std::string& host, int port,
+                      const std::string& line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("serve: bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("serve: connect: ") +
+                             std::strerror(err));
+  }
+  if (!send_all(fd, line + "\n")) {
+    ::close(fd);
+    throw std::runtime_error("serve: send failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  LineReader reader(fd);
+  std::string reply;
+  const bool got = reader.next(reply);
+  ::close(fd);
+  if (!got) throw std::runtime_error("serve: connection closed without reply");
+  return reply;
+}
+
+}  // namespace dg::serve

@@ -1,0 +1,52 @@
+// Newline-delimited-JSON TCP front end for GenerationService. One JSON
+// object per line in, one per line out, in request order per connection.
+// Deliberately small: a listener thread accepts connections and hands each
+// to a detached-on-join connection thread; the serve-smoke test and dgcli
+// are the only intended clients, not the open internet.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace dg::serve {
+
+class TcpServer {
+ public:
+  /// Binds + listens on 127.0.0.1:port immediately (throws on failure);
+  /// port 0 picks an ephemeral port, readable via port(). Call start() to
+  /// begin accepting.
+  TcpServer(GenerationService& service, int port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  void start();
+  void stop();
+  int port() const { return port_; }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  std::string handle_line(const std::string& line);
+
+  GenerationService& service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+};
+
+/// Client helper: connects, sends `line` (newline appended), returns the
+/// single response line (without the newline). Throws on connect/IO errors.
+std::string send_line(const std::string& host, int port,
+                      const std::string& line);
+
+}  // namespace dg::serve

@@ -1,0 +1,373 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <unordered_map>
+#include <utility>
+
+namespace dg::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Package mtime as an opaque tick count; 0 when the file is unreadable.
+std::int64_t file_mtime(const std::string& path) {
+  std::error_code ec;
+  const fs::file_time_type t = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  return static_cast<std::int64_t>(t.time_since_epoch().count());
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+GenerationService::GenerationService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
+  if (cfg_.package_path.empty()) {
+    throw std::invalid_argument("serve: ServiceConfig.package_path is empty");
+  }
+  model_ = core::load_package_file(cfg_.package_path);
+  package_mtime_ = file_mtime(cfg_.package_path);
+  if (cfg_.slots < 1) throw std::invalid_argument("serve: slots must be >= 1");
+  if (cfg_.engines < 1) throw std::invalid_argument("serve: engines must be >= 1");
+}
+
+GenerationService::GenerationService(
+    std::shared_ptr<const core::DoppelGanger> model, ServiceConfig cfg)
+    : cfg_(std::move(cfg)), model_(std::move(model)),
+      queue_(cfg_.queue_capacity) {
+  if (!model_) throw std::invalid_argument("serve: null model");
+  if (cfg_.slots < 1) throw std::invalid_argument("serve: slots must be >= 1");
+  if (cfg_.engines < 1) throw std::invalid_argument("serve: engines must be >= 1");
+  if (!cfg_.package_path.empty()) {
+    package_mtime_ = file_mtime(cfg_.package_path);
+  }
+}
+
+GenerationService::~GenerationService() { stop(); }
+
+void GenerationService::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  last_poll_ = std::chrono::steady_clock::now();
+  engines_.reserve(static_cast<std::size_t>(cfg_.engines));
+  for (int i = 0; i < cfg_.engines; ++i) {
+    engines_.emplace_back([this] { engine_loop(); });
+  }
+}
+
+void GenerationService::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  queue_.close();
+  for (std::thread& t : engines_) {
+    if (t.joinable()) t.join();
+  }
+  engines_.clear();
+  // Fail anything still queued (engines drain the queue on exit, but a
+  // submit may have raced the close).
+  while (auto pr = queue_.try_pop()) {
+    GenResponse resp;
+    resp.id = (*pr)->req.id;
+    resp.error = "service stopped";
+    (*pr)->promise.set_value(std::move(resp));
+  }
+}
+
+std::shared_ptr<const core::DoppelGanger> GenerationService::current_model()
+    const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+data::Schema GenerationService::schema() const {
+  return current_model()->schema();
+}
+
+std::future<GenResponse> GenerationService::submit(GenRequest req) {
+  auto pr = std::make_shared<PendingRequest>();
+  pr->t_submit = std::chrono::steady_clock::now();
+  std::future<GenResponse> fut = pr->promise.get_future();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  auto reject = [&](const std::string& why) {
+    GenResponse resp;
+    resp.id = req.id;
+    resp.error = why;
+    resp.latency_ms = ms_since(pr->t_submit);
+    pr->promise.set_value(std::move(resp));
+  };
+
+  if (!running_.load(std::memory_order_acquire)) {
+    reject("service not running");
+    return fut;
+  }
+  try {
+    resolve_request(req, current_model()->schema());
+  } catch (const std::exception& e) {
+    reject(e.what());
+    return fut;
+  }
+  pr->req = std::move(req);
+  pr->ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.push(pr)) {  // pr stays valid: the queue holds a copy at most
+    GenResponse resp;
+    resp.id = pr->req.id;
+    resp.error = "service stopped";
+    resp.latency_ms = ms_since(pr->t_submit);
+    pr->promise.set_value(std::move(resp));
+  }
+  return fut;
+}
+
+void GenerationService::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(ms);
+  } else {
+    latencies_[latency_pos_] = ms;
+    latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
+  }
+}
+
+void GenerationService::add_sampler_delta(const SamplerStats& now,
+                                          SamplerStats& last) {
+  rnn_steps_.fetch_add(now.rnn_steps - last.rnn_steps,
+                       std::memory_order_relaxed);
+  slot_steps_active_.fetch_add(now.slot_steps_active - last.slot_steps_active,
+                               std::memory_order_relaxed);
+  slot_steps_total_.fetch_add(now.slot_steps_total - last.slot_steps_total,
+                              std::memory_order_relaxed);
+  series_completed_.fetch_add(now.series_completed - last.series_completed,
+                              std::memory_order_relaxed);
+  series_rejected_.fetch_add(now.series_rejected - last.series_rejected,
+                             std::memory_order_relaxed);
+  last = now;
+}
+
+void GenerationService::maybe_reload() {
+  if (cfg_.package_path.empty() || cfg_.reload_poll_seconds <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    if (std::chrono::duration<double>(now - last_poll_).count() <
+        cfg_.reload_poll_seconds) {
+      return;
+    }
+    last_poll_ = now;
+  }
+  const std::int64_t mtime = file_mtime(cfg_.package_path);
+  if (mtime == 0) return;  // transiently unreadable (mid-replace): retry later
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    if (mtime == package_mtime_) return;
+  }
+  std::shared_ptr<const core::DoppelGanger> fresh;
+  try {
+    fresh = core::load_package_file(cfg_.package_path);
+  } catch (const std::exception&) {
+    return;  // half-written package: keep serving the old model, retry later
+  }
+  std::lock_guard<std::mutex> lock(model_mu_);
+  model_ = std::move(fresh);
+  package_mtime_ = mtime;
+  ++model_generation_;
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GenerationService::engine_loop() {
+  // Per-request assembly state, keyed by the service ticket.
+  struct Tracking {
+    PendingPtr pr;
+    std::vector<data::Object> objects;  // indexed by series position
+    std::vector<bool> accepted;
+    int remaining = 0;
+    long long rejected = 0;
+  };
+  std::unordered_map<std::uint64_t, Tracking> inflight;
+
+  std::shared_ptr<const core::DoppelGanger> model = current_model();
+  std::uint64_t my_generation;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    my_generation = model_generation_;
+  }
+  auto sampler = std::make_unique<SlotSampler>(model, cfg_.slots);
+  SamplerStats last_stats;
+
+  auto admit = [&](PendingPtr pr) {
+    Tracking t;
+    t.pr = std::move(pr);
+    const GenRequest& req = t.pr->req;
+    t.objects.resize(static_cast<std::size_t>(req.count));
+    t.accepted.assign(static_cast<std::size_t>(req.count), false);
+    t.remaining = req.count;
+    SeriesSpecPtr spec;
+    if (!req.fixed.empty() || !req.where.empty()) {
+      auto s = std::make_shared<SeriesSpec>();
+      const data::Schema& schema = model->schema();
+      for (const FixedAttr& f : req.fixed) {
+        for (int j = 0; j < schema.num_attributes(); ++j) {
+          if (schema.attributes[static_cast<std::size_t>(j)].name == f.attr) {
+            s->fixed.emplace_back(j, f.value);
+          }
+        }
+      }
+      s->where = req.where;
+      spec = std::move(s);
+    }
+    nn::Rng root(req.seed);
+    const std::uint64_t ticket = t.pr->ticket;
+    for (int i = 0; i < req.count; ++i) {
+      SeriesJob job;
+      job.request_id = ticket;
+      job.index = i;
+      job.rng = root.fork();
+      job.max_len = req.max_len;
+      job.attempts_left = req.where.empty() ? 1 : req.max_attempts;
+      job.spec = spec;
+      sampler->submit(std::move(job));
+    }
+    inflight.emplace(ticket, std::move(t));
+  };
+
+  auto deliver = [&](std::vector<SeriesResult> results) {
+    for (SeriesResult& r : results) {
+      auto it = inflight.find(r.request_id);
+      if (it == inflight.end()) continue;
+      Tracking& t = it->second;
+      t.objects[static_cast<std::size_t>(r.index)] = std::move(r.object);
+      t.accepted[static_cast<std::size_t>(r.index)] = r.accepted;
+      t.rejected += r.attempts_used - (r.accepted ? 1 : 0);
+      if (--t.remaining > 0) continue;
+      GenResponse resp;
+      resp.id = t.pr->req.id;
+      resp.ok = true;
+      resp.series_rejected = t.rejected;
+      resp.objects.reserve(t.objects.size());
+      int kept = 0;
+      for (std::size_t i = 0; i < t.objects.size(); ++i) {
+        if (t.accepted[i]) {
+          resp.objects.push_back(std::move(t.objects[i]));
+          ++kept;
+        }
+      }
+      resp.complete = kept == t.pr->req.count;
+      if (!resp.complete) {
+        resp.error = "matched " + std::to_string(kept) + "/" +
+                     std::to_string(t.pr->req.count) + " series within " +
+                     std::to_string(t.pr->req.max_attempts) +
+                     " attempts each";
+      }
+      resp.latency_ms = ms_since(t.pr->t_submit);
+      record_latency(resp.latency_ms);
+      responses_.fetch_add(1, std::memory_order_relaxed);
+      t.pr->promise.set_value(std::move(resp));
+      inflight.erase(it);
+    }
+  };
+
+  while (true) {
+    maybe_reload();
+
+    // Swap to a freshly-loaded model once the current batch has drained:
+    // never admit onto the old model while a newer one exists, and never
+    // rebuild the slot array while series are in flight on it.
+    bool stale;
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      stale = my_generation != model_generation_;
+    }
+    if (stale && sampler->idle() && inflight.empty()) {
+      model = current_model();
+      {
+        std::lock_guard<std::mutex> lock(model_mu_);
+        my_generation = model_generation_;
+      }
+      add_sampler_delta(sampler->stats(), last_stats);
+      sampler = std::make_unique<SlotSampler>(model, cfg_.slots);
+      last_stats = SamplerStats{};
+      stale = false;
+    }
+
+    // Keep the slot array fed: pull work whenever lanes could go hungry.
+    if (!stale) {
+      while (sampler->pending() <
+             static_cast<std::size_t>(sampler->width())) {
+        auto pr = queue_.try_pop();
+        if (!pr) break;
+        admit(std::move(*pr));
+      }
+    }
+
+    if (sampler->idle()) {
+      if (stale) continue;  // inflight empty next iteration will swap
+      // Nothing in flight: block (briefly) for work so an idle server
+      // doesn't spin, but wake regularly for reload polling.
+      auto pr = queue_.pop_for(std::chrono::milliseconds(50));
+      if (pr) {
+        admit(std::move(*pr));
+      } else if (queue_.closed()) {
+        break;
+      }
+      continue;
+    }
+
+    sampler->pump();
+    add_sampler_delta(sampler->stats(), last_stats);
+    deliver(sampler->drain());
+  }
+
+  // Shutdown: finish what this engine already admitted so no promise is
+  // left dangling (callers may be blocked on futures).
+  while (!sampler->idle()) {
+    sampler->pump();
+    deliver(sampler->drain());
+  }
+  add_sampler_delta(sampler->stats(), last_stats);
+  for (auto& [ticket, t] : inflight) {
+    GenResponse resp;
+    resp.id = t.pr->req.id;
+    resp.error = "service stopped";
+    t.pr->promise.set_value(std::move(resp));
+  }
+}
+
+StatsSnapshot GenerationService::stats() const {
+  StatsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.series_completed = series_completed_.load(std::memory_order_relaxed);
+  s.series_rejected = series_rejected_.load(std::memory_order_relaxed);
+  s.rnn_steps = rnn_steps_.load(std::memory_order_relaxed);
+  s.slot_steps_active = slot_steps_active_.load(std::memory_order_relaxed);
+  s.slot_steps_total = slot_steps_total_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  s.package_reloads = reloads_.load(std::memory_order_relaxed);
+  s.occupancy = s.slot_steps_total == 0
+                    ? 0.0
+                    : static_cast<double>(s.slot_steps_active) /
+                          static_cast<double>(s.slot_steps_total);
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (!latencies_.empty()) {
+    std::vector<double> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(i, sorted.size() - 1)];
+    };
+    s.p50_latency_ms = at(0.50);
+    s.p99_latency_ms = at(0.99);
+  }
+  return s;
+}
+
+}  // namespace dg::serve

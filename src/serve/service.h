@@ -1,0 +1,115 @@
+// GenerationService: the inference runtime around the slot sampler. Owns a
+// released model package (Fig 2's artifact), a bounded MPMC admission queue,
+// and one or more engine threads, each driving its own SlotSampler over a
+// shared read-only model. Requests are split into per-series jobs with
+// request-private RNG streams, interleaved into slots by the continuous
+// batcher, and reassembled into responses delivered through futures.
+//
+// Hot reload: when constructed from a package path, the package file's
+// mtime is polled; on change the new package is loaded and each engine
+// drains its in-flight series on the old weights, then swaps — no request
+// ever mixes weights mid-series, and the old model stays alive (shared_ptr)
+// until its last series finishes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/doppelganger.h"
+#include "core/package.h"
+#include "serve/queue.h"
+#include "serve/sampler.h"
+#include "serve/types.h"
+
+namespace dg::serve {
+
+struct ServiceConfig {
+  std::string package_path;  // "" when a model is injected directly
+  int slots = 32;            // slot-array width per engine
+  int engines = 1;           // sampler threads
+  std::size_t queue_capacity = 256;  // admission queue bound (backpressure)
+  double reload_poll_seconds = 1.0;  // package mtime poll period; 0 = off
+};
+
+class GenerationService {
+ public:
+  /// Loads the package at cfg.package_path (throws if unreadable).
+  explicit GenerationService(ServiceConfig cfg);
+  /// Serves an already-loaded model; hot reload is off unless
+  /// cfg.package_path is also set.
+  GenerationService(std::shared_ptr<const core::DoppelGanger> model,
+                    ServiceConfig cfg);
+  ~GenerationService();
+
+  GenerationService(const GenerationService&) = delete;
+  GenerationService& operator=(const GenerationService&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Validates + enqueues; the future resolves when every series is done.
+  /// Invalid requests resolve immediately with ok=false. Blocks while the
+  /// admission queue is full (bounded backpressure).
+  std::future<GenResponse> submit(GenRequest req);
+
+  StatsSnapshot stats() const;
+  /// Schema snapshot of the currently-served model.
+  data::Schema schema() const;
+  std::uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct PendingRequest {
+    GenRequest req;
+    std::uint64_t ticket = 0;  // service-internal id (client ids may collide)
+    std::promise<GenResponse> promise;
+    std::chrono::steady_clock::time_point t_submit;
+  };
+  using PendingPtr = std::shared_ptr<PendingRequest>;
+
+  void engine_loop();
+  std::shared_ptr<const core::DoppelGanger> current_model() const;
+  void maybe_reload();
+  void record_latency(double ms);
+  void add_sampler_delta(const SamplerStats& now, SamplerStats& last);
+
+  ServiceConfig cfg_;
+
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const core::DoppelGanger> model_;
+  std::uint64_t model_generation_ = 1;
+  std::int64_t package_mtime_ = 0;  // filesystem ticks; 0 = unknown
+  std::chrono::steady_clock::time_point last_poll_{};
+
+  BoundedQueue<PendingPtr> queue_;
+  std::vector<std::thread> engines_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> next_ticket_{1};
+
+  // Aggregated counters (engines add sampler deltas after every pump).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> rnn_steps_{0};
+  std::atomic<std::uint64_t> slot_steps_active_{0};
+  std::atomic<std::uint64_t> slot_steps_total_{0};
+  std::atomic<std::uint64_t> series_completed_{0};
+  std::atomic<std::uint64_t> series_rejected_{0};
+
+  // Latency reservoir: last kLatencyWindow request latencies, for p50/p99.
+  static constexpr std::size_t kLatencyWindow = 2048;
+  mutable std::mutex latency_mu_;
+  std::vector<double> latencies_;
+  std::size_t latency_pos_ = 0;
+};
+
+}  // namespace dg::serve

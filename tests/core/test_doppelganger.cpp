@@ -224,6 +224,49 @@ TEST(DoppelGanger, GenerateConditionalThrowsForImpossiblePredicate) {
                std::runtime_error);
 }
 
+TEST(DoppelGanger, ConditionalErrorCarriesPartialResults) {
+  const auto d = tiny_dataset(8, 12);
+  DoppelGanger model(d.schema, tiny_config());
+  // Accept one category only: some candidates match, but never 500 within
+  // a 2-round budget — the error must still surface what DID match.
+  const auto accept = [](const data::Object& o) {
+    return o.attributes[0] == 1.0f;
+  };
+  try {
+    model.generate_conditional(500, accept, 2);
+    FAIL() << "expected ConditionalError";
+  } catch (const ConditionalError& e) {
+    const ConditionalResult& partial = e.partial();
+    EXPECT_FALSE(partial.complete);
+    EXPECT_EQ(partial.batches_used, 2);
+    EXPECT_GT(partial.candidates, 0);
+    EXPECT_LT(partial.objects.size(), 500u);
+    for (const auto& o : partial.objects) {
+      EXPECT_FLOAT_EQ(o.attributes[0], 1.0f);
+    }
+    EXPECT_NE(std::string(e.what()).find("500"), std::string::npos);
+  }
+}
+
+TEST(DoppelGanger, GenerateConditionalPartialNeverThrows) {
+  const auto d = tiny_dataset(8, 12);
+  DoppelGanger model(d.schema, tiny_config());
+  ConditionalOptions opts;
+  opts.max_batches = 2;
+  const ConditionalResult r = model.generate_conditional_partial(
+      4, [](const data::Object&) { return false; }, opts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_TRUE(r.objects.empty());
+  EXPECT_EQ(r.batches_used, 2);
+  EXPECT_GT(r.candidates, 0);
+
+  const ConditionalResult all = model.generate_conditional_partial(
+      3, [](const data::Object&) { return true; });
+  EXPECT_TRUE(all.complete);
+  EXPECT_EQ(all.objects.size(), 3u);
+  EXPECT_EQ(all.batches_used, 1);
+}
+
 TEST(DoppelGanger, StandardGanLossTrains) {
   const auto d = tiny_dataset(24, 12);
   DoppelGangerConfig cfg = tiny_config();

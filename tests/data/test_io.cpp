@@ -92,6 +92,39 @@ TEST(CsvIo, RejectsUnknownLabel) {
   EXPECT_THROW(load_csv(broken, d.schema), std::runtime_error);
 }
 
+TEST(BinaryIo, RoundTripIsBitExact) {
+  const auto d = synth::make_gcut({.n = 6, .t_max = 14});
+  std::stringstream ss;
+  save_binary(ss, d.schema, d.data);
+  const Dataset back = load_binary(ss, d.schema);
+  ASSERT_EQ(back.size(), d.data.size());
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].attributes, d.data[i].attributes);
+    EXPECT_EQ(back[i].features, d.data[i].features);
+  }
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const auto d = synth::make_wwt({.n = 3, .t = 10});
+  std::stringstream ss;
+  save_binary(ss, d.schema, d.data);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() - 7));
+  EXPECT_THROW(load_binary(cut, d.schema), std::runtime_error);
+  std::stringstream garbage("not a dg binary stream");
+  EXPECT_THROW(load_binary(garbage, d.schema), std::runtime_error);
+}
+
+TEST(BinaryIo, FileHelpersRoundTrip) {
+  const auto d = synth::make_wwt({.n = 4, .t = 12});
+  const std::string path = ::testing::TempDir() + "/d.dgbin";
+  save_binary_file(path, d.schema, d.data);
+  const Dataset back = load_binary_file(path, d.schema);
+  EXPECT_EQ(back.size(), d.data.size());
+  EXPECT_THROW(load_binary_file("/nonexistent/x.dgbin", d.schema),
+               std::runtime_error);
+}
+
 TEST(CsvIo, FileHelpersRoundTrip) {
   const auto d = synth::make_wwt({.n = 4, .t = 12});
   const std::string dir = ::testing::TempDir();

@@ -1,0 +1,185 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/json.h"
+#include "serve/queue.h"
+#include "serve/types.h"
+#include "synth/synth.h"
+
+namespace dg::serve {
+namespace {
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const json::Value v = json::parse(
+      R"({"a":1,"b":-2.5,"c":"hi","d":true,"e":null,"f":[1,2,3],"g":{"x":7}})");
+  EXPECT_EQ(v.number_or("a", 0), 1.0);
+  EXPECT_EQ(v.number_or("b", 0), -2.5);
+  EXPECT_EQ(v.string_or("c", ""), "hi");
+  EXPECT_TRUE(v.bool_or("d", false));
+  EXPECT_TRUE(v.find("e")->is_null());
+  EXPECT_EQ(v.find("f")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("g")->number_or("x", 0), 7.0);
+}
+
+TEST(Json, DumpParseRoundTripIsValueExact) {
+  json::Value v{json::Object{}};
+  v.set("n", 0.15625);  // exactly representable
+  v.set("big", 123456789.0);
+  v.set("s", "quote \" backslash \\ newline \n tab \t");
+  json::Array arr;
+  arr.push_back(true);
+  arr.push_back(json::Value());
+  arr.push_back(-1e-7);
+  v.set("arr", std::move(arr));
+  const json::Value back = json::parse(json::dump(v));
+  EXPECT_EQ(back.number_or("n", 0), 0.15625);
+  EXPECT_EQ(back.number_or("big", 0), 123456789.0);
+  EXPECT_EQ(back.string_or("s", ""), "quote \" backslash \\ newline \n tab \t");
+  EXPECT_EQ(back.find("arr")->as_array().size(), 3u);
+  EXPECT_EQ(back.find("arr")->as_array()[2].as_number(), -1e-7);
+}
+
+TEST(Json, Float32ValuesRoundTripBitExact) {
+  // The wire carries float32 series values; %.9g must reproduce them.
+  const float vals[] = {0.1f, 1.0f / 3.0f, 3.4e38f, -1.17549435e-38f, 42.0f};
+  for (const float x : vals) {
+    json::Value v{json::Object{}};
+    v.set("x", static_cast<double>(x));
+    const json::Value back = json::parse(json::dump(v));
+    EXPECT_EQ(static_cast<float>(back.number_or("x", 0)), x);
+  }
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const json::Value v = json::parse(R"({"s":"Aé€"})");
+  EXPECT_EQ(v.string_or("s", ""), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,2"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+}
+
+// -------------------------------------------------------------- protocol
+
+TEST(Protocol, RequestRoundTrip) {
+  GenRequest req;
+  req.id = 9;
+  req.seed = 1234567;
+  req.count = 5;
+  req.max_len = 17;
+  req.max_attempts = 4;
+  req.fixed.push_back({"code", 0.0f, "FAIL"});
+  req.fixed.push_back({"scale", 2.5f, ""});
+  AttrPredicate p;
+  p.attr = "dc";
+  p.op = AttrPredicate::Op::Ge;
+  p.value = 1.0f;
+  req.where.push_back(p);
+
+  const GenRequest back =
+      request_from_json(json::parse(json::dump(request_to_json(req))));
+  EXPECT_EQ(back.id, 9u);
+  EXPECT_EQ(back.seed, 1234567u);
+  EXPECT_EQ(back.count, 5);
+  EXPECT_EQ(back.max_len, 17);
+  EXPECT_EQ(back.max_attempts, 4);
+  ASSERT_EQ(back.fixed.size(), 2u);
+  EXPECT_EQ(back.fixed[0].label, "FAIL");
+  EXPECT_EQ(back.fixed[1].value, 2.5f);
+  ASSERT_EQ(back.where.size(), 1u);
+  EXPECT_EQ(back.where[0].op, AttrPredicate::Op::Ge);
+  EXPECT_EQ(back.where[0].value, 1.0f);
+}
+
+TEST(Protocol, ObjectAndResponseRoundTrip) {
+  const auto d = synth::make_gcut({.n = 3, .t_max = 10});
+  GenResponse resp;
+  resp.id = 2;
+  resp.ok = true;
+  resp.complete = true;
+  resp.series_rejected = 1;
+  resp.latency_ms = 12.5;
+  resp.objects = d.data;
+
+  const GenResponse back = response_from_json(
+      json::parse(json::dump(response_to_json(resp, d.schema))), d.schema);
+  EXPECT_EQ(back.id, 2u);
+  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.complete);
+  EXPECT_EQ(back.series_rejected, 1);
+  ASSERT_EQ(back.objects.size(), d.data.size());
+  for (size_t i = 0; i < d.data.size(); ++i) {
+    const auto& a = d.data[i];
+    const auto& b = back.objects[i];
+    ASSERT_EQ(a.attributes.size(), b.attributes.size());
+    for (size_t j = 0; j < a.attributes.size(); ++j) {
+      EXPECT_EQ(a.attributes[j], b.attributes[j]);
+    }
+    ASSERT_EQ(a.features.size(), b.features.size());
+    for (size_t t = 0; t < a.features.size(); ++t) {
+      for (size_t k = 0; k < a.features[t].size(); ++k) {
+        EXPECT_EQ(a.features[t][k], b.features[t][k]);
+      }
+    }
+  }
+}
+
+TEST(Protocol, ResolveRequestValidates) {
+  const auto d = synth::make_gcut({.n = 2, .t_max = 10});
+  GenRequest req;
+  req.count = 1;
+  req.fixed.push_back({"no-such-attr", 0.0f, ""});
+  EXPECT_THROW(resolve_request(req, d.schema), std::invalid_argument);
+
+  GenRequest bad_len;
+  bad_len.max_len = d.schema.max_timesteps + 1;
+  EXPECT_THROW(resolve_request(bad_len, d.schema), std::invalid_argument);
+
+  // Label resolution fills in the numeric category.
+  GenRequest ok;
+  ok.fixed.push_back({d.schema.attributes[0].name, 0.0f,
+                      d.schema.attributes[0].labels[1]});
+  resolve_request(ok, d.schema);
+  EXPECT_EQ(ok.fixed[0].value, 1.0f);
+}
+
+// ----------------------------------------------------------------- queue
+
+TEST(BoundedQueue, BlocksProducersAtCapacityAndDrainsAfterClose) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+
+  std::thread producer([&] { q.push(3); });  // blocks until a pop frees room
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  q.close();
+  EXPECT_FALSE(q.push(9));  // closed: rejected
+  EXPECT_EQ(q.pop().value(), 2);  // but the backlog still drains
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);  // closed and drained
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(30)), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+}
+
+}  // namespace
+}  // namespace dg::serve

@@ -1,0 +1,250 @@
+// Loopback smoke test for the serving stack (GenerationService + TcpServer).
+// Runs under the CI tsan job (label serve-smoke) with DG_THREADS=4, so it is
+// also the data-race canary for the whole serve path: connection threads,
+// engine threads, the intra-op pool, and hot reload all execute here.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/doppelganger.h"
+#include "core/package.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "synth/synth.h"
+
+namespace dg::serve {
+namespace {
+
+core::DoppelGangerConfig tiny_cfg(uint64_t seed = 3) {
+  core::DoppelGangerConfig cfg;
+  cfg.attr_hidden = 12;
+  cfg.attr_layers = 1;
+  cfg.minmax_hidden = 12;
+  cfg.minmax_layers = 1;
+  cfg.lstm_units = 12;
+  cfg.head_hidden = 12;
+  cfg.sample_len = 5;
+  cfg.disc_hidden = 24;
+  cfg.disc_layers = 2;
+  cfg.batch = 8;
+  cfg.iterations = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::shared_ptr<core::DoppelGanger> make_model(uint64_t seed = 3) {
+  auto d = synth::make_gcut({.n = 8, .t_max = 20});
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  d.schema.max_timesteps = 20;
+  return std::make_shared<core::DoppelGanger>(d.schema, tiny_cfg(seed));
+}
+
+ServiceConfig small_service_cfg() {
+  ServiceConfig cfg;
+  cfg.slots = 8;
+  cfg.engines = 2;
+  cfg.queue_capacity = 64;
+  cfg.reload_poll_seconds = 0.0;
+  return cfg;
+}
+
+GenRequest plain_request(std::uint64_t id, std::uint64_t seed, int n) {
+  GenRequest req;
+  req.id = id;
+  req.seed = seed;
+  req.count = n;
+  return req;
+}
+
+TEST(GenerationService, AnswersPlainRequests) {
+  GenerationService service(make_model(), small_service_cfg());
+  service.start();
+  auto fut = service.submit(plain_request(1, 99, 4));
+  const GenResponse resp = fut.get();
+  EXPECT_TRUE(resp.ok);
+  EXPECT_TRUE(resp.complete);
+  EXPECT_EQ(resp.objects.size(), 4u);
+  EXPECT_GE(resp.latency_ms, 0.0);
+  const StatsSnapshot st = service.stats();
+  EXPECT_EQ(st.requests, 1u);
+  EXPECT_EQ(st.responses, 1u);
+  EXPECT_EQ(st.series_completed, 4u);
+  EXPECT_GT(st.rnn_steps, 0u);
+  service.stop();
+}
+
+TEST(GenerationService, RejectsInvalidRequestsWithoutEnqueueing) {
+  GenerationService service(make_model(), small_service_cfg());
+  service.start();
+  GenRequest req = plain_request(5, 1, 1);
+  req.fixed.push_back({"no-such-attribute", 0.0f, ""});
+  const GenResponse resp = service.submit(req).get();
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("no-such-attribute"), std::string::npos);
+  service.stop();
+}
+
+// Acceptance criterion: same seed => bit-identical series, solo or
+// co-batched with 31 concurrent requests across multiple engine threads.
+TEST(GenerationService, PerRequestDeterminismUnderConcurrency) {
+  auto model = make_model();
+  data::Dataset solo_objects;
+  {
+    GenerationService service(model, small_service_cfg());
+    service.start();
+    const GenResponse solo = service.submit(plain_request(1, 777, 2)).get();
+    ASSERT_TRUE(solo.ok);
+    solo_objects = solo.objects;
+    service.stop();
+  }
+  {
+    GenerationService service(model, small_service_cfg());
+    service.start();
+    std::vector<std::future<GenResponse>> noise;
+    noise.reserve(31);
+    for (int i = 0; i < 31; ++i) {
+      GenRequest req = plain_request(100 + static_cast<std::uint64_t>(i),
+                                     static_cast<std::uint64_t>(i) * 13 + 1, 1);
+      if (i % 3 == 0) req.max_len = 4;  // mixed lengths churn the slots
+      noise.push_back(service.submit(req));
+    }
+    const GenResponse busy = service.submit(plain_request(1, 777, 2)).get();
+    for (auto& f : noise) EXPECT_TRUE(f.get().ok);
+    ASSERT_TRUE(busy.ok);
+    ASSERT_EQ(busy.objects.size(), solo_objects.size());
+    for (size_t i = 0; i < solo_objects.size(); ++i) {
+      const auto& a = solo_objects[i];
+      const auto& b = busy.objects[i];
+      ASSERT_EQ(a.attributes, b.attributes);
+      ASSERT_EQ(a.features, b.features);
+    }
+    service.stop();
+  }
+}
+
+TEST(GenerationService, ConditionalDegradesToPartial) {
+  GenerationService service(make_model(), small_service_cfg());
+  service.start();
+  GenRequest req = plain_request(3, 11, 3);
+  AttrPredicate p;
+  p.attr = service.schema().attributes[0].name;
+  p.op = AttrPredicate::Op::Eq;
+  p.value = -5.0f;  // unsatisfiable
+  req.where.push_back(p);
+  req.max_attempts = 2;
+  const GenResponse resp = service.submit(req).get();
+  EXPECT_TRUE(resp.ok);           // the request executed
+  EXPECT_FALSE(resp.complete);    // ...but matched nothing
+  EXPECT_TRUE(resp.objects.empty());
+  EXPECT_EQ(resp.series_rejected, 6);  // 3 series x 2 attempts
+  EXPECT_NE(resp.error.find("0/3"), std::string::npos);
+  service.stop();
+}
+
+TEST(GenerationService, HotReloadSwapsThePackage) {
+  const std::string path = ::testing::TempDir() + "/served.dgpkg";
+  core::save_package_file(path, *make_model(3));
+  ServiceConfig cfg = small_service_cfg();
+  cfg.package_path = path;
+  cfg.engines = 1;
+  cfg.reload_poll_seconds = 0.01;
+  GenerationService service(cfg);
+  service.start();
+  const GenResponse before = service.submit(plain_request(1, 5, 1)).get();
+  ASSERT_TRUE(before.ok);
+
+  // Replace the package with differently-seeded weights; ensure the mtime
+  // moves even on coarse-grained filesystems.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  core::save_package_file(path, *make_model(1234));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.reloads() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    service.submit(plain_request(2, 5, 1)).get();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(service.reloads(), 1u);
+  const GenResponse after = service.submit(plain_request(3, 5, 1)).get();
+  ASSERT_TRUE(after.ok);
+  // Same request seed, different weights => different series.
+  EXPECT_NE(before.objects[0].features, after.objects[0].features);
+  EXPECT_GE(service.stats().package_reloads, 1u);
+  service.stop();
+}
+
+TEST(TcpServer, LoopbackRoundTrip) {
+  GenerationService service(make_model(), small_service_cfg());
+  service.start();
+  TcpServer server(service, /*port=*/0);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  // generate op
+  GenRequest req = plain_request(42, 2024, 3);
+  const std::string reply = send_line(
+      "127.0.0.1", server.port(), json::dump(request_to_json(req)));
+  const GenResponse resp =
+      response_from_json(json::parse(reply), service.schema());
+  EXPECT_TRUE(resp.ok);
+  EXPECT_TRUE(resp.complete);
+  EXPECT_EQ(resp.id, 42u);
+  EXPECT_EQ(resp.objects.size(), 3u);
+
+  // stats op
+  const json::Value stats =
+      json::parse(send_line("127.0.0.1", server.port(), R"({"op":"stats"})"));
+  EXPECT_GE(stats.number_or("responses", 0), 1.0);
+  EXPECT_GT(stats.number_or("rnn_steps", 0), 0.0);
+  EXPECT_GT(stats.number_or("occupancy", 0), 0.0);
+
+  // schema op round-trips through the text schema format
+  const json::Value sv =
+      json::parse(send_line("127.0.0.1", server.port(), R"({"op":"schema"})"));
+  EXPECT_TRUE(sv.bool_or("ok", false));
+  EXPECT_FALSE(sv.string_or("schema", "").empty());
+
+  // malformed line => JSON error, connection (and server) survive
+  const json::Value err =
+      json::parse(send_line("127.0.0.1", server.port(), "not json"));
+  EXPECT_FALSE(err.bool_or("ok", true));
+
+  server.stop();
+  service.stop();
+}
+
+TEST(TcpServer, ConcurrentClients) {
+  GenerationService service(make_model(), small_service_cfg());
+  service.start();
+  TcpServer server(service, 0);
+  server.start();
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int i = 0; i < 6; ++i) {
+    clients.emplace_back([&, i] {
+      GenRequest req = plain_request(static_cast<std::uint64_t>(i),
+                                     static_cast<std::uint64_t>(i) + 1, 2);
+      const std::string reply = send_line("127.0.0.1", server.port(),
+                                          json::dump(request_to_json(req)));
+      const GenResponse resp =
+          response_from_json(json::parse(reply), service.schema());
+      if (resp.ok && resp.objects.size() == 2) ++ok_count;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), 6);
+  server.stop();
+  service.stop();
+}
+
+}  // namespace
+}  // namespace dg::serve

@@ -5,21 +5,34 @@
 //                    [--iterations N] [--sample-len S] [--batch B] [--seed X]
 //                    [--no-minmax] [--no-aux] [--lstm-units U] [--d-steps K]
 //   dgcli generate   --model M.dgpkg --n N --out synth.csv
+//                    [--seed X] [--format csv|bin]
+//   dgcli serve      --model M.dgpkg [--port P] [--slots W] [--engines E]
+//                    [--queue Q] [--poll SECONDS]
+//   dgcli request    --port P [--host H] [--n N] [--seed X] [--max-len L]
+//                    [--attempts A] [--fixed a=v,b=v] [--where "a=v,b>=v"]
+//                    [--out synth.csv] [--stats] [--json]
 //   dgcli stats      --schema S.schema --data D.csv [--compare other.csv]
 //   dgcli check      [--seed X] [--iterations N]
 //
 // The .dgpkg package bundles schema + architecture + trained parameters, so
-// `generate` needs nothing else — the paper's Fig 2 release flow.
+// `generate` needs nothing else — the paper's Fig 2 release flow. `serve`
+// keeps a package resident behind a TCP JSON-lines endpoint (hot-reloading
+// it when the file changes) and `request` is the matching client: `--fixed`
+// clamps attributes (Fig 30 flexibility), `--where` rejection-samples
+// against predicates (ops = != <= >=), labels or numbers both accepted.
 //
 // `check` verifies the autograd engine on this machine: a finite-difference
 // gradcheck battery (including the WGAN-GP second-order path) followed by an
 // AnomalyGuard-instrumented mini training run of the full DoppelGANger graph
 // (attribute MLP -> min/max MLP -> LSTM -> GP second-order pass).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/doppelganger.h"
 #include "core/package.h"
@@ -30,6 +43,9 @@
 #include "nn/check.h"
 #include "nn/gradcheck.h"
 #include "nn/parallel.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "synth/synth.h"
 
 namespace {
@@ -131,10 +147,145 @@ int cmd_train(const Args& a) {
 int cmd_generate(const Args& a) {
   auto model = core::load_package_file(a.str("model"));
   const int n = static_cast<int>(a.num("n", 500));
+  if (a.flag("seed")) model->reseed(static_cast<uint64_t>(a.num("seed", 0)));
   const data::Dataset out = model->generate(n);
-  data::save_csv_file(a.str("out"), model->schema(), out);
-  std::printf("generated %d objects -> %s\n", n, a.str("out").c_str());
+  const std::string format = a.str("format", "csv");
+  if (format == "bin") {
+    data::save_binary_file(a.str("out"), model->schema(), out);
+  } else if (format == "csv") {
+    data::save_csv_file(a.str("out"), model->schema(), out);
+  } else {
+    throw std::runtime_error("unknown --format (csv|bin)");
+  }
+  std::printf("generated %d objects -> %s (%s)\n", n, a.str("out").c_str(),
+              format.c_str());
   return 0;
+}
+
+// ---------------------------------------------------------------- serve
+
+int cmd_serve(const Args& a) {
+  serve::ServiceConfig cfg;
+  cfg.package_path = a.str("model");
+  cfg.slots = static_cast<int>(a.num("slots", 32));
+  cfg.engines = static_cast<int>(a.num("engines", 1));
+  cfg.queue_capacity = static_cast<size_t>(a.num("queue", 256));
+  cfg.reload_poll_seconds =
+      static_cast<double>(a.num("poll", 1));  // 0 disables hot reload
+  serve::GenerationService service(cfg);
+  service.start();
+  serve::TcpServer server(service, static_cast<int>(a.num("port", 7788)));
+  server.start();
+  std::printf("serving %s on 127.0.0.1:%d (%d slots x %d engine%s)\n",
+              cfg.package_path.c_str(), server.port(), cfg.slots, cfg.engines,
+              cfg.engines == 1 ? "" : "s");
+  std::fflush(stdout);
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+/// Splits "a=1,b=two" style comma-separated clauses.
+std::vector<std::string> split_clauses(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::stringstream ss(s);
+  while (std::getline(ss, cur, ',')) {
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+/// True (and sets `value`) when the whole token parses as a number.
+bool parse_number(const std::string& s, float& value) {
+  char* end = nullptr;
+  value = std::strtof(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+serve::GenRequest request_from(const Args& a) {
+  serve::GenRequest req;
+  req.id = static_cast<uint64_t>(a.num("id", 1));
+  req.seed = static_cast<uint64_t>(a.num("seed", 0));
+  req.count = static_cast<int>(a.num("n", 1));
+  req.max_len = static_cast<int>(a.num("max-len", 0));
+  req.max_attempts = static_cast<int>(a.num("attempts", 16));
+  if (a.flag("fixed")) {
+    for (const std::string& clause : split_clauses(a.str("fixed"))) {
+      const size_t eq = clause.find('=');
+      if (eq == std::string::npos) {
+        throw std::runtime_error("--fixed expects name=value clauses");
+      }
+      serve::FixedAttr f;
+      f.attr = clause.substr(0, eq);
+      const std::string v = clause.substr(eq + 1);
+      if (!parse_number(v, f.value)) f.label = v;
+      req.fixed.push_back(std::move(f));
+    }
+  }
+  if (a.flag("where")) {
+    for (const std::string& clause : split_clauses(a.str("where"))) {
+      serve::AttrPredicate p;
+      size_t at = std::string::npos;
+      size_t skip = 2;
+      if ((at = clause.find("!=")) != std::string::npos) {
+        p.op = serve::AttrPredicate::Op::Ne;
+      } else if ((at = clause.find(">=")) != std::string::npos) {
+        p.op = serve::AttrPredicate::Op::Ge;
+      } else if ((at = clause.find("<=")) != std::string::npos) {
+        p.op = serve::AttrPredicate::Op::Le;
+      } else if ((at = clause.find('=')) != std::string::npos) {
+        p.op = serve::AttrPredicate::Op::Eq;
+        skip = 1;
+      } else {
+        throw std::runtime_error("--where clause needs one of = != <= >=");
+      }
+      p.attr = clause.substr(0, at);
+      const std::string v = clause.substr(at + skip);
+      if (!parse_number(v, p.value)) p.label = v;
+      req.where.push_back(std::move(p));
+    }
+  }
+  return req;
+}
+
+int cmd_request(const Args& a) {
+  const std::string host = a.str("host", "127.0.0.1");
+  const int port = static_cast<int>(a.num("port", 7788));
+  if (a.flag("stats")) {
+    std::printf("%s\n", serve::send_line(host, port, "{\"op\":\"stats\"}").c_str());
+    return 0;
+  }
+  const serve::GenRequest req = request_from(a);
+  const std::string reply =
+      serve::send_line(host, port, serve::json::dump(serve::request_to_json(req)));
+  if (a.flag("json")) {
+    std::printf("%s\n", reply.c_str());
+    return 0;
+  }
+  // Decode: fetch the schema so objects round-trip through the typed form.
+  const std::string schema_reply =
+      serve::send_line(host, port, "{\"op\":\"schema\"}");
+  const serve::json::Value sv = serve::json::parse(schema_reply);
+  if (!sv.bool_or("ok", false)) {
+    throw std::runtime_error("server refused schema op: " + schema_reply);
+  }
+  std::istringstream ss(sv.string_or("schema", ""));
+  const data::Schema schema = data::load_schema(ss);
+  const serve::GenResponse resp =
+      serve::response_from_json(serve::json::parse(reply), schema);
+  if (!resp.ok) {
+    std::fprintf(stderr, "request failed: %s\n", resp.error.c_str());
+    return 1;
+  }
+  std::printf("received %zu/%d objects (%s, %lld rejected, %.1f ms)\n",
+              resp.objects.size(), req.count,
+              resp.complete ? "complete" : "partial", resp.series_rejected,
+              resp.latency_ms);
+  if (!resp.complete) std::printf("note: %s\n", resp.error.c_str());
+  if (a.flag("out")) {
+    data::save_csv_file(a.str("out"), schema, resp.objects);
+    std::printf("wrote %s\n", a.str("out").c_str());
+  }
+  return resp.complete ? 0 : 3;
 }
 
 void print_stats(const char* tag, const data::Schema& schema,
@@ -322,7 +473,8 @@ int cmd_check(const Args& a) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dgcli <make-synth|train|generate|stats|check> [options]\n"
+               "usage: dgcli <make-synth|train|generate|serve|request|stats|check>"
+               " [options]\n"
                "see the header of tools/dgcli.cpp for the option list\n");
   return 2;
 }
@@ -335,6 +487,8 @@ int main(int argc, char** argv) {
     if (a.command == "make-synth") return cmd_make_synth(a);
     if (a.command == "train") return cmd_train(a);
     if (a.command == "generate") return cmd_generate(a);
+    if (a.command == "serve") return cmd_serve(a);
+    if (a.command == "request") return cmd_request(a);
     if (a.command == "stats") return cmd_stats(a);
     if (a.command == "check") return cmd_check(a);
     return usage();
