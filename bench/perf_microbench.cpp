@@ -12,6 +12,8 @@
 #include "nn/optim.h"
 #include "nn/parallel.h"
 #include "nn/rng.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "serve/sampler.h"
 #include "synth/synth.h"
 
@@ -71,22 +73,79 @@ void BM_LstmStep(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmStep)->ArgsProduct({{1, 32, 256}, {1, 4}});
 
-void BM_CriticStepWithGradientPenalty(benchmark::State& state) {
-  nn::set_num_threads(static_cast<int>(state.range(0)));
-  nn::Rng rng(3);
-  nn::Mlp critic(512, 1, 128, 3, rng);
-  nn::Adam opt(critic.parameters());
-  const core::CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
-  const Matrix real = rng.uniform_matrix(32, 512);
-  const Matrix fake = rng.uniform_matrix(32, 512);
-  for (auto _ : state) {
+// One full WGAN-GP critic step (forward, second-order gradient-penalty
+// backward, Adam update) — the training hot loop. Shared by the critic
+// benchmark proper and the BM_ObsOverhead* benches below, which must time
+// the *identical* workload across telemetry configurations.
+struct CriticStepWorkload {
+  nn::Rng rng{3};
+  nn::Mlp critic{512, 1, 128, 3, rng};
+  nn::Adam opt{critic.parameters()};
+  Matrix real = rng.uniform_matrix(32, 512);
+  Matrix fake = rng.uniform_matrix(32, 512);
+
+  void step() {
+    const core::CriticFn fn = [this](const Var& x) {
+      return critic.forward(x);
+    };
     Var loss = core::critic_loss(fn, real, fake, 10.0f, rng);
     opt.zero_grad();
     loss.backward();
     opt.step();
   }
+};
+
+void BM_CriticStepWithGradientPenalty(benchmark::State& state) {
+  nn::set_num_threads(static_cast<int>(state.range(0)));
+  CriticStepWorkload w;
+  for (auto _ : state) {
+    w.step();
+  }
 }
 BENCHMARK(BM_CriticStepWithGradientPenalty)->Arg(1)->Arg(4);
+
+// ---- telemetry overhead gate. Three single-threaded views of the same
+// critic-step workload:
+//   BM_ObsOverheadOff     hooks not compiled (only exists when -DDG_OBS=OFF)
+//   BM_ObsOverheadIdleOn  hooks compiled, profiler/trace disabled (the
+//                         production default: one relaxed load per op)
+//   BM_ObsOverheadActive  profiler attributing every op (diagnosis mode)
+// CI builds both configurations and gates IdleOn within 2% of Off via
+// tools/bench_compare.py --rename BM_ObsOverheadOff=BM_ObsOverheadIdleOn.
+
+#ifndef DG_OBS_ENABLED
+void BM_ObsOverheadOff(benchmark::State& state) {
+  nn::set_num_threads(1);
+  CriticStepWorkload w;
+  for (auto _ : state) {
+    w.step();
+  }
+}
+BENCHMARK(BM_ObsOverheadOff)->Unit(benchmark::kMillisecond);
+#else
+void BM_ObsOverheadIdleOn(benchmark::State& state) {
+  nn::set_num_threads(1);
+  obs::Profiler::stop();
+  obs::Trace::stop();
+  CriticStepWorkload w;
+  for (auto _ : state) {
+    w.step();
+  }
+}
+BENCHMARK(BM_ObsOverheadIdleOn)->Unit(benchmark::kMillisecond);
+
+void BM_ObsOverheadActive(benchmark::State& state) {
+  nn::set_num_threads(1);
+  CriticStepWorkload w;
+  obs::Profiler::start();
+  for (auto _ : state) {
+    w.step();
+  }
+  obs::Profiler::stop();
+  obs::Profiler::clear();
+}
+BENCHMARK(BM_ObsOverheadActive)->Unit(benchmark::kMillisecond);
+#endif  // DG_OBS_ENABLED
 
 void BM_DoppelGangerTrainIteration(benchmark::State& state) {
   nn::set_num_threads(static_cast<int>(state.range(0)));

@@ -1,11 +1,14 @@
 #include "core/doppelganger.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/wgan.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dg::core {
 
@@ -31,6 +34,51 @@ Matrix hcat(const Matrix& a, const Matrix& b) {
 Matrix hcat(const Matrix& a, const Matrix& b, const Matrix& c) {
   const Matrix* parts[] = {&a, &b, &c};
   return nn::concat_cols(parts);
+}
+
+/// Global L2 norm over every defined gradient in `params` (post-backward,
+/// pre-step) — the WGAN-health series the paper's Fig 13-style debugging
+/// leans on.
+float grad_global_norm(const std::vector<Var>& params) {
+  double s = 0.0;
+  for (const Var& p : params) {
+    Var g = p.grad();
+    if (!g.defined()) continue;
+    for (float v : g.value().flat()) s += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+/// Collapse sentinel: how much of the output range the fake batch spans.
+/// Mode collapse shows up as per-column (max - min) shrinking toward zero
+/// while losses still look plausible.
+struct FeatureSpread {
+  float mean_spread = 0.0f;
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+FeatureSpread feature_spread(const Matrix& feats) {
+  FeatureSpread out;
+  const int n = feats.rows(), d = feats.cols();
+  if (n == 0 || d == 0) return out;
+  double spread_sum = 0.0;
+  float gmin = feats.at(0, 0), gmax = feats.at(0, 0);
+  for (int j = 0; j < d; ++j) {
+    float lo = feats.at(0, j), hi = lo;
+    for (int i = 1; i < n; ++i) {
+      const float v = feats.at(i, j);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    spread_sum += static_cast<double>(hi) - lo;
+    gmin = std::min(gmin, lo);
+    gmax = std::max(gmax, hi);
+  }
+  out.mean_spread = static_cast<float>(spread_sum / d);
+  out.min = gmin;
+  out.max = gmax;
+  return out;
 }
 }  // namespace
 
@@ -305,20 +353,26 @@ data::Dataset DoppelGanger::generate_conditional(
 
 void DoppelGanger::critic_step(nn::Mlp& critic, nn::Adam& opt,
                                const Matrix& real, const Matrix& fake,
-                               float& loss_out) {
+                               float& loss_out, float* gp_out,
+                               float* grad_norm_out) {
+  DG_OBS_SPAN("train.critic_step", "train");
   const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
   Var loss = cfg_.loss == GanLoss::WassersteinGp
-                 ? critic_loss(fn, real, fake, cfg_.gp_weight, rng_)
+                 ? critic_loss(fn, real, fake, cfg_.gp_weight, rng_, gp_out)
                  : standard_critic_loss(fn, real, fake);
+  if (gp_out && cfg_.loss != GanLoss::WassersteinGp) *gp_out = 0.0f;
   loss_out = loss.value().at(0, 0);
   opt.zero_grad();
   loss.backward();
+  if (grad_norm_out) *grad_norm_out = grad_global_norm(critic.parameters());
   opt.step();
 }
 
 void DoppelGanger::dp_critic_step(nn::Mlp& critic, nn::Adam& opt,
                                   const Matrix& real, const Matrix& fake,
-                                  float& loss_out) {
+                                  float& loss_out, float* gp_out,
+                                  float* grad_norm_out) {
+  DG_OBS_SPAN("train.dp_critic_step", "train");
   const DpOptions& dp = *cfg_.dp;
   const CriticFn fn = [&critic](const Var& x) { return critic.forward(x); };
   const auto params = critic.parameters();
@@ -328,15 +382,17 @@ void DoppelGanger::dp_critic_step(nn::Mlp& critic, nn::Adam& opt,
 
   const int n = real.rows();
   const int micro = std::max(1, std::min(dp.microbatches, n));
-  float total_loss = 0.0f;
+  float total_loss = 0.0f, total_gp = 0.0f;
   int n_micro = 0;
   for (int start = 0; start < n; start += (n + micro - 1) / micro) {
     const int end = std::min(n, start + (n + micro - 1) / micro);
     if (end <= start) break;
+    float micro_gp = 0.0f;
     Var loss = critic_loss(fn, nn::slice_rows(Matrix(real), start, end),
                            nn::slice_rows(Matrix(fake), start, end),
-                           cfg_.gp_weight, rng_);
+                           cfg_.gp_weight, rng_, &micro_gp);
     total_loss += loss.value().at(0, 0);
+    total_gp += micro_gp;
     ++n_micro;
     critic.zero_grad();
     loss.backward();
@@ -363,8 +419,12 @@ void DoppelGanger::dp_critic_step(nn::Mlp& critic, nn::Adam& opt,
     Var proxy = nn::sum(nn::mul(p, nn::constant(acc[i])));
     proxy.backward();
   }
+  // The installed gradient is the released one (clipped + noised), so the
+  // reported norm reflects what the optimizer actually consumes.
+  if (grad_norm_out) *grad_norm_out = grad_global_norm(params);
   opt.step();
   loss_out = n_micro > 0 ? total_loss / static_cast<float>(n_micro) : 0.0f;
+  if (gp_out) *gp_out = n_micro > 0 ? total_gp / static_cast<float>(n_micro) : 0.0f;
 }
 
 TrainStats DoppelGanger::run_training(const data::Dataset& train,
@@ -378,7 +438,10 @@ TrainStats DoppelGanger::run_training(const data::Dataset& train,
   stats.g_loss.reserve(static_cast<size_t>(iterations));
 
   for (int iter = 0; iter < iterations; ++iter) {
+    DG_OBS_SPAN("train.iteration", "train");
+    const auto iter_t0 = std::chrono::steady_clock::now();
     float d_loss = 0.0f, aux_loss = 0.0f;
+    float gp_penalty = 0.0f, d_grad_norm = 0.0f;
     for (int ds = 0; ds < cfg_.d_steps; ++ds) {
       // Real batch.
       const int b = std::min(cfg_.batch, n);
@@ -398,13 +461,17 @@ TrainStats DoppelGanger::run_training(const data::Dataset& train,
         fake_head = hcat(f.attributes.value(), f.minmax.value());
       }
 
+      // Telemetry follows the full critic's last d-step (the aux critic's
+      // penalty/norm are secondary; its loss is already reported).
       if (cfg_.dp) {
-        dp_critic_step(disc_, d_opt_, real_full, fake_full, d_loss);
+        dp_critic_step(disc_, d_opt_, real_full, fake_full, d_loss,
+                       &gp_penalty, &d_grad_norm);
         if (cfg_.use_aux_discriminator) {
           dp_critic_step(aux_disc_, aux_opt_, real_head, fake_head, aux_loss);
         }
       } else {
-        critic_step(disc_, d_opt_, real_full, fake_full, d_loss);
+        critic_step(disc_, d_opt_, real_full, fake_full, d_loss,
+                    &gp_penalty, &d_grad_norm);
         if (cfg_.use_aux_discriminator) {
           critic_step(aux_disc_, aux_opt_, real_head, fake_head, aux_loss);
         }
@@ -416,6 +483,7 @@ TrainStats DoppelGanger::run_training(const data::Dataset& train,
     // their weights nor accumulates garbage into their grad slots (which
     // the next critic step would otherwise have to zero out).
     const int b = std::min(cfg_.batch, n);
+    DG_OBS_SPAN("train.generator_step", "train");
     GenOut f = forward(b);
     nn::FreezeGuard freeze_disc(disc_);
     nn::FreezeGuard freeze_aux(aux_disc_);
@@ -435,11 +503,54 @@ TrainStats DoppelGanger::run_training(const data::Dataset& train,
     }
     g_opt_.zero_grad();
     g_loss.backward();
+    const float g_grad_norm = grad_global_norm(generator_parameters());
     g_opt_.step();
+
+    const FeatureSpread spread = feature_spread(f.features.value());
+    const float wall_ms =
+        std::chrono::duration<float, std::milli>(
+            std::chrono::steady_clock::now() - iter_t0)
+            .count();
+    const float g_loss_v = g_loss.value().at(0, 0);
 
     stats.d_loss.push_back(d_loss);
     stats.aux_loss.push_back(aux_loss);
-    stats.g_loss.push_back(g_loss.value().at(0, 0));
+    stats.g_loss.push_back(g_loss_v);
+    stats.gp_penalty.push_back(gp_penalty);
+    stats.d_grad_norm.push_back(d_grad_norm);
+    stats.g_grad_norm.push_back(g_grad_norm);
+    stats.feat_spread.push_back(spread.mean_spread);
+    stats.feat_min.push_back(spread.min);
+    stats.feat_max.push_back(spread.max);
+    stats.wall_ms.push_back(wall_ms);
+
+    // Last-value gauges in the process registry (picked up by `dgcli check`
+    // and any co-resident metrics export); the full series goes to the run
+    // logger when one is attached.
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("train.iterations").add(1);
+    reg.gauge("train.d_loss").set(d_loss);
+    reg.gauge("train.g_loss").set(g_loss_v);
+    reg.gauge("train.gp_penalty").set(gp_penalty);
+    reg.gauge("train.feat_spread").set(spread.mean_spread);
+    reg.histogram("train.iter_ms").record(wall_ms);
+
+    const std::uint64_t global_iter = iters_done_++;
+    if (run_logger_) {
+      obs::TrainIterRecord rec;
+      rec.iter = static_cast<int>(global_iter);
+      rec.d_loss = d_loss;
+      rec.aux_loss = aux_loss;
+      rec.g_loss = g_loss_v;
+      rec.gp_penalty = gp_penalty;
+      rec.g_grad_norm = g_grad_norm;
+      rec.d_grad_norm = d_grad_norm;
+      rec.feat_spread = spread.mean_spread;
+      rec.feat_min = spread.min;
+      rec.feat_max = spread.max;
+      rec.wall_ms = wall_ms;
+      run_logger_->log_iteration(rec);
+    }
   }
   return stats;
 }

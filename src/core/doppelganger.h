@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -34,6 +35,7 @@
 #include "nn/layers.h"
 #include "nn/optim.h"
 #include "nn/rng.h"
+#include "obs/runlog.h"
 
 namespace dg::core {
 
@@ -89,6 +91,17 @@ struct TrainStats {
   std::vector<float> d_loss;
   std::vector<float> aux_loss;
   std::vector<float> g_loss;
+  // Telemetry series, one entry per iteration (same length as the above):
+  std::vector<float> gp_penalty;   // raw E[(||grad||-1)^2] of the full critic's
+                                   // last d-step (before gp_weight scaling)
+  std::vector<float> d_grad_norm;  // global L2 of the full critic's gradients
+                                   // after its last d-step backward
+  std::vector<float> g_grad_norm;  // global L2 of the generator's gradients
+  std::vector<float> feat_spread;  // collapse sentinel: mean per-column
+                                   // (max - min) over the fake feature batch
+  std::vector<float> feat_min;     // batch-global extrema of fake features
+  std::vector<float> feat_max;
+  std::vector<float> wall_ms;      // wall time of the iteration
 };
 
 /// Per-series conditioning sampled once up front: the activated attribute
@@ -145,6 +158,15 @@ class DoppelGanger {
   /// fit_more to continue — useful for epoch sweeps).
   TrainStats fit(const data::Dataset& train);
   TrainStats fit_more(const data::Dataset& train, int iterations);
+
+  /// Streams every training iteration's telemetry (losses, grad norms,
+  /// gradient-penalty magnitude, the feature-range collapse sentinel) to a
+  /// run directory as JSONL, consumable live by `dgcli top` and offline by
+  /// tools/plot_run.py. Iteration numbering is cumulative across fit /
+  /// fit_more calls. Pass nullptr to detach.
+  void set_run_logger(std::shared_ptr<obs::RunLogger> logger) {
+    run_logger_ = std::move(logger);
+  }
 
   /// Draws n synthetic objects from the trained model. Built on the
   /// stepwise API below (sample_context / generation_step) with the model's
@@ -236,9 +258,11 @@ class DoppelGanger {
   GenOut forward(int n);
   nn::Var noise(int n, int dim);
   void critic_step(nn::Mlp& critic, nn::Adam& opt, const nn::Matrix& real,
-                   const nn::Matrix& fake, float& loss_out);
+                   const nn::Matrix& fake, float& loss_out,
+                   float* gp_out = nullptr, float* grad_norm_out = nullptr);
   void dp_critic_step(nn::Mlp& critic, nn::Adam& opt, const nn::Matrix& real,
-                      const nn::Matrix& fake, float& loss_out);
+                      const nn::Matrix& fake, float& loss_out,
+                      float* gp_out = nullptr, float* grad_norm_out = nullptr);
   TrainStats run_training(const data::Dataset& train, int iterations);
 
   DoppelGangerConfig cfg_;
@@ -262,6 +286,9 @@ class DoppelGanger {
   nn::Adam d_opt_;
   nn::Adam aux_opt_;
   nn::Rng rng_;
+
+  std::shared_ptr<obs::RunLogger> run_logger_;
+  std::uint64_t iters_done_ = 0;  // cumulative across fit / fit_more
 };
 
 }  // namespace dg::core

@@ -31,12 +31,15 @@ nn::Var gradient_penalty(const CriticFn& critic, const nn::Matrix& real,
 }
 
 nn::Var critic_loss(const CriticFn& critic, const nn::Matrix& real,
-                    const nn::Matrix& fake, float gp_weight, nn::Rng& rng) {
+                    const nn::Matrix& fake, float gp_weight, nn::Rng& rng,
+                    float* gp_out) {
   nn::Var loss = nn::sub(nn::mean(critic(nn::constant(fake))),
                          nn::mean(critic(nn::constant(real))));
+  if (gp_out) *gp_out = 0.0f;
   if (gp_weight > 0.0f) {
-    loss = nn::add(loss, nn::mul_scalar(gradient_penalty(critic, real, fake, rng),
-                                        gp_weight));
+    nn::Var penalty = gradient_penalty(critic, real, fake, rng);
+    if (gp_out) *gp_out = penalty.value().at(0, 0);
+    loss = nn::add(loss, nn::mul_scalar(penalty, gp_weight));
   }
   return loss;
 }

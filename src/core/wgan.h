@@ -19,9 +19,12 @@ using CriticFn = std::function<nn::Var(const nn::Var&)>;
 nn::Var gradient_penalty(const CriticFn& critic, const nn::Matrix& real,
                          const nn::Matrix& fake, nn::Rng& rng);
 
-/// Full critic loss (to *minimize* w.r.t. critic parameters).
+/// Full critic loss (to *minimize* w.r.t. critic parameters). When `gp_out`
+/// is non-null it receives the raw penalty term E[(||grad||-1)^2] (before
+/// the gp_weight scaling; 0 when gp_weight <= 0) for telemetry.
 nn::Var critic_loss(const CriticFn& critic, const nn::Matrix& real,
-                    const nn::Matrix& fake, float gp_weight, nn::Rng& rng);
+                    const nn::Matrix& fake, float gp_weight, nn::Rng& rng,
+                    float* gp_out = nullptr);
 
 /// Generator loss term for one critic: -E[D(fake)], with `fake` still
 /// attached to the generator graph.

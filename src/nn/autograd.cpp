@@ -9,6 +9,7 @@
 
 #include "nn/check.h"
 #include "nn/parallel.h"
+#include "obs/profile.h"
 
 namespace dg::nn {
 
@@ -60,6 +61,21 @@ void Var::clear_grad() {
 /// gradient, the result is a plain constant and the graph edge is dropped.
 Var make_op(const char* op, Matrix value, std::vector<Var> parents,
             std::function<std::vector<Var>(const Var&)> backward) {
+#ifdef DG_OBS_ENABLED
+  // Op boundary for the profiler: by the time make_op runs, the op's forward
+  // value has materialized, so this call closes the op's wall-time interval
+  // on this thread (see obs/profile.h). Must run before `value`/`parents`
+  // are moved into the node.
+  if (obs::Profiler::enabled()) {
+    obs::Profiler::Dims dims[8];
+    std::size_t np = 0;
+    for (const Var& p : parents) {
+      if (np == 8) break;
+      if (p.defined()) dims[np++] = {p.value().rows(), p.value().cols()};
+    }
+    obs::Profiler::note_op(op, dims, np, {value.rows(), value.cols()});
+  }
+#endif
   bool needs = false;
   if (g_grad_enabled) {
     for (const Var& p : parents) needs = needs || p.requires_grad();

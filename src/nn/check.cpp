@@ -4,9 +4,19 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace dg::nn {
 
 namespace {
+
+/// Bridges an anomaly detection into the process-wide metrics registry so
+/// `dgcli check` / serve "metrics" surface the counts even when the throwing
+/// AnomalyError is caught far from here. The refs are cached: the registry
+/// owns them for the process lifetime.
+obs::Counter& anomaly_counter(const char* which) {
+  return obs::Registry::global().counter(std::string("nn.anomaly.") + which);
+}
 
 thread_local AnomalyGuard* g_active_guard = nullptr;
 thread_local const char* g_backward_op = nullptr;
@@ -69,6 +79,7 @@ void anomaly_check_forward(const Node* node) {
   ++active_stats()->forward_values_checked;
   const std::size_t i = first_non_finite(node->value);
   if (i == static_cast<std::size_t>(-1)) return;
+  anomaly_counter("nonfinite_forward").add(1);
   std::ostringstream os;
   os << "non-finite value in forward of '" << node->op << "': ";
   describe_entry(os, node->value, i);
@@ -84,6 +95,7 @@ void anomaly_check_backward_grad(const Node* producer, std::size_t parent_index,
   ++active_stats()->backward_grads_checked;
   std::ostringstream os;
   if (!grad->value.same_shape(parent->value)) {
+    anomaly_counter("grad_shape_errors").add(1);
     os << "backward rule of '" << producer->op << "' produced a ["
        << grad->value.rows() << "x" << grad->value.cols()
        << "] gradient for parent #" << parent_index << " ('" << parent->op
@@ -93,6 +105,7 @@ void anomaly_check_backward_grad(const Node* producer, std::size_t parent_index,
   }
   const std::size_t i = first_non_finite(grad->value);
   if (i == static_cast<std::size_t>(-1)) return;
+  anomaly_counter("nonfinite_backward").add(1);
   os << "non-finite gradient from backward rule of '" << producer->op
      << "' for parent #" << parent_index << " ('" << parent->op << "'): ";
   describe_entry(os, grad->value, i);
@@ -106,6 +119,7 @@ void anomaly_audit_tape(const std::vector<Node*>& order) {
   ++active_stats()->tape_audits;
   for (const Node* n : order) {
     if (n->backward && n->grad_slot) {
+      anomaly_counter("tape_audit_errors").add(1);
       throw AnomalyError(
           "tape audit: non-leaf node '" + std::string(n->op) +
           "' holds an accumulated grad_slot (double accumulation or tape "
@@ -117,6 +131,7 @@ void anomaly_audit_tape(const std::vector<Node*>& order) {
 void anomaly_note_stale_grad(const Node* leaf) {
   AnomalyGuard* g = g_active_guard;
   if (!g || !g->options().forbid_stale_grads) return;
+  anomaly_counter("stale_grad_errors").add(1);
   throw AnomalyError(
       "backward() is accumulating into a leaf gradient populated by an "
       "earlier backward() (op '" + std::string(leaf->op) +

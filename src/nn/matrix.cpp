@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/parallel.h"
+#include "obs/profile.h"
 
 namespace dg::nn {
 
@@ -92,6 +93,10 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   const int n = a.rows(), k = a.cols(), m = b.cols();
   Matrix out(n, m, 0.0f);
   if (n == 0 || m == 0 || k == 0) return out;
+  DG_OBS_KERNEL_TIMER("matmul", 2ULL * n * k * m,
+                      4ULL * (static_cast<std::uint64_t>(n) * k +
+                              static_cast<std::uint64_t>(k) * m +
+                              static_cast<std::uint64_t>(n) * m));
   parallel_for(0, n, matmul_row_grain(k, m),
                [&](std::int64_t r0, std::int64_t r1) {
                  matmul_acc_rows(a, b, out, r0, r1);
@@ -106,6 +111,11 @@ Matrix affine(const Matrix& x, const Matrix& w, const Matrix& b) {
   const int n = x.rows(), m = w.cols();
   Matrix out(n, m);
   if (n == 0 || m == 0) return out;
+  DG_OBS_KERNEL_TIMER("affine",
+                      2ULL * n * x.cols() * m + static_cast<std::uint64_t>(n) * m,
+                      4ULL * (static_cast<std::uint64_t>(n) * x.cols() +
+                              static_cast<std::uint64_t>(x.cols()) * m + m +
+                              static_cast<std::uint64_t>(n) * m));
   parallel_for(0, n, matmul_row_grain(x.cols(), m),
                [&](std::int64_t r0, std::int64_t r1) {
                  for (std::int64_t i = r0; i < r1; ++i) {
@@ -128,6 +138,13 @@ Matrix lstm_gates(const Matrix& x, const Matrix& wx, const Matrix& h,
   const int n = x.rows(), m = wx.cols();
   Matrix out(n, m);
   if (n == 0 || m == 0) return out;
+  DG_OBS_KERNEL_TIMER("lstm_gates",
+                      2ULL * n * (x.cols() + h.cols()) * m +
+                          static_cast<std::uint64_t>(n) * m,
+                      4ULL * (static_cast<std::uint64_t>(n) * x.cols() +
+                              static_cast<std::uint64_t>(n) * h.cols() +
+                              static_cast<std::uint64_t>(x.cols() + h.cols()) * m +
+                              m + static_cast<std::uint64_t>(n) * m));
   const std::int64_t grain = matmul_row_grain(x.cols() + h.cols(), m);
   parallel_for(0, n, grain, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t i = r0; i < r1; ++i) {
@@ -144,6 +161,8 @@ Matrix transpose(const Matrix& a) {
   const int r = a.rows(), c = a.cols();
   Matrix out(c, r);
   if (out.empty()) return out;
+  DG_OBS_KERNEL_TIMER("transpose", 0,
+                      8ULL * static_cast<std::uint64_t>(r) * c);
   // Blocked: read B columns of a per tile so the strided loads hit each
   // source cache line B times instead of once (the unblocked version was
   // quadratic in misses for the tall rows >> cols gate-slice shapes).

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dg::obs {
+
+double exact_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: the smallest value with at least ceil(q*n) samples <= it.
+  const double n = static_cast<double>(values.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;  // to 0-based index
+  rank = std::min(rank, values.size() - 1);
+  return values[rank];
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> b;
+  for (double u = 0.01; u < 1e5; u *= 4.0) b.push_back(u);
+  return b;
+}
+
+Histogram::Histogram(HistogramOptions opts)
+    : bounds_(opts.bounds.empty() ? default_bounds() : std::move(opts.bounds)),
+      buckets_(bounds_.size() + 1, 0),
+      window_cap_(opts.window) {
+  window_.reserve(window_cap_);
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  if (window_cap_ == 0) return;
+  if (window_.size() < window_cap_) {
+    window_.push_back(v);
+  } else {
+    window_[pos_] = v;
+    pos_ = (pos_ + 1) % window_cap_;
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  std::vector<double> window_copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.bounds = bounds_;
+    s.buckets = buckets_;
+    // Only the filled portion of the ring participates in the order
+    // statistics; window_ never contains unwritten slots by construction
+    // (it grows element-by-element up to window_cap_).
+    window_copy = window_;
+  }
+  s.window_filled = window_copy.size();
+  if (!window_copy.empty()) {
+    std::sort(window_copy.begin(), window_copy.end());
+    const auto at = [&](double q) {
+      const double n = static_cast<double>(window_copy.size());
+      std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+      if (rank > 0) --rank;
+      return window_copy[std::min(rank, window_copy.size() - 1)];
+    };
+    s.p50 = at(0.50);
+    s.p90 = at(0.90);
+    s.p99 = at(0.99);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  window_.clear();
+  pos_ = 0;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, HistogramOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(opts)))
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->get());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->get());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const RegistrySnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    append_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":";
+    append_number(out, h.sum);
+    out += ",\"min\":";
+    append_number(out, h.min);
+    out += ",\"max\":";
+    append_number(out, h.max);
+    out += ",\"p50\":";
+    append_number(out, h.p50);
+    out += ",\"p90\":";
+    append_number(out, h.p90);
+    out += ",\"p99\":";
+    append_number(out, h.p99);
+    out += ",\"window\":" + std::to_string(h.window_filled);
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_number(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dg::obs

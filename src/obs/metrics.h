@@ -1,0 +1,157 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms addressable by name, snapshot-able without stopping writers.
+//
+// The paper's core findings (mode collapse, the fidelity/privacy trade-off,
+// the cost of long LSTM unrolls) are all diagnosed through measurement; this
+// registry is the one place those measurements live, shared by the trainer
+// (per-iteration loss/grad/collapse telemetry), the serving runtime (request
+// counters + latency quantiles) and the autograd anomaly checker.
+//
+// Concurrency model:
+//  * Counter / Gauge writes are single relaxed atomics — safe from any
+//    thread, never blocking, cheap enough for per-op hot paths.
+//  * Histogram::record takes a per-histogram mutex (the recorded events —
+//    request latencies, iteration times — are coarse enough that a short
+//    critical section is irrelevant next to the work being measured).
+//  * Registry::snapshot() walks the name map under the registry mutex and
+//    reads each metric atomically; writers are never paused.
+//
+// Quantiles are EXACT over a sliding window: each histogram keeps the last
+// `window` raw samples in a ring next to its buckets, and snapshot() sorts a
+// copy of the *filled* portion (a partially-filled ring never mixes stale
+// slots into the order statistics — the bug the serve latency reservoir
+// shipped with). Bucket counts cover the full lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dg::obs {
+
+/// Monotonic event count. add() is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (losses, occupancy, pool size). Atomic double.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct HistogramOptions {
+  /// Ascending bucket upper bounds; an implicit +inf bucket is appended.
+  /// Empty = default_bounds() (exponential, suited to millisecond latencies).
+  std::vector<double> bounds;
+  /// Raw-sample ring for exact quantiles (0 disables quantiles).
+  std::size_t window = 2048;
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;  // lifetime samples
+  double sum = 0.0;
+  double min = 0.0;  // lifetime extrema (0 when count == 0)
+  double max = 0.0;
+  double p50 = 0.0;  // exact over the retained window
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::size_t window_filled = 0;  // samples the quantiles were computed over
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+};
+
+/// Exact nearest-rank quantile of an unsorted sample (copies + sorts).
+/// q in [0,1]; returns 0 for an empty sample. Exposed for tests: this is
+/// the single quantile definition every surface (serve latency, obs
+/// snapshots) uses.
+double exact_quantile(std::vector<double> values, double q);
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions opts = {});
+
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// Default latency-shaped bounds: 0.01ms .. ~1e5ms, x4 per bucket.
+  static std::vector<double> default_bounds();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t window_cap_;
+  std::vector<double> window_;  // grows to window_cap_, then a ring
+  std::size_t pos_ = 0;         // next overwrite position once full
+};
+
+/// Snapshot of a whole registry, ordered by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Serializes a snapshot as a JSON object:
+///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
+/// This is the one export path shared by the TCP `stats`/`metrics` ops,
+/// `dgcli check`, and training-run directories.
+std::string to_json(const RegistrySnapshot& snap);
+
+/// Named metrics, created on first use. Metric references stay valid for
+/// the registry's lifetime. The process-wide instance (`global()`) carries
+/// cross-cutting series (anomaly counters, training gauges); subsystems
+/// that must not share state across instances (one GenerationService per
+/// test, say) own private registries and export through the same snapshot
+/// path.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `opts` applies only on first creation of `name`.
+  Histogram& histogram(std::string_view name, HistogramOptions opts = {});
+
+  RegistrySnapshot snapshot() const;
+  /// Zeroes every metric (tests). Registered names survive.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dg::obs

@@ -1,0 +1,162 @@
+#include "obs/profile.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace dg::obs {
+
+namespace {
+
+std::mutex g_mu;
+std::map<std::string, OpStats> g_stats;
+
+// Boundary-clock epoch: bumped on start()/clear() so every thread's stale
+// thread-local boundary timestamp is discarded lazily (a thread cannot
+// reset another thread's TLS).
+std::atomic<std::uint64_t> g_epoch{0};
+thread_local std::uint64_t t_epoch = 0;
+thread_local std::int64_t t_last_boundary_ns = 0;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t elems(Profiler::Dims d) {
+  return static_cast<std::uint64_t>(d.first) *
+         static_cast<std::uint64_t>(d.second);
+}
+
+/// FLOP estimate from the op name and operand shapes. Exact for the dense
+/// kernels that dominate training; elementwise ops count one flop per
+/// output element; shape/bookkeeping ops count zero.
+std::uint64_t estimate_flops(const char* op, const Profiler::Dims* parents,
+                             std::size_t n_parents, Profiler::Dims out) {
+  if (std::strcmp(op, "matmul") == 0 && n_parents >= 2) {
+    return 2 * elems(parents[0]) * static_cast<std::uint64_t>(out.second);
+  }
+  if (std::strcmp(op, "affine") == 0 && n_parents >= 3) {
+    // x*w + b: 2*n*k*m flops for the product, n*m adds for the bias.
+    return 2 * elems(parents[0]) * static_cast<std::uint64_t>(out.second) +
+           elems(out);
+  }
+  if (std::strcmp(op, "lstm_gates") == 0 && n_parents >= 5) {
+    // x*wx + h*wh + b.
+    return 2 * (elems(parents[0]) + elems(parents[2])) *
+               static_cast<std::uint64_t>(out.second) +
+           2 * elems(out);
+  }
+  if (std::strcmp(op, "transpose") == 0 || std::strcmp(op, "constant") == 0 ||
+      std::strncmp(op, "slice", 5) == 0 || std::strncmp(op, "pad", 3) == 0 ||
+      std::strncmp(op, "concat", 6) == 0) {
+    return 0;
+  }
+  return elems(out);  // elementwise / broadcast / reduction: ~1 flop per out
+}
+
+}  // namespace
+
+std::atomic<bool>& Profiler::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Profiler::start() {
+  clear();
+  enabled_flag().store(true, std::memory_order_release);
+}
+
+void Profiler::stop() {
+  enabled_flag().store(false, std::memory_order_release);
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_stats.clear();
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, OpStats>> Profiler::snapshot() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return {g_stats.begin(), g_stats.end()};
+}
+
+void Profiler::note_op(const char* op, const Dims* parents,
+                       std::size_t n_parents, Dims out) {
+  if (!enabled()) return;
+  const std::int64_t now = now_ns();
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  std::int64_t wall = 0;
+  if (t_epoch == epoch && t_last_boundary_ns != 0) {
+    wall = now - t_last_boundary_ns;
+  }
+  t_epoch = epoch;
+  t_last_boundary_ns = now;
+
+  std::uint64_t bytes = elems(out) * sizeof(float);
+  for (std::size_t i = 0; i < n_parents; ++i) bytes += elems(parents[i]) * sizeof(float);
+  const std::uint64_t flops = estimate_flops(op, parents, n_parents, out);
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  OpStats& s = g_stats[op];
+  ++s.calls;
+  s.wall_ns += wall > 0 ? static_cast<std::uint64_t>(wall) : 0;
+  s.flops += flops;
+  s.bytes += bytes;
+}
+
+void Profiler::mark() {
+  if (!enabled()) return;
+  t_epoch = g_epoch.load(std::memory_order_relaxed);
+  t_last_boundary_ns = now_ns();
+}
+
+void Profiler::record_kernel(const char* name, std::uint64_t wall_ns,
+                             std::uint64_t flops, std::uint64_t bytes) {
+  if (!enabled()) return;  // also drops timers that straddle a stop()
+  std::lock_guard<std::mutex> lock(g_mu);
+  OpStats& s = g_stats[std::string("kernel.") + name];
+  ++s.calls;
+  s.wall_ns += wall_ns;
+  s.flops += flops;
+  s.bytes += bytes;
+}
+
+std::string Profiler::to_json() {
+  const auto snap = snapshot();
+  std::string out = "{\"ops\":{";
+  bool first = true;
+  for (const auto& [name, s] : snap) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // op names are static identifiers; no escaping needed
+    out += "\":{\"calls\":" + std::to_string(s.calls);
+    out += ",\"wall_ns\":" + std::to_string(s.wall_ns);
+    out += ",\"flops\":" + std::to_string(s.flops);
+    out += ",\"bytes\":" + std::to_string(s.bytes) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+KernelTimer::KernelTimer(const char* name, std::uint64_t flops,
+                         std::uint64_t bytes)
+    : name_(name), flops_(flops), bytes_(bytes) {
+  if (!Profiler::enabled()) return;
+  active_ = true;
+  t0_ns_ = now_ns();
+}
+
+KernelTimer::~KernelTimer() {
+  if (!active_) return;
+  const std::int64_t dt = now_ns() - t0_ns_;
+  Profiler::record_kernel(name_, dt > 0 ? static_cast<std::uint64_t>(dt) : 0,
+                          flops_, bytes_);
+}
+
+}  // namespace dg::obs

@@ -1,0 +1,66 @@
+#include "obs/runlog.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace dg::obs {
+
+namespace {
+
+void append_field(std::string& out, const char* key, double v) {
+  char buf[48];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.9g", key, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\":null", key);
+  }
+  out += buf;
+  out += ',';
+}
+
+}  // namespace
+
+RunLogger::RunLogger(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("RunLogger: cannot create run dir '" + dir_ +
+                             "': " + ec.message());
+  }
+  out_.open(metrics_path(), std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("RunLogger: cannot open " + metrics_path());
+  }
+}
+
+std::string RunLogger::metrics_path() const {
+  return (std::filesystem::path(dir_) / "metrics.jsonl").string();
+}
+
+void RunLogger::log_iteration(const TrainIterRecord& r) {
+  std::string line = "{\"iter\":" + std::to_string(r.iter) + ",";
+  append_field(line, "d_loss", r.d_loss);
+  append_field(line, "aux_loss", r.aux_loss);
+  append_field(line, "g_loss", r.g_loss);
+  append_field(line, "gp_penalty", r.gp_penalty);
+  append_field(line, "g_grad_norm", r.g_grad_norm);
+  append_field(line, "d_grad_norm", r.d_grad_norm);
+  append_field(line, "feat_spread", r.feat_spread);
+  append_field(line, "feat_min", r.feat_min);
+  append_field(line, "feat_max", r.feat_max);
+  append_field(line, "wall_ms", r.wall_ms);
+  line.back() = '}';  // replace the trailing comma
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << "\n";
+  out_.flush();
+}
+
+void RunLogger::log_event(const std::string& json_object_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << json_object_line << "\n";
+  out_.flush();
+}
+
+}  // namespace dg::obs

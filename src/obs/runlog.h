@@ -1,0 +1,55 @@
+// Training-run instrumentation: a run directory receiving a JSONL metrics
+// stream (one object per generator iteration) that `dgcli top` tails live
+// and tools/plot_run.py renders.
+//
+// The per-iteration record carries exactly the diagnostics the paper reads
+// its failures from: G/D losses, gradient norms, WGAN-GP penalty magnitude,
+// and the "collapse sentinel" — the mean per-feature (max - min) spread of
+// the generated batch. A collapsing generator (§4.2's failure signature on
+// wide-dynamic-range signals) drives that spread toward zero iterations
+// before the losses look suspicious.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace dg::obs {
+
+/// One generator iteration's diagnostics (written as one JSONL object).
+struct TrainIterRecord {
+  int iter = 0;
+  double d_loss = 0.0;
+  double aux_loss = 0.0;
+  double g_loss = 0.0;
+  double gp_penalty = 0.0;   // full-critic GP magnitude, pre-weight
+  double g_grad_norm = 0.0;  // L2 over all generator parameter grads
+  double d_grad_norm = 0.0;  // L2 over full-critic parameter grads
+  double feat_spread = 0.0;  // collapse sentinel: mean per-feature max-min
+  double feat_min = 0.0;     // batch-global feature extrema
+  double feat_max = 0.0;
+  double wall_ms = 0.0;      // this iteration's wall time
+};
+
+/// Appends JSONL records to <dir>/metrics.jsonl (the directory is created).
+/// Thread-safe; each record is flushed so a live `dgcli top --follow` and a
+/// crashed run both see every completed iteration.
+class RunLogger {
+ public:
+  explicit RunLogger(std::string dir);
+
+  void log_iteration(const TrainIterRecord& r);
+  /// Arbitrary marker record, e.g. {"event":"fit_start","iterations":400}.
+  void log_event(const std::string& json_object_line);
+
+  const std::string& dir() const { return dir_; }
+  std::string metrics_path() const;
+
+ private:
+  std::string dir_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace dg::obs

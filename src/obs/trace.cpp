@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+namespace dg::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_mu;
+std::vector<TraceEvent> g_events;
+std::chrono::steady_clock::time_point g_epoch;
+
+// Small stable per-thread ids (Chrome renders one track per tid).
+std::atomic<std::uint64_t> g_next_tid{1};
+thread_local std::uint64_t t_tid = 0;
+thread_local int t_depth = 0;
+
+std::uint64_t this_tid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - g_epoch)
+      .count();
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Trace::start() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_events.clear();
+  g_epoch = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Trace::stop() { g_enabled.store(false, std::memory_order_release); }
+
+bool Trace::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::vector<TraceEvent> Trace::events() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_events;
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_events.clear();
+  g_epoch = std::chrono::steady_clock::now();
+}
+
+void Trace::write_chrome(std::ostream& os) {
+  const std::vector<TraceEvent> evs = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    std::string line;
+    if (!first) line += ',';
+    first = false;
+    line += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    line += ",\"ts\":" + std::to_string(e.ts_us);
+    line += ",\"dur\":" + std::to_string(e.dur_us);
+    line += ",\"name\":";
+    append_escaped(line, e.name);
+    line += ",\"cat\":";
+    append_escaped(line, e.category);
+    line += ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+    os << line;
+  }
+  os << "]}";
+}
+
+void Trace::write_jsonl(std::ostream& os) {
+  const std::vector<TraceEvent> evs = events();
+  for (const TraceEvent& e : evs) {
+    std::string line = "{\"name\":";
+    append_escaped(line, e.name);
+    line += ",\"cat\":";
+    append_escaped(line, e.category);
+    line += ",\"tid\":" + std::to_string(e.tid);
+    line += ",\"ts_us\":" + std::to_string(e.ts_us);
+    line += ",\"dur_us\":" + std::to_string(e.dur_us);
+    line += ",\"depth\":" + std::to_string(e.depth) + "}";
+    os << line << "\n";
+  }
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!Trace::enabled()) return;
+  active_ = true;
+  depth_ = t_depth++;
+  t0_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::int64_t t1 = now_us();
+  --t_depth;
+  // A stop() between open and close still records the event: the span was
+  // opened under an enabled trace and its duration is already paid for.
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.tid = this_tid();
+  e.ts_us = t0_us_;
+  e.dur_us = t1 - t0_us_;
+  e.depth = depth_;
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_events.push_back(std::move(e));
+}
+
+}  // namespace dg::obs

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "data/io.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 
 namespace dg::serve {
@@ -174,6 +175,14 @@ std::string TcpServer::handle_line(const std::string& line) {
     const std::string op = req.string_or("op", "generate");
     if (op == "stats") {
       return json::dump(stats_to_json(service_.stats()));
+    }
+    if (op == "metrics") {
+      // Registry snapshots are already JSON objects; splice them in as-is.
+      // "service" is this GenerationService's private registry, "process"
+      // the global one (anomaly counters, co-resident training gauges).
+      return "{\"ok\":true,\"service\":" + service_.metrics_json() +
+             ",\"process\":" +
+             obs::to_json(obs::Registry::global().snapshot()) + "}";
     }
     if (op == "schema") {
       std::ostringstream os;

@@ -95,7 +95,7 @@ std::future<GenResponse> GenerationService::submit(GenRequest req) {
   auto pr = std::make_shared<PendingRequest>();
   pr->t_submit = std::chrono::steady_clock::now();
   std::future<GenResponse> fut = pr->promise.get_future();
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.add(1);
 
   auto reject = [&](const std::string& why) {
     GenResponse resp;
@@ -127,28 +127,15 @@ std::future<GenResponse> GenerationService::submit(GenRequest req) {
   return fut;
 }
 
-void GenerationService::record_latency(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(ms);
-  } else {
-    latencies_[latency_pos_] = ms;
-    latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
-  }
-}
+void GenerationService::record_latency(double ms) { latency_ms_.record(ms); }
 
 void GenerationService::add_sampler_delta(const SamplerStats& now,
                                           SamplerStats& last) {
-  rnn_steps_.fetch_add(now.rnn_steps - last.rnn_steps,
-                       std::memory_order_relaxed);
-  slot_steps_active_.fetch_add(now.slot_steps_active - last.slot_steps_active,
-                               std::memory_order_relaxed);
-  slot_steps_total_.fetch_add(now.slot_steps_total - last.slot_steps_total,
-                              std::memory_order_relaxed);
-  series_completed_.fetch_add(now.series_completed - last.series_completed,
-                              std::memory_order_relaxed);
-  series_rejected_.fetch_add(now.series_rejected - last.series_rejected,
-                             std::memory_order_relaxed);
+  rnn_steps_.add(now.rnn_steps - last.rnn_steps);
+  slot_steps_active_.add(now.slot_steps_active - last.slot_steps_active);
+  slot_steps_total_.add(now.slot_steps_total - last.slot_steps_total);
+  series_completed_.add(now.series_completed - last.series_completed);
+  series_rejected_.add(now.series_rejected - last.series_rejected);
   last = now;
 }
 
@@ -179,7 +166,7 @@ void GenerationService::maybe_reload() {
   model_ = std::move(fresh);
   package_mtime_ = mtime;
   ++model_generation_;
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_.add(1);
 }
 
 void GenerationService::engine_loop() {
@@ -268,7 +255,7 @@ void GenerationService::engine_loop() {
       }
       resp.latency_ms = ms_since(t.pr->t_submit);
       record_latency(resp.latency_ms);
-      responses_.fetch_add(1, std::memory_order_relaxed);
+      responses_.add(1);
       t.pr->promise.set_value(std::move(resp));
       inflight.erase(it);
     }
@@ -342,32 +329,37 @@ void GenerationService::engine_loop() {
 
 StatsSnapshot GenerationService::stats() const {
   StatsSnapshot s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.responses = responses_.load(std::memory_order_relaxed);
-  s.series_completed = series_completed_.load(std::memory_order_relaxed);
-  s.series_rejected = series_rejected_.load(std::memory_order_relaxed);
-  s.rnn_steps = rnn_steps_.load(std::memory_order_relaxed);
-  s.slot_steps_active = slot_steps_active_.load(std::memory_order_relaxed);
-  s.slot_steps_total = slot_steps_total_.load(std::memory_order_relaxed);
+  s.requests = requests_.get();
+  s.responses = responses_.get();
+  s.series_completed = series_completed_.get();
+  s.series_rejected = series_rejected_.get();
+  s.rnn_steps = rnn_steps_.get();
+  s.slot_steps_active = slot_steps_active_.get();
+  s.slot_steps_total = slot_steps_total_.get();
   s.queue_depth = queue_.size();
-  s.package_reloads = reloads_.load(std::memory_order_relaxed);
+  s.package_reloads = reloads_.get();
   s.occupancy = s.slot_steps_total == 0
                     ? 0.0
                     : static_cast<double>(s.slot_steps_active) /
                           static_cast<double>(s.slot_steps_total);
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  if (!latencies_.empty()) {
-    std::vector<double> sorted = latencies_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto at = [&](double q) {
-      const std::size_t i = static_cast<std::size_t>(
-          q * static_cast<double>(sorted.size() - 1) + 0.5);
-      return sorted[std::min(i, sorted.size() - 1)];
-    };
-    s.p50_latency_ms = at(0.50);
-    s.p99_latency_ms = at(0.99);
-  }
+  // Exact nearest-rank quantiles over the histogram's retained window; a
+  // partially-filled window is handled by construction (the snapshot only
+  // ever sorts the filled portion).
+  const obs::HistogramSnapshot lat = latency_ms_.snapshot();
+  s.p50_latency_ms = lat.p50;
+  s.p99_latency_ms = lat.p99;
   return s;
+}
+
+std::string GenerationService::metrics_json() const {
+  // Derived values are refreshed into gauges at snapshot time so the
+  // exported registry is self-contained.
+  const StatsSnapshot s = stats();
+  registry_.gauge("serve.queue_depth").set(static_cast<double>(s.queue_depth));
+  registry_.gauge("serve.occupancy").set(s.occupancy);
+  registry_.gauge("serve.engines").set(static_cast<double>(cfg_.engines));
+  registry_.gauge("serve.slots").set(static_cast<double>(cfg_.slots));
+  return obs::to_json(registry_.snapshot());
 }
 
 }  // namespace dg::serve

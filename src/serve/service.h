@@ -24,6 +24,7 @@
 
 #include "core/doppelganger.h"
 #include "core/package.h"
+#include "obs/metrics.h"
 #include "serve/queue.h"
 #include "serve/sampler.h"
 #include "serve/types.h"
@@ -61,9 +62,14 @@ class GenerationService {
   std::future<GenResponse> submit(GenRequest req);
 
   StatsSnapshot stats() const;
+  /// Full metrics-registry snapshot of this service instance as a JSON
+  /// object ({"counters":...,"gauges":...,"histograms":...}) — the TCP
+  /// "metrics" op's payload. Superset of stats(): same counters plus the
+  /// latency histogram's buckets and window.
+  std::string metrics_json() const;
   /// Schema snapshot of the currently-served model.
   data::Schema schema() const;
-  std::uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+  std::uint64_t reloads() const { return reloads_.get(); }
 
   const ServiceConfig& config() const { return cfg_; }
 
@@ -95,21 +101,28 @@ class GenerationService {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> next_ticket_{1};
 
-  // Aggregated counters (engines add sampler deltas after every pump).
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> responses_{0};
-  std::atomic<std::uint64_t> reloads_{0};
-  std::atomic<std::uint64_t> rnn_steps_{0};
-  std::atomic<std::uint64_t> slot_steps_active_{0};
-  std::atomic<std::uint64_t> slot_steps_total_{0};
-  std::atomic<std::uint64_t> series_completed_{0};
-  std::atomic<std::uint64_t> series_rejected_{0};
-
-  // Latency reservoir: last kLatencyWindow request latencies, for p50/p99.
-  static constexpr std::size_t kLatencyWindow = 2048;
-  mutable std::mutex latency_mu_;
-  std::vector<double> latencies_;
-  std::size_t latency_pos_ = 0;
+  // All service telemetry lives in a per-instance metrics registry: one
+  // GenerationService per test must not bleed counters into another, so the
+  // process-global registry is not used here. The references are cached at
+  // construction (registry metrics live as long as the registry) and the
+  // engines write them directly — counter adds are relaxed atomics, exactly
+  // what the raw std::atomic members used to be.
+  mutable obs::Registry registry_;  // metrics_json() refreshes gauges
+  obs::Counter& requests_ = registry_.counter("serve.requests");
+  obs::Counter& responses_ = registry_.counter("serve.responses");
+  obs::Counter& reloads_ = registry_.counter("serve.package_reloads");
+  obs::Counter& rnn_steps_ = registry_.counter("serve.rnn_steps");
+  obs::Counter& slot_steps_active_ =
+      registry_.counter("serve.slot_steps_active");
+  obs::Counter& slot_steps_total_ = registry_.counter("serve.slot_steps_total");
+  obs::Counter& series_completed_ = registry_.counter("serve.series_completed");
+  obs::Counter& series_rejected_ = registry_.counter("serve.series_rejected");
+  // Request latencies: exact p50/p99 over the last `window` samples (the
+  // snapshot sorts a copy of only the filled portion, so a partially-filled
+  // window never reads stale slots — the bug the old hand-rolled reservoir
+  // had to dodge by hand).
+  obs::Histogram& latency_ms_ = registry_.histogram(
+      "serve.latency_ms", obs::HistogramOptions{.bounds = {}, .window = 2048});
 };
 
 }  // namespace dg::serve

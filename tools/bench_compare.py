@@ -6,6 +6,9 @@ Usage:
         [--threshold 0.15]      relative slowdown that counts as a regression
         [--metric real_time]    which per-benchmark field to compare
         [--filter REGEX]        only compare benchmark names matching REGEX
+        [--rename OLD=NEW ...]  rename benchmarks (both files) before diffing
+        [--best]                with --benchmark_repetitions, compare the
+                                per-name minimum instead of the last run
 
 Exit status: 0 when no compared benchmark regressed by more than the
 threshold, 1 otherwise (and 2 on malformed input). Benchmarks present in
@@ -16,6 +19,12 @@ This is CI's perf gate: the bench-smoke job regenerates CURRENT on every
 push and compares it against the committed bench/baseline_ci.json. Times
 are normalized to nanoseconds before comparison, so the two files may use
 different time_unit settings.
+
+--rename enables cross-configuration gates: the obs-overhead check runs the
+same workload in a -DDG_OBS=OFF build (as BM_ObsOverheadOff) and an ON build
+(as BM_ObsOverheadIdleOn), renames the former, and diffs them with a tight
+threshold. --best pairs with --benchmark_repetitions to compare each name's
+fastest repetition, which strips scheduler noise from tight-threshold gates.
 """
 
 import argparse
@@ -26,7 +35,7 @@ import sys
 _NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_benchmarks(path, metric):
+def load_benchmarks(path, metric, renames=None, best=False):
     """Returns {name: metric value in ns} for the real (non-aggregate) runs."""
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -41,10 +50,17 @@ def load_benchmarks(path, metric):
         name = bench.get("name")
         if name is None or metric not in bench:
             continue
+        # Repetition runs all share one name; with --best keep the fastest.
+        if best and "repetition_index" in bench:
+            name = re.sub(r"/repeats:\d+$", "", name)
+        name = (renames or {}).get(name, name)
         unit = _NS_PER.get(bench.get("time_unit", "ns"))
         if unit is None:
             sys.exit(f"bench_compare: {path}: unknown time_unit in {name}")
-        out[name] = float(bench[metric]) * unit
+        value = float(bench[metric]) * unit
+        if best and name in out:
+            value = min(value, out[name])
+        out[name] = value
     if not out:
         sys.exit(f"bench_compare: {path}: no benchmarks with metric {metric!r}")
     return out
@@ -67,10 +83,23 @@ def main():
                     help="benchmark field to compare (default real_time)")
     ap.add_argument("--filter", default=None, metavar="REGEX",
                     help="only compare benchmark names matching REGEX")
+    ap.add_argument("--rename", action="append", default=[], metavar="OLD=NEW",
+                    help="rename a benchmark in both files before diffing "
+                         "(repeatable); used for cross-configuration gates")
+    ap.add_argument("--best", action="store_true",
+                    help="compare each name's fastest repetition instead of "
+                         "the last (use with --benchmark_repetitions)")
     args = ap.parse_args()
 
-    base = load_benchmarks(args.baseline, args.metric)
-    cur = load_benchmarks(args.current, args.metric)
+    renames = {}
+    for spec in args.rename:
+        old, sep, new = spec.partition("=")
+        if not sep or not old or not new:
+            sys.exit(f"bench_compare: bad --rename {spec!r}, expected OLD=NEW")
+        renames[old] = new
+
+    base = load_benchmarks(args.baseline, args.metric, renames, args.best)
+    cur = load_benchmarks(args.current, args.metric, renames, args.best)
     if args.filter:
         pat = re.compile(args.filter)
         base = {k: v for k, v in base.items() if pat.search(k)}

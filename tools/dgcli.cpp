@@ -4,6 +4,7 @@
 //   dgcli train      --schema S.schema --data D.csv --out M.dgpkg
 //                    [--iterations N] [--sample-len S] [--batch B] [--seed X]
 //                    [--no-minmax] [--no-aux] [--lstm-units U] [--d-steps K]
+//                    [--run-dir DIR]
 //   dgcli generate   --model M.dgpkg --n N --out synth.csv
 //                    [--seed X] [--format csv|bin]
 //   dgcli serve      --model M.dgpkg [--port P] [--slots W] [--engines E]
@@ -12,6 +13,8 @@
 //                    [--attempts A] [--fixed a=v,b=v] [--where "a=v,b>=v"]
 //                    [--out synth.csv] [--stats] [--json]
 //   dgcli stats      --schema S.schema --data D.csv [--compare other.csv]
+//   dgcli stats      --port P [--host H] [--json]
+//   dgcli top        --run DIR [--follow] [--rows N]
 //   dgcli check      [--seed X] [--iterations N]
 //
 // The .dgpkg package bundles schema + architecture + trained parameters, so
@@ -25,10 +28,17 @@
 // gradcheck battery (including the WGAN-GP second-order path) followed by an
 // AnomalyGuard-instrumented mini training run of the full DoppelGANger graph
 // (attribute MLP -> min/max MLP -> LSTM -> GP second-order pass).
+//
+// Observability: `train --run-dir DIR` streams per-iteration telemetry to
+// DIR/metrics.jsonl and drops trace.json (chrome://tracing), trace.jsonl,
+// profile.json (per-op/kernel wall+FLOPs) and registry.json there; `top`
+// tails a run directory live; `stats --port` pretty-prints a running
+// server's metrics registry.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -43,6 +53,10 @@
 #include "nn/check.h"
 #include "nn/gradcheck.h"
 #include "nn/parallel.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/runlog.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -134,11 +148,54 @@ int cmd_train(const Args& a) {
   const data::Dataset train = data::load_csv_file(a.str("data"), schema);
   const auto cfg = config_from(a, schema);
   core::DoppelGanger model(schema, cfg);
+
+  // --run-dir: full instrumentation. Per-iteration telemetry streams to
+  // DIR/metrics.jsonl while training runs (tail with `dgcli top --follow`);
+  // trace + profiler dumps land there on completion.
+  std::shared_ptr<obs::RunLogger> run_log;
+  if (a.flag("run-dir")) {
+    run_log = std::make_shared<obs::RunLogger>(a.str("run-dir"));
+    model.set_run_logger(run_log);
+    run_log->log_event("{\"event\":\"fit_start\",\"iterations\":" +
+                       std::to_string(cfg.iterations) + ",\"batch\":" +
+                       std::to_string(cfg.batch) + ",\"sample_len\":" +
+                       std::to_string(cfg.sample_len) + "}");
+    obs::Trace::start();
+    obs::Profiler::start();
+  }
+
   std::printf("training on %zu objects (%d iterations, S=%d)...\n",
               train.size(), cfg.iterations, cfg.sample_len);
   const auto stats = model.fit(train);
   std::printf("final losses: critic %.3f, generator %.3f\n",
               stats.d_loss.back(), stats.g_loss.back());
+
+  if (run_log) {
+    obs::Trace::stop();
+    obs::Profiler::stop();
+    run_log->log_event("{\"event\":\"fit_end\"}");
+    const std::string dir = run_log->dir();
+    {
+      std::ofstream os(dir + "/trace.json");
+      obs::Trace::write_chrome(os);
+    }
+    {
+      std::ofstream os(dir + "/trace.jsonl");
+      obs::Trace::write_jsonl(os);
+    }
+    {
+      std::ofstream os(dir + "/profile.json");
+      os << obs::Profiler::to_json() << "\n";
+    }
+    {
+      std::ofstream os(dir + "/registry.json");
+      os << obs::to_json(obs::Registry::global().snapshot()) << "\n";
+    }
+    std::printf("run telemetry in %s (metrics.jsonl, trace.json, "
+                "profile.json, registry.json)\n",
+                dir.c_str());
+  }
+
   core::save_package_file(a.str("out"), model);
   std::printf("wrote model package %s\n", a.str("out").c_str());
   return 0;
@@ -308,7 +365,79 @@ void print_stats(const char* tag, const data::Schema& schema,
   }
 }
 
+// ------------------------------------------------------- registry printing
+
+/// Pretty-prints one registry snapshot (the JSON form the server's
+/// "metrics" op returns) as an aligned name/value table.
+void print_metric_table(const char* title, const serve::json::Value& reg) {
+  struct Row {
+    std::string name;
+    std::string value;
+  };
+  std::vector<Row> rows;
+  char buf[160];
+  if (const auto* c = reg.find("counters"); c && c->is_object()) {
+    for (const auto& [name, v] : c->as_object()) {
+      std::snprintf(buf, sizeof(buf), "%.0f", v.as_number());
+      rows.push_back({name, buf});
+    }
+  }
+  if (const auto* g = reg.find("gauges"); g && g->is_object()) {
+    for (const auto& [name, v] : g->as_object()) {
+      std::snprintf(buf, sizeof(buf), "%.6g",
+                    v.is_number() ? v.as_number() : 0.0);
+      rows.push_back({name, buf});
+    }
+  }
+  if (const auto* h = reg.find("histograms"); h && h->is_object()) {
+    for (const auto& [name, hv] : h->as_object()) {
+      std::snprintf(buf, sizeof(buf),
+                    "count %.0f  p50 %.3f  p90 %.3f  p99 %.3f  max %.3f",
+                    hv.number_or("count", 0), hv.number_or("p50", 0),
+                    hv.number_or("p90", 0), hv.number_or("p99", 0),
+                    hv.number_or("max", 0));
+      rows.push_back({name, buf});
+    }
+  }
+  std::printf("== %s ==\n", title);
+  if (rows.empty()) {
+    std::printf("  (no metrics)\n");
+    return;
+  }
+  std::size_t width = 0;
+  for (const Row& r : rows) width = std::max(width, r.name.size());
+  for (const Row& r : rows) {
+    std::printf("  %-*s  %s\n", static_cast<int>(width), r.name.c_str(),
+                r.value.c_str());
+  }
+}
+
+/// `stats --port P`: queries a running server's "metrics" op and renders
+/// both its per-service registry and the process-wide one.
+int cmd_stats_server(const Args& a) {
+  const std::string host = a.str("host", "127.0.0.1");
+  const int port = static_cast<int>(a.num("port", 7788));
+  const std::string reply =
+      serve::send_line(host, port, "{\"op\":\"metrics\"}");
+  if (a.flag("json")) {
+    std::printf("%s\n", reply.c_str());
+    return 0;
+  }
+  const serve::json::Value v = serve::json::parse(reply);
+  if (!v.bool_or("ok", false)) {
+    throw std::runtime_error("server refused metrics op: " + reply);
+  }
+  if (const auto* svc = v.find("service")) {
+    print_metric_table("service metrics", *svc);
+  }
+  if (const auto* proc = v.find("process")) {
+    print_metric_table("process metrics", *proc);
+  }
+  return 0;
+}
+
 int cmd_stats(const Args& a) {
+  if (a.flag("port")) return cmd_stats_server(a);
   const data::Schema schema = data::load_schema_file(a.str("schema"));
   const data::Dataset d = data::load_csv_file(a.str("data"), schema);
   print_stats("data", schema, d);
@@ -322,6 +451,66 @@ int cmd_stats(const Args& a) {
     std::fputs(os.str().c_str(), stdout);
   }
   return 0;
+}
+
+// ---------------------------------------------------------------- top
+
+/// Live view of a training run directory: renders DIR/metrics.jsonl as an
+/// aligned table (last --rows iterations), and with --follow keeps tailing
+/// the file as the trainer appends (each record is flushed per iteration).
+int cmd_top(const Args& a) {
+  const std::string path = a.str("run") + "/metrics.jsonl";
+  const bool follow = a.flag("follow");
+  const std::size_t want = static_cast<std::size_t>(a.num("rows", 20));
+
+  const auto print_header = [] {
+    std::printf("%8s %9s %9s %9s %9s %9s %9s %9s %8s\n", "iter", "d_loss",
+                "aux", "g_loss", "gp", "|gD|", "|gG|", "spread", "ms");
+  };
+  const auto print_row = [](const serve::json::Value& v) {
+    std::printf("%8.0f %9.4f %9.4f %9.4f %9.4f %9.3f %9.3f %9.4f %8.1f\n",
+                v.number_or("iter", 0), v.number_or("d_loss", 0),
+                v.number_or("aux_loss", 0), v.number_or("g_loss", 0),
+                v.number_or("gp_penalty", 0), v.number_or("d_grad_norm", 0),
+                v.number_or("g_grad_norm", 0), v.number_or("feat_spread", 0),
+                v.number_or("wall_ms", 0));
+    std::fflush(stdout);
+  };
+  // Iteration records carry "iter"; event markers ({"event":...}) do not.
+  const auto show_line = [&](const std::string& line) {
+    try {
+      const serve::json::Value v = serve::json::parse(line);
+      if (v.find("iter")) print_row(v);
+    } catch (const std::exception&) {
+      // tolerate torn/foreign lines: a live writer may race us mid-record
+    }
+  };
+
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("top: cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  print_header();
+  const std::size_t start = lines.size() > want ? lines.size() - want : 0;
+  for (std::size_t i = start; i < lines.size(); ++i) show_line(lines[i]);
+  if (!follow) return 0;
+
+  // Tail: poll for appended lines (the trainer flushes one per iteration).
+  // A line without a trailing newline yet is mid-write: rewind and retry.
+  in.clear();
+  for (;;) {
+    const std::streampos pos = in.tellg();
+    if (std::getline(in, line) && !in.eof()) {
+      if (!line.empty()) show_line(line);
+      continue;
+    }
+    in.clear();
+    in.seekg(pos);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
 }
 
 // ---------------------------------------------------------------- check
@@ -467,14 +656,31 @@ int cmd_check(const Args& a) {
   if (leaked != 0) ok = false;
   if (st.backward_runs == 0 || st.forward_values_checked == 0) ok = false;
 
+  // Everything the run pushed into the process registry (anomaly counters
+  // from nn/check, training gauges from the fit above) plus the leak count,
+  // so a scripted `dgcli check` has one machine-readable-ish summary block.
+  obs::Registry::global().counter("nn.check.leaked_nodes").add(leaked);
+  std::printf("== metrics registry (process) ==\n");
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  std::size_t width = 0;
+  for (const auto& [name, v] : snap.counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.gauges) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.counters) {
+    std::printf("  %-*s  %llu\n", static_cast<int>(width), name.c_str(),
+                static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::printf("  %-*s  %.6g\n", static_cast<int>(width), name.c_str(), v);
+  }
+
   std::printf("check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dgcli <make-synth|train|generate|serve|request|stats|check>"
-               " [options]\n"
+               "usage: dgcli <make-synth|train|generate|serve|request|stats|"
+               "top|check> [options]\n"
                "see the header of tools/dgcli.cpp for the option list\n");
   return 2;
 }
@@ -490,6 +696,7 @@ int main(int argc, char** argv) {
     if (a.command == "serve") return cmd_serve(a);
     if (a.command == "request") return cmd_request(a);
     if (a.command == "stats") return cmd_stats(a);
+    if (a.command == "top") return cmd_top(a);
     if (a.command == "check") return cmd_check(a);
     return usage();
   } catch (const std::exception& e) {

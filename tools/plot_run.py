@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Render a training run directory's metrics.jsonl (written by
+`dgcli train --run-dir DIR`, one JSON object per generator iteration).
+
+With matplotlib available, writes DIR/run.png with four panels: losses,
+gradient norms, WGAN-GP penalty, and the feature-range collapse sentinel.
+Without it, prints ASCII sparkline summaries so the script is usable on a
+bare training box.
+
+usage: plot_run.py DIR [--out FILE.png]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SERIES = [
+    ("d_loss", "critic loss"),
+    ("aux_loss", "aux critic loss"),
+    ("g_loss", "generator loss"),
+    ("gp_penalty", "GP penalty (raw)"),
+    ("d_grad_norm", "|grad D|"),
+    ("g_grad_norm", "|grad G|"),
+    ("feat_spread", "feature spread (collapse sentinel)"),
+    ("wall_ms", "iteration wall ms"),
+]
+
+
+def load_run(run_dir):
+    path = os.path.join(run_dir, "metrics.jsonl")
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue  # torn line from a live writer
+            if "iter" in obj:
+                records.append(obj)
+    if not records:
+        raise SystemExit("no iteration records in %s" % path)
+    return records
+
+
+def series(records, key):
+    return [r.get(key) for r in records if isinstance(r.get(key), (int, float))]
+
+
+def sparkline(values, width=60):
+    ticks = " .:-=+*#%@"
+    if len(values) > width:  # bucket-average down to `width` points
+        step = len(values) / width
+        values = [
+            sum(values[int(i * step):max(int(i * step) + 1, int((i + 1) * step))])
+            / max(1, int((i + 1) * step) - int(i * step))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(ticks[int((v - lo) / span * (len(ticks) - 1))] for v in values)
+
+
+def ascii_report(records):
+    print("%d iterations" % len(records))
+    for key, label in SERIES:
+        vals = series(records, key)
+        if not vals:
+            continue
+        print(
+            "%-38s last %10.4f  min %10.4f  max %10.4f\n  [%s]"
+            % (label, vals[-1], min(vals), max(vals), sparkline(vals))
+        )
+
+
+def png_report(records, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    iters = series(records, "iter")
+    panels = [
+        [("d_loss", "critic"), ("aux_loss", "aux"), ("g_loss", "generator")],
+        [("d_grad_norm", "|grad D|"), ("g_grad_norm", "|grad G|")],
+        [("gp_penalty", "GP penalty")],
+        [("feat_spread", "feature spread")],
+    ]
+    fig, axes = plt.subplots(len(panels), 1, figsize=(9, 11), sharex=True)
+    titles = ["losses", "gradient norms", "WGAN-GP penalty", "collapse sentinel"]
+    for ax, panel, title in zip(axes, panels, titles):
+        for key, label in panel:
+            vals = series(records, key)
+            if vals:
+                ax.plot(iters[: len(vals)], vals, label=label, linewidth=1.0)
+        ax.set_title(title, fontsize=10)
+        ax.legend(fontsize=8)
+        ax.grid(True, alpha=0.3)
+    axes[-1].set_xlabel("iteration")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print("wrote %s" % out_path)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("run_dir", help="run directory containing metrics.jsonl")
+    ap.add_argument("--out", help="output image (default DIR/run.png)")
+    ap.add_argument(
+        "--ascii", action="store_true", help="force the ASCII fallback"
+    )
+    args = ap.parse_args()
+
+    records = load_run(args.run_dir)
+    if not args.ascii:
+        try:
+            png_report(records, args.out or os.path.join(args.run_dir, "run.png"))
+            return
+        except ImportError:
+            print("matplotlib unavailable; ASCII fallback", file=sys.stderr)
+    ascii_report(records)
+
+
+if __name__ == "__main__":
+    main()
