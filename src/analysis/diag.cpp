@@ -1,0 +1,81 @@
+#include "analysis/diag.h"
+
+#include <ostream>
+
+namespace dg::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+bool has_errors(std::span<const Diagnostic> diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+void print_human(std::ostream& os, std::span<const Diagnostic> diags) {
+  for (const Diagnostic& d : diags) {
+    os << '[' << to_string(d.severity) << "] " << d.code;
+    if (!d.op.empty()) os << " at " << d.op;
+    if (!d.path.empty()) os << " (path: " << d.path << ')';
+    os << ": " << d.message << '\n';
+  }
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(std::span<const Diagnostic> diags) {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"severity\":";
+    append_json_string(out, to_string(d.severity));
+    out += ",\"code\":";
+    append_json_string(out, d.code);
+    out += ",\"message\":";
+    append_json_string(out, d.message);
+    out += ",\"op\":";
+    append_json_string(out, d.op);
+    out += ",\"path\":";
+    append_json_string(out, d.path);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace dg::analysis

@@ -1,0 +1,630 @@
+#include "analysis/model.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/symbolic.h"
+#include "nn/layers.h"
+
+namespace dg::analysis {
+
+namespace {
+
+using N = const SymNode*;
+
+// ---- architecture dimensions (mirrors DoppelGanger's constructor) --------
+
+struct ModelDims {
+  int attr_w = 0;        // encoded attribute width
+  int mm_w = 0;          // min/max "fake attribute" width (0 when disabled)
+  int record_width = 0;  // one record incl. the two generation flags
+  int tmax = 0;
+  int steps_per_series = 0;
+  bool minmax_enabled = false;
+};
+
+ModelDims model_dims(const data::Schema& s,
+                     const core::DoppelGangerConfig& cfg) {
+  ModelDims d;
+  d.attr_w = s.attribute_dim();
+  int n_cont = 0;
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Continuous) ++n_cont;
+  }
+  d.minmax_enabled = cfg.use_minmax_generator && n_cont > 0;
+  d.mm_w = d.minmax_enabled ? 2 * n_cont : 0;
+  d.record_width = s.feature_record_dim() + 2;
+  d.tmax = s.max_timesteps;
+  if (cfg.sample_len > 0) {
+    d.steps_per_series =
+        (s.max_timesteps + cfg.sample_len - 1) / cfg.sample_len;
+  }
+  return d;
+}
+
+// ---- output-block layout ------------------------------------------------
+//
+// Replicates core/output_blocks.cpp locally: the analysis layer sits below
+// dg_core in the link graph, so it cannot call into it. Any drift between
+// the two is caught by the differential test (meta-executed shapes and op
+// census vs. the real executor).
+
+struct Block {
+  int width = 0;
+  nn::Activation act = nn::Activation::None;
+};
+
+struct Layouts {
+  std::vector<Block> attr;
+  std::vector<Block> minmax;
+  std::vector<Block> step;  // sample_len records' worth of blocks
+};
+
+Layouts block_layouts(const data::Schema& s,
+                      const core::DoppelGangerConfig& cfg,
+                      const ModelDims& d) {
+  Layouts l;
+  for (const data::FieldSpec& a : s.attributes) {
+    l.attr.push_back({a.width(), a.type == data::FieldType::Categorical
+                                     ? nn::Activation::Softmax
+                                     : nn::Activation::Sigmoid});
+  }
+  std::vector<Block> record;
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Categorical) {
+      record.push_back({f.width(), nn::Activation::Softmax});
+    } else {
+      l.minmax.push_back({2, nn::Activation::Sigmoid});
+      record.push_back({1, d.minmax_enabled ? nn::Activation::Tanh
+                                            : nn::Activation::Sigmoid});
+    }
+  }
+  record.push_back({2, nn::Activation::Softmax});  // generation flags
+  if (!d.minmax_enabled) l.minmax.clear();
+  l.step.reserve(record.size() * static_cast<size_t>(cfg.sample_len));
+  for (int i = 0; i < cfg.sample_len; ++i) {
+    l.step.insert(l.step.end(), record.begin(), record.end());
+  }
+  return l;
+}
+
+N sym_apply_blocks(Tracer& t, N x, const std::vector<Block>& blocks) {
+  std::vector<N> parts;
+  parts.reserve(blocks.size());
+  int col = 0;
+  for (const Block& b : blocks) {
+    N part = t.slice_cols(x, col, col + b.width);
+    switch (b.act) {
+      case nn::Activation::None: break;
+      case nn::Activation::Relu: part = t.relu(part); break;
+      case nn::Activation::Tanh: part = t.tanh(part); break;
+      case nn::Activation::Sigmoid: part = t.sigmoid(part); break;
+      case nn::Activation::Softmax: part = t.softmax_rows(part); break;
+    }
+    parts.push_back(part);
+    col += b.width;
+  }
+  return t.concat_cols(parts);
+}
+
+// ---- symbolic modules ---------------------------------------------------
+
+using TrainableFn = std::function<bool(const std::string&)>;
+
+struct SymMlp {
+  std::vector<std::pair<N, N>> layers;  // (w, b) per Linear
+
+  static SymMlp make(Tracer& t, const std::string& name, int in, int out,
+                     int hidden, int hidden_layers, const TrainableFn& tr) {
+    SymMlp m;
+    int prev = in;
+    int li = 0;
+    const auto add_layer = [&](int width) {
+      const std::string base = name + ".l" + std::to_string(li++);
+      m.layers.emplace_back(
+          t.param(base + ".w", {Dim::of(prev), Dim::of(width)},
+                  tr(base + ".w")),
+          t.param(base + ".b", {Dim::of(1), Dim::of(width)},
+                  tr(base + ".b")));
+      prev = width;
+    };
+    for (int i = 0; i < hidden_layers; ++i) add_layer(hidden);
+    add_layer(out);
+    return m;
+  }
+
+  N forward(Tracer& t, N x) const {
+    N h = x;
+    for (size_t i = 0; i + 1 < layers.size(); ++i) {
+      h = t.relu(t.affine(h, layers[i].first, layers[i].second));
+    }
+    return t.affine(h, layers.back().first, layers.back().second);
+  }
+};
+
+struct SymLstm {
+  N wx = nullptr;
+  N wh = nullptr;
+  N b = nullptr;
+  int hidden = 0;
+
+  static SymLstm make(Tracer& t, const std::string& name, int in, int hidden,
+                      const TrainableFn& tr) {
+    SymLstm l;
+    l.hidden = hidden;
+    l.wx = t.param(name + ".wx", {Dim::of(in), Dim::of(4 * hidden)},
+                   tr(name + ".wx"));
+    l.wh = t.param(name + ".wh", {Dim::of(hidden), Dim::of(4 * hidden)},
+                   tr(name + ".wh"));
+    l.b = t.param(name + ".b", {Dim::of(1), Dim::of(4 * hidden)},
+                  tr(name + ".b"));
+    return l;
+  }
+
+  /// Mirrors nn::LstmCell::step op for op.
+  std::pair<N, N> step(Tracer& t, N x, N h_prev, N c_prev) const {
+    N gates = t.lstm_gates(x, wx, h_prev, wh, b);
+    N i = t.sigmoid(t.slice_cols(gates, 0, hidden));
+    N f = t.sigmoid(t.slice_cols(gates, hidden, 2 * hidden));
+    N g = t.tanh(t.slice_cols(gates, 2 * hidden, 3 * hidden));
+    N o = t.sigmoid(t.slice_cols(gates, 3 * hidden, 4 * hidden));
+    N c = t.add(t.mul(f, c_prev), t.mul(i, g));
+    N h = t.mul(o, t.tanh(c));
+    return {h, c};
+  }
+};
+
+struct GeneratorNets {
+  SymMlp attr_gen;
+  SymMlp minmax_gen;  // empty when disabled
+  SymLstm lstm;
+  SymMlp head;
+};
+
+GeneratorNets make_generator(Tracer& t, const core::DoppelGangerConfig& cfg,
+                             const ModelDims& d, const TrainableFn& tr) {
+  GeneratorNets g;
+  g.attr_gen = SymMlp::make(t, "attr_gen", cfg.attr_noise_dim, d.attr_w,
+                            cfg.attr_hidden, cfg.attr_layers, tr);
+  if (d.minmax_enabled) {
+    g.minmax_gen =
+        SymMlp::make(t, "minmax_gen", d.attr_w + cfg.minmax_noise_dim,
+                     d.mm_w, cfg.minmax_hidden, cfg.minmax_layers, tr);
+  }
+  g.lstm = SymLstm::make(t, "lstm", d.attr_w + d.mm_w + cfg.feat_noise_dim,
+                         cfg.lstm_units, tr);
+  g.head = SymMlp::make(t, "head", cfg.lstm_units,
+                        cfg.sample_len * d.record_width, cfg.head_hidden, 1,
+                        tr);
+  return g;
+}
+
+// ---- config / schema validation -----------------------------------------
+
+void check(std::vector<Diagnostic>& out, bool bad, const std::string& field,
+           const std::string& msg, Severity sev = Severity::kError) {
+  if (bad) out.push_back({sev, "config-invalid", msg, field, {}});
+}
+
+std::vector<Diagnostic> validate(const data::Schema& s,
+                                 const core::DoppelGangerConfig& cfg) {
+  std::vector<Diagnostic> d;
+
+  check(d, s.max_timesteps <= 0, "schema.max_timesteps",
+        "must be positive (generation horizon T^max)");
+  for (const data::FieldSpec& f : s.attributes) {
+    if (f.type == data::FieldType::Categorical) {
+      check(d, f.n_categories <= 0, "schema.attributes." + f.name,
+            "categorical field needs n_categories > 0");
+    } else {
+      check(d, f.hi <= f.lo, "schema.attributes." + f.name,
+            "continuous field needs hi > lo (scaling divides by hi - lo)");
+    }
+  }
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Categorical) {
+      check(d, f.n_categories <= 0, "schema.features." + f.name,
+            "categorical field needs n_categories > 0");
+    } else {
+      check(d, f.hi <= f.lo, "schema.features." + f.name,
+            "continuous field needs hi > lo (scaling divides by hi - lo)");
+    }
+  }
+
+  check(d, cfg.sample_len <= 0, "sample_len",
+        "S must be positive (records emitted per LSTM step)");
+  check(d, cfg.sample_len > 0 && s.max_timesteps > 0 &&
+               cfg.sample_len > s.max_timesteps,
+        "sample_len",
+        "S exceeds the schema's max_timesteps; the model constructor "
+        "rejects this");
+  check(d, cfg.attr_noise_dim <= 0, "attr_noise_dim", "must be positive");
+  check(d, cfg.feat_noise_dim <= 0, "feat_noise_dim", "must be positive");
+  const ModelDims dims = model_dims(s, cfg);
+  check(d, dims.minmax_enabled && cfg.minmax_noise_dim <= 0,
+        "minmax_noise_dim",
+        "must be positive when the min/max generator is enabled");
+  check(d, cfg.attr_layers < 0, "attr_layers", "must be non-negative");
+  check(d, cfg.attr_layers > 0 && cfg.attr_hidden <= 0, "attr_hidden",
+        "must be positive when attr_layers > 0");
+  check(d, dims.minmax_enabled && cfg.minmax_layers < 0, "minmax_layers",
+        "must be non-negative");
+  check(d, dims.minmax_enabled && cfg.minmax_layers > 0 &&
+               cfg.minmax_hidden <= 0,
+        "minmax_hidden", "must be positive when minmax_layers > 0");
+  check(d, cfg.lstm_units <= 0, "lstm_units", "must be positive");
+  check(d, cfg.head_hidden <= 0, "head_hidden",
+        "must be positive (the head MLP always has one hidden layer)");
+  check(d, cfg.disc_layers < 0, "disc_layers", "must be non-negative");
+  check(d, cfg.disc_layers > 0 && cfg.disc_hidden <= 0, "disc_hidden",
+        "must be positive when disc_layers > 0");
+  check(d, cfg.lr <= 0.0f, "lr", "learning rate must be positive");
+  check(d, cfg.batch < 1, "batch", "must be at least 1");
+  check(d, cfg.iterations < 0, "iterations", "must be non-negative");
+  check(d, cfg.d_steps < 1, "d_steps",
+        "must be at least 1 (critic steps per generator step)");
+
+  if (cfg.loss == core::GanLoss::WassersteinGp) {
+    check(d, cfg.gp_weight < 0.0f, "gp_weight",
+          "must be non-negative under WGAN-GP");
+    check(d, cfg.gp_weight == 0.0f, "gp_weight",
+          "WGAN-GP with zero gradient penalty degenerates to an "
+          "unconstrained critic",
+          Severity::kWarning);
+  }
+  if (cfg.use_aux_discriminator) {
+    if (cfg.aux_alpha == 0.0f) {
+      d.push_back({Severity::kWarning, "aux-ignored",
+                   "use_aux_discriminator is set but aux_alpha == 0: the "
+                   "auxiliary critic trains yet never influences the "
+                   "generator",
+                   "aux_alpha",
+                   {}});
+    }
+    check(d, cfg.aux_alpha < 0.0f, "aux_alpha",
+          "negative alpha makes the generator maximize the auxiliary "
+          "critic's loss",
+          Severity::kWarning);
+  }
+  if (cfg.dp) {
+    check(d, cfg.dp->clip_norm <= 0.0f, "dp.clip_norm", "must be positive");
+    check(d, cfg.dp->noise_multiplier < 0.0f, "dp.noise_multiplier",
+          "must be non-negative");
+    check(d, cfg.dp->microbatches < 1, "dp.microbatches",
+          "must be at least 1");
+  }
+  return d;
+}
+
+// ---- expected parameter shapes ------------------------------------------
+
+void push_mlp_shapes(std::vector<ParamShape>& out, const std::string& name,
+                     int in, int mlp_out, int hidden, int hidden_layers) {
+  int prev = in;
+  int li = 0;
+  const auto layer = [&](int width) {
+    const std::string base = name + ".l" + std::to_string(li++);
+    out.push_back({base + ".w", prev, width});
+    out.push_back({base + ".b", 1, width});
+    prev = width;
+  };
+  for (int i = 0; i < hidden_layers; ++i) layer(hidden);
+  layer(mlp_out);
+}
+
+}  // namespace
+
+std::vector<ParamShape> expected_parameter_shapes(
+    const data::Schema& s, const core::DoppelGangerConfig& cfg) {
+  const ModelDims d = model_dims(s, cfg);
+  std::vector<ParamShape> out;
+  push_mlp_shapes(out, "attr_gen", cfg.attr_noise_dim, d.attr_w,
+                  cfg.attr_hidden, cfg.attr_layers);
+  if (d.minmax_enabled) {
+    push_mlp_shapes(out, "minmax_gen", d.attr_w + cfg.minmax_noise_dim,
+                    d.mm_w, cfg.minmax_hidden, cfg.minmax_layers);
+  }
+  out.push_back({"lstm.wx", d.attr_w + d.mm_w + cfg.feat_noise_dim,
+                 4 * cfg.lstm_units});
+  out.push_back({"lstm.wh", cfg.lstm_units, 4 * cfg.lstm_units});
+  out.push_back({"lstm.b", 1, 4 * cfg.lstm_units});
+  push_mlp_shapes(out, "head", cfg.lstm_units,
+                  cfg.sample_len * d.record_width, cfg.head_hidden, 1);
+  push_mlp_shapes(out, "disc", d.attr_w + d.mm_w + d.tmax * d.record_width,
+                  1, cfg.disc_hidden, cfg.disc_layers);
+  if (cfg.use_aux_discriminator) {
+    push_mlp_shapes(out, "aux_disc", d.attr_w + d.mm_w, 1, cfg.disc_hidden,
+                    cfg.disc_layers);
+  }
+  return out;
+}
+
+namespace {
+
+// ---- the walks ----------------------------------------------------------
+
+struct TrainingWalk {
+  N g_loss = nullptr;
+  // Half-open node-id ranges of each critic's forward pass (the
+  // double-backward audit's scope: WGAN-GP differentiates through these).
+  int disc_begin = 0, disc_end = 0;
+  int aux_begin = 0, aux_end = 0;
+};
+
+/// Mirrors DoppelGanger::forward plus the generator-loss assembly of
+/// run_training. The WGAN arithmetic around the critic outputs is reduced
+/// to mean/neg — it adds no op class the audit cares about — while every
+/// parameter and every structural op of the training path appears.
+TrainingWalk training_walk(Tracer& t, const core::DoppelGangerConfig& cfg,
+                           const ModelDims& d, const Layouts& lay,
+                           const GeneratorNets& g, const SymMlp& disc,
+                           const SymMlp& aux_disc) {
+  const Dim B = Dim::sym("B");
+  TrainingWalk w;
+
+  N attributes = sym_apply_blocks(
+      t, g.attr_gen.forward(t, t.input("attr_noise",
+                                       {B, Dim::of(cfg.attr_noise_dim)})),
+      lay.attr);
+  N minmax = nullptr;
+  if (d.minmax_enabled) {
+    const N mm_parts[] = {
+        attributes,
+        t.input("minmax_noise", {B, Dim::of(cfg.minmax_noise_dim)})};
+    minmax = sym_apply_blocks(
+        t, g.minmax_gen.forward(t, t.concat_cols(mm_parts)), lay.minmax);
+  } else {
+    minmax = t.constant({B, Dim::of(0)});
+  }
+  const N cond_parts[] = {attributes, minmax};
+  N cond = t.concat_cols(cond_parts);
+
+  N h = t.constant({B, Dim::of(cfg.lstm_units)});
+  N c = t.constant({B, Dim::of(cfg.lstm_units)});
+  N mask = t.constant({B, Dim::of(1)});
+  std::vector<N> records;
+  records.reserve(static_cast<size_t>(d.tmax));
+  for (int step = 0; step < d.steps_per_series; ++step) {
+    const N in_parts[] = {
+        cond, t.input("feat_noise", {B, Dim::of(cfg.feat_noise_dim)})};
+    auto [h2, c2] = g.lstm.step(t, t.concat_cols(in_parts), h, c);
+    h = h2;
+    c = c2;
+    N block = sym_apply_blocks(t, g.head.forward(t, h), lay.step);
+    for (int s = 0; s < cfg.sample_len; ++s) {
+      if (static_cast<int>(records.size()) >= d.tmax) break;
+      N rec = t.mul_colvec(
+          t.slice_cols(block, s * d.record_width, (s + 1) * d.record_width),
+          mask);
+      mask = t.slice_cols(rec, d.record_width - 2, d.record_width - 1);
+      records.push_back(rec);
+    }
+  }
+  N features = t.concat_cols(records);
+
+  const N full_parts[] = {attributes, minmax, features};
+  N fake_full = t.concat_cols(full_parts);
+  w.disc_begin = t.graph().size();
+  N d_out = disc.forward(t, fake_full);
+  w.disc_end = t.graph().size();
+  w.g_loss = t.neg(t.mean(d_out));
+
+  if (cfg.use_aux_discriminator) {
+    const N head_parts[] = {attributes, minmax};
+    N fake_head = t.concat_cols(head_parts);
+    w.aux_begin = t.graph().size();
+    N a_out = aux_disc.forward(t, fake_head);
+    w.aux_end = t.graph().size();
+    w.g_loss = t.add(w.g_loss, t.mul_scalar(t.neg(t.mean(a_out))));
+  }
+  return w;
+}
+
+/// Mirrors the inference path: sample_context (attribute + min/max
+/// generators, outputs materialized) followed by steps_per_series calls to
+/// generation_step, each consuming the previous step's state as constants —
+/// exactly how DoppelGanger::generate drives the stepwise API.
+N generation_walk(Tracer& t, const core::DoppelGangerConfig& cfg,
+                  const ModelDims& d, const Layouts& lay,
+                  const GeneratorNets& g) {
+  const Dim B = Dim::sym("B");
+
+  // sample_context: each generator's output is materialized (.value()), so
+  // the min/max generator sees the attributes re-entering as a constant.
+  sym_apply_blocks(
+      t, g.attr_gen.forward(t, t.input("attr_noise",
+                                       {B, Dim::of(cfg.attr_noise_dim)})),
+      lay.attr);
+  if (d.minmax_enabled) {
+    const N mm_parts[] = {
+        t.input("attributes", {B, Dim::of(d.attr_w)}),
+        t.input("minmax_noise", {B, Dim::of(cfg.minmax_noise_dim)})};
+    sym_apply_blocks(t, g.minmax_gen.forward(t, t.concat_cols(mm_parts)),
+                     lay.minmax);
+  }
+
+  // ctx.cond is a plain matrix concat (no autograd op).
+  N last_step = nullptr;
+  for (int step = 0; step < d.steps_per_series; ++step) {
+    const N in_parts[] = {
+        t.input("cond", {B, Dim::of(d.attr_w + d.mm_w)}),
+        t.input("feat_noise", {B, Dim::of(cfg.feat_noise_dim)})};
+    N h = t.input("state.h", {B, Dim::of(cfg.lstm_units)});
+    N c = t.input("state.c", {B, Dim::of(cfg.lstm_units)});
+    auto [h2, c2] = g.lstm.step(t, t.concat_cols(in_parts), h, c);
+    (void)h2;
+    (void)c2;
+    N block = sym_apply_blocks(t, g.head.forward(t, h2), lay.step);
+    N mask = t.input("state.mask", {B, Dim::of(1)});
+    std::vector<N> records;
+    records.reserve(static_cast<size_t>(cfg.sample_len));
+    for (int s = 0; s < cfg.sample_len; ++s) {
+      N rec = t.mul_colvec(
+          t.slice_cols(block, s * d.record_width, (s + 1) * d.record_width),
+          mask);
+      mask = t.slice_cols(rec, d.record_width - 2, d.record_width - 1);
+      records.push_back(rec);
+    }
+    last_step = t.concat_cols(records);
+  }
+  return last_step;
+}
+
+}  // namespace
+
+ModelAnalysis analyze_model(const data::Schema& schema,
+                            const core::DoppelGangerConfig& cfg,
+                            const AnalyzeOptions& opts) {
+  ModelAnalysis out;
+  out.diagnostics = validate(schema, cfg);
+  if (has_errors(out.diagnostics)) {
+    // The walks assume a constructible model; report the config findings
+    // alone rather than meta-executing a graph that cannot exist.
+    return out;
+  }
+
+  const ModelDims d = model_dims(schema, cfg);
+  const Layouts lay = block_layouts(schema, cfg, d);
+  out.parameters = expected_parameter_shapes(schema, cfg);
+
+  // Runtime overlay: shape cross-check + frozen-parameter audit.
+  std::unordered_map<std::string, bool> trainable_by_name;
+  if (!opts.runtime_params.empty()) {
+    if (opts.runtime_params.size() != out.parameters.size()) {
+      out.diagnostics.push_back(
+          {Severity::kError, "weight-shape",
+           "model exposes " + std::to_string(opts.runtime_params.size()) +
+               " parameter matrices; the schema + config imply " +
+               std::to_string(out.parameters.size()),
+           "parameters",
+           {}});
+    } else {
+      bool any_trainable = false;
+      for (size_t i = 0; i < out.parameters.size(); ++i) {
+        const ParamShape& e = out.parameters[i];
+        const RuntimeParamInfo& r = opts.runtime_params[i];
+        if (r.rows != e.rows || r.cols != e.cols) {
+          out.diagnostics.push_back(
+              {Severity::kError, "weight-shape",
+               "parameter is [" + std::to_string(r.rows) + ", " +
+                   std::to_string(r.cols) + "]; expected [" +
+                   std::to_string(e.rows) + ", " + std::to_string(e.cols) +
+                   "]",
+               e.name,
+               {}});
+        }
+        trainable_by_name[e.name] = r.trainable;
+        any_trainable = any_trainable || r.trainable;
+      }
+      if (!any_trainable) {
+        out.diagnostics.push_back(
+            {Severity::kError, "frozen-params",
+             "every parameter has requires_grad == false; no optimizer step "
+             "can change this model",
+             "parameters",
+             {}});
+      }
+    }
+  }
+  const TrainableFn tr = [&trainable_by_name](const std::string& name) {
+    auto it = trainable_by_name.find(name);
+    return it == trainable_by_name.end() || it->second;
+  };
+
+  // Training-path walk: shape soundness + gradient flow + critic audit.
+  SymGraph train_graph(opts.registry);
+  Tracer t(train_graph);
+  const GeneratorNets g = make_generator(t, cfg, d, tr);
+  SymMlp disc = SymMlp::make(t, "disc",
+                             d.attr_w + d.mm_w + d.tmax * d.record_width, 1,
+                             cfg.disc_hidden, cfg.disc_layers, tr);
+  SymMlp aux_disc;
+  if (cfg.use_aux_discriminator) {
+    aux_disc = SymMlp::make(t, "aux_disc", d.attr_w + d.mm_w, 1,
+                            cfg.disc_hidden, cfg.disc_layers, tr);
+  }
+  const TrainingWalk w = training_walk(t, cfg, d, lay, g, disc, aux_disc);
+  out.graph_nodes = train_graph.size();
+  for (const Diagnostic& diag : train_graph.diagnostics()) {
+    out.diagnostics.push_back(diag);
+  }
+
+  // Gradient flow: every trainable parameter leaf must be reachable from
+  // the combined loss root (the generator loss flows through both critics,
+  // so a healthy model has no unreachable parameter at all).
+  if (w.g_loss != nullptr) {
+    std::unordered_set<const SymNode*> reachable;
+    for (const SymNode* p : train_graph.reachable_params(w.g_loss)) {
+      reachable.insert(p);
+    }
+    for (int i = 0; i < train_graph.size(); ++i) {
+      const SymNode* n = train_graph.node(i);
+      if (n->op != "leaf" || reachable.count(n) != 0) continue;
+      out.diagnostics.push_back(
+          {n->trainable ? Severity::kError : Severity::kWarning, "dead-param",
+           n->trainable
+               ? "trainable parameter is unreachable from every loss; it "
+                 "would never be updated"
+               : "frozen parameter is also unreachable from every loss",
+           n->label,
+           {}});
+    }
+    // Frozen-but-reachable parameters (runtime overlay): a partially frozen
+    // generator trains around the frozen weights — worth a warning; the
+    // all-frozen case is already an error above.
+    if (!trainable_by_name.empty()) {
+      for (const SymNode* p : reachable) {
+        if (!p->trainable) {
+          out.diagnostics.push_back(
+              {Severity::kWarning, "frozen-params",
+               "parameter has requires_grad == false and will not train",
+               p->label,
+               {}});
+        }
+      }
+    }
+  }
+
+  // Double-backward audit: with the gradient penalty active, the critic
+  // forward is differentiated twice — every op on that path must support it.
+  if (cfg.loss == core::GanLoss::WassersteinGp && cfg.gp_weight > 0.0f) {
+    const auto audit = [&](int begin, int end, const char* which) {
+      for (int i = begin; i < end; ++i) {
+        const SymNode* n = train_graph.node(i);
+        const OpInfo* info = opts.registry->find(n->op);
+        if (info == nullptr || info->diff != DiffClass::kFirstOrderOnly) {
+          continue;
+        }
+        out.diagnostics.push_back(
+            {Severity::kError, "no-double-backward",
+             std::string("op on the ") + which +
+                 " critic's forward path is first-order only; WGAN-GP's "
+                 "gradient penalty differentiates through this gradient",
+             n->op, SymGraph::path(n)});
+      }
+    };
+    audit(w.disc_begin, w.disc_end, "full");
+    if (cfg.use_aux_discriminator) {
+      audit(w.aux_begin, w.aux_end, "auxiliary");
+    }
+  }
+
+  // Generation-path walk on a fresh graph: its op census is what the
+  // differential test pins against the real executor.
+  SymGraph gen_graph(opts.registry);
+  Tracer gt(gen_graph);
+  const GeneratorNets gg = make_generator(gt, cfg, d, tr);
+  const N step_out = generation_walk(gt, cfg, d, lay, gg);
+  for (const Diagnostic& diag : gen_graph.diagnostics()) {
+    out.diagnostics.push_back(diag);
+  }
+  out.generation_op_counts = gen_graph.op_counts();
+  if (step_out != nullptr && step_out->shape.cols.concrete()) {
+    out.generation_step_cols = static_cast<int>(step_out->shape.cols.value);
+  }
+  return out;
+}
+
+}  // namespace dg::analysis

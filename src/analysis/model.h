@@ -1,0 +1,84 @@
+// Whole-model static analysis: meta-executes the DoppelGANger architecture
+// (attribute MLP, min/max MLP, LSTM + head, both critics) over the symbolic
+// interpreter with a symbolic batch dimension, and audits the result:
+//
+//  * config/schema validation — dimensions, rates and ranges that would
+//    make construction or training throw (or silently misbehave);
+//  * shape soundness — every op in the training unroll and the generation
+//    path checks under the registry's shape rules;
+//  * gradient flow — trainable parameters unreachable from every loss root
+//    are dead (they would never train); an all-frozen model cannot train;
+//  * WGAN-GP differentiability — when the gradient penalty is active, every
+//    op on a critic's forward path must support double backward.
+//
+// The same walk also exports the expected parameter shapes in serialization
+// order (the package preflight's ground truth) and the generation-path op
+// census (pinned against the real executor by the differential test).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "analysis/registry.h"
+#include "core/doppelganger.h"
+#include "data/types.h"
+
+namespace dg::analysis {
+
+/// One parameter matrix in DoppelGanger::save() order.
+struct ParamShape {
+  std::string name;  ///< e.g. "attr_gen.l0.w", "lstm.wh", "disc.l2.b"
+  int rows = 0;
+  int cols = 0;
+};
+
+/// Every parameter the model serializes, in order, derived purely from
+/// schema + config (no model construction).
+std::vector<ParamShape> expected_parameter_shapes(
+    const data::Schema& schema, const core::DoppelGangerConfig& cfg);
+
+/// Runtime view of one parameter (from a live model), overlaid onto the
+/// static walk for frozen-parameter and shape cross-checks.
+struct RuntimeParamInfo {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  bool trainable = true;
+};
+
+struct AnalyzeOptions {
+  /// Registry to interpret ops with; override to register new ops or to
+  /// downgrade an op's DiffClass for what-if audits.
+  const OpRegistry* registry = &OpRegistry::builtin();
+  /// Live-model overlay (optional); order-matched to
+  /// expected_parameter_shapes.
+  std::span<const RuntimeParamInfo> runtime_params;
+};
+
+struct ModelAnalysis {
+  std::vector<Diagnostic> diagnostics;
+  /// Expected serialization-order parameter shapes (empty if the config is
+  /// too broken to derive them).
+  std::vector<ParamShape> parameters;
+  /// Op census of one full generation pass (sample_context + every
+  /// generation_step), the multiset the differential test pins against the
+  /// real executor.
+  std::map<std::string, int> generation_op_counts;
+  /// Columns of one generation_step result: sample_len * record_width.
+  int generation_step_cols = 0;
+  /// Node count of the symbolic training graph.
+  int graph_nodes = 0;
+
+  bool ok() const { return !has_errors(diagnostics); }
+};
+
+/// Runs every audit listed above. Never throws on bad input — findings come
+/// back as diagnostics.
+ModelAnalysis analyze_model(const data::Schema& schema,
+                            const core::DoppelGangerConfig& cfg,
+                            const AnalyzeOptions& opts = {});
+
+}  // namespace dg::analysis

@@ -1,0 +1,280 @@
+#include "analysis/registry.h"
+
+#include <utility>
+
+namespace dg::analysis {
+
+const char* to_string(DiffClass c) {
+  switch (c) {
+    case DiffClass::kDoubleBackward: return "double-backward";
+    case DiffClass::kZeroCurvature: return "zero-curvature";
+    case DiffClass::kFirstOrderOnly: return "first-order-only";
+  }
+  return "?";
+}
+
+const OpInfo* OpRegistry::find(std::string_view name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+void OpRegistry::add(OpInfo info) {
+  ops_.insert_or_assign(info.name, std::move(info));
+}
+
+std::vector<std::string> OpRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& [name, info] : ops_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+ShapeResult same_shape_binary(std::span<const Shape> in, const OpAttrs&) {
+  if (in[0] != in[1]) {
+    return ShapeResult::fail("elementwise operands disagree: " + in[0].str() +
+                             " vs " + in[1].str());
+  }
+  return ShapeResult::ok(in[0]);
+}
+
+ShapeResult pass_through(std::span<const Shape> in, const OpAttrs&) {
+  return ShapeResult::ok(in[0]);
+}
+
+ShapeResult from_attrs(std::span<const Shape>, const OpAttrs& attrs) {
+  return ShapeResult::ok({attrs.rows, attrs.cols});
+}
+
+/// Bounds-checks a [i0, i1) range against a total extent (when concrete).
+std::string check_range(int i0, int i1, const Dim& total, const char* axis) {
+  if (i0 < 0 || i1 < i0) {
+    return std::string("bad ") + axis + " range [" + std::to_string(i0) +
+           ", " + std::to_string(i1) + ")";
+  }
+  if (total.concrete() && i1 > total.value) {
+    return std::string(axis) + " range [" + std::to_string(i0) + ", " +
+           std::to_string(i1) + ") exceeds extent " + total.str();
+  }
+  return {};
+}
+
+OpRegistry make_builtin() {
+  OpRegistry r;
+  const auto elementwise_unary = [&r](const char* name, DiffClass diff) {
+    r.add({name, 1, 1, diff, Broadcast::kNone, pass_through});
+  };
+  const auto elementwise_binary = [&r](const char* name) {
+    r.add({name, 2, 2, DiffClass::kDoubleBackward, Broadcast::kNone,
+           same_shape_binary});
+  };
+
+  // ---- graph leaves (no parents; shape comes from the call site) ----
+  r.add({"leaf", 0, 0, DiffClass::kDoubleBackward, Broadcast::kNone,
+         from_attrs});
+  r.add({"constant", 0, 0, DiffClass::kDoubleBackward, Broadcast::kNone,
+         from_attrs});
+  r.add({"grad", 0, 0, DiffClass::kDoubleBackward, Broadcast::kNone,
+         from_attrs});
+
+  // ---- elementwise ----
+  elementwise_binary("add");
+  elementwise_binary("sub");
+  elementwise_binary("mul");
+  elementwise_binary("div");
+  elementwise_unary("neg", DiffClass::kDoubleBackward);
+  elementwise_unary("add_scalar", DiffClass::kDoubleBackward);
+  elementwise_unary("mul_scalar", DiffClass::kDoubleBackward);
+
+  // ---- nonlinearities ----
+  // relu/abs backprop through a locally-constant mask captured as data:
+  // correct under the gradient penalty (zero curvature), flagged distinctly
+  // so the audit trail records the reasoning.
+  elementwise_unary("relu", DiffClass::kZeroCurvature);
+  elementwise_unary("abs", DiffClass::kZeroCurvature);
+  elementwise_unary("tanh", DiffClass::kDoubleBackward);
+  elementwise_unary("sigmoid", DiffClass::kDoubleBackward);
+  elementwise_unary("exp", DiffClass::kDoubleBackward);
+  elementwise_unary("log", DiffClass::kDoubleBackward);
+  elementwise_unary("sqrt", DiffClass::kDoubleBackward);
+  elementwise_unary("square", DiffClass::kDoubleBackward);
+
+  // ---- linear algebra ----
+  r.add({"matmul", 2, 2, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           if (in[0].cols != in[1].rows) {
+             return ShapeResult::fail("inner dims disagree: " + in[0].str() +
+                                      " x " + in[1].str());
+           }
+           return ShapeResult::ok({in[0].rows, in[1].cols});
+         }});
+  r.add({"transpose", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           return ShapeResult::ok({in[0].cols, in[0].rows});
+         }});
+  r.add({"affine", 3, 3, DiffClass::kDoubleBackward, Broadcast::kRowVector,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           const Shape &x = in[0], &w = in[1], &b = in[2];
+           if (x.cols != w.rows) {
+             return ShapeResult::fail("x" + x.str() + " does not feed w" +
+                                      w.str());
+           }
+           if (b.rows != Dim::of(1) || b.cols != w.cols) {
+             return ShapeResult::fail("bias " + b.str() +
+                                      " is not [1, " + w.cols.str() + "]");
+           }
+           return ShapeResult::ok({x.rows, w.cols});
+         }});
+  r.add({"lstm_gates", 5, 5, DiffClass::kDoubleBackward, Broadcast::kRowVector,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           const Shape &x = in[0], &wx = in[1], &h = in[2], &wh = in[3],
+                       &b = in[4];
+           if (x.cols != wx.rows) {
+             return ShapeResult::fail("x" + x.str() + " does not feed wx" +
+                                      wx.str());
+           }
+           if (h.cols != wh.rows) {
+             return ShapeResult::fail("h" + h.str() + " does not feed wh" +
+                                      wh.str());
+           }
+           if (x.rows != h.rows) {
+             return ShapeResult::fail("x" + x.str() + " and h" + h.str() +
+                                      " batch dims disagree");
+           }
+           if (wx.cols != wh.cols || b.rows != Dim::of(1) ||
+               b.cols != wx.cols) {
+             return ShapeResult::fail("gate widths disagree: wx" + wx.str() +
+                                      ", wh" + wh.str() + ", b" + b.str());
+           }
+           if (wh.rows.concrete() && wh.cols.concrete() &&
+               wh.cols.value != 4 * wh.rows.value) {
+             return ShapeResult::fail("wh" + wh.str() +
+                                      " is not [hidden, 4*hidden]");
+           }
+           return ShapeResult::ok({x.rows, wx.cols});
+         }});
+
+  // ---- broadcasts ----
+  r.add({"add_rowvec", 2, 2, DiffClass::kDoubleBackward, Broadcast::kRowVector,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           if (in[1].rows != Dim::of(1) || in[1].cols != in[0].cols) {
+             return ShapeResult::fail("row vector " + in[1].str() +
+                                      " does not broadcast over " +
+                                      in[0].str());
+           }
+           return ShapeResult::ok(in[0]);
+         }});
+  r.add({"mul_rowvec", 2, 2, DiffClass::kDoubleBackward, Broadcast::kRowVector,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           if (in[1].rows != Dim::of(1) || in[1].cols != in[0].cols) {
+             return ShapeResult::fail("row vector " + in[1].str() +
+                                      " does not broadcast over " +
+                                      in[0].str());
+           }
+           return ShapeResult::ok(in[0]);
+         }});
+  r.add({"mul_colvec", 2, 2, DiffClass::kDoubleBackward, Broadcast::kColVector,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           if (in[1].cols != Dim::of(1) || in[1].rows != in[0].rows) {
+             return ShapeResult::fail("column vector " + in[1].str() +
+                                      " does not broadcast over " +
+                                      in[0].str());
+           }
+           return ShapeResult::ok(in[0]);
+         }});
+  r.add({"broadcast_scalar", 1, 1, DiffClass::kDoubleBackward,
+         Broadcast::kScalar,
+         [](std::span<const Shape> in, const OpAttrs& attrs) {
+           if (in[0].rows != Dim::of(1) || in[0].cols != Dim::of(1)) {
+             return ShapeResult::fail("input " + in[0].str() + " is not 1x1");
+           }
+           return ShapeResult::ok({attrs.rows, attrs.cols});
+         }});
+
+  // ---- reductions ----
+  r.add({"row_sum", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           return ShapeResult::ok({in[0].rows, Dim::of(1)});
+         }});
+  r.add({"col_sum", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           return ShapeResult::ok({Dim::of(1), in[0].cols});
+         }});
+  r.add({"sum", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape>, const OpAttrs&) {
+           return ShapeResult::ok({Dim::of(1), Dim::of(1)});
+         }});
+
+  // ---- shape ops ----
+  r.add({"concat_cols", 1, -1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           Dim cols = Dim::of(0);
+           for (const Shape& s : in) {
+             if (s.rows != in[0].rows) {
+               return ShapeResult::fail("row counts disagree: " +
+                                        in[0].str() + " vs " + s.str());
+             }
+             cols = add_dims(cols, s.cols);
+           }
+           return ShapeResult::ok({in[0].rows, cols});
+         }});
+  r.add({"concat_rows", 1, -1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs&) {
+           Dim rows = Dim::of(0);
+           for (const Shape& s : in) {
+             if (s.cols != in[0].cols) {
+               return ShapeResult::fail("column counts disagree: " +
+                                        in[0].str() + " vs " + s.str());
+             }
+             rows = add_dims(rows, s.rows);
+           }
+           return ShapeResult::ok({rows, in[0].cols});
+         }});
+  r.add({"slice_cols", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs& attrs) {
+           if (std::string err =
+                   check_range(attrs.i0, attrs.i1, in[0].cols, "column");
+               !err.empty()) {
+             return ShapeResult::fail(std::move(err));
+           }
+           return ShapeResult::ok({in[0].rows, Dim::of(attrs.i1 - attrs.i0)});
+         }});
+  r.add({"slice_rows", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs& attrs) {
+           if (std::string err =
+                   check_range(attrs.i0, attrs.i1, in[0].rows, "row");
+               !err.empty()) {
+             return ShapeResult::fail(std::move(err));
+           }
+           return ShapeResult::ok({Dim::of(attrs.i1 - attrs.i0), in[0].cols});
+         }});
+  r.add({"pad_cols", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs& attrs) {
+           if (attrs.i0 < 0 || attrs.i1 < 0) {
+             return ShapeResult::fail("negative padding");
+           }
+           return ShapeResult::ok(
+               {in[0].rows,
+                add_dims(in[0].cols, Dim::of(attrs.i0 + attrs.i1))});
+         }});
+  r.add({"pad_rows", 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+         [](std::span<const Shape> in, const OpAttrs& attrs) {
+           if (attrs.i0 < 0 || attrs.i1 < 0) {
+             return ShapeResult::fail("negative padding");
+           }
+           return ShapeResult::ok(
+               {add_dims(in[0].rows, Dim::of(attrs.i0 + attrs.i1)),
+                in[0].cols});
+         }});
+  return r;
+}
+
+}  // namespace
+
+const OpRegistry& OpRegistry::builtin() {
+  static const OpRegistry r = make_builtin();
+  return r;
+}
+
+}  // namespace dg::analysis

@@ -1,0 +1,100 @@
+// The op registry: one entry per `make_op` name in nn/autograd.cpp,
+// declaring what the symbolic interpreter needs to know about an op without
+// running it — its shape rule, its arity, its broadcast semantics, and its
+// differentiability class. The class matters because WGAN-GP differentiates
+// *through* gradients: an op whose backward rule is not itself expressed in
+// differentiable ops silently breaks the gradient penalty, and the critic
+// path must be provably free of such ops before training starts.
+//
+// Extension contract: a new op added to nn/autograd.cpp must be registered
+// here (OpRegistry::add) with a shape rule before the analyzer accepts it —
+// `known_op_names()` in nn/autograd.h is cross-checked against the registry
+// in tests so an unregistered op is a build-time-adjacent failure, not a
+// silent analysis gap.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/shape.h"
+
+namespace dg::analysis {
+
+/// How an op behaves under double backward (create_graph=true).
+enum class DiffClass {
+  /// Backward rule is expressed in public ops; gradients of gradients flow.
+  kDoubleBackward,
+  /// Backward multiplies by a locally-constant mask (relu, abs): valid under
+  /// the gradient penalty — the second derivative is exactly zero almost
+  /// everywhere, which the mask-as-data trick computes correctly.
+  kZeroCurvature,
+  /// Backward is not differentiable. Must not appear on a critic path when
+  /// WGAN-GP is active. No built-in op is in this class; it exists for
+  /// registry overrides and future ops with opaque backward kernels.
+  kFirstOrderOnly,
+};
+
+const char* to_string(DiffClass c);
+
+/// Declared broadcast semantics (which input is replicated across the other).
+enum class Broadcast { kNone, kRowVector, kColVector, kScalar };
+
+/// Call-site attributes an op carries beyond its inputs' shapes.
+struct OpAttrs {
+  int i0 = 0;  ///< slice lower bound / pad left (cols) / pad top (rows)
+  int i1 = 0;  ///< slice upper bound / pad right (cols) / pad bottom (rows)
+  Dim rows;    ///< target shape: leaf/constant/broadcast_scalar
+  Dim cols;
+};
+
+/// Outcome of a shape rule: either the output shape or an error message
+/// (the interpreter attaches op name and graph path).
+struct ShapeResult {
+  std::optional<Shape> shape;
+  std::string error;
+
+  static ShapeResult ok(Shape s) { return {s, {}}; }
+  static ShapeResult fail(std::string msg) {
+    return {std::nullopt, std::move(msg)};
+  }
+};
+
+using ShapeRule =
+    std::function<ShapeResult(std::span<const Shape>, const OpAttrs&)>;
+
+struct OpInfo {
+  std::string name;
+  int min_arity = 1;
+  int max_arity = 1;  ///< -1 = variadic
+  DiffClass diff = DiffClass::kDoubleBackward;
+  Broadcast broadcast = Broadcast::kNone;
+  ShapeRule shape;
+};
+
+class OpRegistry {
+ public:
+  OpRegistry() = default;
+
+  /// The registry covering every op name nn::make_op is called with
+  /// (nn::known_op_names()). Copy it to apply overrides.
+  static const OpRegistry& builtin();
+
+  const OpInfo* find(std::string_view name) const;
+
+  /// Insert-or-replace — the extension point, both for registering shape
+  /// rules of new ops and for test/what-if overrides (e.g. downgrading an
+  /// op to kFirstOrderOnly to prove the critic-path audit catches it).
+  void add(OpInfo info);
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, OpInfo, std::less<>> ops_;
+};
+
+}  // namespace dg::analysis

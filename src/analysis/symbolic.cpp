@@ -1,0 +1,218 @@
+#include "analysis/symbolic.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace dg::analysis {
+
+SymNode* SymGraph::push(SymNode n) {
+  n.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<SymNode>(std::move(n)));
+  return nodes_.back().get();
+}
+
+const SymNode* SymGraph::param(std::string label, Shape shape,
+                               bool trainable) {
+  SymNode n;
+  n.op = "leaf";
+  n.shape = shape;
+  n.label = std::move(label);
+  n.trainable = trainable;
+  n.attrs.rows = shape.rows;
+  n.attrs.cols = shape.cols;
+  return push(std::move(n));
+}
+
+const SymNode* SymGraph::input(std::string label, Shape shape) {
+  SymNode n;
+  n.op = "constant";
+  n.shape = shape;
+  n.label = std::move(label);
+  n.attrs.rows = shape.rows;
+  n.attrs.cols = shape.cols;
+  return push(std::move(n));
+}
+
+const SymNode* SymGraph::apply(std::string_view op,
+                               std::span<const SymNode* const> parents,
+                               const OpAttrs& attrs) {
+  SymNode n;
+  n.op = std::string(op);
+  n.parents.assign(parents.begin(), parents.end());
+  n.attrs = attrs;
+
+  // Poison propagation: an already-reported failure upstream silences this
+  // node — one root cause, one diagnostic.
+  for (const SymNode* p : parents) {
+    if (p->poisoned) {
+      n.poisoned = true;
+      if (!parents.empty()) n.shape = parents[0]->shape;
+      return push(std::move(n));
+    }
+  }
+
+  const OpInfo* info = registry_->find(op);
+  if (info == nullptr) {
+    n.poisoned = true;
+    SymNode* stored = push(std::move(n));
+    diags_.push_back({Severity::kError, "unknown-op",
+                      "op is not registered with the analyzer (see the "
+                      "extension contract in analysis/registry.h)",
+                      stored->op, path(stored)});
+    return stored;
+  }
+
+  const int arity = static_cast<int>(parents.size());
+  if (arity < info->min_arity ||
+      (info->max_arity >= 0 && arity > info->max_arity)) {
+    n.poisoned = true;
+    SymNode* stored = push(std::move(n));
+    diags_.push_back({Severity::kError, "shape-mismatch",
+                      "op applied to " + std::to_string(arity) +
+                          " inputs; expects " +
+                          std::to_string(info->min_arity) +
+                          (info->max_arity < 0
+                               ? "+"
+                               : (info->max_arity == info->min_arity
+                                      ? ""
+                                      : ".." + std::to_string(
+                                                   info->max_arity))),
+                      stored->op, path(stored)});
+    return stored;
+  }
+
+  std::vector<Shape> in;
+  in.reserve(parents.size());
+  for (const SymNode* p : parents) in.push_back(p->shape);
+
+  ShapeResult res = info->shape(in, attrs);
+  if (!res.shape) {
+    n.poisoned = true;
+    if (!parents.empty()) n.shape = parents[0]->shape;
+    SymNode* stored = push(std::move(n));
+    diags_.push_back({Severity::kError, "shape-mismatch", res.error,
+                      stored->op, path(stored)});
+    return stored;
+  }
+  n.shape = *res.shape;
+  return push(std::move(n));
+}
+
+std::vector<const SymNode*> SymGraph::ancestry(const SymNode* root) const {
+  std::vector<const SymNode*> out;
+  std::unordered_set<const SymNode*> seen;
+  std::vector<const SymNode*> stack{root};
+  while (!stack.empty()) {
+    const SymNode* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    out.push_back(n);
+    for (const SymNode* p : n->parents) stack.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const SymNode*> SymGraph::reachable_params(
+    const SymNode* root) const {
+  std::vector<const SymNode*> out;
+  for (const SymNode* n : ancestry(root)) {
+    if (n->op == "leaf") out.push_back(n);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SymNode* a, const SymNode* b) { return a->id < b->id; });
+  return out;
+}
+
+std::string SymGraph::path(const SymNode* node, int max_depth) {
+  std::string out;
+  const SymNode* cur = node;
+  for (int depth = 0; cur != nullptr && depth < max_depth; ++depth) {
+    if (depth > 0) out += " <- ";
+    out += cur->op;
+    if (!cur->label.empty()) out += "(" + cur->label + ")";
+    cur = cur->parents.empty() ? nullptr : cur->parents.front();
+  }
+  if (cur != nullptr) out += " <- ...";
+  return out;
+}
+
+std::map<std::string, int> SymGraph::op_counts() const {
+  std::map<std::string, int> out;
+  for (const auto& n : nodes_) ++out[n->op];
+  return out;
+}
+
+// ---- Tracer ----
+
+Tracer::N Tracer::affine(N x, N w, N b) {
+  const SymNode* p[] = {x, w, b};
+  return g_.apply("affine", p);
+}
+
+Tracer::N Tracer::lstm_gates(N x, N wx, N h, N wh, N b) {
+  const SymNode* p[] = {x, wx, h, wh, b};
+  return g_.apply("lstm_gates", p);
+}
+
+Tracer::N Tracer::broadcast_scalar(N a, Shape target) {
+  OpAttrs attrs;
+  attrs.rows = target.rows;
+  attrs.cols = target.cols;
+  const SymNode* p[] = {a};
+  return g_.apply("broadcast_scalar", p, attrs);
+}
+
+Tracer::N Tracer::concat_cols(std::span<const N> parts) {
+  return g_.apply("concat_cols", parts);
+}
+
+Tracer::N Tracer::concat_rows(std::span<const N> parts) {
+  return g_.apply("concat_rows", parts);
+}
+
+Tracer::N Tracer::slice_cols(N a, int c0, int c1) {
+  OpAttrs attrs;
+  attrs.i0 = c0;
+  attrs.i1 = c1;
+  const SymNode* p[] = {a};
+  return g_.apply("slice_cols", p, attrs);
+}
+
+Tracer::N Tracer::slice_rows(N a, int r0, int r1) {
+  OpAttrs attrs;
+  attrs.i0 = r0;
+  attrs.i1 = r1;
+  const SymNode* p[] = {a};
+  return g_.apply("slice_rows", p, attrs);
+}
+
+Tracer::N Tracer::pad_cols(N a, int left, int right) {
+  OpAttrs attrs;
+  attrs.i0 = left;
+  attrs.i1 = right;
+  const SymNode* p[] = {a};
+  return g_.apply("pad_cols", p, attrs);
+}
+
+Tracer::N Tracer::pad_rows(N a, int top, int bottom) {
+  OpAttrs attrs;
+  attrs.i0 = top;
+  attrs.i1 = bottom;
+  const SymNode* p[] = {a};
+  return g_.apply("pad_rows", p, attrs);
+}
+
+Tracer::N Tracer::softmax_rows(N a) {
+  // Mirrors nn::ops::softmax_rows node for node: shifted = a + (-rowmax)
+  // broadcast via ones-column trick, then exp / row_sum broadcast back.
+  N shift = constant({a->shape.rows, Dim::of(1)});
+  N ones_row = constant(a->shape);
+  N shifted = add(a, mul_colvec(ones_row, shift));
+  N e = exp(shifted);
+  N denom = row_sum(e);
+  N ones_col = constant({a->shape.rows, Dim::of(1)});
+  return mul_colvec(e, div(ones_col, denom));
+}
+
+}  // namespace dg::analysis

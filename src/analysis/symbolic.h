@@ -1,0 +1,158 @@
+// Symbolic interpreter: meta-executes an autograd graph with shape-only
+// tensors. SymGraph owns nodes and applies registry shape rules; Tracer
+// mirrors the nn::ops surface (including the compositions — softmax_rows,
+// mean, row_l2_norm — expanded exactly as nn/autograd.cpp builds them) so a
+// model walk in analysis/model.cpp reads like the real forward pass it
+// shadows, op for op.
+//
+// Error containment: a failing node is *poisoned*, not fatal. Its shape
+// keeps the rule's best guess where possible, downstream nodes that consume
+// it are silently poisoned too, and exactly one diagnostic is emitted at the
+// point of first failure — so one bad dim yields one finding, not a cascade.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "analysis/registry.h"
+#include "analysis/shape.h"
+
+namespace dg::analysis {
+
+struct SymNode {
+  int id = 0;
+  std::string op;
+  Shape shape;
+  std::vector<const SymNode*> parents;
+  /// Human label for leaves ("attr_gen.l0.w") and named inputs.
+  std::string label;
+  bool trainable = false;
+  bool poisoned = false;
+  OpAttrs attrs;
+};
+
+class SymGraph {
+ public:
+  explicit SymGraph(const OpRegistry* registry = &OpRegistry::builtin())
+      : registry_(registry) {}
+
+  /// Trainable (or frozen) parameter leaf — op "leaf".
+  const SymNode* param(std::string label, Shape shape, bool trainable = true);
+
+  /// Non-parameter input (noise, data, state) — op "constant".
+  const SymNode* input(std::string label, Shape shape);
+
+  /// Apply a registered op. Emits at most one diagnostic per new failure;
+  /// poisoned parents propagate without further noise.
+  const SymNode* apply(std::string_view op,
+                       std::span<const SymNode* const> parents,
+                       const OpAttrs& attrs = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::vector<Diagnostic>& diagnostics() { return diags_; }
+
+  /// All parameter leaves reachable from `root` (the gradient-flow
+  /// footprint of a loss rooted there).
+  std::vector<const SymNode*> reachable_params(const SymNode* root) const;
+
+  /// Every node in root's ancestry, root included.
+  std::vector<const SymNode*> ancestry(const SymNode* root) const;
+
+  /// First-parent walk rendered like nn::check: "mul <- exp <- leaf(w)".
+  static std::string path(const SymNode* node, int max_depth = 8);
+
+  /// Multiset of op names over the whole graph.
+  std::map<std::string, int> op_counts() const;
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const SymNode* node(int id) const { return nodes_[id].get(); }
+  const OpRegistry& registry() const { return *registry_; }
+
+ private:
+  SymNode* push(SymNode n);
+
+  const OpRegistry* registry_;
+  std::vector<std::unique_ptr<SymNode>> nodes_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Shape-level mirror of the nn::ops call surface. Each method expands to
+/// the same SymGraph ops the real function records autograd nodes for.
+class Tracer {
+ public:
+  using N = const SymNode*;
+
+  explicit Tracer(SymGraph& g) : g_(g) {}
+
+  N param(std::string label, Shape s, bool trainable = true) {
+    return g_.param(std::move(label), s, trainable);
+  }
+  N input(std::string label, Shape s) { return g_.input(std::move(label), s); }
+  N constant(Shape s) { return g_.input("", s); }
+
+  N add(N a, N b) { return op2("add", a, b); }
+  N sub(N a, N b) { return op2("sub", a, b); }
+  N mul(N a, N b) { return op2("mul", a, b); }
+  N div(N a, N b) { return op2("div", a, b); }
+  N neg(N a) { return op1("neg", a); }
+  N add_scalar(N a) { return op1("add_scalar", a); }
+  N mul_scalar(N a) { return op1("mul_scalar", a); }
+
+  N relu(N a) { return op1("relu", a); }
+  N tanh(N a) { return op1("tanh", a); }
+  N sigmoid(N a) { return op1("sigmoid", a); }
+  N exp(N a) { return op1("exp", a); }
+  N log(N a) { return op1("log", a); }
+  N sqrt(N a) { return op1("sqrt", a); }
+  N square(N a) { return op1("square", a); }
+  N abs(N a) { return op1("abs", a); }
+
+  N matmul(N a, N b) { return op2("matmul", a, b); }
+  N transpose(N a) { return op1("transpose", a); }
+  N affine(N x, N w, N b);
+  N lstm_gates(N x, N wx, N h, N wh, N b);
+
+  N add_rowvec(N a, N b) { return op2("add_rowvec", a, b); }
+  N mul_rowvec(N a, N b) { return op2("mul_rowvec", a, b); }
+  N mul_colvec(N a, N b) { return op2("mul_colvec", a, b); }
+  N broadcast_scalar(N a, Shape target);
+
+  N row_sum(N a) { return op1("row_sum", a); }
+  N col_sum(N a) { return op1("col_sum", a); }
+  N sum(N a) { return op1("sum", a); }
+
+  N concat_cols(std::span<const N> parts);
+  N concat_rows(std::span<const N> parts);
+  N slice_cols(N a, int c0, int c1);
+  N slice_rows(N a, int r0, int r1);
+  N pad_cols(N a, int left, int right);
+  N pad_rows(N a, int top, int bottom);
+
+  // Compositions — expanded exactly as nn/autograd.cpp builds them, so the
+  // differential test's op-multiset comparison holds node for node.
+  N mean(N a) { return mul_scalar(sum(a)); }
+  N softmax_rows(N a);
+  N row_l2_norm(N a) {
+    return sqrt(add_scalar(row_sum(square(a))));
+  }
+
+  SymGraph& graph() { return g_; }
+
+ private:
+  N op1(std::string_view op, N a) {
+    const SymNode* p[] = {a};
+    return g_.apply(op, p);
+  }
+  N op2(std::string_view op, N a, N b) {
+    const SymNode* p[] = {a, b};
+    return g_.apply(op, p);
+  }
+
+  SymGraph& g_;
+};
+
+}  // namespace dg::analysis

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/model.h"
+#include "core/preflight.h"
 #include "core/wgan.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
@@ -430,6 +432,37 @@ void DoppelGanger::dp_critic_step(nn::Mlp& critic, nn::Adam& opt,
 TrainStats DoppelGanger::run_training(const data::Dataset& train,
                                       int iterations) {
   if (train.empty()) throw std::invalid_argument("fit: empty training set");
+  // Preflight: meta-execute the full training graph (shape rules, gradient
+  // flow, WGAN-GP double-backward audit) with the live parameters overlaid,
+  // so structural defects — including an accidentally frozen model — fail
+  // here with attribution instead of mid-training.
+  {
+    std::vector<analysis::RuntimeParamInfo> runtime;
+    std::vector<Var> all = generator_parameters();
+    auto pd = disc_.parameters();
+    all.insert(all.end(), pd.begin(), pd.end());
+    if (cfg_.use_aux_discriminator) {
+      auto pa = aux_disc_.parameters();
+      all.insert(all.end(), pa.begin(), pa.end());
+    }
+    const auto expected =
+        analysis::expected_parameter_shapes(codec_.schema(), cfg_);
+    runtime.reserve(all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      runtime.push_back({i < expected.size() ? expected[i].name
+                                             : "param." + std::to_string(i),
+                         all[i].rows(), all[i].cols(),
+                         all[i].requires_grad()});
+    }
+    analysis::AnalyzeOptions opts;
+    opts.runtime_params = runtime;
+    const analysis::ModelAnalysis preflight =
+        analysis::analyze_model(codec_.schema(), cfg_, opts);
+    if (!preflight.ok()) {
+      throw std::invalid_argument("fit: preflight failed:\n" +
+                                  render_diagnostics(preflight.diagnostics));
+    }
+  }
   const data::EncodedDataset enc = codec_.encode(train);
   const int n = static_cast<int>(train.size());
 

@@ -15,11 +15,37 @@ namespace dg::nn {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+thread_local OpObserverGuard::Callback* g_op_observer = nullptr;
 }
 
 NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 bool grad_enabled() { return g_grad_enabled; }
+
+std::span<const char* const> known_op_names() {
+  static const char* const kNames[] = {
+      "leaf",        "constant",    "grad",
+      "add",         "sub",         "neg",
+      "mul",         "div",         "add_scalar",
+      "mul_scalar",  "matmul",      "transpose",
+      "affine",      "lstm_gates",  "add_rowvec",
+      "mul_colvec",  "mul_rowvec",  "broadcast_scalar",
+      "row_sum",     "col_sum",     "sum",
+      "relu",        "tanh",        "sigmoid",
+      "exp",         "log",         "sqrt",
+      "square",      "abs",         "concat_cols",
+      "concat_rows", "slice_cols",  "slice_rows",
+      "pad_cols",    "pad_rows",
+  };
+  return kNames;
+}
+
+OpObserverGuard::OpObserverGuard(Callback cb)
+    : cb_(std::move(cb)), prev_(g_op_observer) {
+  g_op_observer = &cb_;
+}
+
+OpObserverGuard::~OpObserverGuard() { g_op_observer = prev_; }
 
 Var::Var(Matrix value, bool requires_grad) {
   n_ = std::make_shared<detail::Node>();
@@ -76,6 +102,9 @@ Var make_op(const char* op, Matrix value, std::vector<Var> parents,
     obs::Profiler::note_op(op, dims, np, {value.rows(), value.cols()});
   }
 #endif
+  if (g_op_observer != nullptr) {
+    (*g_op_observer)(op, value.rows(), value.cols());
+  }
   bool needs = false;
   if (g_grad_enabled) {
     for (const Var& p : parents) needs = needs || p.requires_grad();

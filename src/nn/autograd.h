@@ -96,6 +96,30 @@ class Var {
 Var make_op(const char* op, Matrix value, std::vector<Var> parents,
             std::function<std::vector<Var>(const Var&)> backward);
 
+/// Every op name `make_op` is called with across the nn layer, plus the two
+/// node kinds created outside it ("leaf" from the Var constructor, "grad"
+/// for accumulated gradient slots). This is the coverage contract of the
+/// static analyzer's op registry (src/analysis/registry.h): tests cross-check
+/// the two lists so a new op cannot ship without a shape rule.
+std::span<const char* const> known_op_names();
+
+/// RAII: installs a thread-local observer notified of every op node this
+/// thread records (op name + result dims), nested-guard safe. The
+/// differential tests in tests/analysis use this to capture the real
+/// executor's op stream and compare it against the symbolic interpreter's.
+class OpObserverGuard {
+ public:
+  using Callback = std::function<void(const char* op, int rows, int cols)>;
+  explicit OpObserverGuard(Callback cb);
+  ~OpObserverGuard();
+  OpObserverGuard(const OpObserverGuard&) = delete;
+  OpObserverGuard& operator=(const OpObserverGuard&) = delete;
+
+ private:
+  Callback cb_;
+  Callback* prev_;
+};
+
 /// RAII guard disabling graph construction (like torch.no_grad()).
 class NoGradGuard {
  public:

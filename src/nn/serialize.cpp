@@ -52,6 +52,40 @@ std::vector<Matrix> load_matrices(std::istream& is) {
   return mats;
 }
 
+std::vector<MatrixShape> peek_matrix_shapes(std::istream& is) {
+  // Total stream length up front so truncation is detected by arithmetic,
+  // not by reading payloads.
+  const std::istream::pos_type start = is.tellg();
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(start);
+  if (!is) throw std::runtime_error("serialize: unseekable stream");
+
+  if (read_u32(is) != kMagic) throw std::runtime_error("serialize: bad magic");
+  const uint32_t count = read_u32(is);
+  std::vector<MatrixShape> shapes;
+  shapes.reserve(count);
+  std::uint64_t pos = static_cast<std::uint64_t>(start) + 2 * sizeof(uint32_t);
+  for (uint32_t i = 0; i < count; ++i) {
+    const int rows = static_cast<int>(read_u32(is));
+    const int cols = static_cast<int>(read_u32(is));
+    if (rows < 0 || cols < 0) {
+      throw std::runtime_error("serialize: negative matrix dims");
+    }
+    const std::uint64_t payload = static_cast<std::uint64_t>(rows) *
+                                  static_cast<std::uint64_t>(cols) *
+                                  sizeof(float);
+    pos += 2 * sizeof(uint32_t) + payload;
+    if (pos > static_cast<std::uint64_t>(end)) {
+      throw std::runtime_error("serialize: truncated matrix data");
+    }
+    is.seekg(static_cast<std::istream::off_type>(payload), std::ios::cur);
+    if (!is) throw std::runtime_error("serialize: truncated matrix data");
+    shapes.push_back({rows, cols});
+  }
+  return shapes;
+}
+
 void save_parameters(std::ostream& os, const std::vector<Var>& params) {
   std::vector<Matrix> mats;
   mats.reserve(params.size());

@@ -14,6 +14,17 @@ namespace dg::nn {
 void save_matrices(std::ostream& os, const std::vector<Matrix>& mats);
 std::vector<Matrix> load_matrices(std::istream& is);
 
+struct MatrixShape {
+  int rows = 0;
+  int cols = 0;
+};
+
+/// Reads only the container headers (magic, count, per-matrix dims), seeking
+/// past the float payloads, and verifies the stream holds every byte the
+/// headers promise. This is the preflight's cheap shape census: a truncated
+/// or corrupt stream throws here without a single payload allocation.
+std::vector<MatrixShape> peek_matrix_shapes(std::istream& is);
+
 /// Writes the values of `params` (graph structure is not serialized; the
 /// loader must construct an identically-shaped model first).
 void save_parameters(std::ostream& os, const std::vector<Var>& params);

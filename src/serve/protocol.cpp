@@ -211,6 +211,7 @@ json::Value stats_to_json(const StatsSnapshot& s) {
   v.set("slot_steps_total", s.slot_steps_total);
   v.set("queue_depth", s.queue_depth);
   v.set("package_reloads", s.package_reloads);
+  v.set("reload_rejected", s.reload_rejected);
   v.set("occupancy", s.occupancy);
   v.set("p50_latency_ms", s.p50_latency_ms);
   v.set("p99_latency_ms", s.p99_latency_ms);

@@ -1,5 +1,7 @@
 #include "serve/service.h"
 
+#include "core/preflight.h"
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -34,6 +36,19 @@ GenerationService::GenerationService(ServiceConfig cfg)
     : cfg_(std::move(cfg)), queue_(cfg_.queue_capacity) {
   if (cfg_.package_path.empty()) {
     throw std::invalid_argument("serve: ServiceConfig.package_path is empty");
+  }
+  // Preflight before load: schema<->config<->weight-shape consistency is
+  // checked from the headers alone, so a broken package fails here with a
+  // structured diagnostic instead of a mid-construction throw (or worse, a
+  // model that serves garbage).
+  {
+    const core::PackagePreflight pf =
+        core::preflight_package_file(cfg_.package_path);
+    if (!pf.ok) {
+      throw std::invalid_argument("serve: package preflight failed for " +
+                                  cfg_.package_path + ":\n" +
+                                  core::render_diagnostics(pf.diagnostics));
+    }
   }
   model_ = core::load_package_file(cfg_.package_path);
   package_mtime_ = file_mtime(cfg_.package_path);
@@ -155,16 +170,39 @@ void GenerationService::maybe_reload() {
   {
     std::lock_guard<std::mutex> lock(model_mu_);
     if (mtime == package_mtime_) return;
+    if (mtime == rejected_mtime_) return;  // already diagnosed this version
+  }
+  // Preflight the candidate before loading it: a truncated or inconsistent
+  // package on disk must never displace the weights we are serving. A
+  // rejection is remembered by mtime so the counter ticks once per bad file
+  // version, not once per poll.
+  try {
+    const core::PackagePreflight pf =
+        core::preflight_package_file(cfg_.package_path);
+    if (!pf.ok) {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      rejected_mtime_ = mtime;
+      reload_rejected_.add(1);
+      return;
+    }
+  } catch (const std::exception&) {
+    return;  // file vanished mid-check (mid-replace): retry later
   }
   std::shared_ptr<const core::DoppelGanger> fresh;
   try {
     fresh = core::load_package_file(cfg_.package_path);
   } catch (const std::exception&) {
-    return;  // half-written package: keep serving the old model, retry later
+    // Passed preflight but failed the full load (e.g. replaced between the
+    // two reads): count it as a rejection for this version and keep serving.
+    std::lock_guard<std::mutex> lock(model_mu_);
+    rejected_mtime_ = mtime;
+    reload_rejected_.add(1);
+    return;
   }
   std::lock_guard<std::mutex> lock(model_mu_);
   model_ = std::move(fresh);
   package_mtime_ = mtime;
+  rejected_mtime_ = 0;
   ++model_generation_;
   reloads_.add(1);
 }
@@ -338,6 +376,7 @@ StatsSnapshot GenerationService::stats() const {
   s.slot_steps_total = slot_steps_total_.get();
   s.queue_depth = queue_.size();
   s.package_reloads = reloads_.get();
+  s.reload_rejected = reload_rejected_.get();
   s.occupancy = s.slot_steps_total == 0
                     ? 0.0
                     : static_cast<double>(s.slot_steps_active) /

@@ -70,6 +70,10 @@ class GenerationService {
   /// Schema snapshot of the currently-served model.
   data::Schema schema() const;
   std::uint64_t reloads() const { return reloads_.get(); }
+  /// Hot reloads refused by the package preflight (bad/truncated package on
+  /// disk; the old weights stay live). At most one bump per distinct bad
+  /// file version.
+  std::uint64_t reloads_rejected() const { return reload_rejected_.get(); }
 
   const ServiceConfig& config() const { return cfg_; }
 
@@ -94,6 +98,7 @@ class GenerationService {
   std::shared_ptr<const core::DoppelGanger> model_;
   std::uint64_t model_generation_ = 1;
   std::int64_t package_mtime_ = 0;  // filesystem ticks; 0 = unknown
+  std::int64_t rejected_mtime_ = 0;  // last mtime refused by preflight
   std::chrono::steady_clock::time_point last_poll_{};
 
   BoundedQueue<PendingPtr> queue_;
@@ -111,6 +116,7 @@ class GenerationService {
   obs::Counter& requests_ = registry_.counter("serve.requests");
   obs::Counter& responses_ = registry_.counter("serve.responses");
   obs::Counter& reloads_ = registry_.counter("serve.package_reloads");
+  obs::Counter& reload_rejected_ = registry_.counter("serve.reload_rejected");
   obs::Counter& rnn_steps_ = registry_.counter("serve.rnn_steps");
   obs::Counter& slot_steps_active_ =
       registry_.counter("serve.slot_steps_active");

@@ -66,6 +66,7 @@ struct StatsSnapshot {
   std::uint64_t slot_steps_total = 0;   // lane-steps paid for (width * steps)
   std::uint64_t queue_depth = 0;
   std::uint64_t package_reloads = 0;
+  std::uint64_t reload_rejected = 0;  // hot reloads refused by preflight
   double occupancy = 0.0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;

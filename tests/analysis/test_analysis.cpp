@@ -1,0 +1,195 @@
+// Unit tests for the static analyzer's foundations: the op registry's
+// coverage of the real autograd surface, shape rules, poison-node error
+// containment, graph-path attribution, and the diagnostics renderers.
+#include "analysis/symbolic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/diag.h"
+#include "analysis/registry.h"
+#include "nn/autograd.h"
+
+namespace dg::analysis {
+namespace {
+
+// The extension contract: every op name nn::make_op is called with must
+// have a registry entry, and the registry must not invent ops the engine
+// does not have. A new op added to nn/autograd.cpp fails here until its
+// shape rule is registered.
+TEST(OpRegistry, CoversExactlyTheEngineOpSurface) {
+  const OpRegistry& reg = OpRegistry::builtin();
+  std::set<std::string> engine;
+  for (const char* name : nn::known_op_names()) {
+    engine.insert(name);
+    EXPECT_NE(reg.find(name), nullptr) << "op '" << name
+        << "' has no registry entry (register a shape rule)";
+  }
+  for (const std::string& name : reg.names()) {
+    EXPECT_TRUE(engine.count(name)) << "registry op '" << name
+        << "' does not exist in nn/autograd.cpp";
+  }
+  EXPECT_EQ(engine.size(), reg.names().size());
+}
+
+TEST(OpRegistry, NoBuiltinOpIsFirstOrderOnly) {
+  // WGAN-GP depends on this: the whole engine supports double backward
+  // (relu/abs via the zero-curvature mask). kFirstOrderOnly exists only as
+  // an override class.
+  const OpRegistry& reg = OpRegistry::builtin();
+  for (const std::string& name : reg.names()) {
+    EXPECT_NE(reg.find(name)->diff, DiffClass::kFirstOrderOnly) << name;
+  }
+}
+
+TEST(Shape, SymbolicDimsComposeAndPrint) {
+  const Dim b = Dim::sym("B");
+  EXPECT_FALSE(b.concrete());
+  EXPECT_TRUE(Dim::of(3).concrete());
+  EXPECT_EQ(add_dims(Dim::of(3), Dim::of(4)).str(), "7");
+  const Shape bs{b, Dim::of(13)};
+  EXPECT_EQ(bs.str(), "[B, 13]");
+  // Symbolic + concrete folds into a derived symbol, equal to itself only.
+  const Dim s = add_dims(b, Dim::of(5));
+  EXPECT_EQ(s, add_dims(Dim::sym("B"), Dim::of(5)));
+  EXPECT_FALSE(s == b);
+}
+
+TEST(SymGraph, MatmulInnerDimMismatchIsOneDiagnostic) {
+  SymGraph g;
+  Tracer t(g);
+  auto* a = t.input("a", {Dim::sym("B"), Dim::of(3)});
+  auto* w = t.param("w", {Dim::of(4), Dim::of(2)});
+  auto* bad = t.matmul(a, w);  // 3 != 4
+  EXPECT_TRUE(bad->poisoned);
+  // Downstream consumers stay silent: one root cause, one finding.
+  auto* out = t.sum(t.relu(bad));
+  EXPECT_TRUE(out->poisoned);
+  ASSERT_EQ(g.diagnostics().size(), 1u);
+  const Diagnostic& d = g.diagnostics()[0];
+  EXPECT_EQ(d.code, "shape-mismatch");
+  EXPECT_EQ(d.op, "matmul");
+  EXPECT_NE(d.message.find("3"), std::string::npos);
+  EXPECT_NE(d.path.find("matmul"), std::string::npos);
+}
+
+TEST(SymGraph, UnknownOpNamesTheExtensionContract) {
+  SymGraph g;
+  auto* a = g.input("x", {Dim::of(2), Dim::of(2)});
+  const SymNode* p[] = {a};
+  auto* n = g.apply("fused_gelu", p);
+  EXPECT_TRUE(n->poisoned);
+  ASSERT_EQ(g.diagnostics().size(), 1u);
+  EXPECT_EQ(g.diagnostics()[0].code, "unknown-op");
+}
+
+TEST(SymGraph, BroadcastRulesCheckVectorOrientation) {
+  SymGraph g;
+  Tracer t(g);
+  auto* x = t.input("x", {Dim::sym("B"), Dim::of(6)});
+  auto* row = t.constant({Dim::of(1), Dim::of(6)});
+  EXPECT_FALSE(t.add_rowvec(x, row)->poisoned);
+  auto* col = t.constant({Dim::sym("B"), Dim::of(1)});
+  EXPECT_FALSE(t.mul_colvec(x, col)->poisoned);
+  // A column vector fed to the row-broadcast op must be caught.
+  auto* bad = t.add_rowvec(x, col);
+  EXPECT_TRUE(bad->poisoned);
+  EXPECT_EQ(g.diagnostics().size(), 1u);
+}
+
+TEST(SymGraph, SliceBoundsCheckedWhenConcrete) {
+  SymGraph g;
+  Tracer t(g);
+  auto* x = t.input("x", {Dim::sym("B"), Dim::of(5)});
+  auto* ok = t.slice_cols(x, 1, 4);
+  EXPECT_FALSE(ok->poisoned);
+  EXPECT_EQ(ok->shape.cols, Dim::of(3));
+  auto* bad = t.slice_cols(x, 2, 9);
+  EXPECT_TRUE(bad->poisoned);
+  EXPECT_EQ(g.diagnostics().size(), 1u);
+}
+
+TEST(SymGraph, SoftmaxExpansionPreservesShape) {
+  SymGraph g;
+  Tracer t(g);
+  auto* x = t.input("logits", {Dim::sym("B"), Dim::of(7)});
+  auto* sm = t.softmax_rows(x);
+  EXPECT_FALSE(sm->poisoned);
+  EXPECT_EQ(sm->shape.rows, Dim::sym("B"));
+  EXPECT_EQ(sm->shape.cols, Dim::of(7));
+  EXPECT_TRUE(g.diagnostics().empty());
+}
+
+TEST(SymGraph, ReachableParamsFollowsGradientFlow) {
+  SymGraph g;
+  Tracer t(g);
+  auto* w1 = t.param("w1", {Dim::of(3), Dim::of(4)});
+  auto* w2 = t.param("w2", {Dim::of(3), Dim::of(4)});  // never consumed
+  auto* x = t.input("x", {Dim::sym("B"), Dim::of(3)});
+  auto* loss = t.sum(t.matmul(x, w1));
+  const auto reached = g.reachable_params(loss);
+  ASSERT_EQ(reached.size(), 1u);
+  EXPECT_EQ(reached[0], w1);
+  (void)w2;
+}
+
+TEST(SymGraph, PathRendersFirstParentChain) {
+  SymGraph g;
+  Tracer t(g);
+  auto* w = t.param("head.w", {Dim::of(3), Dim::of(1)});
+  auto* x = t.input("x", {Dim::sym("B"), Dim::of(3)});
+  auto* n = t.sum(t.matmul(x, w));
+  const std::string p = SymGraph::path(n);
+  EXPECT_NE(p.find("sum <- matmul"), std::string::npos);
+  EXPECT_NE(p.find("(x)"), std::string::npos);
+}
+
+TEST(Diagnostics, HumanAndJsonRenderings) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({Severity::kError, "shape-mismatch", "inner dims 3 vs 4",
+                   "matmul", "matmul <- leaf(w)"});
+  diags.push_back({Severity::kWarning, "dead-param", "say \"hi\"\n", "w", ""});
+  EXPECT_TRUE(has_errors(diags));
+  std::ostringstream os;
+  print_human(os, diags);
+  EXPECT_NE(os.str().find("[error] shape-mismatch at matmul"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("(path: matmul <- leaf(w))"), std::string::npos);
+  const std::string json = to_json(diags);
+  EXPECT_NE(json.find("\"code\":\"shape-mismatch\""), std::string::npos);
+  // Quotes and newlines must be escaped, not emitted raw.
+  EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos);
+  diags.erase(diags.begin());
+  EXPECT_FALSE(has_errors(diags));
+}
+
+TEST(OpObserver, ReportsEveryMakeOpAndNests) {
+  std::vector<std::string> outer_ops;
+  int inner_calls = 0;
+  nn::OpObserverGuard outer([&](const char* op, int, int) {
+    outer_ops.push_back(op);
+  });
+  {
+    nn::Matrix m(2, 3);
+    nn::Var a = nn::constant(m);
+    (void)nn::relu(a);
+    {
+      nn::OpObserverGuard inner(
+          [&](const char*, int, int) { ++inner_calls; });
+      (void)nn::tanh_(a);
+    }
+    (void)nn::sigmoid(a);
+  }
+  // Inner guard shadowed the outer for exactly the tanh call, then restored.
+  EXPECT_EQ(inner_calls, 1);
+  EXPECT_EQ(std::count(outer_ops.begin(), outer_ops.end(), "tanh"), 0);
+  EXPECT_EQ(std::count(outer_ops.begin(), outer_ops.end(), "relu"), 1);
+  EXPECT_EQ(std::count(outer_ops.begin(), outer_ops.end(), "sigmoid"), 1);
+}
+
+}  // namespace
+}  // namespace dg::analysis

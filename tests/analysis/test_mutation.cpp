@@ -1,0 +1,215 @@
+// Mutation tests: seed the defect classes the static analyzer exists to
+// catch and require a finding with the right code and attribution for every
+// one of them — plus the fit() gate actually refusing to train. Defect
+// classes covered:
+//   1. bad sample_len S (zero / exceeding max_timesteps)   config-invalid
+//   2. bad training knobs (lr, batch, d_steps)             config-invalid
+//   3. weights from a different schema (swapped dims)      weight-shape
+//   4. architecture flag flipped vs serialized weights     weight-shape
+//   5. every parameter frozen                              frozen-params
+//   6. first-order-only op on the critic path (WGAN-GP)    no-double-backward
+//   7. truncated package bytes                             package-parse
+#include "analysis/model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/doppelganger.h"
+#include "core/package.h"
+#include "core/preflight.h"
+#include "data/io.h"
+#include "synth/synth.h"
+
+namespace dg::analysis {
+namespace {
+
+core::DoppelGangerConfig tiny_cfg() {
+  core::DoppelGangerConfig cfg;
+  cfg.attr_hidden = 8;
+  cfg.attr_layers = 1;
+  cfg.minmax_hidden = 8;
+  cfg.minmax_layers = 1;
+  cfg.lstm_units = 8;
+  cfg.head_hidden = 8;
+  cfg.sample_len = 5;
+  cfg.disc_hidden = 16;
+  cfg.disc_layers = 2;
+  cfg.batch = 4;
+  cfg.iterations = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+data::Schema gcut_schema() {
+  return synth::make_gcut({.n = 4, .t_max = 20, .seed = 5}).schema;
+}
+
+bool has_error(std::span<const Diagnostic> diags, const std::string& code,
+               const std::string& op_substr = "") {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.severity == Severity::kError && d.code == code &&
+           (op_substr.empty() || d.op.find(op_substr) != std::string::npos);
+  });
+}
+
+// Assembles a package whose header advertises (schema, cfg) but whose
+// weight section comes from `donor` — the "stale weights after a schema or
+// flag change" failure the preflight's shape census must catch.
+std::string spliced_package(const data::Schema& schema,
+                            const core::DoppelGangerConfig& cfg,
+                            const core::DoppelGanger& donor) {
+  std::ostringstream os;
+  os << "doppelganger-package v1\n";
+  std::ostringstream ss;
+  data::save_schema(ss, schema);
+  os << "schema_bytes " << ss.str().size() << '\n' << ss.str();
+  core::save_config(os, cfg);
+  donor.save(os);
+  return os.str();
+}
+
+TEST(Mutation, BadSampleLenIsConfigInvalid) {
+  const data::Schema schema = gcut_schema();
+  core::DoppelGangerConfig cfg = tiny_cfg();
+  cfg.sample_len = 0;
+  EXPECT_TRUE(has_error(analyze_model(schema, cfg).diagnostics,
+                        "config-invalid", "sample_len"));
+  cfg.sample_len = 100;  // > max_timesteps=20
+  EXPECT_TRUE(has_error(analyze_model(schema, cfg).diagnostics,
+                        "config-invalid", "sample_len"));
+}
+
+TEST(Mutation, BadTrainingKnobsAreConfigInvalid) {
+  const data::Schema schema = gcut_schema();
+  core::DoppelGangerConfig cfg = tiny_cfg();
+  cfg.lr = 0.0f;
+  cfg.batch = 0;
+  cfg.d_steps = 0;
+  const auto diags = analyze_model(schema, cfg).diagnostics;
+  EXPECT_TRUE(has_error(diags, "config-invalid", "lr"));
+  EXPECT_TRUE(has_error(diags, "config-invalid", "batch"));
+  EXPECT_TRUE(has_error(diags, "config-invalid", "d_steps"));
+}
+
+TEST(Mutation, SwappedSchemaWeightsAreCaughtByPreflight) {
+  const core::DoppelGangerConfig cfg = tiny_cfg();
+  // Donor trained against gcut (1 attr, 3 features); header claims wwt.
+  const core::DoppelGanger donor(gcut_schema(), cfg);
+  const data::Schema wwt =
+      synth::make_wwt({.n = 4, .t = 20, .seed = 5}).schema;
+  std::istringstream pkg(spliced_package(wwt, cfg, donor));
+  const core::PackagePreflight pf = core::preflight_package(pkg);
+  EXPECT_TRUE(pf.header_ok);
+  EXPECT_FALSE(pf.ok);
+  EXPECT_TRUE(has_error(pf.diagnostics, "weight-shape"));
+}
+
+TEST(Mutation, AuxFlagFlipVsWeightsIsCaughtByPreflight) {
+  core::DoppelGangerConfig with_aux = tiny_cfg();
+  with_aux.use_aux_discriminator = true;
+  const core::DoppelGanger donor(gcut_schema(), with_aux);
+  core::DoppelGangerConfig without_aux = with_aux;
+  without_aux.use_aux_discriminator = false;
+  std::istringstream pkg(
+      spliced_package(gcut_schema(), without_aux, donor));
+  const core::PackagePreflight pf = core::preflight_package(pkg);
+  EXPECT_FALSE(pf.ok);
+  EXPECT_TRUE(has_error(pf.diagnostics, "weight-shape"));
+}
+
+TEST(Mutation, FrozenEverythingIsAnError) {
+  const data::Schema schema = gcut_schema();
+  const core::DoppelGangerConfig cfg = tiny_cfg();
+  const auto shapes = expected_parameter_shapes(schema, cfg);
+  ASSERT_FALSE(shapes.empty());
+  std::vector<RuntimeParamInfo> frozen;
+  for (const ParamShape& p : shapes) {
+    frozen.push_back({p.name, p.rows, p.cols, /*trainable=*/false});
+  }
+  AnalyzeOptions opts;
+  opts.runtime_params = frozen;
+  const ModelAnalysis ma = analyze_model(schema, cfg, opts);
+  EXPECT_TRUE(has_error(ma.diagnostics, "frozen-params"));
+}
+
+TEST(Mutation, FirstOrderOpOnCriticPathFailsTheGpAudit) {
+  const data::Schema schema = gcut_schema();
+  const core::DoppelGangerConfig cfg = tiny_cfg();
+  OpRegistry reg = OpRegistry::builtin();
+  OpInfo downgraded = *reg.find("relu");
+  downgraded.diff = DiffClass::kFirstOrderOnly;
+  reg.add(downgraded);
+  AnalyzeOptions opts;
+  opts.registry = &reg;
+  const ModelAnalysis ma = analyze_model(schema, cfg, opts);
+  ASSERT_TRUE(has_error(ma.diagnostics, "no-double-backward", "relu"));
+  // Attribution: the finding must carry a graph path into the critic.
+  for (const Diagnostic& d : ma.diagnostics) {
+    if (d.code == "no-double-backward") {
+      EXPECT_NE(d.path.find("relu"), std::string::npos);
+      EXPECT_NE(d.path.find("<-"), std::string::npos);
+    }
+  }
+  // Standard GAN loss never differentiates through gradients: the same
+  // downgraded registry must pass there (no false positive).
+  core::DoppelGangerConfig std_cfg = cfg;
+  std_cfg.loss = core::GanLoss::Standard;
+  EXPECT_FALSE(has_error(analyze_model(schema, std_cfg, opts).diagnostics,
+                         "no-double-backward"));
+}
+
+TEST(Mutation, TruncatedPackageIsRefusedWithParseError) {
+  const core::DoppelGanger model(gcut_schema(), tiny_cfg());
+  std::ostringstream os;
+  core::save_package(os, model);
+  const std::string full = os.str();
+  std::istringstream truncated(full.substr(0, full.size() - 64));
+  const core::PackagePreflight pf = core::preflight_package(truncated);
+  EXPECT_TRUE(pf.header_ok);  // schema + config still parse
+  EXPECT_FALSE(pf.ok);
+  EXPECT_TRUE(has_error(pf.diagnostics, "package-parse"));
+  // Garbage from byte zero: not even the header survives.
+  std::istringstream garbage("not a package at all");
+  const core::PackagePreflight pf2 = core::preflight_package(garbage);
+  EXPECT_FALSE(pf2.header_ok);
+  EXPECT_TRUE(has_error(pf2.diagnostics, "package-parse"));
+}
+
+TEST(Mutation, FitRefusesToStartOnPreflightErrors) {
+  // lr=0 passes the constructor (which only checks structure) but must be
+  // rejected by the training preflight before the first iteration runs.
+  auto d = synth::make_gcut({.n = 8, .t_max = 20, .seed = 5});
+  for (auto& o : d.data) {
+    if (o.length() > 20) o.features.resize(20);
+  }
+  d.schema.max_timesteps = 20;
+  core::DoppelGangerConfig cfg = tiny_cfg();
+  cfg.lr = 0.0f;
+  core::DoppelGanger model(d.schema, cfg);
+  try {
+    model.fit(d.data);
+    FAIL() << "fit must throw on preflight errors";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("preflight"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("config-invalid"), std::string::npos);
+  }
+}
+
+TEST(Mutation, LoadedPackageRoundTripPassesPreflight) {
+  // Control arm: an unmutated package must preflight clean (and agree with
+  // the census the analyzer predicts).
+  const core::DoppelGanger model(gcut_schema(), tiny_cfg());
+  std::ostringstream os;
+  core::save_package(os, model);
+  std::istringstream is(os.str());
+  const core::PackagePreflight pf = core::preflight_package(is);
+  EXPECT_TRUE(pf.ok) << core::render_diagnostics(pf.diagnostics);
+  EXPECT_EQ(pf.weight_matrices.size(),
+            expected_parameter_shapes(pf.schema, pf.config).size());
+}
+
+}  // namespace
+}  // namespace dg::analysis

@@ -6,16 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/doppelganger.h"
 #include "core/package.h"
+#include "core/preflight.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "synth/synth.h"
@@ -180,6 +183,97 @@ TEST(GenerationService, HotReloadSwapsThePackage) {
   EXPECT_NE(before.objects[0].features, after.objects[0].features);
   EXPECT_GE(service.stats().package_reloads, 1u);
   service.stop();
+}
+
+TEST(GenerationService, HotReloadRejectsCorruptPackageAndKeepsServing) {
+  const std::string path = ::testing::TempDir() + "/rejected.dgpkg";
+  core::save_package_file(path, *make_model(3));
+  ServiceConfig cfg = small_service_cfg();
+  cfg.package_path = path;
+  cfg.engines = 1;
+  cfg.reload_poll_seconds = 0.01;
+  GenerationService service(cfg);
+  service.start();
+  const GenResponse before = service.submit(plain_request(1, 5, 1)).get();
+  ASSERT_TRUE(before.ok);
+
+  // Truncate the package on disk (a crashed writer mid-release). The
+  // preflight must refuse the swap, bump the rejection counter exactly once
+  // for this file version, and keep the old weights serving.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));  // move mtime
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 128));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.reloads_rejected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    const GenResponse r = service.submit(plain_request(2, 5, 1)).get();
+    ASSERT_TRUE(r.ok);  // old weights keep serving throughout
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(service.reloads_rejected(), 1u);
+  EXPECT_EQ(service.reloads(), 0u);
+  EXPECT_EQ(service.stats().reload_rejected, 1u);
+  // Same request, same seed: bit-identical to pre-corruption output.
+  const GenResponse during = service.submit(plain_request(3, 5, 1)).get();
+  ASSERT_TRUE(during.ok);
+  EXPECT_EQ(before.objects[0].features, during.objects[0].features);
+
+  // A good package landing afterwards must still swap in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  core::save_package_file(path, *make_model(1234));
+  const auto deadline2 =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.reloads() == 0 &&
+         std::chrono::steady_clock::now() < deadline2) {
+    service.submit(plain_request(4, 5, 1)).get();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(service.reloads(), 1u);
+  EXPECT_EQ(service.reloads_rejected(), 1u);  // still the one bad version
+  service.stop();
+}
+
+TEST(GenerationService, ConstructionRefusesCorruptPackage) {
+  const std::string path = ::testing::TempDir() + "/corrupt-ctor.dgpkg";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "doppelganger-package v1\nschema_bytes 9999\n";  // truncated
+  }
+  ServiceConfig cfg = small_service_cfg();
+  cfg.package_path = path;
+  try {
+    GenerationService service(cfg);
+    FAIL() << "construction must refuse a package that fails preflight";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("preflight"), std::string::npos);
+  }
+}
+
+TEST(GenerationService, PreflightCostIsSmall) {
+  // Acceptance criterion: the preflight adds < 5ms to a package load. It is
+  // header-only (no float payload is read) plus one symbolic walk, so even
+  // on a loaded CI machine the best-of-5 must clear the bar comfortably.
+  const std::string path = ::testing::TempDir() + "/timed.dgpkg";
+  core::save_package_file(path, *make_model(3));
+  double best_ms = 1e9;
+  for (int i = 0; i < 5; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::PackagePreflight pf = core::preflight_package_file(path);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    ASSERT_TRUE(pf.ok);
+    best_ms = std::min(best_ms, ms);
+  }
+  EXPECT_LT(best_ms, 5.0);
 }
 
 TEST(TcpServer, LoopbackRoundTrip) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Header self-sufficiency check: every public header under src/ must
+# compile standalone (all of its own includes present, nothing leaking in
+# from whoever happened to include it first). Each header is compiled as a
+# lone translation unit; a failure prints that header's diagnostics.
+#
+# Usage:
+#   tools/check_headers.sh [headers...]     # default: all of src/**/*.h
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+headers=("$@")
+if [ "${#headers[@]}" -eq 0 ]; then
+  while IFS= read -r h; do headers+=("$h"); done \
+    < <(find src -name '*.h' | sort)
+fi
+
+cxx="${CXX:-c++}"
+std="-std=c++20"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "check_headers.sh: compiling ${#headers[@]} headers standalone ($cxx)"
+status=0
+for h in "${headers[@]}"; do
+  tu="$tmp/tu.cpp"
+  printf '#include "%s"\n' "${h#src/}" > "$tu"  # project-style include path
+  if ! "$cxx" $std -Isrc -fsyntax-only -Wall -Wextra "$tu" 2> "$tmp/err"; then
+    echo "FAIL: $h is not self-sufficient" >&2
+    cat "$tmp/err" >&2
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "check_headers.sh: all headers self-sufficient"
+fi
+exit "$status"

@@ -16,6 +16,9 @@
 //   dgcli stats      --port P [--host H] [--json]
 //   dgcli top        --run DIR [--follow] [--rows N]
 //   dgcli check      [--seed X] [--iterations N]
+//   dgcli lint       --package M.dgpkg [--json]
+//   dgcli lint       --schema S.schema [--config C.cfg] [--json]
+//                    [--assume-first-order op1,op2]
 //
 // The .dgpkg package bundles schema + architecture + trained parameters, so
 // `generate` needs nothing else — the paper's Fig 2 release flow. `serve`
@@ -28,6 +31,13 @@
 // gradcheck battery (including the WGAN-GP second-order path) followed by an
 // AnomalyGuard-instrumented mini training run of the full DoppelGANger graph
 // (attribute MLP -> min/max MLP -> LSTM -> GP second-order pass).
+//
+// `lint` runs the static graph analyzer: `--package` preflights a .dgpkg
+// (header, schema, config, weight-shape census) without loading a float;
+// `--schema [--config]` meta-executes the full architecture symbolically and
+// reports shape errors, dead parameters, and critic-path ops that lack
+// double-backward support before any training run. `--assume-first-order`
+// downgrades named ops in the registry (what-if / mutation-test hook).
 //
 // Observability: `train --run-dir DIR` streams per-iteration telemetry to
 // DIR/metrics.jsonl and drops trace.json (chrome://tracing), trace.jsonl,
@@ -44,8 +54,12 @@
 #include <string>
 #include <thread>
 
+#include "analysis/diag.h"
+#include "analysis/model.h"
+#include "analysis/registry.h"
 #include "core/doppelganger.h"
 #include "core/package.h"
+#include "core/preflight.h"
 #include "core/wgan.h"
 #include "data/io.h"
 #include "eval/metrics.h"
@@ -677,10 +691,86 @@ int cmd_check(const Args& a) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------- lint
+
+/// Registry for lint runs: builtin, with --assume-first-order op1,op2
+/// downgrades applied (proves the critic-path audit catches such ops).
+analysis::OpRegistry lint_registry(const Args& a) {
+  analysis::OpRegistry reg = analysis::OpRegistry::builtin();
+  if (a.flag("assume-first-order")) {
+    for (const std::string& op : split_clauses(a.str("assume-first-order"))) {
+      const analysis::OpInfo* info = reg.find(op);
+      if (info == nullptr) {
+        throw std::runtime_error("lint: unknown op '" + op +
+                                 "' in --assume-first-order");
+      }
+      analysis::OpInfo downgraded = *info;
+      downgraded.diff = analysis::DiffClass::kFirstOrderOnly;
+      reg.add(std::move(downgraded));
+    }
+  }
+  return reg;
+}
+
+/// Common tail of every lint mode: render diagnostics (human or JSON) and
+/// map them to the exit code (0 clean, 1 errors).
+int lint_report(std::span<const analysis::Diagnostic> diags, bool json) {
+  const bool bad = analysis::has_errors(diags);
+  if (json) {
+    std::printf("{\"ok\":%s,\"diagnostics\":%s}\n", bad ? "false" : "true",
+                analysis::to_json(diags).c_str());
+    return bad ? 1 : 0;
+  }
+  if (!diags.empty()) {
+    std::ostringstream os;
+    analysis::print_human(os, diags);
+    std::fputs(os.str().c_str(), stdout);
+  }
+  std::printf("lint: %s (%zu finding%s)\n", bad ? "FAIL" : "PASS",
+              diags.size(), diags.size() == 1 ? "" : "s");
+  return bad ? 1 : 0;
+}
+
+int cmd_lint(const Args& a) {
+  const bool json = a.flag("json");
+  const analysis::OpRegistry reg = lint_registry(a);
+  if (a.flag("package")) {
+    const core::PackagePreflight pf =
+        core::preflight_package_file(a.str("package"), reg);
+    if (!json && pf.header_ok) {
+      std::printf("package %s: %d attributes, %d features, "
+                  "%zu weight matrices\n",
+                  a.str("package").c_str(),
+                  pf.schema.num_attributes(), pf.schema.num_features(),
+                  pf.weight_matrices.size());
+    }
+    return lint_report(pf.diagnostics, json);
+  }
+  const data::Schema schema = data::load_schema_file(a.str("schema"));
+  core::DoppelGangerConfig cfg;
+  if (a.flag("config")) {
+    std::ifstream is(a.str("config"));
+    if (!is) throw std::runtime_error("lint: cannot open " + a.str("config"));
+    cfg = core::load_config(is);
+  } else {
+    // No config given: lint the defaults dgcli train would use (sample_len
+    // derived from the schema, as in config_from).
+    cfg.sample_len = std::max(1, schema.max_timesteps / 28);
+  }
+  const analysis::ModelAnalysis ma =
+      core::preflight_config(schema, cfg, reg);
+  if (!json) {
+    std::printf("model: %zu parameter matrices, %d symbolic graph nodes, "
+                "generation step width %d\n",
+                ma.parameters.size(), ma.graph_nodes, ma.generation_step_cols);
+  }
+  return lint_report(ma.diagnostics, json);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: dgcli <make-synth|train|generate|serve|request|stats|"
-               "top|check> [options]\n"
+               "top|check|lint> [options]\n"
                "see the header of tools/dgcli.cpp for the option list\n");
   return 2;
 }
@@ -698,6 +788,7 @@ int main(int argc, char** argv) {
     if (a.command == "stats") return cmd_stats(a);
     if (a.command == "top") return cmd_top(a);
     if (a.command == "check") return cmd_check(a);
+    if (a.command == "lint") return cmd_lint(a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dgcli: %s\n", e.what());

@@ -4,8 +4,7 @@
 # Usage:
 #   tools/lint.sh [--fix] [paths...]
 #
-# Lints every .cpp under src/ by default (tests/bench/tools compile with
-# -Werror instead; src/ is the library surface the tidy gate protects).
+# Lints every .cpp under src/, tests/, bench/ and tools/ by default.
 # Needs a clang-tidy binary (any recent major version); configures a
 # dedicated build dir to get compile_commands.json if none exists yet.
 set -euo pipefail
@@ -23,7 +22,7 @@ for arg in "$@"; do
 done
 if [ "${#paths[@]}" -eq 0 ]; then
   while IFS= read -r f; do paths+=("$f"); done \
-    < <(find src -name '*.cpp' | sort)
+    < <(find src tests bench tools -name '*.cpp' | sort)
 fi
 
 # Locate clang-tidy: plain name first, then versioned fallbacks.
