@@ -1,0 +1,42 @@
+// Liveness-based arena planner: packs every materialized tape value into
+// one flat buffer so steady-state tape execution performs zero heap
+// allocations. Lifetimes are half-open instruction intervals, widened to
+// whole fusion groups (a group executes per element, so all of its reads
+// and writes are treated as simultaneous); placement is exact-slot interval
+// coloring — values in lifetime-start order each reuse the first slot of
+// exactly their width whose occupants are all dead, or open a fresh slot at
+// the arena end. Exact (offset, width) sharing is a hard rule, not a
+// packing heuristic: it is what lets the executor replay the whole tape
+// lane-partitioned across threads without cross-worker races (see
+// plan_arena's definition). The verifier re-checks the resulting plan
+// independently (tape-arena-overlap / tape-alias-clobber), so a planner bug
+// is a rejected tape, not a silent corruption.
+#pragma once
+
+#include "analysis/tape.h"
+
+namespace dg::analysis {
+
+/// Fills `last_use` for every value (kLiveToEnd for outputs) from the
+/// instruction stream. Called by build_generation_tape after fusion;
+/// exposed for tests that hand-build tapes.
+void compute_liveness(Tape& tape);
+
+/// Exact-slot interval coloring over lifetime intervals. Requires liveness
+/// to be computed. Values that need no slot (params, inputs, fused
+/// temporaries) get offset -1.
+ArenaPlan plan_arena(const Tape& tape);
+
+/// Lifetime interval of value `v` in group-collapsed instruction points
+/// ([def_point, use_point]); used by both the planner and the verifier so
+/// the two cannot disagree about what "overlapping" means.
+struct LiveInterval {
+  int begin = 0;
+  int end = 0;
+  bool overlaps(const LiveInterval& o) const {
+    return begin <= o.end && o.begin <= end;
+  }
+};
+LiveInterval live_interval(const Tape& tape, int value_id);
+
+}  // namespace dg::analysis

@@ -1,0 +1,747 @@
+#include "analysis/tape.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/planner.h"
+#include "nn/layers.h"
+
+namespace dg::analysis {
+
+namespace {
+
+using Sev = Severity;
+
+// ---- architecture dimensions (mirrors DoppelGanger's constructor; kept
+// local like analysis/model.cpp does — the analysis layer sits below
+// dg_core in the link graph, and the serve-side differential tests pin any
+// drift bit-exactly against the real executor) ---------------------------
+
+struct TapeDims {
+  int attr_w = 0;
+  int mm_w = 0;
+  int record_width = 0;
+  int lstm_in = 0;
+  bool minmax_enabled = false;
+};
+
+TapeDims tape_dims(const data::Schema& s, const core::DoppelGangerConfig& cfg) {
+  TapeDims d;
+  d.attr_w = s.attribute_dim();
+  int n_cont = 0;
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Continuous) ++n_cont;
+  }
+  d.minmax_enabled = cfg.use_minmax_generator && n_cont > 0;
+  d.mm_w = d.minmax_enabled ? 2 * n_cont : 0;
+  d.record_width = s.feature_record_dim() + 2;
+  d.lstm_in = d.attr_w + d.mm_w + cfg.feat_noise_dim;
+  return d;
+}
+
+struct Block {
+  int width = 0;
+  nn::Activation act = nn::Activation::None;
+};
+
+/// One step's output blocks: sample_len repetitions of the record layout
+/// (core/output_blocks.cpp record_blocks + repeat_blocks).
+std::vector<Block> step_layout(const data::Schema& s,
+                               const core::DoppelGangerConfig& cfg,
+                               const TapeDims& d) {
+  std::vector<Block> record;
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Categorical) {
+      record.push_back({f.width(), nn::Activation::Softmax});
+    } else {
+      record.push_back({1, d.minmax_enabled ? nn::Activation::Tanh
+                                            : nn::Activation::Sigmoid});
+    }
+  }
+  record.push_back({2, nn::Activation::Softmax});  // generation flags
+  std::vector<Block> step;
+  step.reserve(record.size() * static_cast<size_t>(cfg.sample_len));
+  for (int i = 0; i < cfg.sample_len; ++i) {
+    step.insert(step.end(), record.begin(), record.end());
+  }
+  return step;
+}
+
+// ---- lowering -----------------------------------------------------------
+
+class Lowering {
+ public:
+  explicit Lowering(const OpRegistry& reg) : reg_(reg) {}
+
+  Tape tape;
+  std::vector<Diagnostic> diags;
+
+  int param(std::string name, int rows, int cols) {
+    const int id = value(TapeValueKind::kParam, std::move(name),
+                         {Dim::of(rows), Dim::of(cols)});
+    tape.params.push_back(id);
+    return id;
+  }
+
+  int input(std::string name, int cols) {
+    const int id = value(TapeValueKind::kInput, std::move(name),
+                         {Dim::sym("B"), Dim::of(cols)});
+    tape.inputs.push_back(id);
+    return id;
+  }
+
+  int emit(std::string op, std::vector<int> args, OpAttrs attrs = {}) {
+    const OpInfo* info = reg_.find(op);
+    std::vector<Shape> in;
+    in.reserve(args.size());
+    for (int a : args) in.push_back(tape.values[static_cast<size_t>(a)].shape);
+    Shape out{Dim::sym("B"), Dim::of(0)};
+    if (info == nullptr) {
+      diags.push_back({Sev::kError, "tape-lower",
+                       "op missing from the tape registry", op, {}});
+    } else {
+      const ShapeResult r = info->shape(in, attrs);
+      if (!r.shape) {
+        diags.push_back({Sev::kError, "tape-lower", r.error, op, {}});
+      } else {
+        out = *r.shape;
+      }
+    }
+    const int instr_id = static_cast<int>(tape.instrs.size());
+    const int dst = value(TapeValueKind::kLocal, "", out);
+    tape.values[static_cast<size_t>(dst)].def = instr_id;
+    tape.instrs.push_back(
+        {instr_id, std::move(op), dst, std::move(args), attrs, -1});
+    return dst;
+  }
+
+  void mark_output(int id, std::string name) {
+    TapeValue& v = tape.values[static_cast<size_t>(id)];
+    v.output = true;
+    if (v.name.empty()) v.name = std::move(name);
+    tape.outputs.push_back(id);
+  }
+
+ private:
+  int value(TapeValueKind kind, std::string name, Shape s) {
+    const int id = static_cast<int>(tape.values.size());
+    TapeValue v;
+    v.id = id;
+    v.kind = kind;
+    v.name = std::move(name);
+    v.shape = s;
+    tape.values.push_back(std::move(v));
+    return id;
+  }
+
+  const OpRegistry& reg_;
+};
+
+/// Greedy run-based fusion: a fusion group is a maximal contiguous run of
+/// elementwise instructions over one iteration domain, where every operand
+/// is either produced inside the run or defined before it. Contiguity holds
+/// by construction, which is exactly what the verifier later demands.
+void fuse_elementwise(Tape& t) {
+  const int n = static_cast<int>(t.instrs.size());
+  int run_lo = -1;
+  std::vector<std::pair<int, int>> runs;  // closed [lo, hi]
+  const auto close_run = [&](int hi) {
+    if (run_lo >= 0 && hi > run_lo) runs.emplace_back(run_lo, hi);
+    run_lo = -1;
+  };
+  for (int i = 0; i < n; ++i) {
+    const TapeInstr& ins = t.instrs[static_cast<size_t>(i)];
+    if (!tape_op_is_elementwise(ins.op)) {
+      close_run(i - 1);
+      continue;
+    }
+    bool join = run_lo >= 0;
+    if (join) {
+      const Shape& run_shape =
+          t.values[static_cast<size_t>(t.instrs[static_cast<size_t>(run_lo)].dst)]
+              .shape;
+      const Shape& my_shape = t.values[static_cast<size_t>(ins.dst)].shape;
+      join = run_shape == my_shape;
+    }
+    if (join) {
+      for (int a : ins.args) {
+        const int def = t.values[static_cast<size_t>(a)].def;
+        if (def >= run_lo && def < i) continue;  // produced inside the run
+        if (def < run_lo) continue;              // run input
+        join = false;
+        break;
+      }
+    }
+    if (!join) {
+      close_run(i - 1);
+      run_lo = i;
+    }
+  }
+  close_run(n - 1);
+
+  for (const auto& [lo, hi] : runs) {
+    const int gid = t.fusion_groups++;
+    for (int i = lo; i <= hi; ++i) t.instrs[static_cast<size_t>(i)].group = gid;
+  }
+
+  // Values consumed entirely inside their own group never materialize: the
+  // executor carries them in per-element registers.
+  std::vector<std::vector<int>> uses(t.values.size());
+  for (const TapeInstr& ins : t.instrs) {
+    for (int a : ins.args) uses[static_cast<size_t>(a)].push_back(ins.id);
+  }
+  for (TapeValue& v : t.values) {
+    if (v.kind != TapeValueKind::kLocal || v.output || v.def < 0) continue;
+    const int gid = t.instrs[static_cast<size_t>(v.def)].group;
+    if (gid < 0 || uses[static_cast<size_t>(v.id)].empty()) continue;
+    bool inside = true;
+    for (int u : uses[static_cast<size_t>(v.id)]) {
+      if (t.instrs[static_cast<size_t>(u)].group != gid) {
+        inside = false;
+        break;
+      }
+    }
+    v.fused_temp = inside;
+  }
+}
+
+// ---- verifier -----------------------------------------------------------
+
+std::string instr_str(const Tape& t, int i) {
+  const TapeInstr& ins = t.instrs[static_cast<size_t>(i)];
+  std::string s = "instr #" + std::to_string(i) + ": v" +
+                  std::to_string(ins.dst) + " = " + ins.op + "(";
+  for (size_t a = 0; a < ins.args.size(); ++a) {
+    if (a > 0) s += ", ";
+    s += "v" + std::to_string(ins.args[a]);
+  }
+  s += ")";
+  if (ins.group >= 0) s += " [group " + std::to_string(ins.group) + "]";
+  return s;
+}
+
+void finding(std::vector<Diagnostic>& out, std::string code, std::string msg,
+             const Tape& t, int instr) {
+  out.push_back({Sev::kError, std::move(code), std::move(msg),
+                 instr >= 0 ? t.instrs[static_cast<size_t>(instr)].op
+                            : std::string("tape"),
+                 instr >= 0 ? instr_str(t, instr) : std::string{}});
+}
+
+}  // namespace
+
+bool tape_op_is_elementwise(std::string_view op) {
+  static const std::set<std::string, std::less<>> kElementwise = {
+      "add",  "sub", "mul",     "div",  "neg",    "relu",  "abs",
+      "tanh", "sigmoid", "exp", "log",  "sqrt",   "square", "recip"};
+  return kElementwise.count(op) != 0;
+}
+
+const OpRegistry& tape_registry() {
+  static const OpRegistry reg = [] {
+    OpRegistry r = OpRegistry::builtin();
+    // Inference-only intrinsics (no backward): the autograd softmax keeps
+    // its row-max shift as runtime data, so the tape needs first-class ops
+    // for the shift, the broadcast add and the reciprocal. Each is defined
+    // to be bit-identical to the composition nn/autograd.cpp executes.
+    r.add({"neg_row_max", 1, 1, DiffClass::kFirstOrderOnly, Broadcast::kNone,
+           [](std::span<const Shape> in, const OpAttrs&) {
+             return ShapeResult::ok({in[0].rows, Dim::of(1)});
+           }});
+    r.add({"add_colvec", 2, 2, DiffClass::kFirstOrderOnly,
+           Broadcast::kColVector,
+           [](std::span<const Shape> in, const OpAttrs&) {
+             if (in[1].cols != Dim::of(1) || in[1].rows != in[0].rows) {
+               return ShapeResult::fail("column vector " + in[1].str() +
+                                        " does not broadcast over " +
+                                        in[0].str());
+             }
+             return ShapeResult::ok(in[0]);
+           }});
+    r.add({"recip", 1, 1, DiffClass::kFirstOrderOnly, Broadcast::kNone,
+           [](std::span<const Shape> in, const OpAttrs&) {
+             return ShapeResult::ok(in[0]);
+           }});
+    return r;
+  }();
+  return reg;
+}
+
+std::vector<Diagnostic> verify_tape(const Tape& tape, const ArenaPlan& plan,
+                                    const OpRegistry& registry) {
+  std::vector<Diagnostic> out;
+  const int n_instrs = static_cast<int>(tape.instrs.size());
+  const int n_values = static_cast<int>(tape.values.size());
+
+  const auto valid_value = [&](int id) { return id >= 0 && id < n_values; };
+
+  // ---- structural sanity: the cross-links the later rules lean on ----
+  for (int i = 0; i < n_instrs; ++i) {
+    const TapeInstr& ins = tape.instrs[static_cast<size_t>(i)];
+    if (!valid_value(ins.dst)) {
+      finding(out, "tape-malformed", "destination value id out of range",
+              tape, i);
+      return out;
+    }
+    const TapeValue& dst = tape.values[static_cast<size_t>(ins.dst)];
+    if (dst.kind != TapeValueKind::kLocal) {
+      finding(out, "tape-malformed",
+              "instruction writes a parameter/input value", tape, i);
+    }
+    for (int a : ins.args) {
+      if (!valid_value(a)) {
+        finding(out, "tape-malformed", "operand value id out of range", tape,
+                i);
+        return out;
+      }
+    }
+  }
+  if (plan.offsets.size() != tape.values.size()) {
+    finding(out, "tape-malformed",
+            "arena plan covers " + std::to_string(plan.offsets.size()) +
+                " values; tape has " + std::to_string(tape.values.size()),
+            tape, -1);
+    return out;
+  }
+
+  // ---- per-instruction: def-before-use, registry, arity, shapes ----
+  for (int i = 0; i < n_instrs; ++i) {
+    const TapeInstr& ins = tape.instrs[static_cast<size_t>(i)];
+    bool order_ok = true;
+    for (int a : ins.args) {
+      const TapeValue& v = tape.values[static_cast<size_t>(a)];
+      if (v.kind == TapeValueKind::kLocal && (v.def < 0 || v.def >= i)) {
+        finding(out, "tape-use-before-def",
+                "operand v" + std::to_string(a) + " is defined at instr #" +
+                    std::to_string(v.def) + ", after its use",
+                tape, i);
+        order_ok = false;
+      }
+    }
+    const OpInfo* info = registry.find(ins.op);
+    if (info == nullptr) {
+      finding(out, "tape-unknown-op",
+              "op '" + ins.op + "' is not in the tape registry", tape, i);
+      continue;
+    }
+    const int arity = static_cast<int>(ins.args.size());
+    if (arity < info->min_arity ||
+        (info->max_arity >= 0 && arity > info->max_arity)) {
+      finding(out, "tape-arity",
+              "op '" + ins.op + "' takes " + std::to_string(info->min_arity) +
+                  ".." +
+                  (info->max_arity < 0 ? std::string("*")
+                                       : std::to_string(info->max_arity)) +
+                  " operands; tape records " + std::to_string(arity),
+              tape, i);
+      continue;
+    }
+    if (!order_ok) continue;  // one root cause per defect; shapes would lie
+    std::vector<Shape> in;
+    in.reserve(ins.args.size());
+    for (int a : ins.args) in.push_back(tape.values[static_cast<size_t>(a)].shape);
+    const ShapeResult r = info->shape(in, ins.attrs);
+    const Shape& recorded = tape.values[static_cast<size_t>(ins.dst)].shape;
+    if (!r.shape) {
+      finding(out, "tape-stale-shape",
+              "shape rule rejects the recorded operands: " + r.error, tape, i);
+    } else if (*r.shape != recorded) {
+      finding(out, "tape-stale-shape",
+              "recorded result shape " + recorded.str() +
+                  " does not match the shape rule's " + r.shape->str(),
+              tape, i);
+    }
+  }
+
+  // ---- fusion legality ----
+  struct GroupExtent {
+    int lo = -1;
+    int hi = -1;
+  };
+  std::map<int, GroupExtent> groups;
+  for (int i = 0; i < n_instrs; ++i) {
+    const int gid = tape.instrs[static_cast<size_t>(i)].group;
+    if (gid < 0) continue;
+    auto& g = groups[gid];
+    if (g.lo < 0) g.lo = i;
+    g.hi = i;
+  }
+  for (const auto& [gid, ext] : groups) {
+    const Shape* domain = nullptr;
+    for (int i = ext.lo; i <= ext.hi; ++i) {
+      const TapeInstr& ins = tape.instrs[static_cast<size_t>(i)];
+      if (ins.group != gid) {
+        finding(out, "tape-illegal-fusion",
+                "group " + std::to_string(gid) + " spans instrs #" +
+                    std::to_string(ext.lo) + "..#" + std::to_string(ext.hi) +
+                    " but this instruction is not a member (groups must be "
+                    "contiguous)",
+                tape, i);
+        continue;
+      }
+      if (!tape_op_is_elementwise(ins.op)) {
+        finding(out, "tape-illegal-fusion",
+                "op '" + ins.op + "' is not elementwise and cannot be fused",
+                tape, i);
+        continue;
+      }
+      const Shape& s = tape.values[static_cast<size_t>(ins.dst)].shape;
+      if (domain == nullptr) {
+        domain = &s;
+      } else if (*domain != s) {
+        finding(out, "tape-illegal-fusion",
+                "iteration domain " + s.str() +
+                    " differs from the group's " + domain->str(),
+                tape, i);
+      }
+    }
+  }
+  for (const TapeValue& v : tape.values) {
+    if (!v.fused_temp) continue;
+    const int gid =
+        v.def >= 0 ? tape.instrs[static_cast<size_t>(v.def)].group : -1;
+    bool bad = v.kind != TapeValueKind::kLocal || v.output || gid < 0;
+    if (!bad) {
+      for (const TapeInstr& ins : tape.instrs) {
+        for (int a : ins.args) {
+          if (a == v.id && ins.group != gid) {
+            bad = true;
+            break;
+          }
+        }
+      }
+    }
+    if (bad) {
+      finding(out, "tape-illegal-fusion",
+              "v" + std::to_string(v.id) +
+                  " is marked as a fusion-local intermediate but escapes its "
+                  "group",
+              tape, v.def);
+    }
+    if (plan.offsets[static_cast<size_t>(v.id)] >= 0) {
+      finding(out, "tape-illegal-fusion",
+              "fusion-local intermediate v" + std::to_string(v.id) +
+                  " must not own an arena slot",
+              tape, v.def);
+    }
+  }
+
+  // ---- arena plan: coverage, bounds, overlap ----
+  const auto needs_slot = [&](const TapeValue& v) {
+    return v.kind == TapeValueKind::kLocal && !v.fused_temp && v.cols() > 0;
+  };
+  std::vector<int> slotted;
+  for (const TapeValue& v : tape.values) {
+    const long long off = plan.offsets[static_cast<size_t>(v.id)];
+    if (needs_slot(v)) {
+      if (off < 0) {
+        finding(out, "tape-malformed",
+                "v" + std::to_string(v.id) +
+                    " is materialized but the arena plan gives it no slot",
+                tape, v.def);
+      } else {
+        if (off + v.cols() > plan.peak_cols) {
+          finding(out, "tape-arena-overlap",
+                  "v" + std::to_string(v.id) + " slot [" +
+                      std::to_string(off) + ", " +
+                      std::to_string(off + v.cols()) +
+                      ") exceeds the arena peak of " +
+                      std::to_string(plan.peak_cols),
+                  tape, v.def);
+        }
+        slotted.push_back(v.id);
+      }
+    } else if (off >= 0 && v.kind != TapeValueKind::kLocal) {
+      finding(out, "tape-malformed",
+              "parameter/input v" + std::to_string(v.id) +
+                  " must not own an arena slot",
+              tape, -1);
+    }
+  }
+  std::set<std::pair<int, int>> reported;
+  for (size_t x = 0; x < slotted.size(); ++x) {
+    for (size_t y = x + 1; y < slotted.size(); ++y) {
+      const TapeValue& a = tape.values[static_cast<size_t>(slotted[x])];
+      const TapeValue& b = tape.values[static_cast<size_t>(slotted[y])];
+      const long long ao = plan.offsets[static_cast<size_t>(a.id)];
+      const long long bo = plan.offsets[static_cast<size_t>(b.id)];
+      if (ao >= bo + b.cols() || bo >= ao + a.cols()) continue;  // disjoint
+      if (live_interval(tape, a.id).overlaps(live_interval(tape, b.id))) {
+        finding(out, "tape-arena-overlap",
+                "v" + std::to_string(a.id) + " (defined at instr #" +
+                    std::to_string(a.def) + ") and v" + std::to_string(b.id) +
+                    " have overlapping lifetimes but share arena floats [" +
+                    std::to_string(std::max(ao, bo)) + ", " +
+                    std::to_string(std::min(ao + a.cols(), bo + b.cols())) +
+                    ")",
+                tape, b.def);
+        reported.emplace(std::min(a.id, b.id), std::max(a.id, b.id));
+      } else if (ao != bo || a.cols() != b.cols()) {
+        // Partition safety: time-disjoint values may share floats only as an
+        // exact slot match. With slab-major layout, a shifted or nested
+        // overlap maps lane i of one value onto lane j != i of the other, so
+        // the lane-partitioned replay (one worker per lane range, each at its
+        // own position in the instruction stream) would race across workers
+        // even though sequential execution is clean.
+        finding(out, "tape-arena-overlap",
+                "v" + std::to_string(a.id) + " slot [" + std::to_string(ao) +
+                    ", " + std::to_string(ao + a.cols()) + ") and v" +
+                    std::to_string(b.id) + " slot [" + std::to_string(bo) +
+                    ", " + std::to_string(bo + b.cols()) +
+                    ") partially overlap; slot reuse must be exact "
+                    "(same offset and width) to keep lane-partitioned "
+                    "replay race-free",
+                tape, b.def);
+        reported.emplace(std::min(a.id, b.id), std::max(a.id, b.id));
+      }
+    }
+  }
+
+  // ---- alias clobber: recomputed from the instruction stream, trusting
+  // nothing the liveness metadata says (a corrupted last_use must not let a
+  // write land on a buffer a later instruction still reads) ----
+  std::vector<int> true_end(tape.values.size(), -1);
+  for (const TapeInstr& ins : tape.instrs) {
+    for (int a : ins.args) {
+      true_end[static_cast<size_t>(a)] =
+          std::max(true_end[static_cast<size_t>(a)], ins.id);
+    }
+  }
+  for (int o : tape.outputs) {
+    if (valid_value(o)) true_end[static_cast<size_t>(o)] = n_instrs;
+  }
+  for (int i = 0; i < n_instrs; ++i) {
+    const TapeInstr& ins = tape.instrs[static_cast<size_t>(i)];
+    const TapeValue& d = tape.values[static_cast<size_t>(ins.dst)];
+    const long long doff = plan.offsets[static_cast<size_t>(d.id)];
+    if (doff < 0) continue;
+    for (int u : slotted) {
+      const TapeValue& v = tape.values[static_cast<size_t>(u)];
+      if (v.id == d.id || v.def > i || true_end[static_cast<size_t>(u)] < i) {
+        continue;  // not yet defined, or already dead at this write
+      }
+      const long long voff = plan.offsets[static_cast<size_t>(u)];
+      if (doff < voff + v.cols() && voff < doff + d.cols() &&
+          reported.count({std::min(d.id, v.id), std::max(d.id, v.id)}) == 0) {
+        finding(out, "tape-alias-clobber",
+                "writing v" + std::to_string(d.id) + " clobbers v" +
+                    std::to_string(u) + ", still read at instr #" +
+                    std::to_string(true_end[static_cast<size_t>(u)]),
+                tape, i);
+        reported.emplace(std::min(d.id, v.id), std::max(d.id, v.id));
+      }
+    }
+  }
+
+  // ---- outputs must be materialized locals ----
+  for (int o : tape.outputs) {
+    if (!valid_value(o)) {
+      finding(out, "tape-malformed", "output value id out of range", tape, -1);
+      continue;
+    }
+    const TapeValue& v = tape.values[static_cast<size_t>(o)];
+    if (v.kind == TapeValueKind::kLocal &&
+        (v.fused_temp || (v.cols() > 0 &&
+                          plan.offsets[static_cast<size_t>(o)] < 0))) {
+      finding(out, "tape-malformed",
+              "output v" + std::to_string(o) + " is not materialized", tape,
+              v.def);
+    }
+  }
+  return out;
+}
+
+TapeReport build_generation_tape(const data::Schema& schema,
+                                 const core::DoppelGangerConfig& cfg) {
+  TapeReport rep;
+  const TapeDims d = tape_dims(schema, cfg);
+  const int H = cfg.lstm_units;
+  const int rw = d.record_width;
+  const int S = cfg.sample_len;
+  if (schema.max_timesteps <= 0 || S <= 0 || S > schema.max_timesteps ||
+      H <= 0 || cfg.head_hidden <= 0 || cfg.feat_noise_dim <= 0 || rw < 2) {
+    rep.diagnostics.push_back(
+        {Sev::kError, "tape-config",
+         "schema + config do not describe a constructible generation step",
+         "tape", {}});
+    return rep;
+  }
+
+  Lowering lw(tape_registry());
+
+  // Inputs, in the order TapeExecutor::step binds them.
+  const int cond = lw.input("cond", d.attr_w + d.mm_w);
+  const int noise = lw.input("noise", cfg.feat_noise_dim);
+  const int h_in = lw.input("state.h", H);
+  const int c_in = lw.input("state.c", H);
+  const int mask_in = lw.input("state.mask", 1);
+
+  // Parameters, in generator_parameters() / save() order for the two
+  // networks the step touches.
+  const int wx = lw.param("lstm.wx", d.lstm_in, 4 * H);
+  const int wh = lw.param("lstm.wh", H, 4 * H);
+  const int b = lw.param("lstm.b", 1, 4 * H);
+  const int h0w = lw.param("head.l0.w", H, cfg.head_hidden);
+  const int h0b = lw.param("head.l0.b", 1, cfg.head_hidden);
+  const int h1w = lw.param("head.l1.w", cfg.head_hidden, S * rw);
+  const int h1b = lw.param("head.l1.b", 1, S * rw);
+
+  // LSTM cell, op for op (nn::LstmCell::step). The slices come first so
+  // the elementwise tail forms one contiguous fusion run.
+  const int x = lw.emit("concat_cols", {cond, noise});
+  const int gates = lw.emit("lstm_gates", {x, wx, h_in, wh, b});
+  const auto slice = [&](int src, int c0, int c1) {
+    OpAttrs at;
+    at.i0 = c0;
+    at.i1 = c1;
+    return lw.emit("slice_cols", {src}, at);
+  };
+  const int s_i = slice(gates, 0, H);
+  const int s_f = slice(gates, H, 2 * H);
+  const int s_g = slice(gates, 2 * H, 3 * H);
+  const int s_o = slice(gates, 3 * H, 4 * H);
+  const int gi = lw.emit("sigmoid", {s_i});
+  const int gf = lw.emit("sigmoid", {s_f});
+  const int gg = lw.emit("tanh", {s_g});
+  const int go = lw.emit("sigmoid", {s_o});
+  const int fc = lw.emit("mul", {gf, c_in});
+  const int ig = lw.emit("mul", {gi, gg});
+  const int c_out = lw.emit("add", {fc, ig});
+  const int tc = lw.emit("tanh", {c_out});
+  const int h_out = lw.emit("mul", {go, tc});
+
+  // Head MLP (always one hidden layer) + per-block activations.
+  const int hid = lw.emit("relu", {lw.emit("affine", {h_out, h0w, h0b})});
+  const int block = lw.emit("affine", {hid, h1w, h1b});
+  std::vector<int> parts;
+  int col = 0;
+  for (const Block& blk : step_layout(schema, cfg, d)) {
+    int part = slice(block, col, col + blk.width);
+    switch (blk.act) {
+      case nn::Activation::None:
+        break;
+      case nn::Activation::Relu:
+        part = lw.emit("relu", {part});
+        break;
+      case nn::Activation::Tanh:
+        part = lw.emit("tanh", {part});
+        break;
+      case nn::Activation::Sigmoid:
+        part = lw.emit("sigmoid", {part});
+        break;
+      case nn::Activation::Softmax: {
+        // Expanded exactly as nn::softmax_rows executes: shift by the
+        // (runtime) negated row max, exponentiate, normalize by the row sum.
+        const int shift = lw.emit("neg_row_max", {part});
+        const int shifted = lw.emit("add_colvec", {part, shift});
+        const int e = lw.emit("exp", {shifted});
+        const int inv = lw.emit("recip", {lw.emit("row_sum", {e})});
+        part = lw.emit("mul_colvec", {e, inv});
+        break;
+      }
+    }
+    parts.push_back(part);
+    col += blk.width;
+  }
+  const int act_block = lw.emit("concat_cols", std::move(parts));
+
+  // Continuation masking: record s is scaled by the running mask; the
+  // masked continue flag becomes record s+1's mask (generation_step).
+  int mask = mask_in;
+  std::vector<int> recs;
+  recs.reserve(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    const int rec = lw.emit("mul_colvec", {slice(act_block, s * rw, (s + 1) * rw), mask});
+    mask = slice(rec, rw - 2, rw - 1);
+    recs.push_back(rec);
+  }
+  const int records = lw.emit("concat_cols", std::move(recs));
+
+  lw.mark_output(records, "records");
+  lw.mark_output(h_out, "state.h");
+  lw.mark_output(c_out, "state.c");
+  lw.mark_output(mask, "state.mask");
+
+  rep.tape = std::move(lw.tape);
+  rep.diagnostics = std::move(lw.diags);
+  if (has_errors(rep.diagnostics)) return rep;
+
+  fuse_elementwise(rep.tape);
+  compute_liveness(rep.tape);
+  rep.plan = plan_arena(rep.tape);
+  std::vector<Diagnostic> verdict = verify_tape(rep.tape, rep.plan);
+  rep.verified = !has_errors(verdict);
+  for (Diagnostic& diag : verdict) rep.diagnostics.push_back(std::move(diag));
+  return rep;
+}
+
+TapeSummary summarize_tape(const TapeReport& report) {
+  TapeSummary s;
+  s.instructions = static_cast<int>(report.tape.instrs.size());
+  s.fusion_groups = report.tape.fusion_groups;
+  s.arena_peak_bytes = report.plan.peak_bytes_per_lane();
+  s.verified = report.verified;
+  return s;
+}
+
+bool seed_tape_defect(TapeReport& report, std::string_view defect_class) {
+  Tape& t = report.tape;
+  ArenaPlan& plan = report.plan;
+  bool seeded = false;
+  if (defect_class == "use-before-def") {
+    // Point an early instruction's operand at the last instruction's result.
+    if (t.instrs.size() >= 2 && !t.instrs.front().args.empty()) {
+      t.instrs.front().args[0] = t.instrs.back().dst;
+      seeded = true;
+    }
+  } else if (defect_class == "arena-overlap") {
+    // Collapse two overlapping-lifetime slots onto the same offset.
+    for (size_t x = 0; x < t.values.size() && !seeded; ++x) {
+      for (size_t y = x + 1; y < t.values.size() && !seeded; ++y) {
+        const TapeValue& a = t.values[x];
+        const TapeValue& b = t.values[y];
+        if (plan.offsets[x] < 0 || plan.offsets[y] < 0) continue;
+        if (plan.offsets[x] == plan.offsets[y]) continue;
+        if (live_interval(t, a.id).overlaps(live_interval(t, b.id))) {
+          plan.offsets[y] = plan.offsets[x];
+          seeded = true;
+        }
+      }
+    }
+  } else if (defect_class == "illegal-fusion") {
+    // Claim a non-elementwise instruction for a fusion group.
+    for (TapeInstr& ins : t.instrs) {
+      if (!tape_op_is_elementwise(ins.op) && ins.group < 0) {
+        ins.group = 0;
+        if (t.fusion_groups == 0) t.fusion_groups = 1;
+        seeded = true;
+        break;
+      }
+    }
+  } else if (defect_class == "unknown-op") {
+    if (!t.instrs.empty()) {
+      t.instrs.front().op = "fused_gelu";
+      seeded = true;
+    }
+  } else if (defect_class == "stale-shape") {
+    // Widen one result value without touching its producer: the re-run
+    // shape rule no longer reproduces the recorded shape.
+    for (TapeValue& v : t.values) {
+      if (v.kind == TapeValueKind::kLocal && v.def >= 0 && !v.fused_temp) {
+        v.shape.cols = Dim::of(v.shape.cols.value + 1);
+        seeded = true;
+        break;
+      }
+    }
+  }
+  if (!seeded) return false;
+  std::vector<Diagnostic> verdict = verify_tape(t, plan);
+  report.verified = !has_errors(verdict);
+  for (Diagnostic& diag : verdict) report.diagnostics.push_back(std::move(diag));
+  return true;
+}
+
+}  // namespace dg::analysis

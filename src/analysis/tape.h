@@ -1,0 +1,151 @@
+// Tape IR: the generation path lowered to a flat, SSA-like instruction
+// list that a dumb interpreter can replay with zero allocations. One tape
+// covers one `generation_step` (the serving hot loop's unit of work): the
+// lowering walks the same op sequence DoppelGanger::generation_step records
+// autograd nodes for — through the op registry's shape rules, so every
+// recorded shape is rule-derived — then fuses adjacent elementwise runs
+// into per-element groups and hands the result to the arena planner
+// (analysis/planner.h).
+//
+// Trust model: a tape is DATA, not code — it may come from lowering, from a
+// test mutation, or (in principle) from disk. Nothing executes a tape until
+// `verify_tape` proves, statically:
+//   * every operand is defined before its first use;
+//   * every op exists in the registry with matching arity, and re-running
+//     its shape rule reproduces the recorded result shape (stale-shape);
+//   * fusion groups are contiguous runs of elementwise ops over identical
+//     iteration domains, and their unmaterialized intermediates never leak;
+//   * the arena plan is sound: no two values with overlapping lifetimes
+//     share bytes, and no instruction's destination aliases a buffer some
+//     later instruction still needs (recomputed from the instruction
+//     stream, not trusted from the liveness metadata).
+// Failures surface as analysis::Diagnostic records naming the offending
+// instruction — the same machinery `dgcli lint` and the .dgpkg preflight
+// already speak.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "analysis/registry.h"
+#include "analysis/shape.h"
+#include "core/doppelganger.h"
+#include "data/types.h"
+
+namespace dg::analysis {
+
+enum class TapeValueKind {
+  kParam,  ///< model weight, bound once at executor build time
+  kInput,  ///< per-step input (cond, noise, state.h/c/mask)
+  kLocal,  ///< produced by an instruction; lives in the arena (or a register)
+};
+
+/// Sentinel last_use for values that outlive the tape (the step's outputs).
+inline constexpr int kLiveToEnd = -2;
+
+struct TapeValue {
+  int id = 0;
+  TapeValueKind kind = TapeValueKind::kLocal;
+  /// Parameter / input / output name ("lstm.wx", "cond", "records");
+  /// empty for anonymous locals.
+  std::string name;
+  Shape shape;  ///< rows is Dim::sym("B") for batch-shaped values
+  int def = -1;       ///< defining instruction (-1 for params/inputs)
+  int last_use = -1;  ///< last reading instruction; kLiveToEnd for outputs
+  bool output = false;
+  /// Lives only inside its fusion group's per-element registers: gets no
+  /// arena slot and must never be read outside the group.
+  bool fused_temp = false;
+
+  /// Concrete column count (every tape value has concrete cols).
+  int cols() const { return static_cast<int>(shape.cols.value); }
+};
+
+struct TapeInstr {
+  int id = 0;
+  std::string op;
+  int dst = -1;
+  std::vector<int> args;
+  OpAttrs attrs;  ///< slice bounds etc., exactly as the registry rules read
+  int group = -1;  ///< fusion group id; -1 = not fused
+};
+
+struct Tape {
+  std::vector<TapeValue> values;
+  std::vector<TapeInstr> instrs;
+  std::vector<int> params;   ///< value ids, expected_parameter_shapes order
+  std::vector<int> inputs;   ///< cond, noise, state.h, state.c, state.mask
+  std::vector<int> outputs;  ///< records, state.h, state.c, state.mask
+  int fusion_groups = 0;     ///< groups with >= 2 instructions
+};
+
+/// Registry the tape is lowered and verified against: the builtin op
+/// surface plus the three softmax intrinsics the executor needs because the
+/// autograd expansion's row-max shift is runtime data, not graph structure:
+///   neg_row_max [B,d] -> [B,1]   (per row: minus the row maximum)
+///   add_colvec ([B,d],[B,1]) -> [B,d]  (== add(a, mul_colvec(ones, v)))
+///   recip      [B,1] -> [B,1]          (== div(ones, v))
+/// Kept separate from OpRegistry::builtin(), which is pinned 1:1 against
+/// nn::known_op_names() — these intrinsics exist only at the tape level.
+const OpRegistry& tape_registry();
+
+/// True for ops a fusion group may contain: one output element per input
+/// element, no cross-element reads (add/mul/.../tanh/sigmoid/recip).
+bool tape_op_is_elementwise(std::string_view op);
+
+/// Arena plan for a tape (planner.h computes it; carried here so a tape and
+/// its plan travel and get verified together).
+struct ArenaPlan {
+  /// Per-value float offset of the value's row-0 lane slot, -1 = no slot.
+  /// Offsets are in floats PER LANE: lane-major layout means value v of a
+  /// width-n batch occupies [offset[v]*n, (offset[v]+cols)*n).
+  std::vector<long long> offsets;
+  long long peak_cols = 0;  ///< arena floats per lane
+
+  long long peak_bytes_per_lane() const {
+    return peak_cols * static_cast<long long>(sizeof(float));
+  }
+};
+
+struct TapeReport {
+  Tape tape;
+  ArenaPlan plan;
+  std::vector<Diagnostic> diagnostics;
+  /// verify_tape ran and found no errors. The executor refuses anything else.
+  bool verified = false;
+
+  bool ok() const { return verified && !has_errors(diagnostics); }
+};
+
+/// Lowers one generation_step for the given schema + config, plans the
+/// arena and verifies the result. Never throws on bad input — an invalid
+/// config comes back as diagnostics with `verified == false`.
+TapeReport build_generation_tape(const data::Schema& schema,
+                                 const core::DoppelGangerConfig& cfg);
+
+/// The static verifier (see the header comment for the rule list). Returns
+/// every finding; an empty error set is the executor's license to run.
+std::vector<Diagnostic> verify_tape(const Tape& tape, const ArenaPlan& plan,
+                                    const OpRegistry& registry = tape_registry());
+
+/// Compact census for lint output and the .dgpkg preflight.
+struct TapeSummary {
+  int instructions = 0;
+  int fusion_groups = 0;
+  long long arena_peak_bytes = 0;  ///< per lane
+  bool verified = false;
+};
+
+TapeSummary summarize_tape(const TapeReport& report);
+
+/// Negative-control hook (mutation tests, `dgcli lint --tape-mutate`):
+/// corrupts the tape/plan with one of the seeded defect classes —
+/// "use-before-def", "arena-overlap", "illegal-fusion", "unknown-op",
+/// "stale-shape" — then re-verifies, updating report.diagnostics and
+/// report.verified. Returns false for an unknown class or a tape too small
+/// to corrupt. A mutated tape must be rejected by verify_tape, never run.
+bool seed_tape_defect(TapeReport& report, std::string_view defect_class);
+
+}  // namespace dg::analysis

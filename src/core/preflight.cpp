@@ -86,6 +86,17 @@ PackagePreflight preflight_package(std::istream& is,
     out.diagnostics.push_back(d);
   }
 
+  // ---- generation tape: lower + verify, so a package whose serving tape
+  // would be rejected (or fall back to autograd) is flagged before load ----
+  if (!analysis::has_errors(analysis.diagnostics)) {
+    const analysis::TapeReport tape_report =
+        analysis::build_generation_tape(out.schema, out.config);
+    out.tape = analysis::summarize_tape(tape_report);
+    for (const Diagnostic& d : tape_report.diagnostics) {
+      out.diagnostics.push_back(d);
+    }
+  }
+
   // ---- weight section: header-only shape census ----
   try {
     out.weight_matrices = nn::peek_matrix_shapes(is);

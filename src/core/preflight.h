@@ -13,6 +13,7 @@
 
 #include "analysis/diag.h"
 #include "analysis/model.h"
+#include "analysis/tape.h"
 #include "core/doppelganger.h"
 #include "data/types.h"
 #include "nn/serialize.h"
@@ -30,6 +31,10 @@ struct PackagePreflight {
   DoppelGangerConfig config;
   /// Shape of every matrix in the weight section (header-only read).
   std::vector<nn::MatrixShape> weight_matrices;
+  /// Generation-tape lowering census (analysis/tape.h): instruction and
+  /// fusion-group counts, arena peak, and whether the verifier passed. Only
+  /// populated when the header + analysis were clean enough to lower.
+  analysis::TapeSummary tape;
 };
 
 /// Never throws on bad input — all findings come back as diagnostics.

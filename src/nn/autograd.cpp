@@ -9,6 +9,7 @@
 
 #include "nn/check.h"
 #include "nn/parallel.h"
+#include "nn/scalar_ops.h"
 #include "obs/profile.h"
 
 namespace dg::nn {
@@ -413,7 +414,7 @@ Var relu(const Var& a) {
 }
 
 Var tanh_(const Var& a) {
-  Matrix out = apply(a.value(), [](float v) { return std::tanh(v); });
+  Matrix out = apply(a.value(), scalar::tanh);
   // Recompute tanh(a) in the backward pass instead of capturing the output
   // Var (which would create a shared_ptr cycle node->backward->node).
   return make_op("tanh", std::move(out), {a}, [a](const Var& g) {
@@ -423,10 +424,7 @@ Var tanh_(const Var& a) {
 }
 
 Var sigmoid(const Var& a) {
-  Matrix out = apply(a.value(), [](float v) {
-    return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
-                  : std::exp(v) / (1.0f + std::exp(v));
-  });
+  Matrix out = apply(a.value(), scalar::sigmoid);
   return make_op("sigmoid", std::move(out), {a}, [a](const Var& g) {
     Var s = sigmoid(a);
     return std::vector<Var>{mul(g, mul(s, add_scalar(neg(s), 1.0f)))};
@@ -434,21 +432,21 @@ Var sigmoid(const Var& a) {
 }
 
 Var exp_(const Var& a) {
-  Matrix out = apply(a.value(), [](float v) { return std::exp(v); });
+  Matrix out = apply(a.value(), scalar::exp);
   return make_op("exp", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{mul(g, exp_(a))};
   });
 }
 
 Var log_(const Var& a) {
-  Matrix out = apply(a.value(), [](float v) { return std::log(v); });
+  Matrix out = apply(a.value(), scalar::log);
   return make_op("log", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{div(g, a)};
   });
 }
 
 Var sqrt_(const Var& a) {
-  Matrix out = apply(a.value(), [](float v) { return std::sqrt(v); });
+  Matrix out = apply(a.value(), scalar::sqrt);
   return make_op("sqrt", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{mul_scalar(div(g, sqrt_(a)), 0.5f)};
   });
@@ -462,7 +460,7 @@ Var square(const Var& a) {
 }
 
 Var abs_(const Var& a) {
-  Matrix out = apply(a.value(), [](float v) { return std::fabs(v); });
+  Matrix out = apply(a.value(), scalar::abs);
   Matrix sign(out.rows(), out.cols());
   const float* pa = a.value().data();
   float* ps = sign.data();

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/thread_annotations.h"
+
 namespace dg::nn {
 
 namespace {
@@ -24,6 +26,9 @@ constexpr bool kParallelBuild = true;
 // Workers only execute leaf loops, but guard against accidental nesting
 // (a kernel invoked from inside a parallel region runs serially).
 thread_local bool t_in_worker = false;
+
+using obs::Mutex;
+using obs::MutexLock;
 
 class ThreadPool {
  public:
@@ -39,7 +44,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -48,7 +53,7 @@ class ThreadPool {
 
   void submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -60,8 +65,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && queue_.empty()) cv_.wait(lock);
         if (queue_.empty()) return;  // stop_ set and nothing left to drain
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -70,19 +75,19 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ DG_GUARDED_BY(mu_);
+  bool stop_ DG_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
 /// Countdown the caller blocks on after submitting its partitions.
 struct Latch {
-  std::mutex mu;
-  std::condition_variable cv;
-  int pending;
-  std::exception_ptr error;
+  Mutex mu;
+  std::condition_variable_any cv;
+  int pending DG_GUARDED_BY(mu);
+  std::exception_ptr error DG_GUARDED_BY(mu);
 
   explicit Latch(int n) : pending(n) {}
 
@@ -90,22 +95,27 @@ struct Latch {
     // Notify UNDER the lock: the waiter destroys this Latch as soon as its
     // wait returns, and wait can only return after we release mu — an
     // unlocked notify could touch the cv after destruction.
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (e && !error) error = e;
     if (--pending == 0) cv.notify_one();
   }
 
   void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return pending == 0; });
+    MutexLock lock(mu);
+    while (pending != 0) cv.wait(lock);
+  }
+
+  std::exception_ptr take_error() {
+    MutexLock lock(mu);
+    return error;
   }
 };
 
 struct PoolState {
-  std::mutex mu;
-  std::shared_ptr<ThreadPool> pool;  // created lazily; threads-1 workers
-  int threads = 0;                   // 0 = not yet resolved
-  const char* source = "unresolved";
+  Mutex mu;
+  std::shared_ptr<ThreadPool> pool DG_GUARDED_BY(mu);  // lazy; threads-1 workers
+  int threads DG_GUARDED_BY(mu) = 0;  // 0 = not yet resolved
+  const char* source DG_GUARDED_BY(mu) = "unresolved";
 };
 
 PoolState& state() {
@@ -114,8 +124,7 @@ PoolState& state() {
 }
 
 /// Resolves the thread count from DG_THREADS / hardware_concurrency.
-/// Caller holds s.mu.
-void resolve_locked(PoolState& s) {
+void resolve_locked(PoolState& s) DG_REQUIRES(s.mu) {
   if (s.threads != 0) return;
   if (!kParallelBuild) {
     s.threads = 1;
@@ -141,7 +150,7 @@ void resolve_locked(PoolState& s) {
 /// in-flight region finishes.
 std::pair<int, std::shared_ptr<ThreadPool>> acquire() {
   PoolState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   resolve_locked(s);
   if (s.threads > 1 && !s.pool) {
     s.pool = std::make_shared<ThreadPool>(s.threads - 1);
@@ -153,21 +162,21 @@ std::pair<int, std::shared_ptr<ThreadPool>> acquire() {
 
 int num_threads() {
   PoolState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   resolve_locked(s);
   return s.threads;
 }
 
 const char* num_threads_source() {
   PoolState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   resolve_locked(s);
   return s.source;
 }
 
 void set_num_threads(int n) {
   PoolState& s = state();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.threads = kParallelBuild ? std::max(1, n) : 1;
   s.source = kParallelBuild ? "set_num_threads" : "DG_PARALLEL=OFF";
   s.pool.reset();  // workers for the old size wind down with the last region
@@ -222,7 +231,9 @@ void parallel_run(std::int64_t begin, std::int64_t end, std::int64_t grain,
   }
   latch.wait();
   if (caller_error) std::rethrow_exception(caller_error);
-  if (latch.error) std::rethrow_exception(latch.error);
+  if (std::exception_ptr worker_error = latch.take_error()) {
+    std::rethrow_exception(worker_error);
+  }
 }
 
 void parallel_run_chunks(std::int64_t n, std::int64_t chunk_size, ChunkFn fn,

@@ -1,0 +1,32 @@
+// The scalar kernels behind every elementwise op, shared by the autograd
+// forward (nn/autograd.cpp) and the serve-side tape executor
+// (serve/tape_exec.cpp). Keeping one definition is what makes the tape
+// path's bit-identical-to-autograd differential contract hold by
+// construction rather than by coincidence: both paths call the exact same
+// float expression per element.
+#pragma once
+
+#include <cmath>
+
+namespace dg::nn::scalar {
+
+inline float relu(float v) { return v > 0.0f ? v : 0.0f; }
+inline float tanh(float v) { return std::tanh(v); }
+
+/// Branching form: never evaluates exp of a large positive argument, so both
+/// tails are computed without overflow (matches the autograd forward).
+inline float sigmoid(float v) {
+  return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
+                : std::exp(v) / (1.0f + std::exp(v));
+}
+
+inline float exp(float v) { return std::exp(v); }
+inline float log(float v) { return std::log(v); }
+inline float sqrt(float v) { return std::sqrt(v); }
+inline float square(float v) { return v * v; }
+inline float abs(float v) { return std::fabs(v); }
+/// The autograd `neg` is mul_scalar(a, -1): keep the identical expression.
+inline float neg(float v) { return v * -1.0f; }
+inline float recip(float v) { return 1.0f / v; }
+
+}  // namespace dg::nn::scalar

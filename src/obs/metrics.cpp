@@ -31,7 +31,7 @@ Histogram::Histogram(HistogramOptions opts)
 }
 
 void Histogram::record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0 || v < min_) min_ = v;
@@ -51,7 +51,7 @@ HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
   std::vector<double> window_copy;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.count = count_;
     s.sum = sum_;
     s.min = min_;
@@ -80,7 +80,7 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
@@ -94,7 +94,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -103,7 +103,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -112,7 +112,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name, HistogramOptions opts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -125,7 +125,7 @@ Histogram& Registry::histogram(std::string_view name, HistogramOptions opts) {
 
 RegistrySnapshot Registry::snapshot() const {
   RegistrySnapshot s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   s.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->get());
   s.gauges.reserve(gauges_.size());
@@ -138,7 +138,7 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

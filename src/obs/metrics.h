@@ -12,7 +12,10 @@
 //    thread, never blocking, cheap enough for per-op hot paths.
 //  * Histogram::record takes a per-histogram mutex (the recorded events —
 //    request latencies, iteration times — are coarse enough that a short
-//    critical section is irrelevant next to the work being measured).
+//    critical section is irrelevant next to the work being measured). All
+//    mutex-guarded state is annotated for clang's -Wthread-safety analysis
+//    (obs/thread_annotations.h), so a lock-discipline slip is a compile
+//    error in the clang CI job, not a latent race.
 //  * Registry::snapshot() walks the name map under the registry mutex and
 //    reads each metric atomically; writers are never paused.
 //
@@ -32,6 +35,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/thread_annotations.h"
 
 namespace dg::obs {
 
@@ -99,16 +104,16 @@ class Histogram {
   static std::vector<double> default_bounds();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::size_t window_cap_;
-  std::vector<double> window_;  // grows to window_cap_, then a ring
-  std::size_t pos_ = 0;         // next overwrite position once full
+  mutable Mutex mu_;
+  std::vector<double> bounds_;  // immutable after construction
+  std::vector<std::uint64_t> buckets_ DG_GUARDED_BY(mu_);  // bounds_.size()+1
+  std::uint64_t count_ DG_GUARDED_BY(mu_) = 0;
+  double sum_ DG_GUARDED_BY(mu_) = 0.0;
+  double min_ DG_GUARDED_BY(mu_) = 0.0;
+  double max_ DG_GUARDED_BY(mu_) = 0.0;
+  std::size_t window_cap_;  // immutable after construction
+  std::vector<double> window_ DG_GUARDED_BY(mu_);  // grows to cap, then ring
+  std::size_t pos_ DG_GUARDED_BY(mu_) = 0;  // next overwrite once full
 };
 
 /// Snapshot of a whole registry, ordered by name.
@@ -148,10 +153,13 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DG_GUARDED_BY(mu_);
 };
 
 }  // namespace dg::obs

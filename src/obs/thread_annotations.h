@@ -1,0 +1,100 @@
+// Clang thread-safety annotations plus an annotated mutex wrapper.
+//
+// libstdc++'s std::mutex carries no capability attributes, so clang's
+// -Wthread-safety analysis cannot check code that locks one directly. The
+// `Mutex` / `MutexLock` pair below wraps std::mutex with the canonical
+// capability annotations so that lock state becomes statically checkable:
+// fields tagged DG_GUARDED_BY(mu_) may only be touched while `mu_` is held,
+// helpers tagged DG_REQUIRES(mu_) may only be called with it held, and the
+// compiler proves both on every path — a second static net alongside the
+// TSan job, which only sees the interleavings a given run happens to hit.
+//
+// The macros expand to nothing outside clang (GCC builds are unaffected);
+// the wrapper itself is a zero-cost veneer over std::mutex either way. CI's
+// clang job builds with -Wthread-safety -Werror=thread-safety.
+//
+// Condition variables: use std::condition_variable_any and wait on the
+// MutexLock itself (it is BasicLockable). Spell waits as manual
+//     while (!predicate) cv.wait(lock);
+// loops — the predicate then sits in the annotated caller where the
+// capability is provably held, instead of inside an unannotated lambda the
+// analysis would flag. The unlock/relock inside wait() lives in a system
+// header, which the analysis does not look into, so from the caller's view
+// the capability is held across the call — exactly the contract a
+// condition wait provides at the points the caller can observe.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DG_THREAD_ANNOTATION
+#define DG_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// Type is a lockable capability (name shows up in diagnostics).
+#define DG_CAPABILITY(name) DG_THREAD_ANNOTATION(capability(name))
+/// RAII type that acquires at construction and releases at destruction.
+#define DG_SCOPED_CAPABILITY DG_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read or written while holding the given capability.
+#define DG_GUARDED_BY(x) DG_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) is guarded by the given capability.
+#define DG_PT_GUARDED_BY(x) DG_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function must be called with the capability held (held on exit too).
+#define DG_REQUIRES(...) DG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (not held on entry, held on exit).
+#define DG_ACQUIRE(...) DG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on exit).
+#define DG_RELEASE(...) DG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define DG_TRY_ACQUIRE(...) \
+  DG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define DG_EXCLUDES(...) DG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch: function body is exempt from the analysis.
+#define DG_NO_THREAD_SAFETY_ANALYSIS \
+  DG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dg::obs {
+
+/// std::mutex with the capability attributes the analysis needs. Drop-in:
+/// same BasicLockable surface, same cost.
+class DG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DG_ACQUIRE() { mu_.lock(); }
+  void unlock() DG_RELEASE() { mu_.unlock(); }
+  bool try_lock() DG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for Mutex — std::lock_guard with the scoped-capability
+/// attribute, plus the lock()/unlock() surface std::condition_variable_any
+/// needs to park on it.
+class DG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For condition_variable_any::wait(*this) only: the wait releases and
+  // re-acquires around the park, so the capability is held whenever the
+  // calling frame is actually running.
+  void lock() DG_ACQUIRE() { mu_.lock(); }
+  void unlock() DG_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace dg::obs

@@ -3,13 +3,22 @@
 // bound is the service's backpressure mechanism — when consumers regenerate
 // faster than the engine can unroll the LSTM, producers block (or fail fast
 // with try_push) instead of growing an unbounded backlog.
+//
+// Lock state is annotated for clang's -Wthread-safety analysis
+// (obs/thread_annotations.h): every touch of items_/closed_ is statically
+// proven to happen under mu_. Waits are hand-rolled while-loops on a
+// condition_variable_any so the predicates sit in the annotated frame;
+// notifies happen after the critical section (safe — a waiter that misses
+// the notify re-checks its predicate under the lock).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "obs/thread_annotations.h"
 
 namespace dg::serve {
 
@@ -23,11 +32,12 @@ class BoundedQueue {
 
   /// Blocks while full; returns false (dropping v) once closed.
   bool push(T v) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(v));
-    lock.unlock();
+    {
+      obs::MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -35,7 +45,7 @@ class BoundedQueue {
   /// Non-blocking push; false when full or closed.
   bool try_push(T v) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      obs::MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(v));
     }
@@ -45,32 +55,50 @@ class BoundedQueue {
 
   /// Blocks while empty; nullopt once closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    return take_locked(lock);
+    std::optional<T> v;
+    {
+      obs::MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.wait(lock);
+      v = take_locked();
+    }
+    if (v) not_full_.notify_one();
+    return v;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    return take_locked(lock);
+    std::optional<T> v;
+    {
+      obs::MutexLock lock(mu_);
+      v = take_locked();
+    }
+    if (v) not_full_.notify_one();
+    return v;
   }
 
   /// Blocks up to `timeout`; nullopt on timeout or closed-and-drained.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(lock, timeout,
-                        [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    return take_locked(lock);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> v;
+    {
+      obs::MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) {
+        if (not_empty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      v = take_locked();
+    }
+    if (v) not_full_.notify_one();
+    return v;
   }
 
   /// Wakes every waiter; subsequent pushes fail, pops drain the remainder.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      obs::MutexLock lock(mu_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -78,33 +106,31 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    obs::MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    obs::MutexLock lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  std::optional<T> take_locked(std::unique_lock<std::mutex>& lock) {
+  std::optional<T> take_locked() DG_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
     return v;
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable obs::Mutex mu_;
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
+  std::deque<T> items_ DG_GUARDED_BY(mu_);
+  bool closed_ DG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dg::serve

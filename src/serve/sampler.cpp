@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "serve/tape_exec.h"
+
 namespace dg::serve {
 
 namespace {
@@ -22,7 +24,7 @@ void zero_row(nn::Matrix& m, int row) {
 }  // namespace
 
 SlotSampler::SlotSampler(std::shared_ptr<const core::DoppelGanger> model,
-                         int width)
+                         int width, SamplerOptions opts)
     : model_(std::move(model)), width_(width) {
   if (!model_) throw std::invalid_argument("SlotSampler: null model");
   if (width_ < 1) throw std::invalid_argument("SlotSampler: width must be >= 1");
@@ -34,11 +36,20 @@ SlotSampler::SlotSampler(std::shared_ptr<const core::DoppelGanger> model,
   ctx_.minmax = nn::Matrix(width_, codec.minmax_dim());
   ctx_.cond = nn::Matrix(width_, codec.attribute_dim() + codec.minmax_dim());
   state_ = model_->initial_gen_state(width_);
+  noise_ = nn::Matrix(width_, model_->feat_noise_dim());
+  records_ = nn::Matrix(width_, model_->sample_len() * record_width_);
+  if (opts.use_tape) {
+    // Build-or-fallback: a model whose tape does not verify keeps serving
+    // through the autograd path (the differential-test oracle), just slower.
+    tape_ = TapeExecutor::create(*model_, width_);
+  }
   lanes_.resize(static_cast<size_t>(width_));
   for (Lane& lane : lanes_) {
     lane.features.assign(static_cast<size_t>(feature_row_dim_), 0.0f);
   }
 }
+
+SlotSampler::~SlotSampler() = default;
 
 void SlotSampler::submit(SeriesJob job) {
   const int tmax = model_->codec().tmax();
@@ -86,18 +97,27 @@ int SlotSampler::pump() {
   const int active = occupied_;
 
   // Per-lane noise rows, drawn lane-by-lane from each series' own stream in
-  // the same shape (1 x feat_noise_dim) the reference single-series path
-  // draws, so the consumption order per stream is identical.
-  const int noise_dim = model_->feat_noise_dim();
-  nn::Matrix noise(width_, noise_dim);
+  // the same scalar order (row-major, like a 1 x feat_noise_dim
+  // normal_matrix) the reference single-series path draws, so the
+  // consumption order per stream is identical. The staging matrix is
+  // persistent: stale rows under idle lanes feed only those lanes' own
+  // discarded state, which begin_series re-zeroes on admission.
+  const int noise_dim = noise_.cols();
   for (int r = 0; r < width_; ++r) {
     Lane& lane = lanes_[static_cast<size_t>(r)];
     if (!lane.busy) continue;
-    const nn::Matrix row = lane.job.rng.normal_matrix(1, noise_dim);
-    copy_row(row, 0, noise, r);
+    for (int j = 0; j < noise_dim; ++j) {
+      noise_.at(r, j) = static_cast<float>(lane.job.rng.normal(0.0, 1.0));
+    }
   }
 
-  const nn::Matrix records = model_->generation_step(ctx_, noise, state_);
+  if (tape_) {
+    tape_->step(ctx_, noise_, state_, records_);
+    ++stats_.tape_steps;
+  } else {
+    records_ = model_->generation_step(ctx_, noise_, state_);
+  }
+  const nn::Matrix& records = records_;
   stats_.rnn_steps += 1;
   stats_.slot_steps_active += static_cast<std::uint64_t>(active);
   stats_.slot_steps_total += static_cast<std::uint64_t>(width_);

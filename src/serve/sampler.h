@@ -28,6 +28,8 @@
 
 namespace dg::serve {
 
+class TapeExecutor;
+
 /// Resolved per-request generation spec shared by all of its series.
 struct SeriesSpec {
   std::vector<std::pair<int, float>> fixed;  // attr index -> raw value
@@ -61,12 +63,23 @@ struct SamplerStats {
   std::uint64_t slot_steps_total = 0;   // lane-steps paid for
   std::uint64_t series_completed = 0;   // accepted results
   std::uint64_t series_rejected = 0;    // predicate discards (incl. retries)
+  std::uint64_t tape_steps = 0;         // rnn_steps served by the tape path
+};
+
+struct SamplerOptions {
+  /// Replay the statically verified tape (serve/tape_exec.h) instead of
+  /// building an autograd graph per step. Falls back to the autograd path
+  /// automatically when no tape verifies for this model. The two paths are
+  /// bit-identical, so this is a pure speed knob.
+  bool use_tape = true;
 };
 
 class SlotSampler {
  public:
   /// `width` is the slot count W: every pump costs one W-row LSTM step.
-  SlotSampler(std::shared_ptr<const core::DoppelGanger> model, int width);
+  SlotSampler(std::shared_ptr<const core::DoppelGanger> model, int width,
+              SamplerOptions opts = {});
+  ~SlotSampler();
 
   void submit(SeriesJob job);
 
@@ -84,6 +97,8 @@ class SlotSampler {
   int width() const { return width_; }
   const SamplerStats& stats() const { return stats_; }
   const core::DoppelGanger& model() const { return *model_; }
+  /// True when pump() replays the verified tape (vs the autograd fallback).
+  bool tape_active() const { return tape_ != nullptr; }
 
  private:
   struct Lane {
@@ -106,6 +121,9 @@ class SlotSampler {
 
   core::GenContext ctx_;   // row r = lane r's conditioning
   core::GenState state_;   // row r = lane r's recurrent state
+  nn::Matrix noise_;       // persistent [width, feat_noise_dim] staging
+  nn::Matrix records_;     // persistent [width, S * record_width] step output
+  std::unique_ptr<TapeExecutor> tape_;  // null => autograd fallback
   std::vector<Lane> lanes_;
   int occupied_ = 0;
 

@@ -1,0 +1,616 @@
+#include "serve/tape_exec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/model.h"
+#include "nn/parallel.h"
+#include "nn/scalar_ops.h"
+
+namespace dg::serve {
+
+namespace {
+
+using analysis::Tape;
+using analysis::TapeInstr;
+using analysis::TapeValue;
+using analysis::TapeValueKind;
+
+// Register-blocked: each j-tile of the output row is accumulated in local
+// registers across the whole k loop, then stored once. Per output element
+// this is the same sequence of multiply-adds, ascending k with the same
+// zero-skip, as src/nn/matrix.cpp's kernel (its kKC blocking also visits k
+// in ascending order), so results stay bit-identical — but out-row traffic
+// drops from one load+store per (k, j) to one per j.
+constexpr int kJTile = 16;
+
+void matmul_acc_rows(const float* a, int k, const float* b, int m, float* out,
+                     std::int64_t r0, std::int64_t r1) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* orow = out + static_cast<size_t>(i) * m;
+    int j = 0;
+    for (; j + kJTile <= m; j += kJTile) {
+      float acc[kJTile];
+      for (int t = 0; t < kJTile; ++t) acc[t] = orow[j + t];
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<size_t>(kk) * m + j;
+        for (int t = 0; t < kJTile; ++t) acc[t] += av * brow[t];
+      }
+      for (int t = 0; t < kJTile; ++t) orow[j + t] = acc[t];
+    }
+    if (j < m) {
+      const int rem = m - j;
+      float acc[kJTile];
+      for (int t = 0; t < rem; ++t) acc[t] = orow[j + t];
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<size_t>(kk) * m + j;
+        for (int t = 0; t < rem; ++t) acc[t] += av * brow[t];
+      }
+      for (int t = 0; t < rem; ++t) orow[j + t] = acc[t];
+    }
+  }
+}
+
+// ---- compiled instruction forms -----------------------------------------
+
+enum class Fn : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kNeg, kRelu, kAbs, kTanh, kSigmoid,
+  kExp, kLog, kSqrt, kSquare, kRecip,
+};
+
+/// Elementwise micro-kernel: one dispatch per run instead of per element, so the
+/// arithmetic loops vectorize and only the transcendentals stay libm-bound.
+/// `d` may alias `a` or `b` (same-index elementwise is alias-safe). Unary
+/// fns ignore `b`. Scalar math goes through the same nn::scalar helpers as
+/// eval(), keeping results bit-identical to the per-element path.
+void apply_fn(Fn fn, const float* a, const float* b, float* d,
+              std::int64_t len) {
+  switch (fn) {
+    case Fn::kAdd:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] + b[i];
+      break;
+    case Fn::kSub:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] - b[i];
+      break;
+    case Fn::kMul:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] * b[i];
+      break;
+    case Fn::kDiv:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] / b[i];
+      break;
+    case Fn::kNeg:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::neg(a[i]);
+      break;
+    case Fn::kRelu:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::relu(a[i]);
+      break;
+    case Fn::kAbs:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::abs(a[i]);
+      break;
+    case Fn::kTanh:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::tanh(a[i]);
+      break;
+    case Fn::kSigmoid:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::sigmoid(a[i]);
+      break;
+    case Fn::kExp:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::exp(a[i]);
+      break;
+    case Fn::kLog:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::log(a[i]);
+      break;
+    case Fn::kSqrt:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::sqrt(a[i]);
+      break;
+    case Fn::kSquare:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::square(a[i]);
+      break;
+    case Fn::kRecip:
+      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::recip(a[i]);
+      break;
+  }
+}
+
+bool fn_for(const std::string& op, Fn& fn, bool& binary) {
+  binary = false;
+  if (op == "add") { fn = Fn::kAdd; binary = true; }
+  else if (op == "sub") { fn = Fn::kSub; binary = true; }
+  else if (op == "mul") { fn = Fn::kMul; binary = true; }
+  else if (op == "div") { fn = Fn::kDiv; binary = true; }
+  else if (op == "neg") fn = Fn::kNeg;
+  else if (op == "relu") fn = Fn::kRelu;
+  else if (op == "abs") fn = Fn::kAbs;
+  else if (op == "tanh") fn = Fn::kTanh;
+  else if (op == "sigmoid") fn = Fn::kSigmoid;
+  else if (op == "exp") fn = Fn::kExp;
+  else if (op == "log") fn = Fn::kLog;
+  else if (op == "sqrt") fn = Fn::kSqrt;
+  else if (op == "square") fn = Fn::kSquare;
+  else if (op == "recip") fn = Fn::kRecip;
+  else return false;
+  return true;
+}
+
+/// One operand of a fused micro-op: a value id (resolved through the pointer
+/// table per element) or a register written earlier in the same group.
+struct MicroOp {
+  Fn fn{};
+  bool binary = false;
+  int a_id = -1;  // value id, or -1 => register a_reg
+  int a_reg = 0;
+  int b_id = -1;
+  int b_reg = 0;
+  int dst_reg = 0;
+  int store_id = -1;  // materialized members also write their arena slot
+};
+
+constexpr int kMaxFusedRegs = 64;
+
+enum class Opc : std::uint8_t {
+  kConcat,     // dst rows <- memcpy of each part row
+  kSlice,      // dst <- a[:, i0 : i0 + dst_cols]
+  kLstmGates,  // dst <- bias rows; += a*b; += c*d   (x, wx, h, wh, e=bias)
+  kAffine,     // dst <- bias rows; += a*b           (x, w, e=bias)
+  kMulColvec,  // dst <- copy(a); row i *= b[i]
+  kRowSum,     // dst[i] <- ascending sum of a row i
+  kNegRowMax,  // dst[i] <- -max(a row i)
+  kAddColvec,  // dst[i][j] <- a[i][j] + b[i]
+  kEw,         // dst <- copy(a); per-element fn (and fn(dst, b) if binary)
+  kFused,      // micro-program over one iteration domain
+};
+
+struct Step {
+  Opc opc{};
+  int dst = -1;  // value ids; pointers resolve through the table at run time
+  int dst_cols = 0;
+  int a = -1;
+  int a_cols = 0;
+  int b = -1;
+  int c = -1;
+  int d = -1;
+  int e = -1;
+  int i0 = 0;
+  Fn fn{};
+  bool binary = false;
+  std::vector<std::pair<int, int>> parts;  // concat: (value id, cols)
+  std::vector<MicroOp> prog;               // fused group program
+};
+
+}  // namespace
+
+struct TapeExecutor::Impl {
+  int n = 0;  // batch width (rows of every batch-shaped buffer)
+  std::vector<float> arena;
+  /// Per-value data pointer: arena slots and parameters are fixed at build
+  /// time; the input entries are rebound at every step() call.
+  std::vector<float*> ptr;
+  std::vector<nn::Var> held_params;  // keeps the weight matrices alive
+  std::vector<Step> steps;
+  // Input value ids, in Tape::inputs order.
+  int in_cond = -1, in_noise = -1, in_h = -1, in_c = -1, in_mask = -1;
+  // Output value ids + widths.
+  int out_records = -1, out_h = -1, out_c = -1, out_mask = -1;
+  int records_cols = 0, h_cols = 0;
+
+  void run(const Step& s, std::int64_t r0, std::int64_t r1) const;
+};
+
+/// Executes one compiled step on lanes [r0, r1). Every tape opcode is
+/// row-local — lane i of the destination depends only on lane i of each
+/// operand (reductions reduce along columns within a row) — so step() can
+/// partition lanes across the pool ONCE and let each worker replay the whole
+/// instruction sequence on its lane range: one fork-join per step instead of
+/// one per instruction, and each worker's slice of the arena stays hot in
+/// its own cache. Row-locality also makes results independent of the
+/// partition, which is what keeps the tape bit-identical to the autograd
+/// forward at every thread count.
+void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
+                             std::int64_t r1) const {
+  // A fused group's `dst` is its first member, which is usually a fused
+  // temp living only in registers — the group needs just the iteration
+  // domain (rows x dst_cols), not a destination pointer. Every other opcode
+  // writes through dst directly.
+  float* dst = ptr[static_cast<size_t>(s.dst)];
+  const int m = s.dst_cols;
+  if (m == 0 || (dst == nullptr && s.opc != Opc::kFused)) return;
+  const auto src = [&](int id) -> const float* {
+    return ptr[static_cast<size_t>(id)];
+  };
+  switch (s.opc) {
+    case Opc::kConcat: {
+      int offset = 0;
+      for (const auto& [id, cols] : s.parts) {
+        if (cols == 0) continue;
+        const float* p = src(id);
+        for (std::int64_t i = r0; i < r1; ++i) {
+          std::memcpy(dst + static_cast<size_t>(i) * m + offset,
+                      p + static_cast<size_t>(i) * cols,
+                      static_cast<size_t>(cols) * sizeof(float));
+        }
+        offset += cols;
+      }
+      break;
+    }
+    case Opc::kSlice: {
+      const float* a = src(s.a);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        std::memcpy(dst + static_cast<size_t>(i) * m,
+                    a + static_cast<size_t>(i) * s.a_cols + s.i0,
+                    static_cast<size_t>(m) * sizeof(float));
+      }
+      break;
+    }
+    case Opc::kLstmGates: {
+      const float* x = src(s.a);
+      const float* wx = src(s.b);
+      const float* h = src(s.c);
+      const float* wh = src(s.d);
+      const float* bias = src(s.e);
+      const int xc = s.a_cols, hc = s.i0;  // i0 carries h's width here
+      for (std::int64_t i = r0; i < r1; ++i) {
+        std::memcpy(dst + static_cast<size_t>(i) * m, bias,
+                    static_cast<size_t>(m) * sizeof(float));
+      }
+      matmul_acc_rows(x, xc, wx, m, dst, r0, r1);
+      matmul_acc_rows(h, hc, wh, m, dst, r0, r1);
+      break;
+    }
+    case Opc::kAffine: {
+      const float* x = src(s.a);
+      const float* w = src(s.b);
+      const float* bias = src(s.e);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        std::memcpy(dst + static_cast<size_t>(i) * m, bias,
+                    static_cast<size_t>(m) * sizeof(float));
+      }
+      matmul_acc_rows(x, s.a_cols, w, m, dst, r0, r1);
+      break;
+    }
+    case Opc::kMulColvec: {
+      // Single pass (a[j] * sc == copy-then-scale, bit for bit).
+      const float* a = src(s.a);
+      const float* v = src(s.b);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float sc = v[i];
+        const float* arow = a + static_cast<size_t>(i) * m;
+        float* row = dst + static_cast<size_t>(i) * m;
+        for (int j = 0; j < m; ++j) row[j] = arow[j] * sc;
+      }
+      break;
+    }
+    case Opc::kRowSum: {
+      const float* a = src(s.a);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        float sum = 0.0f;
+        const float* row = a + static_cast<size_t>(i) * s.a_cols;
+        for (int j = 0; j < s.a_cols; ++j) sum += row[j];
+        dst[i] = sum;
+      }
+      break;
+    }
+    case Opc::kNegRowMax: {
+      const float* a = src(s.a);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float* row = a + static_cast<size_t>(i) * s.a_cols;
+        float mx = row[0];
+        for (int j = 1; j < s.a_cols; ++j) {
+          mx = std::max(mx, row[j]);
+        }
+        dst[i] = -mx;
+      }
+      break;
+    }
+    case Opc::kAddColvec: {
+      const float* a = src(s.a);
+      const float* v = src(s.b);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float sc = v[i];
+        const float* arow = a + static_cast<size_t>(i) * m;
+        float* row = dst + static_cast<size_t>(i) * m;
+        for (int j = 0; j < m; ++j) row[j] = arow[j] + sc;
+      }
+      break;
+    }
+    case Opc::kEw: {
+      // Single pass: reading `a` and writing `dst` directly matches the
+      // copy-then-transform result bit for bit (same-index elementwise),
+      // including when the planner gave `dst` the slot `a` just vacated.
+      const float* a = src(s.a);
+      const float* b = s.binary ? src(s.b) : nullptr;
+      const std::int64_t e0 = r0 * m, e1 = r1 * m;
+      apply_fn(s.fn, a + e0, b ? b + e0 : nullptr, dst + e0, e1 - e0);
+      break;
+    }
+    case Opc::kFused: {
+      // Tile-at-a-time interpretation: each micro-op runs over a whole tile
+      // before the next dispatches, so the switch costs O(ops) per tile
+      // instead of O(ops) per element and the arithmetic loops vectorize.
+      // Per element the dependency chain is unchanged (every tile position
+      // is an independent SSA evaluation), so bits match the per-element
+      // interpreter exactly.
+      const std::int64_t e0 = r0 * m, e1 = r1 * m;
+      const MicroOp* prog = s.prog.data();
+      const int prog_len = static_cast<int>(s.prog.size());
+      float* const* table = ptr.data();
+      constexpr std::int64_t kTile = 64;
+      float regs[kMaxFusedRegs][kTile];
+      for (std::int64_t base = e0; base < e1; base += kTile) {
+        const std::int64_t len = std::min<std::int64_t>(kTile, e1 - base);
+        for (int p = 0; p < prog_len; ++p) {
+          const MicroOp& mo = prog[p];
+          const float* av = mo.a_id >= 0
+                                ? table[static_cast<size_t>(mo.a_id)] + base
+                                : regs[mo.a_reg];
+          const float* bv = !mo.binary ? nullptr
+                            : mo.b_id >= 0
+                                ? table[static_cast<size_t>(mo.b_id)] + base
+                                : regs[mo.b_reg];
+          apply_fn(mo.fn, av, bv, regs[mo.dst_reg], len);
+          if (mo.store_id >= 0) {
+            std::memcpy(table[static_cast<size_t>(mo.store_id)] + base,
+                        regs[mo.dst_reg],
+                        static_cast<size_t>(len) * sizeof(float));
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+std::unique_ptr<TapeExecutor> TapeExecutor::create(
+    const core::DoppelGanger& model, int width) {
+  return from_report(
+      model, analysis::build_generation_tape(model.schema(), model.config()),
+      width);
+}
+
+std::unique_ptr<TapeExecutor> TapeExecutor::from_report(
+    const core::DoppelGanger& model, analysis::TapeReport report, int width) {
+  if (width < 1) return nullptr;
+  if (!report.ok()) return nullptr;
+  // License to execute is a clean verifier run HERE, not the report's flag:
+  // a corrupted tape whose flag still says "verified" must die right here.
+  if (analysis::has_errors(analysis::verify_tape(report.tape, report.plan))) {
+    return nullptr;
+  }
+  const Tape& tape = report.tape;
+
+  // ---- bind generator weights by serialization-order name ----
+  // expected_parameter_shapes covers the WHOLE model; the generator's
+  // parameters are its prefix (attr_gen, minmax_gen?, lstm, head — same
+  // order), with the critic MLPs ("disc.*" / "aux_disc.*") trailing.
+  const std::vector<nn::Var> params = model.generator_parameters();
+  const std::vector<analysis::ParamShape> names =
+      analysis::expected_parameter_shapes(model.schema(), model.config());
+  size_t gen_count = 0;
+  while (gen_count < names.size() &&
+         names[gen_count].name.rfind("disc.", 0) != 0 &&
+         names[gen_count].name.rfind("aux_disc.", 0) != 0) {
+    ++gen_count;
+  }
+  if (params.size() != gen_count) return nullptr;
+  std::unordered_map<std::string, const nn::Var*> by_name;
+  for (size_t i = 0; i < gen_count; ++i) {
+    by_name.emplace(names[i].name, &params[i]);
+  }
+
+  auto impl = std::make_unique<Impl>();
+  impl->n = width;
+  impl->arena.assign(
+      static_cast<size_t>(report.plan.peak_cols) * static_cast<size_t>(width),
+      0.0f);
+  impl->ptr.assign(tape.values.size(), nullptr);
+
+  for (const TapeValue& v : tape.values) {
+    const long long off = report.plan.offsets[static_cast<size_t>(v.id)];
+    if (off >= 0) {
+      impl->ptr[static_cast<size_t>(v.id)] =
+          impl->arena.data() + static_cast<size_t>(off) * width;
+    }
+  }
+  for (int pid : tape.params) {
+    const TapeValue& v = tape.values[static_cast<size_t>(pid)];
+    const auto it = by_name.find(v.name);
+    if (it == by_name.end()) return nullptr;
+    const nn::Matrix& m = it->second->value();
+    if (!v.shape.rows.concrete() || m.rows() != v.shape.rows.value ||
+        m.cols() != v.cols()) {
+      return nullptr;
+    }
+    impl->held_params.push_back(*it->second);
+    impl->ptr[static_cast<size_t>(pid)] =
+        const_cast<float*>(m.data());  // never written: dsts are locals
+  }
+  if (tape.inputs.size() != 5 || tape.outputs.size() != 4) return nullptr;
+  impl->in_cond = tape.inputs[0];
+  impl->in_noise = tape.inputs[1];
+  impl->in_h = tape.inputs[2];
+  impl->in_c = tape.inputs[3];
+  impl->in_mask = tape.inputs[4];
+  impl->out_records = tape.outputs[0];
+  impl->out_h = tape.outputs[1];
+  impl->out_c = tape.outputs[2];
+  impl->out_mask = tape.outputs[3];
+  impl->records_cols =
+      tape.values[static_cast<size_t>(impl->out_records)].cols();
+  impl->h_cols = tape.values[static_cast<size_t>(impl->out_h)].cols();
+
+  // ---- compile: fused groups become one kFused step at their first
+  // member; everything else maps 1:1 onto an opcode ----
+  const auto val = [&](int id) -> const TapeValue& {
+    return tape.values[static_cast<size_t>(id)];
+  };
+  std::unordered_map<int, int> reg_of;  // value id -> register, per group
+  for (size_t i = 0; i < tape.instrs.size(); ++i) {
+    const TapeInstr& ins = tape.instrs[i];
+    Step s;
+    s.dst = ins.dst;
+    s.dst_cols = val(ins.dst).cols();
+    if (ins.group >= 0) {
+      if (i > 0 && tape.instrs[i - 1].group == ins.group) continue;  // compiled below
+      // Compile the whole contiguous group into one micro-program.
+      Step g;
+      g.opc = Opc::kFused;
+      reg_of.clear();
+      size_t j = i;
+      for (; j < tape.instrs.size() && tape.instrs[j].group == ins.group; ++j) {
+        const TapeInstr& m = tape.instrs[j];
+        MicroOp mo;
+        if (!fn_for(m.op, mo.fn, mo.binary)) return nullptr;
+        if (m.args.empty() || (mo.binary && m.args.size() < 2)) return nullptr;
+        const auto bind = [&](int arg, int& id, int& reg) {
+          const auto it = reg_of.find(arg);
+          if (it != reg_of.end() && impl->ptr[static_cast<size_t>(arg)] == nullptr) {
+            id = -1;
+            reg = it->second;
+          } else {
+            id = arg;  // materialized or defined before the group
+          }
+        };
+        bind(m.args[0], mo.a_id, mo.a_reg);
+        if (mo.binary) bind(m.args[1], mo.b_id, mo.b_reg);
+        mo.dst_reg = static_cast<int>(reg_of.size());
+        if (mo.dst_reg >= kMaxFusedRegs) return nullptr;
+        mo.store_id =
+            impl->ptr[static_cast<size_t>(m.dst)] != nullptr ? m.dst : -1;
+        reg_of.emplace(m.dst, mo.dst_reg);
+        g.prog.push_back(mo);
+      }
+      // The group's iteration domain: every member shares it (verified).
+      g.dst = ins.dst;
+      g.dst_cols = val(ins.dst).cols();
+      impl->steps.push_back(std::move(g));
+      continue;
+    }
+    const std::string& op = ins.op;
+    if (op == "concat_cols") {
+      s.opc = Opc::kConcat;
+      for (int a : ins.args) s.parts.emplace_back(a, val(a).cols());
+    } else if (op == "slice_cols") {
+      s.opc = Opc::kSlice;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+      s.i0 = static_cast<int>(ins.attrs.i0);
+    } else if (op == "lstm_gates") {
+      s.opc = Opc::kLstmGates;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+      s.b = ins.args[1];
+      s.c = ins.args[2];
+      s.i0 = val(s.c).cols();  // h width rides in i0
+      s.d = ins.args[3];
+      s.e = ins.args[4];
+    } else if (op == "affine") {
+      s.opc = Opc::kAffine;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+      s.b = ins.args[1];
+      s.e = ins.args[2];
+    } else if (op == "mul_colvec") {
+      s.opc = Opc::kMulColvec;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+      s.b = ins.args[1];
+    } else if (op == "row_sum") {
+      s.opc = Opc::kRowSum;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+    } else if (op == "neg_row_max") {
+      s.opc = Opc::kNegRowMax;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+    } else if (op == "add_colvec") {
+      s.opc = Opc::kAddColvec;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+      s.b = ins.args[1];
+    } else if (fn_for(op, s.fn, s.binary)) {
+      s.opc = Opc::kEw;
+      s.a = ins.args[0];
+      s.a_cols = val(s.a).cols();
+      if (s.binary) s.b = ins.args[1];
+    } else {
+      return nullptr;  // op the executor has no kernel for
+    }
+    impl->steps.push_back(std::move(s));
+  }
+
+  auto exec = std::unique_ptr<TapeExecutor>(new TapeExecutor());
+  exec->width_ = width;
+  exec->summary_ = analysis::summarize_tape(report);
+  exec->impl_ = std::move(impl);
+  return exec;
+}
+
+TapeExecutor::~TapeExecutor() = default;
+
+void TapeExecutor::step(const core::GenContext& ctx, const nn::Matrix& noise,
+                        core::GenState& state, nn::Matrix& records) {
+  Impl& im = *impl_;
+  const auto expect = [&](const nn::Matrix& m, const char* what) {
+    if (m.rows() != im.n) {
+      throw std::invalid_argument(std::string("TapeExecutor::step: ") + what +
+                                  " row count != width");
+    }
+  };
+  expect(ctx.cond, "cond");
+  expect(noise, "noise");
+  expect(state.h, "state.h");
+  expect(state.c, "state.c");
+  expect(state.mask, "state.mask");
+  if (records.rows() != im.n || records.cols() != im.records_cols) {
+    throw std::invalid_argument("TapeExecutor::step: records shape mismatch");
+  }
+
+  // Inputs are read-only (every instruction destination is a verified
+  // local), so the const_cast never turns into a write.
+  im.ptr[static_cast<size_t>(im.in_cond)] = const_cast<float*>(ctx.cond.data());
+  im.ptr[static_cast<size_t>(im.in_noise)] = const_cast<float*>(noise.data());
+  im.ptr[static_cast<size_t>(im.in_h)] = const_cast<float*>(state.h.data());
+  im.ptr[static_cast<size_t>(im.in_c)] = const_cast<float*>(state.c.data());
+  im.ptr[static_cast<size_t>(im.in_mask)] =
+      const_cast<float*>(state.mask.data());
+
+  // One fork-join for the whole step. The autograd forward pays a pool
+  // round-trip per op (~90 per generation step); here each worker takes a
+  // static lane range up front and replays the entire instruction sequence
+  // over it, which is legal because every opcode is row-local (see run()).
+  // The output copies ride along: a worker only writes its own lanes of
+  // state.h/c/mask, and the other workers' reads of those buffers (as
+  // in_h/in_c/in_mask) are confined to their own lanes too.
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, (im.n + nn::num_threads() - 1) / nn::num_threads());
+  nn::parallel_for(0, im.n, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (const Step& s : im.steps) im.run(s, r0, r1);
+    const size_t rows = static_cast<size_t>(r1 - r0);
+    const auto lanes = [&](auto* base, int cols) {
+      return base + static_cast<size_t>(r0) * cols;
+    };
+    std::memcpy(lanes(records.data(), im.records_cols),
+                lanes(im.ptr[static_cast<size_t>(im.out_records)],
+                      im.records_cols),
+                rows * im.records_cols * sizeof(float));
+    std::memcpy(lanes(state.h.data(), im.h_cols),
+                lanes(im.ptr[static_cast<size_t>(im.out_h)], im.h_cols),
+                rows * im.h_cols * sizeof(float));
+    std::memcpy(lanes(state.c.data(), im.h_cols),
+                lanes(im.ptr[static_cast<size_t>(im.out_c)], im.h_cols),
+                rows * im.h_cols * sizeof(float));
+    std::memcpy(lanes(state.mask.data(), 1),
+                lanes(im.ptr[static_cast<size_t>(im.out_mask)], 1),
+                rows * sizeof(float));
+  });
+  ++state.step;
+}
+
+}  // namespace dg::serve

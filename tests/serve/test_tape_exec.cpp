@@ -1,0 +1,382 @@
+// Tape executor tests: bit-identity against the autograd forward, static
+// rejection of corrupted tapes, and the zero-allocation steady state.
+//
+// This suite lives in its own test binary because it replaces the global
+// operator new/delete pair with counting versions — the proof that the tape
+// path's pump is allocation-free is a literal count of heap calls, not an
+// argument about the code. Counting is armed only around the measured
+// regions, with the kernel pool pinned to one thread (the pool's partition
+// submission allocates std::function state by design; the claim under test
+// is about the tape executor, not the pool).
+//
+// Bit-identity battery: the SAME 12 architecture variants the analysis
+// differential suite pins (tests/analysis/test_differential.cpp), stepped
+// at DG_THREADS ∈ {1, 4, 16}. The executor replicates the autograd
+// kernels' partition grains and accumulation orders exactly, so equality
+// here is memcmp, not almost-equal.
+#include "serve/tape_exec.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/tape.h"
+#include "core/doppelganger.h"
+#include "nn/parallel.h"
+#include "serve/sampler.h"
+#include "synth/synth.h"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator. Relaxed atomics: the measured regions run with
+// the pool pinned to one thread, the counter only needs to be exact there.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_count_armed{false};
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+void note_alloc() {
+  if (g_count_armed.load(std::memory_order_relaxed)) {
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* counted_alloc(std::size_t n) {
+  note_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  note_alloc();
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (n + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_alloc(n, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dg::serve {
+namespace {
+
+/// Arms the counter for the enclosing scope and reports calls seen.
+class AllocationWatch {
+ public:
+  AllocationWatch() {
+    g_alloc_calls.store(0, std::memory_order_relaxed);
+    g_count_armed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationWatch() { g_count_armed.store(false, std::memory_order_relaxed); }
+  std::uint64_t calls() const {
+    return g_alloc_calls.load(std::memory_order_relaxed);
+  }
+};
+
+struct Variant {
+  const char* dataset;
+  core::DoppelGangerConfig cfg;
+};
+
+core::DoppelGangerConfig small_cfg(uint64_t seed) {
+  core::DoppelGangerConfig cfg;
+  cfg.attr_hidden = 8;
+  cfg.attr_layers = 1;
+  cfg.minmax_hidden = 8;
+  cfg.minmax_layers = 1;
+  cfg.lstm_units = 8;
+  cfg.head_hidden = 8;
+  cfg.sample_len = 5;
+  cfg.disc_hidden = 16;
+  cfg.disc_layers = 2;
+  cfg.batch = 4;
+  cfg.iterations = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  const char* datasets[] = {"gcut", "wwt", "mba"};
+  uint64_t seed = 11;
+  for (const char* ds : datasets) {
+    for (const bool minmax : {true, false}) {
+      for (const bool aux : {true, false}) {
+        core::DoppelGangerConfig cfg = small_cfg(seed++);
+        cfg.use_minmax_generator = minmax;
+        cfg.use_aux_discriminator = aux;
+        cfg.attr_layers = static_cast<int>(seed % 3);
+        cfg.sample_len = (seed % 2) ? 5 : 7;
+        out.push_back({ds, cfg});
+      }
+    }
+  }
+  return out;
+}
+
+data::Schema schema_for(const std::string& dataset) {
+  if (dataset == "gcut") {
+    return synth::make_gcut({.n = 4, .t_max = 20, .seed = 5}).schema;
+  }
+  if (dataset == "wwt") {
+    return synth::make_wwt({.n = 4, .t = 20, .seed = 5}).schema;
+  }
+  return synth::make_mba({.n = 4, .t = 20, .seed = 5}).schema;
+}
+
+std::string describe(const Variant& v) {
+  std::ostringstream os;
+  os << v.dataset << " minmax=" << v.cfg.use_minmax_generator
+     << " aux=" << v.cfg.use_aux_discriminator
+     << " attr_layers=" << v.cfg.attr_layers << " S=" << v.cfg.sample_len;
+  return os.str();
+}
+
+void expect_bits_equal(const nn::Matrix& a, const nn::Matrix& b,
+                       const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<size_t>(a.rows()) *
+                               static_cast<size_t>(a.cols()) * sizeof(float)))
+      << what << " diverged from the autograd forward";
+}
+
+/// Restores the ambient pool size when a test returns.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(nn::num_threads()) {}
+  ~ThreadGuard() { nn::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(TapeExec, BitIdenticalToAutogradAcrossVariantsAndThreads) {
+  ThreadGuard guard;
+  for (const Variant& v : variants()) {
+    SCOPED_TRACE(describe(v));
+    const core::DoppelGanger model(schema_for(v.dataset), v.cfg);
+    const int n = 3;
+    auto tape = TapeExecutor::create(model, n);
+    ASSERT_NE(tape, nullptr) << "tape did not verify for this variant";
+
+    for (const int threads : {1, 4, 16}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      nn::set_num_threads(threads);
+
+      nn::Rng rng(v.cfg.seed + 17);
+      const core::GenContext ctx = model.sample_context(n, rng);
+      core::GenState ref_state = model.initial_gen_state(n);
+      core::GenState tape_state = model.initial_gen_state(n);
+      nn::Matrix tape_records(n, model.sample_len() * model.record_width());
+
+      // Several chained steps: state flows output -> input, so a divergence
+      // anywhere compounds and cannot cancel.
+      for (int step = 0; step < 3; ++step) {
+        SCOPED_TRACE("step=" + std::to_string(step));
+        const nn::Matrix noise =
+            rng.normal_matrix(n, model.feat_noise_dim());
+        const nn::Matrix ref_records =
+            model.generation_step(ctx, noise, ref_state);
+        tape->step(ctx, noise, tape_state, tape_records);
+
+        expect_bits_equal(ref_records, tape_records, "records");
+        expect_bits_equal(ref_state.h, tape_state.h, "state.h");
+        expect_bits_equal(ref_state.c, tape_state.c, "state.c");
+        expect_bits_equal(ref_state.mask, tape_state.mask, "state.mask");
+        ASSERT_EQ(ref_state.step, tape_state.step);
+      }
+    }
+  }
+}
+
+// The sampler path end to end: a tape-backed SlotSampler and an autograd
+// SlotSampler fed identical jobs must produce byte-identical series.
+TEST(TapeExec, SamplerTapeAndAutogradPathsAgree) {
+  const Variant v = variants()[0];
+  auto model = std::make_shared<const core::DoppelGanger>(
+      schema_for(v.dataset), v.cfg);
+
+  SlotSampler with_tape(model, 4, {.use_tape = true});
+  SlotSampler without(model, 4, {.use_tape = false});
+  ASSERT_TRUE(with_tape.tape_active());
+  ASSERT_FALSE(without.tape_active());
+
+  for (int i = 0; i < 8; ++i) {
+    SeriesJob job;
+    job.request_id = 1;
+    job.index = i;
+    job.rng = nn::Rng(1000 + static_cast<uint64_t>(i));
+    with_tape.submit(job);
+    without.submit(job);
+  }
+  while (!with_tape.idle()) with_tape.pump();
+  while (!without.idle()) without.pump();
+
+  EXPECT_GT(with_tape.stats().tape_steps, 0u);
+  EXPECT_EQ(with_tape.stats().tape_steps, with_tape.stats().rnn_steps);
+  EXPECT_EQ(without.stats().tape_steps, 0u);
+
+  auto a = with_tape.drain();
+  auto b = without.drain();
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].index, b[i].index);
+    ASSERT_EQ(a[i].object.attributes, b[i].object.attributes);
+    ASSERT_EQ(a[i].object.features.size(), b[i].object.features.size());
+    for (size_t t = 0; t < a[i].object.features.size(); ++t) {
+      EXPECT_EQ(a[i].object.features[t], b[i].object.features[t])
+          << "series " << i << " record " << t;
+    }
+  }
+}
+
+// Acceptance criterion: once warm, replaying the tape touches the heap
+// exactly zero times. Thread pool pinned to 1 — parallel_for's inline path
+// (range fits one grain or a single-thread pool) performs no allocation, so
+// any heap call counted here is the executor's own.
+TEST(TapeExec, StepIsAllocationFreeOnceWarm) {
+  ThreadGuard guard;
+  nn::set_num_threads(1);
+  const Variant v = variants()[0];
+  const core::DoppelGanger model(schema_for(v.dataset), v.cfg);
+  const int n = 8;
+  auto tape = TapeExecutor::create(model, n);
+  ASSERT_NE(tape, nullptr);
+
+  nn::Rng rng(99);
+  const core::GenContext ctx = model.sample_context(n, rng);
+  core::GenState state = model.initial_gen_state(n);
+  nn::Matrix records(n, model.sample_len() * model.record_width());
+  const nn::Matrix noise = rng.normal_matrix(n, model.feat_noise_dim());
+
+  tape->step(ctx, noise, state, records);  // warm-up
+
+  AllocationWatch watch;
+  for (int i = 0; i < 16; ++i) {
+    tape->step(ctx, noise, state, records);
+  }
+  EXPECT_EQ(watch.calls(), 0u)
+      << "tape replay allocated on the steady-state path";
+}
+
+// The same property at the sampler level: a pump in which no lane is
+// admitted or retired (pure mid-series advance) must not allocate. Lane
+// turnover pumps legitimately allocate (context sampling, decode) — the
+// watch is armed per pump and only quiescent pumps are asserted on.
+TEST(TapeExec, SamplerSteadyStatePumpIsAllocationFree) {
+  ThreadGuard guard;
+  nn::set_num_threads(1);
+  auto model = std::make_shared<core::DoppelGanger>(schema_for("gcut"),
+                                                    small_cfg(11));
+
+  // Untrained flag logits end most series within a record or two, so every
+  // pump would retire and admit lanes (which legitimately allocates). Bias
+  // the head's continue/end logits so the softmax'd end flag never wins and
+  // every series runs to its cap — guaranteeing mid-series pumps to measure.
+  {
+    auto params = model->generator_parameters();
+    nn::Matrix& head_bias = params.back().mutable_value();  // head.l1.b
+    ASSERT_EQ(head_bias.rows(), 1);
+    const int rw = model->record_width();
+    ASSERT_EQ(head_bias.cols(), model->sample_len() * rw);
+    for (int s = 0; s < model->sample_len(); ++s) {
+      head_bias.at(0, s * rw + rw - 2) += 8.0f;  // continue flag logit
+      head_bias.at(0, s * rw + rw - 1) -= 8.0f;  // end flag logit
+    }
+  }
+
+  SlotSampler sampler(model, 4, {.use_tape = true});
+  ASSERT_TRUE(sampler.tape_active());
+  for (int i = 0; i < 4; ++i) {
+    SeriesJob job;
+    job.request_id = 7;
+    job.index = i;
+    job.rng = nn::Rng(500 + static_cast<uint64_t>(i));
+    sampler.submit(job);
+  }
+
+  int quiescent_pumps = 0;
+  while (!sampler.idle()) {
+    const auto before = sampler.stats();
+    const int occupied_before = sampler.occupied();
+    const std::size_t pending_before = sampler.pending();
+
+    AllocationWatch watch;
+    sampler.pump();
+    const std::uint64_t calls = watch.calls();
+
+    const auto after = sampler.stats();
+    const bool turnover =
+        pending_before != sampler.pending() ||
+        occupied_before != sampler.occupied() ||
+        before.series_completed != after.series_completed ||
+        before.series_rejected != after.series_rejected;
+    if (!turnover) {
+      ++quiescent_pumps;
+      EXPECT_EQ(calls, 0u) << "steady-state pump " << quiescent_pumps
+                           << " hit the heap";
+    }
+  }
+  sampler.drain();
+  EXPECT_GT(quiescent_pumps, 0)
+      << "no quiescent pump observed — lengthen the series";
+}
+
+// Corrupted tapes never reach the executor: from_report() re-verifies and
+// refuses every seeded defect class.
+TEST(TapeExec, RefusesEveryMutatedReport) {
+  const Variant v = variants()[0];
+  const data::Schema schema = schema_for(v.dataset);
+  const core::DoppelGanger model(schema, v.cfg);
+
+  analysis::TapeReport clean = analysis::build_generation_tape(schema, v.cfg);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_NE(TapeExecutor::from_report(model, clean, 4), nullptr);
+
+  for (const char* defect :
+       {"use-before-def", "arena-overlap", "illegal-fusion", "unknown-op",
+        "stale-shape"}) {
+    SCOPED_TRACE(defect);
+    analysis::TapeReport r = analysis::build_generation_tape(schema, v.cfg);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(analysis::seed_tape_defect(r, defect));
+    EXPECT_EQ(TapeExecutor::from_report(model, r, 4), nullptr)
+        << "executor accepted a " << defect << " tape";
+    // Even lying about the verdict must not help: from_report re-verifies.
+    r.verified = true;
+    EXPECT_EQ(TapeExecutor::from_report(model, r, 4), nullptr)
+        << "executor trusted a forged verified flag for " << defect;
+  }
+}
+
+}  // namespace
+}  // namespace dg::serve

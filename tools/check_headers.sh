@@ -13,9 +13,22 @@ cd "$repo_root"
 
 headers=("$@")
 if [ "${#headers[@]}" -eq 0 ]; then
-  while IFS= read -r h; do headers+=("$h"); done \
-    < <(find src -name '*.h' | sort)
+  # NUL-delimited so a header path with whitespace cannot split or vanish.
+  while IFS= read -r -d '' h; do headers+=("$h"); done \
+    < <(find src -name '*.h' -print0 | sort -z)
 fi
+if [ "${#headers[@]}" -eq 0 ]; then
+  # An empty discovery set means the tree moved, not that there is nothing
+  # to check — a silent exit 0 here would quietly disable the gate.
+  echo "check_headers.sh: no headers found under src/ — refusing to pass trivially" >&2
+  exit 1
+fi
+for h in "${headers[@]}"; do
+  if [ ! -f "$h" ]; then
+    echo "check_headers.sh: no such header: $h" >&2
+    exit 1
+  fi
+done
 
 cxx="${CXX:-c++}"
 std="-std=c++20"

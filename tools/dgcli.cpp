@@ -16,9 +16,11 @@
 //   dgcli stats      --port P [--host H] [--json]
 //   dgcli top        --run DIR [--follow] [--rows N]
 //   dgcli check      [--seed X] [--iterations N]
-//   dgcli lint       --package M.dgpkg [--json]
-//   dgcli lint       --schema S.schema [--config C.cfg] [--json]
+//   dgcli lint       --package M.dgpkg [--json] [--tape]
+//   dgcli lint       --schema S.schema [--config C.cfg] [--json] [--tape]
 //                    [--assume-first-order op1,op2]
+//                    [--tape-mutate use-before-def|arena-overlap|
+//                     illegal-fusion|unknown-op|stale-shape]
 //
 // The .dgpkg package bundles schema + architecture + trained parameters, so
 // `generate` needs nothing else — the paper's Fig 2 release flow. `serve`
@@ -38,6 +40,11 @@
 // reports shape errors, dead parameters, and critic-path ops that lack
 // double-backward support before any training run. `--assume-first-order`
 // downgrades named ops in the registry (what-if / mutation-test hook).
+// `--tape` additionally lowers the generation step to the serving replay
+// tape (analysis/tape.h), runs the static verifier, and reports the plan
+// census (instructions, fusion groups, arena peak bytes); `--tape-mutate`
+// seeds one named defect class first — the negative control that proves the
+// verifier rejects a corrupted tape (expected exit: FAIL).
 //
 // Observability: `train --run-dir DIR` streams per-iteration telemetry to
 // DIR/metrics.jsonl and drops trace.json (chrome://tracing), trace.jsonl,
@@ -56,6 +63,7 @@
 
 #include "analysis/diag.h"
 #include "analysis/model.h"
+#include "analysis/tape.h"
 #include "analysis/registry.h"
 #include "core/doppelganger.h"
 #include "core/package.h"
@@ -713,13 +721,32 @@ analysis::OpRegistry lint_registry(const Args& a) {
 }
 
 /// Common tail of every lint mode: render diagnostics (human or JSON) and
-/// map them to the exit code (0 clean, 1 errors).
-int lint_report(std::span<const analysis::Diagnostic> diags, bool json) {
+/// map them to the exit code (0 clean, 1 errors). `tape`, when present,
+/// adds the tape-plan census (a `tape` block in JSON output).
+int lint_report(std::span<const analysis::Diagnostic> diags, bool json,
+                const analysis::TapeSummary* tape = nullptr) {
   const bool bad = analysis::has_errors(diags);
   if (json) {
-    std::printf("{\"ok\":%s,\"diagnostics\":%s}\n", bad ? "false" : "true",
-                analysis::to_json(diags).c_str());
+    std::string tape_block;
+    if (tape != nullptr) {
+      tape_block = "\"tape\":{\"instructions\":" +
+                   std::to_string(tape->instructions) +
+                   ",\"fusion_groups\":" + std::to_string(tape->fusion_groups) +
+                   ",\"arena_peak_bytes\":" +
+                   std::to_string(tape->arena_peak_bytes) +
+                   ",\"verified\":" + (tape->verified ? "true" : "false") +
+                   "},";
+    }
+    std::printf("{\"ok\":%s,%s\"diagnostics\":%s}\n", bad ? "false" : "true",
+                tape_block.c_str(), analysis::to_json(diags).c_str());
     return bad ? 1 : 0;
+  }
+  if (tape != nullptr) {
+    std::printf("tape: %d instructions, %d fusion groups, arena peak %lld "
+                "bytes/lane, %s\n",
+                tape->instructions, tape->fusion_groups,
+                tape->arena_peak_bytes,
+                tape->verified ? "verified" : "REJECTED");
   }
   if (!diags.empty()) {
     std::ostringstream os;
@@ -731,8 +758,27 @@ int lint_report(std::span<const analysis::Diagnostic> diags, bool json) {
   return bad ? 1 : 0;
 }
 
+/// Lowers + verifies the generation tape for --tape, optionally corrupting
+/// it first (--tape-mutate CLASS, the lint-level mutation test). Appends
+/// the verifier's findings to `diags` and returns the census.
+analysis::TapeSummary run_tape_lint(const data::Schema& schema,
+                                    const core::DoppelGangerConfig& cfg,
+                                    const Args& a,
+                                    std::vector<analysis::Diagnostic>& diags) {
+  analysis::TapeReport rep = analysis::build_generation_tape(schema, cfg);
+  if (a.flag("tape-mutate")) {
+    if (!analysis::seed_tape_defect(rep, a.str("tape-mutate"))) {
+      throw std::runtime_error("lint: unknown --tape-mutate class '" +
+                               a.str("tape-mutate") + "'");
+    }
+  }
+  for (const analysis::Diagnostic& d : rep.diagnostics) diags.push_back(d);
+  return analysis::summarize_tape(rep);
+}
+
 int cmd_lint(const Args& a) {
   const bool json = a.flag("json");
+  const bool want_tape = a.flag("tape") || a.flag("tape-mutate");
   const analysis::OpRegistry reg = lint_registry(a);
   if (a.flag("package")) {
     const core::PackagePreflight pf =
@@ -744,7 +790,15 @@ int cmd_lint(const Args& a) {
                   pf.schema.num_attributes(), pf.schema.num_features(),
                   pf.weight_matrices.size());
     }
-    return lint_report(pf.diagnostics, json);
+    // The preflight already lowered + verified the tape; re-run only for
+    // the mutation negative control, which needs the full report.
+    if (want_tape && pf.header_ok && a.flag("tape-mutate")) {
+      std::vector<analysis::Diagnostic> diags = pf.diagnostics;
+      const analysis::TapeSummary tape = run_tape_lint(pf.schema, pf.config,
+                                                       a, diags);
+      return lint_report(diags, json, &tape);
+    }
+    return lint_report(pf.diagnostics, json, want_tape ? &pf.tape : nullptr);
   }
   const data::Schema schema = data::load_schema_file(a.str("schema"));
   core::DoppelGangerConfig cfg;
@@ -764,7 +818,12 @@ int cmd_lint(const Args& a) {
                 "generation step width %d\n",
                 ma.parameters.size(), ma.graph_nodes, ma.generation_step_cols);
   }
-  return lint_report(ma.diagnostics, json);
+  std::vector<analysis::Diagnostic> diags = ma.diagnostics;
+  if (want_tape) {
+    const analysis::TapeSummary tape = run_tape_lint(schema, cfg, a, diags);
+    return lint_report(diags, json, &tape);
+  }
+  return lint_report(diags, json);
 }
 
 int usage() {
