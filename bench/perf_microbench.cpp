@@ -73,6 +73,71 @@ void BM_LstmStep(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmStep)->ArgsProduct({{1, 32, 256}, {1, 4}});
 
+// ---- SIMD microkernel gates (nn/simd/vec.h). Single-threaded, shapes sized
+// to the L2-resident regime the register-tiled micro-kernel targets, so the
+// scalar->avx2 ratio measures the vector tier rather than memory bandwidth.
+// CI's bench-smoke job runs these twice on one DG_NATIVE_ARCH=OFF binary
+// (DG_SIMD=scalar, then DG_SIMD=avx2) and gates the vectorized tier at
+// >= 2x scalar cpu_time via tools/bench_compare.py --best.
+
+#ifdef DG_OBS_ENABLED
+/// Attaches the obs profiler's exact FLOP attribution for one call of `fn`
+/// as the "flops" counter, which tools/bench_compare.py --flops joins with
+/// cpu_time to report GFLOP/s per kernel in the CI job summary.
+template <typename Fn>
+void attach_kernel_flops(benchmark::State& state, const char* row, Fn&& fn) {
+  obs::Profiler::start();
+  fn();
+  obs::Profiler::stop();
+  for (const auto& [name, stats] : obs::Profiler::snapshot()) {
+    if (name == row) {
+      state.counters["flops"] = static_cast<double>(stats.flops);
+    }
+  }
+  obs::Profiler::clear();
+}
+#endif
+
+void BM_MatmulMicro(benchmark::State& state) {
+  const int n = 64, k = 256, m = 256;
+  nn::set_num_threads(1);
+  nn::Rng rng(7);
+  const Matrix a = rng.normal_matrix(n, k);
+  const Matrix b = rng.normal_matrix(k, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * k * m);
+#ifdef DG_OBS_ENABLED
+  attach_kernel_flops(state, "kernel.matmul",
+                      [&] { benchmark::DoNotOptimize(nn::matmul(a, b)); });
+#endif
+}
+BENCHMARK(BM_MatmulMicro);
+
+void BM_LstmGatesMicro(benchmark::State& state) {
+  // The fused gate pre-activation at the training shape: x*wx + h*wh + b.
+  const int batch = 64, xc = 48, hc = 64;
+  nn::set_num_threads(1);
+  nn::Rng rng(8);
+  const Matrix x = rng.normal_matrix(batch, xc);
+  const Matrix wx = rng.normal_matrix(xc, 4 * hc);
+  const Matrix h = rng.normal_matrix(batch, hc);
+  const Matrix wh = rng.normal_matrix(hc, 4 * hc);
+  const Matrix b = rng.normal_matrix(1, 4 * hc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::lstm_gates(x, wx, h, wh, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * batch * (xc + hc) * 4 *
+                          hc);
+#ifdef DG_OBS_ENABLED
+  attach_kernel_flops(state, "kernel.lstm_gates", [&] {
+    benchmark::DoNotOptimize(nn::lstm_gates(x, wx, h, wh, b));
+  });
+#endif
+}
+BENCHMARK(BM_LstmGatesMicro);
+
 // One full WGAN-GP critic step (forward, second-order gradient-penalty
 // backward, Adam update) — the training hot loop. Shared by the critic
 // benchmark proper and the BM_ObsOverhead* benches below, which must time

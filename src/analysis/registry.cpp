@@ -13,6 +13,14 @@ const char* to_string(DiffClass c) {
   return "?";
 }
 
+const char* to_string(SimdClass c) {
+  switch (c) {
+    case SimdClass::kBitExact: return "bit-exact";
+    case SimdClass::kUlpBounded: return "ulp-bounded";
+  }
+  return "?";
+}
+
 const OpInfo* OpRegistry::find(std::string_view name) const {
   auto it = ops_.find(name);
   return it == ops_.end() ? nullptr : &it->second;
@@ -69,6 +77,10 @@ OpRegistry make_builtin() {
     r.add({name, 2, 2, DiffClass::kDoubleBackward, Broadcast::kNone,
            same_shape_binary});
   };
+  const auto ulp_bounded_unary = [&r](const char* name, int ulp) {
+    r.add({name, 1, 1, DiffClass::kDoubleBackward, Broadcast::kNone,
+           pass_through, SimdClass::kUlpBounded, ulp});
+  };
 
   // ---- graph leaves (no parents; shape comes from the call site) ----
   r.add({"leaf", 0, 0, DiffClass::kDoubleBackward, Broadcast::kNone,
@@ -93,9 +105,13 @@ OpRegistry make_builtin() {
   // so the audit trail records the reasoning.
   elementwise_unary("relu", DiffClass::kZeroCurvature);
   elementwise_unary("abs", DiffClass::kZeroCurvature);
-  elementwise_unary("tanh", DiffClass::kDoubleBackward);
-  elementwise_unary("sigmoid", DiffClass::kDoubleBackward);
-  elementwise_unary("exp", DiffClass::kDoubleBackward);
+  // The polynomial transcendentals (nn/simd/vec.h) are shared verbatim by
+  // the scalar and avx2 tiers, so cross-tier output is still bit-identical;
+  // the pinned bound is their worst-case ULP error vs libm on the supported
+  // domain (measured 1/1/2 on [-87, 88]; pinned with headroom).
+  ulp_bounded_unary("tanh", 2);
+  ulp_bounded_unary("sigmoid", 3);
+  ulp_bounded_unary("exp", 2);
   elementwise_unary("log", DiffClass::kDoubleBackward);
   elementwise_unary("sqrt", DiffClass::kDoubleBackward);
   elementwise_unary("square", DiffClass::kDoubleBackward);

@@ -41,6 +41,23 @@ enum class DiffClass {
 
 const char* to_string(DiffClass c);
 
+/// How an op's vectorized (avx2) kernel relates to the scalar reference tier
+/// (nn/simd/vec.h). The SIMD differential tests read these declarations: a
+/// kBitExact op must produce bit-identical output under every dispatch tier
+/// and thread count; a kUlpBounded op is still bit-identical *across tiers*
+/// (both tiers share one polynomial) but diverges from libm by at most
+/// `ulp_bound` ULP on the supported domain.
+enum class SimdClass {
+  /// Pure add/mul/compare kernels: bit-identical to the scalar reference by
+  /// construction (no FMA contraction, fixed association).
+  kBitExact,
+  /// Polynomial transcendental (exp/tanh/sigmoid): tiers agree bit-for-bit,
+  /// accuracy vs libm is bounded by OpInfo::ulp_bound.
+  kUlpBounded,
+};
+
+const char* to_string(SimdClass c);
+
 /// Declared broadcast semantics (which input is replicated across the other).
 enum class Broadcast { kNone, kRowVector, kColVector, kScalar };
 
@@ -74,6 +91,13 @@ struct OpInfo {
   DiffClass diff = DiffClass::kDoubleBackward;
   Broadcast broadcast = Broadcast::kNone;
   ShapeRule shape;
+  /// SIMD tolerance class (see SimdClass). ulp_bound is the pinned maximum
+  /// ULP error vs double-precision libm on the op's supported domain — for
+  /// exp that domain is [-87.336, 88.376] (flush-to-zero below, +inf
+  /// saturation above, as the Cephes-style kernel defines). The property
+  /// tests in tests/nn/test_simd.cpp sweep against these bounds.
+  SimdClass simd = SimdClass::kBitExact;
+  int ulp_bound = 0;
 };
 
 class OpRegistry {

@@ -414,7 +414,7 @@ Var relu(const Var& a) {
 }
 
 Var tanh_(const Var& a) {
-  Matrix out = apply(a.value(), scalar::tanh);
+  Matrix out = map_ew(simd::EwFn::kTanh, a.value());
   // Recompute tanh(a) in the backward pass instead of capturing the output
   // Var (which would create a shared_ptr cycle node->backward->node).
   return make_op("tanh", std::move(out), {a}, [a](const Var& g) {
@@ -424,7 +424,7 @@ Var tanh_(const Var& a) {
 }
 
 Var sigmoid(const Var& a) {
-  Matrix out = apply(a.value(), scalar::sigmoid);
+  Matrix out = map_ew(simd::EwFn::kSigmoid, a.value());
   return make_op("sigmoid", std::move(out), {a}, [a](const Var& g) {
     Var s = sigmoid(a);
     return std::vector<Var>{mul(g, mul(s, add_scalar(neg(s), 1.0f)))};
@@ -432,21 +432,21 @@ Var sigmoid(const Var& a) {
 }
 
 Var exp_(const Var& a) {
-  Matrix out = apply(a.value(), scalar::exp);
+  Matrix out = map_ew(simd::EwFn::kExp, a.value());
   return make_op("exp", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{mul(g, exp_(a))};
   });
 }
 
 Var log_(const Var& a) {
-  Matrix out = apply(a.value(), scalar::log);
+  Matrix out = map_ew(simd::EwFn::kLog, a.value());
   return make_op("log", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{div(g, a)};
   });
 }
 
 Var sqrt_(const Var& a) {
-  Matrix out = apply(a.value(), scalar::sqrt);
+  Matrix out = map_ew(simd::EwFn::kSqrt, a.value());
   return make_op("sqrt", std::move(out), {a}, [a](const Var& g) {
     return std::vector<Var>{mul_scalar(div(g, sqrt_(a)), 0.5f)};
   });
@@ -460,7 +460,7 @@ Var square(const Var& a) {
 }
 
 Var abs_(const Var& a) {
-  Matrix out = apply(a.value(), scalar::abs);
+  Matrix out = map_ew(simd::EwFn::kAbs, a.value());
   Matrix sign(out.rows(), out.cols());
   const float* pa = a.value().data();
   float* ps = sign.data();
@@ -574,16 +574,14 @@ Var softmax_rows(const Var& a) {
   // not change the softmax value or its gradient.
   Matrix shift(a.rows(), 1);
   const int cols = a.cols();
+  // The shift is the SIMD tier's neg_row_max kernel — the same kernel the
+  // tape executor's kNegRowMax micro-op dispatches to, so the tape replay
+  // stays bit-identical to this forward on every tier.
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(0, a.rows(),
                std::max<std::int64_t>(1, kGrainElemwise / std::max(1, cols)),
                [&](std::int64_t r0, std::int64_t r1) {
-                 for (std::int64_t i = r0; i < r1; ++i) {
-                   const float* row =
-                       a.value().data() + static_cast<size_t>(i) * cols;
-                   float mx = row[0];
-                   for (int j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
-                   shift.data()[i] = -mx;
-                 }
+                 kt.neg_row_max(a.value().data(), cols, shift.data(), r0, r1);
                });
   Var shifted = add(a, mul_colvec(ones(a.rows(), a.cols()), constant(shift)));
   Var e = exp_(shifted);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/parallel.h"
+#include "nn/simd/vec.h"
 #include "obs/profile.h"
 
 namespace dg::nn {
@@ -61,29 +62,15 @@ std::int64_t matmul_row_grain(int k, int m) {
   return std::max<std::int64_t>(1, kGrainMatmulFlops / flops_per_row);
 }
 
-/// The shared matmul-accumulate core: out[r0..r1) += a[r0..r1) * b, with the
-/// k loop blocked so a ~kKC-row slab of b stays cache-hot across the rows of
-/// the partition. Accumulation order per output element is ascending k for
-/// every blocking/partitioning choice, so results are bit-identical for any
-/// thread count.
-constexpr int kKC = 256;
-
+/// The shared matmul-accumulate core: out[r0..r1) += a[r0..r1) * b. Since
+/// PR 7 this dispatches into the SIMD tier (simd/vec.h): the k loop stays
+/// blocked in kKC slabs and accumulation per output element is ascending k
+/// for every tier/blocking/partitioning choice, so results are bit-identical
+/// for any thread count and any dispatch tier.
 void matmul_acc_rows(const Matrix& a, const Matrix& b, Matrix& out,
                      std::int64_t r0, std::int64_t r1) {
-  const int k = a.cols(), m = b.cols();
-  for (int kb = 0; kb < k; kb += kKC) {
-    const int kend = std::min(k, kb + kKC);
-    for (std::int64_t i = r0; i < r1; ++i) {
-      const float* arow = a.data() + static_cast<size_t>(i) * k;
-      float* orow = out.data() + static_cast<size_t>(i) * m;
-      for (int kk = kb; kk < kend; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = b.data() + static_cast<size_t>(kk) * m;
-        for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
+  simd::kernels().matmul_acc_rows(a.data(), a.cols(), b.data(), b.cols(),
+                                  out.data(), r0, r1);
 }
 
 }  // namespace
@@ -186,16 +173,19 @@ Matrix transpose(const Matrix& a) {
 
 namespace {
 
-template <typename F>
+/// Binary elementwise through the SIMD tier. Partitions are per-element and
+/// the kernels are per-element, so any split is bit-identical.
 Matrix elementwise(const Matrix& a, const Matrix& b, const char* op,
-                   const F& f) {
+                   simd::EwFn fn) {
   check_same_shape(a, b, op);
   Matrix out = a;
+  const simd::KernelTable& kt = simd::kernels();
+  const float* pa = out.data();
   const float* pb = b.data();
   float* po = out.data();
   parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
                [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) f(po[i], pb[i]);
+                 kt.apply_ew(fn, pa + i0, pb + i0, po + i0, i1 - i0);
                });
   return out;
 }
@@ -203,37 +193,39 @@ Matrix elementwise(const Matrix& a, const Matrix& b, const char* op,
 }  // namespace
 
 Matrix add(const Matrix& a, const Matrix& b) {
-  return elementwise(a, b, "add", [](float& o, float v) { o += v; });
+  return elementwise(a, b, "add", simd::EwFn::kAdd);
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
-  return elementwise(a, b, "sub", [](float& o, float v) { o -= v; });
+  return elementwise(a, b, "sub", simd::EwFn::kSub);
 }
 
 Matrix mul(const Matrix& a, const Matrix& b) {
-  return elementwise(a, b, "mul", [](float& o, float v) { o *= v; });
+  return elementwise(a, b, "mul", simd::EwFn::kMul);
 }
 
 Matrix div(const Matrix& a, const Matrix& b) {
-  return elementwise(a, b, "div", [](float& o, float v) { o /= v; });
+  return elementwise(a, b, "div", simd::EwFn::kDiv);
 }
 
 Matrix add_scalar(const Matrix& a, float s) {
   Matrix out = a;
+  const simd::KernelTable& kt = simd::kernels();
   float* po = out.data();
   parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
                [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) po[i] += s;
+                 kt.add_scalar(po + i0, s, po + i0, i1 - i0);
                });
   return out;
 }
 
 Matrix mul_scalar(const Matrix& a, float s) {
   Matrix out = a;
+  const simd::KernelTable& kt = simd::kernels();
   float* po = out.data();
   parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
                [&](std::int64_t i0, std::int64_t i1) {
-                 for (std::int64_t i = i0; i < i1; ++i) po[i] *= s;
+                 kt.mul_scalar(po + i0, s, po + i0, i1 - i0);
                });
   return out;
 }
@@ -243,11 +235,12 @@ Matrix add_rowvec(const Matrix& x, const Matrix& b) {
     throw std::invalid_argument("add_rowvec: b must be [1, x.cols]");
   Matrix out = x;
   const int cols = x.cols();
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(0, x.rows(), row_grain(cols),
                [&](std::int64_t r0, std::int64_t r1) {
                  for (std::int64_t i = r0; i < r1; ++i) {
                    float* row = out.data() + static_cast<size_t>(i) * cols;
-                   for (int j = 0; j < cols; ++j) row[j] += b.data()[j];
+                   kt.apply_ew(simd::EwFn::kAdd, row, b.data(), row, cols);
                  }
                });
   return out;
@@ -258,12 +251,12 @@ Matrix mul_colvec(const Matrix& x, const Matrix& v) {
     throw std::invalid_argument("mul_colvec: v must be [x.rows, 1]");
   Matrix out = x;
   const int cols = x.cols();
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(0, x.rows(), row_grain(cols),
                [&](std::int64_t r0, std::int64_t r1) {
                  for (std::int64_t i = r0; i < r1; ++i) {
-                   const float s = v.data()[i];
                    float* row = out.data() + static_cast<size_t>(i) * cols;
-                   for (int j = 0; j < cols; ++j) row[j] *= s;
+                   kt.mul_scalar(row, v.data()[i], row, cols);
                  }
                });
   return out;
@@ -274,11 +267,12 @@ Matrix mul_rowvec(const Matrix& x, const Matrix& m) {
     throw std::invalid_argument("mul_rowvec: m must be [1, x.cols]");
   Matrix out = x;
   const int cols = x.cols();
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(0, x.rows(), row_grain(cols),
                [&](std::int64_t r0, std::int64_t r1) {
                  for (std::int64_t i = r0; i < r1; ++i) {
                    float* row = out.data() + static_cast<size_t>(i) * cols;
-                   for (int j = 0; j < cols; ++j) row[j] *= m.data()[j];
+                   kt.apply_ew(simd::EwFn::kMul, row, m.data(), row, cols);
                  }
                });
   return out;
@@ -287,14 +281,10 @@ Matrix mul_rowvec(const Matrix& x, const Matrix& m) {
 Matrix row_sum(const Matrix& a) {
   Matrix out(a.rows(), 1);
   const int cols = a.cols();
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(0, a.rows(), row_grain(cols),
                [&](std::int64_t r0, std::int64_t r1) {
-                 for (std::int64_t i = r0; i < r1; ++i) {
-                   float s = 0.0f;
-                   const float* row = a.data() + static_cast<size_t>(i) * cols;
-                   for (int j = 0; j < cols; ++j) s += row[j];
-                   out.data()[i] = s;
-                 }
+                 kt.row_sum(a.data(), cols, out.data(), r0, r1);
                });
   return out;
 }
@@ -307,10 +297,14 @@ Matrix col_sum(const Matrix& a) {
   // combined in ascending chunk order => bit-identical for any pool size.
   const std::int64_t chunk = std::max<std::int64_t>(1, kGrainReduce / std::max(1, d));
   const std::int64_t chunks = num_chunks(n, chunk);
+  const simd::KernelTable& kt = simd::kernels();
+  // Row accumulation stays ascending-row (a binary vector add per row, so
+  // vectorizing preserves the order); partials combine in ascending chunk
+  // order => bit-identical for any pool size and tier.
   if (chunks <= 1) {
     for (int i = 0; i < n; ++i) {
       const float* row = a.data() + static_cast<size_t>(i) * d;
-      for (int j = 0; j < d; ++j) out.data()[j] += row[j];
+      kt.apply_ew(simd::EwFn::kAdd, out.data(), row, out.data(), d);
     }
     return out;
   }
@@ -320,12 +314,12 @@ Matrix col_sum(const Matrix& a) {
                         float* p = partials.data() + static_cast<size_t>(ci) * d;
                         for (std::int64_t i = r0; i < r1; ++i) {
                           const float* row = a.data() + static_cast<size_t>(i) * d;
-                          for (int j = 0; j < d; ++j) p[j] += row[j];
+                          kt.apply_ew(simd::EwFn::kAdd, p, row, p, d);
                         }
                       });
   for (std::int64_t ci = 0; ci < chunks; ++ci) {
     const float* p = partials.data() + static_cast<size_t>(ci) * d;
-    for (int j = 0; j < d; ++j) out.data()[j] += p[j];
+    kt.apply_ew(simd::EwFn::kAdd, out.data(), p, out.data(), d);
   }
   return out;
 }
@@ -362,6 +356,19 @@ Matrix apply(const Matrix& a, float (*fn)(float)) {
   parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
                [&](std::int64_t i0, std::int64_t i1) {
                  for (std::int64_t i = i0; i < i1; ++i) po[i] = fn(po[i]);
+               });
+  return out;
+}
+
+Matrix map_ew(simd::EwFn fn, const Matrix& a) {
+  Matrix out = a;
+  if (out.empty()) return out;
+  DG_OBS_KERNEL_TIMER("ew", out.size(), 8ULL * out.size());
+  const simd::KernelTable& kt = simd::kernels();
+  float* po = out.data();
+  parallel_for(0, static_cast<std::int64_t>(out.size()), kGrainElemwise,
+               [&](std::int64_t i0, std::int64_t i1) {
+                 kt.apply_ew(fn, po + i0, nullptr, po + i0, i1 - i0);
                });
   return out;
 }

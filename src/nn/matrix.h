@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "nn/simd/vec.h"
+
 namespace dg::nn {
 
 class Matrix {
@@ -88,6 +90,12 @@ float sum(const Matrix& a);
 float mean(const Matrix& a);
 
 Matrix apply(const Matrix& a, float (*fn)(float));
+
+/// Elementwise map through the SIMD dispatch tier (simd/vec.h): the
+/// vectorized form of apply() for the micro-ops both the autograd forward
+/// and the tape executor share. Bit-identical across tiers and thread
+/// counts by the vec.h contract.
+Matrix map_ew(simd::EwFn fn, const Matrix& a);
 
 Matrix concat_cols(std::span<const Matrix* const> parts);
 Matrix concat_rows(std::span<const Matrix* const> parts);

@@ -4,23 +4,28 @@
 // path's bit-identical-to-autograd differential contract hold by
 // construction rather than by coincidence: both paths call the exact same
 // float expression per element.
+//
+// Since PR 7 the transcendentals route through the SIMD tier's shared
+// polynomial references (simd/vec.h): exp/tanh/sigmoid are the Cephes-style
+// approximations the avx2 lanes mirror bit-for-bit, not libm — that is what
+// lets DG_SIMD=scalar and DG_SIMD=avx2 produce identical generation output.
+// ULP bounds vs libm are declared per op in the analysis registry.
 #pragma once
 
 #include <cmath>
 
+#include "nn/simd/vec.h"
+
 namespace dg::nn::scalar {
 
 inline float relu(float v) { return v > 0.0f ? v : 0.0f; }
-inline float tanh(float v) { return std::tanh(v); }
+inline float tanh(float v) { return simd::tanh_ref(v); }
 
-/// Branching form: never evaluates exp of a large positive argument, so both
-/// tails are computed without overflow (matches the autograd forward).
-inline float sigmoid(float v) {
-  return v >= 0 ? 1.0f / (1.0f + std::exp(-v))
-                : std::exp(v) / (1.0f + std::exp(v));
-}
+/// Numerically-stable two-branch form (never exp of a large positive
+/// argument); simd::sigmoid_ref is this expression with exp_ref inside.
+inline float sigmoid(float v) { return simd::sigmoid_ref(v); }
 
-inline float exp(float v) { return std::exp(v); }
+inline float exp(float v) { return simd::exp_ref(v); }
 inline float log(float v) { return std::log(v); }
 inline float sqrt(float v) { return std::sqrt(v); }
 inline float square(float v) { return v * v; }

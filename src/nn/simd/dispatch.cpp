@@ -1,0 +1,125 @@
+// Runtime tier selection: DG_SIMD env override, else CPUID. Mirrors the
+// resolution/reporting style of the thread pool (parallel.h): resolved once
+// at first use, one relaxed atomic load per kernel call afterwards, and a
+// *_source() string that says why for `dgcli check` and tests.
+#include "nn/simd/vec.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dg::nn::simd {
+
+const KernelTable* scalar_table();  // kernels_scalar.cpp
+#if defined(DG_SIMD_HAS_AVX2)
+const KernelTable* avx2_table();    // kernels_avx2.cpp
+#else
+// kernels_avx2.cpp is not in the build on this target.
+static const KernelTable* avx2_table() { return nullptr; }
+#endif
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(DG_SIMD_HAS_AVX2)
+  return __builtin_cpu_supports("avx2") && avx2_table() != nullptr;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_for(Tier t) {
+  return t == Tier::kAvx2 ? avx2_table() : scalar_table();
+}
+
+struct State {
+  std::atomic<const KernelTable*> table;
+  std::atomic<int> tier;
+  std::atomic<const char*> source;
+};
+
+State resolve() {
+  Tier t = Tier::kScalar;
+  const char* source = nullptr;
+  const char* env = std::getenv("DG_SIMD");
+  Tier parsed = Tier::kScalar;
+  bool auto_tier = true;
+  if (env != nullptr && !parse_tier(env, parsed, auto_tier)) {
+    auto_tier = true;
+    source = "DG_SIMD (unrecognized value; auto)";
+  }
+  if (!auto_tier) {
+    if (parsed == Tier::kAvx2 && !cpu_has_avx2()) {
+      t = Tier::kScalar;
+      source = "DG_SIMD (no avx2; fell back to scalar)";
+    } else {
+      t = parsed;
+      source = "DG_SIMD";
+    }
+  } else {
+    t = cpu_has_avx2() ? Tier::kAvx2 : Tier::kScalar;
+    if (source == nullptr) {
+#if defined(DG_SIMD_HAS_AVX2)
+      source = "cpuid";
+#else
+      source = "built without avx2";
+#endif
+    }
+  }
+  return State{{table_for(t)}, {static_cast<int>(t)}, {source}};
+}
+
+State& state() {
+  static State s = resolve();
+  return s;
+}
+
+}  // namespace
+
+const KernelTable& kernels() {
+  return *state().table.load(std::memory_order_relaxed);
+}
+
+Tier active_tier() {
+  return static_cast<Tier>(state().tier.load(std::memory_order_relaxed));
+}
+
+const char* simd_tier_source() {
+  return state().source.load(std::memory_order_relaxed);
+}
+
+bool tier_supported(Tier t) {
+  return t == Tier::kScalar || (t == Tier::kAvx2 && cpu_has_avx2());
+}
+
+bool set_simd_tier(Tier t) {
+  if (!tier_supported(t)) return false;
+  State& s = state();
+  s.table.store(table_for(t), std::memory_order_relaxed);
+  s.tier.store(static_cast<int>(t), std::memory_order_relaxed);
+  s.source.store("set_simd_tier", std::memory_order_relaxed);
+  return true;
+}
+
+const char* tier_name(Tier t) {
+  return t == Tier::kAvx2 ? "avx2" : "scalar";
+}
+
+bool parse_tier(const char* s, Tier& t, bool& auto_tier) {
+  if (s == nullptr || *s == '\0' || std::strcmp(s, "auto") == 0) {
+    auto_tier = true;
+    return true;
+  }
+  auto_tier = false;
+  if (std::strcmp(s, "scalar") == 0) {
+    t = Tier::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    t = Tier::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dg::nn::simd

@@ -1,0 +1,332 @@
+// AVX2 tier kernels: 8-wide lane forms of the scalar reference in
+// vec_scalar.h, bit-identical to it by construction (see vec.h).
+//
+// Included ONLY by kernels_avx2.cpp, which is compiled with
+// -mavx2 -ffp-contract=off. The whole body is guarded on __AVX2__ so
+// tools/check_headers.sh can still compile the header standalone without the
+// flag (it adds a second -mavx2 pass to check the real content).
+//
+// No FMA anywhere: every mul+add pair is _mm256_mul_ps + _mm256_add_ps in
+// the scalar tier's operation order, which is what makes cross-tier
+// bit-identity hold without a tolerance. The transcendentals mirror
+// exp_eval/tanh_eval/sigmoid_eval constant-for-constant and op-for-op;
+// branches become blends whose selector matches the scalar branch condition
+// (including NaN behavior — comments note each case).
+#ifndef DG_NN_SIMD_VEC_AVX2_H_
+#define DG_NN_SIMD_VEC_AVX2_H_
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "nn/simd/vec.h"
+#include "nn/simd/vec_scalar.h"
+
+namespace dg::nn::simd::avx2_impl {
+
+inline __m256 v_set1(float x) { return _mm256_set1_ps(x); }
+
+/// exp_eval, 8 lanes. Same clamp/reduction/polynomial/scale sequence; the
+/// scalar early-return for NaN becomes the final blend (so NaN wins over the
+/// saturation patches, exactly like the scalar branch order).
+inline __m256 exp_v(__m256 x) {
+  using namespace detail;
+  const __m256 hi = v_set1(kExpHi), lo = v_set1(kExpLo);
+  // min(x, hi): NaN lanes take hi (MINPS returns src2 on NaN) — harmless,
+  // the NaN blend at the end overrides whatever the clamped pipe computes.
+  __m256 cx = _mm256_min_ps(x, hi);
+  cx = _mm256_max_ps(cx, lo);
+  const __m256 n = _mm256_floor_ps(
+      _mm256_add_ps(_mm256_mul_ps(cx, v_set1(kLog2e)), v_set1(0.5f)));
+  const __m256 r =
+      _mm256_sub_ps(_mm256_sub_ps(cx, _mm256_mul_ps(n, v_set1(kLn2Hi))),
+                    _mm256_mul_ps(n, v_set1(kLn2Lo)));
+  __m256 p = v_set1(kExpP0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), v_set1(kExpP1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), v_set1(kExpP2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), v_set1(kExpP3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), v_set1(kExpP4));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), v_set1(kExpP5));
+  __m256 q = _mm256_mul_ps(p, _mm256_mul_ps(r, r));
+  q = _mm256_add_ps(q, r);
+  q = _mm256_add_ps(q, v_set1(1.0f));
+  // n is integral after floor, so the truncating convert is exact — same as
+  // the scalar (int32) cast.
+  const __m256i ni = _mm256_cvttps_epi32(n);
+  const __m256 scale = _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23));
+  __m256 res = _mm256_mul_ps(q, scale);
+  // Ordered compares are false for NaN lanes, matching the scalar `x > hi` /
+  // `x < lo` tests on a NaN.
+  res = _mm256_blendv_ps(
+      res, v_set1(std::numeric_limits<float>::infinity()),
+      _mm256_cmp_ps(x, hi, _CMP_GT_OQ));
+  res = _mm256_blendv_ps(res, _mm256_setzero_ps(),
+                         _mm256_cmp_ps(x, lo, _CMP_LT_OQ));
+  return _mm256_blendv_ps(res, x, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+}
+
+inline __m256 abs_v(__m256 x) {
+  return _mm256_and_ps(x, _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff)));
+}
+
+/// tanh_eval, 8 lanes: both branches computed, blended on |x| > cutoff.
+/// NaN lanes compare false and take the polynomial branch — same as the
+/// scalar `z > kTanhCutoff` test on a NaN.
+inline __m256 tanh_v(__m256 x) {
+  using namespace detail;
+  const __m256 z = abs_v(x);
+  // Tail branch: w = 1 - 2/(exp(2z)+1), then the sign of x re-applied.
+  // w > 0 always, so OR-ing x's sign bit equals the scalar `x < 0 ? -w : w`.
+  const __m256 one = v_set1(1.0f);
+  const __m256 e = exp_v(_mm256_add_ps(z, z));
+  __m256 w = _mm256_sub_ps(one, _mm256_div_ps(v_set1(2.0f),
+                                              _mm256_add_ps(e, one)));
+  const __m256 signbit = _mm256_castsi256_ps(_mm256_set1_epi32(
+      static_cast<std::int32_t>(0x80000000u)));
+  w = _mm256_or_ps(w, _mm256_and_ps(x, signbit));
+  // Polynomial branch (odd in x, so no sign fixup).
+  const __m256 z2 = _mm256_mul_ps(x, x);
+  __m256 p = v_set1(kTanhP0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, z2), v_set1(kTanhP1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z2), v_set1(kTanhP2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z2), v_set1(kTanhP3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z2), v_set1(kTanhP4));
+  __m256 t = _mm256_mul_ps(p, z2);
+  t = _mm256_mul_ps(t, x);
+  t = _mm256_add_ps(t, x);
+  return _mm256_blendv_ps(t, w, _mm256_cmp_ps(z, v_set1(kTanhCutoff),
+                                              _CMP_GT_OQ));
+}
+
+/// sigmoid_eval, 8 lanes. The `v >= 0` select (GE is false for NaN, so NaN
+/// lanes route v itself into exp, exactly like the scalar ternaries).
+inline __m256 sigmoid_v(__m256 v) {
+  const __m256 one = v_set1(1.0f);
+  const __m256 nonneg = _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_GE_OQ);
+  const __m256 arg = _mm256_blendv_ps(v, _mm256_mul_ps(v, v_set1(-1.0f)),
+                                      nonneg);
+  const __m256 e = exp_v(arg);
+  const __m256 num = _mm256_blendv_ps(e, one, nonneg);
+  return _mm256_div_ps(num, _mm256_add_ps(one, e));
+}
+
+// ---- kernels --------------------------------------------------------------
+
+/// out[r0..r1) += a[r0..r1) * b: the scalar kernel's kKC k-slabs and
+/// ascending-k zero-skip accumulation, with the 16-column register tile
+/// widened to 32 columns in four ymm accumulators. Per output element the
+/// operation sequence is the scalar tier's exactly (broadcast-mul then add),
+/// so results are bit-identical.
+inline void matmul_acc_rows(const float* a, int k, const float* b, int m,
+                            float* out, std::int64_t r0, std::int64_t r1) {
+  using scalar_impl::kKC;
+  for (int kb = 0; kb < k; kb += kKC) {
+    const int kend = kb + kKC < k ? kb + kKC : k;
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* orow = out + static_cast<std::size_t>(i) * m;
+      int j = 0;
+      for (; j + 32 <= m; j += 32) {
+        float* o = orow + j;
+        __m256 acc0 = _mm256_loadu_ps(o);
+        __m256 acc1 = _mm256_loadu_ps(o + 8);
+        __m256 acc2 = _mm256_loadu_ps(o + 16);
+        __m256 acc3 = _mm256_loadu_ps(o + 24);
+        for (int kk = kb; kk < kend; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const __m256 bv = _mm256_set1_ps(av);
+          const float* brow = b + static_cast<std::size_t>(kk) * m + j;
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(bv, _mm256_loadu_ps(brow)));
+          acc1 = _mm256_add_ps(acc1,
+                               _mm256_mul_ps(bv, _mm256_loadu_ps(brow + 8)));
+          acc2 = _mm256_add_ps(acc2,
+                               _mm256_mul_ps(bv, _mm256_loadu_ps(brow + 16)));
+          acc3 = _mm256_add_ps(acc3,
+                               _mm256_mul_ps(bv, _mm256_loadu_ps(brow + 24)));
+        }
+        _mm256_storeu_ps(o, acc0);
+        _mm256_storeu_ps(o + 8, acc1);
+        _mm256_storeu_ps(o + 16, acc2);
+        _mm256_storeu_ps(o + 24, acc3);
+      }
+      for (; j + 8 <= m; j += 8) {
+        __m256 acc = _mm256_loadu_ps(orow + j);
+        for (int kk = kb; kk < kend; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const __m256 bv = _mm256_set1_ps(av);
+          acc = _mm256_add_ps(
+              acc, _mm256_mul_ps(
+                       bv, _mm256_loadu_ps(b + static_cast<std::size_t>(kk) * m + j)));
+        }
+        _mm256_storeu_ps(orow + j, acc);
+      }
+      for (; j < m; ++j) {
+        float acc = orow[j];
+        for (int kk = kb; kk < kend; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          acc += av * b[static_cast<std::size_t>(kk) * m + j];
+        }
+        orow[j] = acc;
+      }
+    }
+  }
+}
+
+inline void apply_ew(EwFn fn, const float* a, const float* b, float* d,
+                     std::int64_t len) {
+  std::int64_t i = 0;
+  switch (fn) {
+    case EwFn::kAdd:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+      break;
+    case EwFn::kSub:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+      break;
+    case EwFn::kMul:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+      break;
+    case EwFn::kDiv:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+      break;
+    case EwFn::kNeg:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_set1_ps(-1.0f)));
+      break;
+    case EwFn::kRelu:
+      // max_ps(v, 0) returns the second operand (0) for NaN lanes, matching
+      // the scalar `v > 0 ? v : 0` which sends NaN to 0; and max(-0, +0)
+      // picks +0 like the scalar branch does.
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_max_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_setzero_ps()));
+      break;
+    case EwFn::kAbs:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, abs_v(_mm256_loadu_ps(a + i)));
+      break;
+    case EwFn::kTanh:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, tanh_v(_mm256_loadu_ps(a + i)));
+      break;
+    case EwFn::kSigmoid:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, sigmoid_v(_mm256_loadu_ps(a + i)));
+      break;
+    case EwFn::kExp:
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, exp_v(_mm256_loadu_ps(a + i)));
+      break;
+    case EwFn::kLog:
+      // Deliberately not vectorized: log is libm in both tiers (vec.h).
+      break;
+    case EwFn::kSqrt:
+      // VSQRTPS is correctly rounded, so it is bit-identical to std::sqrt.
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_sqrt_ps(_mm256_loadu_ps(a + i)));
+      break;
+    case EwFn::kSquare:
+      for (; i + 8 <= len; i += 8) {
+        const __m256 v = _mm256_loadu_ps(a + i);
+        _mm256_storeu_ps(d + i, _mm256_mul_ps(v, v));
+      }
+      break;
+    case EwFn::kRecip:
+      // div, never RCPPS — the reciprocal approximation would fork the tiers.
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(d + i, _mm256_div_ps(_mm256_set1_ps(1.0f),
+                                              _mm256_loadu_ps(a + i)));
+      break;
+  }
+  for (; i < len; ++i) d[i] = scalar_impl::ew_eval(fn, a[i], b ? b[i] : 0.0f);
+}
+
+inline void add_scalar(const float* a, float s, float* d, std::int64_t len) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= len; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+  for (; i < len; ++i) d[i] = a[i] + s;
+}
+
+inline void mul_scalar(const float* a, float s, float* d, std::int64_t len) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::int64_t i = 0;
+  for (; i + 8 <= len; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  for (; i < len; ++i) d[i] = a[i] * s;
+}
+
+/// sum_span's 8-lane blocking is exactly one ymm accumulator: vertical adds
+/// over the blocks, lanes combined in ascending order, sequential tail.
+inline float sum_span(const float* p, std::int64_t n) {
+  if (n < 8) return scalar_impl::sum_span(p, n);
+  __m256 vacc = _mm256_loadu_ps(p);
+  std::int64_t i = 8;
+  for (; i + 8 <= n; i += 8)
+    vacc = _mm256_add_ps(vacc, _mm256_loadu_ps(p + i));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vacc);
+  float s = lanes[0];
+  for (int t = 1; t < 8; ++t) s += lanes[t];
+  for (; i < n; ++i) s += p[i];
+  return s;
+}
+
+/// max_span: _mm256_max_ps(x, vacc) — x as the FIRST operand — returns vacc
+/// when x is NaN, matching scalar std::max(acc, x)'s NaN-dropping, and picks
+/// vacc on ties so signed zeros match too.
+inline float max_span(const float* p, std::int64_t n) {
+  if (n < 8) return scalar_impl::max_span(p, n);
+  __m256 vacc = _mm256_loadu_ps(p);
+  std::int64_t i = 8;
+  for (; i + 8 <= n; i += 8)
+    vacc = _mm256_max_ps(_mm256_loadu_ps(p + i), vacc);
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vacc);
+  float mx = lanes[0];
+  for (int t = 1; t < 8; ++t) mx = std::max(mx, lanes[t]);
+  for (; i < n; ++i) mx = std::max(mx, p[i]);
+  return mx;
+}
+
+inline void row_sum(const float* a, int cols, float* dst, std::int64_t r0,
+                    std::int64_t r1) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    dst[i] = sum_span(a + static_cast<std::size_t>(i) * cols, cols);
+  }
+}
+
+inline void neg_row_max(const float* a, int cols, float* dst, std::int64_t r0,
+                        std::int64_t r1) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    if (cols == 0) {
+      dst[i] = 0.0f;
+      continue;
+    }
+    dst[i] = -max_span(a + static_cast<std::size_t>(i) * cols, cols);
+  }
+}
+
+}  // namespace dg::nn::simd::avx2_impl
+
+#endif  // defined(__AVX2__)
+
+#endif  // DG_NN_SIMD_VEC_AVX2_H_

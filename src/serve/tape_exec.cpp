@@ -9,7 +9,7 @@
 
 #include "analysis/model.h"
 #include "nn/parallel.h"
-#include "nn/scalar_ops.h"
+#include "nn/simd/vec.h"
 
 namespace dg::serve {
 
@@ -20,105 +20,12 @@ using analysis::TapeInstr;
 using analysis::TapeValue;
 using analysis::TapeValueKind;
 
-// Register-blocked: each j-tile of the output row is accumulated in local
-// registers across the whole k loop, then stored once. Per output element
-// this is the same sequence of multiply-adds, ascending k with the same
-// zero-skip, as src/nn/matrix.cpp's kernel (its kKC blocking also visits k
-// in ascending order), so results stay bit-identical — but out-row traffic
-// drops from one load+store per (k, j) to one per j.
-constexpr int kJTile = 16;
+using Fn = nn::simd::EwFn;
 
-void matmul_acc_rows(const float* a, int k, const float* b, int m, float* out,
-                     std::int64_t r0, std::int64_t r1) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* orow = out + static_cast<size_t>(i) * m;
-    int j = 0;
-    for (; j + kJTile <= m; j += kJTile) {
-      float acc[kJTile];
-      for (int t = 0; t < kJTile; ++t) acc[t] = orow[j + t];
-      for (int kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = b + static_cast<size_t>(kk) * m + j;
-        for (int t = 0; t < kJTile; ++t) acc[t] += av * brow[t];
-      }
-      for (int t = 0; t < kJTile; ++t) orow[j + t] = acc[t];
-    }
-    if (j < m) {
-      const int rem = m - j;
-      float acc[kJTile];
-      for (int t = 0; t < rem; ++t) acc[t] = orow[j + t];
-      for (int kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = b + static_cast<size_t>(kk) * m + j;
-        for (int t = 0; t < rem; ++t) acc[t] += av * brow[t];
-      }
-      for (int t = 0; t < rem; ++t) orow[j + t] = acc[t];
-    }
-  }
-}
-
-// ---- compiled instruction forms -----------------------------------------
-
-enum class Fn : std::uint8_t {
-  kAdd, kSub, kMul, kDiv, kNeg, kRelu, kAbs, kTanh, kSigmoid,
-  kExp, kLog, kSqrt, kSquare, kRecip,
-};
-
-/// Elementwise micro-kernel: one dispatch per run instead of per element, so the
-/// arithmetic loops vectorize and only the transcendentals stay libm-bound.
-/// `d` may alias `a` or `b` (same-index elementwise is alias-safe). Unary
-/// fns ignore `b`. Scalar math goes through the same nn::scalar helpers as
-/// eval(), keeping results bit-identical to the per-element path.
-void apply_fn(Fn fn, const float* a, const float* b, float* d,
-              std::int64_t len) {
-  switch (fn) {
-    case Fn::kAdd:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] + b[i];
-      break;
-    case Fn::kSub:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] - b[i];
-      break;
-    case Fn::kMul:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] * b[i];
-      break;
-    case Fn::kDiv:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = a[i] / b[i];
-      break;
-    case Fn::kNeg:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::neg(a[i]);
-      break;
-    case Fn::kRelu:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::relu(a[i]);
-      break;
-    case Fn::kAbs:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::abs(a[i]);
-      break;
-    case Fn::kTanh:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::tanh(a[i]);
-      break;
-    case Fn::kSigmoid:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::sigmoid(a[i]);
-      break;
-    case Fn::kExp:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::exp(a[i]);
-      break;
-    case Fn::kLog:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::log(a[i]);
-      break;
-    case Fn::kSqrt:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::sqrt(a[i]);
-      break;
-    case Fn::kSquare:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::square(a[i]);
-      break;
-    case Fn::kRecip:
-      for (std::int64_t i = 0; i < len; ++i) d[i] = nn::scalar::recip(a[i]);
-      break;
-  }
-}
+// The matmul/elementwise/reduction micro-kernels live in the SIMD dispatch
+// tier (nn/simd/vec.h) since PR 7 — the same kernel table nn/matrix.cpp
+// dispatches into, which is what keeps tape replay bit-identical to the
+// autograd forward on every tier: both paths literally run the same code.
 
 bool fn_for(const std::string& op, Fn& fn, bool& binary) {
   binary = false;
@@ -215,6 +122,7 @@ struct TapeExecutor::Impl {
 /// forward at every thread count.
 void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
                              std::int64_t r1) const {
+  const nn::simd::KernelTable& kt = nn::simd::kernels();
   // A fused group's `dst` is its first member, which is usually a fused
   // temp living only in registers — the group needs just the iteration
   // domain (rows x dst_cols), not a destination pointer. Every other opcode
@@ -260,8 +168,8 @@ void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
         std::memcpy(dst + static_cast<size_t>(i) * m, bias,
                     static_cast<size_t>(m) * sizeof(float));
       }
-      matmul_acc_rows(x, xc, wx, m, dst, r0, r1);
-      matmul_acc_rows(h, hc, wh, m, dst, r0, r1);
+      kt.matmul_acc_rows(x, xc, wx, m, dst, r0, r1);
+      kt.matmul_acc_rows(h, hc, wh, m, dst, r0, r1);
       break;
     }
     case Opc::kAffine: {
@@ -272,7 +180,7 @@ void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
         std::memcpy(dst + static_cast<size_t>(i) * m, bias,
                     static_cast<size_t>(m) * sizeof(float));
       }
-      matmul_acc_rows(x, s.a_cols, w, m, dst, r0, r1);
+      kt.matmul_acc_rows(x, s.a_cols, w, m, dst, r0, r1);
       break;
     }
     case Opc::kMulColvec: {
@@ -280,43 +188,27 @@ void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
       const float* a = src(s.a);
       const float* v = src(s.b);
       for (std::int64_t i = r0; i < r1; ++i) {
-        const float sc = v[i];
-        const float* arow = a + static_cast<size_t>(i) * m;
-        float* row = dst + static_cast<size_t>(i) * m;
-        for (int j = 0; j < m; ++j) row[j] = arow[j] * sc;
+        kt.mul_scalar(a + static_cast<size_t>(i) * m, v[i],
+                      dst + static_cast<size_t>(i) * m, m);
       }
       break;
     }
     case Opc::kRowSum: {
-      const float* a = src(s.a);
-      for (std::int64_t i = r0; i < r1; ++i) {
-        float sum = 0.0f;
-        const float* row = a + static_cast<size_t>(i) * s.a_cols;
-        for (int j = 0; j < s.a_cols; ++j) sum += row[j];
-        dst[i] = sum;
-      }
+      kt.row_sum(src(s.a), s.a_cols, dst, r0, r1);
       break;
     }
     case Opc::kNegRowMax: {
-      const float* a = src(s.a);
-      for (std::int64_t i = r0; i < r1; ++i) {
-        const float* row = a + static_cast<size_t>(i) * s.a_cols;
-        float mx = row[0];
-        for (int j = 1; j < s.a_cols; ++j) {
-          mx = std::max(mx, row[j]);
-        }
-        dst[i] = -mx;
-      }
+      // The same kernel autograd's softmax_rows uses for its shift, so the
+      // 8-lane-blocked max association matches the forward exactly.
+      kt.neg_row_max(src(s.a), s.a_cols, dst, r0, r1);
       break;
     }
     case Opc::kAddColvec: {
       const float* a = src(s.a);
       const float* v = src(s.b);
       for (std::int64_t i = r0; i < r1; ++i) {
-        const float sc = v[i];
-        const float* arow = a + static_cast<size_t>(i) * m;
-        float* row = dst + static_cast<size_t>(i) * m;
-        for (int j = 0; j < m; ++j) row[j] = arow[j] + sc;
+        kt.add_scalar(a + static_cast<size_t>(i) * m, v[i],
+                      dst + static_cast<size_t>(i) * m, m);
       }
       break;
     }
@@ -327,7 +219,7 @@ void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
       const float* a = src(s.a);
       const float* b = s.binary ? src(s.b) : nullptr;
       const std::int64_t e0 = r0 * m, e1 = r1 * m;
-      apply_fn(s.fn, a + e0, b ? b + e0 : nullptr, dst + e0, e1 - e0);
+      kt.apply_ew(s.fn, a + e0, b ? b + e0 : nullptr, dst + e0, e1 - e0);
       break;
     }
     case Opc::kFused: {
@@ -354,7 +246,7 @@ void TapeExecutor::Impl::run(const Step& s, std::int64_t r0,
                             : mo.b_id >= 0
                                 ? table[static_cast<size_t>(mo.b_id)] + base
                                 : regs[mo.b_reg];
-          apply_fn(mo.fn, av, bv, regs[mo.dst_reg], len);
+          kt.apply_ew(mo.fn, av, bv, regs[mo.dst_reg], len);
           if (mo.store_id >= 0) {
             std::memcpy(table[static_cast<size_t>(mo.store_id)] + base,
                         regs[mo.dst_reg],

@@ -1,0 +1,481 @@
+// SIMD dispatch tier tests (nn/simd/vec.h): the executable contract behind
+// the "same output under every tier" CI matrix.
+//
+//  1. Dispatch plumbing: parse_tier / set_simd_tier / active_tier report
+//     coherently and the override round-trips.
+//  2. ULP property sweeps: the shared polynomial exp/tanh/sigmoid stay
+//     within the per-op bounds *declared in the analysis registry* vs a
+//     double-precision libm reference, across their supported domain.
+//  3. Cross-tier bit-exactness: every dispatched kernel (matmul, affine,
+//     lstm_gates, all elementwise fns, broadcasts, reductions) produces
+//     bit-identical output under scalar and avx2 tiers, for shapes that
+//     exercise the vector remainder paths, across DG_THREADS in {1,4,16}.
+//
+// The avx2 half of (3) self-skips on machines without AVX2 — CI runs the
+// full matrix on x86.
+#include "nn/simd/vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.h"
+#include "nn/autograd.h"
+#include "nn/matrix.h"
+#include "nn/parallel.h"
+
+namespace dg::nn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Restores the dispatch tier and thread count on scope exit so tests do not
+/// leak configuration into each other (the table is process-global).
+class TierGuard {
+ public:
+  TierGuard() : tier_(simd::active_tier()), threads_(num_threads()) {}
+  ~TierGuard() {
+    simd::set_simd_tier(tier_);
+    set_num_threads(threads_);
+  }
+
+ private:
+  simd::Tier tier_;
+  int threads_;
+};
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+/// Distance in units-in-the-last-place between two floats, treating the
+/// float line as the usual monotonic integer mapping (negative floats map
+/// below zero). NaN vs NaN counts as 0; NaN vs non-NaN as huge.
+std::int64_t ulp_distance(float a, float b) {
+  const bool na = std::isnan(a), nb = std::isnan(b);
+  if (na && nb) return 0;
+  if (na || nb) return std::numeric_limits<std::int64_t>::max();
+  auto key = [](float f) -> std::int64_t {
+    const std::uint32_t u = float_bits(f);
+    return (u & 0x80000000u) ? -static_cast<std::int64_t>(u & 0x7fffffffu)
+                             : static_cast<std::int64_t>(u);
+  };
+  return std::llabs(key(a) - key(b));
+}
+
+/// Deterministic fill: a fixed LCG keyed by `seed`, values roughly in
+/// [-2, 2) with an occasional exact zero to hit the matmul zero-skip path.
+void fill(Matrix& m, std::uint32_t seed) {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull ^ seed;
+  for (float& v : m.flat()) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint32_t r = static_cast<std::uint32_t>(s >> 33);
+    if ((r & 0x1f) == 0) {
+      v = 0.0f;  // exercise the ascending-k zero-skip branch
+    } else {
+      v = static_cast<float>(r) * (4.0f / 4294967296.0f) - 2.0f;
+    }
+  }
+}
+
+::testing::AssertionResult bit_identical(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float x = a.data()[i], y = b.data()[i];
+    if (float_bits(x) != float_bits(y)) {
+      return ::testing::AssertionFailure()
+             << "element " << i << " differs: " << x << " (0x" << std::hex
+             << float_bits(x) << ") vs " << y << " (0x" << float_bits(y)
+             << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+int registry_ulp_bound(const char* op) {
+  const analysis::OpInfo* info = analysis::OpRegistry::builtin().find(op);
+  EXPECT_NE(info, nullptr) << op;
+  EXPECT_EQ(info->simd, analysis::SimdClass::kUlpBounded) << op;
+  EXPECT_GT(info->ulp_bound, 0) << op;
+  return info == nullptr ? 0 : info->ulp_bound;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ReportsCoherentState) {
+  const simd::Tier t = simd::active_tier();
+  EXPECT_TRUE(t == simd::Tier::kScalar || t == simd::Tier::kAvx2);
+  EXPECT_NE(simd::simd_tier_source(), nullptr);
+  EXPECT_TRUE(simd::tier_supported(simd::Tier::kScalar));
+  // The active tier is by definition a supported one.
+  EXPECT_TRUE(simd::tier_supported(t));
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, ParseTier) {
+  simd::Tier t = simd::Tier::kAvx2;
+  bool auto_tier = false;
+  EXPECT_TRUE(simd::parse_tier("", t, auto_tier));
+  EXPECT_TRUE(auto_tier);
+  EXPECT_TRUE(simd::parse_tier("auto", t, auto_tier));
+  EXPECT_TRUE(auto_tier);
+  EXPECT_TRUE(simd::parse_tier("scalar", t, auto_tier));
+  EXPECT_FALSE(auto_tier);
+  EXPECT_EQ(t, simd::Tier::kScalar);
+  EXPECT_TRUE(simd::parse_tier("avx2", t, auto_tier));
+  EXPECT_FALSE(auto_tier);
+  EXPECT_EQ(t, simd::Tier::kAvx2);
+  EXPECT_FALSE(simd::parse_tier("sse9000", t, auto_tier));
+  EXPECT_FALSE(simd::parse_tier("AVX2", t, auto_tier));  // case-sensitive
+}
+
+TEST(SimdDispatch, SetTierRoundTrips) {
+  TierGuard guard;
+  ASSERT_TRUE(simd::set_simd_tier(simd::Tier::kScalar));
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  EXPECT_STREQ(simd::simd_tier_source(), "set_simd_tier");
+  if (simd::tier_supported(simd::Tier::kAvx2)) {
+    ASSERT_TRUE(simd::set_simd_tier(simd::Tier::kAvx2));
+    EXPECT_EQ(simd::active_tier(), simd::Tier::kAvx2);
+  } else {
+    EXPECT_FALSE(simd::set_simd_tier(simd::Tier::kAvx2));
+    EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry tolerance classes
+// ---------------------------------------------------------------------------
+
+TEST(SimdRegistry, TranscendentalsDeclareUlpBounds) {
+  registry_ulp_bound("exp");
+  registry_ulp_bound("tanh");
+  registry_ulp_bound("sigmoid");
+  EXPECT_STREQ(analysis::to_string(analysis::SimdClass::kUlpBounded),
+               "ulp-bounded");
+  EXPECT_STREQ(analysis::to_string(analysis::SimdClass::kBitExact),
+               "bit-exact");
+}
+
+TEST(SimdRegistry, PureOpsAreBitExact) {
+  for (const char* op : {"add", "mul", "matmul", "lstm_gates", "row_sum",
+                         "relu", "sqrt", "log"}) {
+    const analysis::OpInfo* info = analysis::OpRegistry::builtin().find(op);
+    ASSERT_NE(info, nullptr) << op;
+    EXPECT_EQ(info->simd, analysis::SimdClass::kBitExact) << op;
+    EXPECT_EQ(info->ulp_bound, 0) << op;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ULP property sweeps vs double-precision libm
+// ---------------------------------------------------------------------------
+
+/// Sweeps `points` arguments uniformly over [lo, hi] and asserts
+/// ref(x) stays within `bound` ULP of the double-libm value.
+void sweep_ulp(float (*fn)(float), double (*libm)(double), float lo, float hi,
+               int points, std::int64_t bound, const char* name) {
+  std::int64_t worst = 0;
+  float worst_x = lo;
+  for (int i = 0; i <= points; ++i) {
+    const float x =
+        lo + (hi - lo) * (static_cast<float>(i) / static_cast<float>(points));
+    const float got = fn(x);
+    const float want = static_cast<float>(libm(static_cast<double>(x)));
+    const std::int64_t d = ulp_distance(got, want);
+    if (d > worst) {
+      worst = d;
+      worst_x = x;
+    }
+  }
+  EXPECT_LE(worst, bound) << name << " worst ULP " << worst << " at x="
+                          << worst_x;
+}
+
+TEST(SimdUlp, ExpWithinRegistryBound) {
+  const std::int64_t bound = registry_ulp_bound("exp");
+  // Supported domain (see OpInfo::ulp_bound doc): flush-to-zero below
+  // -87.336, +inf saturation above 88.376.
+  sweep_ulp(&simd::exp_ref, &std::exp, -87.0f, 88.0f, 500000, bound, "exp");
+  sweep_ulp(&simd::exp_ref, &std::exp, -1.0f, 1.0f, 200000, bound, "exp");
+}
+
+TEST(SimdUlp, TanhWithinRegistryBound) {
+  const std::int64_t bound = registry_ulp_bound("tanh");
+  sweep_ulp(&simd::tanh_ref, &std::tanh, -20.0f, 20.0f, 500000, bound,
+            "tanh");
+  sweep_ulp(&simd::tanh_ref, &std::tanh, -0.7f, 0.7f, 200000, bound, "tanh");
+}
+
+double sigmoid_d(double x) {
+  return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x)) : std::exp(x) / (1.0 + std::exp(x));
+}
+
+TEST(SimdUlp, SigmoidWithinRegistryBound) {
+  const std::int64_t bound = registry_ulp_bound("sigmoid");
+  sweep_ulp(&simd::sigmoid_ref, &sigmoid_d, -87.0f, 88.0f, 500000, bound,
+            "sigmoid");
+  sweep_ulp(&simd::sigmoid_ref, &sigmoid_d, -4.0f, 4.0f, 200000, bound,
+            "sigmoid");
+}
+
+TEST(SimdUlp, ExpEdgeCases) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(simd::exp_ref(nan)));
+  EXPECT_EQ(simd::exp_ref(inf), inf);
+  EXPECT_EQ(simd::exp_ref(-inf), 0.0f);
+  EXPECT_EQ(simd::exp_ref(0.0f), 1.0f);
+  EXPECT_EQ(simd::exp_ref(-0.0f), 1.0f);
+  // Saturation semantics at the domain edges.
+  EXPECT_EQ(simd::exp_ref(89.0f), inf);
+  EXPECT_EQ(simd::exp_ref(1000.0f), inf);
+  EXPECT_EQ(simd::exp_ref(-88.0f), 0.0f);  // denormal region flushes to zero
+  EXPECT_EQ(simd::exp_ref(-1000.0f), 0.0f);
+}
+
+TEST(SimdUlp, TanhSigmoidEdgeCases) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(simd::tanh_ref(nan)));
+  EXPECT_EQ(simd::tanh_ref(inf), 1.0f);
+  EXPECT_EQ(simd::tanh_ref(-inf), -1.0f);
+  EXPECT_EQ(simd::tanh_ref(0.0f), 0.0f);
+  EXPECT_EQ(simd::tanh_ref(30.0f), 1.0f);
+  EXPECT_EQ(simd::tanh_ref(-30.0f), -1.0f);
+  EXPECT_TRUE(std::isnan(simd::sigmoid_ref(nan)));
+  EXPECT_EQ(simd::sigmoid_ref(inf), 1.0f);
+  EXPECT_EQ(simd::sigmoid_ref(-inf), 0.0f);
+  EXPECT_EQ(simd::sigmoid_ref(0.0f), 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tier bit-exactness
+// ---------------------------------------------------------------------------
+
+constexpr int kThreadSweep[] = {1, 4, 16};
+
+/// Runs `compute` under every (tier, thread-count) combination and asserts
+/// every result is bit-identical to the scalar/1-thread reference.
+void expect_invariant(const char* what, Matrix (*compute)(std::uint32_t),
+                      std::uint32_t seed) {
+  TierGuard guard;
+  ASSERT_TRUE(simd::set_simd_tier(simd::Tier::kScalar));
+  set_num_threads(1);
+  const Matrix ref = compute(seed);
+  for (simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kAvx2}) {
+    if (!simd::tier_supported(tier)) continue;
+    ASSERT_TRUE(simd::set_simd_tier(tier));
+    for (int threads : kThreadSweep) {
+      set_num_threads(threads);
+      EXPECT_TRUE(bit_identical(ref, compute(seed)))
+          << what << " tier=" << simd::tier_name(tier)
+          << " threads=" << threads;
+    }
+  }
+}
+
+bool avx2_available() { return simd::tier_supported(simd::Tier::kAvx2); }
+
+TEST(SimdCrossTier, Matmul) {
+  if (!avx2_available()) GTEST_SKIP() << "no avx2 on this machine";
+  // Shapes chosen to hit the 32-col tile, the 8-col tile, the per-column
+  // scalar tail, and the k-block remainder.
+  const int shapes[][3] = {{7, 13, 17}, {4, 96, 256}, {17, 33, 23},
+                           {1, 300, 40}, {5, 263, 40}, {3, 8, 8}};
+  for (const auto& s : shapes) {
+    struct Ctx {
+      static Matrix run(std::uint32_t seed) {
+        const int n = static_cast<int>(seed >> 20) & 0xff;
+        const int k = static_cast<int>(seed >> 10) & 0x3ff;
+        const int m = static_cast<int>(seed) & 0x3ff;
+        Matrix a(n, k), b(k, m);
+        fill(a, seed * 2 + 1);
+        fill(b, seed * 2 + 2);
+        return matmul(a, b);
+      }
+    };
+    const std::uint32_t seed = (static_cast<std::uint32_t>(s[0]) << 20) |
+                               (static_cast<std::uint32_t>(s[1]) << 10) |
+                               static_cast<std::uint32_t>(s[2]);
+    expect_invariant("matmul", &Ctx::run, seed);
+  }
+}
+
+TEST(SimdCrossTier, AffineAndLstmGates) {
+  if (!avx2_available()) GTEST_SKIP() << "no avx2 on this machine";
+  struct Ctx {
+    static Matrix run_affine(std::uint32_t seed) {
+      Matrix x(9, 37), w(37, 41), b(1, 41);
+      fill(x, seed + 1);
+      fill(w, seed + 2);
+      fill(b, seed + 3);
+      return affine(x, w, b);
+    }
+    static Matrix run_lstm(std::uint32_t seed) {
+      const int batch = 6, xc = 13, hc = 10;
+      Matrix x(batch, xc), wx(xc, 4 * hc), h(batch, hc), wh(hc, 4 * hc),
+          b(1, 4 * hc);
+      fill(x, seed + 1);
+      fill(wx, seed + 2);
+      fill(h, seed + 3);
+      fill(wh, seed + 4);
+      fill(b, seed + 5);
+      return lstm_gates(x, wx, h, wh, b);
+    }
+  };
+  expect_invariant("affine", &Ctx::run_affine, 11);
+  expect_invariant("lstm_gates", &Ctx::run_lstm, 22);
+}
+
+TEST(SimdCrossTier, ElementwiseAllFns) {
+  if (!avx2_available()) GTEST_SKIP() << "no avx2 on this machine";
+  // Unary fns through map_ew; lengths straddle the 8-lane boundary.
+  const simd::EwFn unary[] = {
+      simd::EwFn::kNeg,     simd::EwFn::kRelu, simd::EwFn::kAbs,
+      simd::EwFn::kTanh,    simd::EwFn::kSigmoid, simd::EwFn::kExp,
+      simd::EwFn::kLog,     simd::EwFn::kSqrt, simd::EwFn::kSquare,
+      simd::EwFn::kRecip};
+  for (simd::EwFn fn : unary) {
+    struct Ctx {
+      static Matrix run(std::uint32_t seed) {
+        const simd::EwFn f = static_cast<simd::EwFn>(seed >> 16);
+        Matrix a(3, (seed & 0xff) | 1);
+        fill(a, seed);
+        return map_ew(f, a);
+      }
+    };
+    for (int cols : {1, 7, 8, 9, 31, 64, 100}) {
+      expect_invariant("map_ew",
+                       &Ctx::run,
+                       (static_cast<std::uint32_t>(fn) << 16) |
+                           static_cast<std::uint32_t>(cols));
+    }
+  }
+  // Binary fns through the Matrix entry points.
+  struct Bin {
+    static Matrix run_add(std::uint32_t s) { return bin(s, 0); }
+    static Matrix run_sub(std::uint32_t s) { return bin(s, 1); }
+    static Matrix run_mul(std::uint32_t s) { return bin(s, 2); }
+    static Matrix run_div(std::uint32_t s) { return bin(s, 3); }
+    static Matrix bin(std::uint32_t seed, int which) {
+      Matrix a(5, 53), b(5, 53);
+      fill(a, seed + 1);
+      fill(b, seed + 2);
+      switch (which) {
+        case 0: return add(a, b);
+        case 1: return sub(a, b);
+        case 2: return mul(a, b);
+        default: return div(a, b);
+      }
+    }
+  };
+  expect_invariant("add", &Bin::run_add, 31);
+  expect_invariant("sub", &Bin::run_sub, 32);
+  expect_invariant("mul", &Bin::run_mul, 33);
+  expect_invariant("div", &Bin::run_div, 34);
+}
+
+TEST(SimdCrossTier, BroadcastsAndReductions) {
+  if (!avx2_available()) GTEST_SKIP() << "no avx2 on this machine";
+  struct Ctx {
+    static Matrix run_add_rowvec(std::uint32_t s) {
+      Matrix x(7, 61), b(1, 61);
+      fill(x, s + 1);
+      fill(b, s + 2);
+      return add_rowvec(x, b);
+    }
+    static Matrix run_mul_colvec(std::uint32_t s) {
+      Matrix x(7, 61), v(7, 1);
+      fill(x, s + 1);
+      fill(v, s + 2);
+      return mul_colvec(x, v);
+    }
+    static Matrix run_mul_rowvec(std::uint32_t s) {
+      Matrix x(7, 61), m(1, 61);
+      fill(x, s + 1);
+      fill(m, s + 2);
+      return mul_rowvec(x, m);
+    }
+    static Matrix run_scalars(std::uint32_t s) {
+      Matrix x(4, 77);
+      fill(x, s);
+      return mul_scalar(add_scalar(x, 0.37f), -1.25f);
+    }
+    static Matrix run_row_sum(std::uint32_t s) {
+      Matrix x(9, static_cast<int>(s & 0xff) | 1);
+      fill(x, s);
+      return row_sum(x);
+    }
+    static Matrix run_col_sum(std::uint32_t s) {
+      Matrix x(33, 29);
+      fill(x, s);
+      return col_sum(x);
+    }
+  };
+  expect_invariant("add_rowvec", &Ctx::run_add_rowvec, 41);
+  expect_invariant("mul_colvec", &Ctx::run_mul_colvec, 42);
+  expect_invariant("mul_rowvec", &Ctx::run_mul_rowvec, 43);
+  expect_invariant("add/mul_scalar", &Ctx::run_scalars, 44);
+  for (int cols : {1, 5, 8, 9, 31, 64, 100}) {
+    expect_invariant("row_sum", &Ctx::run_row_sum,
+                     0x1000u | static_cast<std::uint32_t>(cols));
+  }
+  expect_invariant("col_sum", &Ctx::run_col_sum, 45);
+}
+
+TEST(SimdCrossTier, SoftmaxRowsViaAutograd) {
+  if (!avx2_available()) GTEST_SKIP() << "no avx2 on this machine";
+  // softmax_rows composes neg_row_max + exp + row_sum + recip broadcast:
+  // the whole chain must stay bit-identical across tiers.
+  struct Ctx {
+    static Matrix run(std::uint32_t s) {
+      Matrix x(11, static_cast<int>(s & 0xff) | 1);
+      fill(x, s);
+      return softmax_rows(Var(x, /*requires_grad=*/false)).value();
+    }
+  };
+  for (int cols : {1, 3, 8, 13, 40, 100}) {
+    expect_invariant("softmax_rows", &Ctx::run,
+                     0x2000u | static_cast<std::uint32_t>(cols));
+  }
+}
+
+TEST(SimdCrossTier, EdgeValuesThroughElementwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no avx2 on this machine";
+  // NaN / infinities / signed zero / saturation arguments must take the
+  // same path in both tiers (blend patch-ups in the vector code).
+  TierGuard guard;
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Matrix edge = Matrix::row({nan, inf, -inf, 0.0f, -0.0f, 89.0f, -89.0f,
+                             87.9f, -87.0f, 1e-30f, -1e-30f, 3.0f, -3.0f,
+                             0.624f, 0.626f, -0.625f, 700.0f});
+  for (simd::EwFn fn :
+       {simd::EwFn::kTanh, simd::EwFn::kSigmoid, simd::EwFn::kExp,
+        simd::EwFn::kRelu, simd::EwFn::kNeg, simd::EwFn::kAbs,
+        simd::EwFn::kSqrt, simd::EwFn::kRecip, simd::EwFn::kSquare}) {
+    ASSERT_TRUE(simd::set_simd_tier(simd::Tier::kScalar));
+    const Matrix want = map_ew(fn, edge);
+    ASSERT_TRUE(simd::set_simd_tier(simd::Tier::kAvx2));
+    EXPECT_TRUE(bit_identical(want, map_ew(fn, edge)))
+        << "fn=" << static_cast<int>(fn);
+  }
+}
+
+}  // namespace
+}  // namespace dg::nn

@@ -9,11 +9,20 @@ Usage:
         [--rename OLD=NEW ...]  rename benchmarks (both files) before diffing
         [--best]                with --benchmark_repetitions, compare the
                                 per-name minimum instead of the last run
+        [--allow-missing]       tolerate baseline benchmarks absent from the
+                                current run (otherwise that fails the gate)
+        [--flops]               also print a GFLOP/s table for benchmarks
+                                carrying a "flops" counter (obs attribution)
 
 Exit status: 0 when no compared benchmark regressed by more than the
-threshold, 1 otherwise (and 2 on malformed input). Benchmarks present in
-only one file are reported but never fail the gate, so adding or retiring
-benchmarks does not require touching the baseline in the same commit.
+threshold, 1 otherwise (and 2 on malformed input). Benchmarks only in the
+current run are reported but never fail the gate, so adding a benchmark
+does not require touching the baseline in the same commit. Benchmarks in
+the baseline but missing from the current run FAIL the gate unless
+--allow-missing: a silently-vanished benchmark (renamed, filtered out, or
+crashed before registering) would otherwise turn the perf gate into a
+no-op without anyone noticing. Retiring a benchmark for real means
+updating the baseline in the same commit — which is the honest record.
 
 This is CI's perf gate: the bench-smoke job regenerates CURRENT on every
 push and compares it against the committed bench/baseline_ci.json. Times
@@ -66,6 +75,36 @@ def load_benchmarks(path, metric, renames=None, best=False):
     return out
 
 
+def load_flops(path, renames=None, best=False):
+    """Returns {name: (flops, cpu_time_ns)} for runs carrying a "flops"
+    counter (the obs profiler's exact per-call attribution — see
+    bench/perf_microbench.cpp). One benchmark iteration is one kernel call,
+    so flops / cpu_time_ns is the kernel's GFLOP/s."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or "flops" not in bench or "cpu_time" not in bench:
+            continue
+        if best and "repetition_index" in bench:
+            name = re.sub(r"/repeats:\d+$", "", name)
+        name = (renames or {}).get(name, name)
+        unit = _NS_PER.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"bench_compare: {path}: unknown time_unit in {name}")
+        cpu_ns = float(bench["cpu_time"]) * unit
+        if best and name in out and out[name][1] <= cpu_ns:
+            continue
+        out[name] = (float(bench["flops"]), cpu_ns)
+    return out
+
+
 def fmt_ns(ns):
     for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= scale:
@@ -89,6 +128,12 @@ def main():
     ap.add_argument("--best", action="store_true",
                     help="compare each name's fastest repetition instead of "
                          "the last (use with --benchmark_repetitions)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="do not fail when a baseline benchmark is absent "
+                         "from the current run")
+    ap.add_argument("--flops", action="store_true",
+                    help="also print GFLOP/s for benchmarks carrying a "
+                         "'flops' counter (obs kernel attribution)")
     args = ap.parse_args()
 
     renames = {}
@@ -124,8 +169,35 @@ def main():
     for name in added:
         print(f"{name:<{width}}  {'—':>12}  {fmt_ns(cur[name])}  (new, not gated)")
     for name in removed:
-        print(f"{name:<{width}}  {fmt_ns(base[name])}  {'—':>12}  (removed from current)")
+        print(f"{name:<{width}}  {fmt_ns(base[name])}  {'—':>12}  (MISSING from current)")
 
+    if args.flops:
+        base_fl = load_flops(args.baseline, renames, args.best)
+        cur_fl = load_flops(args.current, renames, args.best)
+        if args.filter:
+            pat = re.compile(args.filter)
+            base_fl = {k: v for k, v in base_fl.items() if pat.search(k)}
+            cur_fl = {k: v for k, v in cur_fl.items() if pat.search(k)}
+        names = sorted(set(base_fl) | set(cur_fl))
+        if names:
+            def gflops(entry):
+                if entry is None or entry[1] <= 0:
+                    return f"{'—':>10}"
+                return f"{entry[0] / entry[1]:7.2f} GF/s"
+            fwidth = max(width, max(len(n) for n in names))
+            print(f"\n{'kernel throughput':<{fwidth}}  {'baseline':>12}  "
+                  f"{'current':>12}")
+            for name in names:
+                print(f"{name:<{fwidth}}  {gflops(base_fl.get(name))}  "
+                      f"{gflops(cur_fl.get(name))}")
+
+    if removed and not args.allow_missing:
+        print(f"\nbench_compare: FAIL — {len(removed)} baseline benchmark(s) "
+              f"missing from current run (pass --allow-missing to tolerate):",
+              file=sys.stderr)
+        for name in removed:
+            print(f"  {name}", file=sys.stderr)
+        return 1
     if regressions:
         print(f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) regressed "
               f"beyond {args.threshold:.0%} on {args.metric}:", file=sys.stderr)

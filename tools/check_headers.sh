@@ -46,6 +46,34 @@ for h in "${headers[@]}"; do
     status=1
   fi
 done
+# The avx2 kernel header's whole body hides behind #if defined(__AVX2__), so
+# the portable pass above only proves its empty stub compiles. On x86 hosts,
+# compile the SIMD tier headers a second time with the vector ISA enabled so
+# the intrinsics body is actually syntax-checked (-mfma as well: the header
+# must still compile — and keep choosing mul+add — under a compiler that is
+# allowed to fuse).
+if [ "$(uname -m)" = "x86_64" ]; then
+  simd_checked=0
+  for h in "${headers[@]}"; do
+    case "$h" in
+      src/nn/simd/*.h)
+        simd_checked=$((simd_checked + 1))
+        tu="$tmp/tu_simd.cpp"
+        printf '#include "%s"\n' "${h#src/}" > "$tu"
+        if ! "$cxx" $std -Isrc -fsyntax-only -Wall -Wextra -mavx2 -mfma \
+             "$tu" 2> "$tmp/err"; then
+          echo "FAIL: $h does not compile under -mavx2 -mfma" >&2
+          cat "$tmp/err" >&2
+          status=1
+        fi
+        ;;
+    esac
+  done
+  if [ "$simd_checked" -gt 0 ]; then
+    echo "check_headers.sh: $simd_checked SIMD headers re-checked under -mavx2 -mfma"
+  fi
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "check_headers.sh: all headers self-sufficient"
 fi

@@ -75,6 +75,7 @@
 #include "nn/check.h"
 #include "nn/gradcheck.h"
 #include "nn/parallel.h"
+#include "nn/simd/vec.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/runlog.h"
@@ -563,6 +564,9 @@ int cmd_check(const Args& a) {
               nn::parallel_enabled() ? "enabled" : "compiled out (DG_PARALLEL=OFF)",
               nn::num_threads(), nn::num_threads() == 1 ? "" : "s",
               nn::num_threads_source());
+  std::printf("  simd tier: %s (%s)\n",
+              nn::simd::tier_name(nn::simd::active_tier()),
+              nn::simd::simd_tier_source());
 
   bool ok = true;
   std::printf("== finite-difference gradcheck ==\n");
