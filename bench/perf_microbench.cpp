@@ -4,9 +4,14 @@
 // sample generation.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/doppelganger.h"
+#include "core/package.h"
 #include "core/wgan.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
@@ -14,7 +19,11 @@
 #include "nn/rng.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "serve/protocol.h"
 #include "serve/sampler.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/shard/router.h"
 #include "synth/synth.h"
 
 namespace {
@@ -354,6 +363,163 @@ void BM_ServeSlotSamplerTape(benchmark::State& state) {
 BENCHMARK(BM_ServeSlotSamplerTape)
     ->Arg(8)
     ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- shard router throughput: the front-tier scaling story. All three
+// benches serve the same mixed-length workload (serve_bench_cap) over real
+// loopback TCP with 4 concurrent clients. The baseline is ONE worker
+// (engines=1, slots=8) serving alone; BM_RouterThroughputMixed fronts FOUR
+// identical workers with the seed-hash router. CI gates the router at >= the
+// baseline's items/sec (threshold 0.0) — in practice the margin is ~Nx, the
+// point being that the tier scales horizontally instead of taxing the path.
+// BM_RouterThroughputCached replays a fixed seed set against package-backed
+// workers, so after the first pass every reply comes from the router's
+// seed-addressed cache (provably the worker's own answer; see
+// serve/shard/cache.h) — the memory-speed ceiling of the tier.
+
+constexpr int kRouterClients = 4;
+constexpr int kRouterRequestsPerClient = 16;
+
+serve::ServiceConfig router_bench_service_cfg() {
+  serve::ServiceConfig cfg;
+  cfg.slots = 8;
+  cfg.engines = 1;
+  cfg.queue_capacity = 256;
+  cfg.reload_poll_seconds = 0.0;
+  return cfg;
+}
+
+std::string router_bench_line(int client, int i) {
+  serve::GenRequest req;
+  req.id = static_cast<std::uint64_t>(client) * 1000 +
+           static_cast<std::uint64_t>(i);
+  req.seed = req.id + 1;
+  // Eight series per request keeps the workload generation-bound: the
+  // router bench is a scaling story about worker compute, not loopback RPC
+  // cost. (On a single-core machine the fleet can only tie the baseline
+  // minus the router hop; the CI gate runs where the workers' engine
+  // threads actually get cores.)
+  req.count = 8;
+  req.max_len = serve_bench_cap(i);
+  return serve::json::dump(serve::request_to_json(req));
+}
+
+/// Drives kRouterClients threads of kRouterRequestsPerClient requests each
+/// against `call` (one timed iteration's worth of load).
+template <typename Call>
+void drive_router_clients(const Call& call) {
+  std::vector<std::thread> clients;
+  clients.reserve(kRouterClients);
+  for (int c = 0; c < kRouterClients; ++c) {
+    clients.emplace_back([&call, c] {
+      for (int i = 0; i < kRouterRequestsPerClient; ++i) {
+        benchmark::DoNotOptimize(call(c, router_bench_line(c, i)));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+}
+
+void BM_RouterSingleServiceBaseline(benchmark::State& state) {
+  nn::set_num_threads(1);
+  serve::GenerationService service(serve_bench_model(),
+                                   router_bench_service_cfg());
+  service.start();
+  serve::TcpServer server(service, 0);
+  server.start();
+  for (auto _ : state) {
+    drive_router_clients([&](int, const std::string& line) {
+      // One fresh connection per client per iteration, like the router's
+      // pooled connections: dial cost amortizes over the request burst.
+      thread_local std::unique_ptr<serve::TcpClient> conn;
+      if (!conn) {
+        conn = std::make_unique<serve::TcpClient>("127.0.0.1", server.port());
+      }
+      return conn->call(line);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRouterClients *
+                          kRouterRequestsPerClient);
+  server.stop();
+  service.stop();
+}
+// UseRealTime on all three: the work happens in client threads and worker
+// engines, so main-thread CPU time says nothing about throughput.
+BENCHMARK(BM_RouterSingleServiceBaseline)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RouterThroughputMixed(benchmark::State& state) {
+  nn::set_num_threads(1);
+  std::vector<std::unique_ptr<serve::GenerationService>> services;
+  std::vector<std::unique_ptr<serve::TcpServer>> servers;
+  std::vector<serve::shard::WorkerEndpoint> eps;
+  for (int w = 0; w < 4; ++w) {
+    services.push_back(std::make_unique<serve::GenerationService>(
+        serve_bench_model(), router_bench_service_cfg()));
+    services.back()->start();
+    servers.push_back(
+        std::make_unique<serve::TcpServer>(*services.back(), 0));
+    servers.back()->start();
+    eps.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  serve::shard::WorkerPool pool(eps);
+  serve::shard::Router router(pool, serve::shard::RouterConfig{});
+  router.health().sweep_now();  // promote workers; no monitor thread needed
+  for (auto _ : state) {
+    drive_router_clients([&](int, const std::string& line) {
+      return router.handle_line(line);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRouterClients *
+                          kRouterRequestsPerClient);
+  for (auto& s : servers) s->stop();
+  for (auto& s : services) s->stop();
+}
+BENCHMARK(BM_RouterThroughputMixed)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RouterThroughputCached(benchmark::State& state) {
+  nn::set_num_threads(1);
+  // Package-backed workers: the shared content hash is what makes replies
+  // cacheable (injected models have no package identity).
+  const std::string pkg =
+      (std::filesystem::temp_directory_path() / "dg_router_bench.dgpkg")
+          .string();
+  core::save_package_file(pkg, *serve_bench_model());
+  serve::ServiceConfig cfg = router_bench_service_cfg();
+  cfg.package_path = pkg;
+  std::vector<std::unique_ptr<serve::GenerationService>> services;
+  std::vector<std::unique_ptr<serve::TcpServer>> servers;
+  std::vector<serve::shard::WorkerEndpoint> eps;
+  for (int w = 0; w < 2; ++w) {
+    services.push_back(std::make_unique<serve::GenerationService>(cfg));
+    services.back()->start();
+    servers.push_back(
+        std::make_unique<serve::TcpServer>(*services.back(), 0));
+    servers.back()->start();
+    eps.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  serve::shard::WorkerPool pool(eps);
+  serve::shard::Router router(pool, serve::shard::RouterConfig{});
+  router.health().sweep_now();
+  // Warm pass: every (seed, caps) pair gets generated once and inserted.
+  drive_router_clients(
+      [&](int, const std::string& line) { return router.handle_line(line); });
+  for (auto _ : state) {
+    drive_router_clients([&](int, const std::string& line) {
+      return router.handle_line(line);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRouterClients *
+                          kRouterRequestsPerClient);
+  for (auto& s : servers) s->stop();
+  for (auto& s : services) s->stop();
+  std::filesystem::remove(pkg);
+}
+BENCHMARK(BM_RouterThroughputCached)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_SynthWwt(benchmark::State& state) {

@@ -230,4 +230,95 @@ std::string to_json(const RegistrySnapshot& snap) {
   return out;
 }
 
+namespace {
+
+// Nearest-rank quantile over a merged bucket CDF: the upper bound of the
+// first bucket whose cumulative count reaches ceil(q * total). The overflow
+// bucket (past the last bound) reports the lifetime max instead — there is
+// no finite upper bound to name.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t total, double max_seen, double q) {
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank && rank > 0) {
+      // Clamp to the lifetime max: a sparsely-filled bucket's upper bound
+      // can exceed every sample actually seen.
+      return i < bounds.size() ? std::min(bounds[i], max_seen) : max_seen;
+    }
+  }
+  return max_seen;
+}
+
+}  // namespace
+
+RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistAcc {
+    HistogramSnapshot h;
+    bool bounds_ok = true;   // all parts so far shared one bounds vector
+    bool started = false;
+    double fallback_p50 = 0.0, fallback_p90 = 0.0, fallback_p99 = 0.0;
+  };
+  std::map<std::string, HistAcc> hists;
+
+  for (const RegistrySnapshot& p : parts) {
+    for (const auto& [name, v] : p.counters) counters[name] += v;
+    for (const auto& [name, v] : p.gauges) gauges[name] += v;
+    for (const auto& [name, h] : p.histograms) {
+      HistAcc& acc = hists[name];
+      if (!acc.started) {
+        acc.h.bounds = h.bounds;
+        acc.h.buckets.assign(h.bounds.size() + 1, 0);
+        acc.h.min = h.min;
+        acc.h.max = h.max;
+        acc.started = true;
+      }
+      if (h.count > 0) {
+        if (acc.h.count == 0 || h.min < acc.h.min) acc.h.min = h.min;
+        if (acc.h.count == 0 || h.max > acc.h.max) acc.h.max = h.max;
+      }
+      acc.h.count += h.count;
+      acc.h.sum += h.sum;
+      acc.h.window_filled += h.window_filled;
+      if (h.bounds == acc.h.bounds && h.buckets.size() == acc.h.buckets.size()) {
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+          acc.h.buckets[i] += h.buckets[i];
+        }
+      } else {
+        acc.bounds_ok = false;
+      }
+      acc.fallback_p50 = std::max(acc.fallback_p50, h.p50);
+      acc.fallback_p90 = std::max(acc.fallback_p90, h.p90);
+      acc.fallback_p99 = std::max(acc.fallback_p99, h.p99);
+    }
+  }
+
+  RegistrySnapshot out;
+  out.counters.assign(counters.begin(), counters.end());
+  out.gauges.assign(gauges.begin(), gauges.end());
+  out.histograms.reserve(hists.size());
+  for (auto& [name, acc] : hists) {
+    if (acc.bounds_ok) {
+      acc.h.p50 = bucket_quantile(acc.h.bounds, acc.h.buckets, acc.h.count,
+                                  acc.h.max, 0.50);
+      acc.h.p90 = bucket_quantile(acc.h.bounds, acc.h.buckets, acc.h.count,
+                                  acc.h.max, 0.90);
+      acc.h.p99 = bucket_quantile(acc.h.bounds, acc.h.buckets, acc.h.count,
+                                  acc.h.max, 0.99);
+    } else {
+      acc.h.p50 = acc.fallback_p50;
+      acc.h.p90 = acc.fallback_p90;
+      acc.h.p99 = acc.fallback_p99;
+    }
+    out.histograms.emplace_back(name, std::move(acc.h));
+  }
+  return out;
+}
+
 }  // namespace dg::obs

@@ -129,6 +129,17 @@ struct RegistrySnapshot {
 /// `dgcli check`, and training-run directories.
 std::string to_json(const RegistrySnapshot& snap);
 
+/// Fleet aggregation: folds per-worker snapshots into one (the shard
+/// router's `stats`/`metrics` view). Counters and gauges sum by name.
+/// Histograms merge exactly for count/sum/min/max and bucket-wise when the
+/// parts share bounds; quantiles are then recomputed from the merged bucket
+/// CDF (nearest-rank over bucket upper bounds — accurate to bucket
+/// resolution, since raw sample windows do not travel between processes).
+/// Parts whose bounds disagree contribute count/sum/extrema only, and the
+/// merged quantiles fall back to the max of the parts' quantiles (a
+/// conservative upper bound).
+RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts);
+
 /// Named metrics, created on first use. Metric references stay valid for
 /// the registry's lifetime. The process-wide instance (`global()`) carries
 /// cross-cutting series (anomaly counters, training gauges); subsystems

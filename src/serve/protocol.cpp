@@ -173,6 +173,8 @@ json::Value response_to_json(const GenResponse& resp, const data::Schema& schema
   v.set("ok", resp.ok);
   v.set("complete", resp.complete);
   if (!resp.error.empty()) v.set("error", resp.error);
+  if (!resp.code.empty()) v.set("code", resp.code);
+  if (!resp.package_hash.empty()) v.set("package_hash", resp.package_hash);
   v.set("rejected", static_cast<double>(resp.series_rejected));
   v.set("latency_ms", resp.latency_ms);
   json::Array objects;
@@ -190,6 +192,8 @@ GenResponse response_from_json(const json::Value& v, const data::Schema& schema)
   resp.ok = v.bool_or("ok", false);
   resp.complete = v.bool_or("complete", false);
   resp.error = v.string_or("error", "");
+  resp.code = v.string_or("code", "");
+  resp.package_hash = v.string_or("package_hash", "");
   resp.series_rejected = static_cast<long long>(v.number_or("rejected", 0));
   resp.latency_ms = v.number_or("latency_ms", 0.0);
   if (const json::Value* objects = v.find("objects")) {
@@ -215,7 +219,74 @@ json::Value stats_to_json(const StatsSnapshot& s) {
   v.set("occupancy", s.occupancy);
   v.set("p50_latency_ms", s.p50_latency_ms);
   v.set("p99_latency_ms", s.p99_latency_ms);
+  if (!s.package_hash.empty()) v.set("package_hash", s.package_hash);
   return v;
+}
+
+StatsSnapshot stats_from_json(const json::Value& v) {
+  StatsSnapshot s;
+  s.requests = static_cast<std::uint64_t>(v.number_or("requests", 0));
+  s.responses = static_cast<std::uint64_t>(v.number_or("responses", 0));
+  s.series_completed =
+      static_cast<std::uint64_t>(v.number_or("series_completed", 0));
+  s.series_rejected =
+      static_cast<std::uint64_t>(v.number_or("series_rejected", 0));
+  s.rnn_steps = static_cast<std::uint64_t>(v.number_or("rnn_steps", 0));
+  s.slot_steps_active =
+      static_cast<std::uint64_t>(v.number_or("slot_steps_active", 0));
+  s.slot_steps_total =
+      static_cast<std::uint64_t>(v.number_or("slot_steps_total", 0));
+  s.queue_depth = static_cast<std::uint64_t>(v.number_or("queue_depth", 0));
+  s.package_reloads =
+      static_cast<std::uint64_t>(v.number_or("package_reloads", 0));
+  s.reload_rejected =
+      static_cast<std::uint64_t>(v.number_or("reload_rejected", 0));
+  s.occupancy = v.number_or("occupancy", 0.0);
+  s.p50_latency_ms = v.number_or("p50_latency_ms", 0.0);
+  s.p99_latency_ms = v.number_or("p99_latency_ms", 0.0);
+  s.package_hash = v.string_or("package_hash", "");
+  return s;
+}
+
+obs::RegistrySnapshot registry_snapshot_from_json(const json::Value& v) {
+  obs::RegistrySnapshot snap;
+  if (const json::Value* counters = v.find("counters")) {
+    for (const auto& [name, val] : counters->as_object()) {
+      snap.counters.emplace_back(
+          name, static_cast<std::uint64_t>(val.as_number()));
+    }
+  }
+  if (const json::Value* gauges = v.find("gauges")) {
+    for (const auto& [name, val] : gauges->as_object()) {
+      snap.gauges.emplace_back(name, val.as_number());
+    }
+  }
+  if (const json::Value* hists = v.find("histograms")) {
+    for (const auto& [name, val] : hists->as_object()) {
+      obs::HistogramSnapshot h;
+      h.count = static_cast<std::uint64_t>(val.number_or("count", 0));
+      h.sum = val.number_or("sum", 0.0);
+      h.min = val.number_or("min", 0.0);
+      h.max = val.number_or("max", 0.0);
+      h.p50 = val.number_or("p50", 0.0);
+      h.p90 = val.number_or("p90", 0.0);
+      h.p99 = val.number_or("p99", 0.0);
+      h.window_filled =
+          static_cast<std::size_t>(val.number_or("window", 0));
+      if (const json::Value* bounds = val.find("bounds")) {
+        for (const json::Value& b : bounds->as_array()) {
+          h.bounds.push_back(b.as_number());
+        }
+      }
+      if (const json::Value* buckets = val.find("buckets")) {
+        for (const json::Value& b : buckets->as_array()) {
+          h.buckets.push_back(static_cast<std::uint64_t>(b.as_number()));
+        }
+      }
+      snap.histograms.emplace_back(name, std::move(h));
+    }
+  }
+  return snap;
 }
 
 }  // namespace dg::serve

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "data/types.h"
+#include "obs/metrics.h"
 #include "serve/json.h"
 #include "serve/types.h"
 
@@ -33,5 +34,11 @@ json::Value object_to_json(const data::Object& o, const data::Schema& schema);
 data::Object object_from_json(const json::Value& v, const data::Schema& schema);
 
 json::Value stats_to_json(const StatsSnapshot& s);
+StatsSnapshot stats_from_json(const json::Value& v);
+
+/// Inverse of obs::to_json(RegistrySnapshot) for the subset the wire carries
+/// (counters, gauges, histograms with bounds/buckets). The router uses it to
+/// re-ingest per-worker "metrics" replies for fleet-wide aggregation.
+obs::RegistrySnapshot registry_snapshot_from_json(const json::Value& v);
 
 }  // namespace dg::serve

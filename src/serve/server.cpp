@@ -6,6 +6,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -29,6 +30,7 @@ namespace {
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
+  LineReader(int fd, std::string carry) : fd_(fd), buf_(std::move(carry)) {}
 
   template <typename KeepGoing>
   bool next(std::string& line, KeepGoing should_continue) {
@@ -59,6 +61,8 @@ class LineReader {
     return next(line, [] { return true; });
   }
 
+  std::string take_buffer() { return std::exchange(buf_, {}); }
+
  private:
   int fd_;
   std::string buf_;
@@ -87,16 +91,74 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
-json::Value error_value(const std::string& what) {
+json::Value error_value(const std::string& what, const char* code) {
   json::Value v{json::Object{}};
   v.set("ok", false);
   v.set("error", what);
+  v.set("code", code);
   return v;
+}
+
+int connect_to(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("serve: bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("serve: connect: ") +
+                             std::strerror(err));
+  }
+  return fd;
 }
 
 }  // namespace
 
-TcpServer::TcpServer(GenerationService& service, int port) : service_(service) {
+LineHandler service_handler(GenerationService& service) {
+  return [&service](const std::string& line) -> std::string {
+    try {
+      const json::Value req = json::parse(line);
+      const std::string op = req.string_or("op", "generate");
+      if (op == "stats") {
+        return json::dump(stats_to_json(service.stats()));
+      }
+      if (op == "metrics") {
+        // Registry snapshots are already JSON objects; splice them in as-is.
+        // "service" is this GenerationService's private registry, "process"
+        // the global one (anomaly counters, co-resident training gauges).
+        return "{\"ok\":true,\"service\":" + service.metrics_json() +
+               ",\"process\":" +
+               obs::to_json(obs::Registry::global().snapshot()) + "}";
+      }
+      if (op == "schema") {
+        std::ostringstream os;
+        data::save_schema(os, service.schema());
+        json::Value v{json::Object{}};
+        v.set("ok", true);
+        v.set("schema", os.str());
+        return json::dump(v);
+      }
+      if (op == "generate") {
+        GenResponse resp = service.submit(request_from_json(req)).get();
+        return json::dump(response_to_json(resp, service.schema()));
+      }
+      return json::dump(
+          error_value("unknown op '" + op + "'", error_code::kBadRequest));
+    } catch (const std::exception& e) {
+      return json::dump(error_value(e.what(), error_code::kBadRequest));
+    }
+  };
+}
+
+TcpServer::TcpServer(LineHandler handler, int port)
+    : handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("serve: null line handler");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) sys_fail("socket");
   const int one = 1;
@@ -108,13 +170,16 @@ TcpServer::TcpServer(GenerationService& service, int port) : service_(service) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     sys_fail("bind");
   }
-  if (::listen(listen_fd_, 16) < 0) sys_fail("listen");
+  if (::listen(listen_fd_, 64) < 0) sys_fail("listen");
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
     sys_fail("getsockname");
   }
   port_ = static_cast<int>(ntohs(addr.sin_port));
 }
+
+TcpServer::TcpServer(GenerationService& service, int port)
+    : TcpServer(service_handler(service), port) {}
 
 TcpServer::~TcpServer() {
   stop();
@@ -136,10 +201,24 @@ void TcpServer::stop() {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conns_);
+    finished_.clear();
   }
   for (std::thread& t : conns) {
     if (t.joinable()) t.join();
   }
+}
+
+void TcpServer::reap_finished() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const std::thread::id id : finished_) {
+    const auto it =
+        std::find_if(conns_.begin(), conns_.end(),
+                     [id](const std::thread& t) { return t.get_id() == id; });
+    if (it == conns_.end()) continue;  // already swapped out by stop()
+    it->join();
+    conns_.erase(it);
+  }
+  finished_.clear();
 }
 
 void TcpServer::accept_loop() {
@@ -147,8 +226,13 @@ void TcpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load(std::memory_order_acquire)) return;
-      continue;  // EINTR / transient accept failure
+      // A dead listening socket can never accept again — spinning on it
+      // would burn a core until stop(). EINTR and transient per-connection
+      // errors (ECONNABORTED) are the only retryable cases.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
     }
+    reap_finished();
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.emplace_back([this, fd] { connection_loop(fd); });
   }
@@ -163,62 +247,43 @@ void TcpServer::connection_loop(int fd) {
   std::string line;
   while (alive() && reader.next(line, alive)) {
     if (line.empty()) continue;
-    const std::string reply = handle_line(line);
+    const std::string reply = handler_(line);
     if (!send_all(fd, reply + "\n")) break;
   }
   ::close(fd);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  finished_.push_back(std::this_thread::get_id());
 }
 
-std::string TcpServer::handle_line(const std::string& line) {
-  try {
-    const json::Value req = json::parse(line);
-    const std::string op = req.string_or("op", "generate");
-    if (op == "stats") {
-      return json::dump(stats_to_json(service_.stats()));
-    }
-    if (op == "metrics") {
-      // Registry snapshots are already JSON objects; splice them in as-is.
-      // "service" is this GenerationService's private registry, "process"
-      // the global one (anomaly counters, co-resident training gauges).
-      return "{\"ok\":true,\"service\":" + service_.metrics_json() +
-             ",\"process\":" +
-             obs::to_json(obs::Registry::global().snapshot()) + "}";
-    }
-    if (op == "schema") {
-      std::ostringstream os;
-      data::save_schema(os, service_.schema());
-      json::Value v{json::Object{}};
-      v.set("ok", true);
-      v.set("schema", os.str());
-      return json::dump(v);
-    }
-    if (op == "generate") {
-      GenResponse resp = service_.submit(request_from_json(req)).get();
-      return json::dump(response_to_json(resp, service_.schema()));
-    }
-    return json::dump(error_value("unknown op '" + op + "'"));
-  } catch (const std::exception& e) {
-    return json::dump(error_value(e.what()));
+TcpClient::TcpClient(const std::string& host, int port)
+    : fd_(connect_to(host, port)) {}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpClient::set_recv_timeout_ms(int ms) { set_recv_timeout(fd_, ms); }
+
+std::string TcpClient::call(const std::string& line) {
+  if (!send_all(fd_, line + "\n")) {
+    throw std::runtime_error("serve: client send failed");
   }
+  // Re-seed the reader with bytes buffered past the previous reply (a
+  // pipelined peer may have sent ahead); carry the remainder back out for
+  // the next call.
+  LineReader reader(fd_, std::move(buf_));
+  std::string reply;
+  const bool got = reader.next(reply, [] { return false; });
+  buf_ = reader.take_buffer();
+  if (!got) {
+    throw std::runtime_error("serve: connection closed without reply");
+  }
+  return reply;
 }
 
 std::string send_line(const std::string& host, int port,
                       const std::string& line) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) sys_fail("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("serve: bad host address '" + host + "'");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error(std::string("serve: connect: ") +
-                             std::strerror(err));
-  }
+  const int fd = connect_to(host, port);
   if (!send_all(fd, line + "\n")) {
     ::close(fd);
     throw std::runtime_error("serve: send failed");

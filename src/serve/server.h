@@ -1,11 +1,18 @@
-// Newline-delimited-JSON TCP front end for GenerationService. One JSON
-// object per line in, one per line out, in request order per connection.
-// Deliberately small: a listener thread accepts connections and hands each
-// to a detached-on-join connection thread; the serve-smoke test and dgcli
-// are the only intended clients, not the open internet.
+// Newline-delimited-JSON TCP front end. One JSON object per line in, one
+// per line out, in request order per connection. Deliberately small: a
+// listener thread accepts connections and hands each to a connection
+// thread; the serve-smoke tests, the shard router, and dgcli are the only
+// intended clients, not the open internet.
+//
+// The server is generic over a LineHandler so the same listener serves two
+// tiers: a worker (handler = service_handler(GenerationService&)) and the
+// shard router (handler = Router::handler()). Binding port 0 picks an
+// ephemeral port, readable via port() — tests never hard-code ports and can
+// run in parallel.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -15,11 +22,21 @@
 
 namespace dg::serve {
 
+/// Maps one request line to one response line. Must be thread-safe: the
+/// server invokes it concurrently from every connection thread.
+using LineHandler = std::function<std::string(const std::string&)>;
+
+/// The single-service request handler (ops: generate, stats, metrics,
+/// schema) — the worker tier's brain, also usable without a server.
+LineHandler service_handler(GenerationService& service);
+
 class TcpServer {
  public:
   /// Binds + listens on 127.0.0.1:port immediately (throws on failure);
   /// port 0 picks an ephemeral port, readable via port(). Call start() to
   /// begin accepting.
+  TcpServer(LineHandler handler, int port);
+  /// Convenience: serve one GenerationService directly.
   TcpServer(GenerationService& service, int port);
   ~TcpServer();
 
@@ -33,19 +50,53 @@ class TcpServer {
  private:
   void accept_loop();
   void connection_loop(int fd);
-  std::string handle_line(const std::string& line);
+  void reap_finished();
 
-  GenerationService& service_;
+  LineHandler handler_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread acceptor_;
   std::mutex conns_mu_;
   std::vector<std::thread> conns_;
+  // Connection threads park their id here on exit; the accept loop joins
+  // and erases them before spawning the next one, so a long-lived server
+  // does not accumulate one dead std::thread per past connection.
+  std::vector<std::thread::id> finished_;
 };
 
-/// Client helper: connects, sends `line` (newline appended), returns the
-/// single response line (without the newline). Throws on connect/IO errors.
+/// Persistent client connection: send one line, read one reply, repeat.
+/// Used by the shard router's per-worker connection pool — a fresh TCP
+/// connect per request would dominate small-request latency. Not
+/// thread-safe; callers serialize access per instance. After any throw the
+/// connection is broken and the instance must be discarded.
+class TcpClient {
+ public:
+  /// Connects immediately; throws on failure.
+  TcpClient(const std::string& host, int port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Bound the wait for a reply (0 = wait forever, the default). With a
+  /// timeout set, a silent peer makes call() throw instead of blocking —
+  /// what the health monitor wants; the data path keeps no timeout and
+  /// relies on connection reset to detect a dead worker.
+  void set_recv_timeout_ms(int ms);
+
+  /// Sends `line` (newline appended), returns the reply line. Throws on
+  /// any IO error or timeout.
+  std::string call(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes past the last returned line
+};
+
+/// One-shot client helper: connects, sends `line` (newline appended),
+/// returns the single response line (without the newline). Throws on
+/// connect/IO errors.
 std::string send_line(const std::string& host, int port,
                       const std::string& line);
 

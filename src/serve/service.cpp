@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <system_error>
 #include <unordered_map>
@@ -15,6 +18,33 @@ namespace dg::serve {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Reads the whole file; false on any IO failure (vanished mid-replace).
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream os;
+  os << is.rdbuf();
+  if (!is.good() && !is.eof()) return false;
+  out = os.str();
+  return true;
+}
+
+// Hex FNV-1a-64 over a byte string: the package content identity the shard
+// cache keys on. Loading from the hashed bytes (not a second file read)
+// guarantees the hash always names the weights actually being served, even
+// if the file is replaced between reads.
+std::string fnv1a_hex(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
 
 // Package mtime as an opaque tick count; 0 when the file is unreadable.
 std::int64_t file_mtime(const std::string& path) {
@@ -50,7 +80,16 @@ GenerationService::GenerationService(ServiceConfig cfg)
                                   core::render_diagnostics(pf.diagnostics));
     }
   }
-  model_ = core::load_package_file(cfg_.package_path);
+  {
+    std::string bytes;
+    if (!read_file_bytes(cfg_.package_path, bytes)) {
+      throw std::invalid_argument("serve: cannot read package " +
+                                  cfg_.package_path);
+    }
+    package_hash_ = fnv1a_hex(bytes);
+    std::istringstream is(bytes);
+    model_ = core::load_package(is);
+  }
   package_mtime_ = file_mtime(cfg_.package_path);
   if (cfg_.slots < 1) throw std::invalid_argument("serve: slots must be >= 1");
   if (cfg_.engines < 1) throw std::invalid_argument("serve: engines must be >= 1");
@@ -92,6 +131,7 @@ void GenerationService::stop() {
     GenResponse resp;
     resp.id = (*pr)->req.id;
     resp.error = "service stopped";
+    resp.code = error_code::kDraining;
     (*pr)->promise.set_value(std::move(resp));
   }
 }
@@ -112,22 +152,23 @@ std::future<GenResponse> GenerationService::submit(GenRequest req) {
   std::future<GenResponse> fut = pr->promise.get_future();
   requests_.add(1);
 
-  auto reject = [&](const std::string& why) {
+  auto reject = [&](const std::string& why, const char* code) {
     GenResponse resp;
     resp.id = req.id;
     resp.error = why;
+    resp.code = code;
     resp.latency_ms = ms_since(pr->t_submit);
     pr->promise.set_value(std::move(resp));
   };
 
   if (!running_.load(std::memory_order_acquire)) {
-    reject("service not running");
+    reject("service not running", error_code::kDraining);
     return fut;
   }
   try {
     resolve_request(req, current_model()->schema());
   } catch (const std::exception& e) {
-    reject(e.what());
+    reject(e.what(), error_code::kBadRequest);
     return fut;
   }
   pr->req = std::move(req);
@@ -136,6 +177,7 @@ std::future<GenResponse> GenerationService::submit(GenRequest req) {
     GenResponse resp;
     resp.id = pr->req.id;
     resp.error = "service stopped";
+    resp.code = error_code::kDraining;
     resp.latency_ms = ms_since(pr->t_submit);
     pr->promise.set_value(std::move(resp));
   }
@@ -189,8 +231,15 @@ void GenerationService::maybe_reload() {
     return;  // file vanished mid-check (mid-replace): retry later
   }
   std::shared_ptr<const core::DoppelGanger> fresh;
+  std::string fresh_hash;
   try {
-    fresh = core::load_package_file(cfg_.package_path);
+    std::string bytes;
+    if (!read_file_bytes(cfg_.package_path, bytes)) {
+      throw std::runtime_error("unreadable");
+    }
+    fresh_hash = fnv1a_hex(bytes);
+    std::istringstream is(bytes);
+    fresh = core::load_package(is);
   } catch (const std::exception&) {
     // Passed preflight but failed the full load (e.g. replaced between the
     // two reads): count it as a rejection for this version and keep serving.
@@ -201,10 +250,16 @@ void GenerationService::maybe_reload() {
   }
   std::lock_guard<std::mutex> lock(model_mu_);
   model_ = std::move(fresh);
+  package_hash_ = std::move(fresh_hash);
   package_mtime_ = mtime;
   rejected_mtime_ = 0;
   ++model_generation_;
   reloads_.add(1);
+}
+
+std::string GenerationService::package_hash() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return package_hash_;
 }
 
 void GenerationService::engine_loop() {
@@ -220,9 +275,11 @@ void GenerationService::engine_loop() {
 
   std::shared_ptr<const core::DoppelGanger> model = current_model();
   std::uint64_t my_generation;
+  std::string my_hash;  // package hash of the weights THIS engine serves
   {
     std::lock_guard<std::mutex> lock(model_mu_);
     my_generation = model_generation_;
+    my_hash = package_hash_;
   }
   auto sampler = std::make_unique<SlotSampler>(model, cfg_.slots);
   SamplerStats last_stats;
@@ -292,6 +349,7 @@ void GenerationService::engine_loop() {
                      " attempts each";
       }
       resp.latency_ms = ms_since(t.pr->t_submit);
+      resp.package_hash = my_hash;
       record_latency(resp.latency_ms);
       responses_.add(1);
       t.pr->promise.set_value(std::move(resp));
@@ -315,6 +373,7 @@ void GenerationService::engine_loop() {
       {
         std::lock_guard<std::mutex> lock(model_mu_);
         my_generation = model_generation_;
+        my_hash = package_hash_;
       }
       add_sampler_delta(sampler->stats(), last_stats);
       sampler = std::make_unique<SlotSampler>(model, cfg_.slots);
@@ -361,6 +420,7 @@ void GenerationService::engine_loop() {
     GenResponse resp;
     resp.id = t.pr->req.id;
     resp.error = "service stopped";
+    resp.code = error_code::kDraining;
     t.pr->promise.set_value(std::move(resp));
   }
 }
@@ -387,6 +447,7 @@ StatsSnapshot GenerationService::stats() const {
   const obs::HistogramSnapshot lat = latency_ms_.snapshot();
   s.p50_latency_ms = lat.p50;
   s.p99_latency_ms = lat.p99;
+  s.package_hash = package_hash();
   return s;
 }
 

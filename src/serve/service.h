@@ -74,6 +74,12 @@ class GenerationService {
   /// disk; the old weights stay live). At most one bump per distinct bad
   /// file version.
   std::uint64_t reloads_rejected() const { return reload_rejected_.get(); }
+  /// Hex FNV-1a-64 over the exact package bytes the served weights were
+  /// loaded from; "" when serving an injected model that never came from a
+  /// package file. The shard tier's cache identity: responses carry the
+  /// hash of the weights that actually produced them (captured at engine
+  /// swap time, so a response mid-rolling-reload is never mislabeled).
+  std::string package_hash() const;
 
   const ServiceConfig& config() const { return cfg_; }
 
@@ -97,6 +103,7 @@ class GenerationService {
   mutable std::mutex model_mu_;
   std::shared_ptr<const core::DoppelGanger> model_;
   std::uint64_t model_generation_ = 1;
+  std::string package_hash_;  // guarded by model_mu_; "" = no package file
   std::int64_t package_mtime_ = 0;  // filesystem ticks; 0 = unknown
   std::int64_t rejected_mtime_ = 0;  // last mtime refused by preflight
   std::chrono::steady_clock::time_point last_poll_{};

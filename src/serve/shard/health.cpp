@@ -1,0 +1,113 @@
+#include "serve/shard/health.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "serve/protocol.h"
+
+namespace dg::serve::shard {
+
+HealthMonitor::HealthMonitor(WorkerPool& pool, HealthOptions opts)
+    : pool_(pool), opts_(opts) {}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthMonitor::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthMonitor::loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    sweep_now();
+    std::unique_lock<std::mutex> lock(cv_mu_);
+    wake_cv_.wait_for(
+        lock, std::chrono::duration<double>(opts_.period_seconds),
+        [this] { return !running_.load(std::memory_order_acquire); });
+  }
+}
+
+void HealthMonitor::poll_worker(Worker& w) {
+  const WorkerEndpoint ep = w.endpoint();
+  if (ep.port <= 0) {  // managed worker that has not reported a port yet
+    w.add_failure();
+    return;
+  }
+  try {
+    TcpClient conn(ep.host, ep.port);
+    conn.set_recv_timeout_ms(opts_.poll_timeout_ms);
+    const std::string reply = conn.call("{\"op\":\"stats\"}");
+    const StatsSnapshot s = stats_from_json(json::parse(reply));
+    WorkerHealth h;
+    h.requests = s.requests;
+    h.responses = s.responses;
+    h.queue_depth = s.queue_depth;
+    h.package_reloads = s.package_reloads;
+    h.reload_rejected = s.reload_rejected;
+    h.occupancy = s.occupancy;
+    h.p99_latency_ms = s.p99_latency_ms;
+    h.package_hash = s.package_hash;
+    w.set_health(std::move(h));
+    w.clear_failures();
+    if (w.state() != WorkerState::Draining) w.set_state(WorkerState::Up);
+  } catch (const std::exception&) {
+    if (w.add_failure() >= opts_.fail_threshold &&
+        w.state() != WorkerState::Down) {
+      w.set_state(WorkerState::Down);
+      w.drop_connections();
+    }
+  }
+}
+
+void HealthMonitor::sweep_now() {
+  std::lock_guard<std::mutex> sweep_lock(sweep_mu_);
+  pool_.poll_exits();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    poll_worker(pool_.worker(i));
+  }
+
+  // Consensus hash: every Up worker must report the same non-empty hash.
+  // A mixed fleet (mid rolling reload) or a fleet serving packageless
+  // injected models has no consensus and the router's cache stays cold.
+  std::string consensus;
+  bool have_up = false, mixed = false;
+  double max_p99 = 0.0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    Worker& w = pool_.worker(i);
+    if (w.state() != WorkerState::Up) continue;
+    const WorkerHealth h = w.health();
+    max_p99 = std::max(max_p99, h.p99_latency_ms);
+    if (!have_up) {
+      consensus = h.package_hash;
+      have_up = true;
+    } else if (h.package_hash != consensus) {
+      mixed = true;
+    }
+  }
+  if (!have_up || mixed) consensus.clear();
+  max_p99_ms_.store(max_p99, std::memory_order_relaxed);
+
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (consensus != fleet_hash_) {
+      fleet_hash_ = consensus;
+      changed = true;
+    }
+  }
+  if (changed && on_fleet_change_) on_fleet_change_(consensus);
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string HealthMonitor::fleet_hash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fleet_hash_;
+}
+
+}  // namespace dg::serve::shard

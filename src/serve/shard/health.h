@@ -1,0 +1,82 @@
+// Health monitor: one background thread sweeping the worker fleet over the
+// workers' own `stats` op — no new protocol surface, a worker is healthy
+// iff the same endpoint a client would use answers. Each sweep:
+//
+//   1. (managed pools) reaps exited worker processes and respawns them;
+//   2. polls every worker's stats with a short receive timeout, promoting
+//      Starting/Down workers that answer to Up and demoting workers to
+//      Down after `fail_threshold` consecutive misses;
+//   3. recomputes the fleet's consensus package hash — the hash every Up
+//      worker agrees on, or "" while a rolling reload has the fleet mixed —
+//      and fires the change callback (the router invalidates its cache);
+//   4. publishes the fleet-wide max p99 latency for the router's SLO
+//      admission check (an atomic read per request, not a histogram sort).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/shard/worker_pool.h"
+
+namespace dg::serve::shard {
+
+struct HealthOptions {
+  double period_seconds = 0.15;
+  int fail_threshold = 2;   // consecutive failed polls before Down
+  int poll_timeout_ms = 2000;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(WorkerPool& pool, HealthOptions opts);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  /// Runs one sweep synchronously on the caller's thread (tests, and the
+  /// router's startup barrier — routing before the first sweep would see
+  /// every worker still Starting).
+  void sweep_now();
+
+  /// Consensus package hash; "" = mixed fleet or nothing known yet.
+  std::string fleet_hash() const;
+  /// Max p99 request latency across Up workers, from the last sweep.
+  double max_p99_ms() const { return max_p99_ms_.load(std::memory_order_relaxed); }
+  /// Completed sweeps (tests wait on this to observe state convergence).
+  std::uint64_t sweeps() const { return sweeps_.load(std::memory_order_relaxed); }
+
+  /// Fired (from the monitor thread or sweep_now caller) whenever the
+  /// consensus hash changes, including to "". Set before start().
+  void set_on_fleet_change(std::function<void(const std::string&)> cb) {
+    on_fleet_change_ = std::move(cb);
+  }
+
+ private:
+  void loop();
+  void poll_worker(Worker& w);
+
+  WorkerPool& pool_;
+  HealthOptions opts_;
+  std::function<void(const std::string&)> on_fleet_change_;
+
+  mutable std::mutex mu_;
+  std::string fleet_hash_;          // guarded by mu_
+  std::mutex sweep_mu_;             // serializes whole sweeps
+  std::mutex cv_mu_;                // backs wake_cv_ only
+  std::condition_variable wake_cv_;
+  std::atomic<double> max_p99_ms_{0.0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace dg::serve::shard

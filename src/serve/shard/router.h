@@ -1,0 +1,118 @@
+// Shard router: the front tier that makes N worker GenerationService
+// processes look like one fast one.
+//
+// Routing invariant: a request's home worker is shard_of(seed, N) — a
+// splitmix64 finalizer over the request seed, so the assignment is
+// deterministic, uniform, and independent of arrival order. Because a
+// series is a pure function of (package bytes, seed, attribute mode, caps)
+// — the per-request RNG-stream guarantee every prior tier preserved — ANY
+// worker returns byte-identical series for the same request. Seed affinity
+// is therefore a locality/balance policy, not a correctness requirement,
+// which is exactly what makes transparent failover legal: when the home
+// worker is down or saturated the router reroutes to the next healthy
+// replica and the client cannot tell.
+//
+// Admission control: requests are shed (structured `shed` error, never a
+// hang) when every healthy worker is at its inflight cap, and — when an
+// SLO is configured — while the fleet's max exact-p99 latency (from the
+// workers' own obs histograms, cached by the health sweep into an atomic)
+// exceeds it. Cache hits bypass admission: serving memory is never worth
+// shedding.
+//
+// Rolling reload: workers watch the shared .dgpkg path themselves (mtime
+// poll + preflight, PR 3/5); the router's job is only to keep the cache
+// honest while the fleet is mixed — the consensus package hash goes "" the
+// moment two Up workers disagree, which disables inserts and invalidates
+// on every change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/shard/cache.h"
+#include "serve/shard/health.h"
+#include "serve/shard/worker_pool.h"
+
+namespace dg::serve::shard {
+
+/// Home shard for a seed: splitmix64 finalizer mod n. Stable across
+/// processes and replica restarts; changing n remaps seeds but any mapping
+/// is correct (see routing invariant above).
+std::size_t shard_of(std::uint64_t seed, std::size_t n);
+
+struct RouterConfig {
+  std::size_t cache_capacity = 1024;  // reply lines; 0 disables the cache
+  int max_inflight_per_worker = 64;   // admission cap per replica
+  double slo_p99_ms = 0.0;            // 0 = no SLO shedding
+  HealthOptions health;
+};
+
+class Router {
+ public:
+  Router(WorkerPool& pool, RouterConfig cfg);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Runs one synchronous health sweep (so the first request already sees
+  /// Up workers) and starts the background monitor.
+  void start();
+  void stop();
+
+  /// One request line -> one response line; thread-safe. Plug into
+  /// TcpServer, or call directly (tests, the in-process bench).
+  std::string handle_line(const std::string& line);
+  LineHandler handler();
+
+  HealthMonitor& health() { return health_; }
+  GenCache& cache() { return cache_; }
+  WorkerPool& pool() { return pool_; }
+  /// Router-tier metrics registry (router.* counters, latency histogram).
+  obs::Registry& registry() { return registry_; }
+
+ private:
+  std::string handle_generate(const json::Value& req_json,
+                              const std::string& line);
+  std::string handle_stats();
+  std::string handle_metrics();
+  std::string handle_schema();
+  std::string handle_admin(const std::string& op, const json::Value& req);
+  /// Sends `line` to `w` over a pooled connection; one same-worker retry on
+  /// a fresh connection (a pooled socket may be stale after a worker
+  /// restart — that must not masquerade as a dead worker). Empty optional =
+  /// transport failure.
+  bool try_forward(Worker& w, const std::string& line, std::string& reply);
+  std::string error_reply(std::uint64_t id, const std::string& what,
+                          const char* code);
+  void refresh_gauges();
+
+  WorkerPool& pool_;
+  RouterConfig cfg_;
+  GenCache cache_;
+  HealthMonitor health_;
+
+  obs::Registry registry_;
+  obs::Counter& requests_ = registry_.counter("router.requests");
+  obs::Counter& responses_ = registry_.counter("router.responses");
+  obs::Counter& shed_saturated_ = registry_.counter("router.shed_saturated");
+  obs::Counter& shed_slo_ = registry_.counter("router.shed_slo");
+  obs::Counter& unroutable_ = registry_.counter("router.unroutable");
+  obs::Counter& reroutes_ = registry_.counter("router.reroutes");
+  obs::Counter& transport_errors_ =
+      registry_.counter("router.transport_errors");
+  obs::Counter& cache_hits_ = registry_.counter("router.cache_hits");
+  obs::Counter& cache_misses_ = registry_.counter("router.cache_misses");
+  obs::Counter& cache_inserts_ = registry_.counter("router.cache_inserts");
+  obs::Counter& cache_evictions_ = registry_.counter("router.cache_evictions");
+  obs::Counter& cache_invalidations_ =
+      registry_.counter("router.cache_invalidations");
+  obs::Counter& bad_requests_ = registry_.counter("router.bad_requests");
+  obs::Histogram& latency_ms_ = registry_.histogram(
+      "router.latency_ms", obs::HistogramOptions{.bounds = {}, .window = 2048});
+};
+
+}  // namespace dg::serve::shard

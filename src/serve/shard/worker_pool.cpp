@@ -1,0 +1,341 @@
+#include "serve/shard/worker_pool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace dg::serve::shard {
+
+namespace {
+
+constexpr std::size_t kMaxPooledConns = 8;
+
+std::string port_file_path(const SpawnSpec& spec, std::size_t i) {
+  return spec.port_file_dir + "/worker" + std::to_string(i) + ".port";
+}
+
+// Polls `path` for a parseable port number until `deadline`. Returns 0 on
+// timeout (the file may exist but still be empty mid-write).
+int wait_for_port(const std::string& path,
+                  std::chrono::steady_clock::time_point deadline) {
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream is(path);
+    int port = 0;
+    if (is && (is >> port) && port > 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+}  // namespace
+
+WorkerEndpoint parse_endpoint(const std::string& s) {
+  WorkerEndpoint ep;
+  const std::size_t colon = s.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    port_str = s;
+  } else {
+    if (colon > 0) ep.host = s.substr(0, colon);
+    port_str = s.substr(colon + 1);
+  }
+  try {
+    std::size_t used = 0;
+    ep.port = std::stoi(port_str, &used);
+    if (used != port_str.size()) throw std::invalid_argument(port_str);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("shard: bad endpoint '" + s +
+                                "' (want host:port or port)");
+  }
+  if (ep.port <= 0 || ep.port > 65535) {
+    throw std::invalid_argument("shard: endpoint port out of range in '" + s +
+                                "'");
+  }
+  return ep;
+}
+
+const char* to_string(WorkerState s) {
+  switch (s) {
+    case WorkerState::Starting: return "starting";
+    case WorkerState::Up: return "up";
+    case WorkerState::Draining: return "draining";
+    case WorkerState::Down: return "down";
+  }
+  return "unknown";
+}
+
+WorkerEndpoint Worker::endpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ep_;
+}
+
+void Worker::set_endpoint(WorkerEndpoint ep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ep_ = std::move(ep);
+}
+
+std::unique_ptr<TcpClient> Worker::checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      std::unique_ptr<TcpClient> conn = std::move(pool_.back());
+      pool_.pop_back();
+      return conn;
+    }
+  }
+  const WorkerEndpoint ep = endpoint();
+  return std::make_unique<TcpClient>(ep.host, ep.port);
+}
+
+void Worker::checkin(std::unique_ptr<TcpClient> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.size() < kMaxPooledConns) pool_.push_back(std::move(conn));
+}
+
+void Worker::drop_connections() {
+  std::vector<std::unique_ptr<TcpClient>> doomed;
+  std::lock_guard<std::mutex> lock(mu_);
+  doomed.swap(pool_);
+}
+
+WorkerHealth Worker::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+void Worker::set_health(WorkerHealth h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_ = std::move(h);
+}
+
+WorkerPool::WorkerPool(std::vector<WorkerEndpoint> endpoints) {
+  if (endpoints.empty()) {
+    throw std::invalid_argument("shard: worker pool needs >= 1 endpoint");
+  }
+  workers_.reserve(endpoints.size());
+  for (WorkerEndpoint& ep : endpoints) {
+    workers_.push_back(std::make_unique<Worker>(std::move(ep)));
+  }
+}
+
+WorkerPool::WorkerPool(int replicas, SpawnSpec spec)
+    : managed_(true), spec_(std::move(spec)) {
+  if (replicas < 1) {
+    throw std::invalid_argument("shard: worker pool needs >= 1 replica");
+  }
+  if (spec_.argv.empty()) {
+    throw std::invalid_argument("shard: managed pool needs a spawn argv");
+  }
+  workers_.reserve(static_cast<std::size_t>(replicas));
+  pids_.assign(static_cast<std::size_t>(replicas), -1);
+  for (int i = 0; i < replicas; ++i) {
+    workers_.push_back(std::make_unique<Worker>(WorkerEndpoint{}));
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::spawn_one(std::size_t i) {
+  const std::string port_file = port_file_path(spec_, i);
+  std::remove(port_file.c_str());
+
+  std::vector<std::string> argv = spec_.argv;
+  argv.insert(argv.end(), {"--port", "0", "--port-file", port_file});
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (std::string& a : argv) cargv.push_back(a.data());
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("shard: fork failed");
+  }
+  if (pid == 0) {
+    if (spec_.quiet) {
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        ::dup2(devnull, 1);
+        ::dup2(devnull, 2);
+        if (devnull > 2) ::close(devnull);
+      }
+    }
+    ::execv(cargv[0], cargv.data());
+    // Unreachable unless exec failed; _exit avoids running parent atexit
+    // handlers in the child.
+    std::perror("shard: execv");
+    ::_exit(127);
+  }
+  {
+    std::lock_guard<std::mutex> lock(pids_mu_);
+    pids_[i] = pid;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(spec_.spawn_timeout_seconds));
+  const int port = wait_for_port(port_file, deadline);
+  if (port == 0) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    {
+      std::lock_guard<std::mutex> lock(pids_mu_);
+      pids_[i] = -1;
+    }
+    throw std::runtime_error("shard: worker " + std::to_string(i) +
+                             " never reported a port (see " + port_file + ")");
+  }
+  Worker& w = *workers_[i];
+  w.drop_connections();
+  w.set_endpoint(WorkerEndpoint{"127.0.0.1", port});
+  w.set_state(WorkerState::Starting);
+}
+
+void WorkerPool::start() {
+  if (!managed_) return;
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  for (std::size_t i = 0; i < workers_.size(); ++i) spawn_one(i);
+}
+
+int WorkerPool::poll_exits() {
+  if (!managed_) return 0;
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  int respawned = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    pid_t pid;
+    {
+      std::lock_guard<std::mutex> lock(pids_mu_);
+      pid = pids_[i];
+    }
+    if (pid <= 0) continue;
+    const pid_t r = ::waitpid(pid, nullptr, WNOHANG);
+    if (r != pid) continue;  // still running (0) or already reaped (-1)
+    {
+      std::lock_guard<std::mutex> lock(pids_mu_);
+      pids_[i] = -1;
+    }
+    Worker& w = *workers_[i];
+    w.set_state(WorkerState::Down);
+    w.drop_connections();
+    try {
+      spawn_one(i);
+      respawns_.fetch_add(1, std::memory_order_relaxed);
+      ++respawned;
+    } catch (const std::exception&) {
+      // Leave the worker Down; the next poll tries again (pids_[i] == -1
+      // skips the waitpid but restart() or the next exit-poll cycle will
+      // not — so retry explicitly here next sweep via the Down state).
+    }
+  }
+  // Workers that are Down with no pid (failed respawn above) get another
+  // attempt each poll.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lock(pids_mu_);
+      dead = pids_[i] <= 0;
+    }
+    if (!dead || workers_[i]->state() != WorkerState::Down) continue;
+    try {
+      spawn_one(i);
+      respawns_.fetch_add(1, std::memory_order_relaxed);
+      ++respawned;
+    } catch (const std::exception&) {
+    }
+  }
+  return respawned;
+}
+
+bool WorkerPool::restart(std::size_t i) {
+  if (!managed_ || i >= workers_.size()) return false;
+  Worker& w = *workers_[i];
+  w.set_state(WorkerState::Draining);
+  // Bounded drain: let in-flight requests finish so a rolling restart is
+  // invisible to clients; anything still running after the deadline rides
+  // the retry path instead.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (w.inflight() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // From here the worker passes through "Down with no pid" — the exact
+  // shape poll_exits()'s respawn-retry loop looks for, so the whole
+  // kill-and-respawn must be atomic against it.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  pid_t pid;
+  {
+    std::lock_guard<std::mutex> lock(pids_mu_);
+    pid = pids_[i];
+    pids_[i] = -1;
+  }
+  if (pid > 0) {
+    ::kill(pid, SIGTERM);
+    // Give it a moment to exit cleanly, then force.
+    for (int tries = 0; tries < 100; ++tries) {
+      if (::waitpid(pid, nullptr, WNOHANG) == pid) {
+        pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+  w.set_state(WorkerState::Down);
+  w.drop_connections();
+  try {
+    spawn_one(i);
+  } catch (const std::exception&) {
+    return false;
+  }
+  respawns_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void WorkerPool::shutdown() {
+  if (!managed_) return;
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  std::vector<pid_t> doomed;
+  {
+    std::lock_guard<std::mutex> lock(pids_mu_);
+    doomed = pids_;
+    for (pid_t& p : pids_) p = -1;
+  }
+  for (const pid_t pid : doomed) {
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
+  for (const pid_t pid : doomed) {
+    if (pid <= 0) continue;
+    bool reaped = false;
+    for (int tries = 0; tries < 100; ++tries) {
+      if (::waitpid(pid, nullptr, WNOHANG) == pid) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+}
+
+pid_t WorkerPool::pid_of(std::size_t i) const {
+  if (!managed_ || i >= workers_.size()) return -1;
+  std::lock_guard<std::mutex> lock(pids_mu_);
+  return pids_[i];
+}
+
+}  // namespace dg::serve::shard

@@ -1,0 +1,172 @@
+// Worker fleet bookkeeping for the shard router: one Worker per replica,
+// each a small state machine (Starting -> Up <-> Draining -> Down) with a
+// pooled set of persistent TCP connections and the last health-poll
+// snapshot. Two ownership modes:
+//
+//   * unmanaged — the pool is handed fixed endpoints; something else owns
+//     the processes (in-process TcpServers in tests, externally-started
+//     dgcli workers). No supervision.
+//   * managed — the pool fork/execs one worker process per replica (dgcli
+//     serve, told to bind port 0 and write the chosen port to a file),
+//     reaps exits, and respawns crashed workers. This is what `dgcli
+//     route` and the chaos test run.
+//
+// State transitions are driven from outside: the HealthMonitor promotes
+// Starting/Down workers to Up when their stats op answers, demotes to Down
+// after consecutive failures; drain/undrain are admin ops.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace dg::serve::shard {
+
+struct WorkerEndpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Parses "host:port", ":port", or "port". Throws std::invalid_argument on
+/// malformed input.
+WorkerEndpoint parse_endpoint(const std::string& s);
+
+enum class WorkerState { Starting, Up, Draining, Down };
+const char* to_string(WorkerState s);
+
+/// Last successful health poll, as reported by the worker's stats op.
+struct WorkerHealth {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t package_reloads = 0;
+  std::uint64_t reload_rejected = 0;
+  double occupancy = 0.0;
+  double p99_latency_ms = 0.0;
+  std::string package_hash;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerEndpoint ep) : ep_(std::move(ep)) {}
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  WorkerEndpoint endpoint() const;
+  void set_endpoint(WorkerEndpoint ep);  // managed respawn rebinds the port
+
+  WorkerState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(WorkerState s) {
+    state_.store(s, std::memory_order_release);
+  }
+  bool routable() const { return state() == WorkerState::Up; }
+
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  void add_inflight(int d) {
+    inflight_.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  int failures() const { return failures_.load(std::memory_order_relaxed); }
+  void clear_failures() { failures_.store(0, std::memory_order_relaxed); }
+  int add_failure() {
+    return failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Pops a pooled connection or dials a fresh one (throws on refusal —
+  /// the caller treats that as a transport failure and retries elsewhere).
+  std::unique_ptr<TcpClient> checkout();
+  /// Returns a still-healthy connection for reuse (pool bounded; extras
+  /// are simply closed).
+  void checkin(std::unique_ptr<TcpClient> conn);
+  /// Closes every pooled connection (worker died or was restarted; stale
+  /// sockets must not be reused against the new process).
+  void drop_connections();
+
+  WorkerHealth health() const;
+  void set_health(WorkerHealth h);
+
+ private:
+  mutable std::mutex mu_;
+  WorkerEndpoint ep_;                                 // guarded by mu_
+  std::vector<std::unique_ptr<TcpClient>> pool_;      // guarded by mu_
+  WorkerHealth health_;                               // guarded by mu_
+  std::atomic<WorkerState> state_{WorkerState::Starting};
+  std::atomic<int> inflight_{0};
+  std::atomic<int> failures_{0};
+};
+
+/// Recipe for spawning one worker process (managed mode). The pool appends
+/// `--port 0 --port-file <dir>/worker<i>.port` to argv; the worker binds an
+/// ephemeral port and writes it to the file, which the pool polls.
+struct SpawnSpec {
+  std::vector<std::string> argv;  // program path + fixed args
+  std::string port_file_dir;
+  double spawn_timeout_seconds = 20.0;
+  // Redirect worker stdout/stderr to /dev/null. Tests set this: a worker
+  // holding the test's inherited stdout pipe would wedge ctest if it ever
+  // outlived the test process.
+  bool quiet = false;
+};
+
+class WorkerPool {
+ public:
+  /// Unmanaged: fixed endpoints, externally-owned processes.
+  explicit WorkerPool(std::vector<WorkerEndpoint> endpoints);
+  /// Managed: `replicas` processes spawned from `spec` by start().
+  WorkerPool(int replicas, SpawnSpec spec);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_[i]; }
+  const Worker& worker(std::size_t i) const { return *workers_[i]; }
+  bool managed() const { return managed_; }
+
+  /// Managed: spawns every worker (throws if any fails to report a port).
+  /// Unmanaged: no-op.
+  void start();
+  /// Managed: reaps exited children and respawns them (Starting state).
+  /// Returns the number respawned. Unmanaged: returns 0.
+  int poll_exits();
+  /// Managed: drains (waits for inflight to hit 0, bounded), kills, and
+  /// respawns worker `i`. Returns false in unmanaged mode or on spawn
+  /// failure. The caller sees the worker pass through Draining -> Down ->
+  /// Starting; the health monitor promotes it back to Up.
+  bool restart(std::size_t i);
+  /// Managed: SIGTERM (then SIGKILL) every child. Idempotent.
+  void shutdown();
+
+  pid_t pid_of(std::size_t i) const;  // -1 when not managed / not running
+  /// Lifetime count of respawns after unexpected exits or restart() —
+  /// the chaos-visible "a worker died and came back" event counter.
+  std::uint64_t respawns() const {
+    return respawns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void spawn_one(std::size_t i);  // throws on failure
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool managed_ = false;
+  SpawnSpec spec_;
+  // Serializes spawn/reap/kill sequences: without it, restart() marking a
+  // worker Down with no pid races the monitor thread's poll_exits() retry
+  // loop into double-spawning the same slot (one process leaks). Acquired
+  // before pids_mu_, never the other way.
+  std::mutex lifecycle_mu_;
+  mutable std::mutex pids_mu_;
+  std::vector<pid_t> pids_;  // guarded by pids_mu_; -1 = not running
+  std::atomic<std::uint64_t> respawns_{0};
+};
+
+}  // namespace dg::serve::shard

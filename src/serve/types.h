@@ -43,14 +43,29 @@ struct GenRequest {
   std::vector<AttrPredicate> where;
 };
 
+/// Machine-readable failure classes carried next to the free-text `error`.
+/// Old clients keep reading `ok`/`error`; new clients (the shard router)
+/// branch on `code` instead of parsing prose.
+namespace error_code {
+inline constexpr const char* kShed = "shed";             // admission refused
+inline constexpr const char* kDraining = "draining";     // shutting down
+inline constexpr const char* kBadRequest = "bad_request";  // malformed input
+inline constexpr const char* kWorkerDown = "worker_down";  // no healthy worker
+}  // namespace error_code
+
 struct GenResponse {
   std::uint64_t id = 0;
   bool ok = false;        // request admitted and executed
   bool complete = false;  // all `count` series produced (conditional may not)
   std::string error;      // set when !ok, or a note when !complete
+  std::string code;       // machine-readable class when !ok (error_code::*)
   data::Dataset objects;
   long long series_rejected = 0;  // rejection-sampling discards
   double latency_ms = 0.0;
+  // Content hash of the package that produced the series (hex FNV-1a-64;
+  // "" when serving an injected model with no package file). The shard
+  // cache keys on it: same hash + same request ⇒ byte-identical series.
+  std::string package_hash;
 };
 
 /// Counter snapshot for the /stats endpoint. Occupancy is the fraction of
@@ -70,6 +85,7 @@ struct StatsSnapshot {
   double occupancy = 0.0;
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  std::string package_hash;  // hex FNV-1a-64 of the served package ("" = none)
 };
 
 /// Resolves label-valued predicates/fixed attrs against the schema and

@@ -519,6 +519,73 @@ TEST(RunLogger, NonFiniteValuesSerializeAsNull) {
 }
 
 // ---------------------------------------------------------------------------
+// merge_snapshots: fleet-wide aggregation for the shard router's metrics op.
+
+TEST(MergeSnapshots, SumsCountersGaugesAndExactHistogramMoments) {
+  Registry a, b;
+  a.counter("req").add(3);
+  b.counter("req").add(5);
+  b.counter("only_b").add(1);
+  a.gauge("depth").set(2.0);
+  b.gauge("depth").set(4.0);
+  Histogram& ha = a.histogram("lat");
+  Histogram& hb = b.histogram("lat");
+  std::vector<double> all;
+  for (double v : {0.02, 0.5, 3.0}) { ha.record(v); all.push_back(v); }
+  for (double v : {0.1, 7.0, 40.0, 40.0}) { hb.record(v); all.push_back(v); }
+
+  const RegistrySnapshot merged = merge_snapshots({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0], (std::pair<std::string, std::uint64_t>{"only_b", 1}));
+  EXPECT_EQ(merged.counters[1], (std::pair<std::string, std::uint64_t>{"req", 8}));
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].second, 6.0);
+
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const HistogramSnapshot& h = merged.histograms[0].second;
+  EXPECT_EQ(h.count, all.size());
+  EXPECT_DOUBLE_EQ(h.sum, 0.02 + 0.5 + 3.0 + 0.1 + 7.0 + 80.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.02);
+  EXPECT_DOUBLE_EQ(h.max, 40.0);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : h.buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, all.size());
+  // Bucket-CDF quantiles: each must bound the exact quantile from above
+  // (nearest-rank lands in the same bucket; the merged value is that
+  // bucket's upper bound, clamped to the lifetime max).
+  const double exact_p50 = exact_quantile(all, 0.50);
+  EXPECT_GE(h.p50, exact_p50);
+  EXPECT_LE(h.p50, h.max);
+  EXPECT_GE(h.p99, exact_quantile(all, 0.99));
+  EXPECT_LE(h.p99, h.max);
+  EXPECT_GE(h.p50 + 1e-12, h.min);
+}
+
+TEST(MergeSnapshots, MismatchedBoundsFallBackToMaxOfPartQuantiles) {
+  Registry a, b;
+  Histogram& ha = a.histogram("lat");
+  Histogram& hb =
+      b.histogram("lat", HistogramOptions{.bounds = {1.0, 2.0}, .window = 64});
+  ha.record(0.5);
+  ha.record(0.7);
+  hb.record(1.5);
+  const RegistrySnapshot merged = merge_snapshots({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const HistogramSnapshot& h = merged.histograms[0].second;
+  EXPECT_EQ(h.count, 3u);    // exact moments survive the mismatch
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1.5);
+  EXPECT_DOUBLE_EQ(h.p50, 1.5);  // max of the parts' own p50s
+}
+
+TEST(MergeSnapshots, EmptyInputYieldsEmptySnapshot) {
+  const RegistrySnapshot merged = merge_snapshots({});
+  EXPECT_TRUE(merged.counters.empty());
+  EXPECT_TRUE(merged.gauges.empty());
+  EXPECT_TRUE(merged.histograms.empty());
+}
+
+// ---------------------------------------------------------------------------
 // End to end: a tiny training run streams its telemetry into TrainStats and
 // the run directory.
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "serve/json.h"
 #include "serve/queue.h"
 #include "serve/types.h"
@@ -133,6 +135,84 @@ TEST(Protocol, ObjectAndResponseRoundTrip) {
       }
     }
   }
+}
+
+TEST(Protocol, ErrorCodeAndPackageHashRoundTripAndStayOptional) {
+  GenResponse resp;
+  resp.id = 9;
+  resp.error = "all workers at inflight cap";
+  resp.code = error_code::kShed;
+  resp.package_hash = "deadbeef01234567";
+  const json::Value v = response_to_json(resp, data::Schema{});
+  EXPECT_EQ(v.string_or("code", ""), "shed");
+  EXPECT_EQ(v.string_or("package_hash", ""), "deadbeef01234567");
+  const GenResponse back =
+      response_from_json(json::parse(json::dump(v)), data::Schema{});
+  EXPECT_EQ(back.code, error_code::kShed);
+  EXPECT_EQ(back.package_hash, "deadbeef01234567");
+
+  // Old-style replies without the new fields still parse (and new replies
+  // omit them when empty, so old clients see an unchanged wire format).
+  GenResponse plain;
+  plain.ok = plain.complete = true;
+  const json::Value pv = response_to_json(plain, data::Schema{});
+  EXPECT_EQ(pv.find("code"), nullptr);
+  EXPECT_EQ(pv.find("package_hash"), nullptr);
+  const GenResponse pback =
+      response_from_json(json::parse(json::dump(pv)), data::Schema{});
+  EXPECT_TRUE(pback.code.empty());
+  EXPECT_TRUE(pback.package_hash.empty());
+}
+
+TEST(Protocol, StatsSnapshotRoundTrip) {
+  StatsSnapshot s;
+  s.requests = 10;
+  s.responses = 9;
+  s.queue_depth = 3;
+  s.package_reloads = 2;
+  s.reload_rejected = 1;
+  s.occupancy = 0.75;
+  s.p50_latency_ms = 1.5;
+  s.p99_latency_ms = 8.25;
+  s.package_hash = "0123456789abcdef";
+  const StatsSnapshot back =
+      stats_from_json(json::parse(json::dump(stats_to_json(s))));
+  EXPECT_EQ(back.requests, 10u);
+  EXPECT_EQ(back.responses, 9u);
+  EXPECT_EQ(back.queue_depth, 3u);
+  EXPECT_EQ(back.package_reloads, 2u);
+  EXPECT_EQ(back.reload_rejected, 1u);
+  EXPECT_DOUBLE_EQ(back.occupancy, 0.75);
+  EXPECT_DOUBLE_EQ(back.p50_latency_ms, 1.5);
+  EXPECT_DOUBLE_EQ(back.p99_latency_ms, 8.25);
+  EXPECT_EQ(back.package_hash, "0123456789abcdef");
+}
+
+TEST(Protocol, RegistrySnapshotFromJsonReadsTheMetricsOpPayload) {
+  obs::Registry reg;
+  reg.counter("service.requests").add(4);
+  reg.gauge("service.queue_depth").set(2.0);
+  obs::Histogram& h = reg.histogram("service.latency_ms");
+  h.record(0.5);
+  h.record(3.0);
+  const obs::RegistrySnapshot back =
+      registry_snapshot_from_json(json::parse(obs::to_json(reg.snapshot())));
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].first, "service.requests");
+  EXPECT_EQ(back.counters[0].second, 4u);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.gauges[0].second, 2.0);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const obs::HistogramSnapshot& hs = back.histograms[0].second;
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_DOUBLE_EQ(hs.sum, 3.5);
+  EXPECT_DOUBLE_EQ(hs.min, 0.5);
+  EXPECT_DOUBLE_EQ(hs.max, 3.0);
+  ASSERT_FALSE(hs.bounds.empty());
+  EXPECT_EQ(hs.buckets.size(), hs.bounds.size() + 1);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : hs.buckets) total += c;
+  EXPECT_EQ(total, 2u);
 }
 
 TEST(Protocol, ResolveRequestValidates) {

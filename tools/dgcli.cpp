@@ -8,10 +8,15 @@
 //   dgcli generate   --model M.dgpkg --n N --out synth.csv
 //                    [--seed X] [--format csv|bin]
 //   dgcli serve      --model M.dgpkg [--port P] [--slots W] [--engines E]
-//                    [--queue Q] [--poll SECONDS]
+//                    [--queue Q] [--poll SECONDS] [--port-file F]
+//   dgcli route      --model M.dgpkg [--workers N] [--port P] [--slots W]
+//                    [--engines E] [--queue Q] [--poll SECONDS] [--cache C]
+//                    [--max-inflight M] [--slo-p99 MS] [--port-file F]
+//   dgcli route      --endpoints h:p1,h:p2[,...] [--port P] [--cache C]
+//                    [--max-inflight M] [--slo-p99 MS] [--port-file F]
 //   dgcli request    --port P [--host H] [--n N] [--seed X] [--max-len L]
 //                    [--attempts A] [--fixed a=v,b=v] [--where "a=v,b>=v"]
-//                    [--out synth.csv] [--stats] [--json]
+//                    [--out synth.csv] [--stats] [--json] [--raw LINE]
 //   dgcli stats      --schema S.schema --data D.csv [--compare other.csv]
 //   dgcli stats      --port P [--host H] [--json]
 //   dgcli top        --run DIR [--follow] [--rows N]
@@ -28,6 +33,16 @@
 // it when the file changes) and `request` is the matching client: `--fixed`
 // clamps attributes (Fig 30 flexibility), `--where` rejection-samples
 // against predicates (ops = != <= >=), labels or numbers both accepted.
+//
+// `route` runs the shard front tier: with `--model`, it spawns and
+// supervises N worker `serve` processes itself (ephemeral ports, crash
+// respawn); with `--endpoints`, it fronts externally-started workers.
+// Requests shard by seed-hash (replies are byte-identical to a single
+// server's — see src/serve/shard/router.h), a seed-addressed cache answers
+// repeats, and overload gets structured `shed` errors. `--port-file` (both
+// serve and route) writes the bound port after listen — how the router
+// discovers its spawned workers' ephemeral ports, and how scripts discover
+// the router's.
 //
 // `check` verifies the autograd engine on this machine: a finite-difference
 // gradcheck battery (including the WGAN-GP second-order path) followed by an
@@ -51,12 +66,16 @@
 // profile.json (per-op/kernel wall+FLOPs) and registry.json there; `top`
 // tails a run directory live; `stats --port` pretty-prints a running
 // server's metrics registry.
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -83,6 +102,7 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "serve/shard/router.h"
 #include "synth/synth.h"
 
 namespace {
@@ -244,6 +264,27 @@ int cmd_generate(const Args& a) {
 
 // ---------------------------------------------------------------- serve
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+void request_stop(int) { g_stop_requested = 1; }
+
+/// Parks the calling thread until SIGINT/SIGTERM; lets destructors run on
+/// the way out (a supervising router must get to kill its spawned workers).
+void run_until_signal() {
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+/// `--port-file F`: publish the actually-bound (possibly ephemeral) port
+/// for whoever spawned us — the router's worker-discovery handshake.
+void write_port_file(const Args& a, int port) {
+  if (!a.flag("port-file")) return;
+  std::ofstream pf(a.str("port-file"));
+  pf << port << "\n";
+}
+
 int cmd_serve(const Args& a) {
   serve::ServiceConfig cfg;
   cfg.package_path = a.str("model");
@@ -256,11 +297,91 @@ int cmd_serve(const Args& a) {
   service.start();
   serve::TcpServer server(service, static_cast<int>(a.num("port", 7788)));
   server.start();
+  write_port_file(a, server.port());
   std::printf("serving %s on 127.0.0.1:%d (%d slots x %d engine%s)\n",
               cfg.package_path.c_str(), server.port(), cfg.slots, cfg.engines,
               cfg.engines == 1 ? "" : "s");
   std::fflush(stdout);
-  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  run_until_signal();
+  server.stop();
+  service.stop();
+  return 0;
+}
+
+// ---------------------------------------------------------------- route
+
+std::vector<std::string> split_clauses(const std::string& s);
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    throw std::runtime_error("route: cannot resolve /proc/self/exe");
+  }
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+int cmd_route(const Args& a) {
+  serve::shard::RouterConfig rcfg;
+  rcfg.cache_capacity = static_cast<size_t>(a.num("cache", 1024));
+  rcfg.max_inflight_per_worker = static_cast<int>(a.num("max-inflight", 64));
+  rcfg.slo_p99_ms = static_cast<double>(a.num("slo-p99", 0));
+
+  std::unique_ptr<serve::shard::WorkerPool> pool;
+  if (a.flag("endpoints")) {
+    std::vector<serve::shard::WorkerEndpoint> eps;
+    for (const std::string& e : split_clauses(a.str("endpoints"))) {
+      eps.push_back(serve::shard::parse_endpoint(e));
+    }
+    pool = std::make_unique<serve::shard::WorkerPool>(std::move(eps));
+  } else {
+    const int replicas = static_cast<int>(a.num("workers", 2));
+    serve::shard::SpawnSpec spec;
+    spec.argv = {self_exe_path(),
+                 "serve",
+                 "--model",
+                 a.str("model"),
+                 "--slots",
+                 std::to_string(a.num("slots", 32)),
+                 "--engines",
+                 std::to_string(a.num("engines", 1)),
+                 "--queue",
+                 std::to_string(a.num("queue", 256)),
+                 "--poll",
+                 std::to_string(a.num("poll", 1))};
+    char scratch[] = "/tmp/dgroute.XXXXXX";
+    if (::mkdtemp(scratch) == nullptr) {
+      throw std::runtime_error("route: mkdtemp failed for port-file scratch");
+    }
+    spec.port_file_dir = scratch;
+    pool = std::make_unique<serve::shard::WorkerPool>(replicas,
+                                                      std::move(spec));
+    std::printf("spawning %d worker%s...\n", replicas,
+                replicas == 1 ? "" : "s");
+    std::fflush(stdout);
+    pool->start();
+  }
+
+  serve::shard::Router router(*pool, rcfg);
+  router.start();
+  serve::TcpServer server(router.handler(),
+                          static_cast<int>(a.num("port", 7799)));
+  server.start();
+  write_port_file(a, server.port());
+  std::printf("routing on 127.0.0.1:%d across %zu workers:\n", server.port(),
+              pool->size());
+  for (size_t i = 0; i < pool->size(); ++i) {
+    const auto ep = pool->worker(i).endpoint();
+    std::printf("  worker %zu: %s:%d (%s)\n", i, ep.host.c_str(), ep.port,
+                serve::shard::to_string(pool->worker(i).state()));
+  }
+  std::fflush(stdout);
+  run_until_signal();
+  server.stop();
+  router.stop();
+  pool->shutdown();
+  return 0;
 }
 
 /// Splits "a=1,b=two" style comma-separated clauses.
@@ -332,6 +453,12 @@ int cmd_request(const Args& a) {
   const int port = static_cast<int>(a.num("port", 7788));
   if (a.flag("stats")) {
     std::printf("%s\n", serve::send_line(host, port, "{\"op\":\"stats\"}").c_str());
+    return 0;
+  }
+  if (a.flag("raw")) {
+    // One verbatim protocol line -> one reply line. This is how the
+    // router's admin ops (drain/undrain/restart) are reached from the CLI.
+    std::printf("%s\n", serve::send_line(host, port, a.str("raw")).c_str());
     return 0;
   }
   const serve::GenRequest req = request_from(a);
@@ -435,8 +562,61 @@ void print_metric_table(const char* title, const serve::json::Value& reg) {
   }
 }
 
+/// Router-mode rendering: the fleet-aggregated registry plus a per-shard
+/// table (state, inflight, occupancy, p99, reloads, package hash) and a
+/// one-line admission/cache summary — the operator's view of the tier.
+int cmd_stats_router(const Args& a, const serve::json::Value& metrics) {
+  const std::string host = a.str("host", "127.0.0.1");
+  const int port = static_cast<int>(a.num("port", 7788));
+  if (const auto* router = metrics.find("router")) {
+    print_metric_table("router metrics", *router);
+  }
+  if (const auto* fleet = metrics.find("fleet")) {
+    print_metric_table("fleet metrics (all workers, merged)", *fleet);
+  }
+  const serve::json::Value sv =
+      serve::json::parse(serve::send_line(host, port, "{\"op\":\"stats\"}"));
+  std::printf("== workers ==\n");
+  std::printf("  %-3s %-21s %-9s %8s %6s %6s %9s %8s %s\n", "id", "endpoint",
+              "state", "inflight", "queue", "occ", "p99_ms", "reloads",
+              "package");
+  if (const auto* workers = sv.find("workers")) {
+    for (const auto& row : workers->as_array()) {
+      const std::string ep = row.string_or("host", "?") + ":" +
+                             std::to_string(static_cast<long>(
+                                 row.number_or("port", 0)));
+      std::printf("  %-3.0f %-21s %-9s %8.0f %6.0f %6.3f %9.3f %8.0f %s\n",
+                  row.number_or("index", 0), ep.c_str(),
+                  row.string_or("state", "?").c_str(),
+                  row.number_or("inflight", 0),
+                  row.number_or("queue_depth", 0),
+                  row.number_or("occupancy", 0),
+                  row.number_or("p99_latency_ms", 0),
+                  row.number_or("package_reloads", 0),
+                  row.string_or("package_hash", "-").c_str());
+    }
+  }
+  if (const auto* r = sv.find("router")) {
+    const double hits = r->number_or("cache_hits", 0);
+    const double misses = r->number_or("cache_misses", 0);
+    const double lookups = hits + misses;
+    std::printf(
+        "shed: %.0f saturated, %.0f slo, %.0f unroutable | cache: %.1f%% "
+        "hit (%.0f/%.0f), %.0f entries, %.0f invalidations | reroutes %.0f, "
+        "restarts %.0f\n",
+        r->number_or("shed_saturated", 0), r->number_or("shed_slo", 0),
+        r->number_or("unroutable", 0),
+        lookups == 0 ? 0.0 : 100.0 * hits / lookups, hits, lookups,
+        r->number_or("cache_entries", 0),
+        r->number_or("cache_invalidations", 0), r->number_or("reroutes", 0),
+        r->number_or("worker_restarts", 0));
+  }
+  return 0;
+}
+
 /// `stats --port P`: queries a running server's "metrics" op and renders
-/// both its per-service registry and the process-wide one.
+/// its registries — single-service (service + process) or, when the reply
+/// identifies a router, the fleet view.
 int cmd_stats_server(const Args& a) {
   const std::string host = a.str("host", "127.0.0.1");
   const int port = static_cast<int>(a.num("port", 7788));
@@ -450,6 +630,7 @@ int cmd_stats_server(const Args& a) {
   if (!v.bool_or("ok", false)) {
     throw std::runtime_error("server refused metrics op: " + reply);
   }
+  if (v.string_or("tier", "") == "router") return cmd_stats_router(a, v);
   if (const auto* svc = v.find("service")) {
     print_metric_table("service metrics", *svc);
   }
@@ -832,8 +1013,8 @@ int cmd_lint(const Args& a) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dgcli <make-synth|train|generate|serve|request|stats|"
-               "top|check|lint> [options]\n"
+               "usage: dgcli <make-synth|train|generate|serve|route|request|"
+               "stats|top|check|lint> [options]\n"
                "see the header of tools/dgcli.cpp for the option list\n");
   return 2;
 }
@@ -847,6 +1028,7 @@ int main(int argc, char** argv) {
     if (a.command == "train") return cmd_train(a);
     if (a.command == "generate") return cmd_generate(a);
     if (a.command == "serve") return cmd_serve(a);
+    if (a.command == "route") return cmd_route(a);
     if (a.command == "request") return cmd_request(a);
     if (a.command == "stats") return cmd_stats(a);
     if (a.command == "top") return cmd_top(a);
