@@ -522,6 +522,64 @@ BENCHMARK(BM_RouterThroughputCached)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// ---- serve-path tracing overhead gate. Same single-worker serve workload
+// through the shard router twice: tracing off entirely, then collecting at
+// the production 1% sample rate (request stamping + router/worker span
+// emission + exemplar updates). CI's bench-smoke job gates the sampled run
+// within 5% of off via tools/bench_compare.py
+// --rename BM_ObsOverheadTraceServeOff=BM_ObsOverheadTraceServe.
+
+void run_trace_serve_bench(benchmark::State& state, double sample_rate) {
+  nn::set_num_threads(1);
+  serve::GenerationService service(serve_bench_model(),
+                                   router_bench_service_cfg());
+  service.start();
+  serve::TcpServer server(service, 0);
+  server.start();
+  serve::shard::WorkerPool pool(
+      std::vector<serve::shard::WorkerEndpoint>{{"127.0.0.1", server.port()}});
+  serve::shard::RouterConfig rc;
+  // No cache: sampled replies are never inserted, so a warm cache would give
+  // the two configurations different work. Every request generates.
+  rc.cache_capacity = 0;
+  rc.trace_sample_rate = sample_rate;
+  serve::shard::Router router(pool, rc);
+  router.health().sweep_now();
+  if (sample_rate > 0.0) {
+    obs::Trace::start();  // sampling is gated on an active collector
+  }
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kServeRequests; ++i) {
+      serve::GenRequest req;
+      req.id = ++id;
+      req.seed = id;  // distinct seeds: no two requests share a series
+      req.max_len = serve_bench_cap(i);
+      benchmark::DoNotOptimize(
+          router.handle_line(serve::json::dump(serve::request_to_json(req))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeRequests);
+  obs::Trace::stop();
+  obs::Trace::clear();
+  server.stop();
+  service.stop();
+}
+
+void BM_ObsOverheadTraceServeOff(benchmark::State& state) {
+  run_trace_serve_bench(state, 0.0);
+}
+BENCHMARK(BM_ObsOverheadTraceServeOff)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObsOverheadTraceServe(benchmark::State& state) {
+  run_trace_serve_bench(state, 0.01);
+}
+BENCHMARK(BM_ObsOverheadTraceServe)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SynthWwt(benchmark::State& state) {
   nn::set_num_threads(1);
   for (auto _ : state) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/tracectx.h"
+
 namespace dg::obs {
 
 double exact_quantile(std::vector<double> values, double q) {
@@ -30,10 +32,16 @@ Histogram::Histogram(HistogramOptions opts)
   window_.reserve(window_cap_);
 }
 
-void Histogram::record(double v) {
+void Histogram::record(double v, std::uint64_t trace_id) {
   MutexLock lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  ++buckets_[bucket];
+  if (trace_id != 0) {
+    if (exemplars_.empty()) exemplars_.resize(buckets_.size());
+    Exemplar& ex = exemplars_[bucket];
+    if (ex.trace_id == 0 || v >= ex.value) ex = Exemplar{trace_id, v};
+  }
   if (count_ == 0 || v < min_) min_ = v;
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
@@ -58,6 +66,7 @@ HistogramSnapshot Histogram::snapshot() const {
     s.max = max_;
     s.bounds = bounds_;
     s.buckets = buckets_;
+    s.exemplars = exemplars_;
     // Only the filled portion of the ring participates in the order
     // statistics; window_ never contains unwritten slots by construction
     // (it grows element-by-element up to window_cap_).
@@ -86,6 +95,7 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
   window_.clear();
   pos_ = 0;
+  exemplars_.clear();
 }
 
 Registry& Registry::global() {
@@ -224,7 +234,27 @@ std::string to_json(const RegistrySnapshot& snap) {
       if (i) out += ',';
       out += std::to_string(h.buckets[i]);
     }
-    out += "]}";
+    out += ']';
+    // Omitted-when-absent, and sparse: only buckets holding an exemplar.
+    bool any_ex = false;
+    for (const Exemplar& ex : h.exemplars) any_ex |= ex.trace_id != 0;
+    if (any_ex) {
+      out += ",\"exemplars\":[";
+      bool ex_first = true;
+      for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+        if (h.exemplars[i].trace_id == 0) continue;
+        if (!ex_first) out += ',';
+        ex_first = false;
+        out += "{\"bucket\":" + std::to_string(i);
+        out += ",\"trace\":";
+        append_escaped(out, trace_id_hex(h.exemplars[i].trace_id));
+        out += ",\"v\":";
+        append_number(out, h.exemplars[i].value);
+        out += '}';
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "}}";
   return out;
@@ -290,6 +320,19 @@ RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts) {
         for (std::size_t i = 0; i < h.buckets.size(); ++i) {
           acc.h.buckets[i] += h.buckets[i];
         }
+        if (!h.exemplars.empty()) {
+          if (acc.h.exemplars.empty()) {
+            acc.h.exemplars.resize(acc.h.buckets.size());
+          }
+          const std::size_t n =
+              std::min(h.exemplars.size(), acc.h.exemplars.size());
+          for (std::size_t i = 0; i < n; ++i) {
+            const Exemplar& ex = h.exemplars[i];
+            if (ex.trace_id == 0) continue;
+            Exemplar& dst = acc.h.exemplars[i];
+            if (dst.trace_id == 0 || ex.value > dst.value) dst = ex;
+          }
+        }
       } else {
         acc.bounds_ok = false;
       }
@@ -315,6 +358,7 @@ RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts) {
       acc.h.p50 = acc.fallback_p50;
       acc.h.p90 = acc.fallback_p90;
       acc.h.p99 = acc.fallback_p99;
+      acc.h.exemplars.clear();  // bucket indices don't line up across bounds
     }
     out.histograms.emplace_back(name, std::move(acc.h));
   }

@@ -72,6 +72,16 @@ struct HistogramOptions {
   std::size_t window = 2048;
 };
 
+/// Per-bucket slow-request exemplar: the worst sample recorded into that
+/// bucket with a distributed-trace id attached, so a red percentile in
+/// `dgcli stats` points at a concrete cross-process span tree. The pair is
+/// written inside Histogram::record()'s critical section and copied whole
+/// by snapshot(), so a (trace, value) pair can never tear.
+struct Exemplar {
+  std::uint64_t trace_id = 0;  // 0 = this bucket has no exemplar
+  double value = 0.0;
+};
+
 /// Point-in-time view of one histogram.
 struct HistogramSnapshot {
   std::uint64_t count = 0;  // lifetime samples
@@ -84,6 +94,9 @@ struct HistogramSnapshot {
   std::size_t window_filled = 0;  // samples the quantiles were computed over
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+  /// Empty, or buckets.size() entries (trace_id == 0 where a bucket has
+  /// none). Populated only when at least one sample carried a trace id.
+  std::vector<Exemplar> exemplars;
 };
 
 /// Exact nearest-rank quantile of an unsorted sample (copies + sorts).
@@ -96,7 +109,9 @@ class Histogram {
  public:
   explicit Histogram(HistogramOptions opts = {});
 
-  void record(double v);
+  /// Records a sample; a nonzero trace_id additionally offers the sample
+  /// as its bucket's exemplar (kept when it is the worst seen there).
+  void record(double v, std::uint64_t trace_id = 0);
   HistogramSnapshot snapshot() const;
   void reset();
 
@@ -114,6 +129,7 @@ class Histogram {
   std::size_t window_cap_;  // immutable after construction
   std::vector<double> window_ DG_GUARDED_BY(mu_);  // grows to cap, then ring
   std::size_t pos_ DG_GUARDED_BY(mu_) = 0;  // next overwrite once full
+  std::vector<Exemplar> exemplars_ DG_GUARDED_BY(mu_);  // lazily buckets-sized
 };
 
 /// Snapshot of a whole registry, ordered by name.
@@ -137,7 +153,9 @@ std::string to_json(const RegistrySnapshot& snap);
 /// resolution, since raw sample windows do not travel between processes).
 /// Parts whose bounds disagree contribute count/sum/extrema only, and the
 /// merged quantiles fall back to the max of the parts' quantiles (a
-/// conservative upper bound).
+/// conservative upper bound). Exemplars merge per-bucket by max value when
+/// the parts share bounds (and are dropped on a bounds mismatch — an
+/// exemplar's bucket index is meaningless across different bounds).
 RegistrySnapshot merge_snapshots(const std::vector<RegistrySnapshot>& parts);
 
 /// Named metrics, created on first use. Metric references stay valid for

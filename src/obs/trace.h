@@ -9,6 +9,21 @@
 // depth counter gives correct nesting even when spans open on intra-op
 // pool workers (each worker carries its own stack).
 //
+// The buffer is a capped ring (DG_OBS_SPAN_CAP, default 64k events): a
+// long-lived serving process keeps the most recent spans and counts what
+// it overwrote (dropped(), mirrored to the global-registry counter
+// obs.trace.dropped_spans) instead of growing without bound.
+//
+// Distributed tracing rides on top (obs/tracectx.h): when the calling
+// thread carries an ambient TraceContext, a Span allocates its own 64-bit
+// span id, parents itself under the context, and re-points the ambient
+// parent at itself for the spans it lexically encloses. Work that crosses
+// threads or processes records spans explicitly via Trace::record() with
+// the ids carried alongside the job. Timestamps are microseconds on the
+// process-local steady_clock epoch (now_us()); merging buffers from
+// several processes requires the epoch-offset handshake the serve tier's
+// `clock` op provides.
+//
 // The DG_OBS_SPAN macro compiles to nothing when the library is built with
 // -DDG_OBS=OFF, so traced hot paths carry zero residue in stripped builds.
 #pragma once
@@ -27,18 +42,39 @@ struct TraceEvent {
   std::int64_t ts_us = 0;   // start, microseconds since trace start
   std::int64_t dur_us = 0;  // wall duration, microseconds
   int depth = 0;            // span-stack depth on its thread at open time
+  std::uint64_t trace_id = 0;     // distributed-trace identity; 0 = none
+  std::uint64_t span_id = 0;      // this span's id within the trace
+  std::uint64_t parent_span = 0;  // enclosing span's id; 0 = trace root
 };
 
 /// Process-wide trace collector.
 class Trace {
  public:
-  /// Clears the buffer and starts collecting. Idempotent.
+  /// Clears the buffer, re-reads DG_OBS_SPAN_CAP, resets the timestamp
+  /// epoch and starts collecting. Idempotent.
   static void start();
   static void stop();
   static bool enabled();
 
   static std::vector<TraceEvent> events();
+  /// Moves the buffered events out (oldest first) WITHOUT touching the
+  /// timestamp epoch — the collection path: a fleet trace drains each
+  /// process repeatedly and the drained batches must share one timebase.
+  static std::vector<TraceEvent> drain();
   static void clear();
+
+  /// Events overwritten since start() because the ring was full.
+  static std::uint64_t dropped();
+
+  /// Microseconds since this process's trace epoch — the timebase every
+  /// buffered event uses. Callers stamping cross-thread spans (explicit
+  /// record()) must take timestamps through this, not their own clocks.
+  static std::int64_t now_us();
+
+  /// Appends a fully-formed event (no-op while disabled). For spans whose
+  /// open and close happen on different threads or under an explicit
+  /// TraceContext; e.tid of 0 is replaced with the calling thread's id.
+  static void record(TraceEvent e);
 
   /// Chrome trace_event format: {"traceEvents":[{"ph":"X",...},...]}.
   static void write_chrome(std::ostream& os);
@@ -55,12 +91,19 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// Nonzero only when the span opened under an ambient TraceContext;
+  /// the value to propagate as `parent_span` to work this span spawns.
+  std::uint64_t span_id() const { return span_id_; }
+
  private:
   const char* name_;
   const char* category_;
   std::int64_t t0_us_ = 0;
   int depth_ = 0;
   bool active_ = false;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
 };
 
 }  // namespace dg::obs

@@ -1,0 +1,76 @@
+#include "obs/tracectx.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace dg::obs {
+
+namespace {
+
+thread_local TraceContext t_ambient;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t process_salt() {
+  static const std::uint64_t salt = [] {
+    const auto boot = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return splitmix64(boot ^ (static_cast<std::uint64_t>(::getpid()) << 32));
+  }();
+  return salt;
+}
+
+}  // namespace
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = splitmix64(process_salt() + n);
+  return id == 0 ? 1 : id;  // 0 is the "absent" sentinel
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+std::uint64_t trace_id_from_hex(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+  }
+  if (s.empty() || s.size() > 16) return 0;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return v;
+}
+
+TraceContext current_trace() { return t_ambient; }
+
+TraceContext& detail::ambient_trace() { return t_ambient; }
+
+TraceScope::TraceScope(TraceContext ctx) : prev_(t_ambient) { t_ambient = ctx; }
+
+TraceScope::~TraceScope() { t_ambient = prev_; }
+
+}  // namespace dg::obs

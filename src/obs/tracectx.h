@@ -1,0 +1,72 @@
+// Trace context: the per-request identity that lets one logical request be
+// followed across process boundaries (shard router -> worker -> sampler
+// lane). A context is two 64-bit ids — the trace id, shared by every span
+// the request touches anywhere in the fleet, and the parent span id, the
+// innermost open span on the propagating side — plus an implicit sampling
+// decision (trace_id == 0 means "not sampled": every hot path checks that
+// single word and does no tracing work).
+//
+// Propagation has two forms:
+//  * In-process, same thread: an ambient thread-local context. TraceScope
+//    installs a context for a lexical region; Span (obs/trace.h) reads it,
+//    allocates its own span id, and re-points the ambient parent at itself
+//    so nested spans chain correctly.
+//  * Cross-process / cross-thread: the context travels explicitly (a
+//    `trace` JSON field on the wire, a TraceContext member on a queued
+//    job), and spans are recorded with Trace::record() carrying the ids.
+//
+// Ids are process-salted (pid + startup clock mixed through splitmix64) so
+// two workers can never mint the same id, which is what makes the merged
+// fleet trace unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dg::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;     // 0 = not sampled / no context
+  std::uint64_t parent_span = 0;  // innermost open span on the sender
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// Process-unique, never-zero 64-bit id (span ids and trace ids share the
+/// same generator — uniqueness matters, the namespaces do not).
+std::uint64_t next_trace_id();
+
+/// Fixed-width lowercase hex (16 digits), the wire/display form of an id.
+/// 64-bit ids do not survive a JSON double round-trip, hex strings do.
+std::string trace_id_hex(std::uint64_t id);
+
+/// Inverse of trace_id_hex (an optional "0x" prefix is accepted).
+/// Returns 0 on malformed input — indistinguishable from "absent", which
+/// is the correct failure mode for an optional field.
+std::uint64_t trace_id_from_hex(std::string_view s);
+
+/// The calling thread's ambient context (zero when none is installed).
+TraceContext current_trace();
+
+/// RAII: installs `ctx` as the calling thread's ambient context, restoring
+/// the previous one on destruction. Spans opened inside the scope attach
+/// to ctx.trace_id with ctx.parent_span as their initial parent.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+namespace detail {
+/// The mutable thread-local slot behind current_trace()/TraceScope; Span
+/// uses it to re-parent nested spans. Not for use outside dg::obs.
+TraceContext& ambient_trace();
+}  // namespace detail
+
+}  // namespace dg::obs

@@ -54,6 +54,15 @@ GenRequest request_from_json(const json::Value& v) {
       req.fixed.push_back(std::move(f));
     }
   }
+  if (const json::Value* trace = v.find("trace")) {
+    // Optional distributed-trace context; a malformed field degrades to
+    // "unsampled" rather than rejecting the request.
+    if (trace->is_object()) {
+      req.trace.trace_id = obs::trace_id_from_hex(trace->string_or("id", ""));
+      req.trace.parent_span =
+          obs::trace_id_from_hex(trace->string_or("parent", ""));
+    }
+  }
   if (const json::Value* where = v.find("where")) {
     for (const json::Value& e : where->as_array()) {
       AttrPredicate p;
@@ -100,6 +109,14 @@ json::Value request_to_json(const GenRequest& req) {
       where.push_back(std::move(e));
     }
     v.set("where", std::move(where));
+  }
+  if (req.trace.sampled()) {
+    json::Value trace{json::Object{}};
+    trace.set("id", obs::trace_id_hex(req.trace.trace_id));
+    if (req.trace.parent_span != 0) {
+      trace.set("parent", obs::trace_id_hex(req.trace.parent_span));
+    }
+    v.set("trace", std::move(trace));
   }
   return v;
 }
@@ -175,6 +192,7 @@ json::Value response_to_json(const GenResponse& resp, const data::Schema& schema
   if (!resp.error.empty()) v.set("error", resp.error);
   if (!resp.code.empty()) v.set("code", resp.code);
   if (!resp.package_hash.empty()) v.set("package_hash", resp.package_hash);
+  if (!resp.trace_id.empty()) v.set("trace", resp.trace_id);
   v.set("rejected", static_cast<double>(resp.series_rejected));
   v.set("latency_ms", resp.latency_ms);
   json::Array objects;
@@ -194,6 +212,7 @@ GenResponse response_from_json(const json::Value& v, const data::Schema& schema)
   resp.error = v.string_or("error", "");
   resp.code = v.string_or("code", "");
   resp.package_hash = v.string_or("package_hash", "");
+  resp.trace_id = v.string_or("trace", "");
   resp.series_rejected = static_cast<long long>(v.number_or("rejected", 0));
   resp.latency_ms = v.number_or("latency_ms", 0.0);
   if (const json::Value* objects = v.find("objects")) {
@@ -283,10 +302,62 @@ obs::RegistrySnapshot registry_snapshot_from_json(const json::Value& v) {
           h.buckets.push_back(static_cast<std::uint64_t>(b.as_number()));
         }
       }
+      if (const json::Value* exemplars = val.find("exemplars")) {
+        for (const json::Value& e : exemplars->as_array()) {
+          const auto bucket =
+              static_cast<std::size_t>(e.number_or("bucket", 0));
+          if (bucket >= h.buckets.size()) continue;
+          if (h.exemplars.empty()) h.exemplars.resize(h.buckets.size());
+          h.exemplars[bucket] = obs::Exemplar{
+              obs::trace_id_from_hex(e.string_or("trace", "")),
+              e.number_or("v", 0.0)};
+        }
+      }
       snap.histograms.emplace_back(name, std::move(h));
     }
   }
   return snap;
+}
+
+json::Value trace_events_to_json(const std::vector<obs::TraceEvent>& events) {
+  json::Array arr;
+  arr.reserve(events.size());
+  for (const obs::TraceEvent& e : events) {
+    json::Value v{json::Object{}};
+    v.set("name", e.name);
+    v.set("cat", e.category);
+    v.set("tid", e.tid);
+    v.set("ts_us", e.ts_us);
+    v.set("dur_us", e.dur_us);
+    v.set("depth", e.depth);
+    if (e.trace_id != 0) {
+      v.set("trace", obs::trace_id_hex(e.trace_id));
+      v.set("span", obs::trace_id_hex(e.span_id));
+      if (e.parent_span != 0) {
+        v.set("parent", obs::trace_id_hex(e.parent_span));
+      }
+    }
+    arr.push_back(std::move(v));
+  }
+  return json::Value{std::move(arr)};
+}
+
+std::vector<obs::TraceEvent> trace_events_from_json(const json::Value& v) {
+  std::vector<obs::TraceEvent> out;
+  for (const json::Value& ev : v.as_array()) {
+    obs::TraceEvent e;
+    e.name = ev.string_or("name", "");
+    e.category = ev.string_or("cat", "");
+    e.tid = static_cast<std::uint64_t>(ev.number_or("tid", 0));
+    e.ts_us = static_cast<std::int64_t>(ev.number_or("ts_us", 0));
+    e.dur_us = static_cast<std::int64_t>(ev.number_or("dur_us", 0));
+    e.depth = static_cast<int>(ev.number_or("depth", 0));
+    e.trace_id = obs::trace_id_from_hex(ev.string_or("trace", ""));
+    e.span_id = obs::trace_id_from_hex(ev.string_or("span", ""));
+    e.parent_span = obs::trace_id_from_hex(ev.string_or("parent", ""));
+    out.push_back(std::move(e));
+  }
+  return out;
 }
 
 }  // namespace dg::serve

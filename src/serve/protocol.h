@@ -6,6 +6,13 @@
 //    "where":[{"attr":"dc","op":"eq","value":"s1"}]}
 //   {"op":"stats"}
 //   {"op":"schema"}
+//   {"op":"clock"}   -> {"ok":true,"steady_us":N}   epoch-offset handshake
+//   {"op":"trace"}   -> {"ok":true,"steady_us":N,"dropped":N,"events":[...]}
+//                       drains the process span buffer
+//
+// Unknown top-level fields are ignored on both sides (parsers read known
+// names and skip the rest), so optional additions — `trace` context on a
+// generate request, `trace` id on a reply — flow through old peers intact.
 //
 // `fixed` maps attribute name -> raw value (number) or categorical label
 // (string). `where` entries compare a decoded attribute with op one of
@@ -14,9 +21,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "data/types.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 #include "serve/types.h"
 
@@ -40,5 +49,12 @@ StatsSnapshot stats_from_json(const json::Value& v);
 /// (counters, gauges, histograms with bounds/buckets). The router uses it to
 /// re-ingest per-worker "metrics" replies for fleet-wide aggregation.
 obs::RegistrySnapshot registry_snapshot_from_json(const json::Value& v);
+
+/// Span buffer on the wire (the `trace` op payload): each event is
+/// {"name","cat","tid","ts_us","dur_us","depth"} plus hex "trace"/"span"/
+/// "parent" ids, omitted when zero. Timestamps stay in the emitting
+/// process's trace timebase; alignment happens at merge.
+json::Value trace_events_to_json(const std::vector<obs::TraceEvent>& events);
+std::vector<obs::TraceEvent> trace_events_from_json(const json::Value& v);
 
 }  // namespace dg::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "serve/tape_exec.h"
 
 namespace dg::serve {
@@ -19,6 +20,20 @@ void copy_row(const nn::Matrix& src, int src_row, nn::Matrix& dst,
 
 void zero_row(nn::Matrix& m, int row) {
   for (int j = 0; j < m.cols(); ++j) m.at(row, j) = 0.0f;
+}
+
+void record_span(const char* name, std::int64_t t0_us, std::int64_t t1_us,
+                 const obs::TraceContext& ctx, std::uint64_t span_id,
+                 std::uint64_t parent_span) {
+  obs::TraceEvent e;
+  e.name = name;
+  e.category = "serve";
+  e.ts_us = t0_us;
+  e.dur_us = t1_us - t0_us;
+  e.trace_id = ctx.trace_id;
+  e.span_id = span_id;
+  e.parent_span = parent_span;
+  obs::Trace::record(std::move(e));
 }
 
 }  // namespace
@@ -88,6 +103,15 @@ void SlotSampler::begin_series(Lane& lane, int row) {
   lane.cap_records = lane.job.max_len;
   std::fill(lane.features.begin(), lane.features.end(), 0.0f);
   ++lane.attempts_used;
+  if (lane.attempts_used == 1) {
+    // Slot-occupancy span: admission to retirement (rejection retries stay
+    // inside the same span — the lane is occupied throughout).
+    lane.span_id = 0;
+    if (lane.job.trace.sampled() && obs::Trace::enabled()) {
+      lane.span_id = obs::next_trace_id();
+      lane.t_begin_us = obs::Trace::now_us();
+    }
+  }
   lane.busy = true;
 }
 
@@ -102,20 +126,33 @@ int SlotSampler::pump() {
   // consumption order per stream is identical. The staging matrix is
   // persistent: stale rows under idle lanes feed only those lanes' own
   // discarded state, which begin_series re-zeroes on admission.
+  const bool tracing = obs::Trace::enabled();
+  const Lane* traced_lane = nullptr;  // first traced occupant, if any
   const int noise_dim = noise_.cols();
   for (int r = 0; r < width_; ++r) {
     Lane& lane = lanes_[static_cast<size_t>(r)];
     if (!lane.busy) continue;
+    if (tracing && traced_lane == nullptr && lane.span_id != 0) {
+      traced_lane = &lane;
+    }
     for (int j = 0; j < noise_dim; ++j) {
       noise_.at(r, j) = static_cast<float>(lane.job.rng.normal(0.0, 1.0));
     }
   }
 
+  // The batched step serves every occupied lane at once; attribute its span
+  // to the first traced occupant (the step has no single owner).
+  const std::int64_t t_step = traced_lane ? obs::Trace::now_us() : 0;
   if (tape_) {
     tape_->step(ctx_, noise_, state_, records_);
     ++stats_.tape_steps;
   } else {
     records_ = model_->generation_step(ctx_, noise_, state_);
+  }
+  if (traced_lane != nullptr) {
+    record_span(tape_ ? "serve.tape_replay" : "serve.autograd_step", t_step,
+                obs::Trace::now_us(), traced_lane->job.trace,
+                obs::next_trace_id(), traced_lane->span_id);
   }
   const nn::Matrix& records = records_;
   stats_.rnn_steps += 1;
@@ -193,6 +230,11 @@ void SlotSampler::finish_lane(Lane& lane, int row) {
   res.attempts_used = lane.attempts_used;
   res.object = std::move(obj);
   results_.push_back(std::move(res));
+  if (lane.span_id != 0) {
+    record_span("serve.slot", lane.t_begin_us, obs::Trace::now_us(),
+                lane.job.trace, lane.span_id, lane.job.trace.parent_span);
+    lane.span_id = 0;
+  }
   lane.busy = false;
   --occupied_;
 }

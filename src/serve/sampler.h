@@ -47,6 +47,10 @@ struct SeriesJob {
   int max_len = 0;        // record cap; 0 = schema max_timesteps
   int attempts_left = 1;  // rejection-sampling budget
   SeriesSpecPtr spec;     // may be null (plain request)
+  // Distributed-trace context (trace_id, worker request span); sampled
+  // jobs record a slot-occupancy span per series plus step spans. Never a
+  // generation input.
+  obs::TraceContext trace;
 };
 
 struct SeriesResult {
@@ -108,6 +112,8 @@ class SlotSampler {
     int emitted = 0;      // records accumulated so far
     int cap_records = 0;  // min(max_len or tmax, tmax)
     std::vector<float> features;  // feature_row_dim floats, zero-padded
+    std::uint64_t span_id = 0;    // slot-occupancy span (traced jobs only)
+    std::int64_t t_begin_us = 0;  // lane admission, trace timebase
   };
 
   void admit();

@@ -15,6 +15,7 @@
 
 #include "data/io.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 
 namespace dg::serve {
@@ -135,6 +136,26 @@ LineHandler service_handler(GenerationService& service) {
         return "{\"ok\":true,\"service\":" + service.metrics_json() +
                ",\"process\":" +
                obs::to_json(obs::Registry::global().snapshot()) + "}";
+      }
+      if (op == "clock") {
+        // Epoch-offset handshake: the caller pairs this process's trace
+        // timebase reading with its own send/receive timestamps to bound
+        // the offset between the two steady_clock epochs.
+        json::Value v{json::Object{}};
+        v.set("ok", true);
+        v.set("steady_us", obs::Trace::now_us());
+        return json::dump(v);
+      }
+      if (op == "trace") {
+        // Drains (moves out) the span ring; the epoch is left alone so
+        // successive drains share one timebase.
+        json::Value v{json::Object{}};
+        v.set("ok", true);
+        v.set("steady_us", obs::Trace::now_us());
+        v.set("enabled", obs::Trace::enabled());
+        v.set("dropped", obs::Trace::dropped());
+        v.set("events", trace_events_to_json(obs::Trace::drain()));
+        return json::dump(v);
       }
       if (op == "schema") {
         std::ostringstream os;

@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
 #include "core/preflight.h"
+#include "obs/trace.h"
+#include "obs/tracectx.h"
 
 #include <algorithm>
 #include <chrono>
@@ -58,6 +60,23 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// Explicit span for work whose open and close straddle threads (submit on
+// a connection thread, delivery on an engine thread): timestamps are
+// captured in the trace timebase and the ids are carried on the request.
+void record_span(const char* name, std::int64_t t0_us, std::int64_t t1_us,
+                 std::uint64_t trace_id, std::uint64_t span_id,
+                 std::uint64_t parent_span) {
+  obs::TraceEvent e;
+  e.name = name;
+  e.category = "serve";
+  e.ts_us = t0_us;
+  e.dur_us = t1_us - t0_us;
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_span = parent_span;
+  obs::Trace::record(std::move(e));
 }
 
 }  // namespace
@@ -149,6 +168,10 @@ data::Schema GenerationService::schema() const {
 std::future<GenResponse> GenerationService::submit(GenRequest req) {
   auto pr = std::make_shared<PendingRequest>();
   pr->t_submit = std::chrono::steady_clock::now();
+  if (req.trace.sampled() && obs::Trace::enabled()) {
+    pr->span_id = obs::next_trace_id();
+    pr->t_submit_us = obs::Trace::now_us();
+  }
   std::future<GenResponse> fut = pr->promise.get_future();
   requests_.add(1);
 
@@ -184,7 +207,9 @@ std::future<GenResponse> GenerationService::submit(GenRequest req) {
   return fut;
 }
 
-void GenerationService::record_latency(double ms) { latency_ms_.record(ms); }
+void GenerationService::record_latency(double ms, std::uint64_t trace_id) {
+  latency_ms_.record(ms, trace_id);
+}
 
 void GenerationService::add_sampler_delta(const SamplerStats& now,
                                           SamplerStats& last) {
@@ -285,6 +310,12 @@ void GenerationService::engine_loop() {
   SamplerStats last_stats;
 
   auto admit = [&](PendingPtr pr) {
+    if (pr->span_id != 0) {
+      // Queue wait: submit to engine pickup, parented under the request
+      // span recorded at delivery.
+      record_span("serve.queue_wait", pr->t_submit_us, obs::Trace::now_us(),
+                  pr->req.trace.trace_id, obs::next_trace_id(), pr->span_id);
+    }
     Tracking t;
     t.pr = std::move(pr);
     const GenRequest& req = t.pr->req;
@@ -310,6 +341,8 @@ void GenerationService::engine_loop() {
     for (int i = 0; i < req.count; ++i) {
       SeriesJob job;
       job.request_id = ticket;
+      job.trace =
+          obs::TraceContext{req.trace.trace_id, t.pr->span_id};  // lane spans
       job.index = i;
       job.rng = root.fork();
       job.max_len = req.max_len;
@@ -350,7 +383,13 @@ void GenerationService::engine_loop() {
       }
       resp.latency_ms = ms_since(t.pr->t_submit);
       resp.package_hash = my_hash;
-      record_latency(resp.latency_ms);
+      if (t.pr->span_id != 0) {
+        const GenRequest& req = t.pr->req;
+        record_span("serve.request", t.pr->t_submit_us, obs::Trace::now_us(),
+                    req.trace.trace_id, t.pr->span_id, req.trace.parent_span);
+        resp.trace_id = obs::trace_id_hex(req.trace.trace_id);
+      }
+      record_latency(resp.latency_ms, t.pr->req.trace.trace_id);
       responses_.add(1);
       t.pr->promise.set_value(std::move(resp));
       inflight.erase(it);

@@ -89,13 +89,18 @@ class GenerationService {
     std::uint64_t ticket = 0;  // service-internal id (client ids may collide)
     std::promise<GenResponse> promise;
     std::chrono::steady_clock::time_point t_submit;
+    // Distributed tracing (sampled requests only, see types.h): the
+    // worker-side request span, allocated at submit so queue-wait and lane
+    // spans can parent under it before it is recorded at delivery.
+    std::uint64_t span_id = 0;
+    std::int64_t t_submit_us = 0;  // obs::Trace::now_us() timebase
   };
   using PendingPtr = std::shared_ptr<PendingRequest>;
 
   void engine_loop();
   std::shared_ptr<const core::DoppelGanger> current_model() const;
   void maybe_reload();
-  void record_latency(double ms);
+  void record_latency(double ms, std::uint64_t trace_id = 0);
   void add_sampler_delta(const SamplerStats& now, SamplerStats& last);
 
   ServiceConfig cfg_;

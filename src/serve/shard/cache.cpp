@@ -9,7 +9,8 @@ namespace dg::serve::shard {
 std::string cache_key(const std::string& package_hash, const GenRequest& req) {
   if (package_hash.empty()) return {};
   GenRequest canonical = req;
-  canonical.id = 0;  // echo field, not a generation input
+  canonical.id = 0;   // echo field, not a generation input
+  canonical.trace = {};  // observability identity, not a generation input
   return package_hash + "\n" + json::dump(request_to_json(canonical));
 }
 

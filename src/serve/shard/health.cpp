@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "serve/protocol.h"
 
 namespace dg::serve::shard {
@@ -53,6 +54,30 @@ void HealthMonitor::poll_worker(Worker& w) {
     h.occupancy = s.occupancy;
     h.p99_latency_ms = s.p99_latency_ms;
     h.package_hash = s.package_hash;
+    // Epoch alignment for the distributed-trace merge: one echo-timestamp
+    // round trip per sweep, only while this process is actually collecting
+    // traces (offsets exist solely for the merge, and a worker that doesn't
+    // speak the op — an old build, or a test fake — must not see surprise
+    // traffic otherwise). The worker's reading is bracketed by two local
+    // trace-timebase stamps; assuming symmetric transit, the midpoint names
+    // the same instant and half the round trip bounds the error. Clock
+    // problems never fail the poll: the stats above already proved the
+    // worker serving, and an unanswered clock op just leaves the offset
+    // unmeasured (skew −1).
+    if (obs::Trace::enabled()) {
+      try {
+        const std::int64_t t0 = obs::Trace::now_us();
+        const json::Value cv = json::parse(conn.call("{\"op\":\"clock\"}"));
+        const std::int64_t t1 = obs::Trace::now_us();
+        if (cv.bool_or("ok", false) && cv.find("steady_us") != nullptr) {
+          const auto worker_us =
+              static_cast<std::int64_t>(cv.number_or("steady_us", 0));
+          h.clock_offset_us = (t0 + t1) / 2 - worker_us;
+          h.clock_skew_us = (t1 - t0 + 1) / 2;
+        }
+      } catch (const std::exception&) {
+      }
+    }
     w.set_health(std::move(h));
     w.clear_failures();
     if (w.state() != WorkerState::Draining) w.set_state(WorkerState::Up);

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "data/types.h"
+#include "obs/trace.h"
+#include "obs/tracectx.h"
 #include "serve/protocol.h"
 
 namespace dg::serve::shard {
@@ -110,6 +114,14 @@ bool Router::try_forward(Worker& w, const std::string& line,
   return false;
 }
 
+bool Router::should_sample() {
+  if (cfg_.trace_sample_rate <= 0.0 || !obs::Trace::enabled()) return false;
+  if (cfg_.trace_sample_rate >= 1.0) return true;
+  const auto period =
+      static_cast<std::uint64_t>(std::llround(1.0 / cfg_.trace_sample_rate));
+  return sample_counter_.fetch_add(1, std::memory_order_relaxed) % period == 0;
+}
+
 std::string Router::handle_generate(const json::Value& req_json,
                                     const std::string& line) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -124,15 +136,31 @@ std::string Router::handle_generate(const json::Value& req_json,
         error_code::kBadRequest);
   }
 
+  // Sampling decision: a sampled request is the trace root — every router
+  // span below opens under this ambient context, and the forwarded line is
+  // re-stamped per attempt so the worker's spans parent under that attempt.
+  // Unsampled requests (the overwhelming majority) take the exact original
+  // path: no spans, and the original line is forwarded verbatim.
+  if (should_sample()) req.trace.trace_id = obs::next_trace_id();
+  const bool sampled = req.trace.sampled();
+  std::optional<obs::TraceScope> scope;
+  std::optional<obs::Span> root;
+  if (sampled) {
+    scope.emplace(obs::TraceContext{req.trace.trace_id, 0});
+    root.emplace("router.request", "router");
+  }
+
   // Cache first: a hit is provably the worker's answer (see cache.h), and
   // serving memory is never worth shedding, so hits bypass admission.
   const std::string key = cache_key(health_.fleet_hash(), req);
   if (!key.empty()) {
+    std::optional<obs::Span> lookup;
+    if (sampled) lookup.emplace("router.cache_lookup", "router");
     std::string cached;
     if (cache_.lookup(key, cached)) {
       cache_hits_.add(1);
       responses_.add(1);
-      latency_ms_.record(ms_since(t0));
+      latency_ms_.record(ms_since(t0), req.trace.trace_id);
       return rewrite_reply_id(cached, req.id);
     }
     cache_misses_.add(1);
@@ -141,13 +169,17 @@ std::string Router::handle_generate(const json::Value& req_json,
   // SLO admission: while the fleet's exact p99 (from the workers' own
   // histograms, refreshed each health sweep) is over budget, prefer a fast
   // structured refusal over joining the convoy.
-  if (cfg_.slo_p99_ms > 0.0 && health_.max_p99_ms() > cfg_.slo_p99_ms) {
-    shed_slo_.add(1);
-    return error_reply(req.id,
-                       "fleet p99 " + std::to_string(health_.max_p99_ms()) +
-                           "ms exceeds SLO " +
-                           std::to_string(cfg_.slo_p99_ms) + "ms",
-                       error_code::kShed);
+  {
+    std::optional<obs::Span> admission;
+    if (sampled) admission.emplace("router.admission", "router");
+    if (cfg_.slo_p99_ms > 0.0 && health_.max_p99_ms() > cfg_.slo_p99_ms) {
+      shed_slo_.add(1);
+      return error_reply(req.id,
+                         "fleet p99 " + std::to_string(health_.max_p99_ms()) +
+                             "ms exceeds SLO " +
+                             std::to_string(cfg_.slo_p99_ms) + "ms",
+                         error_code::kShed);
+    }
   }
 
   const std::size_t n = pool_.size();
@@ -164,7 +196,19 @@ std::string Router::handle_generate(const json::Value& req_json,
     any_up = true;
     if (w.inflight() >= cfg_.max_inflight_per_worker) continue;
     any_unsaturated = true;
-    if (try_forward(w, line, reply)) {
+    const std::string* fwd = &line;
+    std::optional<obs::Span> attempt;
+    std::string stamped;
+    if (sampled) {
+      // Route attempt k: the worker's request span parents under THIS
+      // attempt, so a failover shows up as sibling attempt spans with the
+      // successful worker's subtree under the last one.
+      attempt.emplace("router.attempt", "router");
+      req.trace.parent_span = attempt->span_id();
+      stamped = json::dump(request_to_json(req));
+      fwd = &stamped;
+    }
+    if (try_forward(w, *fwd, reply)) {
       got = true;
       used = i;
     }
@@ -186,12 +230,14 @@ std::string Router::handle_generate(const json::Value& req_json,
   }
   if (used != home) reroutes_.add(1);
   responses_.add(1);
-  latency_ms_.record(ms_since(t0));
+  latency_ms_.record(ms_since(t0), req.trace.trace_id);
 
   // Insert only complete successes whose producing package matches the
   // CURRENT consensus — a reply generated mid-rollout by a straggler
-  // worker must never be stored under the new package's identity.
-  if (cfg_.cache_capacity > 0) {
+  // worker must never be stored under the new package's identity. Sampled
+  // replies are never inserted: they carry this request's trace id, which
+  // must not replay to a later cache-hit client.
+  if (cfg_.cache_capacity > 0 && !sampled) {
     const std::string fleet = health_.fleet_hash();
     if (!fleet.empty() && scan_bool_true(reply, "ok") &&
         scan_bool_true(reply, "complete") &&
@@ -328,6 +374,58 @@ std::string Router::handle_metrics() {
          ",\"workers\":" + workers_out + "}";
 }
 
+std::string Router::handle_trace() {
+  // Fleet trace drain: the router's own span ring plus every Up worker's,
+  // each tagged with the clock alignment the health sweep last measured so
+  // the client can rebase worker timestamps onto the router's timebase
+  // (worker ts + offset_us ≈ router ts, ± skew_us). Draining is
+  // destructive per process — each call returns only spans emitted since
+  // the previous drain — but the epochs are untouched, so successive
+  // drains stay mutually alignable.
+  json::Value v{json::Object{}};
+  v.set("ok", true);
+  v.set("tier", "router");
+  json::Array procs;
+  {
+    json::Value self{json::Object{}};
+    self.set("pid", 1.0);
+    self.set("name", "router");
+    self.set("offset_us", static_cast<std::int64_t>(0));
+    self.set("skew_us", static_cast<std::int64_t>(0));
+    self.set("dropped", obs::Trace::dropped());
+    self.set("events", trace_events_to_json(obs::Trace::drain()));
+    procs.push_back(std::move(self));
+  }
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    Worker& w = pool_.worker(i);
+    if (w.state() != WorkerState::Up) continue;
+    std::string reply;
+    if (!try_forward(w, "{\"op\":\"trace\"}", reply)) continue;
+    try {
+      const json::Value rv = json::parse(reply);
+      if (!rv.bool_or("ok", false)) continue;  // old worker without the op
+      const json::Value* events = rv.find("events");
+      if (!events) continue;
+      const WorkerEndpoint ep = w.endpoint();
+      const WorkerHealth h = w.health();
+      json::Value row{json::Object{}};
+      row.set("pid", static_cast<double>(2 + i));
+      row.set("name", "worker" + std::to_string(i));
+      row.set("index", static_cast<double>(i));
+      row.set("host", ep.host);
+      row.set("port", ep.port);
+      row.set("offset_us", h.clock_offset_us);
+      row.set("skew_us", h.clock_skew_us);
+      row.set("dropped", rv.number_or("dropped", 0));
+      row.set("events", *events);
+      procs.push_back(std::move(row));
+    } catch (const std::exception&) {
+    }
+  }
+  v.set("processes", std::move(procs));
+  return json::dump(v);
+}
+
 std::string Router::handle_schema() {
   for (std::size_t i = 0; i < pool_.size(); ++i) {
     Worker& w = pool_.worker(i);
@@ -386,6 +484,7 @@ std::string Router::handle_line(const std::string& line) {
     if (op == "generate") return handle_generate(req, line);
     if (op == "stats" || op == "workers") return handle_stats();
     if (op == "metrics") return handle_metrics();
+    if (op == "trace") return handle_trace();
     if (op == "schema") return handle_schema();
     if (op == "drain" || op == "undrain" || op == "restart") {
       return handle_admin(op, req);

@@ -26,6 +26,7 @@
 // on every change.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -47,6 +48,11 @@ struct RouterConfig {
   std::size_t cache_capacity = 1024;  // reply lines; 0 disables the cache
   int max_inflight_per_worker = 64;   // admission cap per replica
   double slo_p99_ms = 0.0;            // 0 = no SLO shedding
+  // Distributed-trace sampling: fraction of generate requests stamped with
+  // a trace context (deterministic 1-in-round(1/rate) pacing, not a coin
+  // flip, so a fixed request count always yields traces). 0 = off. Takes
+  // effect only while obs::Trace is collecting in the router process.
+  double trace_sample_rate = 0.0;
   HealthOptions health;
 };
 
@@ -79,6 +85,9 @@ class Router {
                               const std::string& line);
   std::string handle_stats();
   std::string handle_metrics();
+  std::string handle_trace();
+  /// Deterministic sampling decision for one generate request.
+  bool should_sample();
   std::string handle_schema();
   std::string handle_admin(const std::string& op, const json::Value& req);
   /// Sends `line` to `w` over a pooled connection; one same-worker retry on
@@ -94,6 +103,7 @@ class Router {
   RouterConfig cfg_;
   GenCache cache_;
   HealthMonitor health_;
+  std::atomic<std::uint64_t> sample_counter_{0};
 
   obs::Registry registry_;
   obs::Counter& requests_ = registry_.counter("router.requests");

@@ -51,6 +51,13 @@ struct WorkerHealth {
   double occupancy = 0.0;
   double p99_latency_ms = 0.0;
   std::string package_hash;
+  // steady_clock epoch alignment from the sweep's echo-timestamp round
+  // trip (the worker's `clock` op): worker trace timestamp + clock_offset_us
+  // ≈ the same instant in the router's trace timebase, accurate to
+  // ±clock_skew_us (half the round trip). skew < 0 = never measured (old
+  // worker without the op, or no successful sweep yet).
+  std::int64_t clock_offset_us = 0;
+  std::int64_t clock_skew_us = -1;
 };
 
 class Worker {

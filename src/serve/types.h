@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/types.h"
+#include "obs/tracectx.h"
 
 namespace dg::serve {
 
@@ -41,6 +42,12 @@ struct GenRequest {
   int max_attempts = 16;   // per-series rejection budget (conditional only)
   std::vector<FixedAttr> fixed;
   std::vector<AttrPredicate> where;
+  // Distributed-trace context stamped by the shard router on sampled
+  // requests (trace_id == 0 ⇒ unsampled). Carried on the wire as an
+  // optional `trace` field, omitted when absent — old workers and clients
+  // never see it. Not a generation input: two requests differing only in
+  // trace produce byte-identical series.
+  obs::TraceContext trace;
 };
 
 /// Machine-readable failure classes carried next to the free-text `error`.
@@ -66,6 +73,9 @@ struct GenResponse {
   // "" when serving an injected model with no package file). The shard
   // cache keys on it: same hash + same request ⇒ byte-identical series.
   std::string package_hash;
+  // Echo of the request's trace id (hex, "" when unsampled) so a client
+  // holding a slow reply can pull the matching span tree via `trace`.
+  std::string trace_id;
 };
 
 /// Counter snapshot for the /stats endpoint. Occupancy is the fraction of

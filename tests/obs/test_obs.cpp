@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -27,6 +28,7 @@
 #include "obs/profile.h"
 #include "obs/runlog.h"
 #include "obs/trace.h"
+#include "obs/tracectx.h"
 #include "serve/json.h"
 #include "synth/synth.h"
 
@@ -583,6 +585,256 @@ TEST(MergeSnapshots, EmptyInputYieldsEmptySnapshot) {
   EXPECT_TRUE(merged.counters.empty());
   EXPECT_TRUE(merged.gauges.empty());
   EXPECT_TRUE(merged.histograms.empty());
+}
+
+// Property suite: the bucket-CDF quantile merge against a sorted-reference
+// oracle. Because every shard buckets by the same upper-inclusive bounds,
+// the merged CDF ranks agree with the full sorted sample's ranks — so the
+// merged quantile must land EXACTLY on the upper bound of the bucket that
+// contains the nearest-rank element (clamped to the lifetime max; the
+// overflow bucket reports the max itself). Random shard splits, including
+// empty and partial-window parts, must never perturb that.
+TEST(MergeSnapshots, PropertyQuantileMergeMatchesSortedOracleAcrossShardSplits) {
+  nn::Rng rng(20260807);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random bounds ladder (1-4 bounds, strictly increasing).
+    std::vector<double> bounds;
+    double b = rng.uniform(0.2, 2.0);
+    const int n_bounds = 1 + rng.uniform_int(4);
+    for (int i = 0; i < n_bounds; ++i) {
+      bounds.push_back(b);
+      b *= rng.uniform(1.5, 4.0);
+    }
+    // Random shard split: one registry per shard, same bounds everywhere.
+    // A deliberately small window on odd trials keeps some parts partial
+    // (window < lifetime count) — bucket counts are lifetime, so the merge
+    // must not care.
+    const int n_shards = 1 + rng.uniform_int(5);
+    const HistogramOptions opts{.bounds = bounds,
+                                .window = (trial % 2 == 0) ? 512u : 8u};
+    std::vector<std::unique_ptr<Histogram>> shards;
+    for (int s = 0; s < n_shards; ++s) {
+      shards.push_back(std::make_unique<Histogram>(opts));
+    }
+    const int n_vals = rng.uniform_int(120);  // 0 = all-empty edge case
+    std::vector<double> all;
+    for (int i = 0; i < n_vals; ++i) {
+      // Log-uniform so every bucket (incl. overflow) gets traffic.
+      const double v = std::exp(rng.uniform(-2.0, 4.0));
+      all.push_back(v);
+      shards[static_cast<std::size_t>(rng.uniform_int(n_shards))]->record(v);
+    }
+    std::vector<RegistrySnapshot> parts;
+    for (const auto& h : shards) {
+      RegistrySnapshot p;
+      p.histograms.emplace_back("lat", h->snapshot());
+      parts.push_back(std::move(p));
+    }
+    const RegistrySnapshot merged = merge_snapshots(parts);
+    ASSERT_EQ(merged.histograms.size(), 1u);
+    const HistogramSnapshot& h = merged.histograms[0].second;
+    ASSERT_EQ(h.count, all.size());
+    if (all.empty()) {
+      EXPECT_DOUBLE_EQ(h.p50, 0.0);
+      EXPECT_DOUBLE_EQ(h.p99, 0.0);
+      continue;
+    }
+    const double max_seen = *std::max_element(all.begin(), all.end());
+    EXPECT_DOUBLE_EQ(h.max, max_seen);
+    for (const double q : {0.5, 0.9, 0.99}) {
+      const double exact = reference_quantile(all, q);
+      // Oracle: upper bound of the bucket holding the exact quantile.
+      std::size_t bucket = bounds.size();  // overflow unless a bound covers it
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (exact <= bounds[i]) {
+          bucket = i;
+          break;
+        }
+      }
+      const double expect = bucket < bounds.size()
+                                ? std::min(bounds[bucket], max_seen)
+                                : max_seen;
+      const double got = q == 0.5 ? h.p50 : (q == 0.9 ? h.p90 : h.p99);
+      EXPECT_DOUBLE_EQ(got, expect)
+          << "trial " << trial << " q " << q << " shards " << n_shards;
+      EXPECT_GE(got, exact - 1e-12);  // never under-reports the true quantile
+    }
+  }
+}
+
+TEST(MergeSnapshots, MismatchedBoundsFallbackCoversAllThreeQuantiles) {
+  Histogram ha(HistogramOptions{.bounds = {1.0, 2.0}, .window = 64});
+  Histogram hb(HistogramOptions{.bounds = {8.0}, .window = 64});
+  for (const double v : {0.5, 1.5, 1.9}) ha.record(v);
+  for (const double v : {4.0, 6.0}) hb.record(v);
+  RegistrySnapshot pa, pb;
+  pa.histograms.emplace_back("lat", ha.snapshot());
+  pb.histograms.emplace_back("lat", hb.snapshot());
+  const HistogramSnapshot a = ha.snapshot(), b = hb.snapshot();
+  const RegistrySnapshot merged = merge_snapshots({pa, pb});
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const HistogramSnapshot& h = merged.histograms[0].second;
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.p50, std::max(a.p50, b.p50));
+  EXPECT_DOUBLE_EQ(h.p90, std::max(a.p90, b.p90));
+  EXPECT_DOUBLE_EQ(h.p99, std::max(a.p99, b.p99));
+}
+
+// ---------------------------------------------------------------------------
+// Slow-request exemplars: per-bucket worst recent request, snapshot-safe,
+// merged by max value across shard parts.
+
+TEST(HistogramExemplar, TracksWorstRequestPerBucket) {
+  Histogram h(HistogramOptions{.bounds = {1.0, 10.0}, .window = 16});
+  h.record(0.5);  // unsampled (trace 0): allocates nothing
+  EXPECT_TRUE(h.snapshot().exemplars.empty());
+  h.record(0.7, 0xaa);
+  h.record(0.6, 0xbb);  // smaller than the held 0.7 — 0xaa stays
+  h.record(5.0, 0xcc);
+  h.record(7.0, 0xdd);   // worse — replaces 0xcc
+  h.record(50.0, 0xee);  // overflow bucket
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.exemplars.size(), s.buckets.size());
+  EXPECT_EQ(s.exemplars[0].trace_id, 0xaau);
+  EXPECT_DOUBLE_EQ(s.exemplars[0].value, 0.7);
+  EXPECT_EQ(s.exemplars[1].trace_id, 0xddu);
+  EXPECT_DOUBLE_EQ(s.exemplars[1].value, 7.0);
+  EXPECT_EQ(s.exemplars[2].trace_id, 0xeeu);
+  h.reset();
+  EXPECT_TRUE(h.snapshot().exemplars.empty());
+}
+
+TEST(HistogramExemplar, MergeKeepsMaxPerBucketAndDropsOnBoundsMismatch) {
+  const HistogramOptions opts{.bounds = {1.0}, .window = 16};
+  Histogram ha(opts), hb(opts);
+  ha.record(0.5, 0x1);
+  ha.record(9.0, 0x2);
+  hb.record(0.8, 0x3);
+  RegistrySnapshot pa, pb;
+  pa.histograms.emplace_back("lat", ha.snapshot());
+  pb.histograms.emplace_back("lat", hb.snapshot());
+  const RegistrySnapshot merged = merge_snapshots({pa, pb});
+  const HistogramSnapshot& h = merged.histograms[0].second;
+  ASSERT_EQ(h.exemplars.size(), 2u);
+  EXPECT_EQ(h.exemplars[0].trace_id, 0x3u);  // 0.8 beats 0.5
+  EXPECT_EQ(h.exemplars[1].trace_id, 0x2u);
+  // Bounds mismatch: bucket indices don't line up — exemplars are dropped
+  // rather than mis-attributed.
+  Histogram hc(HistogramOptions{.bounds = {5.0}, .window = 16});
+  hc.record(2.0, 0x4);
+  RegistrySnapshot pc;
+  pc.histograms.emplace_back("lat", hc.snapshot());
+  const RegistrySnapshot mixed = merge_snapshots({pa, pc});
+  EXPECT_TRUE(mixed.histograms[0].second.exemplars.empty());
+}
+
+TEST(HistogramExemplar, SurvivesJsonRoundTripThroughServeParser) {
+  Registry reg;
+  Histogram& h =
+      reg.histogram("lat", HistogramOptions{.bounds = {1.0, 10.0}, .window = 16});
+  h.record(0.5, 0xdeadbeefull);
+  h.record(42.0, 0xfeedull);
+  const serve::json::Value v = serve::json::parse(to_json(reg.snapshot()));
+  const serve::json::Value* lat = v.find("histograms")->find("lat");
+  ASSERT_NE(lat, nullptr);
+  const serve::json::Value* ex = lat->find("exemplars");
+  ASSERT_NE(ex, nullptr);
+  ASSERT_EQ(ex->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(ex->as_array()[0].number_or("bucket", -1), 0.0);
+  EXPECT_EQ(ex->as_array()[0].string_or("trace", ""),
+            trace_id_hex(0xdeadbeefull));
+  EXPECT_DOUBLE_EQ(ex->as_array()[1].number_or("bucket", -1), 2.0);
+  EXPECT_DOUBLE_EQ(ex->as_array()[1].number_or("v", 0), 42.0);
+}
+
+// ---------------------------------------------------------------------------
+// Span ring cap, drain timebase, and trace-context propagation — the
+// process-local half of the distributed-tracing contract.
+
+TEST(TraceRing, EnvCapOverwritesOldestAndCountsDrops) {
+  ::setenv("DG_OBS_SPAN_CAP", "8", 1);
+  const std::uint64_t global_before =
+      Registry::global().counter("obs.trace.dropped_spans").get();
+  Trace::start();  // re-reads the cap
+  ::unsetenv("DG_OBS_SPAN_CAP");
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) names.push_back("span" + std::to_string(i));
+  for (int i = 0; i < 20; ++i) {
+    Span s(names[static_cast<std::size_t>(i)].c_str(), "test");
+  }
+  const std::uint64_t dropped = Trace::dropped();
+  const std::vector<TraceEvent> evs = Trace::drain();
+  Trace::stop();
+  Trace::clear();
+  ASSERT_EQ(evs.size(), 8u);
+  EXPECT_EQ(dropped, 12u);
+  // The ring keeps the NEWEST spans, returned oldest-first.
+  EXPECT_EQ(evs.front().name, "span12");
+  EXPECT_EQ(evs.back().name, "span19");
+  EXPECT_EQ(Registry::global().counter("obs.trace.dropped_spans").get() -
+                global_before,
+            12u);
+}
+
+TEST(TraceRing, DrainPreservesTimebaseAcrossBatches) {
+  Trace::clear();
+  Trace::start();
+  { Span s("first", "test"); }
+  const std::vector<TraceEvent> batch1 = Trace::drain();
+  { Span s("second", "test"); }
+  const std::vector<TraceEvent> batch2 = Trace::drain();
+  Trace::stop();
+  Trace::clear();
+  ASSERT_EQ(batch1.size(), 1u);
+  ASSERT_EQ(batch2.size(), 1u);
+  // drain() must not touch the epoch: successive batches share one
+  // timebase, so the later span cannot appear to start earlier.
+  EXPECT_GE(batch2[0].ts_us, batch1[0].ts_us);
+}
+
+TEST(TraceContext, AmbientContextChainsSpanParentIds) {
+  Trace::clear();
+  Trace::start();
+  const std::uint64_t tid = next_trace_id();
+  ASSERT_NE(tid, 0u);
+  {
+    TraceScope scope(TraceContext{tid, 0});
+    Span outer("outer", "test");
+    { Span inner("inner", "test"); }
+  }
+  { Span loose("loose", "test"); }  // outside any scope: unsampled
+  Trace::stop();
+  const std::vector<TraceEvent> evs = Trace::events();
+  Trace::clear();
+  const TraceEvent* outer = find_event(evs, "outer");
+  const TraceEvent* inner = find_event(evs, "inner");
+  const TraceEvent* loose = find_event(evs, "loose");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(loose, nullptr);
+  EXPECT_EQ(outer->trace_id, tid);
+  EXPECT_EQ(outer->parent_span, 0u);
+  EXPECT_NE(outer->span_id, 0u);
+  EXPECT_EQ(inner->trace_id, tid);
+  EXPECT_EQ(inner->parent_span, outer->span_id);
+  EXPECT_EQ(loose->trace_id, 0u);
+  EXPECT_EQ(loose->span_id, 0u);
+}
+
+TEST(TraceContext, HexIdsRoundTripAndRejectMalformed) {
+  for (const std::uint64_t id :
+       {std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+        std::uint64_t{0xffffffffffffffffull}}) {
+    const std::string hex = trace_id_hex(id);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(trace_id_from_hex(hex), id);
+    EXPECT_EQ(trace_id_from_hex("0x" + hex), id);
+  }
+  // Malformed forms decode to 0 — "absent", never an exception (forward
+  // compatibility: a garbled trace field degrades to unsampled).
+  EXPECT_EQ(trace_id_from_hex(""), 0u);
+  EXPECT_EQ(trace_id_from_hex("zzzz"), 0u);
+  EXPECT_EQ(trace_id_from_hex("12 4"), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracectx.h"
 #include "serve/json.h"
 #include "serve/queue.h"
 #include "serve/types.h"
@@ -162,6 +164,139 @@ TEST(Protocol, ErrorCodeAndPackageHashRoundTripAndStayOptional) {
       response_from_json(json::parse(json::dump(pv)), data::Schema{});
   EXPECT_TRUE(pback.code.empty());
   EXPECT_TRUE(pback.package_hash.empty());
+}
+
+TEST(Protocol, TraceContextRoundTripsAndStaysOptional) {
+  GenRequest req;
+  req.id = 4;
+  req.seed = 99;
+  req.trace.trace_id = 0xabcdef0123456789ull;
+  req.trace.parent_span = 0x42ull;
+  const json::Value v = request_to_json(req);
+  const json::Value* t = v.find("trace");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->string_or("id", ""), obs::trace_id_hex(req.trace.trace_id));
+  EXPECT_EQ(t->string_or("parent", ""), obs::trace_id_hex(0x42ull));
+  const GenRequest back = request_from_json(json::parse(json::dump(v)));
+  EXPECT_EQ(back.trace.trace_id, req.trace.trace_id);
+  EXPECT_EQ(back.trace.parent_span, 0x42ull);
+
+  // Unsampled requests carry NO trace field — the wire format an old
+  // worker sees from a new router is byte-for-byte the old format.
+  GenRequest plain;
+  plain.id = 5;
+  EXPECT_EQ(request_to_json(plain).find("trace"), nullptr);
+  EXPECT_EQ(request_from_json(json::parse(json::dump(request_to_json(plain))))
+                .trace.trace_id,
+            0u);
+
+  // Responses: trace id present only when sampled.
+  GenResponse resp;
+  resp.ok = resp.complete = true;
+  resp.trace_id = obs::trace_id_hex(0x77ull);
+  const json::Value rv = response_to_json(resp, data::Schema{});
+  EXPECT_EQ(rv.string_or("trace", ""), resp.trace_id);
+  EXPECT_EQ(response_from_json(json::parse(json::dump(rv)), data::Schema{})
+                .trace_id,
+            resp.trace_id);
+  GenResponse unsampled;
+  unsampled.ok = true;
+  EXPECT_EQ(response_to_json(unsampled, data::Schema{}).find("trace"), nullptr);
+}
+
+TEST(Protocol, ForwardCompatUnknownFieldsAreIgnoredBothWays) {
+  // A new-router request with fields this parser has never heard of (the
+  // old-worker view of a newer router) must parse cleanly, reading just
+  // the fields it knows — including a `trace` object with extra members.
+  const GenRequest req = request_from_json(json::parse(
+      R"({"op":"generate","id":7,"seed":3,"n":2,)"
+      R"("trace":{"id":"00000000000000ff","parent":"0000000000000001",)"
+      R"("flags":"debug","baggage":{"tenant":"t9"}},)"
+      R"("future_knob":true,"priority_hint":0.5})"));
+  EXPECT_EQ(req.id, 7u);
+  EXPECT_EQ(req.count, 2);
+  EXPECT_EQ(req.trace.trace_id, 0xffu);
+  EXPECT_EQ(req.trace.parent_span, 1u);
+
+  // A malformed trace field degrades to "unsampled", never an error: a
+  // garbled observability hint must not fail a generation request.
+  EXPECT_EQ(request_from_json(
+                json::parse(R"({"id":1,"seed":2,"trace":{"id":"nothex"}})"))
+                .trace.trace_id,
+            0u);
+  EXPECT_EQ(request_from_json(json::parse(R"({"id":1,"seed":2,"trace":"x"})"))
+                .trace.trace_id,
+            0u);
+
+  // A new-worker reply with unknown fields is accepted by an old client's
+  // parse (what `dgcli request` does with the reply line).
+  const GenResponse resp = response_from_json(
+      json::parse(R"({"id":7,"ok":true,"complete":true,"objects":[],)"
+                  R"("trace":"00000000000000ff","queue_class":"bulk",)"
+                  R"("server_build":"v99"})"),
+      data::Schema{});
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.trace_id, "00000000000000ff");
+}
+
+TEST(Protocol, TraceEventsRoundTripThroughJson) {
+  std::vector<obs::TraceEvent> evs(2);
+  evs[0].name = "router.request";
+  evs[0].category = "router";
+  evs[0].tid = 3;
+  evs[0].ts_us = 100;
+  evs[0].dur_us = 250;
+  evs[0].depth = 0;
+  evs[0].trace_id = 0xaabbull;
+  evs[0].span_id = 0x1ull;
+  evs[1].name = "serve.slot";
+  evs[1].category = "serve";
+  evs[1].ts_us = 140;
+  evs[1].dur_us = 80;
+  evs[1].depth = 1;
+  evs[1].trace_id = 0xaabbull;
+  evs[1].span_id = 0x2ull;
+  evs[1].parent_span = 0x1ull;
+
+  const std::vector<obs::TraceEvent> back = trace_events_from_json(
+      json::parse(json::dump(trace_events_to_json(evs))));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "router.request");
+  EXPECT_EQ(back[0].category, "router");
+  EXPECT_EQ(back[0].tid, 3u);
+  EXPECT_EQ(back[0].ts_us, 100);
+  EXPECT_EQ(back[0].dur_us, 250);
+  EXPECT_EQ(back[0].trace_id, 0xaabbull);
+  EXPECT_EQ(back[0].span_id, 0x1ull);
+  EXPECT_EQ(back[0].parent_span, 0u);
+  EXPECT_EQ(back[1].parent_span, 0x1ull);
+  EXPECT_EQ(back[1].depth, 1);
+}
+
+TEST(Protocol, RegistrySnapshotParsesExemplars) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram(
+      "lat", obs::HistogramOptions{.bounds = {1.0, 10.0}, .window = 16});
+  h.record(0.5, 0xbeefull);
+  h.record(40.0, 0xcafeull);
+  const obs::RegistrySnapshot back =
+      registry_snapshot_from_json(json::parse(obs::to_json(reg.snapshot())));
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const obs::HistogramSnapshot& hs = back.histograms[0].second;
+  ASSERT_EQ(hs.exemplars.size(), hs.buckets.size());
+  EXPECT_EQ(hs.exemplars[0].trace_id, 0xbeefull);
+  EXPECT_DOUBLE_EQ(hs.exemplars[0].value, 0.5);
+  EXPECT_EQ(hs.exemplars[1].trace_id, 0u);  // sparse: untouched bucket
+  EXPECT_EQ(hs.exemplars[2].trace_id, 0xcafeull);
+  EXPECT_DOUBLE_EQ(hs.exemplars[2].value, 40.0);
+  // Out-of-range bucket indices in a foreign snapshot are ignored, not UB.
+  const obs::RegistrySnapshot hostile = registry_snapshot_from_json(json::parse(
+      R"({"histograms":{"lat":{"count":1,"sum":1,"bounds":[1.0],)"
+      R"("buckets":[1,0],"exemplars":[{"bucket":9,"trace":"ff","v":2}]}}})"));
+  ASSERT_EQ(hostile.histograms.size(), 1u);
+  for (const obs::Exemplar& ex : hostile.histograms[0].second.exemplars) {
+    EXPECT_EQ(ex.trace_id, 0u);
+  }
 }
 
 TEST(Protocol, StatsSnapshotRoundTrip) {

@@ -12,8 +12,11 @@
 //   dgcli route      --model M.dgpkg [--workers N] [--port P] [--slots W]
 //                    [--engines E] [--queue Q] [--poll SECONDS] [--cache C]
 //                    [--max-inflight M] [--slo-p99 MS] [--port-file F]
+//                    [--trace-sample RATE]
 //   dgcli route      --endpoints h:p1,h:p2[,...] [--port P] [--cache C]
 //                    [--max-inflight M] [--slo-p99 MS] [--port-file F]
+//                    [--trace-sample RATE]
+//   dgcli trace      --port P [--host H] [--out trace.json]
 //   dgcli request    --port P [--host H] [--n N] [--seed X] [--max-len L]
 //                    [--attempts A] [--fixed a=v,b=v] [--where "a=v,b>=v"]
 //                    [--out synth.csv] [--stats] [--json] [--raw LINE]
@@ -65,7 +68,16 @@
 // DIR/metrics.jsonl and drops trace.json (chrome://tracing), trace.jsonl,
 // profile.json (per-op/kernel wall+FLOPs) and registry.json there; `top`
 // tails a run directory live; `stats --port` pretty-prints a running
-// server's metrics registry.
+// server's metrics registry (latency histograms include their slow-request
+// exemplar: "p99 => trace 0x...").
+//
+// Distributed tracing: `route --trace-sample RATE` stamps that fraction of
+// generate requests with a trace context that propagates
+// router -> worker -> lane; `dgcli trace --port <router>` drains every
+// process's span buffer, rebases worker timestamps onto the router's
+// steady_clock via the health sweep's clock handshake, and writes ONE
+// merged chrome://tracing / Perfetto file in which a request's span tree
+// nests across processes.
 #include <unistd.h>
 
 #include <chrono>
@@ -76,6 +88,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -126,6 +139,10 @@ struct Args {
   long num(const std::string& name, long fallback) const {
     auto it = options.find(name);
     return it == options.end() ? fallback : std::stol(it->second);
+  }
+  double dbl(const std::string& name, double fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : std::stod(it->second);
   }
 };
 
@@ -294,6 +311,11 @@ int cmd_serve(const Args& a) {
   cfg.reload_poll_seconds =
       static_cast<double>(a.num("poll", 1));  // 0 disables hot reload
   serve::GenerationService service(cfg);
+  // Collect spans from the start: a worker only records spans for requests
+  // the router stamped (the sampling decision is the router's), so an idle
+  // or unsampled fleet pays just the enabled-flag check. The ring is capped
+  // (DG_OBS_SPAN_CAP) and drained by the router's `trace` op.
+  obs::Trace::start();
   service.start();
   serve::TcpServer server(service, static_cast<int>(a.num("port", 7788)));
   server.start();
@@ -327,6 +349,8 @@ int cmd_route(const Args& a) {
   rcfg.cache_capacity = static_cast<size_t>(a.num("cache", 1024));
   rcfg.max_inflight_per_worker = static_cast<int>(a.num("max-inflight", 64));
   rcfg.slo_p99_ms = static_cast<double>(a.num("slo-p99", 0));
+  rcfg.trace_sample_rate = a.dbl("trace-sample", 0.01);
+  if (rcfg.trace_sample_rate > 0.0) obs::Trace::start();
 
   std::unique_ptr<serve::shard::WorkerPool> pool;
   if (a.flag("endpoints")) {
@@ -381,6 +405,110 @@ int cmd_route(const Args& a) {
   server.stop();
   router.stop();
   pool->shutdown();
+  return 0;
+}
+
+// ---------------------------------------------------------------- trace
+
+/// `dgcli trace --port <router>`: drains the fleet's span buffers through
+/// the router's `trace` op and writes ONE merged chrome://tracing /
+/// Perfetto file. Worker events are rebased onto the router's steady_clock
+/// timebase using the offset the health sweep's clock handshake measured
+/// (worker ts + offset ≈ router ts, ± skew); each event carries its
+/// process's skew bound in args so a reader knows how much to trust
+/// cross-process nesting. Pointing it at a single worker works too (that
+/// reply has no process list — its events pass through unrebased).
+int cmd_trace(const Args& a) {
+  const std::string host = a.str("host", "127.0.0.1");
+  const int port = static_cast<int>(a.num("port", 7799));
+  const std::string reply =
+      serve::send_line(host, port, "{\"op\":\"trace\"}");
+  const serve::json::Value v = serve::json::parse(reply);
+  if (!v.bool_or("ok", false)) {
+    throw std::runtime_error("trace: server refused trace op: " + reply);
+  }
+  serve::json::Array procs;
+  if (const auto* p = v.find("processes"); p != nullptr && p->is_array()) {
+    procs = p->as_array();
+  } else if (const auto* events = v.find("events")) {
+    serve::json::Value row{serve::json::Object{}};
+    row.set("pid", 1);
+    row.set("name", "server");
+    row.set("offset_us", 0);
+    row.set("skew_us", 0);
+    row.set("dropped", v.number_or("dropped", 0));
+    row.set("events", *events);
+    procs.push_back(std::move(row));
+  }
+
+  serve::json::Array out;
+  std::size_t n_events = 0;
+  double dropped = 0.0;
+  std::int64_t max_skew = 0;
+  std::set<std::string> traces;
+  for (const auto& row : procs) {
+    const double pid = row.number_or("pid", 1);
+    const auto off = static_cast<std::int64_t>(row.number_or("offset_us", 0));
+    const auto skew = static_cast<std::int64_t>(row.number_or("skew_us", 0));
+    dropped += row.number_or("dropped", 0);
+    max_skew = std::max(max_skew, skew);
+    {
+      serve::json::Value meta{serve::json::Object{}};
+      meta.set("ph", "M");
+      meta.set("name", "process_name");
+      meta.set("pid", pid);
+      serve::json::Value margs{serve::json::Object{}};
+      margs.set("name", row.string_or("name", "proc"));
+      meta.set("args", std::move(margs));
+      out.push_back(std::move(meta));
+      serve::json::Value sort{serve::json::Object{}};
+      sort.set("ph", "M");
+      sort.set("name", "process_sort_index");
+      sort.set("pid", pid);
+      serve::json::Value sargs{serve::json::Object{}};
+      sargs.set("sort_index", pid);
+      sort.set("args", std::move(sargs));
+      out.push_back(std::move(sort));
+    }
+    const auto* events = row.find("events");
+    if (events == nullptr || !events->is_array()) continue;
+    for (const auto& ev : events->as_array()) {
+      serve::json::Value e{serve::json::Object{}};
+      e.set("name", ev.string_or("name", "?"));
+      e.set("cat", ev.string_or("cat", ""));
+      e.set("ph", "X");
+      e.set("pid", pid);
+      e.set("tid", ev.number_or("tid", 0));
+      e.set("ts", static_cast<std::int64_t>(ev.number_or("ts_us", 0)) + off);
+      e.set("dur", ev.number_or("dur_us", 0));
+      serve::json::Value args{serve::json::Object{}};
+      const std::string trace = ev.string_or("trace", "");
+      if (!trace.empty()) {
+        args.set("trace", trace);
+        args.set("span", ev.string_or("span", ""));
+        const std::string parent = ev.string_or("parent", "");
+        if (!parent.empty()) args.set("parent", parent);
+        traces.insert(trace);
+      }
+      args.set("skew_us", skew);
+      e.set("args", std::move(args));
+      out.push_back(std::move(e));
+      ++n_events;
+    }
+  }
+  serve::json::Value doc{serve::json::Object{}};
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(out));
+  const std::string path = a.str("out", "trace.json");
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  os << serve::json::dump(doc) << "\n";
+  std::printf("wrote %s: %zu spans across %zu process%s, %zu sampled "
+              "trace%s, %.0f dropped, max clock skew %lld us\n",
+              path.c_str(), n_events, procs.size(),
+              procs.size() == 1 ? "" : "es", traces.size(),
+              traces.size() == 1 ? "" : "s", dropped,
+              static_cast<long long>(max_skew));
   return 0;
 }
 
@@ -547,6 +675,23 @@ void print_metric_table(const char* title, const serve::json::Value& reg) {
                     hv.number_or("p90", 0), hv.number_or("p99", 0),
                     hv.number_or("max", 0));
       rows.push_back({name, buf});
+      // Slow-request exemplar: the worst recent request in the highest
+      // populated bucket — the p99 culprit's trace id, resolvable against
+      // a `dgcli trace` dump of the same fleet.
+      if (const auto* ex = hv.find("exemplars");
+          ex != nullptr && ex->is_array() && !ex->as_array().empty()) {
+        const serve::json::Value* worst = nullptr;
+        for (const auto& e : ex->as_array()) {
+          if (worst == nullptr ||
+              e.number_or("bucket", 0) > worst->number_or("bucket", 0)) {
+            worst = &e;
+          }
+        }
+        std::snprintf(buf, sizeof(buf), "p99 bucket => trace 0x%s (%.3f)",
+                      worst->string_or("trace", "?").c_str(),
+                      worst->number_or("v", 0));
+        rows.push_back({name + ".exemplar", buf});
+      }
     }
   }
   std::printf("== %s ==\n", title);
@@ -1014,7 +1159,7 @@ int cmd_lint(const Args& a) {
 int usage() {
   std::fprintf(stderr,
                "usage: dgcli <make-synth|train|generate|serve|route|request|"
-               "stats|top|check|lint> [options]\n"
+               "trace|stats|top|check|lint> [options]\n"
                "see the header of tools/dgcli.cpp for the option list\n");
   return 2;
 }
@@ -1030,6 +1175,7 @@ int main(int argc, char** argv) {
     if (a.command == "serve") return cmd_serve(a);
     if (a.command == "route") return cmd_route(a);
     if (a.command == "request") return cmd_request(a);
+    if (a.command == "trace") return cmd_trace(a);
     if (a.command == "stats") return cmd_stats(a);
     if (a.command == "top") return cmd_top(a);
     if (a.command == "check") return cmd_check(a);
