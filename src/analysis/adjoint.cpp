@@ -1,0 +1,599 @@
+#include "analysis/adjoint.h"
+
+#include <array>
+#include <utility>
+
+namespace dg::analysis {
+
+namespace {
+
+using N = const SymNode*;
+
+// ---- builtin adjoint rules ----------------------------------------------
+//
+// Each rule mirrors the corresponding backward lambda in nn/autograd.cpp op
+// for op — including the "constant" nodes the real rules materialize (relu
+// masks, the ones/zeros expanders of row_sum/col_sum) and the forward
+// recomputation of tanh/sigmoid/exp/sqrt. The differential tests compare
+// the resulting op multisets against nn::OpObserverGuard captures, so any
+// editorializing here (e.g. simplifying sigmoid's s*(1-s)) is a test
+// failure, not a style choice.
+
+std::vector<N> adj_leaf(const AdjointCtx&) { return {}; }
+
+std::vector<N> adj_add(const AdjointCtx& c) { return {c.gout, c.gout}; }
+
+std::vector<N> adj_sub(const AdjointCtx& c) {
+  return {c.gout, c.t.neg(c.gout)};
+}
+
+std::vector<N> adj_neg(const AdjointCtx& c) { return {c.t.neg(c.gout)}; }
+
+std::vector<N> adj_mul(const AdjointCtx& c) {
+  return {c.t.mul(c.gout, c.parents[1]), c.t.mul(c.gout, c.parents[0])};
+}
+
+std::vector<N> adj_div(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N a = c.parents[0], b = c.parents[1];
+  N da = t.div(c.gout, b);
+  N db = t.neg(t.div(t.mul(c.gout, a), t.mul(b, b)));
+  return {da, db};
+}
+
+std::vector<N> adj_add_scalar(const AdjointCtx& c) { return {c.gout}; }
+
+std::vector<N> adj_mul_scalar(const AdjointCtx& c) {
+  return {c.t.mul_scalar(c.gout)};
+}
+
+std::vector<N> adj_matmul(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N a = c.parents[0], b = c.parents[1];
+  return {t.matmul(c.gout, t.transpose(b)), t.matmul(t.transpose(a), c.gout)};
+}
+
+std::vector<N> adj_transpose(const AdjointCtx& c) {
+  return {c.t.transpose(c.gout)};
+}
+
+std::vector<N> adj_affine(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N x = c.parents[0], w = c.parents[1];
+  return {t.matmul(c.gout, t.transpose(w)), t.matmul(t.transpose(x), c.gout),
+          t.col_sum(c.gout)};
+}
+
+std::vector<N> adj_lstm_gates(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N x = c.parents[0], wx = c.parents[1], h = c.parents[2], wh = c.parents[3];
+  return {t.matmul(c.gout, t.transpose(wx)), t.matmul(t.transpose(x), c.gout),
+          t.matmul(c.gout, t.transpose(wh)), t.matmul(t.transpose(h), c.gout),
+          t.col_sum(c.gout)};
+}
+
+std::vector<N> adj_add_rowvec(const AdjointCtx& c) {
+  return {c.gout, c.t.col_sum(c.gout)};
+}
+
+std::vector<N> adj_mul_colvec(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N x = c.parents[0], v = c.parents[1];
+  return {t.mul_colvec(c.gout, v), t.row_sum(t.mul(c.gout, x))};
+}
+
+std::vector<N> adj_mul_rowvec(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N x = c.parents[0], m = c.parents[1];
+  return {t.mul_rowvec(c.gout, m), t.col_sum(t.mul(c.gout, x))};
+}
+
+std::vector<N> adj_broadcast_scalar(const AdjointCtx& c) {
+  return {c.t.sum(c.gout)};
+}
+
+std::vector<N> adj_row_sum(const AdjointCtx& c) {
+  // ones(n, d) is a constant in the real rule.
+  return {c.t.mul_colvec(c.t.constant(c.parents[0]->shape), c.gout)};
+}
+
+std::vector<N> adj_col_sum(const AdjointCtx& c) {
+  // zeros(n, d) is a constant in the real rule.
+  return {c.t.add_rowvec(c.t.constant(c.parents[0]->shape), c.gout)};
+}
+
+std::vector<N> adj_sum(const AdjointCtx& c) {
+  return {c.t.broadcast_scalar(c.gout, c.parents[0]->shape)};
+}
+
+std::vector<N> adj_mask_mul(const AdjointCtx& c) {
+  // relu/abs: the captured mask/sign matrix enters as a constant.
+  return {c.t.mul(c.gout, c.t.constant(c.parents[0]->shape))};
+}
+
+std::vector<N> adj_tanh(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N y = t.tanh(c.parents[0]);  // recomputed, not captured
+  return {t.mul(c.gout, t.add_scalar(t.neg(t.square(y))))};
+}
+
+std::vector<N> adj_sigmoid(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  N s = t.sigmoid(c.parents[0]);
+  return {t.mul(c.gout, t.mul(s, t.add_scalar(t.neg(s))))};
+}
+
+std::vector<N> adj_exp(const AdjointCtx& c) {
+  return {c.t.mul(c.gout, c.t.exp(c.parents[0]))};
+}
+
+std::vector<N> adj_log(const AdjointCtx& c) {
+  return {c.t.div(c.gout, c.parents[0])};
+}
+
+std::vector<N> adj_sqrt(const AdjointCtx& c) {
+  Tracer& t = c.t;
+  return {t.mul_scalar(t.div(c.gout, t.sqrt(c.parents[0])))};
+}
+
+std::vector<N> adj_square(const AdjointCtx& c) {
+  return {c.t.mul_scalar(c.t.mul(c.gout, c.parents[0]))};
+}
+
+// The layout rules need concrete extents for their slice/pad offsets (the
+// real rules capture them as ints at forward time). A symbolic extent here
+// means the rule cannot be mirrored; returning {} makes the engine report
+// adjoint-arity with the graph path rather than guessing offsets.
+
+std::vector<N> adj_concat_cols(const AdjointCtx& c) {
+  std::vector<N> out;
+  out.reserve(c.parents.size());
+  int off = 0;
+  for (N p : c.parents) {
+    if (!p->shape.cols.concrete()) return {};
+    const int w = static_cast<int>(p->shape.cols.value);
+    out.push_back(c.t.slice_cols(c.gout, off, off + w));
+    off += w;
+  }
+  return out;
+}
+
+std::vector<N> adj_concat_rows(const AdjointCtx& c) {
+  std::vector<N> out;
+  out.reserve(c.parents.size());
+  int off = 0;
+  for (N p : c.parents) {
+    if (!p->shape.rows.concrete()) return {};
+    const int h = static_cast<int>(p->shape.rows.value);
+    out.push_back(c.t.slice_rows(c.gout, off, off + h));
+    off += h;
+  }
+  return out;
+}
+
+std::vector<N> adj_slice_cols(const AdjointCtx& c) {
+  const Dim& total = c.parents[0]->shape.cols;
+  if (!total.concrete()) return {};
+  return {c.t.pad_cols(c.gout, c.node->attrs.i0,
+                       static_cast<int>(total.value) - c.node->attrs.i1)};
+}
+
+std::vector<N> adj_slice_rows(const AdjointCtx& c) {
+  const Dim& total = c.parents[0]->shape.rows;
+  if (!total.concrete()) return {};
+  return {c.t.pad_rows(c.gout, c.node->attrs.i0,
+                       static_cast<int>(total.value) - c.node->attrs.i1)};
+}
+
+std::vector<N> adj_pad_cols(const AdjointCtx& c) {
+  const Dim& cols = c.parents[0]->shape.cols;
+  if (!cols.concrete()) return {};
+  const int c0 = c.node->attrs.i0;
+  return {c.t.slice_cols(c.gout, c0, c0 + static_cast<int>(cols.value))};
+}
+
+std::vector<N> adj_pad_rows(const AdjointCtx& c) {
+  const Dim& rows = c.parents[0]->shape.rows;
+  if (!rows.concrete()) return {};
+  const int r0 = c.node->attrs.i0;
+  return {c.t.slice_rows(c.gout, r0, r0 + static_cast<int>(rows.value))};
+}
+
+}  // namespace
+
+namespace detail {
+
+void install_builtin_adjoints(OpRegistry& r) {
+  const auto set = [&r](const char* name, DetClass det, AdjointRule rule) {
+    const OpInfo* found = r.find(name);
+    OpInfo info = *found;  // builtin registration precedes this call
+    info.det = det;
+    info.adjoint = std::move(rule);
+    r.add(std::move(info));
+  };
+  const DetClass kFree = DetClass::kOrderFree;
+  const DetClass kRed = DetClass::kOrderedReduction;
+
+  // Leaves: no parents, so the adjoint is trivially empty. The "grad" slot
+  // is the engine's read-modify-write accumulation target — the one
+  // kAccumulating site.
+  set("leaf", kFree, adj_leaf);
+  set("constant", kFree, adj_leaf);
+  set("grad", DetClass::kAccumulating, adj_leaf);
+
+  set("add", kFree, adj_add);
+  set("sub", kFree, adj_sub);
+  set("neg", kFree, adj_neg);
+  set("mul", kFree, adj_mul);
+  set("div", kFree, adj_div);
+  set("add_scalar", kFree, adj_add_scalar);
+  set("mul_scalar", kFree, adj_mul_scalar);
+
+  set("relu", kFree, adj_mask_mul);
+  set("abs", kFree, adj_mask_mul);
+  set("tanh", kFree, adj_tanh);
+  set("sigmoid", kFree, adj_sigmoid);
+  set("exp", kFree, adj_exp);
+  set("log", kFree, adj_log);
+  set("sqrt", kFree, adj_sqrt);
+  set("square", kFree, adj_square);
+
+  // The ordered reductions: every op that folds an extent through
+  // floating-point adds. Their kernels fix the summation order by
+  // construction (PR 2); the census surfaces each training-path instance so
+  // a data-parallel all-reduce can pin the same order.
+  set("matmul", kRed, adj_matmul);
+  set("transpose", kFree, adj_transpose);
+  set("affine", kRed, adj_affine);
+  set("lstm_gates", kRed, adj_lstm_gates);
+  set("row_sum", kRed, adj_row_sum);
+  set("col_sum", kRed, adj_col_sum);
+  set("sum", kRed, adj_sum);
+
+  set("add_rowvec", kFree, adj_add_rowvec);
+  set("mul_rowvec", kFree, adj_mul_rowvec);
+  set("mul_colvec", kFree, adj_mul_colvec);
+  set("broadcast_scalar", kFree, adj_broadcast_scalar);
+
+  set("concat_cols", kFree, adj_concat_cols);
+  set("concat_rows", kFree, adj_concat_rows);
+  set("slice_cols", kFree, adj_slice_cols);
+  set("slice_rows", kFree, adj_slice_rows);
+  set("pad_cols", kFree, adj_pad_cols);
+  set("pad_rows", kFree, adj_pad_rows);
+}
+
+}  // namespace detail
+
+// ---- the symbolic backward engine ---------------------------------------
+
+BackwardResult sym_backward(Tracer& t, const SymNode* root,
+                            const BackwardOptions& opts) {
+  BackwardResult res;
+  SymGraph& g = t.graph();
+  if (root == nullptr || root->poisoned) {
+    // The forward walk already reported the root cause.
+    return res;
+  }
+  std::set<std::string> local_dedup;
+  std::set<std::string>& dedup = opts.dedup ? *opts.dedup : local_dedup;
+  const auto emit = [&](std::string key, Diagnostic d) {
+    res.ok = false;
+    if (!dedup.insert(std::move(key)).second) return;
+    g.diagnostics().push_back(std::move(d));
+  };
+
+  if (root->shape != Shape{Dim::of(1), Dim::of(1)}) {
+    emit("backward-nonscalar",
+         {Severity::kError, "backward-nonscalar",
+          "backward requires a scalar (1x1) loss; this root is " +
+              root->shape.str(),
+          root->op, SymGraph::path(root)});
+    return res;
+  }
+  if (!root->requires_grad) return res;  // engine no-op, mirrored
+
+  // Post-order topo over the requires-grad subgraph — same traversal as
+  // nn/autograd.cpp topo_order.
+  std::vector<const SymNode*> order;
+  {
+    struct Frame {
+      const SymNode* node;
+      size_t next_parent;
+    };
+    std::set<const SymNode*> visited;
+    std::vector<Frame> stack{{root, 0}};
+    visited.insert(root);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next_parent < f.node->parents.size()) {
+        const SymNode* p = f.node->parents[f.next_parent++];
+        if (p != nullptr && p->requires_grad && visited.insert(p).second) {
+          stack.push_back({p, 0});
+        }
+      } else {
+        order.push_back(f.node);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Seed: d loss / d loss = 1, materialized as a constant (the engine emits
+  // exactly this node).
+  res.grads[root] = t.constant({Dim::of(1), Dim::of(1)});
+
+  // Without create_graph the real engine runs rules under NoGradGuard.
+  const bool prev_grad = g.grad_enabled();
+  if (!opts.create_graph) g.set_grad_enabled(false);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const SymNode* node = *it;
+    auto git = res.grads.find(node);
+    if (git == res.grads.end() || node->parents.empty()) continue;
+    const SymNode* gout = git->second;
+
+    const OpInfo* info = g.registry().find(node->op);
+    if (info == nullptr) continue;  // unknown-op: diagnosed at forward time
+
+    if (opts.create_graph && info->diff == DiffClass::kFirstOrderOnly) {
+      emit("no-double-backward:" + node->op,
+           {Severity::kError, "no-double-backward",
+            "op is first-order only but this backward pass runs with "
+            "create_graph=true: WGAN-GP's gradient penalty differentiates "
+            "through its gradient",
+            node->op, SymGraph::path(node)});
+      // Keep traversing: the adjoint structure is still worth auditing.
+    }
+
+    if (!info->adjoint) {
+      emit("no-adjoint:" + node->op,
+           {Severity::kError, "no-adjoint",
+            "op declares no adjoint rule; the static backward pass cannot "
+            "model its gradient (see the extension contract in "
+            "analysis/registry.h)",
+            node->op, SymGraph::path(node)});
+      continue;
+    }
+
+    std::vector<const SymNode*> pgrads =
+        info->adjoint(AdjointCtx{t, node, node->parents, gout});
+    if (pgrads.size() != node->parents.size()) {
+      emit("adjoint-arity:" + node->op,
+           {Severity::kError, "adjoint-arity",
+            "adjoint rule returned " + std::to_string(pgrads.size()) +
+                " gradients for " + std::to_string(node->parents.size()) +
+                " parents",
+            node->op, SymGraph::path(node)});
+      continue;
+    }
+
+    for (size_t i = 0; i < pgrads.size(); ++i) {
+      const SymNode* parent = node->parents[i];
+      const SymNode* gp = pgrads[i];
+      // Mirror of the engine: gradients are computed for every parent and
+      // dropped afterwards for the ones that do not require grad.
+      if (gp == nullptr || !parent->requires_grad) continue;
+      if (!gp->poisoned && gp->shape != parent->shape) {
+        emit("adjoint-shape:" + node->op,
+             {Severity::kError, "adjoint-shape",
+              "adjoint produced a " + gp->shape.str() +
+                  " gradient for parent " + std::to_string(i) + " of shape " +
+                  parent->shape.str(),
+              node->op, SymGraph::path(node)});
+        continue;
+      }
+      auto [slot, inserted] = res.grads.try_emplace(parent, gp);
+      if (!inserted) {
+        slot->second = t.add(slot->second, gp);
+        res.accumulations.push_back({parent, slot->second});
+      }
+    }
+  }
+  g.set_grad_enabled(prev_grad);
+  return res;
+}
+
+// ---- determinism-class audit --------------------------------------------
+
+namespace {
+
+/// One shape probe: symbolic inputs with uniquely-named extents, plus the
+/// attrs some ops need.
+struct Probe {
+  std::vector<Shape> in;
+  OpAttrs attrs;
+};
+
+std::vector<Probe> make_probes(const OpInfo& info) {
+  const Dim P = Dim::sym("P"), Q = Dim::sym("Q"), R = Dim::sym("R");
+  const Dim H = Dim::sym("H"), G = Dim::sym("G");
+  const Dim one = Dim::of(1);
+  std::vector<Probe> probes;
+  OpAttrs target;  // for attrs-shaped ops (leaf/constant/broadcast_scalar)
+  target.rows = P;
+  target.cols = Q;
+  switch (info.min_arity) {
+    case 0:
+      probes.push_back({{}, target});
+      break;
+    case 1:
+      if (info.broadcast == Broadcast::kScalar) {
+        probes.push_back({{{one, one}}, target});
+      } else {
+        // Plain [P,Q]; a second variant with a slice/pad range for the
+        // attrs-consuming layout ops.
+        probes.push_back({{{P, Q}}, {}});
+        OpAttrs range;
+        range.i0 = 0;
+        range.i1 = 1;
+        probes.push_back({{{P, Q}}, range});
+      }
+      break;
+    case 2:
+      probes.push_back({{{P, Q}, {P, Q}}, {}});    // elementwise
+      probes.push_back({{{P, Q}, {Q, R}}, {}});    // matmul-like
+      probes.push_back({{{P, Q}, {one, Q}}, {}});  // rowvec broadcast
+      probes.push_back({{{P, Q}, {P, one}}, {}});  // colvec broadcast
+      probes.push_back({{{P, Q}, {P, R}}, {}});    // concat_cols
+      probes.push_back({{{P, Q}, {R, Q}}, {}});    // concat_rows
+      break;
+    case 3:
+      probes.push_back({{{P, Q}, {Q, R}, {one, R}}, {}});  // affine
+      break;
+    case 5:
+      probes.push_back(
+          {{{P, Q}, {Q, G}, {P, H}, {H, G}, {one, G}}, {}});  // lstm_gates
+      break;
+    default:
+      break;
+  }
+  return probes;
+}
+
+/// True if `name` appears as a '+'-separated component of `dim`'s symbolic
+/// expression (add_dims composes names like "0+Q+R", so surviving extents
+/// stay findable after concatenation).
+bool dim_mentions(const Dim& dim, const std::string& name) {
+  if (dim.concrete()) return false;
+  const std::string& s = dim.name;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t next = s.find('+', pos);
+    if (next == std::string::npos) next = s.size();
+    if (s.compare(pos, next - pos, name) == 0) return true;
+    pos = next + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> audit_registry(const OpRegistry& r) {
+  std::vector<Diagnostic> out;
+  for (const std::string& name : r.names()) {
+    const OpInfo* info = r.find(name);
+    if (!info->det) {
+      out.push_back({Severity::kError, "determinism-class",
+                     "op declares no determinism class; the reduction-order "
+                     "census cannot account for it",
+                     name,
+                     {}});
+      continue;
+    }
+    if (name == "grad") {
+      // The slot itself is the read-modify-write accumulation target; the
+      // vanishing-extent law does not apply to a leaf.
+      if (*info->det != DetClass::kAccumulating) {
+        out.push_back({Severity::kError, "determinism-class",
+                       "the gradient slot accumulates contributions in "
+                       "traversal order and must be kAccumulating",
+                       name,
+                       {}});
+      }
+      continue;
+    }
+    if (name == "slice_cols" || name == "slice_rows") {
+      // Exempt from the vanishing-extent law: the input extent leaves the
+      // output because an attrs-defined sub-range replaces it — a copy, not
+      // a floating-point fold. Pinned kOrderFree.
+      if (*info->det != DetClass::kOrderFree) {
+        out.push_back({Severity::kError, "determinism-class",
+                       "slicing copies an attrs-defined range without "
+                       "accumulation; it must be kOrderFree",
+                       name,
+                       {}});
+      }
+      continue;
+    }
+
+    bool verified = false;
+    for (const Probe& probe : make_probes(*info)) {
+      const ShapeResult sr = info->shape(probe.in, probe.attrs);
+      if (!sr.shape) continue;
+      verified = true;
+      // The law: an op folds (reduces) iff some non-unit input extent
+      // vanishes from the output shape.
+      bool vanished = false;
+      std::string gone;
+      for (const Shape& s : probe.in) {
+        for (const Dim* d : {&s.rows, &s.cols}) {
+          if (d->concrete()) continue;  // probes only use units concretely
+          if (!dim_mentions(sr.shape->rows, d->name) &&
+              !dim_mentions(sr.shape->cols, d->name)) {
+            vanished = true;
+            gone = d->name;
+          }
+        }
+      }
+      const DetClass proved =
+          vanished ? DetClass::kOrderedReduction : DetClass::kOrderFree;
+      if (*info->det != proved) {
+        out.push_back(
+            {Severity::kError, "determinism-class",
+             std::string("declared ") + to_string(*info->det) +
+                 " but the shape probe proves " + to_string(proved) +
+                 (vanished ? " (extent " + gone + " is folded away: " +
+                                 probe.in[0].str() + " -> " +
+                                 sr.shape->str() + ")"
+                           : " (every non-unit input extent survives to the "
+                             "output)"),
+             name,
+             {}});
+      }
+      break;
+    }
+    if (!verified) {
+      out.push_back({Severity::kWarning, "determinism-unverified",
+                     "no generic shape probe satisfies this op's shape rule; "
+                     "its determinism class is declared but unproven",
+                     name,
+                     {}});
+    }
+  }
+  return out;
+}
+
+// ---- mutation seeding ----------------------------------------------------
+
+std::vector<std::string> adjoint_defect_classes() {
+  return {"wrong-adjoint-shape", "dropped-accum-edge", "mislabel-det-class"};
+}
+
+bool seed_adjoint_defect(OpRegistry& r, std::string_view defect) {
+  if (defect == "wrong-adjoint-shape") {
+    // row_sum's gradient must expand [n,1] back to [n,d]; returning the
+    // output gradient unexpanded is the classic transposed-convention bug.
+    OpInfo info = *r.find("row_sum");
+    info.adjoint = [](const AdjointCtx& c) {
+      return std::vector<const SymNode*>{c.gout};
+    };
+    r.add(std::move(info));
+    return true;
+  }
+  if (defect == "dropped-accum-edge") {
+    // affine silently loses its bias gradient: nothing crashes, the slot
+    // just never receives a contribution and Adam never updates the bias.
+    OpInfo info = *r.find("affine");
+    info.adjoint = [](const AdjointCtx& c) {
+      Tracer& t = c.t;
+      const SymNode* x = c.parents[0];
+      const SymNode* w = c.parents[1];
+      return std::vector<const SymNode*>{t.matmul(c.gout, t.transpose(w)),
+                                         t.matmul(t.transpose(x), c.gout),
+                                         nullptr};
+    };
+    r.add(std::move(info));
+    return true;
+  }
+  if (defect == "mislabel-det-class") {
+    // matmul declared order-free would hide every weight-gradient reduction
+    // from the census a data-parallel all-reduce depends on.
+    OpInfo info = *r.find("matmul");
+    info.det = DetClass::kOrderFree;
+    r.add(std::move(info));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dg::analysis

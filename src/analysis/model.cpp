@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/symbolic.h"
+#include "analysis/walk.h"
 #include "nn/layers.h"
 
 namespace dg::analysis {
@@ -13,193 +14,6 @@ namespace dg::analysis {
 namespace {
 
 using N = const SymNode*;
-
-// ---- architecture dimensions (mirrors DoppelGanger's constructor) --------
-
-struct ModelDims {
-  int attr_w = 0;        // encoded attribute width
-  int mm_w = 0;          // min/max "fake attribute" width (0 when disabled)
-  int record_width = 0;  // one record incl. the two generation flags
-  int tmax = 0;
-  int steps_per_series = 0;
-  bool minmax_enabled = false;
-};
-
-ModelDims model_dims(const data::Schema& s,
-                     const core::DoppelGangerConfig& cfg) {
-  ModelDims d;
-  d.attr_w = s.attribute_dim();
-  int n_cont = 0;
-  for (const data::FieldSpec& f : s.features) {
-    if (f.type == data::FieldType::Continuous) ++n_cont;
-  }
-  d.minmax_enabled = cfg.use_minmax_generator && n_cont > 0;
-  d.mm_w = d.minmax_enabled ? 2 * n_cont : 0;
-  d.record_width = s.feature_record_dim() + 2;
-  d.tmax = s.max_timesteps;
-  if (cfg.sample_len > 0) {
-    d.steps_per_series =
-        (s.max_timesteps + cfg.sample_len - 1) / cfg.sample_len;
-  }
-  return d;
-}
-
-// ---- output-block layout ------------------------------------------------
-//
-// Replicates core/output_blocks.cpp locally: the analysis layer sits below
-// dg_core in the link graph, so it cannot call into it. Any drift between
-// the two is caught by the differential test (meta-executed shapes and op
-// census vs. the real executor).
-
-struct Block {
-  int width = 0;
-  nn::Activation act = nn::Activation::None;
-};
-
-struct Layouts {
-  std::vector<Block> attr;
-  std::vector<Block> minmax;
-  std::vector<Block> step;  // sample_len records' worth of blocks
-};
-
-Layouts block_layouts(const data::Schema& s,
-                      const core::DoppelGangerConfig& cfg,
-                      const ModelDims& d) {
-  Layouts l;
-  for (const data::FieldSpec& a : s.attributes) {
-    l.attr.push_back({a.width(), a.type == data::FieldType::Categorical
-                                     ? nn::Activation::Softmax
-                                     : nn::Activation::Sigmoid});
-  }
-  std::vector<Block> record;
-  for (const data::FieldSpec& f : s.features) {
-    if (f.type == data::FieldType::Categorical) {
-      record.push_back({f.width(), nn::Activation::Softmax});
-    } else {
-      l.minmax.push_back({2, nn::Activation::Sigmoid});
-      record.push_back({1, d.minmax_enabled ? nn::Activation::Tanh
-                                            : nn::Activation::Sigmoid});
-    }
-  }
-  record.push_back({2, nn::Activation::Softmax});  // generation flags
-  if (!d.minmax_enabled) l.minmax.clear();
-  l.step.reserve(record.size() * static_cast<size_t>(cfg.sample_len));
-  for (int i = 0; i < cfg.sample_len; ++i) {
-    l.step.insert(l.step.end(), record.begin(), record.end());
-  }
-  return l;
-}
-
-N sym_apply_blocks(Tracer& t, N x, const std::vector<Block>& blocks) {
-  std::vector<N> parts;
-  parts.reserve(blocks.size());
-  int col = 0;
-  for (const Block& b : blocks) {
-    N part = t.slice_cols(x, col, col + b.width);
-    switch (b.act) {
-      case nn::Activation::None: break;
-      case nn::Activation::Relu: part = t.relu(part); break;
-      case nn::Activation::Tanh: part = t.tanh(part); break;
-      case nn::Activation::Sigmoid: part = t.sigmoid(part); break;
-      case nn::Activation::Softmax: part = t.softmax_rows(part); break;
-    }
-    parts.push_back(part);
-    col += b.width;
-  }
-  return t.concat_cols(parts);
-}
-
-// ---- symbolic modules ---------------------------------------------------
-
-using TrainableFn = std::function<bool(const std::string&)>;
-
-struct SymMlp {
-  std::vector<std::pair<N, N>> layers;  // (w, b) per Linear
-
-  static SymMlp make(Tracer& t, const std::string& name, int in, int out,
-                     int hidden, int hidden_layers, const TrainableFn& tr) {
-    SymMlp m;
-    int prev = in;
-    int li = 0;
-    const auto add_layer = [&](int width) {
-      const std::string base = name + ".l" + std::to_string(li++);
-      m.layers.emplace_back(
-          t.param(base + ".w", {Dim::of(prev), Dim::of(width)},
-                  tr(base + ".w")),
-          t.param(base + ".b", {Dim::of(1), Dim::of(width)},
-                  tr(base + ".b")));
-      prev = width;
-    };
-    for (int i = 0; i < hidden_layers; ++i) add_layer(hidden);
-    add_layer(out);
-    return m;
-  }
-
-  N forward(Tracer& t, N x) const {
-    N h = x;
-    for (size_t i = 0; i + 1 < layers.size(); ++i) {
-      h = t.relu(t.affine(h, layers[i].first, layers[i].second));
-    }
-    return t.affine(h, layers.back().first, layers.back().second);
-  }
-};
-
-struct SymLstm {
-  N wx = nullptr;
-  N wh = nullptr;
-  N b = nullptr;
-  int hidden = 0;
-
-  static SymLstm make(Tracer& t, const std::string& name, int in, int hidden,
-                      const TrainableFn& tr) {
-    SymLstm l;
-    l.hidden = hidden;
-    l.wx = t.param(name + ".wx", {Dim::of(in), Dim::of(4 * hidden)},
-                   tr(name + ".wx"));
-    l.wh = t.param(name + ".wh", {Dim::of(hidden), Dim::of(4 * hidden)},
-                   tr(name + ".wh"));
-    l.b = t.param(name + ".b", {Dim::of(1), Dim::of(4 * hidden)},
-                  tr(name + ".b"));
-    return l;
-  }
-
-  /// Mirrors nn::LstmCell::step op for op.
-  std::pair<N, N> step(Tracer& t, N x, N h_prev, N c_prev) const {
-    N gates = t.lstm_gates(x, wx, h_prev, wh, b);
-    N i = t.sigmoid(t.slice_cols(gates, 0, hidden));
-    N f = t.sigmoid(t.slice_cols(gates, hidden, 2 * hidden));
-    N g = t.tanh(t.slice_cols(gates, 2 * hidden, 3 * hidden));
-    N o = t.sigmoid(t.slice_cols(gates, 3 * hidden, 4 * hidden));
-    N c = t.add(t.mul(f, c_prev), t.mul(i, g));
-    N h = t.mul(o, t.tanh(c));
-    return {h, c};
-  }
-};
-
-struct GeneratorNets {
-  SymMlp attr_gen;
-  SymMlp minmax_gen;  // empty when disabled
-  SymLstm lstm;
-  SymMlp head;
-};
-
-GeneratorNets make_generator(Tracer& t, const core::DoppelGangerConfig& cfg,
-                             const ModelDims& d, const TrainableFn& tr) {
-  GeneratorNets g;
-  g.attr_gen = SymMlp::make(t, "attr_gen", cfg.attr_noise_dim, d.attr_w,
-                            cfg.attr_hidden, cfg.attr_layers, tr);
-  if (d.minmax_enabled) {
-    g.minmax_gen =
-        SymMlp::make(t, "minmax_gen", d.attr_w + cfg.minmax_noise_dim,
-                     d.mm_w, cfg.minmax_hidden, cfg.minmax_layers, tr);
-  }
-  g.lstm = SymLstm::make(t, "lstm", d.attr_w + d.mm_w + cfg.feat_noise_dim,
-                         cfg.lstm_units, tr);
-  g.head = SymMlp::make(t, "head", cfg.lstm_units,
-                        cfg.sample_len * d.record_width, cfg.head_hidden, 1,
-                        tr);
-  return g;
-}
 
 // ---- config / schema validation -----------------------------------------
 
@@ -361,50 +175,10 @@ TrainingWalk training_walk(Tracer& t, const core::DoppelGangerConfig& cfg,
                            const ModelDims& d, const Layouts& lay,
                            const GeneratorNets& g, const SymMlp& disc,
                            const SymMlp& aux_disc) {
-  const Dim B = Dim::sym("B");
   TrainingWalk w;
 
-  N attributes = sym_apply_blocks(
-      t, g.attr_gen.forward(t, t.input("attr_noise",
-                                       {B, Dim::of(cfg.attr_noise_dim)})),
-      lay.attr);
-  N minmax = nullptr;
-  if (d.minmax_enabled) {
-    const N mm_parts[] = {
-        attributes,
-        t.input("minmax_noise", {B, Dim::of(cfg.minmax_noise_dim)})};
-    minmax = sym_apply_blocks(
-        t, g.minmax_gen.forward(t, t.concat_cols(mm_parts)), lay.minmax);
-  } else {
-    minmax = t.constant({B, Dim::of(0)});
-  }
-  const N cond_parts[] = {attributes, minmax};
-  N cond = t.concat_cols(cond_parts);
-
-  N h = t.constant({B, Dim::of(cfg.lstm_units)});
-  N c = t.constant({B, Dim::of(cfg.lstm_units)});
-  N mask = t.constant({B, Dim::of(1)});
-  std::vector<N> records;
-  records.reserve(static_cast<size_t>(d.tmax));
-  for (int step = 0; step < d.steps_per_series; ++step) {
-    const N in_parts[] = {
-        cond, t.input("feat_noise", {B, Dim::of(cfg.feat_noise_dim)})};
-    auto [h2, c2] = g.lstm.step(t, t.concat_cols(in_parts), h, c);
-    h = h2;
-    c = c2;
-    N block = sym_apply_blocks(t, g.head.forward(t, h), lay.step);
-    for (int s = 0; s < cfg.sample_len; ++s) {
-      if (static_cast<int>(records.size()) >= d.tmax) break;
-      N rec = t.mul_colvec(
-          t.slice_cols(block, s * d.record_width, (s + 1) * d.record_width),
-          mask);
-      mask = t.slice_cols(rec, d.record_width - 2, d.record_width - 1);
-      records.push_back(rec);
-    }
-  }
-  N features = t.concat_cols(records);
-
-  const N full_parts[] = {attributes, minmax, features};
+  const GenForward f = sym_generator_forward(t, cfg, d, lay, g);
+  const N full_parts[] = {f.attributes, f.minmax, f.features};
   N fake_full = t.concat_cols(full_parts);
   w.disc_begin = t.graph().size();
   N d_out = disc.forward(t, fake_full);
@@ -412,7 +186,7 @@ TrainingWalk training_walk(Tracer& t, const core::DoppelGangerConfig& cfg,
   w.g_loss = t.neg(t.mean(d_out));
 
   if (cfg.use_aux_discriminator) {
-    const N head_parts[] = {attributes, minmax};
+    const N head_parts[] = {f.attributes, f.minmax};
     N fake_head = t.concat_cols(head_parts);
     w.aux_begin = t.graph().size();
     N a_out = aux_disc.forward(t, fake_head);

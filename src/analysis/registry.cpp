@@ -21,6 +21,15 @@ const char* to_string(SimdClass c) {
   return "?";
 }
 
+const char* to_string(DetClass c) {
+  switch (c) {
+    case DetClass::kOrderFree: return "order-free";
+    case DetClass::kOrderedReduction: return "ordered-reduction";
+    case DetClass::kAccumulating: return "accumulating";
+  }
+  return "?";
+}
+
 const OpInfo* OpRegistry::find(std::string_view name) const {
   auto it = ops_.find(name);
   return it == ops_.end() ? nullptr : &it->second;
@@ -283,6 +292,10 @@ OpRegistry make_builtin() {
                {add_dims(in[0].rows, Dim::of(attrs.i0 + attrs.i1)),
                 in[0].cols});
          }});
+
+  // Adjoint rules and determinism classes live in analysis/adjoint.cpp —
+  // they need the Tracer surface, which this file sits below.
+  detail::install_builtin_adjoints(r);
   return r;
 }
 

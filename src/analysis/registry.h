@@ -58,6 +58,28 @@ enum class SimdClass {
 
 const char* to_string(SimdClass c);
 
+/// How the op (and its adjoint) behaves under reordered floating-point
+/// accumulation. This is the contract ROADMAP item 4's data-parallel
+/// all-reduce consumes: a bit-identical distributed training step must pin
+/// the reduction order at every site that is not kOrderFree.
+enum class DetClass {
+  /// Pure elementwise / layout op: no accumulation anywhere, output is
+  /// invariant to any evaluation order.
+  kOrderFree,
+  /// Folds an input extent through floating-point adds (matmul, affine,
+  /// lstm_gates, row_sum, col_sum, sum): result depends on the summation
+  /// order, which our kernels fix by construction (PR 2 discipline). A
+  /// data-parallel all-reduce must preserve that order per site.
+  kOrderedReduction,
+  /// Read-modify-write into a gradient slot (the implicit "grad" op):
+  /// contributions from multiple graph paths are added in engine traversal
+  /// order. The census reports these separately because bucketed all-reduce
+  /// changes *when* the adds happen, not just their lane order.
+  kAccumulating,
+};
+
+const char* to_string(DetClass c);
+
 /// Declared broadcast semantics (which input is replicated across the other).
 enum class Broadcast { kNone, kRowVector, kColVector, kScalar };
 
@@ -84,6 +106,28 @@ struct ShapeResult {
 using ShapeRule =
     std::function<ShapeResult(std::span<const Shape>, const OpAttrs&)>;
 
+class Tracer;
+struct SymNode;
+
+/// Everything an adjoint rule sees when the static backward pass reaches a
+/// node: the tracer to emit adjoint ops through, the forward node itself,
+/// its parents, and the incoming output gradient.
+struct AdjointCtx {
+  Tracer& t;
+  const SymNode* node;
+  std::span<const SymNode* const> parents;
+  const SymNode* gout;
+};
+
+/// Symbolic backward rule: returns one gradient node per parent, in parent
+/// order, mirroring the op's entry in nn/autograd.cpp op for op. A nullptr
+/// element means "this rule produces no gradient for that parent" — the
+/// engine computes gradients for *all* parents and drops the unneeded ones
+/// afterwards, so rules must not themselves skip parents the real backward
+/// computes (the differential tests pin this).
+using AdjointRule =
+    std::function<std::vector<const SymNode*>(const AdjointCtx&)>;
+
 struct OpInfo {
   std::string name;
   int min_arity = 1;
@@ -98,7 +142,24 @@ struct OpInfo {
   /// tests in tests/nn/test_simd.cpp sweep against these bounds.
   SimdClass simd = SimdClass::kBitExact;
   int ulp_bound = 0;
+  /// Determinism class (see DetClass). Deliberately optional with no
+  /// default: the registry coverage hard-gate fails any op that does not
+  /// *declare* its class, so a new op cannot merge half-registered. These
+  /// two fields sit last so existing positional initializers keep working.
+  std::optional<DetClass> det;
+  /// Symbolic backward rule; an empty function means "no adjoint declared",
+  /// which the coverage gate rejects for every differentiable op.
+  AdjointRule adjoint;
 };
+
+class OpRegistry;
+
+namespace detail {
+/// Defined in analysis/adjoint.cpp: stamps every builtin entry with its
+/// adjoint rule and determinism class. OpRegistry::builtin() calls this so
+/// the two declarations can never drift apart from the shape registry.
+void install_builtin_adjoints(OpRegistry& r);
+}  // namespace detail
 
 class OpRegistry {
  public:

@@ -19,6 +19,7 @@ const SymNode* SymGraph::param(std::string label, Shape shape,
   n.shape = shape;
   n.label = std::move(label);
   n.trainable = trainable;
+  n.requires_grad = trainable;
   n.attrs.rows = shape.rows;
   n.attrs.cols = shape.cols;
   return push(std::move(n));
@@ -41,6 +42,14 @@ const SymNode* SymGraph::apply(std::string_view op,
   n.op = std::string(op);
   n.parents.assign(parents.begin(), parents.end());
   n.attrs = attrs;
+  if (grad_enabled_) {
+    for (const SymNode* p : parents) {
+      if (p->requires_grad) {
+        n.requires_grad = true;
+        break;
+      }
+    }
+  }
 
   // Poison propagation: an already-reported failure upstream silences this
   // node — one root cause, one diagnostic.

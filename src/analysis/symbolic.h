@@ -31,6 +31,11 @@ struct SymNode {
   /// Human label for leaves ("attr_gen.l0.w") and named inputs.
   std::string label;
   bool trainable = false;
+  /// Mirrors nn::Var::requires_grad: true for trainable leaves and for any
+  /// op applied (with grad enabled) to a requires-grad parent. The static
+  /// backward pass (analysis/adjoint.h) only traverses this subgraph, the
+  /// same pruning nn/autograd.cpp's topo_order performs.
+  bool requires_grad = false;
   bool poisoned = false;
   OpAttrs attrs;
 };
@@ -40,7 +45,10 @@ class SymGraph {
   explicit SymGraph(const OpRegistry* registry = &OpRegistry::builtin())
       : registry_(registry) {}
 
-  /// Trainable (or frozen) parameter leaf — op "leaf".
+  /// Trainable (or frozen) parameter leaf — op "leaf". A param that is
+  /// requires-grad but frozen mirrors FreezeGuard'd critic leaves: pass
+  /// trainable=false and the node neither requires grad nor joins the
+  /// backward traversal, exactly as requires_grad=false leaves behave.
   const SymNode* param(std::string label, Shape shape, bool trainable = true);
 
   /// Non-parameter input (noise, data, state) — op "constant".
@@ -72,12 +80,34 @@ class SymGraph {
   const SymNode* node(int id) const { return nodes_[id].get(); }
   const OpRegistry& registry() const { return *registry_; }
 
+  /// Mirror of nn::NoGradGuard: while disabled, applied nodes do not
+  /// acquire requires_grad (the generator's no-grad sampling forward, and
+  /// the outer create_graph=false backward, both run in this mode).
+  bool grad_enabled() const { return grad_enabled_; }
+  void set_grad_enabled(bool on) { grad_enabled_ = on; }
+
  private:
   SymNode* push(SymNode n);
 
   const OpRegistry* registry_;
   std::vector<std::unique_ptr<SymNode>> nodes_;
   std::vector<Diagnostic> diags_;
+  bool grad_enabled_ = true;
+};
+
+/// RAII mirror of nn::NoGradGuard for symbolic walks.
+class SymNoGradGuard {
+ public:
+  explicit SymNoGradGuard(SymGraph& g) : g_(g), prev_(g.grad_enabled()) {
+    g_.set_grad_enabled(false);
+  }
+  ~SymNoGradGuard() { g_.set_grad_enabled(prev_); }
+  SymNoGradGuard(const SymNoGradGuard&) = delete;
+  SymNoGradGuard& operator=(const SymNoGradGuard&) = delete;
+
+ private:
+  SymGraph& g_;
+  bool prev_;
 };
 
 /// Shape-level mirror of the nn::ops call surface. Each method expands to

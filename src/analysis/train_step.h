@@ -1,0 +1,100 @@
+// Whole-training-step static analysis: meta-executes one full WGAN-GP
+// iteration symbolically — the detached generator forward that fabricates the
+// critic's fake batch, the full and auxiliary critic steps (loss assembly,
+// gradient-penalty double backward, outer backward), and the generator step
+// (fresh forward, frozen critics, backward) — mirroring run_training in
+// core/doppelganger.cpp phase for phase.
+//
+// On top of the shape soundness the per-op adjoint rules enforce, the pass
+// audits three structural properties no spot check sees:
+//
+//  * adjoint soundness — every gradient the symbolic backward produces
+//    checks against its parent's shape, at every node of every phase;
+//  * def-before-use on gradient slots — every trainable parameter the
+//    optimizer will step must actually receive a gradient (Adam silently
+//    skips undefined slots, so a dropped adjoint edge trains a model that
+//    converges wrong rather than crashing);
+//  * reduction-order census — the exact set of kOrderedReduction and
+//    kAccumulating sites in the step, i.e. the sites a future data-parallel
+//    all-reduce (ROADMAP item 4) must pin to stay bit-identical.
+//
+// The four per-phase op multisets are pinned against the real engine
+// (nn::OpObserverGuard around the corresponding run_training phases) by the
+// differential tests, so the mirror cannot silently drift.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "analysis/model.h"
+#include "analysis/registry.h"
+#include "core/doppelganger.h"
+#include "data/types.h"
+
+namespace dg::analysis {
+
+struct TrainStepOptions {
+  /// Registry to interpret ops with; override to seed defects
+  /// (seed_adjoint_defect) or register new ops.
+  const OpRegistry* registry = &OpRegistry::builtin();
+  /// Live-model overlay (optional); order-matched to
+  /// expected_parameter_shapes, used for the frozen-parameter trainability
+  /// of each leaf (shape cross-checks stay in analyze_model).
+  std::span<const RuntimeParamInfo> runtime_params;
+};
+
+/// One order-sensitive site class in the training step. `count` is the
+/// number of node instances across all four phases; `where` is an exemplar
+/// graph path (first instance encountered).
+struct ReductionSite {
+  std::string op;
+  DetClass det = DetClass::kOrderedReduction;
+  int count = 0;
+  std::string where;
+};
+
+struct TrainingStepAnalysis {
+  std::vector<Diagnostic> diagnostics;
+
+  /// Op multisets per phase, in run_training order: the detached fake
+  /// forward (under NoGradGuard), the full critic step (forward + GP double
+  /// backward + outer backward), the auxiliary critic step (empty when no
+  /// aux critic), and the generator step (forward + frozen-critic backward).
+  std::map<std::string, int> fake_forward_ops;
+  std::map<std::string, int> critic_step_ops;
+  std::map<std::string, int> aux_critic_step_ops;
+  std::map<std::string, int> generator_step_ops;
+
+  /// Every order-sensitive accumulation class in the step, sorted by op
+  /// name, kOrderedReduction ops first, then the two kAccumulating entries
+  /// ("grad-slot" writes and in-graph "grad-accumulate" merges).
+  std::vector<ReductionSite> census;
+  /// Leaf gradient-slot writes across the slot-writing (outer) backward
+  /// passes — the kAccumulating targets Var::backward populates.
+  int grad_slot_writes = 0;
+  /// In-graph gradient accumulations (an "add" per second upstream
+  /// contribution), inner GP backward included.
+  int accumulation_adds = 0;
+  /// Total symbolic nodes across the four phase graphs.
+  int graph_nodes = 0;
+
+  bool ok() const { return !has_errors(diagnostics); }
+};
+
+/// Runs the full training-step audit. Assumes a constructible model: run
+/// analyze_model first and only proceed when it reports no errors (the fit
+/// preflight and `dgcli lint --train` both do); on a non-constructible
+/// config this emits a single "config-invalid" diagnostic and returns.
+/// Never throws on bad input — findings come back as diagnostics.
+///
+/// DP note: with differential privacy enabled the critic runs the
+/// microbatched clipped step (dp_critic_step); the audit still models the
+/// plain step, which covers the same op classes and the same parameter
+/// slots — the census is per-site-class, not per-invocation.
+TrainingStepAnalysis analyze_training_step(const data::Schema& schema,
+                                           const core::DoppelGangerConfig& cfg,
+                                           const TrainStepOptions& opts = {});
+
+}  // namespace dg::analysis

@@ -1,0 +1,190 @@
+#include "analysis/walk.h"
+
+namespace dg::analysis {
+
+using N = const SymNode*;
+
+ModelDims model_dims(const data::Schema& s,
+                     const core::DoppelGangerConfig& cfg) {
+  ModelDims d;
+  d.attr_w = s.attribute_dim();
+  int n_cont = 0;
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Continuous) ++n_cont;
+  }
+  d.minmax_enabled = cfg.use_minmax_generator && n_cont > 0;
+  d.mm_w = d.minmax_enabled ? 2 * n_cont : 0;
+  d.record_width = s.feature_record_dim() + 2;
+  d.tmax = s.max_timesteps;
+  if (cfg.sample_len > 0) {
+    d.steps_per_series =
+        (s.max_timesteps + cfg.sample_len - 1) / cfg.sample_len;
+  }
+  return d;
+}
+
+Layouts block_layouts(const data::Schema& s,
+                      const core::DoppelGangerConfig& cfg,
+                      const ModelDims& d) {
+  Layouts l;
+  for (const data::FieldSpec& a : s.attributes) {
+    l.attr.push_back({a.width(), a.type == data::FieldType::Categorical
+                                     ? nn::Activation::Softmax
+                                     : nn::Activation::Sigmoid});
+  }
+  std::vector<Block> record;
+  for (const data::FieldSpec& f : s.features) {
+    if (f.type == data::FieldType::Categorical) {
+      record.push_back({f.width(), nn::Activation::Softmax});
+    } else {
+      l.minmax.push_back({2, nn::Activation::Sigmoid});
+      record.push_back({1, d.minmax_enabled ? nn::Activation::Tanh
+                                            : nn::Activation::Sigmoid});
+    }
+  }
+  record.push_back({2, nn::Activation::Softmax});  // generation flags
+  if (!d.minmax_enabled) l.minmax.clear();
+  l.step.reserve(record.size() * static_cast<size_t>(cfg.sample_len));
+  for (int i = 0; i < cfg.sample_len; ++i) {
+    l.step.insert(l.step.end(), record.begin(), record.end());
+  }
+  return l;
+}
+
+N sym_apply_blocks(Tracer& t, N x, const std::vector<Block>& blocks) {
+  std::vector<N> parts;
+  parts.reserve(blocks.size());
+  int col = 0;
+  for (const Block& b : blocks) {
+    N part = t.slice_cols(x, col, col + b.width);
+    switch (b.act) {
+      case nn::Activation::None: break;
+      case nn::Activation::Relu: part = t.relu(part); break;
+      case nn::Activation::Tanh: part = t.tanh(part); break;
+      case nn::Activation::Sigmoid: part = t.sigmoid(part); break;
+      case nn::Activation::Softmax: part = t.softmax_rows(part); break;
+    }
+    parts.push_back(part);
+    col += b.width;
+  }
+  return t.concat_cols(parts);
+}
+
+SymMlp SymMlp::make(Tracer& t, const std::string& name, int in, int out,
+                    int hidden, int hidden_layers, const TrainableFn& tr) {
+  SymMlp m;
+  int prev = in;
+  int li = 0;
+  const auto add_layer = [&](int width) {
+    const std::string base = name + ".l" + std::to_string(li++);
+    m.layers.emplace_back(
+        t.param(base + ".w", {Dim::of(prev), Dim::of(width)},
+                tr(base + ".w")),
+        t.param(base + ".b", {Dim::of(1), Dim::of(width)}, tr(base + ".b")));
+    prev = width;
+  };
+  for (int i = 0; i < hidden_layers; ++i) add_layer(hidden);
+  add_layer(out);
+  return m;
+}
+
+N SymMlp::forward(Tracer& t, N x) const {
+  N h = x;
+  for (size_t i = 0; i + 1 < layers.size(); ++i) {
+    h = t.relu(t.affine(h, layers[i].first, layers[i].second));
+  }
+  return t.affine(h, layers.back().first, layers.back().second);
+}
+
+SymLstm SymLstm::make(Tracer& t, const std::string& name, int in, int hidden,
+                      const TrainableFn& tr) {
+  SymLstm l;
+  l.hidden = hidden;
+  l.wx = t.param(name + ".wx", {Dim::of(in), Dim::of(4 * hidden)},
+                 tr(name + ".wx"));
+  l.wh = t.param(name + ".wh", {Dim::of(hidden), Dim::of(4 * hidden)},
+                 tr(name + ".wh"));
+  l.b =
+      t.param(name + ".b", {Dim::of(1), Dim::of(4 * hidden)}, tr(name + ".b"));
+  return l;
+}
+
+std::pair<N, N> SymLstm::step(Tracer& t, N x, N h_prev, N c_prev) const {
+  N gates = t.lstm_gates(x, wx, h_prev, wh, b);
+  N i = t.sigmoid(t.slice_cols(gates, 0, hidden));
+  N f = t.sigmoid(t.slice_cols(gates, hidden, 2 * hidden));
+  N g = t.tanh(t.slice_cols(gates, 2 * hidden, 3 * hidden));
+  N o = t.sigmoid(t.slice_cols(gates, 3 * hidden, 4 * hidden));
+  N c = t.add(t.mul(f, c_prev), t.mul(i, g));
+  N h = t.mul(o, t.tanh(c));
+  return {h, c};
+}
+
+GeneratorNets make_generator(Tracer& t, const core::DoppelGangerConfig& cfg,
+                             const ModelDims& d, const TrainableFn& tr) {
+  GeneratorNets g;
+  g.attr_gen = SymMlp::make(t, "attr_gen", cfg.attr_noise_dim, d.attr_w,
+                            cfg.attr_hidden, cfg.attr_layers, tr);
+  if (d.minmax_enabled) {
+    g.minmax_gen =
+        SymMlp::make(t, "minmax_gen", d.attr_w + cfg.minmax_noise_dim, d.mm_w,
+                     cfg.minmax_hidden, cfg.minmax_layers, tr);
+  }
+  g.lstm = SymLstm::make(t, "lstm", d.attr_w + d.mm_w + cfg.feat_noise_dim,
+                         cfg.lstm_units, tr);
+  g.head = SymMlp::make(t, "head", cfg.lstm_units,
+                        cfg.sample_len * d.record_width, cfg.head_hidden, 1,
+                        tr);
+  return g;
+}
+
+GenForward sym_generator_forward(Tracer& t,
+                                 const core::DoppelGangerConfig& cfg,
+                                 const ModelDims& d, const Layouts& lay,
+                                 const GeneratorNets& g) {
+  const Dim B = Dim::sym("B");
+  GenForward out;
+
+  out.attributes = sym_apply_blocks(
+      t,
+      g.attr_gen.forward(
+          t, t.input("attr_noise", {B, Dim::of(cfg.attr_noise_dim)})),
+      lay.attr);
+  if (d.minmax_enabled) {
+    const N mm_parts[] = {
+        out.attributes,
+        t.input("minmax_noise", {B, Dim::of(cfg.minmax_noise_dim)})};
+    out.minmax = sym_apply_blocks(
+        t, g.minmax_gen.forward(t, t.concat_cols(mm_parts)), lay.minmax);
+  } else {
+    out.minmax = t.constant({B, Dim::of(0)});
+  }
+  const N cond_parts[] = {out.attributes, out.minmax};
+  N cond = t.concat_cols(cond_parts);
+
+  N h = t.constant({B, Dim::of(cfg.lstm_units)});
+  N c = t.constant({B, Dim::of(cfg.lstm_units)});
+  N mask = t.constant({B, Dim::of(1)});
+  std::vector<N> records;
+  records.reserve(static_cast<size_t>(d.tmax));
+  for (int step = 0; step < d.steps_per_series; ++step) {
+    const N in_parts[] = {
+        cond, t.input("feat_noise", {B, Dim::of(cfg.feat_noise_dim)})};
+    auto [h2, c2] = g.lstm.step(t, t.concat_cols(in_parts), h, c);
+    h = h2;
+    c = c2;
+    N block = sym_apply_blocks(t, g.head.forward(t, h), lay.step);
+    for (int s = 0; s < cfg.sample_len; ++s) {
+      if (static_cast<int>(records.size()) >= d.tmax) break;
+      N rec = t.mul_colvec(
+          t.slice_cols(block, s * d.record_width, (s + 1) * d.record_width),
+          mask);
+      mask = t.slice_cols(rec, d.record_width - 2, d.record_width - 1);
+      records.push_back(rec);
+    }
+  }
+  out.features = t.concat_cols(records);
+  return out;
+}
+
+}  // namespace dg::analysis

@@ -1,0 +1,114 @@
+// Shared symbolic model-walk infrastructure: the architecture dimensions,
+// output-block layouts, and symbolic modules (MLP, LSTM cell, generator
+// bundle) that mirror DoppelGanger's construction. Both whole-model
+// analysis (analysis/model.cpp) and the training-step adjoint audit
+// (analysis/train_step.cpp) walk the same nets, so the mirrors live here
+// once.
+//
+// Everything replicates core/* locally: the analysis layer sits below
+// dg_core in the link graph, so it cannot call into it. Any drift between
+// the mirrors and the real model is caught by the differential tests
+// (meta-executed op census vs. the real executor and autograd engine).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/symbolic.h"
+#include "core/doppelganger.h"
+#include "data/types.h"
+#include "nn/layers.h"
+
+namespace dg::analysis {
+
+/// Architecture dimensions (mirrors DoppelGanger's constructor).
+struct ModelDims {
+  int attr_w = 0;        ///< encoded attribute width
+  int mm_w = 0;          ///< min/max "fake attribute" width (0 when disabled)
+  int record_width = 0;  ///< one record incl. the two generation flags
+  int tmax = 0;
+  int steps_per_series = 0;
+  bool minmax_enabled = false;
+};
+
+ModelDims model_dims(const data::Schema& s,
+                     const core::DoppelGangerConfig& cfg);
+
+/// One output block: a slice of the raw net output and its activation.
+/// Replicates core/output_blocks.cpp.
+struct Block {
+  int width = 0;
+  nn::Activation act = nn::Activation::None;
+};
+
+struct Layouts {
+  std::vector<Block> attr;
+  std::vector<Block> minmax;
+  std::vector<Block> step;  ///< sample_len records' worth of blocks
+};
+
+Layouts block_layouts(const data::Schema& s,
+                      const core::DoppelGangerConfig& cfg,
+                      const ModelDims& d);
+
+/// Slice-activate-concat over an output-block layout, op for op as
+/// core::apply_blocks records autograd nodes.
+const SymNode* sym_apply_blocks(Tracer& t, const SymNode* x,
+                                const std::vector<Block>& blocks);
+
+/// Per-parameter trainability overlay (runtime requires_grad view).
+using TrainableFn = std::function<bool(const std::string&)>;
+
+struct SymMlp {
+  std::vector<std::pair<const SymNode*, const SymNode*>>
+      layers;  ///< (w, b) per Linear
+
+  static SymMlp make(Tracer& t, const std::string& name, int in, int out,
+                     int hidden, int hidden_layers, const TrainableFn& tr);
+
+  const SymNode* forward(Tracer& t, const SymNode* x) const;
+};
+
+struct SymLstm {
+  const SymNode* wx = nullptr;
+  const SymNode* wh = nullptr;
+  const SymNode* b = nullptr;
+  int hidden = 0;
+
+  static SymLstm make(Tracer& t, const std::string& name, int in, int hidden,
+                      const TrainableFn& tr);
+
+  /// Mirrors nn::LstmCell::step op for op.
+  std::pair<const SymNode*, const SymNode*> step(Tracer& t, const SymNode* x,
+                                                 const SymNode* h_prev,
+                                                 const SymNode* c_prev) const;
+};
+
+struct GeneratorNets {
+  SymMlp attr_gen;
+  SymMlp minmax_gen;  ///< empty when disabled
+  SymLstm lstm;
+  SymMlp head;
+};
+
+GeneratorNets make_generator(Tracer& t, const core::DoppelGangerConfig& cfg,
+                             const ModelDims& d, const TrainableFn& tr);
+
+/// Result of one symbolic DoppelGanger::forward (training-mode generator
+/// unroll): the pieces run_training concatenates into critic inputs.
+struct GenForward {
+  const SymNode* attributes = nullptr;
+  const SymNode* minmax = nullptr;
+  const SymNode* features = nullptr;
+};
+
+/// Mirrors DoppelGanger::forward op for op: attribute MLP, optional min/max
+/// MLP, LSTM + head unroll with the differentiable continuation mask.
+GenForward sym_generator_forward(Tracer& t,
+                                 const core::DoppelGangerConfig& cfg,
+                                 const ModelDims& d, const Layouts& lay,
+                                 const GeneratorNets& g);
+
+}  // namespace dg::analysis

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "analysis/model.h"
+#include "analysis/train_step.h"
 #include "core/preflight.h"
 #include "core/wgan.h"
 #include "nn/serialize.h"
@@ -461,6 +462,19 @@ TrainStats DoppelGanger::run_training(const data::Dataset& train,
     if (!preflight.ok()) {
       throw std::invalid_argument("fit: preflight failed:\n" +
                                   render_diagnostics(preflight.diagnostics));
+    }
+    // Second gate: the symbolic adjoint audit of one full training step —
+    // backward shape soundness at every node, def-before-use on every
+    // optimizer gradient slot, determinism-class consistency (see
+    // analysis/train_step.h). A config that fails here would train without
+    // crashing and converge wrong.
+    analysis::TrainStepOptions step_opts;
+    step_opts.runtime_params = runtime;
+    const analysis::TrainingStepAnalysis step =
+        analysis::analyze_training_step(codec_.schema(), cfg_, step_opts);
+    if (!step.ok()) {
+      throw std::invalid_argument("fit: training-step preflight failed:\n" +
+                                  render_diagnostics(step.diagnostics));
     }
   }
   const data::EncodedDataset enc = codec_.encode(train);

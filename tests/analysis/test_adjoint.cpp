@@ -1,0 +1,318 @@
+// Static adjoint auditor tests:
+//   * registry coverage hard-gate — every nn::known_op_names() entry must
+//     declare BOTH an adjoint rule and a determinism class (a new op cannot
+//     merge half-registered);
+//   * the probe-based determinism audit proves the builtin classes out and
+//     the ordered-reduction set is exactly the folding ops;
+//   * sym_backward unit battery — gradients, accumulation, scalar-root and
+//     create_graph gating, diagnostic dedup;
+//   * analyze_training_step — clean on every valid architecture variant,
+//     gradient slots cover every optimizer parameter exactly once, and the
+//     reduction-order census is consistent with the per-phase op multisets.
+#include "analysis/adjoint.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/model.h"
+#include "analysis/train_step.h"
+#include "core/doppelganger.h"
+#include "nn/autograd.h"
+#include "synth/synth.h"
+
+namespace dg::analysis {
+namespace {
+
+core::DoppelGangerConfig tiny_cfg() {
+  core::DoppelGangerConfig cfg;
+  cfg.attr_hidden = 8;
+  cfg.attr_layers = 1;
+  cfg.minmax_hidden = 8;
+  cfg.minmax_layers = 1;
+  cfg.lstm_units = 8;
+  cfg.head_hidden = 8;
+  cfg.sample_len = 5;
+  cfg.disc_hidden = 16;
+  cfg.disc_layers = 2;
+  cfg.batch = 4;
+  cfg.iterations = 1;
+  cfg.seed = 7;
+  return cfg;
+}
+
+data::Schema gcut_schema() {
+  return synth::make_gcut({.n = 4, .t_max = 20, .seed = 5}).schema;
+}
+
+// ---- registry coverage hard-gate ----------------------------------------
+
+TEST(AdjointRegistry, EveryKnownOpDeclaresAdjointAndDetClass) {
+  const OpRegistry& reg = OpRegistry::builtin();
+  for (const char* name : nn::known_op_names()) {
+    const OpInfo* info = reg.find(name);
+    ASSERT_NE(info, nullptr) << name << " missing from the registry";
+    EXPECT_TRUE(info->det.has_value())
+        << name << " declares no determinism class";
+    EXPECT_TRUE(static_cast<bool>(info->adjoint))
+        << name << " declares no adjoint rule";
+  }
+}
+
+TEST(AdjointRegistry, BuiltinPassesTheDeterminismAudit) {
+  // No errors AND no determinism-unverified warnings: every builtin op must
+  // be provable by the generic shape probes, not merely declared.
+  const auto diags = audit_registry(OpRegistry::builtin());
+  for (const Diagnostic& d : diags) {
+    ADD_FAILURE() << d.code << " at " << d.op << ": " << d.message;
+  }
+}
+
+TEST(AdjointRegistry, OrderedReductionSetIsExactlyTheFoldingOps) {
+  const std::set<std::string> folding = {"matmul", "affine", "lstm_gates",
+                                         "row_sum", "col_sum", "sum"};
+  const OpRegistry& reg = OpRegistry::builtin();
+  for (const std::string& name : reg.names()) {
+    const OpInfo* info = reg.find(name);
+    ASSERT_TRUE(info->det.has_value()) << name;
+    if (name == "grad") {
+      EXPECT_EQ(*info->det, DetClass::kAccumulating);
+    } else if (folding.count(name) != 0) {
+      EXPECT_EQ(*info->det, DetClass::kOrderedReduction) << name;
+    } else {
+      EXPECT_EQ(*info->det, DetClass::kOrderFree) << name;
+    }
+  }
+}
+
+// ---- sym_backward unit battery ------------------------------------------
+
+TEST(SymBackward, ChainProducesShapeCheckedGradients) {
+  SymGraph g;
+  Tracer t(g);
+  const SymNode* x = t.input("x", {Dim::of(4), Dim::of(3)});
+  const SymNode* w = t.param("w", {Dim::of(3), Dim::of(2)});
+  const SymNode* loss = t.sum(t.matmul(x, w));
+  const BackwardResult res = sym_backward(t, loss);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(g.diagnostics().empty());
+  ASSERT_EQ(res.grads.count(w), 1u);
+  EXPECT_EQ(res.grads.at(w)->shape, (Shape{Dim::of(3), Dim::of(2)}));
+  // x is a constant: the gradient is computed, then dropped (drop-after-
+  // compute, mirroring the engine).
+  EXPECT_EQ(res.grads.count(x), 0u);
+  EXPECT_TRUE(res.accumulations.empty());
+}
+
+TEST(SymBackward, SharedParameterAccumulates) {
+  SymGraph g;
+  Tracer t(g);
+  const SymNode* w = t.param("w", {Dim::of(2), Dim::of(2)});
+  // w feeds the loss through two paths (mul uses it twice, add once more):
+  // each extra contribution must merge through an emitted "add".
+  const SymNode* loss = t.sum(t.add(t.mul(w, w), w));
+  const BackwardResult res = sym_backward(t, loss);
+  EXPECT_TRUE(res.ok);
+  ASSERT_EQ(res.grads.count(w), 1u);
+  EXPECT_EQ(res.grads.at(w)->shape, w->shape);
+  EXPECT_EQ(res.accumulations.size(), 2u);
+  for (const AccumulationSite& acc : res.accumulations) {
+    EXPECT_EQ(acc.into, w);
+    EXPECT_EQ(acc.add_node->op, "add");
+  }
+}
+
+TEST(SymBackward, NonScalarRootIsDiagnosed) {
+  SymGraph g;
+  Tracer t(g);
+  const SymNode* w = t.param("w", {Dim::of(2), Dim::of(2)});
+  const BackwardResult res = sym_backward(t, t.mul(w, w));
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(g.diagnostics().size(), 1u);
+  EXPECT_EQ(g.diagnostics()[0].code, "backward-nonscalar");
+  EXPECT_TRUE(res.grads.empty());
+}
+
+TEST(SymBackward, NoGradRootIsANoOp) {
+  SymGraph g;
+  Tracer t(g);
+  const SymNode* x = t.input("x", {Dim::of(3), Dim::of(3)});
+  const BackwardResult res = sym_backward(t, t.sum(x));
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.grads.empty());
+  EXPECT_TRUE(g.diagnostics().empty());
+}
+
+TEST(SymBackward, MissingAdjointIsDiagnosedOncePerOp) {
+  OpRegistry reg = OpRegistry::builtin();
+  OpInfo stripped = *reg.find("tanh");
+  stripped.adjoint = {};
+  reg.add(std::move(stripped));
+  SymGraph g(&reg);
+  Tracer t(g);
+  const SymNode* w = t.param("w", {Dim::of(2), Dim::of(2)});
+  // Two tanh nodes on the path: dedup must still yield ONE diagnostic.
+  const SymNode* loss = t.sum(t.tanh(t.add(t.tanh(w), w)));
+  const BackwardResult res = sym_backward(t, loss);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(g.diagnostics().size(), 1u);
+  EXPECT_EQ(g.diagnostics()[0].code, "no-adjoint");
+  EXPECT_EQ(g.diagnostics()[0].op, "tanh");
+  EXPECT_NE(g.diagnostics()[0].path.find("<-"), std::string::npos);
+}
+
+TEST(SymBackward, FirstOrderOpGatesOnCreateGraph) {
+  OpRegistry reg = OpRegistry::builtin();
+  OpInfo downgraded = *reg.find("relu");
+  downgraded.diff = DiffClass::kFirstOrderOnly;
+  reg.add(std::move(downgraded));
+  {
+    SymGraph g(&reg);
+    Tracer t(g);
+    const SymNode* w = t.param("w", {Dim::of(2), Dim::of(2)});
+    const BackwardResult res = sym_backward(t, t.sum(t.relu(w)));
+    EXPECT_TRUE(res.ok) << "first-order ops are fine without create_graph";
+    EXPECT_TRUE(g.diagnostics().empty());
+  }
+  {
+    SymGraph g(&reg);
+    Tracer t(g);
+    const SymNode* w = t.param("w", {Dim::of(2), Dim::of(2)});
+    BackwardOptions opts;
+    opts.create_graph = true;
+    const BackwardResult res = sym_backward(t, t.sum(t.relu(w)), opts);
+    EXPECT_FALSE(res.ok);
+    ASSERT_EQ(g.diagnostics().size(), 1u);
+    EXPECT_EQ(g.diagnostics()[0].code, "no-double-backward");
+    EXPECT_EQ(g.diagnostics()[0].op, "relu");
+  }
+}
+
+// ---- analyze_training_step ----------------------------------------------
+
+TEST(TrainStep, CleanAcrossArchitectureVariants) {
+  const data::Schema schemas[] = {
+      gcut_schema(), synth::make_wwt({.n = 4, .t = 20, .seed = 5}).schema,
+      synth::make_mba({.n = 4, .t = 20, .seed = 5}).schema};
+  for (const data::Schema& schema : schemas) {
+    for (const bool minmax : {true, false}) {
+      for (const bool aux : {true, false}) {
+        core::DoppelGangerConfig cfg = tiny_cfg();
+        cfg.use_minmax_generator = minmax;
+        cfg.use_aux_discriminator = aux;
+        SCOPED_TRACE(std::string("minmax=") + (minmax ? "1" : "0") +
+                     " aux=" + (aux ? "1" : "0"));
+        const TrainingStepAnalysis ts = analyze_training_step(schema, cfg);
+        for (const Diagnostic& d : ts.diagnostics) {
+          EXPECT_NE(d.severity, Severity::kError)
+              << d.code << ": " << d.message << " at " << d.op;
+        }
+        // Every optimizer parameter's gradient slot is written exactly
+        // once across the three backward phases (critic params in their
+        // critic step, generator params in the generator step).
+        EXPECT_EQ(ts.grad_slot_writes,
+                  static_cast<int>(expected_parameter_shapes(schema, cfg).size()));
+        EXPECT_GT(ts.accumulation_adds, 0);
+        EXPECT_GT(ts.graph_nodes, 0);
+        EXPECT_FALSE(ts.fake_forward_ops.empty());
+        EXPECT_FALSE(ts.critic_step_ops.empty());
+        EXPECT_EQ(ts.aux_critic_step_ops.empty(), !aux);
+        EXPECT_FALSE(ts.generator_step_ops.empty());
+      }
+    }
+  }
+}
+
+TEST(TrainStep, CensusIsConsistentWithPhaseMultisets) {
+  const data::Schema schema = gcut_schema();
+  core::DoppelGangerConfig cfg = tiny_cfg();
+  cfg.use_aux_discriminator = true;
+  const TrainingStepAnalysis ts = analyze_training_step(schema, cfg);
+  ASSERT_TRUE(ts.ok());
+
+  std::map<std::string, int> combined;
+  for (const auto* m : {&ts.fake_forward_ops, &ts.critic_step_ops,
+                        &ts.aux_critic_step_ops, &ts.generator_step_ops}) {
+    for (const auto& [op, count] : *m) combined[op] += count;
+  }
+
+  const OpRegistry& reg = OpRegistry::builtin();
+  std::map<std::string, int> census_by_op;
+  for (const ReductionSite& site : ts.census) {
+    EXPECT_GT(site.count, 0) << site.op;
+    EXPECT_FALSE(site.where.empty()) << site.op;
+    if (site.det == DetClass::kOrderedReduction) {
+      census_by_op[site.op] = site.count;
+      // Census count == total instances across the four phase graphs.
+      EXPECT_EQ(site.count, combined[site.op]) << site.op;
+    }
+  }
+  // Completeness: every ordered-reduction op that occurs in any phase is in
+  // the census — no silent omission a data-parallel all-reduce would miss.
+  for (const auto& [op, count] : combined) {
+    const OpInfo* info = reg.find(op);
+    if (info != nullptr && info->det &&
+        *info->det == DetClass::kOrderedReduction) {
+      EXPECT_EQ(census_by_op[op], count) << op;
+    }
+  }
+  // The WGAN-GP training path exercises every folding op class.
+  for (const char* op : {"matmul", "affine", "lstm_gates", "row_sum",
+                         "col_sum", "sum"}) {
+    EXPECT_GT(census_by_op[op], 0) << op;
+  }
+  // And the two kAccumulating entries match the counters.
+  int slot_count = -1, merge_count = -1;
+  for (const ReductionSite& site : ts.census) {
+    if (site.op == "grad-slot") slot_count = site.count;
+    if (site.op == "grad-accumulate") merge_count = site.count;
+  }
+  EXPECT_EQ(slot_count, ts.grad_slot_writes);
+  EXPECT_EQ(merge_count, ts.accumulation_adds);
+}
+
+TEST(TrainStep, GpPathFirstOrderOpIsRefusedAtTheBackwardPass) {
+  // The training-step audit subsumes the model-level critic-path scan: the
+  // downgraded op is caught where the double backward actually traverses
+  // it, and a loss that never differentiates gradients stays clean.
+  const data::Schema schema = gcut_schema();
+  const core::DoppelGangerConfig cfg = tiny_cfg();
+  OpRegistry reg = OpRegistry::builtin();
+  OpInfo downgraded = *reg.find("relu");
+  downgraded.diff = DiffClass::kFirstOrderOnly;
+  reg.add(std::move(downgraded));
+  TrainStepOptions opts;
+  opts.registry = &reg;
+
+  const TrainingStepAnalysis ts = analyze_training_step(schema, cfg, opts);
+  bool found = false;
+  for (const Diagnostic& d : ts.diagnostics) {
+    if (d.code == "no-double-backward" && d.severity == Severity::kError) {
+      found = true;
+      EXPECT_EQ(d.op, "relu");
+      EXPECT_NE(d.path.find("<-"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  core::DoppelGangerConfig std_cfg = cfg;
+  std_cfg.loss = core::GanLoss::Standard;
+  const TrainingStepAnalysis std_ts =
+      analyze_training_step(schema, std_cfg, opts);
+  EXPECT_TRUE(std_ts.ok()) << "standard GAN loss has no double backward";
+}
+
+TEST(TrainStep, UnconstructibleConfigShortCircuits) {
+  core::DoppelGangerConfig cfg = tiny_cfg();
+  cfg.sample_len = 0;
+  const TrainingStepAnalysis ts = analyze_training_step(gcut_schema(), cfg);
+  ASSERT_EQ(ts.diagnostics.size(), 1u);
+  EXPECT_EQ(ts.diagnostics[0].code, "config-invalid");
+  EXPECT_FALSE(ts.ok());
+  EXPECT_EQ(ts.graph_nodes, 0);
+}
+
+}  // namespace
+}  // namespace dg::analysis

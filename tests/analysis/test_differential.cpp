@@ -9,6 +9,12 @@
 //   * the predicted generation_step width against the real matrix.
 // Any drift between the analyzer's local model replica (block layouts, MLP
 // structure, LSTM cell) and src/core fails here.
+//
+// The training-step differential extends the same pin to the backward pass:
+// the op multiset analyze_training_step predicts for one full WGAN-GP
+// iteration (generator forward, both critic steps with the gradient-penalty
+// double backward, generator step) must equal the ops the engine really
+// executes during one fit() iteration.
 #include "analysis/model.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/train_step.h"
 #include "core/doppelganger.h"
 #include "nn/autograd.h"
 #include "nn/serialize.h"
@@ -140,6 +147,68 @@ TEST(Differential, GenerationOpCensusMatchesRealExecution) {
     observed.erase("constant");
     EXPECT_EQ(observed, predicted);
     EXPECT_EQ(step_cols, ma.generation_step_cols);
+  }
+}
+
+synth::SynthData dataset_for(const std::string& dataset) {
+  if (dataset == "gcut") {
+    auto d = synth::make_gcut({.n = 8, .t_max = 20, .seed = 5});
+    // gcut series are variable-length; trim to the schema ceiling the small
+    // configs train against (same idiom as the mutation fit() test).
+    for (auto& o : d.data) {
+      if (o.length() > 20) o.features.resize(20);
+    }
+    d.schema.max_timesteps = 20;
+    return d;
+  }
+  if (dataset == "wwt") {
+    return synth::make_wwt({.n = 8, .t = 20, .seed = 5});
+  }
+  return synth::make_mba({.n = 8, .t = 20, .seed = 5});
+}
+
+TEST(Differential, TrainingStepOpCensusMatchesRealTrainingIteration) {
+  // One fit() iteration with d_steps=1 executes exactly the four phases the
+  // analyzer models (everything else in run_training is Matrix-level
+  // bookkeeping the observer never sees). Includes a Standard-loss variant
+  // so both loss branches are pinned.
+  std::vector<Variant> vs = variants();
+  {
+    Variant std_variant = vs.front();
+    std_variant.cfg.loss = core::GanLoss::Standard;
+    vs.push_back(std_variant);
+  }
+  for (const Variant& v : vs) {
+    SCOPED_TRACE(describe(v) +
+                 (v.cfg.loss == core::GanLoss::Standard ? " loss=standard"
+                                                        : " loss=wgan-gp"));
+    synth::SynthData d = dataset_for(v.dataset);
+    core::DoppelGangerConfig cfg = v.cfg;
+    cfg.iterations = 1;
+    cfg.d_steps = 1;
+
+    const TrainingStepAnalysis ts = analyze_training_step(d.schema, cfg);
+    ASSERT_TRUE(ts.ok());
+    std::map<std::string, int> predicted;
+    for (const auto* m : {&ts.fake_forward_ops, &ts.critic_step_ops,
+                          &ts.aux_critic_step_ops, &ts.generator_step_ops}) {
+      for (const auto& [op, count] : *m) predicted[op] += count;
+    }
+    // Constants/leaves are wrapper bookkeeping, not structural ops (same
+    // normalization as the generation-path census above).
+    predicted.erase("constant");
+    predicted.erase("leaf");
+
+    core::DoppelGanger model(d.schema, cfg);
+    std::map<std::string, int> observed;
+    {
+      nn::OpObserverGuard obs([&](const char* op, int, int) {
+        ++observed[op];
+      });
+      model.fit(d.data);
+    }
+    observed.erase("constant");
+    EXPECT_EQ(observed, predicted);
   }
 }
 

@@ -9,6 +9,12 @@
 //   5. every parameter frozen                              frozen-params
 //   6. first-order-only op on the critic path (WGAN-GP)    no-double-backward
 //   7. truncated package bytes                             package-parse
+//   8. wrong adjoint shape (row_sum grad unexpanded)        adjoint-shape
+//   9. dropped accumulation edge (affine loses its bias)    grad-slot-undefined
+//  10. mislabeled determinism class (matmul "order-free")   determinism-class
+// Classes 8-10 are seeded via seed_adjoint_defect and must each produce
+// EXACTLY one error with a graph-path attribution — the adjoint auditor's
+// containment discipline (one root cause, one finding, no cascade).
 #include "analysis/model.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +23,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/adjoint.h"
+#include "analysis/train_step.h"
 #include "core/doppelganger.h"
 #include "core/package.h"
 #include "core/preflight.h"
@@ -196,6 +204,64 @@ TEST(Mutation, FitRefusesToStartOnPreflightErrors) {
     EXPECT_NE(std::string(e.what()).find("preflight"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("config-invalid"), std::string::npos);
   }
+}
+
+// Runs the training-step analysis against a registry with `defect` seeded,
+// returning the error diagnostics. Each defect class must surface as
+// EXACTLY one finding — the gating between the adjoint pass and the
+// def-before-use slot check exists precisely so one defect cannot cascade.
+std::vector<Diagnostic> errors_with_defect(const std::string& defect) {
+  OpRegistry reg = OpRegistry::builtin();
+  if (!seed_adjoint_defect(reg, defect)) {
+    ADD_FAILURE() << "unknown defect class " << defect;
+    return {};
+  }
+  TrainStepOptions opts;
+  opts.registry = &reg;
+  const TrainingStepAnalysis ts =
+      analyze_training_step(gcut_schema(), tiny_cfg(), opts);
+  std::vector<Diagnostic> errors;
+  for (const Diagnostic& d : ts.diagnostics) {
+    if (d.severity == Severity::kError) errors.push_back(d);
+  }
+  return errors;
+}
+
+TEST(Mutation, WrongAdjointShapeIsOneAttributedFinding) {
+  const auto errors = errors_with_defect("wrong-adjoint-shape");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, "adjoint-shape");
+  EXPECT_EQ(errors[0].op, "row_sum");
+  EXPECT_NE(errors[0].path.find("<-"), std::string::npos);
+}
+
+TEST(Mutation, DroppedAccumEdgeIsOneAttributedFinding) {
+  // affine's adjoint silently loses the bias edge: no shape error anywhere,
+  // but every bias slot ends the step with no gradient written — caught by
+  // the def-before-use check over the optimizer slots.
+  const auto errors = errors_with_defect("dropped-accum-edge");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, "grad-slot-undefined");
+  EXPECT_NE(errors[0].message.find(".b"), std::string::npos)
+      << errors[0].message;
+  EXPECT_NE(errors[0].path.find("leaf("), std::string::npos);
+}
+
+TEST(Mutation, MislabeledDetClassIsOneAttributedFinding) {
+  const auto errors = errors_with_defect("mislabel-det-class");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].code, "determinism-class");
+  EXPECT_EQ(errors[0].op, "matmul");
+  EXPECT_FALSE(errors[0].path.empty());
+}
+
+TEST(Mutation, DefectClassListMatchesTheSeeder) {
+  for (const std::string& defect : adjoint_defect_classes()) {
+    OpRegistry reg = OpRegistry::builtin();
+    EXPECT_TRUE(seed_adjoint_defect(reg, defect)) << defect;
+  }
+  OpRegistry reg = OpRegistry::builtin();
+  EXPECT_FALSE(seed_adjoint_defect(reg, "no-such-defect"));
 }
 
 TEST(Mutation, LoadedPackageRoundTripPassesPreflight) {

@@ -26,9 +26,11 @@
 //   dgcli check      [--seed X] [--iterations N]
 //   dgcli lint       --package M.dgpkg [--json] [--tape]
 //   dgcli lint       --schema S.schema [--config C.cfg] [--json] [--tape]
-//                    [--assume-first-order op1,op2]
+//                    [--train] [--assume-first-order op1,op2]
 //                    [--tape-mutate use-before-def|arena-overlap|
 //                     illegal-fusion|unknown-op|stale-shape]
+//                    [--train-mutate wrong-adjoint-shape|dropped-accum-edge|
+//                     mislabel-det-class]
 //
 // The .dgpkg package bundles schema + architecture + trained parameters, so
 // `generate` needs nothing else — the paper's Fig 2 release flow. `serve`
@@ -63,6 +65,14 @@
 // census (instructions, fusion groups, arena peak bytes); `--tape-mutate`
 // seeds one named defect class first — the negative control that proves the
 // verifier rejects a corrupted tape (expected exit: FAIL).
+// `--train` runs the static adjoint auditor (analysis/train_step.h): one
+// full WGAN-GP training step meta-executed symbolically — generator forward,
+// both critic steps with the gradient-penalty double backward, generator
+// step — verifying every adjoint's shape, def-before-use on every optimizer
+// gradient slot, and the per-op determinism classes; it prints the
+// reduction-order census (the accumulation sites a future data-parallel
+// all-reduce must pin). `--train-mutate` seeds one named adjoint defect
+// class first (the matching negative control; expected exit: FAIL).
 //
 // Observability: `train --run-dir DIR` streams per-iteration telemetry to
 // DIR/metrics.jsonl and drops trace.json (chrome://tracing), trace.jsonl,
@@ -88,15 +98,18 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include "analysis/adjoint.h"
 #include "analysis/diag.h"
 #include "analysis/model.h"
 #include "analysis/tape.h"
 #include "analysis/registry.h"
+#include "analysis/train_step.h"
 #include "core/doppelganger.h"
 #include "core/package.h"
 #include "core/preflight.h"
@@ -1050,11 +1063,33 @@ analysis::OpRegistry lint_registry(const Args& a) {
   return reg;
 }
 
+/// Minimal JSON string escape for census paths (quotes, backslashes,
+/// control bytes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 /// Common tail of every lint mode: render diagnostics (human or JSON) and
 /// map them to the exit code (0 clean, 1 errors). `tape`, when present,
-/// adds the tape-plan census (a `tape` block in JSON output).
+/// adds the tape-plan census (a `tape` block in JSON output); `train` adds
+/// the training-step adjoint audit's reduction-order census likewise.
 int lint_report(std::span<const analysis::Diagnostic> diags, bool json,
-                const analysis::TapeSummary* tape = nullptr) {
+                const analysis::TapeSummary* tape = nullptr,
+                const analysis::TrainingStepAnalysis* train = nullptr) {
   const bool bad = analysis::has_errors(diags);
   if (json) {
     std::string tape_block;
@@ -1067,8 +1102,28 @@ int lint_report(std::span<const analysis::Diagnostic> diags, bool json,
                    ",\"verified\":" + (tape->verified ? "true" : "false") +
                    "},";
     }
-    std::printf("{\"ok\":%s,%s\"diagnostics\":%s}\n", bad ? "false" : "true",
-                tape_block.c_str(), analysis::to_json(diags).c_str());
+    std::string train_block;
+    if (train != nullptr) {
+      train_block = "\"train\":{\"graph_nodes\":" +
+                    std::to_string(train->graph_nodes) +
+                    ",\"grad_slot_writes\":" +
+                    std::to_string(train->grad_slot_writes) +
+                    ",\"accumulation_adds\":" +
+                    std::to_string(train->accumulation_adds) + ",\"census\":[";
+      bool first = true;
+      for (const analysis::ReductionSite& site : train->census) {
+        if (!first) train_block += ',';
+        first = false;
+        train_block += "{\"op\":\"" + json_escape(site.op) +
+                       "\",\"class\":\"" + analysis::to_string(site.det) +
+                       "\",\"count\":" + std::to_string(site.count) +
+                       ",\"where\":\"" + json_escape(site.where) + "\"}";
+      }
+      train_block += "]},";
+    }
+    std::printf("{\"ok\":%s,%s%s\"diagnostics\":%s}\n", bad ? "false" : "true",
+                tape_block.c_str(), train_block.c_str(),
+                analysis::to_json(diags).c_str());
     return bad ? 1 : 0;
   }
   if (tape != nullptr) {
@@ -1077,6 +1132,19 @@ int lint_report(std::span<const analysis::Diagnostic> diags, bool json,
                 tape->instructions, tape->fusion_groups,
                 tape->arena_peak_bytes,
                 tape->verified ? "verified" : "REJECTED");
+  }
+  if (train != nullptr) {
+    std::printf("training step: %d graph nodes, %d gradient-slot writes, "
+                "%d in-graph gradient accumulations\n",
+                train->graph_nodes, train->grad_slot_writes,
+                train->accumulation_adds);
+    std::printf("reduction-order census (sites a data-parallel all-reduce "
+                "must pin):\n");
+    for (const analysis::ReductionSite& site : train->census) {
+      std::printf("  %-16s %-18s x%-6d %s\n", site.op.c_str(),
+                  analysis::to_string(site.det), site.count,
+                  site.where.c_str());
+    }
   }
   if (!diags.empty()) {
     std::ostringstream os;
@@ -1106,9 +1174,33 @@ analysis::TapeSummary run_tape_lint(const data::Schema& schema,
   return analysis::summarize_tape(rep);
 }
 
+/// Runs the training-step adjoint audit for --train, optionally seeding a
+/// defect class first (--train-mutate CLASS, the adjoint-level mutation
+/// test). Appends the audit's findings to `diags` and returns the analysis
+/// (op multisets + reduction-order census).
+analysis::TrainingStepAnalysis run_train_lint(
+    const data::Schema& schema, const core::DoppelGangerConfig& cfg,
+    const analysis::OpRegistry& base, const Args& a,
+    std::vector<analysis::Diagnostic>& diags) {
+  analysis::OpRegistry reg = base;
+  if (a.flag("train-mutate")) {
+    if (!analysis::seed_adjoint_defect(reg, a.str("train-mutate"))) {
+      throw std::runtime_error("lint: unknown --train-mutate class '" +
+                               a.str("train-mutate") + "'");
+    }
+  }
+  analysis::TrainStepOptions opts;
+  opts.registry = &reg;
+  analysis::TrainingStepAnalysis ts =
+      analysis::analyze_training_step(schema, cfg, opts);
+  for (const analysis::Diagnostic& d : ts.diagnostics) diags.push_back(d);
+  return ts;
+}
+
 int cmd_lint(const Args& a) {
   const bool json = a.flag("json");
   const bool want_tape = a.flag("tape") || a.flag("tape-mutate");
+  const bool want_train = a.flag("train") || a.flag("train-mutate");
   const analysis::OpRegistry reg = lint_registry(a);
   if (a.flag("package")) {
     const core::PackagePreflight pf =
@@ -1120,15 +1212,19 @@ int cmd_lint(const Args& a) {
                   pf.schema.num_attributes(), pf.schema.num_features(),
                   pf.weight_matrices.size());
     }
+    std::vector<analysis::Diagnostic> diags = pf.diagnostics;
+    analysis::TapeSummary tape = pf.tape;
     // The preflight already lowered + verified the tape; re-run only for
     // the mutation negative control, which needs the full report.
     if (want_tape && pf.header_ok && a.flag("tape-mutate")) {
-      std::vector<analysis::Diagnostic> diags = pf.diagnostics;
-      const analysis::TapeSummary tape = run_tape_lint(pf.schema, pf.config,
-                                                       a, diags);
-      return lint_report(diags, json, &tape);
+      tape = run_tape_lint(pf.schema, pf.config, a, diags);
     }
-    return lint_report(pf.diagnostics, json, want_tape ? &pf.tape : nullptr);
+    std::optional<analysis::TrainingStepAnalysis> train;
+    if (want_train && pf.header_ok) {
+      train = run_train_lint(pf.schema, pf.config, reg, a, diags);
+    }
+    return lint_report(diags, json, want_tape ? &tape : nullptr,
+                       train ? &*train : nullptr);
   }
   const data::Schema schema = data::load_schema_file(a.str("schema"));
   core::DoppelGangerConfig cfg;
@@ -1149,11 +1245,12 @@ int cmd_lint(const Args& a) {
                 ma.parameters.size(), ma.graph_nodes, ma.generation_step_cols);
   }
   std::vector<analysis::Diagnostic> diags = ma.diagnostics;
-  if (want_tape) {
-    const analysis::TapeSummary tape = run_tape_lint(schema, cfg, a, diags);
-    return lint_report(diags, json, &tape);
-  }
-  return lint_report(diags, json);
+  std::optional<analysis::TapeSummary> tape;
+  if (want_tape) tape = run_tape_lint(schema, cfg, a, diags);
+  std::optional<analysis::TrainingStepAnalysis> train;
+  if (want_train) train = run_train_lint(schema, cfg, reg, a, diags);
+  return lint_report(diags, json, tape ? &*tape : nullptr,
+                     train ? &*train : nullptr);
 }
 
 int usage() {
